@@ -1,0 +1,233 @@
+//! Evaluation of annotation expressions at enforcement time.
+//!
+//! Expressions reference the annotated function's parameters by name, the
+//! return value (`return`, in `post` actions only), and named kernel
+//! constants (e.g. `NETDEV_BUSY`). All arithmetic is signed 64-bit with
+//! wrapping semantics; comparisons yield 0 or 1.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinExprOp, Expr};
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Identifier is neither a parameter nor a registered constant.
+    UnknownIdent(String),
+    /// `return` used where no return value exists (a `pre` action).
+    ReturnUnavailable,
+    /// Division by zero.
+    DivByZero,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownIdent(s) => write!(f, "unknown identifier `{s}` in annotation"),
+            EvalError::ReturnUnavailable => write!(f, "`return` referenced in a pre action"),
+            EvalError::DivByZero => write!(f, "division by zero in annotation"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The values visible to an annotation expression at one call.
+pub struct EvalCtx<'a> {
+    /// Parameter names of the annotated function, in order.
+    pub params: &'a [String],
+    /// Argument values, parallel to `params`.
+    pub args: &'a [u64],
+    /// Return value, for `post` actions.
+    pub ret: Option<u64>,
+    /// Named kernel constants (`NETDEV_BUSY`, `EINVAL`, ...).
+    pub consts: &'a HashMap<String, i64>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Resolves a parameter's value by name.
+    pub fn param(&self, name: &str) -> Option<u64> {
+        self.params
+            .iter()
+            .position(|p| p == name)
+            .and_then(|i| self.args.get(i).copied())
+    }
+}
+
+/// Evaluates an expression; booleans are 0/1.
+pub fn eval_expr(e: &Expr, ctx: &EvalCtx<'_>) -> Result<i64, EvalError> {
+    Ok(match e {
+        Expr::Int(v) => *v,
+        Expr::Return => ctx.ret.ok_or(EvalError::ReturnUnavailable)? as i64,
+        Expr::Ident(name) => {
+            if let Some(v) = ctx.param(name) {
+                v as i64
+            } else if let Some(v) = ctx.consts.get(name) {
+                *v
+            } else {
+                return Err(EvalError::UnknownIdent(name.clone()));
+            }
+        }
+        Expr::Neg(inner) => eval_expr(inner, ctx)?.wrapping_neg(),
+        Expr::Not(inner) => i64::from(eval_expr(inner, ctx)? == 0),
+        Expr::Bin(op, l, r) => {
+            let lv = eval_expr(l, ctx)?;
+            // Short-circuit logical operators.
+            match op {
+                BinExprOp::And => {
+                    return Ok(if lv != 0 {
+                        i64::from(eval_expr(r, ctx)? != 0)
+                    } else {
+                        0
+                    })
+                }
+                BinExprOp::Or => {
+                    return Ok(if lv != 0 {
+                        1
+                    } else {
+                        i64::from(eval_expr(r, ctx)? != 0)
+                    })
+                }
+                _ => {}
+            }
+            let rv = eval_expr(r, ctx)?;
+            match op {
+                BinExprOp::Add => lv.wrapping_add(rv),
+                BinExprOp::Sub => lv.wrapping_sub(rv),
+                BinExprOp::Mul => lv.wrapping_mul(rv),
+                BinExprOp::Div => lv.checked_div(rv).ok_or(EvalError::DivByZero)?,
+                BinExprOp::Eq => i64::from(lv == rv),
+                BinExprOp::Ne => i64::from(lv != rv),
+                BinExprOp::Lt => i64::from(lv < rv),
+                BinExprOp::Le => i64::from(lv <= rv),
+                BinExprOp::Gt => i64::from(lv > rv),
+                BinExprOp::Ge => i64::from(lv >= rv),
+                BinExprOp::And | BinExprOp::Or => unreachable!("handled above"),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fn_annotations;
+
+    fn ctx<'a>(
+        params: &'a [String],
+        args: &'a [u64],
+        ret: Option<u64>,
+        consts: &'a HashMap<String, i64>,
+    ) -> EvalCtx<'a> {
+        EvalCtx {
+            params,
+            args,
+            ret,
+            consts,
+        }
+    }
+
+    fn first_pre_cond(src: &str) -> Expr {
+        let ann = parse_fn_annotations(src).unwrap();
+        match &ann.pre[0] {
+            crate::ast::Action::If(c, _) => c.clone(),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_resolve_by_name() {
+        let params = vec!["skb".to_string(), "len".to_string()];
+        let args = vec![0xffff_8000_0000_1000, 64];
+        let consts = HashMap::new();
+        let c = ctx(&params, &args, None, &consts);
+        let e = first_pre_cond("pre(if (len > 32) check(write, skb, len))");
+        assert_eq!(eval_expr(&e, &c).unwrap(), 1);
+    }
+
+    #[test]
+    fn return_in_post_only() {
+        let params: Vec<String> = vec![];
+        let consts = HashMap::new();
+        let c = ctx(&params, &[], None, &consts);
+        let e = first_pre_cond("pre(if (return < 0) check(write, p, 8))");
+        // `p` never evaluated: the `return` error fires first.
+        assert_eq!(eval_expr(&e, &c), Err(EvalError::ReturnUnavailable));
+
+        let c2 = ctx(&params, &[], Some((-5i64) as u64), &consts);
+        assert_eq!(eval_expr(&e, &c2).unwrap(), 1);
+    }
+
+    #[test]
+    fn named_constants_with_unary_minus() {
+        let params: Vec<String> = vec![];
+        let mut consts = HashMap::new();
+        consts.insert("NETDEV_BUSY".to_string(), 16);
+        let e = first_pre_cond("pre(if (return == -NETDEV_BUSY) check(write, p, 8))");
+        let c = ctx(&params, &[], Some((-16i64) as u64), &consts);
+        assert_eq!(eval_expr(&e, &c).unwrap(), 1);
+        let c2 = ctx(&params, &[], Some(0), &consts);
+        assert_eq!(eval_expr(&e, &c2).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_ident_is_an_error() {
+        let params: Vec<String> = vec![];
+        let consts = HashMap::new();
+        let c = ctx(&params, &[], None, &consts);
+        assert_eq!(
+            eval_expr(&Expr::Ident("mystery".into()), &c),
+            Err(EvalError::UnknownIdent("mystery".into()))
+        );
+    }
+
+    #[test]
+    fn short_circuit_avoids_errors() {
+        let params: Vec<String> = vec![];
+        let consts = HashMap::new();
+        let c = ctx(&params, &[], None, &consts);
+        // `0 && return` must not evaluate `return`.
+        let e = Expr::Bin(
+            BinExprOp::And,
+            Box::new(Expr::Int(0)),
+            Box::new(Expr::Return),
+        );
+        assert_eq!(eval_expr(&e, &c).unwrap(), 0);
+        let e = Expr::Bin(
+            BinExprOp::Or,
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Return),
+        );
+        assert_eq!(eval_expr(&e, &c).unwrap(), 1);
+    }
+
+    #[test]
+    fn kernel_pointer_is_negative_as_signed() {
+        // Kernel addresses are in the upper half; annotations must use
+        // `!= 0` (not `> 0`) for success checks. Document by test.
+        let params = vec!["p".to_string()];
+        let args = vec![0xffff_8000_0000_0000u64];
+        let consts = HashMap::new();
+        let c = ctx(&params, &args, None, &consts);
+        assert_eq!(eval_expr(&Expr::Ident("p".into()), &c).unwrap() < 0, true);
+    }
+
+    #[test]
+    fn arithmetic_and_division() {
+        let params: Vec<String> = vec![];
+        let consts = HashMap::new();
+        let c = ctx(&params, &[], None, &consts);
+        let e = Expr::Bin(
+            BinExprOp::Div,
+            Box::new(Expr::Int(7)),
+            Box::new(Expr::Int(2)),
+        );
+        assert_eq!(eval_expr(&e, &c).unwrap(), 3);
+        let z = Expr::Bin(
+            BinExprOp::Div,
+            Box::new(Expr::Int(7)),
+            Box::new(Expr::Int(0)),
+        );
+        assert_eq!(eval_expr(&z, &c), Err(EvalError::DivByZero));
+    }
+}

@@ -1,0 +1,574 @@
+//! Recursive-descent parser for the annotation surface syntax.
+
+use crate::ast::{
+    Action, Annotation, BinExprOp, CapList, CapTypeExpr, Expr, FnAnnotations, PrincipalExpr,
+};
+
+/// Error from parsing annotation text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub pos: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "annotation parse error at byte {}: {}",
+            self.pos, self.msg
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Op(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    toks: Vec<(usize, Tok)>,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut l = Lexer {
+        src,
+        pos: 0,
+        toks: Vec::new(),
+    };
+    let b = src.as_bytes();
+    while l.pos < b.len() {
+        let c = b[l.pos] as char;
+        let start = l.pos;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => l.pos += 1,
+            '(' => {
+                l.toks.push((start, Tok::LParen));
+                l.pos += 1;
+            }
+            ')' => {
+                l.toks.push((start, Tok::RParen));
+                l.pos += 1;
+            }
+            ',' => {
+                l.toks.push((start, Tok::Comma));
+                l.pos += 1;
+            }
+            '0'..='9' => {
+                let mut end = l.pos;
+                while end < b.len() && (b[end] as char).is_ascii_digit() {
+                    end += 1;
+                }
+                let v: i64 = l.src[l.pos..end].parse().map_err(|_| ParseError {
+                    pos: start,
+                    msg: "integer overflow".into(),
+                })?;
+                l.toks.push((start, Tok::Int(v)));
+                l.pos = end;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut end = l.pos;
+                while end < b.len() {
+                    let ch = b[end] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                l.toks
+                    .push((start, Tok::Ident(l.src[l.pos..end].to_string())));
+                l.pos = end;
+            }
+            _ => {
+                // Multi-char operators first.
+                let rest = &l.src[l.pos..];
+                let two = if rest.len() >= 2 { &rest[..2] } else { "" };
+                let op = match two {
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "<=" => Some("<="),
+                    ">=" => Some(">="),
+                    "&&" => Some("&&"),
+                    "||" => Some("||"),
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    l.toks.push((start, Tok::Op(op)));
+                    l.pos += 2;
+                } else {
+                    let op = match c {
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        '<' => "<",
+                        '>' => ">",
+                        '!' => "!",
+                        _ => {
+                            return Err(ParseError {
+                                pos: start,
+                                msg: format!("unexpected character `{c}`"),
+                            })
+                        }
+                    };
+                    l.toks.push((start, Tok::Op(op)));
+                    l.pos += 1;
+                }
+            }
+        }
+    }
+    Ok(l.toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.i).map(|(p, _)| *p).unwrap_or(usize::MAX)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Tok::Op("||")) {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Bin(BinExprOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == Some(&Tok::Op("&&")) {
+            self.next();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Bin(BinExprOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Op("==")) => Some(BinExprOp::Eq),
+            Some(Tok::Op("!=")) => Some(BinExprOp::Ne),
+            Some(Tok::Op("<")) => Some(BinExprOp::Lt),
+            Some(Tok::Op("<=")) => Some(BinExprOp::Le),
+            Some(Tok::Op(">")) => Some(BinExprOp::Gt),
+            Some(Tok::Op(">=")) => Some(BinExprOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.parse_add()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op("+")) => BinExprOp::Add,
+                Some(Tok::Op("-")) => BinExprOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op("*")) => BinExprOp::Mul,
+                Some(Tok::Op("/")) => BinExprOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Op("-")) => {
+                self.next();
+                Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Op("!")) => {
+                self.next();
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Ident(s)) if s == "return" => Ok(Expr::Return),
+            Some(Tok::Ident(s)) => Ok(Expr::Ident(s)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(e)
+            }
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+
+    // ----------------------------------------------------------- actions
+
+    /// Parses a type name inside `ref( ... )`: a sequence of identifiers
+    /// joined by single spaces (e.g. `struct pci_dev`).
+    fn parse_type_name(&mut self) -> Result<String, ParseError> {
+        let mut parts = vec![self.expect_ident()?];
+        while let Some(Tok::Ident(_)) = self.peek() {
+            parts.push(self.expect_ident()?);
+        }
+        Ok(parts.join(" "))
+    }
+
+    fn parse_caplist(&mut self) -> Result<CapList, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(kw)) if kw == "write" || kw == "call" => {
+                let ctype = if kw == "write" {
+                    CapTypeExpr::Write
+                } else {
+                    CapTypeExpr::Call
+                };
+                self.next();
+                self.expect(&Tok::Comma, ",")?;
+                self.parse_caplist_tail(ctype)
+            }
+            Some(Tok::Ident(kw)) if kw == "ref" => {
+                self.next();
+                self.expect(&Tok::LParen, "(")?;
+                let t = self.parse_type_name()?;
+                self.expect(&Tok::RParen, ")")?;
+                self.expect(&Tok::Comma, ",")?;
+                self.parse_caplist_tail(CapTypeExpr::Ref(t))
+            }
+            Some(Tok::Ident(_)) if self.peek2() == Some(&Tok::LParen) => {
+                // Iterator function: `name(expr)`.
+                let func = self.expect_ident()?;
+                self.expect(&Tok::LParen, "(")?;
+                let arg = self.parse_expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(CapList::Iter { func, arg })
+            }
+            _ => self.err("expected caplist (write/call/ref/iterator)"),
+        }
+    }
+
+    fn parse_caplist_tail(&mut self, ctype: CapTypeExpr) -> Result<CapList, ParseError> {
+        let ptr = self.parse_expr()?;
+        let size = if self.peek() == Some(&Tok::Comma) {
+            self.next();
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(CapList::Inline { ctype, ptr, size })
+    }
+
+    fn parse_action(&mut self) -> Result<Action, ParseError> {
+        let kw = self.expect_ident()?;
+        match kw.as_str() {
+            "copy" | "transfer" | "check" => {
+                self.expect(&Tok::LParen, "(")?;
+                let caps = self.parse_caplist()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(match kw.as_str() {
+                    "copy" => Action::Copy(caps),
+                    "transfer" => Action::Transfer(caps),
+                    _ => Action::Check(caps),
+                })
+            }
+            "if" => {
+                self.expect(&Tok::LParen, "(")?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                let inner = self.parse_action()?;
+                Ok(Action::If(cond, Box::new(inner)))
+            }
+            other => self.err(format!("expected action keyword, found `{other}`")),
+        }
+    }
+
+    fn parse_annotation(&mut self) -> Result<Annotation, ParseError> {
+        let kw = self.expect_ident()?;
+        match kw.as_str() {
+            "pre" => {
+                self.expect(&Tok::LParen, "(")?;
+                let a = self.parse_action()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(Annotation::Pre(a))
+            }
+            "post" => {
+                self.expect(&Tok::LParen, "(")?;
+                let a = self.parse_action()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(Annotation::Post(a))
+            }
+            "principal" => {
+                self.expect(&Tok::LParen, "(")?;
+                let name = self.expect_ident()?;
+                let p = match name.as_str() {
+                    "global" => PrincipalExpr::Global,
+                    "shared" => PrincipalExpr::Shared,
+                    _ => PrincipalExpr::Arg(name),
+                };
+                self.expect(&Tok::RParen, ")")?;
+                Ok(Annotation::Principal(p))
+            }
+            other => self.err(format!("expected pre/post/principal, found `{other}`")),
+        }
+    }
+}
+
+/// Parses a whitespace-separated list of annotation clauses.
+pub fn parse_annotation_list(src: &str) -> Result<Vec<Annotation>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let mut anns = Vec::new();
+    while p.peek().is_some() {
+        anns.push(p.parse_annotation()?);
+    }
+    Ok(anns)
+}
+
+/// Parses a complete annotation set for one function or function-pointer
+/// type. Rejects duplicate `principal` clauses and `check` in `post`
+/// position (the grammar says all checks are `pre`, §3.3).
+pub fn parse_fn_annotations(src: &str) -> Result<FnAnnotations, ParseError> {
+    let anns = parse_annotation_list(src)?;
+    let mut out = FnAnnotations::default();
+    for a in anns {
+        match a {
+            Annotation::Principal(p) => {
+                if out.principal.is_some() {
+                    return Err(ParseError {
+                        pos: 0,
+                        msg: "duplicate principal(...) annotation".into(),
+                    });
+                }
+                out.principal = Some(p);
+            }
+            Annotation::Pre(act) => out.pre.push(act),
+            Annotation::Post(act) => {
+                if contains_check(&act) {
+                    return Err(ParseError {
+                        pos: 0,
+                        msg: "check(...) actions must be pre (all checks are pre, §3.3)".into(),
+                    });
+                }
+                out.post.push(act);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn contains_check(a: &Action) -> bool {
+    match a {
+        Action::Check(_) => true,
+        Action::If(_, inner) => contains_check(inner),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure4_pci_probe() {
+        let ann = parse_fn_annotations(
+            "principal(pcidev) \
+             pre(copy(ref(struct pci_dev), pcidev)) \
+             post(if (return < 0) transfer(ref(struct pci_dev), pcidev))",
+        )
+        .unwrap();
+        assert_eq!(ann.principal, Some(PrincipalExpr::Arg("pcidev".into())));
+        assert_eq!(ann.pre.len(), 1);
+        match &ann.pre[0] {
+            Action::Copy(CapList::Inline { ctype, ptr, size }) => {
+                assert_eq!(*ctype, CapTypeExpr::Ref("struct pci_dev".into()));
+                assert_eq!(*ptr, Expr::Ident("pcidev".into()));
+                assert!(size.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &ann.post[0] {
+            Action::If(cond, inner) => {
+                assert_eq!(
+                    *cond,
+                    Expr::Bin(
+                        BinExprOp::Lt,
+                        Box::new(Expr::Return),
+                        Box::new(Expr::Int(0))
+                    )
+                );
+                assert!(matches!(**inner, Action::Transfer(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_figure4_xmit_with_iterator() {
+        let ann = parse_fn_annotations(
+            "principal(dev) \
+             pre(transfer(skb_caps(skb))) \
+             post(if (return == -NETDEV_BUSY) transfer(skb_caps(skb)))",
+        )
+        .unwrap();
+        assert_eq!(ann.principal, Some(PrincipalExpr::Arg("dev".into())));
+        assert_eq!(ann.iterator_names(), vec!["skb_caps", "skb_caps"]);
+    }
+
+    #[test]
+    fn parses_write_with_size() {
+        let ann =
+            parse_fn_annotations("post(if (return != 0) transfer(write, return, size))").unwrap();
+        let caps = ann.caplists();
+        assert!(matches!(
+            caps[0],
+            CapList::Inline {
+                ctype: CapTypeExpr::Write,
+                size: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_global_and_shared_principals() {
+        assert_eq!(
+            parse_fn_annotations("principal(global)").unwrap().principal,
+            Some(PrincipalExpr::Global)
+        );
+        assert_eq!(
+            parse_fn_annotations("principal(shared)").unwrap().principal,
+            Some(PrincipalExpr::Shared)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_principal() {
+        assert!(parse_fn_annotations("principal(a) principal(b)").is_err());
+    }
+
+    #[test]
+    fn rejects_post_check() {
+        assert!(parse_fn_annotations("post(check(write, p, 8))").is_err());
+        assert!(parse_fn_annotations("post(if (return != 0) check(write, p, 8))").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_fn_annotations("pre(frobnicate(write, p))").is_err());
+        assert!(parse_fn_annotations("pre(copy(write p))").is_err());
+        assert!(parse_fn_annotations("pre(copy(write, p)").is_err());
+        assert!(parse_fn_annotations("wibble(x)").is_err());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let ann =
+            parse_fn_annotations("pre(if (a + b * 2 < c && c != 0) check(write, p, 8))").unwrap();
+        let c = ann.canonical();
+        assert!(c.contains("(((a + (b * 2)) < c) && (c != 0))"), "{c}");
+    }
+
+    #[test]
+    fn parse_print_parse_fixpoint() {
+        let srcs = [
+            "principal(pcidev) pre(copy(ref(struct pci_dev), pcidev)) \
+             post(if (return < 0) transfer(ref(struct pci_dev), pcidev))",
+            "pre(transfer(skb_caps(skb)))",
+            "pre(check(call, fn)) post(copy(write, buf, len))",
+        ];
+        for s in srcs {
+            let a1 = parse_fn_annotations(s).unwrap();
+            let printed = a1.canonical();
+            let a2 = parse_fn_annotations(&printed).unwrap();
+            assert_eq!(a1, a2, "fixpoint for {s}");
+            assert_eq!(printed, a2.canonical());
+        }
+    }
+}

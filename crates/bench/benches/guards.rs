@@ -1,0 +1,71 @@
+//! Wall-clock companion to Figure 13: host cost of the individual LXFI
+//! runtime guards (write check, indirect-call fast/slow path, wrapper
+//! entry+exit, capability grant/revoke).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lxfi_core::runtime::FnMeta;
+use lxfi_core::{RawCap, Runtime, ThreadId};
+
+fn benches(c: &mut Criterion) {
+    let mut rt = Runtime::new();
+    let m = rt.register_module("bench");
+    rt.register_thread(ThreadId(0), 0xffff_9000_0000_0000, 0x2000);
+    let p = rt.principal_for_name(m, 0x9000);
+    rt.grant(p, RawCap::write(0x5000, 4096));
+    rt.grant(p, RawCap::call(0xf000));
+    rt.register_function(
+        0xf000,
+        FnMeta {
+            name: "cb".into(),
+            ahash: 7,
+            module: Some(m),
+        },
+    );
+    let t = ThreadId(0);
+    rt.thread(t).set_current(Some((m, p)));
+
+    c.bench_function("guard_mem_write", |b| {
+        b.iter(|| rt.check_write(t, std::hint::black_box(0x5100), 8).unwrap())
+    });
+
+    // Fast path: a slot no module can write.
+    c.bench_function("guard_indcall_fast", |b| {
+        b.iter(|| {
+            rt.check_indcall(std::hint::black_box(0x7000), 0xf000, 7)
+                .unwrap()
+        })
+    });
+
+    // Slow path: the slot sits inside the module's WRITE range.
+    c.bench_function("guard_indcall_slow", |b| {
+        b.iter(|| {
+            rt.check_indcall(std::hint::black_box(0x5080), 0xf000, 7)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("wrapper_entry_exit", |b| {
+        b.iter(|| {
+            let tok = rt.wrapper_enter(t, Some((m, p)));
+            rt.wrapper_exit(t, tok).unwrap();
+        })
+    });
+
+    c.bench_function("capability_grant_revoke", |b| {
+        b.iter(|| {
+            let cap = RawCap::write(std::hint::black_box(0x6000), 64);
+            rt.grant(p, cap);
+            rt.revoke(p, cap);
+        })
+    });
+}
+
+criterion_group! {
+    name = guards;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(guards);

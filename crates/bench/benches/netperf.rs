@@ -1,0 +1,47 @@
+//! Wall-clock companion to Figure 12: host time of the TX and RX packet
+//! paths through the interpreted e1000, stock vs LXFI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lxfi_bench::netperf::boot_e1000;
+use lxfi_kernel::IsolationMode;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_tx");
+    for mode in [IsolationMode::Stock, IsolationMode::Lxfi] {
+        let label = match mode {
+            IsolationMode::Stock => "stock",
+            IsolationMode::Lxfi => "lxfi",
+        };
+        let (mut k, dev) = boot_e1000(mode);
+        group.bench_function(label, |b| {
+            b.iter(|| k.enter(|k| k.net_send_packet(dev, 64)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("packet_rx_burst16");
+    for mode in [IsolationMode::Stock, IsolationMode::Lxfi] {
+        let label = match mode {
+            IsolationMode::Stock => "stock",
+            IsolationMode::Lxfi => "lxfi",
+        };
+        let (mut k, dev) = boot_e1000(mode);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                k.enter(|k| k.net_deliver_rx(dev, 16)).unwrap();
+                k.enter(|k| k.net_drain_rx()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = netperf;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(netperf);

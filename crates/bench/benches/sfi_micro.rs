@@ -1,0 +1,61 @@
+//! Wall-clock companion to Figure 11: host time of the interpreted SFI
+//! microbenchmarks, stock vs LXFI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lxfi_bench::sfi;
+use lxfi_kernel::{IsolationMode, Kernel, ModuleSpec};
+
+fn run(k: &mut Kernel, module: &str, func: &str, args: &[u64]) -> u64 {
+    let id = k.module_id(module).unwrap();
+    let addr = k.module_fn_addr(id, func).unwrap();
+    k.enter(|k| k.invoke_module_function(addr, args, None))
+        .unwrap()
+}
+
+fn bench_pair(
+    c: &mut Criterion,
+    name: &str,
+    spec_fn: fn() -> ModuleSpec,
+    func: &'static str,
+    args: &'static [u64],
+) {
+    let mut group = c.benchmark_group(name);
+    for mode in [IsolationMode::Stock, IsolationMode::Lxfi] {
+        let label = match mode {
+            IsolationMode::Stock => "stock",
+            IsolationMode::Lxfi => "lxfi",
+        };
+        let spec = spec_fn();
+        let module = spec.name.clone();
+        let mut k = Kernel::boot(mode);
+        k.load_module(spec).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| run(&mut k, &module, func, std::hint::black_box(args)))
+        });
+    }
+    group.finish();
+}
+
+fn hotlist400() -> ModuleSpec {
+    sfi::hotlist_spec(400)
+}
+
+fn lld400() -> ModuleSpec {
+    sfi::lld_spec(400)
+}
+
+fn benches(c: &mut Criterion) {
+    bench_pair(c, "hotlist_search", hotlist400, "hotlist_search", &[123]);
+    bench_pair(c, "lld_churn", lld400, "lld_churn", &[10]);
+    bench_pair(c, "md5_blocks", sfi::md5_spec, "md5_blocks", &[8, 42]);
+}
+
+criterion_group! {
+    name = sfi_micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(sfi_micro);

@@ -1,0 +1,55 @@
+//! Ablation tables for LXFI's two main performance optimizations:
+//! writer-set tracking (§5) and write-guard merging (module pass).
+
+use lxfi_bench::{ablations, render_table};
+
+fn main() {
+    println!("Ablation 1: writer-set tracking (kernel ind-call fast path)\n");
+    let a = ablations::writer_set_ablation(300);
+    println!(
+        "{}",
+        render_table(
+            &["Configuration", "Ind-call guard cycles / packet"],
+            &[
+                vec![
+                    "writer-set tracking ON".into(),
+                    format!("{:.1}", a.with_fastpath)
+                ],
+                vec![
+                    "writer-set tracking OFF".into(),
+                    format!("{:.1}", a.without_fastpath)
+                ],
+            ]
+        )
+    );
+    println!(
+        "saved: {:.0}% of indirect-call guard work\n\
+         (paper: tracking eliminates ~2/3 of checks on this workload)\n",
+        a.saved_fraction * 100.0
+    );
+
+    println!("Ablation 2: write-guard merging in the module pass\n");
+    let m = ablations::merge_ablation();
+    println!(
+        "{}",
+        render_table(
+            &["Configuration", "Static guards", "lld workload cycles"],
+            &[
+                vec![
+                    "merging ON".into(),
+                    m.guards_merged_on.to_string(),
+                    m.cycles_on.to_string()
+                ],
+                vec![
+                    "merging OFF".into(),
+                    m.guards_merged_off.to_string(),
+                    m.cycles_off.to_string()
+                ],
+            ]
+        )
+    );
+    println!(
+        "\nMerging is the kind of compile-time optimization the paper notes\n\
+         binary rewriters like XFI cannot perform (§8.3)."
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates Figure 13: guards per packet and per-guard cost for the
+//! UDP_STREAM TX workload.
+
+use lxfi_bench::{guards, render_table};
+
+fn main() {
+    println!("Figure 13: LXFI guards on the UDP_STREAM TX path\n");
+    let rows: Vec<Vec<String>> = guards::figure13(500)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.guard,
+                format!("{:.1}", r.per_pkt),
+                format!("{:.0}", r.per_guard),
+                format!("{:.0}", r.per_pkt_cycles),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Guard type",
+                "Guards per pkt",
+                "Cycles per guard",
+                "Cycles per pkt"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nPaper (ns): annotation 13.5×124=1,674; entry 7.1×16=114; exit\n\
+         7.1×14=99; mem-write 28.8×51=1,469; ind-call all 9.2×64=589;\n\
+         ind-call e1000 3.1×86=267. Annotation actions and write checks\n\
+         dominate, and writer-set tracking removes ~2/3 of ind-call work."
+    );
+}

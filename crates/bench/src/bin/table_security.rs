@@ -1,0 +1,50 @@
+//! Regenerates Figure 8: the exploits, their CVEs, and whether LXFI
+//! prevents them. Runs every exploit against both kernels.
+
+use lxfi_bench::render_table;
+use lxfi_exploits::run_all;
+use lxfi_kernel::IsolationMode;
+
+fn main() {
+    println!("Figure 8: kernel-module exploits, stock vs LXFI\n");
+    let stock = run_all(IsolationMode::Stock);
+    let lxfi = run_all(IsolationMode::Lxfi);
+    let rows: Vec<Vec<String>> = stock
+        .iter()
+        .zip(&lxfi)
+        .map(|(s, l)| {
+            vec![
+                s.name.to_string(),
+                s.cves.to_string(),
+                if s.succeeded {
+                    "root/hidden".into()
+                } else {
+                    "failed".into()
+                },
+                if l.succeeded {
+                    "NOT PREVENTED".into()
+                } else {
+                    "prevented".into()
+                },
+                l.blocked_by
+                    .as_ref()
+                    .map(|v| {
+                        let s = v.to_string();
+                        s.split(':').next().unwrap_or(&s).to_string()
+                    })
+                    .unwrap_or_default(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Exploit", "CVE IDs", "Stock kernel", "LXFI", "Blocked by"],
+            &rows
+        )
+    );
+    println!("\nDetailed traces (LXFI runs):\n");
+    for o in &lxfi {
+        println!("== {} ==\n{}", o.name, o.detail);
+    }
+}

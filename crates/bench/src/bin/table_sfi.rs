@@ -1,0 +1,37 @@
+//! Regenerates Figure 11: code-size growth and slowdown of the SFI
+//! microbenchmarks (hotlist, lld, MD5) under LXFI instrumentation.
+
+use lxfi_bench::{render_table, sfi};
+
+fn main() {
+    println!("Figure 11: SFI microbenchmarks (deterministic-cycle model)\n");
+    let rows: Vec<Vec<String>> = sfi::figure11()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.2}x", r.code_growth),
+                format!("{:.1}%", r.slowdown_pct),
+                r.stock_cycles.to_string(),
+                r.lxfi_cycles.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Benchmark",
+                "Δ code size",
+                "Slowdown",
+                "Stock cycles",
+                "LXFI cycles"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nPaper: hotlist 1.14x / 0%, lld 1.12x / 11%, MD5 1.15x / 2%.\n\
+         `cargo bench -p lxfi-bench --bench sfi_micro` measures host wall-clock."
+    );
+}

@@ -1,0 +1,135 @@
+//! The Figure 9 annotation census: how many annotated functions and
+//! function-pointer types each module needs, and how many of those are
+//! unique to it.
+//!
+//! Counting rules, mirroring the paper's:
+//!
+//! - "functions" = annotated kernel prototypes the module invokes
+//!   directly (its function imports);
+//! - "function pointers" = annotated function-pointer types through
+//!   which the module is called or calls (its sig table);
+//! - an annotation is *unique* if exactly one of the ten modules uses it;
+//! - the `Total` row counts distinct annotations across all modules.
+
+use std::collections::HashMap;
+
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::program::ImportKind;
+
+/// One module's census row.
+#[derive(Debug, Clone)]
+pub struct CensusRow {
+    /// Figure 9 category.
+    pub category: &'static str,
+    /// Module name.
+    pub module: String,
+    /// Annotated functions invoked (all).
+    pub funcs_all: usize,
+    /// ... of which unique to this module.
+    pub funcs_unique: usize,
+    /// Function-pointer types (all).
+    pub fptrs_all: usize,
+    /// ... of which unique to this module.
+    pub fptrs_unique: usize,
+    /// Capability iterators referenced by this module's interface.
+    pub iterators: usize,
+}
+
+/// The census over a set of module specs, plus the distinct totals
+/// `(functions, function pointers)`.
+pub fn annotation_census(specs: &[ModuleSpec]) -> (Vec<CensusRow>, (usize, usize)) {
+    // Usage maps: name → how many modules use it.
+    let mut func_use: HashMap<String, usize> = HashMap::new();
+    let mut fptr_use: HashMap<String, usize> = HashMap::new();
+    for spec in specs {
+        for imp in &spec.program.imports {
+            if imp.kind == ImportKind::Func {
+                *func_use.entry(imp.name.clone()).or_insert(0) += 1;
+            }
+        }
+        for sig in &spec.program.sigs {
+            *fptr_use.entry(sig.name.clone()).or_insert(0) += 1;
+        }
+    }
+
+    let mut rows = Vec::new();
+    for spec in specs {
+        let funcs: Vec<&str> = spec
+            .program
+            .imports
+            .iter()
+            .filter(|i| i.kind == ImportKind::Func)
+            .map(|i| i.name.as_str())
+            .collect();
+        let fptrs: Vec<&str> = spec.program.sigs.iter().map(|s| s.name.as_str()).collect();
+        let iterators: usize = {
+            let mut names: Vec<&str> = spec
+                .iface
+                .sig_decls
+                .values()
+                .chain(spec.iface.fn_decls.values())
+                .flat_map(|d| d.ann.iterator_names())
+                .collect();
+            names.sort_unstable();
+            names.dedup();
+            names.len()
+        };
+        rows.push(CensusRow {
+            category: lxfi_modules::category(&spec.name),
+            module: spec.name.clone(),
+            funcs_all: funcs.len(),
+            funcs_unique: funcs.iter().filter(|f| func_use[**f] == 1).count(),
+            fptrs_all: fptrs.len(),
+            fptrs_unique: fptrs.iter().filter(|f| fptr_use[**f] == 1).count(),
+            iterators,
+        });
+    }
+    (rows, (func_use.len(), fptr_use.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_over_all_ten_modules() {
+        let specs = lxfi_modules::all_specs();
+        let (rows, (total_funcs, total_fptrs)) = annotation_census(&specs);
+        assert_eq!(rows.len(), 10);
+
+        // Totals are distinct counts, ≤ the per-module sums.
+        let sum_funcs: usize = rows.iter().map(|r| r.funcs_all).sum();
+        assert!(total_funcs <= sum_funcs);
+        assert!(total_fptrs <= rows.iter().map(|r| r.fptrs_all).sum());
+
+        // Structure from the paper: e1000 needs the most annotations;
+        // the protocol modules share almost everything (can's unique
+        // count is tiny); dm-zero is the smallest.
+        let get = |name: &str| rows.iter().find(|r| r.module == name).unwrap();
+        let e1000 = get("e1000");
+        for r in &rows {
+            assert!(e1000.funcs_all >= r.funcs_all, "{r:?}");
+        }
+        let can = get("can");
+        assert!(can.funcs_unique <= 1, "can shares its interface: {can:?}");
+        let dm_zero = get("dm-zero");
+        assert!(dm_zero.funcs_all <= 2, "{dm_zero:?}");
+
+        // Every module needs at least one annotated function and pointer.
+        for r in &rows {
+            assert!(r.funcs_all >= 1, "{r:?}");
+            assert!(r.fptrs_all >= 1, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn shared_protocol_sigs_are_not_unique() {
+        let specs = lxfi_modules::all_specs();
+        let (rows, _) = annotation_census(&specs);
+        // The four socket modules share proto_* types: none unique there.
+        for name in ["rds", "can", "can-bcm", "econet"] {
+            let r = rows.iter().find(|r| r.module == name).unwrap();
+            assert_eq!(r.fptrs_unique, 0, "{r:?}");
+        }
+    }
+}

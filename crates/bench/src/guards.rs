@@ -1,0 +1,107 @@
+//! The Figure 13 guard-cost breakdown: average guards per packet, cost
+//! per guard, and time per packet, measured on the UDP_STREAM TX
+//! workload (the paper picks TX because it is LXFI's worst case).
+
+use lxfi_core::{GuardKind, ALL_GUARD_KINDS};
+use lxfi_kernel::IsolationMode;
+
+use crate::netperf::boot_e1000;
+
+/// One Figure 13 row.
+#[derive(Debug, Clone)]
+pub struct GuardRow {
+    /// Guard type label.
+    pub guard: String,
+    /// Average guards executed per packet.
+    pub per_pkt: f64,
+    /// Average cost of one guard, in cycles (≈ ns at 1 cycle/ns).
+    pub per_guard: f64,
+    /// Total guard time per packet, cycles.
+    pub per_pkt_cycles: f64,
+}
+
+/// Runs `n` 64-byte TX packets under LXFI and reports the breakdown.
+pub fn figure13(n: u64) -> Vec<GuardRow> {
+    let (mut k, dev) = boot_e1000(IsolationMode::Lxfi);
+    // Warm-up, then measure.
+    for _ in 0..8 {
+        k.enter(|k| k.net_send_packet(dev, 64)).unwrap();
+    }
+    k.rt.stats.reset();
+    for _ in 0..n {
+        k.enter(|k| k.net_send_packet(dev, 64)).unwrap();
+    }
+
+    let mut rows = Vec::new();
+    for kind in ALL_GUARD_KINDS {
+        let count = k.rt.stats.count(kind);
+        let cycles = k.rt.stats.cycles(kind);
+        let label = if kind == GuardKind::KernelIndCall {
+            "Kernel ind-call all".to_string()
+        } else {
+            kind.label().to_string()
+        };
+        rows.push(GuardRow {
+            guard: label,
+            per_pkt: count as f64 / n as f64,
+            per_guard: if count > 0 {
+                cycles as f64 / count as f64
+            } else {
+                0.0
+            },
+            per_pkt_cycles: cycles as f64 / n as f64,
+        });
+    }
+    // The e1000-attributed slice of the indirect-call checks.
+    let mid = k.runtime_module(k.module_id("e1000").unwrap()).unwrap();
+    let (cnt, cyc) = k.rt.stats.indcall_for_module(mid);
+    rows.push(GuardRow {
+        guard: "Kernel ind-call e1000".to_string(),
+        per_pkt: cnt as f64 / n as f64,
+        per_guard: if cnt > 0 {
+            cyc as f64 / cnt as f64
+        } else {
+            0.0
+        },
+        per_pkt_cycles: cyc as f64 / n as f64,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure13_shape_matches_paper() {
+        let rows = figure13(100);
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.guard == label)
+                .unwrap_or_else(|| panic!("row {label}"))
+                .clone()
+        };
+        let ann = get("Annotation action");
+        let entry = get("Function entry");
+        let exit = get("Function exit");
+        let memw = get("Mem-write check");
+        let ind_all = get("Kernel ind-call all");
+        let ind_e1000 = get("Kernel ind-call e1000");
+
+        // Every guard kind fires on the TX path.
+        for r in [&ann, &entry, &exit, &memw, &ind_all] {
+            assert!(r.per_pkt > 0.0, "{r:?}");
+        }
+        // Entry and exit pair up.
+        assert!((entry.per_pkt - exit.per_pkt).abs() < 0.01);
+        // Annotation actions and write checks dominate guard time — the
+        // paper's headline observation about Figure 13.
+        let total: f64 = rows.iter().map(|r| r.per_pkt_cycles).sum();
+        assert!(ann.per_pkt_cycles + memw.per_pkt_cycles > total * 0.5);
+        // The e1000 slice is a subset of all indirect calls.
+        assert!(ind_e1000.per_pkt <= ind_all.per_pkt + 1e-9);
+        // Per-guard costs reflect the configured Figure 13 calibration.
+        assert!((ann.per_guard - 124.0).abs() < 1.0);
+        assert!((memw.per_guard - 51.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The Figure 7 component inventory: lines of code per LXFI component.
+//!
+//! The paper reports its gcc plugin (150 lines), clang plugin (1,452)
+//! and runtime checker (4,704); this reproduction maps those components
+//! onto workspace crates and counts non-blank, non-comment-only lines.
+
+use std::path::{Path, PathBuf};
+
+/// One component row.
+#[derive(Debug, Clone)]
+pub struct LocRow {
+    /// Component name.
+    pub component: String,
+    /// Files or crates counted.
+    pub source: String,
+    /// Non-blank lines of Rust.
+    pub lines: usize,
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Counts non-blank lines in every `.rs` file under `dir`.
+pub fn count_rs_lines(dir: &Path) -> usize {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if !p.ends_with("target") {
+                total += count_rs_lines(&p);
+            }
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            if let Ok(text) = std::fs::read_to_string(&p) {
+                total += text.lines().filter(|l| !l.trim().is_empty()).count();
+            }
+        }
+    }
+    total
+}
+
+/// Counts one file.
+fn count_file(p: &Path) -> usize {
+    std::fs::read_to_string(p)
+        .map(|t| t.lines().filter(|l| !l.trim().is_empty()).count())
+        .unwrap_or(0)
+}
+
+/// The Figure 7 analogue rows.
+pub fn figure7() -> Vec<LocRow> {
+    let root = workspace_root();
+    vec![
+        LocRow {
+            component: "Kernel rewriting plugin".into(),
+            source: "crates/rewriter/src/kernel_pass.rs".into(),
+            lines: count_file(&root.join("crates/rewriter/src/kernel_pass.rs")),
+        },
+        LocRow {
+            component: "Module rewriting plugin".into(),
+            source: "crates/rewriter (module_pass, propagate, edit)".into(),
+            lines: count_file(&root.join("crates/rewriter/src/module_pass.rs"))
+                + count_file(&root.join("crates/rewriter/src/propagate.rs"))
+                + count_file(&root.join("crates/rewriter/src/edit.rs")),
+        },
+        LocRow {
+            component: "Runtime checker".into(),
+            source: "crates/core + crates/annotations".into(),
+            lines: count_rs_lines(&root.join("crates/core/src"))
+                + count_rs_lines(&root.join("crates/annotations/src")),
+        },
+    ]
+}
+
+/// Full workspace inventory (the reproduction's own system table).
+pub fn inventory() -> Vec<LocRow> {
+    let root = workspace_root();
+    let mut rows = Vec::new();
+    for crate_dir in [
+        "crates/machine",
+        "crates/annotations",
+        "crates/core",
+        "crates/rewriter",
+        "crates/kernel",
+        "crates/modules",
+        "crates/exploits",
+        "crates/bench",
+    ] {
+        rows.push(LocRow {
+            component: crate_dir.to_string(),
+            source: format!("{crate_dir}/src + tests"),
+            lines: count_rs_lines(&root.join(crate_dir)),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_counts_real_files() {
+        let rows = figure7();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.lines > 50, "{r:?} should be non-trivial");
+        }
+        // The kernel pass is the smallest component, as in the paper
+        // (150 vs 1,452 vs 4,704 lines).
+        assert!(rows[0].lines < rows[1].lines);
+        assert!(rows[1].lines < rows[2].lines);
+    }
+
+    #[test]
+    fn inventory_covers_all_crates() {
+        let rows = inventory();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.lines > 0));
+    }
+}

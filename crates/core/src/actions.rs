@@ -1,0 +1,504 @@
+//! Executing annotation actions at wrapper boundaries (§3.3, Figure 3).
+//!
+//! At each kernel/module crossing the wrapper runs the `pre` actions of
+//! the callee's annotation before the call and the `post` actions after
+//! it. Direction matters:
+//!
+//! | action            | pre                       | post                      |
+//! |-------------------|---------------------------|---------------------------|
+//! | `copy(c)`         | caller→callee (check own) | callee→caller (check own) |
+//! | `transfer(c)`     | caller→callee, revoke all | callee→caller, revoke all |
+//! | `check(c)`        | caller must own           | (rejected by the parser)  |
+//! | `if (e) a`        | run `a` when `e` ≠ 0      | may reference `return`    |
+//!
+//! The trusted core kernel (`None` context) implicitly owns every
+//! capability, so grants *to* the kernel are pure revocations and checks
+//! *of* the kernel always pass.
+
+use lxfi_annotations::{eval_expr, Action, CapList, CapTypeExpr, EvalCtx, Expr};
+use lxfi_machine::{AddressSpace, Word};
+
+use crate::caps::RawCap;
+use crate::iface::{FnDecl, TypeLayouts};
+use crate::runtime::{EmittedCap, Runtime};
+use crate::shadow::PrincipalCtx;
+use crate::stats::GuardKind;
+use crate::Violation;
+
+/// Whether actions run before or after the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Before the call: source is the caller, destination the callee.
+    Pre,
+    /// After the call: source is the callee, destination the caller.
+    Post,
+}
+
+/// One interposed call: declaration, arguments, and the two principal
+/// contexts.
+pub struct CallSite<'a> {
+    /// The annotated declaration being enforced.
+    pub decl: &'a FnDecl,
+    /// Argument values.
+    pub args: &'a [Word],
+    /// Return value (available to `post` actions).
+    pub ret: Option<Word>,
+    /// Caller context (`None` = core kernel).
+    pub caller: PrincipalCtx,
+    /// Callee context (`None` = core kernel).
+    pub callee: PrincipalCtx,
+}
+
+/// Applies the declaration's `pre` or `post` actions for one call.
+pub fn apply_actions(
+    rt: &mut Runtime,
+    mem: &AddressSpace,
+    layouts: &TypeLayouts,
+    site: &CallSite<'_>,
+    dir: Dir,
+) -> Result<(), Violation> {
+    let actions = match dir {
+        Dir::Pre => &site.decl.ann.pre,
+        Dir::Post => &site.decl.ann.post,
+    };
+    let params = site.decl.param_names();
+    for a in actions {
+        apply_one(rt, mem, layouts, site, dir, &params, a)?;
+    }
+    Ok(())
+}
+
+fn eval(
+    rt: &Runtime,
+    site: &CallSite<'_>,
+    params: &[String],
+    dir: Dir,
+    e: &Expr,
+) -> Result<i64, Violation> {
+    let ctx = EvalCtx {
+        params,
+        args: site.args,
+        ret: match dir {
+            Dir::Pre => None,
+            Dir::Post => site.ret,
+        },
+        consts: rt.consts(),
+    };
+    eval_expr(e, &ctx).map_err(|e| Violation::BadExpression { why: e.to_string() })
+}
+
+fn apply_one(
+    rt: &mut Runtime,
+    mem: &AddressSpace,
+    layouts: &TypeLayouts,
+    site: &CallSite<'_>,
+    dir: Dir,
+    params: &[String],
+    action: &Action,
+) -> Result<(), Violation> {
+    match action {
+        Action::If(cond, inner) => {
+            if eval(rt, site, params, dir, cond)? != 0 {
+                apply_one(rt, mem, layouts, site, dir, params, inner)?;
+            }
+            Ok(())
+        }
+        Action::Copy(caps) => {
+            let resolved = resolve_caplist(rt, mem, layouts, site, dir, params, caps)?;
+            let (src, dst) = endpoints(site, dir);
+            for cap in resolved {
+                record_action(rt);
+                require_owned(rt, src, cap)?;
+                if let Some((_, p)) = dst {
+                    rt.grant(p, cap);
+                }
+            }
+            Ok(())
+        }
+        Action::Transfer(caps) => {
+            let resolved = resolve_caplist(rt, mem, layouts, site, dir, params, caps)?;
+            let (src, dst) = endpoints(site, dir);
+            for cap in resolved {
+                record_action(rt);
+                require_owned(rt, src, cap)?;
+                // Transfer revokes the capability from ALL principals so no
+                // copies survive (§3.3), then grants the destination.
+                rt.revoke_everywhere(cap);
+                if let Some((_, p)) = dst {
+                    rt.grant(p, cap);
+                }
+            }
+            Ok(())
+        }
+        Action::Check(caps) => {
+            let resolved = resolve_caplist(rt, mem, layouts, site, dir, params, caps)?;
+            // All checks are pre: the caller must own the capability.
+            for cap in resolved {
+                record_action(rt);
+                require_owned(rt, site.caller, cap)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn record_action(rt: &mut Runtime) {
+    let c = rt.costs.annotation_action;
+    rt.stats.record(GuardKind::AnnotationAction, c);
+}
+
+/// `(source, destination)` of a grant for the given direction.
+fn endpoints(site: &CallSite<'_>, dir: Dir) -> (PrincipalCtx, PrincipalCtx) {
+    match dir {
+        Dir::Pre => (site.caller, site.callee),
+        Dir::Post => (site.callee, site.caller),
+    }
+}
+
+fn require_owned(rt: &Runtime, ctx: PrincipalCtx, cap: RawCap) -> Result<(), Violation> {
+    if rt.ctx_owns(ctx, cap) {
+        return Ok(());
+    }
+    let (_, p) = ctx.expect("kernel owns everything, so ctx is a module");
+    Err(match cap.ctype {
+        crate::caps::CapType::Write => Violation::MissingWrite {
+            principal: p,
+            addr: cap.addr,
+            len: cap.size,
+        },
+        crate::caps::CapType::Call => Violation::MissingCall {
+            principal: p,
+            target: cap.addr,
+        },
+        crate::caps::CapType::Ref(t) => Violation::MissingRef {
+            principal: p,
+            rtype: rt.ref_type_name(t).to_string(),
+            value: cap.addr,
+        },
+    })
+}
+
+/// Resolves a caplist to concrete capabilities: evaluates expressions,
+/// applies the `sizeof(*ptr)` default, interns REF types, and expands
+/// capability iterators.
+fn resolve_caplist(
+    rt: &mut Runtime,
+    mem: &AddressSpace,
+    layouts: &TypeLayouts,
+    site: &CallSite<'_>,
+    dir: Dir,
+    params: &[String],
+    caps: &CapList,
+) -> Result<Vec<RawCap>, Violation> {
+    match caps {
+        CapList::Inline { ctype, ptr, size } => {
+            let addr = eval(rt, site, params, dir, ptr)? as u64;
+            let cap = match ctype {
+                CapTypeExpr::Write => {
+                    let sz = match size {
+                        Some(e) => eval(rt, site, params, dir, e)? as u64,
+                        None => default_size(site, layouts, ptr)?,
+                    };
+                    RawCap::write(addr, sz)
+                }
+                CapTypeExpr::Call => RawCap::call(addr),
+                CapTypeExpr::Ref(tname) => {
+                    let t = rt.ref_type(tname);
+                    RawCap::reference(t, addr)
+                }
+            };
+            Ok(vec![cap])
+        }
+        CapList::Iter { func, arg } => {
+            let v = eval(rt, site, params, dir, arg)? as u64;
+            let emitted = rt.run_iterator(func, mem, v)?;
+            Ok(emitted
+                .into_iter()
+                .map(|e| match e {
+                    EmittedCap::Write { addr, size } => RawCap::write(addr, size),
+                    EmittedCap::Call { target } => RawCap::call(target),
+                    EmittedCap::Ref { rtype, value } => {
+                        let t = rt.ref_type(&rtype);
+                        RawCap::reference(t, value)
+                    }
+                })
+                .collect())
+        }
+    }
+}
+
+/// The default size `sizeof(*ptr)`: only available when the pointer
+/// expression is a bare parameter with a declared pointee type.
+fn default_size(site: &CallSite<'_>, layouts: &TypeLayouts, ptr: &Expr) -> Result<u64, Violation> {
+    let Expr::Ident(name) = ptr else {
+        return Err(Violation::BadExpression {
+            why: format!("cannot infer sizeof(*({ptr})): not a parameter"),
+        });
+    };
+    site.decl
+        .default_size_of(name, layouts)
+        .ok_or_else(|| Violation::BadExpression {
+            why: format!("no pointee type known for parameter `{name}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::Param;
+    use crate::principal::ModuleId;
+    use crate::runtime::ThreadId;
+    use lxfi_annotations::parse_fn_annotations;
+
+    fn setup() -> (Runtime, AddressSpace, TypeLayouts, ModuleId) {
+        let mut rt = Runtime::new();
+        let m = rt.register_module("e1000");
+        rt.register_thread(ThreadId(0), 0xffff_9000_0000_0000, 0x4000);
+        let mut mem = AddressSpace::new();
+        mem.map_range(0x5000, 0x2000);
+        let mut layouts = TypeLayouts::new();
+        layouts.define("spinlock_t", 8);
+        layouts.define("sk_buff", 232);
+        (rt, mem, layouts, m)
+    }
+
+    #[test]
+    fn kernel_to_module_pre_copy_grants_ref() {
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let ann = parse_fn_annotations("principal(pcidev) pre(copy(ref(struct pci_dev), pcidev))")
+            .unwrap();
+        let decl = FnDecl::new("probe", vec![Param::ptr("pcidev", "pci_dev")], ann);
+        let site = CallSite {
+            decl: &decl,
+            args: &[0x5000],
+            ret: None,
+            caller: None, // kernel
+            callee: Some((m, p)),
+        };
+        apply_actions(&mut rt, &mem, &layouts, &site, Dir::Pre).unwrap();
+        let t = rt.ref_type("struct pci_dev");
+        assert!(rt.owns(p, RawCap::reference(t, 0x5000)));
+    }
+
+    #[test]
+    fn module_to_kernel_check_requires_ownership() {
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let ann = parse_fn_annotations("pre(check(ref(struct pci_dev), pcidev))").unwrap();
+        let decl = FnDecl::new(
+            "pci_enable_device",
+            vec![Param::ptr("pcidev", "pci_dev")],
+            ann,
+        );
+        let site = CallSite {
+            decl: &decl,
+            args: &[0x5000],
+            ret: None,
+            caller: Some((m, p)),
+            callee: None,
+        };
+        let err = apply_actions(&mut rt, &mem, &layouts, &site, Dir::Pre).unwrap_err();
+        assert!(matches!(err, Violation::MissingRef { .. }));
+        let t = rt.ref_type("struct pci_dev");
+        rt.grant(p, RawCap::reference(t, 0x5000));
+        apply_actions(&mut rt, &mem, &layouts, &site, Dir::Pre).unwrap();
+    }
+
+    #[test]
+    fn post_transfer_grants_allocation_to_module() {
+        // kmalloc: post(if (return != 0) transfer(write, return, size)).
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let ann =
+            parse_fn_annotations("post(if (return != 0) transfer(write, return, size))").unwrap();
+        let decl = FnDecl::new("kmalloc", vec![Param::scalar("size")], ann);
+        let site = CallSite {
+            decl: &decl,
+            args: &[128],
+            ret: Some(0x6000),
+            caller: Some((m, p)),
+            callee: None,
+        };
+        apply_actions(&mut rt, &mem, &layouts, &site, Dir::Post).unwrap();
+        assert!(rt.owns(p, RawCap::write(0x6000, 128)));
+        assert!(!rt.owns(p, RawCap::write(0x6000, 129)));
+
+        // A failed allocation grants nothing.
+        let site2 = CallSite {
+            ret: Some(0),
+            ..site
+        };
+        let before = rt.cap_count(p);
+        apply_actions(&mut rt, &mem, &layouts, &site2, Dir::Post).unwrap();
+        assert_eq!(rt.cap_count(p), before);
+    }
+
+    #[test]
+    fn pre_transfer_strips_all_copies() {
+        // netif_rx: pre(transfer(write, skb, len)) — after handing the
+        // packet to the kernel the module must not touch it.
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let q = rt.principal_for_name(m, 0x5100);
+        let cap = RawCap::write(0x6000, 64);
+        rt.grant(p, cap);
+        rt.grant(q, cap); // another principal got a copy
+        let ann = parse_fn_annotations("pre(transfer(write, skb, 64))").unwrap();
+        let decl = FnDecl::new("netif_rx", vec![Param::ptr("skb", "sk_buff")], ann);
+        let site = CallSite {
+            decl: &decl,
+            args: &[0x6000],
+            ret: None,
+            caller: Some((m, p)),
+            callee: None,
+        };
+        apply_actions(&mut rt, &mem, &layouts, &site, Dir::Pre).unwrap();
+        assert!(!rt.owns(p, cap), "transferred away from caller");
+        assert!(!rt.owns(q, cap), "revoked from every principal (§3.3)");
+    }
+
+    #[test]
+    fn transfer_requires_source_ownership() {
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let ann = parse_fn_annotations("pre(transfer(write, skb, 64))").unwrap();
+        let decl = FnDecl::new("netif_rx", vec![Param::ptr("skb", "sk_buff")], ann);
+        let site = CallSite {
+            decl: &decl,
+            args: &[0x6000],
+            ret: None,
+            caller: Some((m, p)),
+            callee: None,
+        };
+        let err = apply_actions(&mut rt, &mem, &layouts, &site, Dir::Pre).unwrap_err();
+        assert!(
+            matches!(err, Violation::MissingWrite { .. }),
+            "a module cannot transfer capabilities it does not own"
+        );
+    }
+
+    #[test]
+    fn default_size_uses_pointee_layout() {
+        // spin_lock_init(lock): pre(copy(write, lock)) with implicit
+        // sizeof(spinlock_t).
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let ann = parse_fn_annotations("pre(check(write, lock))").unwrap();
+        let decl = FnDecl::new(
+            "spin_lock_init",
+            vec![Param::ptr("lock", "spinlock_t")],
+            ann,
+        );
+        rt.grant(p, RawCap::write(0x7000, 8));
+        let ok = CallSite {
+            decl: &decl,
+            args: &[0x7000],
+            ret: None,
+            caller: Some((m, p)),
+            callee: None,
+        };
+        apply_actions(&mut rt, &mem, &layouts, &ok, Dir::Pre).unwrap();
+        // The uid-field attack from §1: passing a pointer the module
+        // cannot write is rejected.
+        let attack = CallSite {
+            decl: &decl,
+            args: &[0x7100],
+            ret: None,
+            caller: Some((m, p)),
+            callee: None,
+        };
+        let err = apply_actions(&mut rt, &mem, &layouts, &attack, Dir::Pre).unwrap_err();
+        assert!(matches!(err, Violation::MissingWrite { .. }));
+    }
+
+    #[test]
+    fn iterator_expansion() {
+        let (mut rt, mut mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        // A two-field "sk_buff": data pointer at +0, length at +8.
+        mem.map_range(0x8000, 0x1000);
+        mem.write_word(0x8000, 0x8800).unwrap(); // skb->data
+        mem.write_word(0x8008, 96).unwrap(); // skb->len
+        rt.register_iterator(
+            "skb_caps",
+            Box::new(|mem, skb, out| {
+                out.push(EmittedCap::Write {
+                    addr: skb,
+                    size: 16,
+                });
+                let data = mem.read_word(skb).map_err(|e| e.to_string())?;
+                let len = mem.read_word(skb + 8).map_err(|e| e.to_string())?;
+                out.push(EmittedCap::Write {
+                    addr: data,
+                    size: len,
+                });
+                Ok(())
+            }),
+        );
+        let ann = parse_fn_annotations("pre(transfer(skb_caps(skb)))").unwrap();
+        let decl = FnDecl::new("ndo_start_xmit", vec![Param::ptr("skb", "sk_buff")], ann);
+        rt.grant(p, RawCap::write(0x8000, 16));
+        rt.grant(p, RawCap::write(0x8800, 96));
+        let site = CallSite {
+            decl: &decl,
+            args: &[0x8000],
+            ret: None,
+            caller: Some((m, p)),
+            callee: None,
+        };
+        apply_actions(&mut rt, &mem, &layouts, &site, Dir::Pre).unwrap();
+        assert!(!rt.owns(p, RawCap::write(0x8000, 16)));
+        assert!(!rt.owns(p, RawCap::write(0x8800, 96)));
+        // Two caps → two annotation actions recorded.
+        assert_eq!(rt.stats.count(GuardKind::AnnotationAction), 2);
+    }
+
+    #[test]
+    fn unknown_iterator_is_a_violation() {
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let ann = parse_fn_annotations("pre(transfer(mystery_caps(skb)))").unwrap();
+        let decl = FnDecl::new("f", vec![Param::ptr("skb", "sk_buff")], ann);
+        let site = CallSite {
+            decl: &decl,
+            args: &[0x8000],
+            ret: None,
+            caller: Some((m, p)),
+            callee: None,
+        };
+        let err = apply_actions(&mut rt, &mem, &layouts, &site, Dir::Pre).unwrap_err();
+        assert!(matches!(err, Violation::UnknownIterator { .. }));
+    }
+
+    #[test]
+    fn conditional_transfer_back_on_error_return() {
+        // Figure 4's probe: post(if (return < 0) transfer(ref(...), pcidev))
+        // gives the device back to the kernel when probing fails.
+        let (mut rt, mem, layouts, m) = setup();
+        let p = rt.principal_for_name(m, 0x5000);
+        let t = rt.ref_type("struct pci_dev");
+        rt.grant(p, RawCap::reference(t, 0x5000));
+        let ann =
+            parse_fn_annotations("post(if (return < 0) transfer(ref(struct pci_dev), pcidev))")
+                .unwrap();
+        let decl = FnDecl::new("probe", vec![Param::ptr("pcidev", "pci_dev")], ann);
+        // Success: keeps the REF.
+        let ok = CallSite {
+            decl: &decl,
+            args: &[0x5000],
+            ret: Some(0),
+            caller: None,
+            callee: Some((m, p)),
+        };
+        apply_actions(&mut rt, &mem, &layouts, &ok, Dir::Post).unwrap();
+        assert!(rt.owns(p, RawCap::reference(t, 0x5000)));
+        // Failure: REF transferred back (revoked from the module).
+        let fail = CallSite {
+            ret: Some((-12i64) as u64),
+            ..ok
+        };
+        apply_actions(&mut rt, &mem, &layouts, &fail, Dir::Post).unwrap();
+        assert!(!rt.owns(p, RawCap::reference(t, 0x5000)));
+    }
+}

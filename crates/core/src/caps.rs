@@ -1,0 +1,393 @@
+//! Capability representations and per-principal capability tables (§3.2, §5).
+//!
+//! Three capability types exist:
+//!
+//! - `WRITE(ptr, size)` — the principal may write any value into
+//!   `[ptr, ptr+size)` and pass interior pointers to kernel routines that
+//!   require writable memory;
+//! - `REF(t, a)` — object ownership: the principal may pass `a` to kernel
+//!   functions requiring a REF of type `t`, *without* write access;
+//! - `CALL(a)` — the principal may call or jump to address `a`.
+//!
+//! WRITE capabilities live in a hash table keyed by the address with its
+//! low 12 bits masked (§5): a range capability is inserted into every
+//! 4 KiB-aligned slot it overlaps, so a containment query touches exactly
+//! one slot and scans a short list. The paper found this faster than a
+//! balanced tree because kernel modules rarely manipulate objects larger
+//! than a page.
+
+use std::collections::{HashMap, HashSet};
+
+use lxfi_machine::Word;
+
+/// Interned REF type (e.g. `struct pci_dev`, or a synthetic type like
+/// `io_port` per Guideline 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RefTypeId(pub u32);
+
+/// A fully resolved capability type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CapType {
+    /// WRITE over a byte range.
+    Write,
+    /// CALL of a code address.
+    Call,
+    /// REF of an interned type.
+    Ref(RefTypeId),
+}
+
+/// A fully resolved capability, ready to grant / revoke / check.
+///
+/// For `Call` and `Ref` the `size` field is unused and normalized to 0 so
+/// capability identity is well-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawCap {
+    /// Capability type.
+    pub ctype: CapType,
+    /// Address / target / REF value.
+    pub addr: Word,
+    /// Byte length (WRITE only).
+    pub size: u64,
+}
+
+impl RawCap {
+    /// A WRITE capability over `[addr, addr+size)`.
+    pub fn write(addr: Word, size: u64) -> Self {
+        RawCap {
+            ctype: CapType::Write,
+            addr,
+            size,
+        }
+    }
+
+    /// A CALL capability for `target`.
+    pub fn call(target: Word) -> Self {
+        RawCap {
+            ctype: CapType::Call,
+            addr: target,
+            size: 0,
+        }
+    }
+
+    /// A REF capability of type `t` for value `a`.
+    pub fn reference(t: RefTypeId, a: Word) -> Self {
+        RawCap {
+            ctype: CapType::Ref(t),
+            addr: a,
+            size: 0,
+        }
+    }
+}
+
+const SLOT_SHIFT: u32 = 12;
+
+/// WRITE-capability table: ranges hashed under 12-bit-masked keys.
+#[derive(Debug, Default, Clone)]
+pub struct WriteTable {
+    slots: HashMap<u64, Vec<(Word, u64)>>,
+    /// Number of live (addr, size) grants — slot entries are replicas.
+    entries: usize,
+}
+
+impl WriteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot_range(addr: Word, size: u64) -> std::ops::RangeInclusive<u64> {
+        let first = addr >> SLOT_SHIFT;
+        let last = if size == 0 {
+            first
+        } else {
+            (addr + (size - 1)) >> SLOT_SHIFT
+        };
+        first..=last
+    }
+
+    /// Grants `[addr, addr+size)`. Duplicate grants are idempotent.
+    pub fn grant(&mut self, addr: Word, size: u64) {
+        if size == 0 {
+            return;
+        }
+        if self.owns_exact(addr, size) {
+            return;
+        }
+        for s in Self::slot_range(addr, size) {
+            self.slots.entry(s).or_default().push((addr, size));
+        }
+        self.entries += 1;
+    }
+
+    /// Revokes the exact capability `(addr, size)`; returns whether it was
+    /// present.
+    pub fn revoke(&mut self, addr: Word, size: u64) -> bool {
+        if size == 0 || !self.owns_exact(addr, size) {
+            return false;
+        }
+        for s in Self::slot_range(addr, size) {
+            if let Some(v) = self.slots.get_mut(&s) {
+                v.retain(|&(a, l)| !(a == addr && l == size));
+                if v.is_empty() {
+                    self.slots.remove(&s);
+                }
+            }
+        }
+        self.entries -= 1;
+        true
+    }
+
+    /// Revokes every capability whose range intersects `[addr, addr+size)`.
+    /// Returns the number of capabilities removed. Used when freeing
+    /// memory must strip *all* residual access.
+    pub fn revoke_overlapping(&mut self, addr: Word, size: u64) -> usize {
+        if size == 0 {
+            return 0;
+        }
+        let end = addr + size;
+        // Collect victims from the slots the query range covers; a
+        // capability overlapping the query necessarily appears in one of
+        // those slots (it overlaps a page the query overlaps).
+        let mut victims: HashSet<(Word, u64)> = HashSet::new();
+        for s in Self::slot_range(addr, size) {
+            if let Some(v) = self.slots.get(&s) {
+                for &(a, l) in v {
+                    if a < end && addr < a + l {
+                        victims.insert((a, l));
+                    }
+                }
+            }
+        }
+        for &(a, l) in &victims {
+            self.revoke(a, l);
+        }
+        victims.len()
+    }
+
+    /// True if the exact capability `(addr, size)` is present.
+    pub fn owns_exact(&self, addr: Word, size: u64) -> bool {
+        if size == 0 {
+            return false;
+        }
+        self.slots
+            .get(&(addr >> SLOT_SHIFT))
+            .is_some_and(|v| v.iter().any(|&(a, l)| a == addr && l == size))
+    }
+
+    /// True if any capability intersects `[addr, addr+len)`.
+    pub fn overlaps(&self, addr: Word, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let end = addr.saturating_add(len);
+        Self::slot_range(addr, len).any(|s| {
+            self.slots
+                .get(&s)
+                .is_some_and(|v| v.iter().any(|&(a, l)| a < end && addr < a + l))
+        })
+    }
+
+    /// True if some single capability covers all of `[addr, addr+len)`.
+    pub fn covers(&self, addr: Word, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        self.slots
+            .get(&(addr >> SLOT_SHIFT))
+            .is_some_and(|v| v.iter().any(|&(a, l)| a <= addr && end <= a + l))
+    }
+
+    /// Number of live capabilities.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no capability is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Iterates over live `(addr, size)` grants (deduplicated).
+    pub fn iter(&self) -> impl Iterator<Item = (Word, u64)> + '_ {
+        let mut seen = HashSet::new();
+        self.slots
+            .values()
+            .flatten()
+            .copied()
+            .filter(move |e| seen.insert(*e))
+    }
+}
+
+/// All capabilities of one principal.
+#[derive(Debug, Default, Clone)]
+pub struct CapSet {
+    /// WRITE capabilities.
+    pub write: WriteTable,
+    /// CALL capabilities (hashed by target address, §5).
+    pub call: HashSet<Word>,
+    /// REF capabilities (hashed by referred address, §5).
+    pub refs: HashSet<(RefTypeId, Word)>,
+}
+
+impl CapSet {
+    /// Creates an empty capability set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants a capability.
+    pub fn grant(&mut self, cap: RawCap) {
+        match cap.ctype {
+            CapType::Write => self.write.grant(cap.addr, cap.size),
+            CapType::Call => {
+                self.call.insert(cap.addr);
+            }
+            CapType::Ref(t) => {
+                self.refs.insert((t, cap.addr));
+            }
+        }
+    }
+
+    /// Revokes a capability; returns whether it was present.
+    pub fn revoke(&mut self, cap: RawCap) -> bool {
+        match cap.ctype {
+            CapType::Write => self.write.revoke(cap.addr, cap.size),
+            CapType::Call => self.call.remove(&cap.addr),
+            CapType::Ref(t) => self.refs.remove(&(t, cap.addr)),
+        }
+    }
+
+    /// Ownership test. For WRITE this is *coverage*: a single held range
+    /// must contain `[addr, addr+size)` (so a capability for a whole slab
+    /// object satisfies a check on an interior field).
+    pub fn owns(&self, cap: RawCap) -> bool {
+        match cap.ctype {
+            CapType::Write => self.write.covers(cap.addr, cap.size),
+            CapType::Call => self.call.contains(&cap.addr),
+            CapType::Ref(t) => self.refs.contains(&(t, cap.addr)),
+        }
+    }
+
+    /// Total number of capabilities (diagnostics).
+    pub fn len(&self) -> usize {
+        self.write.len() + self.call.len() + self.refs.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_grant_covers_interior() {
+        let mut t = WriteTable::new();
+        t.grant(0x1000, 256);
+        assert!(t.covers(0x1000, 256));
+        assert!(t.covers(0x1010, 16));
+        assert!(t.covers(0x10ff, 1));
+        assert!(!t.covers(0x1000, 257));
+        assert!(!t.covers(0xfff, 2));
+        assert!(!t.covers(0x1100, 1));
+    }
+
+    #[test]
+    fn write_cross_page_range_found_from_any_slot() {
+        let mut t = WriteTable::new();
+        // A 3-page capability: queries anywhere inside must hit.
+        t.grant(0x1800, 0x3000);
+        assert!(t.covers(0x1800, 8));
+        assert!(t.covers(0x2000, 8));
+        assert!(t.covers(0x3000, 8));
+        assert!(t.covers(0x47f8, 8));
+        assert!(!t.covers(0x4800, 1));
+    }
+
+    #[test]
+    fn revoke_exact_removes_all_replicas() {
+        let mut t = WriteTable::new();
+        t.grant(0x1800, 0x3000);
+        assert!(t.revoke(0x1800, 0x3000));
+        assert!(!t.covers(0x2000, 8));
+        assert_eq!(t.len(), 0);
+        assert!(!t.revoke(0x1800, 0x3000), "double revoke is false");
+    }
+
+    #[test]
+    fn grant_is_idempotent() {
+        let mut t = WriteTable::new();
+        t.grant(0x1000, 64);
+        t.grant(0x1000, 64);
+        assert_eq!(t.len(), 1);
+        assert!(t.revoke(0x1000, 64));
+        assert!(!t.covers(0x1000, 1));
+    }
+
+    #[test]
+    fn revoke_overlapping_strips_partial_ranges() {
+        let mut t = WriteTable::new();
+        t.grant(0x1000, 64);
+        t.grant(0x1040, 64);
+        t.grant(0x2000, 64);
+        // Freeing [0x1000, 0x1080) kills the first two only.
+        assert_eq!(t.revoke_overlapping(0x1000, 0x80), 2);
+        assert!(!t.covers(0x1000, 1));
+        assert!(!t.covers(0x1040, 1));
+        assert!(t.covers(0x2000, 64));
+    }
+
+    #[test]
+    fn zero_length_checks_are_trivially_true() {
+        let t = WriteTable::new();
+        assert!(t.covers(0x1234, 0));
+    }
+
+    #[test]
+    fn overflow_range_rejected() {
+        let mut t = WriteTable::new();
+        t.grant(u64::MAX - 8, 8);
+        assert!(!t.covers(u64::MAX - 4, 8), "overflowing query is false");
+    }
+
+    #[test]
+    fn capset_call_and_ref() {
+        let mut s = CapSet::new();
+        s.grant(RawCap::call(0xf000));
+        s.grant(RawCap::reference(RefTypeId(3), 0x9000));
+        assert!(s.owns(RawCap::call(0xf000)));
+        assert!(!s.owns(RawCap::call(0xf008)));
+        assert!(s.owns(RawCap::reference(RefTypeId(3), 0x9000)));
+        assert!(
+            !s.owns(RawCap::reference(RefTypeId(4), 0x9000)),
+            "REF identity includes the type"
+        );
+        assert!(s.revoke(RawCap::call(0xf000)));
+        assert!(!s.owns(RawCap::call(0xf000)));
+    }
+
+    #[test]
+    fn ref_does_not_imply_write() {
+        let mut s = CapSet::new();
+        s.grant(RawCap::reference(RefTypeId(0), 0x9000));
+        assert!(
+            !s.owns(RawCap::write(0x9000, 8)),
+            "REF grants ownership, not write access (§3.2)"
+        );
+    }
+
+    #[test]
+    fn iter_deduplicates_replicas() {
+        let mut t = WriteTable::new();
+        t.grant(0x1800, 0x3000);
+        t.grant(0x1000, 8);
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all.len(), 2);
+    }
+}

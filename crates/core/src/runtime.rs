@@ -1,0 +1,760 @@
+//! The LXFI runtime façade (§5): principals, capability operations,
+//! control-transfer interposition, writer-set-accelerated indirect-call
+//! checks, and guard accounting.
+
+use std::collections::HashMap;
+
+use lxfi_machine::{AddressSpace, Word};
+
+use crate::caps::{CapSet, CapType, RawCap, RefTypeId};
+use crate::principal::{ModuleId, ModuleInfo, PrincipalId, PrincipalKind};
+use crate::shadow::{PrincipalCtx, ShadowStack};
+use crate::stats::{GuardCosts, GuardKind, GuardStats};
+use crate::writer_set::WriterMap;
+use crate::Violation;
+
+/// Identifies a kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadId(pub u32);
+
+/// A capability emitted by a programmer-supplied capability iterator
+/// (§3.3). REF types are named; the runtime interns them on application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmittedCap {
+    /// WRITE over a range.
+    Write {
+        /// Range start.
+        addr: Word,
+        /// Range length.
+        size: u64,
+    },
+    /// CALL of a target.
+    Call {
+        /// Call target.
+        target: Word,
+    },
+    /// REF of a named type.
+    Ref {
+        /// Type name.
+        rtype: String,
+        /// Referred value.
+        value: Word,
+    },
+}
+
+/// A capability iterator: walks a data structure in simulated memory and
+/// emits the capabilities it contains (e.g. `skb_caps` emits the sk_buff
+/// header and its payload buffer).
+pub type IteratorFn =
+    Box<dyn Fn(&AddressSpace, Word, &mut Vec<EmittedCap>) -> Result<(), String> + Send + Sync>;
+
+#[derive(Debug)]
+struct Principal {
+    module: ModuleId,
+    kind: PrincipalKind,
+    caps: CapSet,
+}
+
+/// Metadata for a registered function address.
+#[derive(Debug, Clone)]
+pub struct FnMeta {
+    /// Symbol name.
+    pub name: String,
+    /// Annotation hash (`ahash`).
+    pub ahash: u64,
+    /// Owning module (`None` = core kernel).
+    pub module: Option<ModuleId>,
+}
+
+/// The LXFI runtime state.
+pub struct Runtime {
+    principals: Vec<Principal>,
+    modules: Vec<ModuleInfo>,
+    threads: HashMap<ThreadId, ShadowStack>,
+    thread_stacks: HashMap<ThreadId, (Word, u64)>,
+    writer_map: WriterMap,
+    ref_types: Vec<String>,
+    ref_type_ids: HashMap<String, RefTypeId>,
+    iterators: HashMap<String, IteratorFn>,
+    fn_registry: HashMap<Word, FnMeta>,
+    consts: HashMap<String, i64>,
+    /// Guard counters (public: benches read and reset them).
+    pub stats: GuardStats,
+    /// Deterministic guard costs.
+    pub costs: GuardCosts,
+    /// Ablation switch: when false, every kernel indirect call takes the
+    /// full capability-check slow path even when the writer-set bitmap
+    /// proves the slot clean. Used to quantify how much the writer-set
+    /// optimization (§5) saves; always true in normal operation.
+    pub writer_fastpath: bool,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        Runtime {
+            principals: Vec::new(),
+            modules: Vec::new(),
+            threads: HashMap::new(),
+            thread_stacks: HashMap::new(),
+            writer_map: WriterMap::new(),
+            ref_types: Vec::new(),
+            ref_type_ids: HashMap::new(),
+            iterators: HashMap::new(),
+            fn_registry: HashMap::new(),
+            consts: HashMap::new(),
+            stats: GuardStats::new(),
+            costs: GuardCosts::default(),
+            writer_fastpath: true,
+        }
+    }
+
+    // ------------------------------------------------------------ modules
+
+    /// Registers a module, creating its shared and global principals.
+    pub fn register_module(&mut self, name: &str) -> ModuleId {
+        let mid = ModuleId(self.modules.len() as u32);
+        let shared = self.new_principal(mid, PrincipalKind::Shared);
+        let global = self.new_principal(mid, PrincipalKind::Global);
+        self.modules
+            .push(ModuleInfo::new(name.to_string(), shared, global));
+        mid
+    }
+
+    fn new_principal(&mut self, module: ModuleId, kind: PrincipalKind) -> PrincipalId {
+        let id = PrincipalId(self.principals.len() as u32);
+        self.principals.push(Principal {
+            module,
+            kind,
+            caps: CapSet::new(),
+        });
+        id
+    }
+
+    /// Module bookkeeping (name map, principals).
+    pub fn module(&self, id: ModuleId) -> &ModuleInfo {
+        &self.modules[id.0 as usize]
+    }
+
+    /// Number of registered modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The module's shared principal.
+    pub fn shared_principal(&self, id: ModuleId) -> PrincipalId {
+        self.modules[id.0 as usize].shared
+    }
+
+    /// The module's global principal.
+    pub fn global_principal(&self, id: ModuleId) -> PrincipalId {
+        self.modules[id.0 as usize].global
+    }
+
+    /// The kind of a principal.
+    pub fn principal_kind(&self, p: PrincipalId) -> PrincipalKind {
+        self.principals[p.0 as usize].kind
+    }
+
+    /// The module a principal belongs to.
+    pub fn principal_module(&self, p: PrincipalId) -> ModuleId {
+        self.principals[p.0 as usize].module
+    }
+
+    // --------------------------------------------------- principal naming
+
+    /// Resolves the principal named by pointer `name`, creating a fresh
+    /// instance principal on first use (a module invocation with a
+    /// `principal(ptr)` annotation is the instance's birth).
+    pub fn principal_for_name(&mut self, module: ModuleId, name: Word) -> PrincipalId {
+        if let Some(p) = self.modules[module.0 as usize].lookup_name(name) {
+            return p;
+        }
+        let p = self.new_principal(module, PrincipalKind::Instance);
+        let m = &mut self.modules[module.0 as usize];
+        m.instances.push(p);
+        m.names.insert(name, p);
+        p
+    }
+
+    /// `lxfi_princ_alias(existing, new)` (§3.3): binds `new_name` to the
+    /// principal already named `existing_name`. The module code must have
+    /// performed an adequate check before calling this (§3.4); the runtime
+    /// additionally refuses to alias names the module has never seen.
+    pub fn princ_alias(
+        &mut self,
+        module: ModuleId,
+        existing_name: Word,
+        new_name: Word,
+    ) -> Result<(), Violation> {
+        let m = &self.modules[module.0 as usize];
+        let p = m
+            .lookup_name(existing_name)
+            .ok_or_else(|| Violation::PrincipalDenied {
+                why: format!("no principal named {existing_name:#x} in module {}", m.name),
+            })?;
+        let m = &mut self.modules[module.0 as usize];
+        if let Some(prev) = m.names.get(&new_name) {
+            if *prev != p {
+                return Err(Violation::PrincipalDenied {
+                    why: format!("name {new_name:#x} already bound to a different principal"),
+                });
+            }
+            return Ok(());
+        }
+        m.names.insert(new_name, p);
+        Ok(())
+    }
+
+    // ------------------------------------------------------- capabilities
+
+    /// Interns a REF type name.
+    pub fn ref_type(&mut self, name: &str) -> RefTypeId {
+        if let Some(&id) = self.ref_type_ids.get(name) {
+            return id;
+        }
+        let id = RefTypeId(self.ref_types.len() as u32);
+        self.ref_types.push(name.to_string());
+        self.ref_type_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name of an interned REF type.
+    pub fn ref_type_name(&self, id: RefTypeId) -> &str {
+        &self.ref_types[id.0 as usize]
+    }
+
+    /// Grants a capability to a principal. WRITE grants mark the
+    /// writer-set map (§5).
+    pub fn grant(&mut self, p: PrincipalId, cap: RawCap) {
+        if cap.ctype == CapType::Write {
+            self.writer_map.mark(cap.addr, cap.size);
+        }
+        self.principals[p.0 as usize].caps.grant(cap);
+    }
+
+    /// Revokes a capability from one principal.
+    pub fn revoke(&mut self, p: PrincipalId, cap: RawCap) -> bool {
+        self.principals[p.0 as usize].caps.revoke(cap)
+    }
+
+    /// Revokes a capability from **every** principal in the system —
+    /// `transfer` semantics (§3.3): no stale copies survive.
+    pub fn revoke_everywhere(&mut self, cap: RawCap) {
+        for p in &mut self.principals {
+            p.caps.revoke(cap);
+        }
+    }
+
+    /// Revokes all WRITE capabilities overlapping `[addr, addr+size)` from
+    /// every principal (used by `kfree`: freed memory must have no
+    /// outstanding capabilities).
+    pub fn revoke_write_overlapping_everywhere(&mut self, addr: Word, size: u64) {
+        for p in &mut self.principals {
+            p.caps.write.revoke_overlapping(addr, size);
+        }
+    }
+
+    /// Ownership test with the principal-hierarchy semantics of §3.1:
+    /// an instance principal falls back to the module's shared principal;
+    /// the global principal owns anything any principal of its module
+    /// owns.
+    pub fn owns(&self, p: PrincipalId, cap: RawCap) -> bool {
+        let pr = &self.principals[p.0 as usize];
+        match pr.kind {
+            PrincipalKind::Shared => pr.caps.owns(cap),
+            PrincipalKind::Instance => {
+                pr.caps.owns(cap) || {
+                    let shared = self.modules[pr.module.0 as usize].shared;
+                    self.principals[shared.0 as usize].caps.owns(cap)
+                }
+            }
+            PrincipalKind::Global => {
+                let m = &self.modules[pr.module.0 as usize];
+                m.all_principals()
+                    .any(|q| self.principals[q.0 as usize].caps.owns(cap))
+            }
+        }
+    }
+
+    /// Ownership test for an optional principal context (`None` = the
+    /// trusted core kernel, which owns everything).
+    pub fn ctx_owns(&self, ctx: PrincipalCtx, cap: RawCap) -> bool {
+        match ctx {
+            None => true,
+            Some((_, p)) => self.owns(p, cap),
+        }
+    }
+
+    /// Number of capabilities a principal holds directly (diagnostics).
+    pub fn cap_count(&self, p: PrincipalId) -> usize {
+        self.principals[p.0 as usize].caps.len()
+    }
+
+    // ------------------------------------------------------------ threads
+
+    /// Registers a kernel thread and its stack range (the module receives
+    /// implicit WRITE access to the current kernel stack, §3.2).
+    pub fn register_thread(&mut self, t: ThreadId, stack_base: Word, stack_len: u64) {
+        self.threads.insert(t, ShadowStack::new());
+        self.thread_stacks.insert(t, (stack_base, stack_len));
+    }
+
+    /// The thread's shadow stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread was never registered.
+    pub fn thread(&mut self, t: ThreadId) -> &mut ShadowStack {
+        self.threads.get_mut(&t).expect("thread registered")
+    }
+
+    /// The current principal context of a thread.
+    pub fn current(&self, t: ThreadId) -> PrincipalCtx {
+        self.threads.get(&t).and_then(|s| s.current())
+    }
+
+    /// Wrapper entry: records the FunctionEntry guard, saves context on
+    /// the shadow stack, switches to `new`.
+    pub fn wrapper_enter(&mut self, t: ThreadId, new: PrincipalCtx) -> Word {
+        let c = self.costs.function_entry;
+        self.stats.record(GuardKind::FunctionEntry, c);
+        self.thread(t).push(new)
+    }
+
+    /// Wrapper exit: records the FunctionExit guard, validates the return
+    /// token, restores the saved context.
+    pub fn wrapper_exit(&mut self, t: ThreadId, token: Word) -> Result<(), Violation> {
+        let c = self.costs.function_exit;
+        self.stats.record(GuardKind::FunctionExit, c);
+        self.thread(t).pop(token)
+    }
+
+    // ------------------------------------------------------------- guards
+
+    /// Memory-write guard (§4.2): the current principal must hold WRITE
+    /// coverage of `[addr, addr+len)`, or the write must fall inside the
+    /// current thread's kernel stack.
+    pub fn check_write(&mut self, t: ThreadId, addr: Word, len: u64) -> Result<(), Violation> {
+        let c = self.costs.mem_write;
+        self.stats.record(GuardKind::MemWrite, c);
+        let ctx = self.current(t);
+        let Some((_m, p)) = ctx else {
+            return Ok(()); // Kernel context: trusted.
+        };
+        if let Some(&(base, slen)) = self.thread_stacks.get(&t) {
+            if addr >= base && addr + len <= base + slen {
+                return Ok(());
+            }
+        }
+        if self.owns(p, RawCap::write(addr, len)) {
+            Ok(())
+        } else {
+            Err(Violation::MissingWrite {
+                principal: p,
+                addr,
+                len,
+            })
+        }
+    }
+
+    /// Module-level CALL guard: the current principal must hold a CALL
+    /// capability for `target`.
+    pub fn check_call(&mut self, t: ThreadId, target: Word) -> Result<(), Violation> {
+        let ctx = self.current(t);
+        let Some((_m, p)) = ctx else {
+            return Ok(());
+        };
+        if self.owns(p, RawCap::call(target)) {
+            Ok(())
+        } else {
+            Err(Violation::MissingCall {
+                principal: p,
+                target,
+            })
+        }
+    }
+
+    // ---------------------------------------------------------- functions
+
+    /// Registers a function address with its annotation hash.
+    pub fn register_function(&mut self, addr: Word, meta: FnMeta) {
+        self.fn_registry.insert(addr, meta);
+    }
+
+    /// Looks up a registered function.
+    pub fn function_at(&self, addr: Word) -> Option<&FnMeta> {
+        self.fn_registry.get(&addr)
+    }
+
+    /// Principals (from any module) holding WRITE coverage of `addr`
+    /// (the slow path of writer-set tracking: traverses the global
+    /// principal list, §5).
+    pub fn writers_of(&self, addr: Word) -> Vec<PrincipalId> {
+        self.principals
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.caps.write.covers(addr, 8))
+            .map(|(i, _)| PrincipalId(i as u32))
+            .collect()
+    }
+
+    /// `lxfi_check_indcall(pptr, ahash)` (§4.1): validates a kernel
+    /// indirect call through the function-pointer slot at `slot` whose
+    /// declared pointer type hashes to `sig_hash`. `target` is the value
+    /// currently stored in the slot.
+    ///
+    /// Fast path: if the writer-set bitmap proves no module was ever
+    /// granted WRITE over the slot, the call is kernel-authored and needs
+    /// no capability check.
+    pub fn check_indcall(
+        &mut self,
+        slot: Word,
+        target: Word,
+        sig_hash: u64,
+    ) -> Result<(), Violation> {
+        if self.writer_fastpath && !self.writer_map.maybe_written(slot) {
+            let c = self.costs.ind_call_fast;
+            self.stats.record(GuardKind::KernelIndCall, c);
+            return Ok(());
+        }
+        // Past the bitmap: the global principal-list traversal runs, so
+        // the slow-path cost applies even when it finds no writers (a
+        // benign bitmap false positive, §5).
+        let c = self.costs.ind_call_slow;
+        self.stats.record(GuardKind::KernelIndCall, c);
+        let writers = self.writers_of(slot);
+        if writers.is_empty() {
+            return Ok(());
+        }
+        // First check (§4.1): every writer principal must hold a CALL
+        // capability for the target. This is what rejects user-space
+        // targets and un-imported kernel functions like `detach_pid`.
+        for w in &writers {
+            let module = self.principals[w.0 as usize].module;
+            self.stats.record_indcall_module(module, c);
+            if !self.owns(*w, RawCap::call(target)) {
+                return Err(Violation::IndCallUnauthorized {
+                    slot,
+                    target,
+                    writer: *w,
+                });
+            }
+        }
+        // Second check (§4.1): the annotations of the stored function and
+        // of the function-pointer type must match, so a module cannot
+        // launder a function through a differently-annotated slot.
+        let meta = self
+            .fn_registry
+            .get(&target)
+            .cloned()
+            .ok_or(Violation::NotAFunction { target })?;
+        if meta.ahash != sig_hash {
+            return Err(Violation::AnnotationMismatch {
+                sig_hash,
+                fn_hash: meta.ahash,
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------ writer tracking
+
+    /// Notes that `[addr, addr+len)` was zeroed (allocator or kernel
+    /// `memset`): writer-set bits clear unless a principal still holds
+    /// WRITE coverage.
+    pub fn note_zeroed(&mut self, addr: Word, len: u64) {
+        // A granule stays marked while any principal holds WRITE coverage
+        // of any byte in it (clearing would be a false negative).
+        let principals = &self.principals;
+        self.writer_map.clear_zeroed(addr, len, |granule| {
+            principals
+                .iter()
+                .any(|p| p.caps.write.overlaps(granule, 64))
+        });
+    }
+
+    /// Direct writer-map marking (used when a module is loaded: its
+    /// writable sections may contain function pointers the kernel will
+    /// invoke, §5).
+    pub fn mark_written(&mut self, addr: Word, len: u64) {
+        self.writer_map.mark(addr, len);
+    }
+
+    /// True if the writer-set fast path would skip checks for `addr`.
+    pub fn writer_clean(&self, addr: Word) -> bool {
+        !self.writer_map.maybe_written(addr)
+    }
+
+    // ---------------------------------------------------------- iterators
+
+    /// Registers a capability iterator under `name`.
+    pub fn register_iterator(&mut self, name: &str, f: IteratorFn) {
+        self.iterators.insert(name.to_string(), f);
+    }
+
+    /// Runs a registered iterator.
+    pub fn run_iterator(
+        &self,
+        name: &str,
+        mem: &AddressSpace,
+        arg: Word,
+    ) -> Result<Vec<EmittedCap>, Violation> {
+        let f = self
+            .iterators
+            .get(name)
+            .ok_or_else(|| Violation::UnknownIterator {
+                name: name.to_string(),
+            })?;
+        let mut out = Vec::new();
+        f(mem, arg, &mut out).map_err(|why| Violation::IteratorFailed {
+            name: name.to_string(),
+            why,
+        })?;
+        Ok(out)
+    }
+
+    /// Number of registered iterators (annotation census, §8.2).
+    pub fn iterator_count(&self) -> usize {
+        self.iterators.len()
+    }
+
+    // ------------------------------------------------------------- consts
+
+    /// Defines a named kernel constant usable in annotation expressions.
+    pub fn define_const(&mut self, name: &str, value: i64) {
+        self.consts.insert(name.to_string(), value);
+    }
+
+    /// The constant table (for expression evaluation).
+    pub fn consts(&self) -> &HashMap<String, i64> {
+        &self.consts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_with_module() -> (Runtime, ModuleId) {
+        let mut rt = Runtime::new();
+        let m = rt.register_module("econet");
+        rt.register_thread(ThreadId(0), 0xffff_9000_0000_0000, 0x4000);
+        (rt, m)
+    }
+
+    #[test]
+    fn shared_caps_visible_to_instances() {
+        let (mut rt, m) = rt_with_module();
+        let shared = rt.shared_principal(m);
+        rt.grant(shared, RawCap::call(0xf000));
+        let inst = rt.principal_for_name(m, 0x9000);
+        assert!(rt.owns(inst, RawCap::call(0xf000)));
+        assert!(rt.owns(shared, RawCap::call(0xf000)));
+    }
+
+    #[test]
+    fn instance_caps_isolated_from_each_other() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let b = rt.principal_for_name(m, 0xa000);
+        rt.grant(a, RawCap::write(0x5000, 64));
+        assert!(rt.owns(a, RawCap::write(0x5000, 64)));
+        assert!(
+            !rt.owns(b, RawCap::write(0x5000, 64)),
+            "instance B must not see instance A's capabilities (§3.1)"
+        );
+    }
+
+    #[test]
+    fn global_principal_unions_all_instances() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        rt.grant(a, RawCap::write(0x5000, 64));
+        let g = rt.global_principal(m);
+        assert!(rt.owns(g, RawCap::write(0x5000, 64)));
+        assert!(!rt.owns(g, RawCap::write(0x6000, 64)));
+    }
+
+    #[test]
+    fn global_of_other_module_sees_nothing() {
+        let (mut rt, m) = rt_with_module();
+        let m2 = rt.register_module("rds");
+        let a = rt.principal_for_name(m, 0x9000);
+        rt.grant(a, RawCap::write(0x5000, 64));
+        let g2 = rt.global_principal(m2);
+        assert!(!rt.owns(g2, RawCap::write(0x5000, 64)));
+    }
+
+    #[test]
+    fn names_are_stable_and_aliasable() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let a2 = rt.principal_for_name(m, 0x9000);
+        assert_eq!(a, a2);
+        rt.princ_alias(m, 0x9000, 0xb000).unwrap();
+        assert_eq!(rt.principal_for_name(m, 0xb000), a);
+        // Aliasing an unknown name is denied.
+        let err = rt.princ_alias(m, 0xdead, 0xc000).unwrap_err();
+        assert!(matches!(err, Violation::PrincipalDenied { .. }));
+        // Rebinding an existing name to a different principal is denied.
+        let _b = rt.principal_for_name(m, 0xcafe);
+        let err = rt.princ_alias(m, 0xcafe, 0x9000).unwrap_err();
+        assert!(matches!(err, Violation::PrincipalDenied { .. }));
+    }
+
+    #[test]
+    fn transfer_revokes_from_every_principal() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let b = rt.principal_for_name(m, 0xa000);
+        let cap = RawCap::write(0x5000, 64);
+        rt.grant(a, cap);
+        rt.grant(b, cap);
+        rt.revoke_everywhere(cap);
+        assert!(!rt.owns(a, cap));
+        assert!(!rt.owns(b, cap));
+    }
+
+    #[test]
+    fn check_write_in_kernel_context_is_free() {
+        let (mut rt, _m) = rt_with_module();
+        rt.check_write(ThreadId(0), 0x1234, 8).unwrap();
+    }
+
+    #[test]
+    fn check_write_module_requires_capability() {
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        let t = ThreadId(0);
+        rt.thread(t).set_current(Some((m, p)));
+        let err = rt.check_write(t, 0x5000, 8).unwrap_err();
+        assert!(matches!(err, Violation::MissingWrite { .. }));
+        rt.grant(p, RawCap::write(0x5000, 64));
+        rt.check_write(t, 0x5000, 8).unwrap();
+        rt.check_write(t, 0x5038, 8).unwrap();
+        assert!(rt.check_write(t, 0x5040, 8).is_err());
+    }
+
+    #[test]
+    fn kernel_stack_writes_always_allowed() {
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        let t = ThreadId(0);
+        rt.thread(t).set_current(Some((m, p)));
+        rt.check_write(t, 0xffff_9000_0000_0100, 16).unwrap();
+        assert!(rt.check_write(t, 0xffff_9000_0000_4000, 8).is_err());
+    }
+
+    #[test]
+    fn indcall_fast_path_when_slot_clean() {
+        let (mut rt, _m) = rt_with_module();
+        rt.check_indcall(0x7000, 0xdead_beef, 42).unwrap();
+        assert_eq!(rt.stats.count(GuardKind::KernelIndCall), 1);
+    }
+
+    #[test]
+    fn indcall_rejects_user_space_target() {
+        // The RDS exploit: the slot is module-writable and points into
+        // user space; the writer has no CALL capability for that address.
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        rt.grant(p, RawCap::write(0x7000, 8));
+        let err = rt.check_indcall(0x7000, 0x0000_1000, 42).unwrap_err();
+        assert!(matches!(err, Violation::IndCallUnauthorized { .. }));
+    }
+
+    #[test]
+    fn indcall_rejects_unregistered_target_even_with_call_cap() {
+        // Defense in depth: a CALL capability for a non-function address
+        // still fails the registry lookup.
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        rt.grant(p, RawCap::write(0x7000, 8));
+        rt.grant(p, RawCap::call(0x0000_1000));
+        let err = rt.check_indcall(0x7000, 0x0000_1000, 42).unwrap_err();
+        assert!(matches!(err, Violation::NotAFunction { .. }));
+    }
+
+    #[test]
+    fn indcall_rejects_annotation_mismatch() {
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        rt.grant(p, RawCap::write(0x7000, 8));
+        rt.grant(p, RawCap::call(0xf000));
+        rt.register_function(
+            0xf000,
+            FnMeta {
+                name: "my_xmit".into(),
+                ahash: 7,
+                module: Some(m),
+            },
+        );
+        let err = rt.check_indcall(0x7000, 0xf000, 8).unwrap_err();
+        assert!(matches!(err, Violation::AnnotationMismatch { .. }));
+        rt.check_indcall(0x7000, 0xf000, 7).unwrap();
+    }
+
+    #[test]
+    fn indcall_rejects_writer_without_call_cap() {
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        rt.grant(p, RawCap::write(0x7000, 8));
+        rt.register_function(
+            0xf000,
+            FnMeta {
+                name: "detach_pid".into(),
+                ahash: 7,
+                module: None,
+            },
+        );
+        let err = rt.check_indcall(0x7000, 0xf000, 7).unwrap_err();
+        assert!(matches!(err, Violation::IndCallUnauthorized { .. }));
+    }
+
+    #[test]
+    fn note_zeroed_restores_fast_path() {
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        let cap = RawCap::write(0x7000, 64);
+        rt.grant(p, cap);
+        assert!(!rt.writer_clean(0x7000));
+        // While the capability is held, zeroing must NOT clean the slot.
+        rt.note_zeroed(0x7000, 64);
+        assert!(!rt.writer_clean(0x7000));
+        rt.revoke(p, cap);
+        rt.note_zeroed(0x7000, 64);
+        assert!(rt.writer_clean(0x7000));
+        rt.check_indcall(0x7000, 0x1, 0).unwrap();
+    }
+
+    #[test]
+    fn wrapper_tokens_validate() {
+        let (mut rt, m) = rt_with_module();
+        let p = rt.principal_for_name(m, 0x9000);
+        let t = ThreadId(0);
+        let tok = rt.wrapper_enter(t, Some((m, p)));
+        assert_eq!(rt.current(t), Some((m, p)));
+        rt.wrapper_exit(t, tok).unwrap();
+        assert_eq!(rt.current(t), None);
+        assert_eq!(rt.stats.count(GuardKind::FunctionEntry), 1);
+        assert_eq!(rt.stats.count(GuardKind::FunctionExit), 1);
+    }
+
+    #[test]
+    fn ref_types_intern_stably() {
+        let mut rt = Runtime::new();
+        let a = rt.ref_type("struct pci_dev");
+        let b = rt.ref_type("struct pci_dev");
+        let c = rt.ref_type("io_port");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(rt.ref_type_name(a), "struct pci_dev");
+    }
+}

@@ -1,0 +1,168 @@
+//! Writer-set tracking (§4.1, §5) — the indirect-call fast path.
+//!
+//! Before the core kernel invokes a function pointer, LXFI must know
+//! whether any module principal could have written the pointer slot since
+//! it was last zeroed. The common case is "no" (the slot was only ever
+//! written by the kernel), and must be cheap.
+//!
+//! The structure mirrors the paper's: a page-table-like map whose leaves
+//! are bitmaps, one bit per 64-byte granule, meaning "some principal has
+//! been *granted WRITE* over this granule since it was last zeroed". A
+//! clear bit proves the writer set is empty (no false negatives); a set
+//! bit sends the check down the slow path, which walks the global
+//! principal list asking who actually holds WRITE coverage — set bits for
+//! granules nobody can write anymore are benign false positives.
+
+use std::collections::HashMap;
+
+use lxfi_machine::Word;
+
+const GRANULE_SHIFT: u32 = 6; // 64-byte granules
+const PAGE_SHIFT: u32 = 12;
+const GRANULES_PER_PAGE: u64 = 1 << (PAGE_SHIFT - GRANULE_SHIFT); // 64
+
+/// The "maybe written by a module" bitmap.
+#[derive(Debug, Default)]
+pub struct WriterMap {
+    pages: HashMap<u64, u64>,
+}
+
+impl WriterMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn split(addr: Word) -> (u64, u64) {
+        let page = addr >> PAGE_SHIFT;
+        let granule = (addr >> GRANULE_SHIFT) & (GRANULES_PER_PAGE - 1);
+        (page, granule)
+    }
+
+    /// Marks `[addr, addr+len)` as possibly module-written (called on
+    /// every WRITE-capability grant).
+    pub fn mark(&mut self, addr: Word, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut g = addr >> GRANULE_SHIFT;
+        let last = (addr + (len - 1)) >> GRANULE_SHIFT;
+        while g <= last {
+            let page = g >> (PAGE_SHIFT - GRANULE_SHIFT);
+            let bit = g & (GRANULES_PER_PAGE - 1);
+            *self.pages.entry(page).or_insert(0) |= 1u64 << bit;
+            g += 1;
+        }
+    }
+
+    /// True if some module may have written the granule containing `addr`
+    /// since it was last cleared.
+    pub fn maybe_written(&self, addr: Word) -> bool {
+        let (page, granule) = Self::split(addr);
+        self.pages
+            .get(&page)
+            .is_some_and(|bm| bm & (1u64 << granule) != 0)
+    }
+
+    /// Clears granules fully contained in `[addr, addr+len)` for which
+    /// `still_writable` is false. Called when memory is zeroed; the
+    /// predicate keeps bits set for granules some principal can still
+    /// write (otherwise clearing would introduce a false negative).
+    pub fn clear_zeroed(
+        &mut self,
+        addr: Word,
+        len: u64,
+        mut still_writable: impl FnMut(Word) -> bool,
+    ) {
+        if len == 0 {
+            return;
+        }
+        // Only granules *fully* inside the zeroed range may be cleared.
+        let first = addr.div_ceil(1 << GRANULE_SHIFT);
+        let last = (addr + len) >> GRANULE_SHIFT; // exclusive
+        let mut g = first;
+        while g < last {
+            let base = g << GRANULE_SHIFT;
+            if !still_writable(base) {
+                let page = g >> (PAGE_SHIFT - GRANULE_SHIFT);
+                let bit = g & (GRANULES_PER_PAGE - 1);
+                if let Some(bm) = self.pages.get_mut(&page) {
+                    *bm &= !(1u64 << bit);
+                    if *bm == 0 {
+                        self.pages.remove(&page);
+                    }
+                }
+            }
+            g += 1;
+        }
+    }
+
+    /// Number of pages with any marked granule (diagnostics).
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmarked_is_clean() {
+        let m = WriterMap::new();
+        assert!(!m.maybe_written(0x1234));
+    }
+
+    #[test]
+    fn mark_covers_whole_range() {
+        let mut m = WriterMap::new();
+        m.mark(0x1000, 256);
+        assert!(m.maybe_written(0x1000));
+        assert!(m.maybe_written(0x10ff));
+        // Same granule as 0x10ff (64-byte granularity): conservative hit.
+        assert!(m.maybe_written(0x1100 - 1));
+        assert!(!m.maybe_written(0x1140));
+    }
+
+    #[test]
+    fn granularity_is_64_bytes() {
+        let mut m = WriterMap::new();
+        m.mark(0x2000, 1);
+        assert!(m.maybe_written(0x2000));
+        assert!(m.maybe_written(0x203f), "same granule");
+        assert!(!m.maybe_written(0x2040), "next granule untouched");
+    }
+
+    #[test]
+    fn mark_spans_pages() {
+        let mut m = WriterMap::new();
+        m.mark(0x1fc0, 0x80); // crosses the 0x2000 page boundary
+        assert!(m.maybe_written(0x1fc0));
+        assert!(m.maybe_written(0x2000));
+        assert_eq!(m.dirty_pages(), 2);
+    }
+
+    #[test]
+    fn clear_zeroed_respects_partial_granules() {
+        let mut m = WriterMap::new();
+        m.mark(0x3000, 128);
+        // Zero only [0x3010, 0x3090): granule 0x3000 is partially zeroed
+        // and must stay marked; granule 0x3040 is fully inside and clears.
+        m.clear_zeroed(0x3010, 0x80, |_| false);
+        assert!(m.maybe_written(0x3000));
+        assert!(!m.maybe_written(0x3040));
+    }
+
+    #[test]
+    fn clear_zeroed_keeps_still_writable_granules() {
+        let mut m = WriterMap::new();
+        m.mark(0x4000, 64);
+        m.clear_zeroed(0x4000, 64, |_| true);
+        assert!(
+            m.maybe_written(0x4000),
+            "a principal still holds WRITE, so the bit must stay"
+        );
+        m.clear_zeroed(0x4000, 64, |_| false);
+        assert!(!m.maybe_written(0x4000));
+    }
+}

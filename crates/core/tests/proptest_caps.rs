@@ -1,0 +1,256 @@
+//! Property tests for the capability tables and principal model.
+//!
+//! The WRITE table's 12-bit-masked slot replication (§5) is checked
+//! against a naive interval-list oracle under arbitrary grant/revoke
+//! sequences, and the principal hierarchy invariants of §3.1 are checked
+//! under random capability traffic.
+
+use proptest::prelude::*;
+
+use lxfi_core::caps::CapSet;
+use lxfi_core::{ModuleId, PrincipalId, RawCap, Runtime, ThreadId, WriteTable};
+
+// ------------------------------------------------- WriteTable vs oracle
+
+#[derive(Debug, Clone)]
+enum WOp {
+    Grant(u64, u64),
+    Revoke(u64, u64),
+    RevokeOverlapping(u64, u64),
+}
+
+fn arb_wop() -> impl Strategy<Value = WOp> {
+    // Keep the address universe small so operations collide often, and
+    // sizes up to 3 pages so slot replication is exercised.
+    let addr = 0x10_0000u64..0x10_4000;
+    let size = prop_oneof![1u64..64, 64u64..5000, Just(12288u64)];
+    prop_oneof![
+        (addr.clone(), size.clone()).prop_map(|(a, s)| WOp::Grant(a, s)),
+        (addr.clone(), size.clone()).prop_map(|(a, s)| WOp::Revoke(a, s)),
+        (addr, size).prop_map(|(a, s)| WOp::RevokeOverlapping(a, s)),
+    ]
+}
+
+/// Naive oracle: a plain list of granted ranges.
+#[derive(Default)]
+struct Oracle {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl Oracle {
+    fn grant(&mut self, a: u64, s: u64) {
+        if s > 0 && !self.ranges.contains(&(a, s)) {
+            self.ranges.push((a, s));
+        }
+    }
+    fn revoke(&mut self, a: u64, s: u64) {
+        self.ranges.retain(|&(x, y)| !(x == a && y == s));
+    }
+    fn revoke_overlapping(&mut self, a: u64, s: u64) {
+        let end = a + s;
+        self.ranges.retain(|&(x, y)| !(x < end && a < x + y));
+    }
+    fn covers(&self, a: u64, l: u64) -> bool {
+        l == 0 || self.ranges.iter().any(|&(x, y)| x <= a && a + l <= x + y)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The masked-slot WRITE table agrees with the interval-list oracle on
+    /// arbitrary operation sequences and probe points.
+    #[test]
+    fn write_table_matches_oracle(
+        ops in proptest::collection::vec(arb_wop(), 1..40),
+        probes in proptest::collection::vec((0x10_0000u64..0x10_4100, 1u64..256), 20),
+    ) {
+        let mut t = WriteTable::new();
+        let mut o = Oracle::default();
+        for op in &ops {
+            match *op {
+                WOp::Grant(a, s) => { t.grant(a, s); o.grant(a, s); }
+                WOp::Revoke(a, s) => { t.revoke(a, s); o.revoke(a, s); }
+                WOp::RevokeOverlapping(a, s) => {
+                    t.revoke_overlapping(a, s);
+                    o.revoke_overlapping(a, s);
+                }
+            }
+        }
+        for &(a, l) in &probes {
+            prop_assert_eq!(t.covers(a, l), o.covers(a, l), "probe ({:#x}, {})", a, l);
+        }
+        prop_assert_eq!(t.len(), o.ranges.len());
+    }
+
+    /// Every address inside a granted range is covered; every address
+    /// outside all ranges is not.
+    #[test]
+    fn write_coverage_is_exact(addr in 0x20_0000u64..0x20_1000, size in 1u64..8192) {
+        let mut t = WriteTable::new();
+        t.grant(addr, size);
+        for probe in [addr, addr + size / 2, addr + size - 1] {
+            prop_assert!(t.covers(probe, 1));
+        }
+        prop_assert!(t.covers(addr, size));
+        prop_assert!(!t.covers(addr, size + 1));
+        if addr > 0 {
+            prop_assert!(!t.covers(addr - 1, 1));
+        }
+        prop_assert!(!t.covers(addr + size, 1));
+    }
+}
+
+// ------------------------------------------------ principal hierarchy
+
+#[derive(Debug, Clone)]
+enum POp {
+    GrantInstance(u8, u64),
+    GrantShared(u64),
+    RevokeEverywhere(u64),
+}
+
+fn arb_pop() -> impl Strategy<Value = POp> {
+    let target = 0xf000u64..0xf040;
+    prop_oneof![
+        (0u8..3, target.clone()).prop_map(|(i, t)| POp::GrantInstance(i, t)),
+        target.clone().prop_map(POp::GrantShared),
+        target.prop_map(POp::RevokeEverywhere),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// §3.1 invariants under arbitrary capability traffic:
+    /// - instances see their own caps plus shared caps, never a sibling's;
+    /// - the global principal sees the union;
+    /// - transfer-style revocation leaves no copies anywhere.
+    #[test]
+    fn principal_hierarchy_invariants(ops in proptest::collection::vec(arb_pop(), 1..60)) {
+        let mut rt = Runtime::new();
+        let m = rt.register_module("m");
+        rt.register_thread(ThreadId(0), 0xffff_9000_0000_0000, 0x4000);
+        let insts: Vec<PrincipalId> =
+            (0..3).map(|i| rt.principal_for_name(m, 0x9000 + i * 0x100)).collect();
+        // Mirror state: per-instance call sets + shared set.
+        let mut own = [std::collections::HashSet::new(),
+                       std::collections::HashSet::new(),
+                       std::collections::HashSet::new()];
+        let mut shared = std::collections::HashSet::new();
+
+        for op in &ops {
+            match *op {
+                POp::GrantInstance(i, t) => {
+                    let i = (i as usize) % 3;
+                    rt.grant(insts[i], RawCap::call(t));
+                    own[i].insert(t);
+                }
+                POp::GrantShared(t) => {
+                    let sp = rt.shared_principal(m);
+                    rt.grant(sp, RawCap::call(t));
+                    shared.insert(t);
+                }
+                POp::RevokeEverywhere(t) => {
+                    rt.revoke_everywhere(RawCap::call(t));
+                    for o in own.iter_mut() { o.remove(&t); }
+                    shared.remove(&t);
+                }
+            }
+        }
+
+        for t in 0xf000u64..0xf040 {
+            let cap = RawCap::call(t);
+            for i in 0..3 {
+                let expected = own[i].contains(&t) || shared.contains(&t);
+                prop_assert_eq!(rt.owns(insts[i], cap), expected,
+                    "instance {} cap {:#x}", i, t);
+            }
+            let union = own.iter().any(|o| o.contains(&t)) || shared.contains(&t);
+            prop_assert_eq!(rt.owns(rt.global_principal(m), cap), union,
+                "global cap {:#x}", t);
+        }
+    }
+
+    /// Writer-set tracking never reports "clean" for a granule some
+    /// principal can still write (no false negatives, §5).
+    #[test]
+    fn writer_map_no_false_negatives(
+        grants in proptest::collection::vec((0x30_0000u64..0x30_2000, 1u64..512), 1..20),
+        zeroes in proptest::collection::vec((0x30_0000u64..0x30_2000, 1u64..512), 0..10),
+    ) {
+        let mut rt = Runtime::new();
+        let m = rt.register_module("m");
+        let p = rt.principal_for_name(m, 0x9000);
+        for &(a, s) in &grants {
+            rt.grant(p, RawCap::write(a, s));
+        }
+        for &(a, s) in &zeroes {
+            rt.note_zeroed(a, s);
+        }
+        // Any address still covered by a held capability must be dirty.
+        for &(a, s) in &grants {
+            if rt.owns(p, RawCap::write(a, s)) {
+                prop_assert!(!rt.writer_clean(a), "clean bit over live WRITE cap at {a:#x}");
+                prop_assert!(!rt.writer_clean(a + s - 1));
+            }
+        }
+    }
+
+    /// CapSet grant/revoke round trip for every capability kind.
+    #[test]
+    fn capset_roundtrip(t in 0u32..4, addr: u64, size in 1u64..4096) {
+        let mut s = CapSet::new();
+        let cap = match t {
+            0 => RawCap::write(addr.min(u64::MAX - size), size),
+            1 => RawCap::call(addr),
+            _ => RawCap::reference(lxfi_core::RefTypeId(t), addr),
+        };
+        prop_assert!(!s.owns(cap));
+        s.grant(cap);
+        prop_assert!(s.owns(cap));
+        prop_assert!(s.revoke(cap));
+        prop_assert!(!s.owns(cap));
+        prop_assert!(!s.revoke(cap));
+        prop_assert!(s.is_empty());
+    }
+}
+
+// ------------------------------------------------------- shadow stacks
+
+proptest! {
+    /// Balanced wrapper nesting always restores the outer context; any
+    /// token mismatch is detected.
+    #[test]
+    fn shadow_stack_balanced_nesting(depths in proptest::collection::vec(0u32..4, 1..12)) {
+        let mut rt = Runtime::new();
+        let m = rt.register_module("m");
+        rt.register_thread(ThreadId(0), 0xffff_9000_0000_0000, 0x4000);
+        let t = ThreadId(0);
+        let mut tokens = Vec::new();
+        for &d in &depths {
+            let p = rt.principal_for_name(m, 0x9000 + d as u64 * 8);
+            tokens.push(rt.wrapper_enter(t, Some((m, p))));
+        }
+        for tok in tokens.into_iter().rev() {
+            rt.wrapper_exit(t, tok).unwrap();
+        }
+        prop_assert_eq!(rt.current(t), None);
+    }
+
+    /// Exiting with the wrong token is always a violation.
+    #[test]
+    fn shadow_stack_detects_wrong_token(delta in 1u64..1000) {
+        let mut rt = Runtime::new();
+        let m = rt.register_module("m");
+        rt.register_thread(ThreadId(0), 0xffff_9000_0000_0000, 0x4000);
+        let p = rt.principal_for_name(m, 0x9000);
+        let t = ThreadId(0);
+        let tok = rt.wrapper_enter(t, Some((m, p)));
+        prop_assert!(rt.wrapper_exit(t, tok.wrapping_add(delta)).is_err());
+    }
+}
+
+// Silence an unused-import warning when ModuleId is only used in types.
+#[allow(dead_code)]
+fn _type_uses(_: ModuleId) {}

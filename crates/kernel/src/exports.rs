@@ -1,0 +1,40 @@
+//! The exported-symbol registry.
+//!
+//! Each kernel export pairs a native implementation with an (optional)
+//! annotated declaration. A module may only call annotated exports — a
+//! function the developer forgot to annotate is *not callable* from
+//! isolated modules, the paper's safe default (§2.2).
+
+use std::rc::Rc;
+
+use lxfi_core::iface::FnDecl;
+use lxfi_machine::{Trap, Word};
+
+use crate::kernel::Kernel;
+
+/// A native kernel function: operates directly on the kernel world.
+pub type NativeFn = Rc<dyn Fn(&mut Kernel, &[Word]) -> Result<Word, Trap>>;
+
+/// One exported kernel symbol.
+pub struct Export {
+    /// Symbol name (what modules import).
+    pub name: String,
+    /// Annotated prototype; `None` = unannotated (modules cannot call).
+    pub decl: Option<FnDecl>,
+    /// The implementation.
+    pub imp: NativeFn,
+    /// True for LXFI runtime entry points (`lxfi_princ_alias`,
+    /// `lxfi_check_*`): these execute *in the caller's principal context*
+    /// rather than switching to the kernel, because they operate on the
+    /// calling principal (§3.4).
+    pub runtime_call: bool,
+}
+
+impl std::fmt::Debug for Export {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Export")
+            .field("name", &self.name)
+            .field("annotated", &self.decl.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,1220 @@
+//! The kernel world: module loading, wrapper execution, indirect-call
+//! interposition, and the syscall surface exploits drive.
+//!
+//! Control-transfer interposition (§5, Figure 6):
+//!
+//! - **module → kernel** ([`Kernel::call_extern`] via the interpreter):
+//!   CALL-capability check, wrapper entry (shadow stack, switch to kernel
+//!   context), `pre` actions, native call, `post` actions, wrapper exit.
+//! - **kernel → module** ([`Kernel::invoke_module_function`]): principal
+//!   selection from the `principal(...)` annotation, wrapper entry,
+//!   `pre` actions, interpretation of the module function, `post`
+//!   actions, wrapper exit.
+//! - **kernel indirect calls** ([`Kernel::indirect_call`] for native code,
+//!   `GuardIndCall` for rewritten kernel thunks): writer-set check, CALL
+//!   capability of the writer, annotation-hash match — then dispatch.
+//!
+//! A policy violation anywhere escalates to a **kernel panic** (§3); a
+//! machine fault (NULL dereference) goes down the **oops** path, which
+//! runs `do_exit` — including its CVE-2010-4258 bug of zeroing the
+//! user-controlled `clear_child_tid` pointer.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lxfi_annotations::parse_fn_annotations;
+use lxfi_core::actions::{apply_actions, CallSite, Dir};
+use lxfi_core::iface::{FnDecl, Param, TypeLayouts};
+use lxfi_core::runtime::FnMeta;
+use lxfi_core::shadow::PrincipalCtx;
+use lxfi_core::{PrincipalId, RawCap, Runtime, ThreadId, Violation};
+use lxfi_machine::program::ImportKind;
+use lxfi_machine::{
+    run_function, AddressSpace, Env, FuncId, GlobalId, Program, SigId, SymbolId, Trap, Word,
+};
+use lxfi_rewriter::{
+    propagate, rewrite_kernel_thunks, rewrite_module, InitGrant, InterfaceSpec, RewriteOptions,
+};
+
+use crate::exports::{Export, NativeFn};
+use crate::layout::*;
+use crate::process::ProcessTable;
+use crate::slab::Slab;
+use crate::types;
+
+/// Whether a module is loaded with LXFI enforcement or bare (stock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// No rewriting, no runtime checks — the baseline and the exploit
+    /// victim configuration.
+    Stock,
+    /// Rewritten and enforced.
+    Lxfi,
+}
+
+/// Index of a loaded module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadedModuleId(pub usize);
+
+/// A module ready to load: program, interface annotations, capability
+/// iterators, and an optional init function.
+pub struct ModuleSpec {
+    /// Module name.
+    pub name: String,
+    /// The module's KIR program.
+    pub program: Program,
+    /// Annotations for the module's function-pointer types and functions.
+    pub iface: InterfaceSpec,
+    /// Capability iterators this module's annotations reference.
+    pub iterators: Vec<(String, lxfi_core::IteratorFn)>,
+    /// Function run right after loading (the `module_init`).
+    pub init_fn: Option<String>,
+}
+
+/// User-space "shellcode": runs with full kernel access if the kernel is
+/// ever tricked into calling a user address (the payload of every exploit
+/// here typically sets `uid = 0`).
+pub type UserFn = Rc<dyn Fn(&mut Kernel)>;
+
+struct LoadedModule {
+    name: String,
+    mode: IsolationMode,
+    /// `None` for the core-kernel thunk pseudo-module.
+    mid: Option<lxfi_core::ModuleId>,
+    program: Rc<Program>,
+    global_addrs: Vec<Word>,
+    fn_base: Word,
+    decls: HashMap<FuncId, FnDecl>,
+    import_addrs: Vec<Word>,
+}
+
+struct ThreadState {
+    base: Word,
+    sp: Word,
+}
+
+/// Outcome classification for public kernel entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// LXFI detected a policy violation and panicked the kernel.
+    Panic(String),
+    /// A machine fault (oops) killed the current process.
+    Oops(String),
+    /// Plain failure (bad arguments etc.).
+    Fail(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::Panic(s) => write!(f, "kernel panic: {s}"),
+            KernelError::Oops(s) => write!(f, "kernel oops: {s}"),
+            KernelError::Fail(s) => write!(f, "error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The simulated kernel.
+pub struct Kernel {
+    /// Simulated physical memory.
+    pub mem: AddressSpace,
+    /// The LXFI runtime.
+    pub rt: Runtime,
+    /// Struct layouts for `sizeof(*ptr)` defaults.
+    pub layouts: TypeLayouts,
+    /// Global isolation mode (modules default to it).
+    pub mode: IsolationMode,
+
+    exports: Vec<Export>,
+    export_idx: HashMap<String, usize>,
+    kdata: HashMap<String, (Word, u64)>,
+    kdata_next: Word,
+    sig_decls: HashMap<String, FnDecl>,
+    modules: Vec<LoadedModule>,
+    module_idx: HashMap<String, usize>,
+    fn_addrs: HashMap<Word, (usize, FuncId)>,
+    threads: Vec<ThreadState>,
+    cur_thread: usize,
+    exec_stack: Vec<usize>,
+
+    /// Slab allocator backing `kmalloc`.
+    pub slab: Slab,
+    /// Processes, credentials, pid hash.
+    pub procs: ProcessTable,
+
+    fuel: u64,
+    /// Cycles consumed by interpreted instructions (monotonic).
+    pub cycles: u64,
+
+    panic: Option<String>,
+    last_violation: Option<Violation>,
+
+    user_fns: HashMap<Word, UserFn>,
+    user_next: Word,
+    kstatic_next: Word,
+
+    /// Networking subsystem state.
+    pub net: crate::net::NetState,
+    /// PCI subsystem state.
+    pub pci: crate::pci::PciState,
+    /// Socket layer state.
+    pub sock: crate::socket::SocketState,
+    /// Sound subsystem state.
+    pub snd: crate::snd::SndState,
+    /// Device-mapper state.
+    pub dm: crate::dm::DmState,
+}
+
+impl Kernel {
+    /// Boots a kernel in the given isolation mode: registers struct
+    /// layouts, core exports, subsystems, kernel dispatch thunks, the
+    /// process table, and thread 0.
+    pub fn boot(mode: IsolationMode) -> Self {
+        let mut mem = AddressSpace::new();
+        let procs = ProcessTable::new(&mut mem, KSTATIC_BASE);
+        let mut k = Kernel {
+            mem,
+            rt: Runtime::new(),
+            layouts: TypeLayouts::new(),
+            mode,
+            exports: Vec::new(),
+            export_idx: HashMap::new(),
+            kdata: HashMap::new(),
+            kdata_next: KDATA_BASE,
+            sig_decls: HashMap::new(),
+            modules: Vec::new(),
+            module_idx: HashMap::new(),
+            fn_addrs: HashMap::new(),
+            threads: Vec::new(),
+            cur_thread: 0,
+            exec_stack: Vec::new(),
+            slab: Slab::new(HEAP_BASE),
+            procs,
+            fuel: u64::MAX,
+            cycles: 0,
+            panic: None,
+            last_violation: None,
+            user_fns: HashMap::new(),
+            user_next: 0x0000_1000_0000,
+            kstatic_next: KSTATIC_BASE + 0x10_0000,
+            net: Default::default(),
+            pci: Default::default(),
+            sock: Default::default(),
+            snd: Default::default(),
+            dm: Default::default(),
+        };
+        types::register_layouts(&mut k.layouts);
+        k.spawn_thread();
+        crate::exports_base::register(&mut k);
+        crate::pci::register(&mut k);
+        crate::net::register(&mut k);
+        crate::socket::register(&mut k);
+        crate::snd::register(&mut k);
+        crate::dm::register(&mut k);
+        k.load_kernel_thunks();
+        k
+    }
+
+    // ------------------------------------------------------------ threads
+
+    /// Creates a kernel thread with its own stack; returns its id.
+    pub fn spawn_thread(&mut self) -> ThreadId {
+        let idx = self.threads.len();
+        let base = STACK_BASE + idx as u64 * STACK_STRIDE;
+        self.mem.map_range(base, STACK_SIZE);
+        self.threads.push(ThreadState {
+            base,
+            sp: base + STACK_SIZE,
+        });
+        let t = ThreadId(idx as u32);
+        self.rt.register_thread(t, base, STACK_SIZE);
+        // Already-loaded isolated modules get WRITE to the new stack too
+        // (initial capability (2) of §3.2).
+        let mids: Vec<_> = self.modules.iter().filter_map(|m| m.mid).collect();
+        for mid in mids {
+            let shared = self.rt.shared_principal(mid);
+            self.rt.grant(shared, RawCap::write(base, STACK_SIZE));
+        }
+        t
+    }
+
+    /// `set_tid_address(2)`: records the user pointer `do_exit` will zero
+    /// on process death — the CVE-2010-4258 primitive the Econet exploit
+    /// aims.
+    pub fn sys_set_tid_address(&mut self, tidptr: Word) {
+        let task = self.procs.current_task();
+        self.mem
+            .write_word(
+                (task as i64 + crate::process::task::CLEAR_CHILD_TID) as u64,
+                tidptr,
+            )
+            .expect("task mapped");
+    }
+
+    /// The current thread id.
+    pub fn current_thread(&self) -> ThreadId {
+        ThreadId(self.cur_thread as u32)
+    }
+
+    // ----------------------------------------------------------- exports
+
+    /// Registers an exported kernel function. `ann` is annotation source
+    /// text (`None` = unannotated: uncallable from isolated modules).
+    pub fn export(&mut self, name: &str, params: Vec<Param>, ann: Option<&str>, imp: NativeFn) {
+        self.export_full(name, params, ann, imp, false);
+    }
+
+    /// Registers an LXFI runtime entry point: callable like an export, but
+    /// executed in the caller's principal context (§3.4).
+    pub fn export_runtime(&mut self, name: &str, params: Vec<Param>, ann: &str, imp: NativeFn) {
+        self.export_full(name, params, Some(ann), imp, true);
+    }
+
+    fn export_full(
+        &mut self,
+        name: &str,
+        params: Vec<Param>,
+        ann: Option<&str>,
+        imp: NativeFn,
+        runtime_call: bool,
+    ) {
+        let decl = ann.map(|src| {
+            FnDecl::new(
+                name,
+                params.clone(),
+                parse_fn_annotations(src)
+                    .unwrap_or_else(|e| panic!("bad annotation on {name}: {e}")),
+            )
+        });
+        let idx = self.exports.len();
+        assert!(
+            self.export_idx.insert(name.to_string(), idx).is_none(),
+            "duplicate export {name}"
+        );
+        let addr = EXPORT_BASE + idx as u64 * FN_SPACING;
+        let ahash = decl
+            .as_ref()
+            .map(|d| d.ahash)
+            .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
+        self.rt.register_function(
+            addr,
+            FnMeta {
+                name: name.to_string(),
+                ahash,
+                module: None,
+            },
+        );
+        self.exports.push(Export {
+            name: name.to_string(),
+            decl,
+            imp,
+            runtime_call,
+        });
+    }
+
+    /// Declares an annotated function-pointer type (interface annotation
+    /// on a struct field, e.g. `net_device_ops.ndo_start_xmit`).
+    pub fn define_sig(&mut self, name: &str, params: Vec<Param>, ann: &str) {
+        let decl = FnDecl::new(
+            name,
+            params,
+            parse_fn_annotations(ann).unwrap_or_else(|e| panic!("bad annotation on {name}: {e}")),
+        );
+        if let Some(prev) = self.sig_decls.get(name) {
+            assert_eq!(
+                prev.ann.canonical(),
+                decl.ann.canonical(),
+                "conflicting sig declaration for {name}"
+            );
+            return;
+        }
+        self.sig_decls.insert(name.to_string(), decl);
+    }
+
+    /// The annotated declaration of a function-pointer type.
+    pub fn sig_decl(&self, name: &str) -> Option<&FnDecl> {
+        self.sig_decls.get(name)
+    }
+
+    /// Exports a kernel data symbol of `size` bytes; returns its address.
+    pub fn export_data(&mut self, name: &str, size: u64) -> Word {
+        let addr = self.kdata_next;
+        self.kdata_next += (size + 0xfff) & !0xfff;
+        self.mem.map_range(addr, size);
+        self.kdata.insert(name.to_string(), (addr, size));
+        addr
+    }
+
+    /// Address of an exported kernel function.
+    pub fn export_addr(&self, name: &str) -> Option<Word> {
+        self.export_idx
+            .get(name)
+            .map(|&i| EXPORT_BASE + i as u64 * FN_SPACING)
+    }
+
+    /// Allocates zeroed kernel-static memory (ops tables, device structs).
+    pub fn kstatic_alloc(&mut self, size: u64) -> Word {
+        let addr = self.kstatic_next;
+        self.kstatic_next += (size + 63) & !63;
+        self.mem.map_range(addr, size);
+        addr
+    }
+
+    // --------------------------------------------------------- user space
+
+    /// Maps user memory at a caller-chosen address (`mmap`-with-MAP_FIXED;
+    /// exploits use it to place payloads at crafted addresses).
+    pub fn user_map(&mut self, addr: Word, len: u64) -> Result<(), KernelError> {
+        if !is_user_addr(addr) || !is_user_addr(addr + len) {
+            return Err(KernelError::Fail("user_map outside user space".into()));
+        }
+        self.mem.map_range(addr, len);
+        Ok(())
+    }
+
+    /// Allocates fresh user memory.
+    pub fn user_alloc(&mut self, len: u64) -> Word {
+        let addr = self.user_next;
+        self.user_next += (len + 0xfff) & !0xfff;
+        self.mem.map_range(addr, len);
+        addr
+    }
+
+    /// Registers user "code" at a user address.
+    pub fn register_user_fn(&mut self, addr: Word, f: UserFn) {
+        assert!(is_user_addr(addr));
+        self.user_fns.insert(addr, f);
+    }
+
+    /// The kernel jumping to a user address: if shellcode is registered
+    /// there it runs **with kernel privilege** (the exploit payoff);
+    /// otherwise the machine faults.
+    fn run_user_code(&mut self, addr: Word) -> Result<Word, Trap> {
+        match self.user_fns.get(&addr).cloned() {
+            Some(f) => {
+                f(self);
+                Ok(0)
+            }
+            None => Err(Trap::MemFault {
+                addr,
+                len: 1,
+                write: false,
+            }),
+        }
+    }
+
+    // ----------------------------------------------------- panic plumbing
+
+    /// The recorded panic reason, if LXFI panicked the kernel.
+    pub fn panic_reason(&self) -> Option<&str> {
+        self.panic.as_deref()
+    }
+
+    /// The violation that caused the panic (for precise assertions).
+    pub fn last_violation(&self) -> Option<&Violation> {
+        self.last_violation.as_ref()
+    }
+
+    /// Clears panic state (tests that probe multiple violations).
+    pub fn clear_panic(&mut self) {
+        self.panic = None;
+        self.last_violation = None;
+    }
+
+    /// Runs a kernel entry point (syscall), classifying traps: policy
+    /// violations panic the kernel; machine faults go down the oops path
+    /// (which runs `do_exit`, §8.1 Econet).
+    pub fn enter<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<R, Trap>,
+    ) -> Result<R, KernelError> {
+        if let Some(p) = &self.panic {
+            return Err(KernelError::Panic(p.clone()));
+        }
+        match f(self) {
+            Ok(r) => Ok(r),
+            Err(Trap::Policy(e)) => {
+                let msg = e.to_string();
+                if let Some(v) = e.downcast_ref::<Violation>() {
+                    self.last_violation = Some(v.clone());
+                }
+                self.panic = Some(msg.clone());
+                Err(KernelError::Panic(msg))
+            }
+            Err(trap) => {
+                let msg = trap.to_string();
+                self.oops();
+                Err(KernelError::Oops(msg))
+            }
+        }
+    }
+
+    /// The oops path: kill the current process via `do_exit`. Faithfully
+    /// reproduces CVE-2010-4258: `do_exit` writes a zero through the
+    /// user-supplied `clear_child_tid` pointer without resetting the
+    /// "user access ok" context — an arbitrary kernel-memory zero-write.
+    pub fn oops(&mut self) {
+        let task = self.procs.current_task();
+        let tid_ptr = self
+            .mem
+            .read_word((task as i64 + crate::process::task::CLEAR_CHILD_TID) as u64)
+            .unwrap_or(0);
+        if tid_ptr != 0 {
+            // The kernel bug: a 4-byte zero store to an unchecked address,
+            // performed in kernel context (no LXFI guard applies — this is
+            // core-kernel code, which LXFI trusts).
+            let _ = self.mem.write(tid_ptr, 0, lxfi_machine::Width::B4);
+        }
+        let _ = self
+            .mem
+            .write_word((task as i64 + crate::process::task::EXITED) as u64, 1);
+    }
+
+    /// Runs `handler` as a simulated interrupt: the interrupted module
+    /// principal is saved on the shadow stack and restored afterwards
+    /// (§3.1).
+    pub fn interrupt<R>(&mut self, handler: impl FnOnce(&mut Self) -> R) -> R {
+        let t = self.current_thread();
+        let tok = self.rt.thread(t).interrupt_enter();
+        let r = handler(self);
+        self.rt
+            .thread(t)
+            .interrupt_exit(tok)
+            .expect("interrupt tokens are runtime-managed");
+        r
+    }
+
+    // ------------------------------------------------------ module loading
+
+    /// Loads a module in the kernel's global mode.
+    pub fn load_module(&mut self, spec: ModuleSpec) -> Result<LoadedModuleId, KernelError> {
+        self.load_module_with_mode(spec, self.mode)
+    }
+
+    /// Loads a module with an explicit mode.
+    pub fn load_module_with_mode(
+        &mut self,
+        spec: ModuleSpec,
+        mode: IsolationMode,
+    ) -> Result<LoadedModuleId, KernelError> {
+        lxfi_machine::verify_program(&spec.program)
+            .map_err(|e| KernelError::Fail(format!("verify {}: {}", spec.name, e[0])))?;
+
+        // Merge the module's interface declarations into the kernel's sig
+        // registry (exact-match on collision, §4.2).
+        for (name, d) in &spec.iface.sig_decls {
+            if let Some(prev) = self.sig_decls.get(name) {
+                if prev.ann.canonical() != d.ann.canonical() {
+                    return Err(KernelError::Fail(format!(
+                        "sig `{name}` conflicts with an existing declaration"
+                    )));
+                }
+            } else {
+                self.sig_decls.insert(name.clone(), d.clone());
+            }
+        }
+
+        let (program, decls, init_grants) = match mode {
+            IsolationMode::Lxfi => {
+                let rw = rewrite_module(&spec.program, RewriteOptions::default());
+                let decls = propagate(&rw.program, &spec.iface)
+                    .map_err(|e| KernelError::Fail(format!("propagate {}: {e}", spec.name)))?;
+                (rw.program, decls, rw.init_grants)
+            }
+            IsolationMode::Stock => (spec.program.clone(), HashMap::new(), Vec::new()),
+        };
+
+        let midx = self.modules.len();
+        let window = MODULE_BASE + midx as u64 * MODULE_STRIDE;
+        let mid = match mode {
+            IsolationMode::Lxfi => Some(self.rt.register_module(&spec.name)),
+            IsolationMode::Stock => None,
+        };
+
+        // Lay out globals in the module window; write init images.
+        let mut global_addrs = Vec::new();
+        let mut cursor = window;
+        for g in &program.globals {
+            cursor = (cursor + 63) & !63;
+            self.mem.map_range(cursor, g.size);
+            if let Some(init) = &g.init {
+                let n = init.len().min(g.size as usize);
+                self.mem
+                    .write_bytes(cursor, &init[..n])
+                    .expect("mapped above");
+            }
+            global_addrs.push(cursor);
+            cursor += g.size;
+        }
+
+        // Register function addresses.
+        let fn_base = window + MODULE_FN_OFFSET;
+        // Apply static-initializer relocations (C ops-table initializers):
+        // performed by the trusted loader, so they work for read-only
+        // globals like `rds_proto_ops` too.
+        for r in &program.fn_relocs {
+            let addr = global_addrs[r.global.0 as usize] + r.offset;
+            self.mem
+                .write_word(addr, fn_base + u64::from(r.func.0) * FN_SPACING)
+                .expect("reloc target mapped");
+        }
+        let empty_hash = lxfi_annotations::annotation_hash(&Default::default());
+        for (i, _f) in program.funcs.iter().enumerate() {
+            let fid = FuncId(i as u32);
+            let addr = fn_base + i as u64 * FN_SPACING;
+            self.fn_addrs.insert(addr, (midx, fid));
+            self.rt.register_function(
+                addr,
+                FnMeta {
+                    name: format!("{}::{}", spec.name, program.funcs[i].name),
+                    ahash: decls.get(&fid).map(|d| d.ahash).unwrap_or(empty_hash),
+                    module: mid,
+                },
+            );
+        }
+
+        // Resolve imports.
+        let mut import_addrs = Vec::new();
+        for imp in &program.imports {
+            let addr = match imp.kind {
+                ImportKind::Func => self.export_addr(&imp.name).ok_or_else(|| {
+                    KernelError::Fail(format!("{}: unresolved import {}", spec.name, imp.name))
+                })?,
+                ImportKind::Data => {
+                    self.kdata
+                        .get(&imp.name)
+                        .ok_or_else(|| {
+                            KernelError::Fail(format!(
+                                "{}: unresolved data import {}",
+                                spec.name, imp.name
+                            ))
+                        })?
+                        .0
+                }
+            };
+            import_addrs.push(addr);
+        }
+
+        // Initial capability grants to the shared principal (§3.2, §4.2).
+        if let Some(mid) = mid {
+            let shared = self.rt.shared_principal(mid);
+            // A module may call (and hand out pointers to) its own
+            // functions: "the module should be able to provide only
+            // pointers to functions that the module itself can invoke"
+            // (§2.2) — so it holds CALL capabilities for them.
+            for i in 0..program.funcs.len() {
+                self.rt
+                    .grant(shared, RawCap::call(fn_base + i as u64 * FN_SPACING));
+            }
+            // Initial capability (2) of §3.2: WRITE to the kernel stacks,
+            // so modules can pass addresses of stack locals to kernel
+            // routines that fill them in.
+            for (ti, _) in self.threads.iter().enumerate() {
+                let base = STACK_BASE + ti as u64 * STACK_STRIDE;
+                self.rt.grant(shared, RawCap::write(base, STACK_SIZE));
+            }
+            for g in &init_grants {
+                match g {
+                    InitGrant::Call { name } => {
+                        let addr = self.export_addr(name).expect("resolved above");
+                        self.rt.grant(shared, RawCap::call(addr));
+                    }
+                    InitGrant::Write { name } => {
+                        let (addr, size) = self.kdata[name];
+                        self.rt.grant(shared, RawCap::write(addr, size));
+                    }
+                }
+            }
+            for (gi, g) in program.globals.iter().enumerate() {
+                if g.writable {
+                    // WRITE to .data/.bss; grant() also marks the
+                    // writer-set map for these sections (§5).
+                    self.rt
+                        .grant(shared, RawCap::write(global_addrs[gi], g.size));
+                } else {
+                    // Read-only sections stay unwritable — this alone
+                    // stops the stock RDS exploit (§8.1).
+                    self.rt.mark_written(global_addrs[gi], g.size);
+                }
+            }
+        }
+
+        for (name, f) in spec.iterators {
+            self.rt.register_iterator(&name, f);
+        }
+
+        self.modules.push(LoadedModule {
+            name: spec.name.clone(),
+            mode,
+            mid,
+            program: Rc::new(program),
+            global_addrs,
+            fn_base,
+            decls,
+            import_addrs,
+        });
+        self.module_idx.insert(spec.name.clone(), midx);
+
+        if let Some(init) = &spec.init_fn {
+            let fid = self.modules[midx]
+                .program
+                .func_by_name(init)
+                .ok_or_else(|| KernelError::Fail(format!("no init function {init}")))?;
+            let addr = fn_base + fid.0 as u64 * FN_SPACING;
+            self.enter(|k| k.invoke_module_function(addr, &[], None))?;
+        }
+        Ok(LoadedModuleId(midx))
+    }
+
+    /// Loads the core kernel's KIR dispatch thunks, instrumented by the
+    /// kernel rewriter when LXFI is on (§4.1).
+    fn load_kernel_thunks(&mut self) {
+        let thunks = crate::net::kernel_thunks();
+        let program = match self.mode {
+            IsolationMode::Lxfi => {
+                let rep = rewrite_kernel_thunks(&thunks);
+                assert!(
+                    rep.untraceable.is_empty(),
+                    "kernel thunks must be fully traceable: {:?}",
+                    rep.untraceable
+                );
+                rep.program
+            }
+            IsolationMode::Stock => thunks,
+        };
+        lxfi_machine::verify_program(&program).expect("kernel thunks verify");
+        let midx = self.modules.len();
+        let window = MODULE_BASE + midx as u64 * MODULE_STRIDE;
+        let fn_base = window + MODULE_FN_OFFSET;
+        for (i, _) in program.funcs.iter().enumerate() {
+            self.fn_addrs
+                .insert(fn_base + i as u64 * FN_SPACING, (midx, FuncId(i as u32)));
+        }
+        let mut import_addrs = Vec::new();
+        for imp in &program.imports {
+            import_addrs.push(self.export_addr(&imp.name).expect("thunk import"));
+        }
+        self.modules.push(LoadedModule {
+            name: "<kernel-thunks>".into(),
+            mode: IsolationMode::Stock, // kernel code is trusted
+            mid: None,
+            program: Rc::new(program),
+            global_addrs: Vec::new(),
+            fn_base,
+            decls: HashMap::new(),
+            import_addrs,
+        });
+        self.module_idx.insert("<kernel-thunks>".into(), midx);
+    }
+
+    /// Loaded-module lookup by name.
+    pub fn module_id(&self, name: &str) -> Option<LoadedModuleId> {
+        self.module_idx.get(name).copied().map(LoadedModuleId)
+    }
+
+    /// The runtime module id (principal namespace) of a loaded module.
+    pub fn runtime_module(&self, id: LoadedModuleId) -> Option<lxfi_core::ModuleId> {
+        self.modules[id.0].mid
+    }
+
+    /// Address of a module function by name.
+    pub fn module_fn_addr(&self, id: LoadedModuleId, func: &str) -> Option<Word> {
+        let m = &self.modules[id.0];
+        m.program
+            .func_by_name(func)
+            .map(|f| m.fn_base + f.0 as u64 * FN_SPACING)
+    }
+
+    /// Address of a module global by name.
+    pub fn module_global_addr(&self, id: LoadedModuleId, global: &str) -> Option<Word> {
+        let m = &self.modules[id.0];
+        m.program
+            .global_by_name(global)
+            .map(|g| m.global_addrs[g.0 as usize])
+    }
+
+    /// The isolation mode a module was loaded with.
+    pub fn module_mode(&self, id: LoadedModuleId) -> IsolationMode {
+        self.modules[id.0].mode
+    }
+
+    /// The name a module was loaded under.
+    pub fn module_name(&self, id: LoadedModuleId) -> &str {
+        &self.modules[id.0].name
+    }
+
+    /// The program a module was loaded with (post-rewrite for LXFI).
+    pub fn module_program(&self, id: LoadedModuleId) -> &Program {
+        &self.modules[id.0].program
+    }
+
+    // ------------------------------------------- kernel→module invocation
+
+    /// Runs a kernel thunk function (trusted KIR, e.g. the netif dispatch
+    /// path) by name.
+    pub fn run_kernel_thunk(&mut self, func: &str, args: &[Word]) -> Result<Word, Trap> {
+        let midx = self.module_idx["<kernel-thunks>"];
+        let prog = self.modules[midx].program.clone();
+        let fid = prog
+            .func_by_name(func)
+            .ok_or_else(|| Trap::BadRef(format!("thunk {func}")))?;
+        self.exec_stack.push(midx);
+        let r = run_function(self, &prog, fid, args);
+        self.exec_stack.pop();
+        r
+    }
+
+    /// Invokes a function address on behalf of the kernel (or, when
+    /// `caller` is given, of another module): full wrapper semantics for
+    /// isolated modules. This is the path used after an indirect-call
+    /// check passes, and for direct kernel→module calls.
+    pub fn invoke_module_function(
+        &mut self,
+        target: Word,
+        args: &[Word],
+        caller: Option<PrincipalCtx>,
+    ) -> Result<Word, Trap> {
+        let caller_ctx = caller.unwrap_or(None);
+        let Some(&(midx, fid)) = self.fn_addrs.get(&target) else {
+            // Not module code: kernel export or user address.
+            if let Some(idx) = self.addr_to_export(target) {
+                let imp = self.exports[idx].imp.clone();
+                return imp(self, args);
+            }
+            if is_user_addr(target) {
+                return self.run_user_code(target);
+            }
+            return Err(Trap::BadRef(format!("call target {target:#x}")));
+        };
+        let m = &self.modules[midx];
+        let prog = m.program.clone();
+        match m.mode {
+            IsolationMode::Stock => {
+                self.exec_stack.push(midx);
+                let r = run_function(self, &prog, fid, args);
+                self.exec_stack.pop();
+                r
+            }
+            IsolationMode::Lxfi => {
+                let mid = m.mid.expect("isolated module has runtime id");
+                let decl = m.decls.get(&fid).cloned().unwrap_or_else(|| {
+                    // Unannotated module function invoked directly by the
+                    // kernel (e.g. module_init): runs as the shared
+                    // principal with no capability actions.
+                    FnDecl::new(
+                        prog.funcs[fid.0 as usize].name.clone(),
+                        Vec::new(),
+                        Default::default(),
+                    )
+                });
+                let callee_p = self.select_principal(mid, &decl, args)?;
+                let t = self.current_thread();
+                let token = self.rt.wrapper_enter(t, Some((mid, callee_p)));
+                let result = (|| -> Result<Word, Trap> {
+                    let site = CallSite {
+                        decl: &decl,
+                        args,
+                        ret: None,
+                        caller: caller_ctx,
+                        callee: Some((mid, callee_p)),
+                    };
+                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
+                    self.exec_stack.push(midx);
+                    let r = run_function(self, &prog, fid, args);
+                    self.exec_stack.pop();
+                    let ret = r?;
+                    let site = CallSite {
+                        decl: &decl,
+                        args,
+                        ret: Some(ret),
+                        caller: caller_ctx,
+                        callee: Some((mid, callee_p)),
+                    };
+                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                    Ok(ret)
+                })();
+                // Always rebalance the shadow stack; on the success path
+                // this validates the return token (control-flow integrity
+                // on returns, §5).
+                let exit = self.rt.wrapper_exit(t, token);
+                match result {
+                    Ok(v) => {
+                        exit?;
+                        Ok(v)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    fn select_principal(
+        &mut self,
+        mid: lxfi_core::ModuleId,
+        decl: &FnDecl,
+        args: &[Word],
+    ) -> Result<PrincipalId, Trap> {
+        use lxfi_annotations::PrincipalExpr;
+        Ok(match &decl.ann.principal {
+            None | Some(PrincipalExpr::Shared) => self.rt.shared_principal(mid),
+            Some(PrincipalExpr::Global) => self.rt.global_principal(mid),
+            Some(PrincipalExpr::Arg(name)) => {
+                let idx = decl
+                    .params
+                    .iter()
+                    .position(|p| &p.name == name)
+                    .ok_or_else(|| {
+                        Trap::from(Violation::BadExpression {
+                            why: format!("principal({name}) is not a parameter of {}", decl.name),
+                        })
+                    })?;
+                let ptr = args.get(idx).copied().unwrap_or(0);
+                self.rt.principal_for_name(mid, ptr)
+            }
+        })
+    }
+
+    /// A kernel indirect call through a module-reachable function-pointer
+    /// slot (native-code equivalent of the rewritten thunks' guards): load
+    /// the target, run `lxfi_check_indcall`, dispatch.
+    pub fn indirect_call(
+        &mut self,
+        slot: Word,
+        sig_name: &str,
+        args: &[Word],
+    ) -> Result<Word, Trap> {
+        let target = self.mem.read_word(slot)?;
+        if target == 0 {
+            return Err(Trap::MemFault {
+                addr: 0,
+                len: 8,
+                write: false,
+            });
+        }
+        if self.mode == IsolationMode::Lxfi {
+            let ahash = self
+                .sig_decls
+                .get(sig_name)
+                .map(|d| d.ahash)
+                .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
+            self.rt.check_indcall(slot, target, ahash)?;
+        }
+        self.dispatch_checked_pointer(target, sig_name, args)
+    }
+
+    /// Dispatches a function pointer that already passed (or was exempted
+    /// from) the indirect-call check.
+    fn dispatch_checked_pointer(
+        &mut self,
+        target: Word,
+        sig_name: &str,
+        args: &[Word],
+    ) -> Result<Word, Trap> {
+        if self.fn_addrs.contains_key(&target) {
+            // Enforce the slot's annotation on the module function: the
+            // ahash check guaranteed the function's own annotation equals
+            // the slot's, so using the function's decl is equivalent.
+            let _ = sig_name;
+            self.invoke_module_function(target, args, None)
+        } else if let Some(idx) = self.addr_to_export(target) {
+            let imp = self.exports[idx].imp.clone();
+            imp(self, args)
+        } else if is_user_addr(target) {
+            self.run_user_code(target)
+        } else {
+            Err(Trap::BadRef(format!("indirect target {target:#x}")))
+        }
+    }
+
+    fn addr_to_export(&self, addr: Word) -> Option<usize> {
+        if addr < EXPORT_BASE {
+            return None;
+        }
+        let idx = ((addr - EXPORT_BASE) / FN_SPACING) as usize;
+        (addr == EXPORT_BASE + idx as u64 * FN_SPACING && idx < self.exports.len()).then_some(idx)
+    }
+
+    /// `lxfi_princ_alias` entry point for module code (§3.4): only callable
+    /// while a module executes; the current principal must already hold a
+    /// REF or WRITE capability naming check responsibility rests with the
+    /// preceding `lxfi_check` in module code.
+    pub fn princ_alias_current(&mut self, existing: Word, new_name: Word) -> Result<(), Trap> {
+        let t = self.current_thread();
+        let Some((mid, _p)) = self.rt.current(t) else {
+            if self.executing_stock_module() {
+                // Stock builds compile LXFI runtime calls out; treat the
+                // call as the no-op it would be.
+                return Ok(());
+            }
+            return Err(Trap::from(Violation::PrincipalDenied {
+                why: "lxfi_princ_alias outside module context".into(),
+            }));
+        };
+        self.rt.princ_alias(mid, existing, new_name)?;
+        Ok(())
+    }
+
+    /// True when the innermost executing program is a stock-mode module.
+    pub fn executing_stock_module(&self) -> bool {
+        self.exec_stack.last().is_some_and(|&m| {
+            self.modules[m].mode == IsolationMode::Stock && self.modules[m].mid.is_none()
+        })
+    }
+
+    // -------------------------------------------------------------- fuel
+
+    /// Caps interpreted-instruction budget (tests against runaway loops).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Total deterministic cost so far: interpreted cycles plus guard
+    /// cycles (the quantity the netperf cost model consumes).
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles + self.rt.stats.total_cycles()
+    }
+}
+
+// ------------------------------------------------------------------ Env
+
+impl Env for Kernel {
+    fn mem(&mut self) -> &mut AddressSpace {
+        &mut self.mem
+    }
+
+    fn mem_ref(&self) -> &AddressSpace {
+        &self.mem
+    }
+
+    fn consume(&mut self, cycles: u64) -> Result<(), Trap> {
+        if self.fuel < cycles {
+            return Err(Trap::OutOfFuel);
+        }
+        self.fuel -= cycles;
+        self.cycles += cycles;
+        Ok(())
+    }
+
+    fn push_frame(&mut self, size: u32) -> Result<Word, Trap> {
+        let t = &mut self.threads[self.cur_thread];
+        let size = (u64::from(size) + 15) & !15;
+        if t.sp < t.base + size {
+            return Err(Trap::StackOverflow);
+        }
+        t.sp -= size;
+        let sp = t.sp;
+        self.mem.zero_range(sp, size)?;
+        Ok(sp)
+    }
+
+    fn pop_frame(&mut self, size: u32) {
+        let t = &mut self.threads[self.cur_thread];
+        t.sp += (u64::from(size) + 15) & !15;
+        debug_assert!(t.sp <= t.base + STACK_SIZE);
+    }
+
+    fn guard_write(&mut self, addr: Word, len: Word) -> Result<(), Trap> {
+        let t = self.current_thread();
+        self.rt.check_write(t, addr, len)?;
+        Ok(())
+    }
+
+    fn guard_indcall(&mut self, slot: Word, sig: SigId) -> Result<(), Trap> {
+        let midx = *self.exec_stack.last().expect("executing");
+        let sig_name = self.modules[midx].program.sigs[sig.0 as usize].name.clone();
+        let ahash = self
+            .sig_decls
+            .get(&sig_name)
+            .map(|d| d.ahash)
+            .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
+        let target = self.mem.read_word(slot)?;
+        self.rt.check_indcall(slot, target, ahash)?;
+        Ok(())
+    }
+
+    fn call_extern(&mut self, sym: SymbolId, args: &[Word]) -> Result<Word, Trap> {
+        let midx = *self.exec_stack.last().expect("executing");
+        let m = &self.modules[midx];
+        let import = &m.program.imports[sym.0 as usize];
+        if import.kind != ImportKind::Func {
+            return Err(Trap::BadRef(format!("calling data import {}", import.name)));
+        }
+        let name = import.name.clone();
+        let target = m.import_addrs[sym.0 as usize];
+        let mode = m.mode;
+        let idx = self
+            .addr_to_export(target)
+            .ok_or_else(|| Trap::BadRef(format!("extern {name}")))?;
+
+        match mode {
+            IsolationMode::Stock => {
+                let imp = self.exports[idx].imp.clone();
+                imp(self, args)
+            }
+            IsolationMode::Lxfi => {
+                let t = self.current_thread();
+                // CALL capability for the export's wrapper (granted at
+                // module init from the symbol table, §4.2).
+                self.rt.check_call(t, target)?;
+                let decl = self.exports[idx]
+                    .decl
+                    .clone()
+                    .ok_or_else(|| Trap::from(Violation::UnannotatedFunction { name }))?;
+                let caller = self.rt.current(t);
+                let imp = self.exports[idx].imp.clone();
+                if self.exports[idx].runtime_call {
+                    // Runtime entry point: stays in the caller's principal
+                    // context; still enforces the pre/post actions.
+                    let site = CallSite {
+                        decl: &decl,
+                        args,
+                        ret: None,
+                        caller,
+                        callee: None,
+                    };
+                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
+                    let ret = imp(self, args)?;
+                    let site = CallSite {
+                        decl: &decl,
+                        args,
+                        ret: Some(ret),
+                        caller,
+                        callee: None,
+                    };
+                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                    return Ok(ret);
+                }
+                let token = self.rt.wrapper_enter(t, None); // kernel context
+                let result = (|| -> Result<Word, Trap> {
+                    let site = CallSite {
+                        decl: &decl,
+                        args,
+                        ret: None,
+                        caller,
+                        callee: None,
+                    };
+                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
+                    let ret = imp(self, args)?;
+                    let site = CallSite {
+                        decl: &decl,
+                        args,
+                        ret: Some(ret),
+                        caller,
+                        callee: None,
+                    };
+                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                    Ok(ret)
+                })();
+                let exit = self.rt.wrapper_exit(t, token);
+                match result {
+                    Ok(v) => {
+                        exit?;
+                        Ok(v)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    fn call_ptr(&mut self, target: Word, sig: SigId, args: &[Word]) -> Result<Word, Trap> {
+        let midx = *self.exec_stack.last().expect("executing");
+        let m = &self.modules[midx];
+        let mode = m.mode;
+        let sig_name = m.program.sigs[sig.0 as usize].name.clone();
+        match mode {
+            IsolationMode::Stock => self.dispatch_checked_pointer(target, &sig_name, args),
+            IsolationMode::Lxfi => {
+                let t = self.current_thread();
+                // The module may only call targets it holds CALL for.
+                self.rt.check_call(t, target)?;
+                // Annotation match between the call site's pointer type
+                // and the invoked function (§4.1, module side).
+                let site_hash = self
+                    .sig_decls
+                    .get(&sig_name)
+                    .map(|d| d.ahash)
+                    .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
+                let meta = self
+                    .rt
+                    .function_at(target)
+                    .ok_or(Violation::NotAFunction { target })
+                    .map_err(Trap::from)?;
+                if meta.ahash != site_hash {
+                    return Err(Trap::from(Violation::AnnotationMismatch {
+                        sig_hash: site_hash,
+                        fn_hash: meta.ahash,
+                    }));
+                }
+                let caller = self.rt.current(t);
+                if self.fn_addrs.contains_key(&target) {
+                    self.invoke_module_function(target, args, Some(caller))
+                } else if let Some(idx) = self.addr_to_export(target) {
+                    // Same wrapper path as a direct extern call.
+                    let decl = self.exports[idx].decl.clone().ok_or_else(|| {
+                        Trap::from(Violation::UnannotatedFunction {
+                            name: self.exports[idx].name.clone(),
+                        })
+                    })?;
+                    let imp = self.exports[idx].imp.clone();
+                    let token = self.rt.wrapper_enter(t, None);
+                    let result = (|| -> Result<Word, Trap> {
+                        let site = CallSite {
+                            decl: &decl,
+                            args,
+                            ret: None,
+                            caller,
+                            callee: None,
+                        };
+                        apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
+                        let ret = imp(self, args)?;
+                        let site = CallSite {
+                            decl: &decl,
+                            args,
+                            ret: Some(ret),
+                            caller,
+                            callee: None,
+                        };
+                        apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                        Ok(ret)
+                    })();
+                    let exit = self.rt.wrapper_exit(t, token);
+                    match result {
+                        Ok(v) => {
+                            exit?;
+                            Ok(v)
+                        }
+                        Err(e) => Err(e),
+                    }
+                } else {
+                    Err(Trap::from(Violation::NotAFunction { target }))
+                }
+            }
+        }
+    }
+
+    fn global_addr(&self, global: GlobalId) -> Result<Word, Trap> {
+        let midx = *self.exec_stack.last().expect("executing");
+        self.modules[midx]
+            .global_addrs
+            .get(global.0 as usize)
+            .copied()
+            .ok_or_else(|| Trap::BadRef(format!("global {}", global.0)))
+    }
+
+    fn sym_addr(&self, sym: SymbolId) -> Result<Word, Trap> {
+        let midx = *self.exec_stack.last().expect("executing");
+        self.modules[midx]
+            .import_addrs
+            .get(sym.0 as usize)
+            .copied()
+            .ok_or_else(|| Trap::BadRef(format!("import {}", sym.0)))
+    }
+
+    fn func_addr(&self, func: FuncId) -> Result<Word, Trap> {
+        let midx = *self.exec_stack.last().expect("executing");
+        Ok(self.modules[midx].fn_base + u64::from(func.0) * FN_SPACING)
+    }
+}

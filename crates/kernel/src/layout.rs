@@ -1,0 +1,78 @@
+//! Simulated address-space layout.
+//!
+//! Mirrors the x86-64 split the paper's testbed uses: user space in the
+//! lower half, kernel in the upper half. Regions are disjoint by
+//! construction; nothing enforces them except the code that allocates
+//! from them, exactly like a real kernel.
+
+use lxfi_machine::Word;
+
+/// Exclusive upper bound of user-space addresses.
+pub const USER_TOP: Word = 0x0000_8000_0000_0000;
+
+/// Base of the slab/kmalloc heap.
+pub const HEAP_BASE: Word = 0xffff_8800_0000_0000;
+
+/// Base of kernel thread stacks; each thread gets [`STACK_SIZE`] bytes,
+/// spaced [`STACK_STRIDE`] apart.
+pub const STACK_BASE: Word = 0xffff_9000_0000_0000;
+
+/// Kernel stack size per thread (8 KiB, like x86-64 Linux).
+pub const STACK_SIZE: u64 = 0x2000;
+
+/// Spacing between thread stacks (guard gap included).
+pub const STACK_STRIDE: u64 = 0x10000;
+
+/// Base of module load windows; module `i` owns
+/// `[MODULE_BASE + i*MODULE_STRIDE, ... + MODULE_STRIDE)`.
+pub const MODULE_BASE: Word = 0xffff_a000_0000_0000;
+
+/// Size of one module window.
+pub const MODULE_STRIDE: u64 = 0x0100_0000;
+
+/// Offset of a module's function-address region inside its window.
+/// Function "addresses" identify functions for CALL capabilities and the
+/// registry; they are not backed by data pages.
+pub const MODULE_FN_OFFSET: u64 = 0x00f0_0000;
+
+/// Spacing between module function addresses.
+pub const FN_SPACING: u64 = 16;
+
+/// Base of kernel exported-function addresses.
+pub const EXPORT_BASE: Word = 0xffff_ffff_8000_0000;
+
+/// Base of kernel data-symbol region (exported data like `jiffies`).
+pub const KDATA_BASE: Word = 0xffff_8900_0000_0000;
+
+/// Base of the kernel's own static objects (process table, ops tables).
+pub const KSTATIC_BASE: Word = 0xffff_8a00_0000_0000;
+
+/// Returns true for user-space addresses.
+pub fn is_user_addr(a: Word) -> bool {
+    a < USER_TOP
+}
+
+/// Returns true for kernel-half addresses.
+pub fn is_kernel_addr(a: Word) -> bool {
+    a >= 0xffff_0000_0000_0000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_classified() {
+        assert!(is_user_addr(0x1000));
+        assert!(!is_user_addr(HEAP_BASE));
+        assert!(is_kernel_addr(HEAP_BASE));
+        assert!(is_kernel_addr(STACK_BASE));
+        assert!(is_kernel_addr(MODULE_BASE));
+        assert!(is_kernel_addr(EXPORT_BASE));
+        assert!(!is_kernel_addr(USER_TOP - 1));
+        // Module windows do not collide with stacks or heap.
+        assert!(MODULE_BASE > STACK_BASE + 1024 * STACK_STRIDE);
+        assert!(STACK_BASE > HEAP_BASE);
+        assert!(EXPORT_BASE > MODULE_BASE + 256 * MODULE_STRIDE);
+    }
+}

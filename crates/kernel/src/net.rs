@@ -1,0 +1,355 @@
+//! The network stack: sk_buffs, net devices, NAPI, and the kernel's
+//! transmit dispatch thunk (the running example of Figures 1 and 4).
+//!
+//! The interesting annotations:
+//!
+//! - `ndo_start_xmit` (function-pointer type on `net_device_ops`):
+//!   `principal(dev)` names the callee principal by the device pointer;
+//!   `pre(transfer(skb_caps(skb)))` hands the packet's capabilities to
+//!   the driver; the `post(if (return == -NETDEV_BUSY) ...)` clause gives
+//!   them back when the driver rejects the packet.
+//! - `netif_rx`: `pre(transfer(skb_caps(skb)))` — once a received packet
+//!   is handed to the kernel, the driver (and anyone it shared with)
+//!   loses access (§3.3).
+//! - `skb_caps` is the paper's example capability iterator: it walks the
+//!   `sk_buff` header and emits WRITE capabilities for the header and the
+//!   payload buffer.
+
+use std::rc::Rc;
+
+use lxfi_core::iface::Param;
+use lxfi_core::runtime::EmittedCap;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Program, ProgramBuilder, Trap, Word};
+
+use crate::kernel::Kernel;
+use crate::types::{net_device, qdisc, sk_buff, sock};
+
+/// `NETDEV_BUSY` — drivers return `-NETDEV_BUSY` to push back.
+pub const NETDEV_BUSY: i64 = 16;
+
+/// Base protocol-stack cost per transmitted packet, cycles. The KIR
+/// interpreter only executes the driver and dispatch code; the socket
+/// layer, qdisc, and checksum work of a real kernel is represented by
+/// this charge, applied identically under Stock and LXFI (calibrated so
+/// the stock UDP TX path costs what §8.4's testbed implies).
+pub const NET_TX_BASE_COST: u64 = 290;
+
+/// Base protocol-stack cost per received packet, cycles (softirq +
+/// protocol demux; same calibration rationale as [`NET_TX_BASE_COST`]).
+pub const NET_RX_BASE_COST: u64 = 376;
+
+/// The Figure 4 annotation for `net_device_ops.ndo_start_xmit`.
+pub const NDO_START_XMIT_ANN: &str = "principal(dev) \
+     pre(transfer(skb_caps(skb))) \
+     post(if (return == -NETDEV_BUSY) transfer(skb_caps(skb)))";
+
+/// Annotation for the NAPI poll callback.
+pub const NAPI_POLL_ANN: &str = "principal(dev)";
+
+/// Networking state.
+#[derive(Debug, Default)]
+pub struct NetState {
+    /// Registered devices.
+    pub devices: Vec<Word>,
+    /// Packets the stack received from drivers (`netif_rx`).
+    pub rx_queue: Vec<Word>,
+    /// NAPI registrations: (device, kernel slot holding the poll pointer).
+    pub napi: Vec<(Word, Word)>,
+    /// Count of packets handed to `netif_rx` since boot.
+    pub rx_total: u64,
+}
+
+/// Registers network exports, sigs, constants, and the skb iterator.
+pub fn register(k: &mut Kernel) {
+    k.rt.define_const("NETDEV_BUSY", NETDEV_BUSY);
+
+    // The paper's skb_caps iterator (Figure 4, lines 51-54): WRITE over
+    // the header and over [skb->data, +skb->len).
+    k.rt.register_iterator(
+        "skb_caps",
+        Box::new(|mem, skb, out| {
+            out.push(EmittedCap::Write {
+                addr: skb,
+                size: sk_buff::SIZE,
+            });
+            let data = mem
+                .read_word((skb as i64 + sk_buff::DATA) as u64)
+                .map_err(|e| e.to_string())?;
+            let len = mem
+                .read_word((skb as i64 + sk_buff::LEN) as u64)
+                .map_err(|e| e.to_string())?;
+            if data != 0 && len > 0 {
+                out.push(EmittedCap::Write {
+                    addr: data,
+                    size: len,
+                });
+            }
+            Ok(())
+        }),
+    );
+
+    k.define_sig(
+        "ndo_start_xmit",
+        vec![
+            Param::ptr("skb", "sk_buff"),
+            Param::ptr("dev", "net_device"),
+        ],
+        NDO_START_XMIT_ANN,
+    );
+    k.define_sig(
+        "napi_poll",
+        vec![Param::ptr("dev", "net_device"), Param::scalar("budget")],
+        NAPI_POLL_ANN,
+    );
+    k.define_sig(
+        "qdisc_enqueue",
+        vec![Param::ptr("skb", "sk_buff"), Param::ptr("q", "Qdisc")],
+        // Guideline 7: assigning a scheduler to a device implicitly hands
+        // the module the Qdisc — the annotation makes the grant explicit.
+        "pre(check(write, skb, 1)) pre(copy(write, q, 64))",
+    );
+
+    k.export(
+        "alloc_etherdev",
+        vec![Param::scalar("priv_size")],
+        // As in Linux, the driver-private area is appended to the
+        // net_device allocation, so one WRITE capability covers both.
+        Some("post(if (return != 0) transfer(write, return, 128 + priv_size))"),
+        Rc::new(|k, args| {
+            let priv_size = args.first().copied().unwrap_or(0);
+            let dev = k.kstatic_alloc(net_device::SIZE + priv_size);
+            if priv_size > 0 {
+                k.mem.write_word(
+                    (dev as i64 + net_device::PRIV) as u64,
+                    dev + net_device::SIZE,
+                )?;
+            }
+            Ok(dev)
+        }),
+    );
+
+    k.export(
+        "register_netdev",
+        vec![Param::ptr("dev", "net_device")],
+        Some("pre(check(write, dev, 128))"),
+        Rc::new(|k, args| {
+            k.net.devices.push(args[0]);
+            Ok(0)
+        }),
+    );
+
+    k.export(
+        "netif_napi_add",
+        vec![Param::ptr("dev", "net_device"), Param::scalar("poll")],
+        Some("pre(check(write, dev, 128)) pre(check(call, poll))"),
+        Rc::new(|k, args| {
+            // As with PCI probe: the checked pointer lands in a
+            // kernel-written slot, so dispatch takes the fast path.
+            let slot = k.kstatic_alloc(8);
+            k.mem.write_word(slot, args[1])?;
+            k.net.napi.push((args[0], slot));
+            Ok(0)
+        }),
+    );
+
+    k.export(
+        "alloc_skb",
+        vec![Param::scalar("len")],
+        Some("post(if (return != 0) transfer(skb_caps(return)))"),
+        Rc::new(|k, args| {
+            let len = args.first().copied().unwrap_or(0);
+            match alloc_skb_raw(k, len) {
+                Some(skb) => Ok(skb),
+                None => Ok(0),
+            }
+        }),
+    );
+
+    k.export(
+        "kfree_skb",
+        vec![Param::ptr("skb", "sk_buff")],
+        Some("pre(if (skb != 0) check(write, skb, 1))"),
+        Rc::new(|k, args| {
+            let skb = args[0];
+            if skb != 0 {
+                free_skb_raw(k, skb)?;
+            }
+            Ok(0)
+        }),
+    );
+
+    k.export(
+        "netif_rx",
+        vec![Param::ptr("skb", "sk_buff")],
+        Some("pre(transfer(skb_caps(skb)))"),
+        Rc::new(|k, args| {
+            use lxfi_machine::Env;
+            k.consume(NET_RX_BASE_COST)?;
+            k.net.rx_queue.push(args[0]);
+            k.net.rx_total += 1;
+            Ok(0)
+        }),
+    );
+
+    k.export(
+        "napi_complete",
+        vec![Param::ptr("dev", "net_device")],
+        Some(""),
+        Rc::new(|_k, _args| Ok(0)),
+    );
+}
+
+/// Allocates an sk_buff header + payload buffer from the slab.
+pub fn alloc_skb_raw(k: &mut Kernel, len: u64) -> Option<Word> {
+    let skb = k.slab.kmalloc(&mut k.mem, sk_buff::SIZE)?;
+    let data = if len > 0 {
+        match k.slab.kmalloc(&mut k.mem, len) {
+            Some(d) => d,
+            None => {
+                k.slab.kfree(skb);
+                return None;
+            }
+        }
+    } else {
+        0
+    };
+    k.mem.zero_range(skb, sk_buff::SIZE).ok()?;
+    k.rt.note_zeroed(skb, sk_buff::SIZE);
+    k.mem
+        .write_word((skb as i64 + sk_buff::DATA) as u64, data)
+        .ok()?;
+    k.mem
+        .write_word((skb as i64 + sk_buff::LEN) as u64, len)
+        .ok()?;
+    Some(skb)
+}
+
+/// Frees an sk_buff and its payload; strips all WRITE coverage.
+pub fn free_skb_raw(k: &mut Kernel, skb: Word) -> Result<(), Trap> {
+    let data = k.mem.read_word((skb as i64 + sk_buff::DATA) as u64)?;
+    if data != 0 {
+        if let Some((_s, class)) = k.slab.kfree(data) {
+            k.rt.revoke_write_overlapping_everywhere(data, class);
+            k.mem.zero_range(data, class)?;
+            k.rt.note_zeroed(data, class);
+        }
+    }
+    if let Some((_s, class)) = k.slab.kfree(skb) {
+        k.rt.revoke_write_overlapping_everywhere(skb, class);
+        k.mem.zero_range(skb, class)?;
+        k.rt.note_zeroed(skb, class);
+    }
+    Ok(())
+}
+
+/// Builds the core kernel's KIR dispatch thunks — the code the kernel
+/// rewriter instruments (§4.1). One program covers all subsystems.
+pub fn kernel_thunks() -> Program {
+    let mut pb = ProgramBuilder::new("kernel-thunks");
+    let ndo = pb.sig("ndo_start_xmit", 2);
+    let ioctl = pb.sig("proto_ioctl", 3);
+    let sendmsg = pb.sig("proto_sendmsg", 3);
+    let recvmsg = pb.sig("proto_recvmsg", 3);
+    let bind = pb.sig("proto_bind", 2);
+    let shm = pb.sig("shm_ops", 1);
+    let qenq = pb.sig("qdisc_enqueue", 2);
+
+    // dev_queue_xmit(skb, dev): the Figure 1 line 27 dispatch.
+    pb.define("dev_queue_xmit", 2, 0, |f| {
+        f.load8(R2, R1, net_device::DEV_OPS);
+        f.load8(R3, R2, crate::types::net_device_ops::NDO_START_XMIT);
+        f.call_ptr(R3, ndo, &[R0.into(), R1.into()], Some(R0));
+        f.ret(R0);
+    });
+
+    // qdisc_run(q, skb): Guideline 7's implicit-transfer interface.
+    pb.define("qdisc_run", 2, 0, |f| {
+        f.load8(R2, R0, qdisc::ENQUEUE);
+        f.call_ptr(R2, qenq, &[R1.into(), R0.into()], Some(R0));
+        f.ret(R0);
+    });
+
+    // sock_* dispatchers: socket syscalls land here.
+    pb.define("sock_ioctl", 3, 0, |f| {
+        f.load8(R3, R0, sock::OPS);
+        f.load8(R4, R3, crate::types::proto_ops::IOCTL);
+        f.call_ptr(R4, ioctl, &[R0.into(), R1.into(), R2.into()], Some(R0));
+        f.ret(R0);
+    });
+    pb.define("sock_sendmsg", 3, 0, |f| {
+        f.load8(R3, R0, sock::OPS);
+        f.load8(R4, R3, crate::types::proto_ops::SENDMSG);
+        f.call_ptr(R4, sendmsg, &[R0.into(), R1.into(), R2.into()], Some(R0));
+        f.ret(R0);
+    });
+    pb.define("sock_recvmsg", 3, 0, |f| {
+        f.load8(R3, R0, sock::OPS);
+        f.load8(R4, R3, crate::types::proto_ops::RECVMSG);
+        f.call_ptr(R4, recvmsg, &[R0.into(), R1.into(), R2.into()], Some(R0));
+        f.ret(R0);
+    });
+    pb.define("sock_bind", 2, 0, |f| {
+        f.load8(R3, R0, sock::OPS);
+        f.load8(R4, R3, crate::types::proto_ops::BIND);
+        f.call_ptr(R4, bind, &[R0.into(), R1.into()], Some(R0));
+        f.ret(R0);
+    });
+
+    // shm_invoke(shmid): the CAN BCM exploit's trigger — the kernel
+    // invoking a function pointer reached from a shmid_kernel object.
+    pb.define("shm_invoke", 1, 0, |f| {
+        f.load8(R1, R0, crate::types::shmid_kernel::OPS);
+        f.call_ptr(R1, shm, &[R0.into()], Some(R0));
+        f.ret(R0);
+    });
+
+    pb.finish()
+}
+
+impl Kernel {
+    /// Kernel-side packet transmission (what a socket write bottoms out
+    /// in): allocates the packet, fills a trivial payload, and runs the
+    /// `dev_queue_xmit` thunk. Returns the driver's status.
+    pub fn net_send_packet(&mut self, dev: Word, len: u64) -> Result<Word, Trap> {
+        use lxfi_machine::Env;
+        self.consume(NET_TX_BASE_COST)?;
+        let skb =
+            alloc_skb_raw(self, len).ok_or_else(|| Trap::BadRef(format!("alloc_skb({len})")))?;
+        self.run_kernel_thunk("dev_queue_xmit", &[skb, dev])
+    }
+
+    /// Simulates `count` received frames: raises an interrupt and invokes
+    /// the device's NAPI poll callback, which pulls frames from the
+    /// device and feeds them to `netif_rx`. Returns packets delivered.
+    pub fn net_deliver_rx(&mut self, dev: Word, count: u64) -> Result<u64, Trap> {
+        let slot = self
+            .net
+            .napi
+            .iter()
+            .find(|&&(d, _)| d == dev)
+            .map(|&(_, s)| s)
+            .ok_or_else(|| Trap::BadRef("no NAPI registration".into()))?;
+        let before = self.net.rx_total;
+        self.interrupt(|k| k.indirect_call(slot, "napi_poll", &[dev, count]))?;
+        Ok(self.net.rx_total - before)
+    }
+
+    /// Drains and frees packets queued by `netif_rx` (the protocol layer
+    /// consuming driver-delivered frames). Returns the number drained.
+    pub fn net_drain_rx(&mut self) -> Result<u64, Trap> {
+        let skbs = std::mem::take(&mut self.net.rx_queue);
+        let n = skbs.len() as u64;
+        for skb in skbs {
+            free_skb_raw(self, skb)?;
+        }
+        Ok(n)
+    }
+
+    /// A device's transmit counter (drivers increment it; tests read it).
+    pub fn net_tx_packets(&self, dev: Word) -> u64 {
+        self.mem
+            .read_word((dev as i64 + net_device::TX_PACKETS) as u64)
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,205 @@
+//! The netperf testbed cost model (Figure 12).
+//!
+//! The paper measures a real e1000 on a Gigabit link between two desktops
+//! (3.2 GHz dual-core i3-550 under test). This model reproduces the
+//! *mechanism* behind the figure's shape; per-packet cycle counts are
+//! measured by running packets through the interpreted e1000 module
+//! (`lxfi-bench`), not assumed.
+//!
+//! Accounting choices, mirrored from how netperf counts:
+//!
+//! - **UDP_STREAM** reports *messages processed at the socket layer* per
+//!   second (the paper's stock TX rate of 3.1 M pkt/s exceeds what a
+//!   Gigabit wire can carry in 64-byte frames — messages are counted when
+//!   sent, drops happen below). Throughput is therefore
+//!   `min(offered, cores·hz / cycles_per_pkt)`: once the CPU saturates
+//!   (LXFI TX), throughput falls; while it doesn't (stock, and RX where
+//!   the offered rate is what the wire delivers), throughput holds and
+//!   only CPU% rises.
+//! - **TCP_STREAM** is flow-controlled and link-limited: offered load is
+//!   the link rate in MTU frames; with CPU headroom on both sides the
+//!   throughput pins at the wire and LXFI only shows up in CPU%.
+//! - **RR** is latency-bound: `tps = 1 / (2·latency + local + remote)`.
+//!   With switches in the path the LXFI processing hides inside the RTT;
+//!   with one low-latency switch it dominates (the paper's 16 K → 9.8 K).
+//!
+//! CPU% is utilization of the whole dual-core machine, as `top` would
+//! report it.
+
+/// Testbed parameters (§8.3's hardware).
+#[derive(Debug, Clone, Copy)]
+pub struct NetSimConfig {
+    /// CPU frequency in Hz. One simulated cycle = one clock.
+    pub cpu_hz: f64,
+    /// Number of cores (i3-550: 2).
+    pub cores: f64,
+    /// Link line rate in bits/second.
+    pub link_bps: f64,
+    /// Per-frame wire overhead in bytes (header + FCS + preamble + IFG).
+    pub wire_overhead: u64,
+    /// Largest frame payload (MTU).
+    pub mtu: u64,
+    /// One-way network latency, seconds (multi-switch building LAN).
+    pub lan_latency_s: f64,
+    /// One-way latency with a single dedicated switch.
+    pub one_switch_latency_s: f64,
+    /// Fixed per-transaction cost on the (stock) remote peer, seconds.
+    pub remote_s: f64,
+}
+
+impl Default for NetSimConfig {
+    fn default() -> Self {
+        NetSimConfig {
+            cpu_hz: 3.2e9,
+            cores: 2.0,
+            link_bps: 1.0e9,
+            wire_overhead: 58,
+            mtu: 1500,
+            lan_latency_s: 45e-6,
+            one_switch_latency_s: 22e-6,
+            remote_s: 8e-6,
+        }
+    }
+}
+
+/// Result of a stream workload.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamResult {
+    /// Packets (messages) per second achieved.
+    pub pps: f64,
+    /// Application-payload throughput, bits/second.
+    pub throughput_bps: f64,
+    /// CPU utilization of the machine under test, 0..=1.
+    pub cpu: f64,
+    /// True when the CPU limited throughput below the offered rate.
+    pub cpu_bound: bool,
+}
+
+/// Result of a request/response workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RrResult {
+    /// Transactions per second.
+    pub tps: f64,
+    /// CPU utilization of the machine under test, 0..=1.
+    pub cpu: f64,
+}
+
+impl NetSimConfig {
+    /// Total CPU capacity, cycles per second.
+    pub fn capacity(&self) -> f64 {
+        self.cpu_hz * self.cores
+    }
+
+    /// Frames needed for one message of `msg` bytes.
+    pub fn frames_per_msg(&self, msg: u64) -> u64 {
+        msg.div_ceil(self.mtu)
+    }
+
+    /// The offered frame rate of a link-saturating TCP stream.
+    pub fn link_frame_rate(&self) -> f64 {
+        self.link_bps / (((self.mtu + self.wire_overhead) * 8) as f64)
+    }
+
+    /// Stream workload: `offered_pps` packets per second arrive at (or
+    /// are generated above) the layer under test; each costs
+    /// `cycles_per_pkt` on this machine.
+    pub fn stream(&self, offered_pps: f64, cycles_per_pkt: f64, payload: u64) -> StreamResult {
+        let cpu_pps = self.capacity() / cycles_per_pkt;
+        let pps = offered_pps.min(cpu_pps);
+        StreamResult {
+            pps,
+            throughput_bps: pps * (payload * 8) as f64,
+            cpu: (pps * cycles_per_pkt / self.capacity()).min(1.0),
+            cpu_bound: cpu_pps < offered_pps,
+        }
+    }
+
+    /// Request/response workload: one small packet each way per
+    /// transaction; `local_cycles` covers this machine's TX + RX
+    /// processing.
+    pub fn rr(&self, local_cycles: f64, one_switch: bool) -> RrResult {
+        let latency = if one_switch {
+            self.one_switch_latency_s
+        } else {
+            self.lan_latency_s
+        };
+        let local_s = local_cycles / self.cpu_hz; // serial: one core runs it
+        let txn_s = 2.0 * latency + local_s + self.remote_s;
+        RrResult {
+            tps: 1.0 / txn_s,
+            cpu: (local_cycles / (txn_s * self.capacity())).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetSimConfig {
+        NetSimConfig::default()
+    }
+
+    #[test]
+    fn tcp_stream_is_link_bound_under_lxfi() {
+        // Offered load = link rate in MTU frames; tripling per-frame cost
+        // must not move throughput, only CPU% (TCP_STREAM row).
+        let offered = cfg().link_frame_rate();
+        let stock = cfg().stream(offered, 11_000.0, 1448);
+        let lxfi = cfg().stream(offered, 40_000.0, 1448);
+        assert!(!stock.cpu_bound);
+        assert!(!lxfi.cpu_bound);
+        assert!((stock.pps - lxfi.pps).abs() < 1.0);
+        assert!(lxfi.cpu > 3.0 * stock.cpu);
+    }
+
+    #[test]
+    fn udp_tx_saturates_and_loses_throughput() {
+        // 64-byte UDP TX: offered 3.1 M msg/s; LXFI's extra cycles push
+        // the machine to 100% CPU and throughput drops ~35%.
+        let stock = cfg().stream(3.1e6, 1_100.0, 64);
+        let lxfi = cfg().stream(3.1e6, 3_200.0, 64);
+        assert!(!stock.cpu_bound);
+        assert!(lxfi.cpu_bound);
+        assert!((lxfi.cpu - 1.0).abs() < 1e-9);
+        let ratio = lxfi.pps / stock.pps;
+        assert!(ratio > 0.5 && ratio < 0.8, "drop ratio {ratio}");
+    }
+
+    #[test]
+    fn udp_rx_holds_throughput_at_higher_cpu() {
+        // RX: the wire delivers 2.3 M pkt/s; LXFI still keeps up, at much
+        // higher CPU (the UDP_STREAM RX row).
+        let stock = cfg().stream(2.3e6, 1_200.0, 64);
+        let lxfi = cfg().stream(2.3e6, 2_700.0, 64);
+        assert!((stock.pps - lxfi.pps).abs() < 1.0, "same throughput");
+        assert!(lxfi.cpu > 1.9 * stock.cpu);
+    }
+
+    #[test]
+    fn rr_overhead_grows_as_latency_shrinks() {
+        let stock_lan = cfg().rr(12_000.0, false);
+        let lxfi_lan = cfg().rr(40_000.0, false);
+        let stock_sw = cfg().rr(12_000.0, true);
+        let lxfi_sw = cfg().rr(40_000.0, true);
+        let lan_keep = lxfi_lan.tps / stock_lan.tps;
+        let sw_keep = lxfi_sw.tps / stock_sw.tps;
+        assert!(sw_keep < lan_keep, "relative overhead larger at 1 switch");
+        assert!(stock_sw.tps > stock_lan.tps, "lower latency → more tps");
+    }
+
+    #[test]
+    fn frames_per_msg_rounds_up() {
+        assert_eq!(cfg().frames_per_msg(16384), 11);
+        assert_eq!(cfg().frames_per_msg(64), 1);
+        assert_eq!(cfg().frames_per_msg(1500), 1);
+        assert_eq!(cfg().frames_per_msg(1501), 2);
+    }
+
+    #[test]
+    fn cpu_is_capped_at_one() {
+        let r = cfg().stream(1e9, 10_000.0, 64);
+        assert!(r.cpu <= 1.0);
+        assert!(r.cpu_bound);
+    }
+}

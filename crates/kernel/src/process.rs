@@ -1,0 +1,158 @@
+//! Process table, credentials, and the `pid_hash` used by the rootkit
+//! experiment (§8.1).
+//!
+//! Tasks live in simulated memory so that their fields (notably `uid`)
+//! are concrete attack targets: the paper's motivating `spin_lock_init`
+//! attack (§1) tricks the kernel into zeroing the uid field of `current`.
+
+use lxfi_machine::{AddressSpace, Word};
+
+/// Field offsets of the simulated `struct task_struct`.
+pub mod task {
+    /// Process id.
+    pub const PID: i64 = 0;
+    /// Effective uid — **0 means root**; the prize of every exploit here.
+    pub const UID: i64 = 8;
+    /// `clear_child_tid`: user-supplied pointer the kernel zeroes in
+    /// `do_exit` (CVE-2010-4258's primitive).
+    pub const CLEAR_CHILD_TID: i64 = 16;
+    /// Exit flag.
+    pub const EXITED: i64 = 24;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// The process table.
+#[derive(Debug)]
+pub struct ProcessTable {
+    base: Word,
+    tasks: Vec<Word>,
+    /// pids present in the `pid_hash` (what `ps` lists). A task can be
+    /// scheduled yet missing here — that is a hidden (rootkit) process.
+    pid_hash: Vec<u64>,
+    current: usize,
+    next_pid: u64,
+}
+
+impl ProcessTable {
+    /// Creates the table at `base` with an initial root task (pid 1) and
+    /// an unprivileged task (pid 1000, uid 1000) as `current`.
+    pub fn new(mem: &mut AddressSpace, base: Word) -> Self {
+        let mut t = ProcessTable {
+            base,
+            tasks: Vec::new(),
+            pid_hash: Vec::new(),
+            current: 0,
+            next_pid: 1,
+        };
+        let init = t.spawn(mem, 0);
+        debug_assert_eq!(t.pid_of(mem, init), 1);
+        t.next_pid = 1000;
+        let user = t.spawn(mem, 1000);
+        t.current = t.tasks.iter().position(|&a| a == user).unwrap();
+        t
+    }
+
+    /// Creates a task with the given uid; returns its `task_struct`
+    /// address. The task is linked into `pid_hash`.
+    pub fn spawn(&mut self, mem: &mut AddressSpace, uid: u64) -> Word {
+        let addr = self.base + self.tasks.len() as u64 * task::SIZE;
+        mem.map_range(addr, task::SIZE);
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        mem.write_word((addr as i64 + task::PID) as u64, pid)
+            .unwrap();
+        mem.write_word((addr as i64 + task::UID) as u64, uid)
+            .unwrap();
+        mem.write_word((addr as i64 + task::CLEAR_CHILD_TID) as u64, 0)
+            .unwrap();
+        self.tasks.push(addr);
+        self.pid_hash.push(pid);
+        addr
+    }
+
+    /// Address of the current task's `task_struct`.
+    pub fn current_task(&self) -> Word {
+        self.tasks[self.current]
+    }
+
+    /// Reads a task's pid.
+    pub fn pid_of(&self, mem: &AddressSpace, t: Word) -> u64 {
+        mem.read_word((t as i64 + task::PID) as u64).unwrap()
+    }
+
+    /// Reads a task's uid.
+    pub fn uid_of(&self, mem: &AddressSpace, t: Word) -> u64 {
+        mem.read_word((t as i64 + task::UID) as u64).unwrap()
+    }
+
+    /// Reads the current task's uid — the observable for privilege
+    /// escalation tests.
+    pub fn current_uid(&self, mem: &AddressSpace) -> u64 {
+        self.uid_of(mem, self.current_task())
+    }
+
+    /// `detach_pid`: unlinks a task from the pid hash. The task keeps
+    /// running but is no longer visible to `ps` — the rootkit primitive.
+    pub fn detach_pid(&mut self, mem: &AddressSpace, t: Word) {
+        let pid = self.pid_of(mem, t);
+        self.pid_hash.retain(|&p| p != pid);
+    }
+
+    /// What `ps` would list: pids present in the hash.
+    pub fn visible_pids(&self) -> &[u64] {
+        &self.pid_hash
+    }
+
+    /// All scheduled tasks (scheduler view, independent of `pid_hash`).
+    pub fn all_tasks(&self) -> &[Word] {
+        &self.tasks
+    }
+
+    /// True if some runnable task is missing from `pid_hash` — i.e. a
+    /// hidden process exists.
+    pub fn has_hidden_process(&self, mem: &AddressSpace) -> bool {
+        self.tasks
+            .iter()
+            .any(|&t| !self.pid_hash.contains(&self.pid_of(mem, t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ProcessTable, AddressSpace) {
+        let mut mem = AddressSpace::new();
+        let t = ProcessTable::new(&mut mem, crate::layout::KSTATIC_BASE);
+        (t, mem)
+    }
+
+    #[test]
+    fn current_task_is_unprivileged() {
+        let (t, mem) = setup();
+        assert_eq!(t.current_uid(&mem), 1000);
+        assert_eq!(t.pid_of(&mem, t.current_task()), 1000);
+    }
+
+    #[test]
+    fn uid_field_is_a_real_memory_location() {
+        let (t, mut mem) = setup();
+        let uid_addr = (t.current_task() as i64 + task::UID) as u64;
+        // The spin_lock_init attack: zeroing this address grants root.
+        mem.write_word(uid_addr, 0).unwrap();
+        assert_eq!(t.current_uid(&mem), 0);
+    }
+
+    #[test]
+    fn detach_pid_hides_a_running_process() {
+        let (mut t, mut mem) = setup();
+        let victim = t.spawn(&mut mem, 1000);
+        assert!(!t.has_hidden_process(&mem));
+        t.detach_pid(&mem, victim);
+        assert!(t.has_hidden_process(&mem));
+        assert!(t.all_tasks().contains(&victim), "still scheduled");
+        let pid = t.pid_of(&mem, victim);
+        assert!(!t.visible_pids().contains(&pid), "not listed by ps");
+    }
+}

@@ -1,0 +1,192 @@
+//! A SLUB-like slab allocator for `kmalloc`/`kfree`.
+//!
+//! Size classes are powers of two from 32 bytes to 4 KiB; each slab page
+//! holds `PAGE/class` objects laid out contiguously, so objects of the
+//! same class allocated back-to-back are **adjacent in memory**. The CAN
+//! BCM exploit (§8.1) depends on exactly this property: the attacker
+//! groom places a `shmid_kernel` object directly after the under-sized
+//! BCM buffer and overflows into it.
+
+use lxfi_machine::{AddressSpace, Word, PAGE_SIZE};
+
+/// Size classes, ascending.
+pub const SIZE_CLASSES: [u64; 8] = [32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+#[derive(Debug)]
+struct SlabPage {
+    base: Word,
+    class: u64,
+    /// Free-object indices, popped from the back (LIFO within a page,
+    /// ascending on a fresh page so sequential allocations are adjacent).
+    free: Vec<u32>,
+}
+
+/// The allocator.
+#[derive(Debug)]
+pub struct Slab {
+    next_page: Word,
+    pages: Vec<SlabPage>,
+    /// Live allocations: (addr, requested size, class).
+    live: Vec<(Word, u64, u64)>,
+    /// Total bytes handed out (diagnostics).
+    pub allocated: u64,
+}
+
+impl Slab {
+    /// Creates an allocator growing from `base`.
+    pub fn new(base: Word) -> Self {
+        Slab {
+            next_page: base,
+            pages: Vec::new(),
+            live: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    fn class_for(size: u64) -> Option<u64> {
+        SIZE_CLASSES.iter().copied().find(|&c| c >= size)
+    }
+
+    /// Allocates `size` bytes (0 < size ≤ 4096), mapping pages as needed.
+    /// Returns the object address, or `None` for unsupported sizes.
+    ///
+    /// Objects come from the slab page with the lowest free slot of the
+    /// class, so consecutive allocations of one class are adjacent.
+    pub fn kmalloc(&mut self, mem: &mut AddressSpace, size: u64) -> Option<Word> {
+        if size == 0 {
+            return None;
+        }
+        let class = Self::class_for(size)?;
+        let page = match self
+            .pages
+            .iter_mut()
+            .find(|p| p.class == class && !p.free.is_empty())
+        {
+            Some(p) => p,
+            None => {
+                let base = self.next_page;
+                self.next_page += PAGE_SIZE;
+                mem.map_range(base, PAGE_SIZE);
+                let count = (PAGE_SIZE / class) as u32;
+                self.pages.push(SlabPage {
+                    base,
+                    class,
+                    // Reverse order so pop() yields ascending addresses.
+                    free: (0..count).rev().collect(),
+                });
+                self.pages.last_mut().unwrap()
+            }
+        };
+        let idx = page.free.pop().unwrap();
+        let addr = page.base + u64::from(idx) * class;
+        self.live.push((addr, size, class));
+        self.allocated += size;
+        Some(addr)
+    }
+
+    /// Frees an object. Returns its `(requested size, class size)` or
+    /// `None` for a bad pointer (double free / wild free).
+    pub fn kfree(&mut self, addr: Word) -> Option<(u64, u64)> {
+        let i = self.live.iter().position(|&(a, _, _)| a == addr)?;
+        let (_, size, class) = self.live.swap_remove(i);
+        let page = self
+            .pages
+            .iter_mut()
+            .find(|p| p.class == class && addr >= p.base && addr < p.base + PAGE_SIZE)
+            .expect("live object belongs to a page");
+        page.free.push(((addr - page.base) / class) as u32);
+        self.allocated -= size;
+        Some((size, class))
+    }
+
+    /// The requested size of a live allocation.
+    pub fn size_of(&self, addr: Word) -> Option<u64> {
+        self.live
+            .iter()
+            .find(|&&(a, _, _)| a == addr)
+            .map(|&(_, s, _)| s)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Slab, AddressSpace) {
+        (Slab::new(0xffff_8800_0000_0000), AddressSpace::new())
+    }
+
+    #[test]
+    fn same_class_allocations_are_adjacent() {
+        let (mut s, mut m) = setup();
+        let a = s.kmalloc(&mut m, 64).unwrap();
+        let b = s.kmalloc(&mut m, 64).unwrap();
+        let c = s.kmalloc(&mut m, 64).unwrap();
+        assert_eq!(b, a + 64, "SLUB adjacency (CAN BCM groom relies on it)");
+        assert_eq!(c, b + 64);
+    }
+
+    #[test]
+    fn sizes_round_up_to_class() {
+        let (mut s, mut m) = setup();
+        let a = s.kmalloc(&mut m, 33).unwrap();
+        let b = s.kmalloc(&mut m, 50).unwrap();
+        assert_eq!(b, a + 64, "both land in the 64-byte class");
+        assert_eq!(s.size_of(a), Some(33), "requested size remembered");
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_slot() {
+        let (mut s, mut m) = setup();
+        let a = s.kmalloc(&mut m, 128).unwrap();
+        let _b = s.kmalloc(&mut m, 128).unwrap();
+        s.kfree(a).unwrap();
+        let c = s.kmalloc(&mut m, 128).unwrap();
+        assert_eq!(c, a, "freed slot is reused (heap grooming)");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (mut s, mut m) = setup();
+        let a = s.kmalloc(&mut m, 64).unwrap();
+        assert!(s.kfree(a).is_some());
+        assert!(s.kfree(a).is_none());
+        assert!(s.kfree(0xdead).is_none());
+    }
+
+    #[test]
+    fn live_objects_never_overlap() {
+        let (mut s, mut m) = setup();
+        let mut addrs: Vec<(Word, u64)> = Vec::new();
+        for size in [32u64, 64, 64, 100, 128, 4096, 32, 2048, 512] {
+            let a = s.kmalloc(&mut m, size).unwrap();
+            let class = Slab::class_for(size).unwrap();
+            for &(b, bc) in &addrs {
+                assert!(a + class <= b || b + bc <= a, "overlap {a:#x} {b:#x}");
+            }
+            addrs.push((a, class));
+        }
+        assert_eq!(s.live_count(), 9);
+    }
+
+    #[test]
+    fn allocations_are_mapped_memory() {
+        let (mut s, mut m) = setup();
+        let a = s.kmalloc(&mut m, 4096).unwrap();
+        m.write_word(a, 42).unwrap();
+        m.write_word(a + 4088, 43).unwrap();
+        assert_eq!(m.read_word(a).unwrap(), 42);
+    }
+
+    #[test]
+    fn oversized_and_zero_rejected() {
+        let (mut s, mut m) = setup();
+        assert!(s.kmalloc(&mut m, 0).is_none());
+        assert!(s.kmalloc(&mut m, 4097).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! The sound subsystem: cards, PCM streams, DMA buffers.
+//!
+//! Exercised by the `snd-intel8x0` and `snd-ens1370` modules. The PCM
+//! trigger callback is dispatched through a slot in *module* memory (the
+//! ops table), so it goes down the checked indirect-call path.
+
+use std::rc::Rc;
+
+use lxfi_core::iface::Param;
+use lxfi_machine::{Trap, Word};
+
+use crate::kernel::Kernel;
+use crate::types::snd_pcm;
+
+/// Annotation for the PCM trigger/pointer callbacks: per-stream principal.
+pub const PCM_OP_ANN: &str = "principal(pcm) pre(copy(write, pcm, 64))";
+
+/// Sound subsystem state.
+#[derive(Debug, Default)]
+pub struct SndState {
+    /// Registered cards.
+    pub cards: Vec<Word>,
+    /// PCM streams: (pcm struct, module ops table address).
+    pub pcms: Vec<(Word, Word)>,
+}
+
+/// Registers sound exports and interface annotations.
+pub fn register(k: &mut Kernel) {
+    k.define_sig(
+        "pcm_trigger",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("cmd")],
+        PCM_OP_ANN,
+    );
+    k.define_sig(
+        "pcm_pointer",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("unused")],
+        PCM_OP_ANN,
+    );
+
+    k.export(
+        "snd_card_new",
+        vec![],
+        Some("post(if (return != 0) transfer(write, return, 64))"),
+        Rc::new(|k, _args| {
+            let card = k.kstatic_alloc(64);
+            k.snd.cards.push(card);
+            Ok(card)
+        }),
+    );
+
+    k.export(
+        "snd_pcm_new",
+        vec![Param::scalar("card"), Param::scalar("ops")],
+        Some("post(if (return != 0) transfer(write, return, 64))"),
+        Rc::new(|k, args| {
+            let pcm = k.kstatic_alloc(snd_pcm::SIZE);
+            k.mem
+                .write_word((pcm as i64 + snd_pcm::OPS) as u64, args[1])?;
+            k.snd.pcms.push((pcm, args[1]));
+            Ok(pcm)
+        }),
+    );
+
+    k.export(
+        "snd_dma_alloc",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("bytes")],
+        Some(
+            "pre(check(write, pcm, 64)) \
+             post(if (return != 0) transfer(write, return, bytes))",
+        ),
+        Rc::new(|k, args| {
+            let (pcm, bytes) = (args[0], args[1]);
+            let buf = k.kstatic_alloc(bytes);
+            k.mem
+                .write_word((pcm as i64 + snd_pcm::DMA_AREA) as u64, buf)?;
+            k.mem
+                .write_word((pcm as i64 + snd_pcm::DMA_BYTES) as u64, bytes)?;
+            Ok(buf)
+        }),
+    );
+
+    k.export(
+        "snd_card_register",
+        vec![Param::scalar("card")],
+        Some(""),
+        Rc::new(|_k, _args| Ok(0)),
+    );
+}
+
+impl Kernel {
+    /// Dispatches a PCM trigger through the stream's ops table (module
+    /// memory, offset 0 = trigger).
+    pub fn snd_trigger(&mut self, pcm: Word, cmd: u64) -> Result<Word, Trap> {
+        let (_, ops) = *self
+            .snd
+            .pcms
+            .iter()
+            .find(|&&(p, _)| p == pcm)
+            .ok_or_else(|| Trap::BadRef("unknown pcm".into()))?;
+        self.indirect_call(ops, "pcm_trigger", &[pcm, cmd])
+    }
+
+    /// Dispatches a PCM pointer query (ops table offset 8).
+    pub fn snd_pointer(&mut self, pcm: Word) -> Result<Word, Trap> {
+        let (_, ops) = *self
+            .snd
+            .pcms
+            .iter()
+            .find(|&&(p, _)| p == pcm)
+            .ok_or_else(|| Trap::BadRef("unknown pcm".into()))?;
+        self.indirect_call(ops + 8, "pcm_pointer", &[pcm, 0])
+    }
+}

@@ -1,0 +1,228 @@
+//! Simulated kernel struct layouts.
+//!
+//! Field offsets of the structures the modules and exploits manipulate.
+//! These stand in for the C struct definitions; the type sizes are also
+//! registered in [`lxfi_core::TypeLayouts`] so annotations can resolve
+//! `sizeof(*ptr)` defaults.
+
+use lxfi_core::TypeLayouts;
+
+/// `struct sk_buff` — a network packet.
+pub mod sk_buff {
+    /// Pointer to packet payload.
+    pub const DATA: i64 = 0;
+    /// Payload length in bytes.
+    pub const LEN: i64 = 8;
+    /// Owning device (`struct net_device *`).
+    pub const DEV: i64 = 16;
+    /// Protocol tag.
+    pub const PROTOCOL: i64 = 24;
+    /// Total size of the header object.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct net_device` — a network interface.
+pub mod net_device {
+    /// Pointer to `struct net_device_ops`.
+    pub const DEV_OPS: i64 = 0;
+    /// MTU.
+    pub const MTU: i64 = 8;
+    /// Interface flags.
+    pub const FLAGS: i64 = 16;
+    /// Driver-private area pointer.
+    pub const PRIV: i64 = 24;
+    /// Transmit-packet counter.
+    pub const TX_PACKETS: i64 = 32;
+    /// Receive-packet counter.
+    pub const RX_PACKETS: i64 = 40;
+    /// Attached packet scheduler (`struct Qdisc *`, Guideline 7).
+    pub const QDISC: i64 = 48;
+    /// Total size.
+    pub const SIZE: u64 = 128;
+}
+
+/// `struct net_device_ops` — device driver callbacks.
+pub mod net_device_ops {
+    /// `ndo_start_xmit(skb, dev)`.
+    pub const NDO_START_XMIT: i64 = 0;
+    /// `ndo_open(dev)`.
+    pub const NDO_OPEN: i64 = 8;
+    /// `ndo_stop(dev)`.
+    pub const NDO_STOP: i64 = 16;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct pci_dev` — a PCI device.
+pub mod pci_dev {
+    /// Vendor id.
+    pub const VENDOR: i64 = 0;
+    /// Device id.
+    pub const DEVICE: i64 = 4;
+    /// IRQ line.
+    pub const IRQ: i64 = 8;
+    /// Enable count (`pci_enable_device` increments).
+    pub const ENABLED: i64 = 16;
+    /// Simulated MMIO window base.
+    pub const MMIO_BASE: i64 = 24;
+    /// Simulated MMIO window length.
+    pub const MMIO_LEN: i64 = 32;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct socket` / `struct sock` (merged for the simulation).
+pub mod sock {
+    /// Pointer to `struct proto_ops`.
+    pub const OPS: i64 = 0;
+    /// Protocol family.
+    pub const FAMILY: i64 = 8;
+    /// Socket state.
+    pub const STATE: i64 = 16;
+    /// Protocol-private pointer.
+    pub const PRIV: i64 = 24;
+    /// Bytes queued.
+    pub const QUEUED: i64 = 32;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct proto_ops` — protocol callbacks.
+pub mod proto_ops {
+    /// `ioctl(sock, cmd, arg)`.
+    pub const IOCTL: i64 = 0;
+    /// `sendmsg(sock, buf, len)`.
+    pub const SENDMSG: i64 = 8;
+    /// `recvmsg(sock, buf, len)`.
+    pub const RECVMSG: i64 = 16;
+    /// `bind(sock, addr)`.
+    pub const BIND: i64 = 24;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct shmid_kernel` — System-V shared memory segment (the CAN BCM
+/// exploit's corruption target).
+pub mod shmid_kernel {
+    /// Permissions word.
+    pub const PERM: i64 = 0;
+    /// Function pointer invoked on shm operations (stands in for the
+    /// `file->f_op` chain the real exploit corrupts).
+    pub const OPS: i64 = 8;
+    /// Segment size.
+    pub const SEGSZ: i64 = 16;
+    /// Total size (chosen to share the 64-byte slab class with the
+    /// undersized CAN BCM buffer).
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct Qdisc` — packet scheduler (Guideline 7).
+pub mod qdisc {
+    /// `enqueue(skb, qdisc)` callback.
+    pub const ENQUEUE: i64 = 0;
+    /// Owning device.
+    pub const DEV: i64 = 8;
+    /// Queue length.
+    pub const QLEN: i64 = 16;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct snd_pcm` — a sound PCM stream.
+pub mod snd_pcm {
+    /// Pointer to ops table.
+    pub const OPS: i64 = 0;
+    /// DMA buffer pointer.
+    pub const DMA_AREA: i64 = 8;
+    /// DMA buffer size.
+    pub const DMA_BYTES: i64 = 16;
+    /// Stream state.
+    pub const STATE: i64 = 24;
+    /// Hardware pointer position.
+    pub const HW_PTR: i64 = 32;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct dm_target` — a device-mapper target instance.
+pub mod dm_target {
+    /// Pointer to the target-type ops.
+    pub const OPS: i64 = 0;
+    /// Target-private pointer (set by `ctr`).
+    pub const PRIV: i64 = 8;
+    /// Length of the mapped region, in sectors.
+    pub const LEN: i64 = 16;
+    /// Backing device start sector.
+    pub const BEGIN: i64 = 24;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `struct bio` — a block I/O request.
+pub mod bio {
+    /// Data buffer pointer.
+    pub const DATA: i64 = 0;
+    /// Length in bytes.
+    pub const LEN: i64 = 8;
+    /// Target sector.
+    pub const SECTOR: i64 = 16;
+    /// 0 = read, 1 = write.
+    pub const RW: i64 = 24;
+    /// Completion status (written by the driver).
+    pub const STATUS: i64 = 32;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
+/// `spinlock_t`.
+pub mod spinlock {
+    /// Total size.
+    pub const SIZE: u64 = 8;
+}
+
+/// Registers every simulated struct size with the layout registry.
+pub fn register_layouts(l: &mut TypeLayouts) {
+    l.define("sk_buff", sk_buff::SIZE);
+    l.define("struct sk_buff", sk_buff::SIZE);
+    l.define("net_device", net_device::SIZE);
+    l.define("struct net_device", net_device::SIZE);
+    l.define("net_device_ops", net_device_ops::SIZE);
+    l.define("pci_dev", pci_dev::SIZE);
+    l.define("struct pci_dev", pci_dev::SIZE);
+    l.define("sock", sock::SIZE);
+    l.define("struct sock", sock::SIZE);
+    l.define("proto_ops", proto_ops::SIZE);
+    l.define("shmid_kernel", shmid_kernel::SIZE);
+    l.define("Qdisc", qdisc::SIZE);
+    l.define("struct Qdisc", qdisc::SIZE);
+    l.define("snd_pcm", snd_pcm::SIZE);
+    l.define("struct snd_pcm", snd_pcm::SIZE);
+    l.define("dm_target", dm_target::SIZE);
+    l.define("struct dm_target", dm_target::SIZE);
+    l.define("bio", bio::SIZE);
+    l.define("struct bio", bio::SIZE);
+    l.define("spinlock_t", spinlock::SIZE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_register() {
+        let mut l = TypeLayouts::new();
+        register_layouts(&mut l);
+        assert_eq!(l.size_of("sk_buff"), Some(64));
+        assert_eq!(l.size_of("struct pci_dev"), Some(64));
+        assert_eq!(l.size_of("spinlock_t"), Some(8));
+        assert_eq!(l.size_of("no_such_struct"), None);
+    }
+
+    #[test]
+    fn fields_within_size() {
+        assert!((sk_buff::PROTOCOL as u64) + 8 <= sk_buff::SIZE);
+        assert!((net_device::QDISC as u64) + 8 <= net_device::SIZE);
+        assert!((proto_ops::BIND as u64) + 8 <= proto_ops::SIZE);
+        assert!((shmid_kernel::SEGSZ as u64) + 8 <= shmid_kernel::SIZE);
+    }
+}

@@ -1,0 +1,330 @@
+//! End-to-end tests of the kernel substrate with a toy module: wrapper
+//! semantics, capability grants from annotations, guard enforcement, the
+//! §1 `spin_lock_init` attack, and the PCI probe/alias flow of Figure 4.
+
+use lxfi_core::Violation;
+use lxfi_kernel::{IsolationMode, Kernel, ModuleSpec};
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{ProgramBuilder, Trap, Word};
+use lxfi_rewriter::InterfaceSpec;
+
+/// A toy module:
+/// - `alloc_and_fill(n)`: kmalloc(n), write n bytes, return the pointer.
+/// - `overflow(n)`: kmalloc(n), then write at offset n (one past the end).
+/// - `attack_lock(addr)`: call spin_lock_init(addr) — the §1 attack when
+///   addr is `&current->uid`.
+/// - `free(p)`: kfree(p).
+/// - `wild_write(addr, v)`: raw 8-byte store to an arbitrary address.
+fn toy_spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("toy");
+    let kmalloc = pb.import_func("kmalloc");
+    let kfree = pb.import_func("kfree");
+    let spin_lock_init = pb.import_func("spin_lock_init");
+
+    pb.define("alloc_and_fill", 1, 0, |f| {
+        let out = f.label();
+        let loop_top = f.label();
+        f.mov(R5, R0); // n
+        f.call_extern(kmalloc, &[R0.into()], Some(R1));
+        f.br(lxfi_machine::Cond::Eq, R1, 0i64, out);
+        f.mov(R2, 0i64); // i
+        f.bind(loop_top);
+        f.br(lxfi_machine::Cond::Eq, R2, R5, out);
+        f.add(R3, R1, R2);
+        f.store(0xabi64, R3, 0, lxfi_machine::Width::B1);
+        f.add(R2, R2, 1i64);
+        f.jmp(loop_top);
+        f.bind(out);
+        f.ret(R1);
+    });
+
+    pb.define("overflow", 1, 0, |f| {
+        f.mov(R5, R0);
+        f.call_extern(kmalloc, &[R0.into()], Some(R1));
+        f.add(R2, R1, R5);
+        f.store(0xeei64, R2, 0, lxfi_machine::Width::B1); // one past end
+        f.ret(R1);
+    });
+
+    pb.define("attack_lock", 1, 0, |f| {
+        f.call_extern(spin_lock_init, &[R0.into()], None);
+        f.ret(0i64);
+    });
+
+    pb.define("free", 1, 0, |f| {
+        f.call_extern(kfree, &[R0.into()], None);
+        f.ret(0i64);
+    });
+
+    pb.define("wild_write", 2, 0, |f| {
+        f.store8(R1, R0, 0);
+        f.ret(0i64);
+    });
+
+    ModuleSpec {
+        name: "toy".into(),
+        program: pb.finish(),
+        iface: InterfaceSpec::new(),
+        iterators: vec![],
+        init_fn: None,
+    }
+}
+
+fn call(k: &mut Kernel, module: &str, func: &str, args: &[Word]) -> Result<Word, Trap> {
+    let id = k.module_id(module).unwrap();
+    let addr = k.module_fn_addr(id, func).unwrap();
+    k.invoke_module_function(addr, args, None)
+}
+
+#[test]
+fn stock_module_runs_unchecked() {
+    let mut k = Kernel::boot(IsolationMode::Stock);
+    k.load_module(toy_spec()).unwrap();
+    let p = call(&mut k, "toy", "alloc_and_fill", &[64]).unwrap();
+    assert_ne!(p, 0);
+    assert_eq!(k.mem.read(p, lxfi_machine::Width::B1).unwrap(), 0xab);
+    // Stock: overflowing the allocation silently corrupts the heap.
+    let q = call(&mut k, "toy", "overflow", &[64]).unwrap();
+    assert_eq!(k.mem.read(q + 64, lxfi_machine::Width::B1).unwrap(), 0xee);
+}
+
+#[test]
+fn lxfi_module_can_use_granted_memory() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    let p = call(&mut k, "toy", "alloc_and_fill", &[64]).unwrap();
+    assert_ne!(p, 0);
+    assert_eq!(k.mem.read(p, lxfi_machine::Width::B1).unwrap(), 0xab);
+    assert_eq!(
+        k.mem.read(p + 63, lxfi_machine::Width::B1).unwrap(),
+        0xab,
+        "last in-bounds byte written"
+    );
+}
+
+#[test]
+fn lxfi_blocks_heap_overflow_at_first_byte() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    let err = call(&mut k, "toy", "overflow", &[64]).unwrap_err();
+    let v = err.policy_as::<Violation>().expect("policy violation");
+    assert!(
+        matches!(v, Violation::MissingWrite { len: 1, .. }),
+        "got {v:?}"
+    );
+}
+
+#[test]
+fn lxfi_blocks_wild_writes() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    let victim = k.kstatic_alloc(64);
+    let err = call(&mut k, "toy", "wild_write", &[victim, 0xdead]).unwrap_err();
+    assert!(err.policy_as::<Violation>().is_some());
+    // Stock lets the same write through.
+    let mut k = Kernel::boot(IsolationMode::Stock);
+    k.load_module(toy_spec()).unwrap();
+    let victim = k.kstatic_alloc(64);
+    call(&mut k, "toy", "wild_write", &[victim, 0xdead]).unwrap();
+    assert_eq!(k.mem.read_word(victim).unwrap(), 0xdead);
+}
+
+#[test]
+fn section_one_spin_lock_init_attack() {
+    // The module passes &current->uid to spin_lock_init, which would
+    // write 0 (root) there. Stock: escalation. LXFI: MissingWrite.
+    let mut k = Kernel::boot(IsolationMode::Stock);
+    k.load_module(toy_spec()).unwrap();
+    let uid_addr = (k.procs.current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
+    assert_eq!(k.procs.current_uid(&k.mem), 1000);
+    call(&mut k, "toy", "attack_lock", &[uid_addr]).unwrap();
+    assert_eq!(k.procs.current_uid(&k.mem), 0, "stock kernel: root!");
+
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    let uid_addr = (k.procs.current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
+    let err = call(&mut k, "toy", "attack_lock", &[uid_addr]).unwrap_err();
+    assert!(matches!(
+        err.policy_as::<Violation>(),
+        Some(Violation::MissingWrite { .. })
+    ));
+    assert_eq!(k.procs.current_uid(&k.mem), 1000, "uid intact");
+}
+
+#[test]
+fn legitimate_spin_lock_init_works() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    // A lock inside module-owned memory is fine.
+    let p = call(&mut k, "toy", "alloc_and_fill", &[64]).unwrap();
+    call(&mut k, "toy", "attack_lock", &[p + 8]).unwrap();
+    assert_eq!(k.mem.read_word(p + 8).unwrap(), 0);
+}
+
+#[test]
+fn kfree_strips_capabilities() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    let p = call(&mut k, "toy", "alloc_and_fill", &[64]).unwrap();
+    call(&mut k, "toy", "free", &[p]).unwrap();
+    // After free, writing through the stale pointer must be denied.
+    let err = call(&mut k, "toy", "wild_write", &[p, 1]).unwrap_err();
+    assert!(matches!(
+        err.policy_as::<Violation>(),
+        Some(Violation::MissingWrite { .. })
+    ));
+}
+
+#[test]
+fn double_free_of_unowned_memory_denied() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    let p = call(&mut k, "toy", "alloc_and_fill", &[64]).unwrap();
+    call(&mut k, "toy", "free", &[p]).unwrap();
+    let err = call(&mut k, "toy", "free", &[p]).unwrap_err();
+    assert!(
+        matches!(
+            err.policy_as::<Violation>(),
+            Some(Violation::MissingWrite { .. })
+        ),
+        "kfree's check(write, ptr) rejects freeing unowned memory"
+    );
+}
+
+#[test]
+fn unannotated_exports_are_uncallable() {
+    // Register an unannotated export, import it from a module: the safe
+    // default denies the call (§2.2).
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.export(
+        "forgot_to_annotate",
+        vec![],
+        None,
+        std::rc::Rc::new(|_k, _a| Ok(7)),
+    );
+    let mut pb = ProgramBuilder::new("m");
+    let sym = pb.import_func("forgot_to_annotate");
+    pb.define("go", 0, 0, |f| {
+        f.call_extern(sym, &[], Some(R0));
+        f.ret(R0);
+    });
+    k.load_module(ModuleSpec {
+        name: "m".into(),
+        program: pb.finish(),
+        iface: InterfaceSpec::new(),
+        iterators: vec![],
+        init_fn: None,
+    })
+    .unwrap();
+    let err = call(&mut k, "m", "go", &[]).unwrap_err();
+    assert!(matches!(
+        err.policy_as::<Violation>(),
+        Some(Violation::UnannotatedFunction { .. })
+    ));
+}
+
+#[test]
+fn module_cannot_call_unimported_exports() {
+    // detach_pid-style: a module with no import of `spin_lock_init` makes
+    // an indirect call to its address; no CALL capability → denied.
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    let mut pb = ProgramBuilder::new("m");
+    let sig = pb.sig("lockinit_t", 1);
+    pb.define("sneak", 2, 0, |f| {
+        // r0 = target address (smuggled in as data), r1 = lock addr.
+        f.call_ptr(R0, sig, &[R1.into()], Some(R0));
+        f.ret(R0);
+    });
+    let mut iface = InterfaceSpec::new();
+    iface.declare_sig(lxfi_core::FnDecl::new(
+        "lockinit_t",
+        vec![lxfi_core::Param::ptr("lock", "spinlock_t")],
+        lxfi_annotations::parse_fn_annotations("pre(check(write, lock))").unwrap(),
+    ));
+    k.load_module(ModuleSpec {
+        name: "m".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: None,
+    })
+    .unwrap();
+    let target = k.export_addr("spin_lock_init").unwrap();
+    let err = call(&mut k, "m", "sneak", &[target, 0x5000]).unwrap_err();
+    assert!(matches!(
+        err.policy_as::<Violation>(),
+        Some(Violation::MissingCall { .. })
+    ));
+}
+
+#[test]
+fn enter_classifies_violations_as_panic() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    let r = k.enter(|k| call(k, "toy", "overflow", &[64]));
+    assert!(matches!(r, Err(lxfi_kernel::KernelError::Panic(_))));
+    assert!(k.panic_reason().is_some());
+    assert!(k.last_violation().is_some());
+    // Subsequent syscalls fail fast until the panic is cleared.
+    let r2 = k.enter(|k| call(k, "toy", "alloc_and_fill", &[8]));
+    assert!(matches!(r2, Err(lxfi_kernel::KernelError::Panic(_))));
+    k.clear_panic();
+    assert!(k.enter(|k| call(k, "toy", "alloc_and_fill", &[8])).is_ok());
+}
+
+#[test]
+fn oops_path_zeroes_clear_child_tid() {
+    // CVE-2010-4258's primitive, reproduced by the oops handler.
+    let mut k = Kernel::boot(IsolationMode::Stock);
+    k.load_module(toy_spec()).unwrap();
+    let victim = k.kstatic_alloc(8);
+    k.mem.write_word(victim, 0xffff_ffff_ffff_ffff).unwrap();
+    let task = k.procs.current_task();
+    k.mem
+        .write_word(
+            (task as i64 + lxfi_kernel::process::task::CLEAR_CHILD_TID) as u64,
+            victim,
+        )
+        .unwrap();
+    // Trigger a NULL dereference inside the module.
+    let r = k.enter(|k| call(k, "toy", "wild_write", &[0, 1]));
+    assert!(matches!(r, Err(lxfi_kernel::KernelError::Oops(_))));
+    // do_exit wrote a 4-byte zero through clear_child_tid.
+    assert_eq!(k.mem.read_word(victim).unwrap(), 0xffff_ffff_0000_0000);
+}
+
+#[test]
+fn thread_stack_is_writable_without_explicit_caps() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    let mut pb = ProgramBuilder::new("m");
+    pb.define("stackuse", 0, 32, |f| {
+        // Taking the address of a local and storing through it exercises
+        // the dynamic stack-write path (not the elided StoreFrame path).
+        f.frame_addr(R1, 8);
+        f.store8(42i64, R1, 0);
+        f.load8(R0, R1, 0);
+        f.ret(R0);
+    });
+    k.load_module(ModuleSpec {
+        name: "m".into(),
+        program: pb.finish(),
+        iface: InterfaceSpec::new(),
+        iterators: vec![],
+        init_fn: None,
+    })
+    .unwrap();
+    assert_eq!(call(&mut k, "m", "stackuse", &[]).unwrap(), 42);
+}
+
+#[test]
+fn guard_stats_are_recorded() {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.load_module(toy_spec()).unwrap();
+    call(&mut k, "toy", "alloc_and_fill", &[16]).unwrap();
+    use lxfi_core::GuardKind;
+    assert!(k.rt.stats.count(GuardKind::MemWrite) >= 16);
+    assert!(k.rt.stats.count(GuardKind::FunctionEntry) >= 1);
+    assert!(k.rt.stats.count(GuardKind::FunctionExit) >= 1);
+    assert!(k.rt.stats.count(GuardKind::AnnotationAction) >= 1);
+    assert!(k.rt.stats.total_cycles() > 0);
+}

@@ -1,0 +1,695 @@
+//! Parser for the textual KIR format produced by [`crate::disasm`].
+//!
+//! Used by property tests (disassemble → assemble round trip) and handy
+//! for writing small fixture programs as strings.
+
+use std::collections::HashMap;
+
+use crate::isa::{BinOp, Cond, Inst, Operand, Reg, Width};
+use crate::program::{
+    FuncId, Function, GlobalDef, Import, ImportKind, Program, SigAssignment, SigDecl, SigId,
+};
+
+/// Error produced while parsing KIR text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parses a complete program from text.
+pub fn assemble(text: &str) -> Result<Program, ParseError> {
+    let mut p = Program::default();
+    let mut pending_assigns: Vec<(String, String, usize)> = Vec::new();
+    let mut func_ids: HashMap<String, FuncId> = HashMap::new();
+    let mut cur: Option<Function> = None;
+
+    // First pass: collect function names so forward calls resolve.
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("func ") {
+            let name = rest
+                .split('(')
+                .next()
+                .ok_or_else(|| ParseError {
+                    line: ln + 1,
+                    msg: "bad func header".into(),
+                })?
+                .trim();
+            func_ids.insert(name.to_string(), FuncId(func_ids.len() as u32));
+        }
+    }
+
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("program ") {
+            p.name = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("import ") {
+            let mut it = rest.split_whitespace();
+            let kind = match it.next() {
+                Some("func") => ImportKind::Func,
+                Some("data") => ImportKind::Data,
+                _ => return err(ln, "import kind must be func|data"),
+            };
+            let name = it.next().ok_or(ParseError {
+                line: ln,
+                msg: "missing import name".into(),
+            })?;
+            p.imports.push(Import {
+                name: name.into(),
+                kind,
+            });
+        } else if let Some(rest) = line.strip_prefix("global ") {
+            p.globals.push(parse_global(rest, ln)?);
+        } else if let Some(rest) = line.strip_prefix("sig ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or_default().to_string();
+            let params = it
+                .next()
+                .and_then(|s| s.strip_prefix("params="))
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError {
+                    line: ln,
+                    msg: "sig needs params=N".into(),
+                })?;
+            p.sigs.push(SigDecl { name, params });
+        } else if let Some(rest) = line.strip_prefix("reloc ") {
+            // `reloc @global+off &func`
+            let mut it = rest.split_whitespace();
+            let gpart = it.next().unwrap_or_default();
+            let fpart = it.next().unwrap_or_default();
+            let (gname, off) = gpart
+                .strip_prefix('@')
+                .and_then(|s| s.split_once('+'))
+                .ok_or(ParseError {
+                    line: ln,
+                    msg: "reloc needs @global+off".into(),
+                })?;
+            let global = p.global_by_name(gname).ok_or(ParseError {
+                line: ln,
+                msg: format!("reloc references unknown global {gname}"),
+            })?;
+            let offset: u64 = off.parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "bad reloc offset".into(),
+            })?;
+            let fname = fpart.strip_prefix('&').ok_or(ParseError {
+                line: ln,
+                msg: "reloc needs &func".into(),
+            })?;
+            let func = *func_ids.get(fname).ok_or(ParseError {
+                line: ln,
+                msg: format!("reloc references unknown func {fname}"),
+            })?;
+            p.fn_relocs.push(crate::program::FnReloc {
+                global,
+                offset,
+                func,
+            });
+        } else if let Some(rest) = line.strip_prefix("assign ") {
+            let mut it = rest.split_whitespace();
+            let f = it.next().unwrap_or_default().to_string();
+            let s = it.next().unwrap_or_default().to_string();
+            pending_assigns.push((f, s, ln));
+        } else if let Some(rest) = line.strip_prefix("func ") {
+            if let Some(f) = cur.take() {
+                p.funcs.push(f);
+            }
+            cur = Some(parse_func_header(rest, ln)?);
+        } else {
+            // An instruction line: "N: inst".
+            let f = cur.as_mut().ok_or(ParseError {
+                line: ln,
+                msg: "instruction outside function".into(),
+            })?;
+            let body = match line.split_once(':') {
+                Some((_idx, body)) => body.trim(),
+                None => line,
+            };
+            let inst = parse_inst(body, &p, &func_ids, ln)?;
+            f.insts.push(inst);
+        }
+    }
+    if let Some(f) = cur.take() {
+        p.funcs.push(f);
+    }
+    for (fname, sname, ln) in pending_assigns {
+        let func = *func_ids.get(&fname).ok_or(ParseError {
+            line: ln,
+            msg: format!("assign references unknown func {fname}"),
+        })?;
+        let sig = p.sig_by_name(&sname).ok_or(ParseError {
+            line: ln,
+            msg: format!("assign references unknown sig {sname}"),
+        })?;
+        p.sig_assignments.push(SigAssignment { func, sig });
+    }
+    Ok(p)
+}
+
+fn parse_global(rest: &str, ln: usize) -> Result<GlobalDef, ParseError> {
+    let mut it = rest.split_whitespace();
+    let name = it.next().unwrap_or_default().to_string();
+    let mut size = None;
+    let mut writable = true;
+    let mut init = None;
+    for tok in it {
+        if let Some(s) = tok.strip_prefix("size=") {
+            size = s.parse().ok();
+        } else if tok == "rw" {
+            writable = true;
+        } else if tok == "ro" {
+            writable = false;
+        } else if let Some(hex) = tok.strip_prefix("init=") {
+            let mut bytes = Vec::with_capacity(hex.len() / 2);
+            let h = hex.as_bytes();
+            if h.len() % 2 != 0 {
+                return err(ln, "odd-length init hex");
+            }
+            for ch in h.chunks(2) {
+                let s = std::str::from_utf8(ch).unwrap();
+                bytes.push(u8::from_str_radix(s, 16).map_err(|_| ParseError {
+                    line: ln,
+                    msg: "bad init hex".into(),
+                })?);
+            }
+            init = Some(bytes);
+        } else {
+            return err(ln, format!("unknown global attribute {tok}"));
+        }
+    }
+    Ok(GlobalDef {
+        name,
+        size: size.ok_or(ParseError {
+            line: ln,
+            msg: "global needs size=N".into(),
+        })?,
+        writable,
+        init,
+    })
+}
+
+fn parse_func_header(rest: &str, ln: usize) -> Result<Function, ParseError> {
+    // `name(params=N, frame=M):`
+    let (name, tail) = rest.split_once('(').ok_or(ParseError {
+        line: ln,
+        msg: "func header missing (".into(),
+    })?;
+    let tail = tail.trim_end_matches(':').trim_end_matches(')');
+    let mut params = 0u8;
+    let mut frame = 0u32;
+    for part in tail.split(',') {
+        let part = part.trim();
+        if let Some(v) = part.strip_prefix("params=") {
+            params = v.parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "bad params".into(),
+            })?;
+        } else if let Some(v) = part.strip_prefix("frame=") {
+            frame = v.parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "bad frame".into(),
+            })?;
+        }
+    }
+    Ok(Function {
+        name: name.trim().to_string(),
+        params,
+        frame_size: frame,
+        insts: Vec::new(),
+    })
+}
+
+fn parse_reg(tok: &str, ln: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(n) = t.strip_prefix('r') {
+        if let Ok(v) = n.parse::<u8>() {
+            if (v as usize) < crate::isa::NUM_REGS {
+                return Ok(Reg(v));
+            }
+        }
+    }
+    err(ln, format!("bad register `{tok}`"))
+}
+
+fn parse_operand(tok: &str, ln: usize) -> Result<Operand, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    if t.starts_with('r') && t[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(Operand::Reg(parse_reg(t, ln)?));
+    }
+    t.parse::<i64>().map(Operand::Imm).map_err(|_| ParseError {
+        line: ln,
+        msg: format!("bad operand `{tok}`"),
+    })
+}
+
+/// Parses `[base+off]` / `[base-off]` into (base operand, signed offset).
+fn parse_addr(tok: &str, ln: usize) -> Result<(Operand, i64), ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or(ParseError {
+            line: ln,
+            msg: format!("bad address `{tok}`"),
+        })?;
+    // Find the +/- separating base from offset (skip a leading sign).
+    let mut split = None;
+    for (i, c) in inner.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            split = Some(i);
+            break;
+        }
+    }
+    let (base_s, off_s) = match split {
+        Some(i) => (&inner[..i], &inner[i..]),
+        None => (inner, "+0"),
+    };
+    let base = parse_operand(base_s, ln)?;
+    let off = off_s.parse::<i64>().map_err(|_| ParseError {
+        line: ln,
+        msg: format!("bad offset in `{tok}`"),
+    })?;
+    Ok((base, off))
+}
+
+fn parse_width(s: &str, ln: usize) -> Result<Width, ParseError> {
+    match s {
+        "1" => Ok(Width::B1),
+        "2" => Ok(Width::B2),
+        "4" => Ok(Width::B4),
+        "8" => Ok(Width::B8),
+        _ => err(ln, format!("bad width `{s}`")),
+    }
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "rotl" => BinOp::Rotl,
+        _ => return None,
+    })
+}
+
+fn parse_cond(s: &str, ln: usize) -> Result<Cond, ParseError> {
+    Ok(match s {
+        "eq" => Cond::Eq,
+        "ne" => Cond::Ne,
+        "lt" => Cond::Lt,
+        "le" => Cond::Le,
+        "gt" => Cond::Gt,
+        "ge" => Cond::Ge,
+        "ult" => Cond::Ult,
+        "ule" => Cond::Ule,
+        _ => return err(ln, format!("bad condition `{s}`")),
+    })
+}
+
+/// Parses `name(arg, arg) -> rD` into (name, args, ret).
+fn parse_call(rest: &str, ln: usize) -> Result<(String, Vec<Operand>, Option<Reg>), ParseError> {
+    let (head, ret) = match rest.split_once("->") {
+        Some((h, r)) => (h.trim(), Some(parse_reg(r.trim(), ln)?)),
+        None => (rest.trim(), None),
+    };
+    let (name, args_s) = head.split_once('(').ok_or(ParseError {
+        line: ln,
+        msg: "call missing (".into(),
+    })?;
+    let args_s = args_s.trim_end_matches(')');
+    let mut args = Vec::new();
+    for a in args_s.split(',') {
+        let a = a.trim();
+        if !a.is_empty() {
+            args.push(parse_operand(a, ln)?);
+        }
+    }
+    Ok((name.trim().to_string(), args, ret))
+}
+
+fn parse_inst(
+    body: &str,
+    p: &Program,
+    func_ids: &HashMap<String, FuncId>,
+    ln: usize,
+) -> Result<Inst, ParseError> {
+    let (op, rest) = match body.split_once(' ') {
+        Some((o, r)) => (o, r.trim()),
+        None => (body, ""),
+    };
+    let (op, suffix) = match op.split_once('.') {
+        Some((o, s)) => (o, Some(s)),
+        None => (op, None),
+    };
+
+    let sig_by_name = |name: &str| -> Result<SigId, ParseError> {
+        p.sig_by_name(name).ok_or(ParseError {
+            line: ln,
+            msg: format!("unknown sig `{name}`"),
+        })
+    };
+
+    match op {
+        "mov" => {
+            let (d, s) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "mov needs 2 operands".into(),
+            })?;
+            Ok(Inst::Mov {
+                dst: parse_reg(d, ln)?,
+                src: parse_operand(s, ln)?,
+            })
+        }
+        _ if parse_binop(op).is_some() => {
+            let parts: Vec<&str> = rest.split(',').map(|s| s.trim()).collect();
+            if parts.len() != 3 {
+                return err(ln, "binop needs 3 operands");
+            }
+            Ok(Inst::Bin {
+                op: parse_binop(op).unwrap(),
+                dst: parse_reg(parts[0], ln)?,
+                lhs: parse_operand(parts[1], ln)?,
+                rhs: parse_operand(parts[2], ln)?,
+            })
+        }
+        "load" => {
+            let (d, a) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "load needs dst, [addr]".into(),
+            })?;
+            let (base, off) = parse_addr(a, ln)?;
+            Ok(Inst::Load {
+                dst: parse_reg(d, ln)?,
+                base,
+                off,
+                width: parse_width(suffix.unwrap_or("8"), ln)?,
+            })
+        }
+        "store" => {
+            let (a, s) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "store needs [addr], src".into(),
+            })?;
+            let (base, off) = parse_addr(a, ln)?;
+            Ok(Inst::Store {
+                src: parse_operand(s, ln)?,
+                base,
+                off,
+                width: parse_width(suffix.unwrap_or("8"), ln)?,
+            })
+        }
+        "loadf" => {
+            let (d, a) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "loadf needs dst, [sp+off]".into(),
+            })?;
+            let off = parse_sp_off(a, ln)?;
+            Ok(Inst::LoadFrame {
+                dst: parse_reg(d, ln)?,
+                off,
+                width: parse_width(suffix.unwrap_or("8"), ln)?,
+            })
+        }
+        "storef" => {
+            let (a, s) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "storef needs [sp+off], src".into(),
+            })?;
+            let off = parse_sp_off(a, ln)?;
+            Ok(Inst::StoreFrame {
+                src: parse_operand(s, ln)?,
+                off,
+                width: parse_width(suffix.unwrap_or("8"), ln)?,
+            })
+        }
+        "frameaddr" => {
+            let (d, a) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "frameaddr needs dst, sp+off".into(),
+            })?;
+            let off = a
+                .trim()
+                .strip_prefix("sp+")
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError {
+                    line: ln,
+                    msg: "frameaddr needs sp+off".into(),
+                })?;
+            Ok(Inst::FrameAddr {
+                dst: parse_reg(d, ln)?,
+                off,
+            })
+        }
+        "globaladdr" => {
+            let (d, g) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "globaladdr needs dst, @name".into(),
+            })?;
+            let name = g.trim().strip_prefix('@').ok_or(ParseError {
+                line: ln,
+                msg: "global name must start with @".into(),
+            })?;
+            let global = p.global_by_name(name).ok_or(ParseError {
+                line: ln,
+                msg: format!("unknown global `{name}`"),
+            })?;
+            Ok(Inst::GlobalAddr {
+                dst: parse_reg(d, ln)?,
+                global,
+            })
+        }
+        "symaddr" => {
+            let (d, s) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "symaddr needs dst, $name".into(),
+            })?;
+            let name = s.trim().strip_prefix('$').ok_or(ParseError {
+                line: ln,
+                msg: "symbol name must start with $".into(),
+            })?;
+            let sym = p.import_by_name(name).ok_or(ParseError {
+                line: ln,
+                msg: format!("unknown import `{name}`"),
+            })?;
+            Ok(Inst::SymAddr {
+                dst: parse_reg(d, ln)?,
+                sym,
+            })
+        }
+        "funcaddr" => {
+            let (d, f) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "funcaddr needs dst, &name".into(),
+            })?;
+            let name = f.trim().strip_prefix('&').ok_or(ParseError {
+                line: ln,
+                msg: "function name must start with &".into(),
+            })?;
+            let func = *func_ids.get(name).ok_or(ParseError {
+                line: ln,
+                msg: format!("unknown function `{name}`"),
+            })?;
+            Ok(Inst::FuncAddr {
+                dst: parse_reg(d, ln)?,
+                func,
+            })
+        }
+        "jmp" => {
+            let t = rest.strip_prefix("->").ok_or(ParseError {
+                line: ln,
+                msg: "jmp needs -> target".into(),
+            })?;
+            Ok(Inst::Jmp {
+                target: t.trim().parse().map_err(|_| ParseError {
+                    line: ln,
+                    msg: "bad jump target".into(),
+                })?,
+            })
+        }
+        "br" => {
+            let cond = parse_cond(suffix.unwrap_or(""), ln)?;
+            let (ops, t) = rest.split_once("->").ok_or(ParseError {
+                line: ln,
+                msg: "br needs -> target".into(),
+            })?;
+            let parts: Vec<&str> = ops.split(',').map(|s| s.trim()).collect();
+            if parts.len() != 2 {
+                return err(ln, "br needs 2 operands");
+            }
+            Ok(Inst::Br {
+                cond,
+                lhs: parse_operand(parts[0], ln)?,
+                rhs: parse_operand(parts[1], ln)?,
+                target: t.trim().parse().map_err(|_| ParseError {
+                    line: ln,
+                    msg: "bad branch target".into(),
+                })?,
+            })
+        }
+        "call" => {
+            let (name, args, ret) = parse_call(rest, ln)?;
+            let func = *func_ids.get(&name).ok_or(ParseError {
+                line: ln,
+                msg: format!("unknown function `{name}`"),
+            })?;
+            Ok(Inst::CallLocal { func, args, ret })
+        }
+        "ecall" => {
+            let (name, args, ret) = parse_call(rest, ln)?;
+            let sym = p.import_by_name(&name).ok_or(ParseError {
+                line: ln,
+                msg: format!("unknown import `{name}`"),
+            })?;
+            Ok(Inst::CallExtern { sym, args, ret })
+        }
+        "icall" => {
+            // `ptr:sig(args) [-> rD]`
+            let (ptr_s, tail) = rest.split_once(':').ok_or(ParseError {
+                line: ln,
+                msg: "icall needs ptr:sig".into(),
+            })?;
+            let (name, args, ret) = parse_call(tail, ln)?;
+            Ok(Inst::CallPtr {
+                ptr: parse_operand(ptr_s, ln)?,
+                sig: sig_by_name(&name)?,
+                args,
+                ret,
+            })
+        }
+        "ret" => {
+            if rest.is_empty() {
+                Ok(Inst::Ret { val: None })
+            } else {
+                Ok(Inst::Ret {
+                    val: Some(parse_operand(rest, ln)?),
+                })
+            }
+        }
+        "trap" => Ok(Inst::Trap {
+            code: rest.parse().map_err(|_| ParseError {
+                line: ln,
+                msg: "bad trap code".into(),
+            })?,
+        }),
+        "nop" => Ok(Inst::Nop),
+        "guard_write" => {
+            let (a, l) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                msg: "guard_write needs [addr], len".into(),
+            })?;
+            let (base, off) = parse_addr(a, ln)?;
+            Ok(Inst::GuardWrite {
+                base,
+                off,
+                len: parse_operand(l, ln)?,
+            })
+        }
+        "guard_indcall" => {
+            let (a, s) = rest.split_once(':').ok_or(ParseError {
+                line: ln,
+                msg: "guard_indcall needs [slot]: sig".into(),
+            })?;
+            let (slot_base, slot_off) = parse_addr(a, ln)?;
+            Ok(Inst::GuardIndCall {
+                slot_base,
+                slot_off,
+                sig: sig_by_name(s.trim())?,
+            })
+        }
+        _ => err(ln, format!("unknown instruction `{body}`")),
+    }
+}
+
+fn parse_sp_off(tok: &str, ln: usize) -> Result<u32, ParseError> {
+    tok.trim()
+        .trim_end_matches(',')
+        .strip_prefix("[sp+")
+        .and_then(|s| s.strip_suffix(']'))
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseError {
+            line: ln,
+            msg: format!("bad frame address `{tok}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    #[test]
+    fn roundtrip_small_program() {
+        let text = "\
+program demo
+import func kmalloc
+import data jiffies
+global tbl size=64 rw
+global ops size=32 ro init=0102ff
+sig cb params=2
+assign f cb
+
+func f(params=1, frame=32):
+  0: mov r1, -3
+  1: load.4 r2, [r0+8]
+  2: store.8 [r1-16], r2
+  3: loadf.8 r3, [sp+8]
+  4: storef.4 [sp+12], r3
+  5: frameaddr r4, sp+16
+  6: globaladdr r5, @tbl
+  7: symaddr r6, $jiffies
+  8: funcaddr r7, &f
+  9: br.ult r2, r3 -> 12
+  10: ecall kmalloc(r0, 64) -> r8
+  11: icall r8:cb(r1, r2) -> r9
+  12: guard_write [r5+0], 64
+  13: guard_indcall [r5+8]: cb
+  14: call f(r0) -> r0
+  15: ret r0
+";
+        let p = assemble(text).expect("parse");
+        let rendered = disassemble(&p);
+        let p2 = assemble(&rendered).expect("reparse");
+        let rendered2 = disassemble(&p2);
+        assert_eq!(rendered, rendered2, "disassembly is a fixpoint");
+        assert_eq!(p.funcs[0].insts, p2.funcs[0].insts);
+        assert_eq!(p.funcs[0].frame_size, 32);
+        assert_eq!(p.globals[1].init.as_deref(), Some(&[1u8, 2, 0xff][..]));
+        assert!(!p.globals[1].writable);
+        assert_eq!(p.sig_assignments.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = assemble("program x\nfunc f(params=0, frame=0):\n  0: bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic cycle costs per instruction.
+//!
+//! These feed the network cost model (Figure 12) and the guard-cost
+//! breakdown (Figure 13). They are a simple in-order model: ALU ops cost
+//! one cycle, memory ops a little more, calls the most. Guard costs are
+//! *not* here — the LXFI runtime accounts for those separately so that
+//! "time spent in runtime guards" can be reported per guard type.
+
+use crate::isa::Inst;
+
+/// Cycle cost of an ALU or move instruction.
+pub const ALU: u64 = 1;
+/// Cycle cost of a memory load or store.
+pub const MEM: u64 = 3;
+/// Cycle cost of a taken or untaken branch.
+pub const BRANCH: u64 = 1;
+/// Base cycle cost of a call (frame setup, argument copy).
+pub const CALL: u64 = 8;
+/// Cycle cost of a return.
+pub const RET: u64 = 4;
+
+/// Returns the deterministic cycle cost of executing `inst` once,
+/// excluding any LXFI guard work it triggers.
+pub fn cost(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Mov { .. }
+        | Inst::Bin { .. }
+        | Inst::FrameAddr { .. }
+        | Inst::GlobalAddr { .. }
+        | Inst::SymAddr { .. }
+        | Inst::FuncAddr { .. } => ALU,
+        Inst::Load { .. }
+        | Inst::Store { .. }
+        | Inst::LoadFrame { .. }
+        | Inst::StoreFrame { .. } => MEM,
+        Inst::Jmp { .. } | Inst::Br { .. } => BRANCH,
+        Inst::CallLocal { .. } | Inst::CallExtern { .. } | Inst::CallPtr { .. } => CALL,
+        Inst::Ret { .. } => RET,
+        Inst::Trap { .. } | Inst::Nop => ALU,
+        // Guards: the dispatch itself is one cycle; the runtime adds the
+        // guard's own cost through its statistics hooks.
+        Inst::GuardWrite { .. } | Inst::GuardIndCall { .. } => ALU,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Operand, Reg, Width};
+
+    #[test]
+    fn memory_costs_more_than_alu() {
+        let mov = Inst::Mov {
+            dst: Reg(0),
+            src: Operand::Imm(1),
+        };
+        let ld = Inst::Load {
+            dst: Reg(0),
+            base: Operand::Reg(Reg(1)),
+            off: 0,
+            width: Width::B8,
+        };
+        assert!(cost(&ld) > cost(&mov));
+    }
+
+    #[test]
+    fn calls_cost_most() {
+        let call = Inst::CallLocal {
+            func: crate::program::FuncId(0),
+            args: vec![],
+            ret: None,
+        };
+        assert!(cost(&call) >= MEM);
+    }
+}

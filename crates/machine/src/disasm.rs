@@ -1,0 +1,203 @@
+//! Textual disassembly of KIR programs.
+//!
+//! The output is a stable, line-oriented format that [`crate::asm`] parses
+//! back; property tests assert the round trip. It is also the main
+//! debugging aid when developing module programs.
+
+use std::fmt::Write as _;
+
+use crate::isa::{Inst, Operand};
+use crate::program::{Function, Program};
+
+/// Disassembles a whole program.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "program {}", p.name).unwrap();
+    for imp in &p.imports {
+        let kind = match imp.kind {
+            crate::program::ImportKind::Func => "func",
+            crate::program::ImportKind::Data => "data",
+        };
+        writeln!(out, "import {kind} {}", imp.name).unwrap();
+    }
+    for g in &p.globals {
+        let rw = if g.writable { "rw" } else { "ro" };
+        match &g.init {
+            None => writeln!(out, "global {} size={} {}", g.name, g.size, rw).unwrap(),
+            Some(bytes) => {
+                let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+                writeln!(out, "global {} size={} {} init={}", g.name, g.size, rw, hex).unwrap()
+            }
+        }
+    }
+    for s in &p.sigs {
+        writeln!(out, "sig {} params={}", s.name, s.params).unwrap();
+    }
+    for r in &p.fn_relocs {
+        writeln!(
+            out,
+            "reloc @{}+{} &{}",
+            p.globals[r.global.0 as usize].name, r.offset, p.funcs[r.func.0 as usize].name
+        )
+        .unwrap();
+    }
+    for a in &p.sig_assignments {
+        writeln!(
+            out,
+            "assign {} {}",
+            p.funcs[a.func.0 as usize].name, p.sigs[a.sig.0 as usize].name
+        )
+        .unwrap();
+    }
+    for f in &p.funcs {
+        out.push('\n');
+        disassemble_function(&mut out, p, f);
+    }
+    out
+}
+
+/// Disassembles one function into `out`.
+pub fn disassemble_function(out: &mut String, p: &Program, f: &Function) {
+    writeln!(
+        out,
+        "func {}(params={}, frame={}):",
+        f.name, f.params, f.frame_size
+    )
+    .unwrap();
+    for (i, inst) in f.insts.iter().enumerate() {
+        writeln!(out, "  {i}: {}", inst_to_string(p, inst)).unwrap();
+    }
+}
+
+fn args_to_string(args: &[Operand]) -> String {
+    args.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn ret_suffix(ret: &Option<crate::isa::Reg>) -> String {
+    match ret {
+        Some(r) => format!(" -> {r}"),
+        None => String::new(),
+    }
+}
+
+/// Renders one instruction (context needed to resolve names).
+pub fn inst_to_string(p: &Program, inst: &Inst) -> String {
+    match inst {
+        Inst::Mov { dst, src } => format!("mov {dst}, {src}"),
+        Inst::Bin { op, dst, lhs, rhs } => format!("{op} {dst}, {lhs}, {rhs}"),
+        Inst::Load {
+            dst,
+            base,
+            off,
+            width,
+        } => format!("load.{width} {dst}, [{base}{off:+}]"),
+        Inst::Store {
+            src,
+            base,
+            off,
+            width,
+        } => format!("store.{width} [{base}{off:+}], {src}"),
+        Inst::LoadFrame { dst, off, width } => format!("loadf.{width} {dst}, [sp+{off}]"),
+        Inst::StoreFrame { src, off, width } => format!("storef.{width} [sp+{off}], {src}"),
+        Inst::FrameAddr { dst, off } => format!("frameaddr {dst}, sp+{off}"),
+        Inst::GlobalAddr { dst, global } => {
+            format!("globaladdr {dst}, @{}", p.globals[global.0 as usize].name)
+        }
+        Inst::SymAddr { dst, sym } => {
+            format!("symaddr {dst}, ${}", p.imports[sym.0 as usize].name)
+        }
+        Inst::FuncAddr { dst, func } => {
+            format!("funcaddr {dst}, &{}", p.funcs[func.0 as usize].name)
+        }
+        Inst::Jmp { target } => format!("jmp -> {target}"),
+        Inst::Br {
+            cond,
+            lhs,
+            rhs,
+            target,
+        } => format!("br.{cond} {lhs}, {rhs} -> {target}"),
+        Inst::CallLocal { func, args, ret } => format!(
+            "call {}({}){}",
+            p.funcs[func.0 as usize].name,
+            args_to_string(args),
+            ret_suffix(ret)
+        ),
+        Inst::CallExtern { sym, args, ret } => format!(
+            "ecall {}({}){}",
+            p.imports[sym.0 as usize].name,
+            args_to_string(args),
+            ret_suffix(ret)
+        ),
+        Inst::CallPtr {
+            ptr,
+            sig,
+            args,
+            ret,
+        } => format!(
+            "icall {ptr}:{}({}){}",
+            p.sigs[sig.0 as usize].name,
+            args_to_string(args),
+            ret_suffix(ret)
+        ),
+        Inst::Ret { val: Some(v) } => format!("ret {v}"),
+        Inst::Ret { val: None } => "ret".to_string(),
+        Inst::Trap { code } => format!("trap {code}"),
+        Inst::Nop => "nop".to_string(),
+        Inst::GuardWrite { base, off, len } => {
+            format!("guard_write [{base}{off:+}], {len}")
+        }
+        Inst::GuardIndCall {
+            slot_base,
+            slot_off,
+            sig,
+        } => format!(
+            "guard_indcall [{slot_base}{slot_off:+}]: {}",
+            p.sigs[sig.0 as usize].name
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::regs::*;
+    use crate::builder::ProgramBuilder;
+    use crate::isa::{Cond, Width};
+
+    #[test]
+    fn renders_core_instructions() {
+        let mut pb = ProgramBuilder::new("demo");
+        let km = pb.import_func("kmalloc");
+        let g = pb.global("tbl", 64);
+        let sig = pb.sig("cb", 1);
+        let f = pb.define("f", 1, 16, |f| {
+            let out = f.label();
+            f.mov(R1, -3i64);
+            f.load(R2, R0, 8, Width::B4);
+            f.store8(R2, R1, -16);
+            f.global_addr(R3, g);
+            f.call_extern(km, &[R0.into()], Some(R4));
+            f.call_ptr(R4, sig, &[R2.into()], None);
+            f.br(Cond::Ne, R2, 0i64, out);
+            f.bind(out);
+            f.ret_void();
+        });
+        pb.assign_sig(f, sig);
+        let p = pb.finish();
+        let text = disassemble(&p);
+        assert!(text.contains("program demo"));
+        assert!(text.contains("import func kmalloc"));
+        assert!(text.contains("global tbl size=64 rw"));
+        assert!(text.contains("sig cb params=1"));
+        assert!(text.contains("assign f cb"));
+        assert!(text.contains("mov r1, -3"));
+        assert!(text.contains("load.4 r2, [r0+8]"));
+        assert!(text.contains("store.8 [r1-16], r2"));
+        assert!(text.contains("ecall kmalloc(r0) -> r4"));
+        assert!(text.contains("icall r4:cb(r2)"));
+        assert!(text.contains("br.ne r2, 0 -> 7"));
+    }
+}

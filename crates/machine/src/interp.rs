@@ -1,0 +1,565 @@
+//! The KIR interpreter.
+//!
+//! [`run_function`] executes one function (and its intra-module callees)
+//! against an [`Env`] — the simulated kernel world. Everything that crosses
+//! the module boundary is delegated to the environment:
+//!
+//! - `CallExtern` → [`Env::call_extern`] (kernel function, through its LXFI
+//!   wrapper when isolated),
+//! - `CallPtr` → [`Env::call_ptr`] (module-level indirect call, checked and
+//!   wrapped by the runtime when isolated),
+//! - guard instructions → [`Env::guard_write`] / [`Env::guard_indcall`].
+//!
+//! The environment may re-enter the interpreter from those hooks (a kernel
+//! function invoking a module callback), which is how nested kernel/module
+//! control transfers — and their shadow-stack bookkeeping — happen.
+
+use crate::costs;
+use crate::isa::{BinOp, Inst, Operand, Reg, NUM_ARG_REGS, NUM_REGS};
+use crate::mem::AddressSpace;
+use crate::program::{FuncId, GlobalId, Program, SigId, SymbolId};
+use crate::{Trap, Word};
+
+/// The world a KIR program executes in.
+///
+/// Implemented by the simulated kernel (`lxfi-kernel`); tests implement
+/// lightweight versions.
+pub trait Env {
+    /// Simulated memory (mutable).
+    fn mem(&mut self) -> &mut AddressSpace;
+
+    /// Simulated memory (shared).
+    fn mem_ref(&self) -> &AddressSpace;
+
+    /// Accounts `cycles` of work; returns [`Trap::OutOfFuel`] when the
+    /// execution budget is exhausted.
+    fn consume(&mut self, cycles: u64) -> Result<(), Trap>;
+
+    /// Reserves a `size`-byte frame on the current kernel thread stack and
+    /// returns the new stack pointer (frame base).
+    fn push_frame(&mut self, size: u32) -> Result<Word, Trap>;
+
+    /// Releases the most recent frame of `size` bytes.
+    fn pop_frame(&mut self, size: u32);
+
+    /// LXFI write guard: may the current principal write
+    /// `[addr, addr+len)`?
+    fn guard_write(&mut self, addr: Word, len: Word) -> Result<(), Trap>;
+
+    /// LXFI kernel-side indirect-call guard for the function-pointer slot
+    /// at `slot` with declared pointer type `sig`.
+    fn guard_indcall(&mut self, slot: Word, sig: SigId) -> Result<(), Trap>;
+
+    /// Calls an imported kernel symbol.
+    fn call_extern(&mut self, sym: SymbolId, args: &[Word]) -> Result<Word, Trap>;
+
+    /// Calls through a function-pointer value with declared type `sig`.
+    fn call_ptr(&mut self, target: Word, sig: SigId, args: &[Word]) -> Result<Word, Trap>;
+
+    /// Resolves the load address of a module global.
+    fn global_addr(&self, global: GlobalId) -> Result<Word, Trap>;
+
+    /// Resolves the address of an imported kernel symbol.
+    fn sym_addr(&self, sym: SymbolId) -> Result<Word, Trap>;
+
+    /// Resolves the address of a module-local function.
+    fn func_addr(&self, func: FuncId) -> Result<Word, Trap>;
+}
+
+struct Frame {
+    func: FuncId,
+    pc: usize,
+    regs: [Word; NUM_REGS],
+    sp: Word,
+    frame_size: u32,
+    /// Register in the *caller's* frame receiving the return value.
+    ret_to: Option<Reg>,
+}
+
+/// Executes `func` from `program` with `args`, returning its result
+/// (0 for `void` returns).
+///
+/// Intra-module direct calls are handled with an explicit frame stack (no
+/// host recursion); cross-boundary calls recurse through the environment.
+pub fn run_function<E: Env + ?Sized>(
+    env: &mut E,
+    program: &Program,
+    func: FuncId,
+    args: &[Word],
+) -> Result<Word, Trap> {
+    let mut frames: Vec<Frame> = Vec::new();
+    let result = exec(env, program, func, args, &mut frames);
+    // Unwind any frames left on the simulated stack after a trap so the
+    // thread's stack pointer stays balanced (the kernel may catch the trap,
+    // as the oops path does for the Econet NULL dereference).
+    if result.is_err() {
+        for fr in frames.drain(..).rev() {
+            env.pop_frame(fr.frame_size);
+        }
+    }
+    result
+}
+
+fn new_frame<E: Env + ?Sized>(
+    env: &mut E,
+    program: &Program,
+    func: FuncId,
+    args: &[Word],
+    ret_to: Option<Reg>,
+) -> Result<Frame, Trap> {
+    let f = program
+        .funcs
+        .get(func.0 as usize)
+        .ok_or_else(|| Trap::BadRef(format!("function id {}", func.0)))?;
+    let sp = env.push_frame(f.frame_size)?;
+    let mut regs = [0u64; NUM_REGS];
+    let n = args.len().min(NUM_ARG_REGS);
+    regs[..n].copy_from_slice(&args[..n]);
+    Ok(Frame {
+        func,
+        pc: 0,
+        regs,
+        sp,
+        frame_size: f.frame_size,
+        ret_to,
+    })
+}
+
+fn eval(regs: &[Word; NUM_REGS], op: Operand) -> Word {
+    match op {
+        Operand::Reg(r) => regs[r.0 as usize],
+        Operand::Imm(v) => v as u64,
+    }
+}
+
+fn binop(op: BinOp, l: Word, r: Word) -> Result<Word, Trap> {
+    Ok(match op {
+        BinOp::Add => l.wrapping_add(r),
+        BinOp::Sub => l.wrapping_sub(r),
+        BinOp::Mul => l.wrapping_mul(r),
+        BinOp::Div => l.checked_div(r).ok_or(Trap::DivByZero)?,
+        BinOp::Rem => l.checked_rem(r).ok_or(Trap::DivByZero)?,
+        BinOp::And => l & r,
+        BinOp::Or => l | r,
+        BinOp::Xor => l ^ r,
+        BinOp::Shl => l.wrapping_shl(r as u32 & 63),
+        BinOp::Shr => l.wrapping_shr(r as u32 & 63),
+        BinOp::Rotl => l.rotate_left(r as u32 & 63),
+    })
+}
+
+fn exec<E: Env + ?Sized>(
+    env: &mut E,
+    program: &Program,
+    func: FuncId,
+    args: &[Word],
+    frames: &mut Vec<Frame>,
+) -> Result<Word, Trap> {
+    frames.push(new_frame(env, program, func, args, None)?);
+
+    loop {
+        let depth = frames.len() - 1;
+        let (cur_func, pc) = {
+            let fr = &frames[depth];
+            (fr.func, fr.pc)
+        };
+        let body = &program.funcs[cur_func.0 as usize].insts;
+        let inst = body.get(pc).ok_or(Trap::FellThrough)?;
+        env.consume(costs::cost(inst))?;
+
+        // Default control flow: advance. Branches overwrite below.
+        frames[depth].pc = pc + 1;
+
+        match inst {
+            Inst::Mov { dst, src } => {
+                let v = eval(&frames[depth].regs, *src);
+                frames[depth].regs[dst.0 as usize] = v;
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let l = eval(&frames[depth].regs, *lhs);
+                let r = eval(&frames[depth].regs, *rhs);
+                frames[depth].regs[dst.0 as usize] = binop(*op, l, r)?;
+            }
+            Inst::Load {
+                dst,
+                base,
+                off,
+                width,
+            } => {
+                let addr = eval(&frames[depth].regs, *base).wrapping_add(*off as u64);
+                let v = env.mem_ref().read(addr, *width)?;
+                frames[depth].regs[dst.0 as usize] = v;
+            }
+            Inst::Store {
+                src,
+                base,
+                off,
+                width,
+            } => {
+                let addr = eval(&frames[depth].regs, *base).wrapping_add(*off as u64);
+                let v = eval(&frames[depth].regs, *src);
+                env.mem().write(addr, v, *width)?;
+            }
+            Inst::LoadFrame { dst, off, width } => {
+                let addr = frames[depth].sp + *off as u64;
+                let v = env.mem_ref().read(addr, *width)?;
+                frames[depth].regs[dst.0 as usize] = v;
+            }
+            Inst::StoreFrame { src, off, width } => {
+                let addr = frames[depth].sp + *off as u64;
+                let v = eval(&frames[depth].regs, *src);
+                env.mem().write(addr, v, *width)?;
+            }
+            Inst::FrameAddr { dst, off } => {
+                frames[depth].regs[dst.0 as usize] = frames[depth].sp + *off as u64;
+            }
+            Inst::GlobalAddr { dst, global } => {
+                frames[depth].regs[dst.0 as usize] = env.global_addr(*global)?;
+            }
+            Inst::SymAddr { dst, sym } => {
+                frames[depth].regs[dst.0 as usize] = env.sym_addr(*sym)?;
+            }
+            Inst::FuncAddr { dst, func } => {
+                frames[depth].regs[dst.0 as usize] = env.func_addr(*func)?;
+            }
+            Inst::Jmp { target } => {
+                frames[depth].pc = *target;
+            }
+            Inst::Br {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => {
+                let l = eval(&frames[depth].regs, *lhs);
+                let r = eval(&frames[depth].regs, *rhs);
+                if cond.eval(l, r) {
+                    frames[depth].pc = *target;
+                }
+            }
+            Inst::CallLocal { func, args, ret } => {
+                let vals: Vec<Word> = args.iter().map(|a| eval(&frames[depth].regs, *a)).collect();
+                let fr = new_frame(env, program, *func, &vals, *ret)?;
+                frames.push(fr);
+            }
+            Inst::CallExtern { sym, args, ret } => {
+                let vals: Vec<Word> = args.iter().map(|a| eval(&frames[depth].regs, *a)).collect();
+                let v = env.call_extern(*sym, &vals)?;
+                if let Some(r) = ret {
+                    frames[depth].regs[r.0 as usize] = v;
+                }
+            }
+            Inst::CallPtr {
+                ptr,
+                sig,
+                args,
+                ret,
+            } => {
+                let target = eval(&frames[depth].regs, *ptr);
+                let vals: Vec<Word> = args.iter().map(|a| eval(&frames[depth].regs, *a)).collect();
+                let v = env.call_ptr(target, *sig, &vals)?;
+                if let Some(r) = ret {
+                    frames[depth].regs[r.0 as usize] = v;
+                }
+            }
+            Inst::Ret { val } => {
+                let v = val.map(|v| eval(&frames[depth].regs, v)).unwrap_or(0);
+                let done = frames.pop().expect("frame stack non-empty");
+                env.pop_frame(done.frame_size);
+                match frames.last_mut() {
+                    None => return Ok(v),
+                    Some(caller) => {
+                        if let Some(r) = done.ret_to {
+                            caller.regs[r.0 as usize] = v;
+                        }
+                    }
+                }
+            }
+            Inst::Trap { code } => return Err(Trap::Bug(*code)),
+            Inst::Nop => {}
+            Inst::GuardWrite { base, off, len } => {
+                let addr = eval(&frames[depth].regs, *base).wrapping_add(*off as u64);
+                let l = eval(&frames[depth].regs, *len);
+                env.guard_write(addr, l)?;
+            }
+            Inst::GuardIndCall {
+                slot_base,
+                slot_off,
+                sig,
+            } => {
+                let slot = eval(&frames[depth].regs, *slot_base).wrapping_add(*slot_off as u64);
+                env.guard_indcall(slot, *sig)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::regs::*;
+    use crate::builder::ProgramBuilder;
+    use crate::isa::{Cond, Width};
+
+    /// Minimal test environment: one stack, no isolation, extern calls
+    /// dispatch to a table of closures.
+    pub struct TestEnv {
+        pub mem: AddressSpace,
+        pub fuel: u64,
+        pub sp: Word,
+        pub stack_base: Word,
+        pub externs: Vec<Box<dyn FnMut(&mut AddressSpace, &[Word]) -> Word>>,
+        pub guard_log: Vec<(Word, Word)>,
+    }
+
+    impl TestEnv {
+        pub fn new() -> Self {
+            let mut mem = AddressSpace::new();
+            let stack_top = 0xffff_9000_0001_0000u64;
+            let stack_base = stack_top - 0x4000;
+            mem.map_range(stack_base, 0x4000);
+            TestEnv {
+                mem,
+                fuel: 1_000_000,
+                sp: stack_top,
+                stack_base,
+                externs: Vec::new(),
+                guard_log: Vec::new(),
+            }
+        }
+    }
+
+    impl Env for TestEnv {
+        fn mem(&mut self) -> &mut AddressSpace {
+            &mut self.mem
+        }
+        fn mem_ref(&self) -> &AddressSpace {
+            &self.mem
+        }
+        fn consume(&mut self, cycles: u64) -> Result<(), Trap> {
+            if self.fuel < cycles {
+                return Err(Trap::OutOfFuel);
+            }
+            self.fuel -= cycles;
+            Ok(())
+        }
+        fn push_frame(&mut self, size: u32) -> Result<Word, Trap> {
+            let size = (size as u64 + 15) & !15;
+            if self.sp - size < self.stack_base {
+                return Err(Trap::StackOverflow);
+            }
+            self.sp -= size;
+            Ok(self.sp)
+        }
+        fn pop_frame(&mut self, size: u32) {
+            let size = (size as u64 + 15) & !15;
+            self.sp += size;
+        }
+        fn guard_write(&mut self, addr: Word, len: Word) -> Result<(), Trap> {
+            self.guard_log.push((addr, len));
+            Ok(())
+        }
+        fn guard_indcall(&mut self, _slot: Word, _sig: SigId) -> Result<(), Trap> {
+            Ok(())
+        }
+        fn call_extern(&mut self, sym: SymbolId, args: &[Word]) -> Result<Word, Trap> {
+            let f = self
+                .externs
+                .get_mut(sym.0 as usize)
+                .ok_or_else(|| Trap::BadRef(format!("extern {}", sym.0)))?;
+            // Temporarily move the closure out is awkward; call with a raw
+            // pointer split instead: closures only need memory.
+            let mut mem = std::mem::take(&mut self.mem);
+            let v = f(&mut mem, args);
+            self.mem = mem;
+            Ok(v)
+        }
+        fn call_ptr(&mut self, _target: Word, _sig: SigId, _args: &[Word]) -> Result<Word, Trap> {
+            Err(Trap::BadRef("indirect calls unsupported in TestEnv".into()))
+        }
+        fn global_addr(&self, _global: GlobalId) -> Result<Word, Trap> {
+            Err(Trap::BadRef("globals unsupported in TestEnv".into()))
+        }
+        fn sym_addr(&self, _sym: SymbolId) -> Result<Word, Trap> {
+            Err(Trap::BadRef("symbols unsupported in TestEnv".into()))
+        }
+        fn func_addr(&self, func: FuncId) -> Result<Word, Trap> {
+            Ok(0xf000_0000 + func.0 as u64 * 16)
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        let mut pb = ProgramBuilder::new("t");
+        // sum 0..n
+        let f = pb.define("sum", 1, 0, |f| {
+            let top = f.label();
+            let out = f.label();
+            f.mov(R1, 0i64);
+            f.bind(top);
+            f.br(Cond::Eq, R0, 0i64, out);
+            f.add(R1, R1, R0);
+            f.sub(R0, R0, 1i64);
+            f.jmp(top);
+            f.bind(out);
+            f.ret(R1);
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        assert_eq!(run_function(&mut env, &p, f, &[10]).unwrap(), 55);
+        assert_eq!(run_function(&mut env, &p, f, &[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn local_calls_and_recursion() {
+        let mut pb = ProgramBuilder::new("t");
+        let fib = pb.declare("fib", 1);
+        pb.define("fib", 1, 0, |f| {
+            let rec = f.label();
+            f.br(Cond::Ult, 1i64, R0, rec); // if n > 1 goto rec
+            f.ret(R0);
+            f.bind(rec);
+            f.sub(R1, R0, 1i64);
+            f.sub(R2, R0, 2i64);
+            f.mov(R5, R0);
+            f.call_local(fib, &[R1.into()], Some(R3));
+            // Registers are per-frame, so R2 survives the call.
+            f.call_local(fib, &[R2.into()], Some(R4));
+            f.add(R0, R3, R4);
+            f.ret(R0);
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        assert_eq!(run_function(&mut env, &p, fib, &[10]).unwrap(), 55);
+    }
+
+    #[test]
+    fn frame_locals_are_per_frame() {
+        let mut pb = ProgramBuilder::new("t");
+        let inner = pb.declare("inner", 0);
+        pb.define("inner", 0, 16, |f| {
+            f.store_frame(99i64, 0, Width::B8);
+            f.ret_void();
+        });
+        let outer = pb.define("outer", 0, 16, |f| {
+            f.store_frame(7i64, 0, Width::B8);
+            f.call_local(inner, &[], None);
+            f.load_frame(R0, 0, Width::B8);
+            f.ret(R0);
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        assert_eq!(run_function(&mut env, &p, outer, &[]).unwrap(), 7);
+    }
+
+    #[test]
+    fn frame_addr_points_at_local() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.define("f", 0, 32, |f| {
+            f.store_frame(0xabcdi64, 8, Width::B8);
+            f.frame_addr(R1, 8);
+            f.load8(R0, R1, 0);
+            f.ret(R0);
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        assert_eq!(run_function(&mut env, &p, f, &[]).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn extern_calls_dispatch() {
+        let mut pb = ProgramBuilder::new("t");
+        let s = pb.import_func("add_ext");
+        let f = pb.define("f", 2, 0, |f| {
+            f.call_extern(s, &[R0.into(), R1.into()], Some(R0));
+            f.ret(R0);
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        env.externs.push(Box::new(|_m, args| args[0] + args[1]));
+        assert_eq!(run_function(&mut env, &p, f, &[3, 4]).unwrap(), 7);
+    }
+
+    #[test]
+    fn stack_overflow_detected_and_unwound() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.declare("spin", 0);
+        pb.define("spin", 0, 1024, |f2| {
+            f2.call_local(f, &[], None);
+            f2.ret_void();
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        let sp0 = env.sp;
+        let err = run_function(&mut env, &p, f, &[]).unwrap_err();
+        assert!(matches!(err, Trap::StackOverflow));
+        assert_eq!(env.sp, sp0, "stack pointer restored after trap");
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.define("loopy", 0, 0, |f| {
+            let top = f.label();
+            f.bind(top);
+            f.jmp(top);
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        env.fuel = 1000;
+        let err = run_function(&mut env, &p, f, &[]).unwrap_err();
+        assert!(matches!(err, Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn bug_traps() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.define("buggy", 0, 0, |f| f.trap(42));
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        let err = run_function(&mut env, &p, f, &[]).unwrap_err();
+        assert!(matches!(err, Trap::Bug(42)));
+    }
+
+    #[test]
+    fn guards_reach_env() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.define("g", 1, 0, |f| {
+            f.guard_write(R0, 8, 16i64);
+            f.store8(1i64, R0, 8);
+            f.ret_void();
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        env.mem.map_range(0x8000, 64);
+        run_function(&mut env, &p, f, &[0x8000]).unwrap();
+        assert_eq!(env.guard_log, vec![(0x8008, 16)]);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.define("d", 2, 0, |f| {
+            f.bin(BinOp::Div, R0, R0, R1);
+            f.ret(R0);
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        assert_eq!(run_function(&mut env, &p, f, &[10, 2]).unwrap(), 5);
+        let err = run_function(&mut env, &p, f, &[10, 0]).unwrap_err();
+        assert!(matches!(err, Trap::DivByZero));
+    }
+
+    #[test]
+    fn memfault_on_wild_store() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.define("wild", 1, 0, |f| {
+            f.store8(0i64, R0, 0);
+            f.ret_void();
+        });
+        let p = pb.finish();
+        let mut env = TestEnv::new();
+        let err = run_function(&mut env, &p, f, &[0xdead0000]).unwrap_err();
+        assert!(matches!(err, Trap::MemFault { write: true, .. }));
+    }
+}

@@ -1,0 +1,110 @@
+//! KIR — the kernel intermediate representation and interpreter underlying LXFI.
+//!
+//! The LXFI paper instruments x86-64 machine code emitted by gcc/clang
+//! plugins. This crate provides the equivalent substrate for the
+//! reproduction: a small register machine ("KIR") whose programs stand in
+//! for compiled kernel-module code. The LXFI rewriter
+//! (`lxfi-rewriter`) edits KIR programs — inserting write guards and
+//! indirect-call guards — and the interpreter in [`interp`] raises the
+//! corresponding events against an [`Env`] implementation (the simulated
+//! kernel), which is where the LXFI runtime enforces policy.
+//!
+//! Design points:
+//!
+//! - 16 general-purpose registers, a per-function frame carved out of the
+//!   current kernel thread's stack in the *simulated* address space, and a
+//!   64-bit flat memory model ([`mem::AddressSpace`]).
+//! - Separate frame-relative access instructions ([`isa::Inst::StoreFrame`]
+//!   et al.) whose bounds are statically verified; the rewriter uses this to
+//!   elide guards for provably in-frame stores, which is the optimization
+//!   the paper credits for MD5's low overhead (§8.3).
+//! - Deterministic cycle accounting so the network cost model and guard
+//!   statistics are reproducible run-to-run.
+//! - A disassembler/assembler pair used by property tests to check
+//!   round-tripping, and by humans to debug module programs.
+
+pub mod asm;
+pub mod builder;
+pub mod costs;
+pub mod disasm;
+pub mod interp;
+pub mod isa;
+pub mod mem;
+pub mod program;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use interp::{run_function, Env};
+pub use isa::{BinOp, Cond, Inst, Operand, Reg, Width};
+pub use mem::{AddressSpace, PAGE_SIZE};
+pub use program::{
+    FuncId, Function, GlobalDef, GlobalId, Import, ImportKind, Program, SigId, SymbolId,
+};
+pub use verify::verify_program;
+
+/// Machine word: all registers and addresses are 64-bit.
+pub type Word = u64;
+
+/// Errors raised while executing KIR code.
+///
+/// `Policy` wraps violations produced by the LXFI runtime (an opaque boxed
+/// error so this crate stays independent of `lxfi-core`); callers downcast
+/// to assert on specific violation kinds.
+#[derive(Debug)]
+pub enum Trap {
+    /// Access to an unmapped simulated address.
+    MemFault { addr: Word, len: u64, write: bool },
+    /// The kernel thread stack cannot hold another frame.
+    StackOverflow,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Program counter fell off the end of a function.
+    FellThrough,
+    /// Explicit `Trap` instruction — the module called `BUG()`.
+    Bug(u64),
+    /// The environment's instruction budget is exhausted.
+    OutOfFuel,
+    /// Reference to an unknown function, symbol, or global.
+    BadRef(String),
+    /// An LXFI policy violation or other environment-defined error.
+    Policy(Box<dyn std::error::Error + Send + Sync>),
+}
+
+impl Trap {
+    /// Downcasts a `Policy` trap to a concrete error type.
+    pub fn policy_as<E: std::error::Error + 'static>(&self) -> Option<&E> {
+        match self {
+            Trap::Policy(e) => e.downcast_ref::<E>(),
+            _ => None,
+        }
+    }
+
+    /// Returns true if this trap is a policy violation (as opposed to a
+    /// machine-level fault).
+    pub fn is_policy(&self) -> bool {
+        matches!(self, Trap::Policy(_))
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::MemFault { addr, len, write } => write!(
+                f,
+                "memory fault: {} {:#x} len {}",
+                if *write { "write" } else { "read" },
+                addr,
+                len
+            ),
+            Trap::StackOverflow => write!(f, "kernel stack overflow"),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::FellThrough => write!(f, "control fell through end of function"),
+            Trap::Bug(code) => write!(f, "BUG({code})"),
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::BadRef(what) => write!(f, "bad reference: {what}"),
+            Trap::Policy(e) => write!(f, "policy violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}

@@ -1,0 +1,245 @@
+//! Simulated 64-bit flat address space with demand-mapped 4 KiB pages.
+//!
+//! The kernel substrate decides the layout (user space low, kernel high,
+//! module sections, thread stacks); this module only provides mapped-page
+//! storage with typed reads and writes. Access to an unmapped address is a
+//! [`Trap::MemFault`], which models a hardware page fault / kernel oops.
+
+use std::collections::HashMap;
+
+use crate::isa::Width;
+use crate::{Trap, Word};
+
+/// Page size of the simulated address space (matches the 12-bit masking
+/// used by LXFI's WRITE-capability hash table, §5).
+pub const PAGE_SIZE: u64 = 4096;
+
+const PAGE_SHIFT: u32 = 12;
+
+/// A flat, sparse, page-granular simulated memory.
+#[derive(Default)]
+pub struct AddressSpace {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_of(addr: Word) -> u64 {
+        addr >> PAGE_SHIFT
+    }
+
+    /// Maps (zero-filled) every page overlapping `[addr, addr+len)`.
+    /// Already-mapped pages are left untouched.
+    pub fn map_range(&mut self, addr: Word, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_of(addr);
+        let last = Self::page_of(addr + (len - 1));
+        for p in first..=last {
+            self.pages
+                .entry(p)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        }
+    }
+
+    /// Unmaps every page fully contained in `[addr, addr+len)`.
+    pub fn unmap_range(&mut self, addr: Word, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_of(addr);
+        let last = Self::page_of(addr + (len - 1));
+        for p in first..=last {
+            self.pages.remove(&p);
+        }
+    }
+
+    /// Returns true if every byte of `[addr, addr+len)` is mapped.
+    pub fn is_mapped(&self, addr: Word, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let first = Self::page_of(addr);
+        let last = Self::page_of(addr + (len - 1));
+        (first..=last).all(|p| self.pages.contains_key(&p))
+    }
+
+    /// Number of mapped pages (diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `len` bytes into `buf[..len]`.
+    pub fn read_bytes(&self, addr: Word, buf: &mut [u8]) -> Result<(), Trap> {
+        let len = buf.len() as u64;
+        if len == 0 {
+            return Ok(());
+        }
+        let mut done = 0usize;
+        let mut cur = addr;
+        while done < buf.len() {
+            let page = Self::page_of(cur);
+            let off = (cur & (PAGE_SIZE - 1)) as usize;
+            let avail = (PAGE_SIZE as usize - off).min(buf.len() - done);
+            let pg = self.pages.get(&page).ok_or(Trap::MemFault {
+                addr: cur,
+                len: (buf.len() - done) as u64,
+                write: false,
+            })?;
+            buf[done..done + avail].copy_from_slice(&pg[off..off + avail]);
+            done += avail;
+            cur += avail as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes all of `buf` at `addr`.
+    pub fn write_bytes(&mut self, addr: Word, buf: &[u8]) -> Result<(), Trap> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        // Fail before any partial write so faults are atomic.
+        if !self.is_mapped(addr, buf.len() as u64) {
+            return Err(Trap::MemFault {
+                addr,
+                len: buf.len() as u64,
+                write: true,
+            });
+        }
+        let mut done = 0usize;
+        let mut cur = addr;
+        while done < buf.len() {
+            let page = Self::page_of(cur);
+            let off = (cur & (PAGE_SIZE - 1)) as usize;
+            let avail = (PAGE_SIZE as usize - off).min(buf.len() - done);
+            let pg = self.pages.get_mut(&page).expect("checked above");
+            pg[off..off + avail].copy_from_slice(&buf[done..done + avail]);
+            done += avail;
+            cur += avail as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads a zero-extended value of the given width.
+    pub fn read(&self, addr: Word, width: Width) -> Result<Word, Trap> {
+        let mut buf = [0u8; 8];
+        let n = width.bytes() as usize;
+        self.read_bytes(addr, &mut buf[..n])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a value truncated to the given width.
+    pub fn write(&mut self, addr: Word, val: Word, width: Width) -> Result<(), Trap> {
+        let bytes = val.to_le_bytes();
+        let n = width.bytes() as usize;
+        self.write_bytes(addr, &bytes[..n])
+    }
+
+    /// Reads a full 64-bit word.
+    pub fn read_word(&self, addr: Word) -> Result<Word, Trap> {
+        self.read(addr, Width::B8)
+    }
+
+    /// Writes a full 64-bit word.
+    pub fn write_word(&mut self, addr: Word, val: Word) -> Result<(), Trap> {
+        self.write(addr, val, Width::B8)
+    }
+
+    /// Zero-fills `[addr, addr+len)`.
+    pub fn zero_range(&mut self, addr: Word, len: u64) -> Result<(), Trap> {
+        const ZEROS: [u8; 256] = [0u8; 256];
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let chunk = remaining.min(256) as usize;
+            self.write_bytes(cur, &ZEROS[..chunk])?;
+            cur += chunk as u64;
+            remaining -= chunk as u64;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let a = AddressSpace::new();
+        let err = a.read_word(0x1000).unwrap_err();
+        assert!(matches!(err, Trap::MemFault { write: false, .. }));
+        let mut a = AddressSpace::new();
+        let err = a.write_word(0x1000, 7).unwrap_err();
+        assert!(matches!(err, Trap::MemFault { write: true, .. }));
+    }
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let mut a = AddressSpace::new();
+        a.map_range(0x4000, 64);
+        a.write_word(0x4000, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(a.read_word(0x4000).unwrap(), 0xdead_beef_cafe_f00d);
+        a.write(0x4010, 0x1234_5678, Width::B4).unwrap();
+        assert_eq!(a.read(0x4010, Width::B4).unwrap(), 0x1234_5678);
+        assert_eq!(a.read(0x4010, Width::B2).unwrap(), 0x5678);
+        assert_eq!(a.read(0x4011, Width::B1).unwrap(), 0x56);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut a = AddressSpace::new();
+        a.map_range(0x1000, 2 * PAGE_SIZE);
+        let addr = 0x1000 + PAGE_SIZE - 3;
+        a.write_word(addr, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(a.read_word(addr).unwrap(), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn cross_page_fault_when_second_page_unmapped() {
+        let mut a = AddressSpace::new();
+        a.map_range(0x1000, PAGE_SIZE);
+        let addr = 0x1000 + PAGE_SIZE - 4;
+        assert!(a.write_word(addr, 1).is_err());
+        // The mapped prefix must be untouched (atomic fault).
+        assert_eq!(a.read(addr, Width::B4).unwrap(), 0);
+    }
+
+    #[test]
+    fn zeroing() {
+        let mut a = AddressSpace::new();
+        a.map_range(0x2000, 1024);
+        for i in 0..1024u64 {
+            a.write(0x2000 + i, 0xff, Width::B1).unwrap();
+        }
+        a.zero_range(0x2000 + 100, 700).unwrap();
+        assert_eq!(a.read(0x2000 + 99, Width::B1).unwrap(), 0xff);
+        assert_eq!(a.read(0x2000 + 100, Width::B1).unwrap(), 0);
+        assert_eq!(a.read(0x2000 + 799, Width::B1).unwrap(), 0);
+        assert_eq!(a.read(0x2000 + 800, Width::B1).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn unmap_releases_pages() {
+        let mut a = AddressSpace::new();
+        a.map_range(0x1000, 3 * PAGE_SIZE);
+        assert_eq!(a.mapped_pages(), 3);
+        a.unmap_range(0x1000, 3 * PAGE_SIZE);
+        assert_eq!(a.mapped_pages(), 0);
+        assert!(!a.is_mapped(0x1000, 1));
+    }
+
+    #[test]
+    fn map_is_idempotent_and_preserves_content() {
+        let mut a = AddressSpace::new();
+        a.map_range(0x1000, 8);
+        a.write_word(0x1000, 42).unwrap();
+        a.map_range(0x1000, PAGE_SIZE);
+        assert_eq!(a.read_word(0x1000).unwrap(), 42);
+    }
+}

@@ -1,0 +1,259 @@
+//! Property tests for the KIR substrate: memory, disassembly round trips,
+//! and interpreter determinism.
+
+use proptest::prelude::*;
+
+use lxfi_machine::asm::assemble;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::disasm::disassemble;
+use lxfi_machine::isa::{BinOp, Cond, Width};
+use lxfi_machine::{
+    run_function, AddressSpace, Env, FuncId, GlobalId, ProgramBuilder, SigId, SymbolId, Trap, Word,
+};
+
+// ---------------------------------------------------------------- memory
+
+proptest! {
+    /// Reads after writes observe the written bytes, at any width and
+    /// alignment, including across page boundaries.
+    #[test]
+    fn mem_write_read_roundtrip(off in 0u64..8192, val: u64, w in 0usize..4) {
+        let widths = [Width::B1, Width::B2, Width::B4, Width::B8];
+        let width = widths[w];
+        let mut m = AddressSpace::new();
+        let base = 0x10_0000;
+        m.map_range(base, 3 * lxfi_machine::PAGE_SIZE);
+        let addr = base + off;
+        m.write(addr, val, width).unwrap();
+        prop_assert_eq!(m.read(addr, width).unwrap(), width.truncate(val));
+    }
+
+    /// Writes never touch bytes outside `[addr, addr+width)`.
+    #[test]
+    fn mem_write_is_contained(off in 8u64..4096, val: u64, w in 0usize..4) {
+        let widths = [Width::B1, Width::B2, Width::B4, Width::B8];
+        let width = widths[w];
+        let mut m = AddressSpace::new();
+        let base = 0x10_0000;
+        m.map_range(base, 2 * lxfi_machine::PAGE_SIZE);
+        let addr = base + off;
+        m.write(addr - 8, 0xa5a5_a5a5_a5a5_a5a5, Width::B8).unwrap();
+        let after = addr + width.bytes();
+        m.write(after, 0x5a5a_5a5a_5a5a_5a5a, Width::B8).unwrap();
+        m.write(addr, val, width).unwrap();
+        prop_assert_eq!(m.read(addr - 8, Width::B8).unwrap(), 0xa5a5_a5a5_a5a5_a5a5);
+        prop_assert_eq!(m.read(after, Width::B8).unwrap(), 0x5a5a_5a5a_5a5a_5a5a);
+    }
+
+    /// Zeroing clears exactly the requested range.
+    #[test]
+    fn mem_zero_range_exact(start in 0u64..2048, len in 0u64..2048) {
+        let mut m = AddressSpace::new();
+        let base = 0x20_0000;
+        m.map_range(base, 4096 + 4096);
+        for i in 0..4096u64 {
+            m.write(base + i, 0xee, Width::B1).unwrap();
+        }
+        m.zero_range(base + start, len).unwrap();
+        for i in 0..4096u64 {
+            let v = m.read(base + i, Width::B1).unwrap();
+            let inside = i >= start && i < start + len;
+            if inside {
+                prop_assert_eq!(v, 0);
+            } else {
+                prop_assert_eq!(v, 0xee);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- disasm roundtrip
+
+/// Generates a random (valid) function body over 2 locals and r0..r5.
+fn arb_program() -> impl Strategy<Value = lxfi_machine::Program> {
+    let inst = prop_oneof![
+        (0u8..6, -64i64..64).prop_map(|(r, v)| ("mov", r, v, 0u8)),
+        (0u8..6, 0i64..4, 0u8..6).prop_map(|(r, op, r2)| ("bin", r, op, r2)),
+        (0u8..6, 0i64..2, 0u8..2).prop_map(|(r, o, w)| ("storef", r, o, w)),
+        (0u8..6, 0i64..2, 0u8..2).prop_map(|(r, o, w)| ("loadf", r, o, w)),
+    ];
+    proptest::collection::vec(inst, 1..20).prop_map(|ops| {
+        let mut pb = ProgramBuilder::new("gen");
+        pb.define("f", 2, 16, |f| {
+            for (kind, a, b, c) in ops {
+                match kind {
+                    "mov" => f.mov(lxfi_machine::Reg(a), b),
+                    "bin" => {
+                        let op = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::Mul][b as usize];
+                        f.bin(
+                            op,
+                            lxfi_machine::Reg(a),
+                            lxfi_machine::Reg(a),
+                            lxfi_machine::Reg(c),
+                        )
+                    }
+                    "storef" => f.store_frame(
+                        lxfi_machine::Reg(a),
+                        (b as u32) * 8,
+                        [Width::B4, Width::B8][c as usize],
+                    ),
+                    "loadf" => f.load_frame(
+                        lxfi_machine::Reg(a),
+                        (b as u32) * 8,
+                        [Width::B4, Width::B8][c as usize],
+                    ),
+                    _ => unreachable!(),
+                }
+            }
+            f.ret(R0);
+        });
+        pb.finish()
+    })
+}
+
+proptest! {
+    /// disassemble → assemble → disassemble is a fixpoint, and the
+    /// reassembled program has identical instructions.
+    #[test]
+    fn disasm_asm_roundtrip(p in arb_program()) {
+        let text = disassemble(&p);
+        let p2 = assemble(&text).expect("reassemble");
+        prop_assert_eq!(&p.funcs[0].insts, &p2.funcs[0].insts);
+        prop_assert_eq!(disassemble(&p2), text);
+    }
+}
+
+// ------------------------------------------------------ interp determinism
+
+struct PlainEnv {
+    mem: AddressSpace,
+    fuel: u64,
+    sp: Word,
+    base: Word,
+}
+
+impl PlainEnv {
+    fn new() -> Self {
+        let mut mem = AddressSpace::new();
+        let top = 0xffff_9000_0010_0000u64;
+        let base = top - 0x8000;
+        mem.map_range(base, 0x8000);
+        PlainEnv {
+            mem,
+            fuel: 10_000_000,
+            sp: top,
+            base,
+        }
+    }
+}
+
+impl Env for PlainEnv {
+    fn mem(&mut self) -> &mut AddressSpace {
+        &mut self.mem
+    }
+    fn mem_ref(&self) -> &AddressSpace {
+        &self.mem
+    }
+    fn consume(&mut self, cycles: u64) -> Result<(), Trap> {
+        if self.fuel < cycles {
+            return Err(Trap::OutOfFuel);
+        }
+        self.fuel -= cycles;
+        Ok(())
+    }
+    fn push_frame(&mut self, size: u32) -> Result<Word, Trap> {
+        let size = (size as u64 + 15) & !15;
+        if self.sp - size < self.base {
+            return Err(Trap::StackOverflow);
+        }
+        self.sp -= size;
+        // Zero the frame for determinism.
+        self.mem.zero_range(self.sp, size).unwrap();
+        Ok(self.sp)
+    }
+    fn pop_frame(&mut self, size: u32) {
+        self.sp += (size as u64 + 15) & !15;
+    }
+    fn guard_write(&mut self, _addr: Word, _len: Word) -> Result<(), Trap> {
+        Ok(())
+    }
+    fn guard_indcall(&mut self, _slot: Word, _sig: SigId) -> Result<(), Trap> {
+        Ok(())
+    }
+    fn call_extern(&mut self, _sym: SymbolId, args: &[Word]) -> Result<Word, Trap> {
+        Ok(args.iter().sum())
+    }
+    fn call_ptr(&mut self, _t: Word, _s: SigId, _a: &[Word]) -> Result<Word, Trap> {
+        Ok(0)
+    }
+    fn global_addr(&self, _g: GlobalId) -> Result<Word, Trap> {
+        Ok(0x30_0000)
+    }
+    fn sym_addr(&self, _s: SymbolId) -> Result<Word, Trap> {
+        Ok(0x40_0000)
+    }
+    fn func_addr(&self, f: FuncId) -> Result<Word, Trap> {
+        Ok(0xf000_0000 + f.0 as u64)
+    }
+}
+
+proptest! {
+    /// The interpreter is deterministic: same program + args produce the
+    /// same result and consume the same fuel.
+    #[test]
+    fn interp_is_deterministic(p in arb_program(), a0: u64, a1: u64) {
+        let mut e1 = PlainEnv::new();
+        let mut e2 = PlainEnv::new();
+        let f = FuncId(0);
+        let r1 = run_function(&mut e1, &p, f, &[a0, a1]);
+        let r2 = run_function(&mut e2, &p, f, &[a0, a1]);
+        match (r1, r2) {
+            (Ok(v1), Ok(v2)) => {
+                prop_assert_eq!(v1, v2);
+                prop_assert_eq!(e1.fuel, e2.fuel);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "divergent outcomes"),
+        }
+        // Stack is balanced afterwards.
+        prop_assert_eq!(e1.sp, 0xffff_9000_0010_0000u64);
+    }
+
+    /// Straight-line arithmetic over two args matches a Rust oracle.
+    #[test]
+    fn alu_matches_oracle(a: u64, b: u64) {
+        let mut pb = ProgramBuilder::new("alu");
+        let f = pb.define("f", 2, 0, |f| {
+            f.add(R2, R0, R1);
+            f.bin(BinOp::Xor, R3, R2, R0);
+            f.bin(BinOp::Shl, R4, R3, 7i64);
+            f.bin(BinOp::Rotl, R5, R4, 13i64);
+            f.sub(R0, R5, R1);
+            f.ret(R0);
+        });
+        let p = pb.finish();
+        let mut env = PlainEnv::new();
+        let got = run_function(&mut env, &p, f, &[a, b]).unwrap();
+        let want = ((a.wrapping_add(b) ^ a).wrapping_shl(7)).rotate_left(13).wrapping_sub(b);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Branch conditions agree with Rust comparisons.
+    #[test]
+    fn branches_match_oracle(a: u64, b: u64, c in 0usize..8) {
+        let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge, Cond::Ult, Cond::Ule];
+        let cond = conds[c];
+        let mut pb = ProgramBuilder::new("br");
+        let f = pb.define("f", 2, 0, |f| {
+            let yes = f.label();
+            f.br(cond, R0, R1, yes);
+            f.ret(0i64);
+            f.bind(yes);
+            f.ret(1i64);
+        });
+        let p = pb.finish();
+        let mut env = PlainEnv::new();
+        let got = run_function(&mut env, &p, f, &[a, b]).unwrap();
+        prop_assert_eq!(got == 1, cond.eval(a, b));
+    }
+}

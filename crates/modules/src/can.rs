@@ -1,0 +1,132 @@
+//! The CAN raw-protocol base module.
+//!
+//! The smallest protocol module: Figure 9 notes that after the other
+//! modules were annotated, supporting `can` only required 7 more
+//! annotations — its interface surface is almost entirely shared with
+//! the other socket protocols.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::socket::PROTO_SOCK_ANN;
+use lxfi_kernel::types::{proto_ops, sock};
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder, Width};
+use lxfi_rewriter::InterfaceSpec;
+
+/// The protocol family number CAN registers.
+pub const CAN_FAMILY: u64 = 29;
+
+/// Builds the can module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("can");
+
+    let sock_register = pb.import_func("sock_register");
+    let copy_from_user = pb.import_func("copy_from_user");
+    let copy_to_user = pb.import_func("copy_to_user");
+
+    let ops = pb.global("can_proto_ops", proto_ops::SIZE);
+    let stats = pb.global("can_stats", 16); // frames tx at +0, rx at +8
+
+    let ioctl = pb.declare("can_ioctl", 3);
+    let sendmsg = pb.declare("can_sendmsg", 3);
+    let recvmsg = pb.declare("can_recvmsg", 3);
+    let bind = pb.declare("can_bind", 2);
+
+    pb.fn_reloc(ops, proto_ops::IOCTL as u64, ioctl);
+    pb.fn_reloc(ops, proto_ops::SENDMSG as u64, sendmsg);
+    pb.fn_reloc(ops, proto_ops::RECVMSG as u64, recvmsg);
+    pb.fn_reloc(ops, proto_ops::BIND as u64, bind);
+
+    pb.define("can_init", 0, 0, |f| {
+        f.global_addr(R0, ops);
+        f.call_extern(
+            sock_register,
+            &[(CAN_FAMILY as i64).into(), R0.into()],
+            None,
+        );
+        f.ret(0i64);
+    });
+
+    pb.define("can_ioctl", 3, 0, |f| {
+        // Return the global tx frame count.
+        f.global_addr(R3, stats);
+        f.load8(R0, R3, 0);
+        f.ret(R0);
+    });
+
+    // can_sendmsg: copy an 16-byte CAN frame from user space, count it.
+    pb.define("can_sendmsg", 3, 16, |f| {
+        let out = f.label();
+        f.mov(R10, R0);
+        f.frame_addr(R3, 0);
+        f.call_extern(
+            copy_from_user,
+            &[R3.into(), R1.into(), 16i64.into()],
+            Some(R4),
+        );
+        f.br(Cond::Ne, R4, 0i64, out);
+        f.global_addr(R5, stats);
+        f.load8(R6, R5, 0);
+        f.add(R6, R6, 1i64);
+        f.store8(R6, R5, 0);
+        // Remember the CAN id on this socket.
+        f.load_frame(R7, 0, Width::B8);
+        f.store8(R7, R10, sock::PRIV);
+        f.ret(16i64);
+        f.bind(out);
+        f.mov(R0, -14i64);
+        f.ret(R0);
+    });
+
+    pb.define("can_recvmsg", 3, 0, |f| {
+        // Echo the last CAN id back to the user.
+        f.add(R3, R0, sock::PRIV);
+        f.call_extern(copy_to_user, &[R1.into(), R3.into(), 8i64.into()], Some(R4));
+        f.global_addr(R5, stats);
+        f.load8(R6, R5, 8);
+        f.add(R6, R6, 1i64);
+        f.store8(R6, R5, 8);
+        f.ret(8i64);
+    });
+
+    pb.define("can_bind", 2, 0, |f| {
+        f.load8(R2, R1, 0);
+        f.store8(R2, R0, sock::PRIV);
+        f.ret(0i64);
+    });
+
+    let sig_ioctl = pb.sig("proto_ioctl", 3);
+    let sig_sendmsg = pb.sig("proto_sendmsg", 3);
+    let sig_recvmsg = pb.sig("proto_recvmsg", 3);
+    let sig_bind = pb.sig("proto_bind", 2);
+    pb.assign_sig(ioctl, sig_ioctl);
+    pb.assign_sig(sendmsg, sig_sendmsg);
+    pb.assign_sig(recvmsg, sig_recvmsg);
+    pb.assign_sig(bind, sig_bind);
+
+    let mut iface = InterfaceSpec::new();
+    for name in ["proto_ioctl", "proto_sendmsg", "proto_recvmsg"] {
+        iface.declare_sig(crate::decl(
+            name,
+            vec![
+                Param::ptr("sock", "sock"),
+                Param::scalar("a"),
+                Param::scalar("b"),
+            ],
+            PROTO_SOCK_ANN,
+        ));
+    }
+    iface.declare_sig(crate::decl(
+        "proto_bind",
+        vec![Param::ptr("sock", "sock"), Param::scalar("addr")],
+        PROTO_SOCK_ANN,
+    ));
+
+    ModuleSpec {
+        name: "can".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("can_init".into()),
+    }
+}

@@ -1,0 +1,196 @@
+//! The CAN broadcast-manager module, with CVE-2010-2959.
+//!
+//! `bcm_rx_setup` computes its buffer size as `nframes * 16` **in 32
+//! bits**: a large `nframes` wraps the size, `kmalloc` returns an
+//! under-sized object, and the later frame-delivery path writes
+//! `nframes`-worth of data into it — a classic slab overflow. Oberheide's
+//! exploit grooms the slab so a `shmid_kernel` object sits directly after
+//! the buffer and overwrites its function pointer.
+//!
+//! Under LXFI, `kmalloc`'s annotation grants a WRITE capability only for
+//! the (wrapped) size actually requested, so the overflowing store is
+//! denied at the first out-of-bounds byte (§8.1).
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::socket::PROTO_SOCK_ANN;
+use lxfi_kernel::types::{proto_ops, sock};
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{BinOp, Cond, ProgramBuilder, Width};
+use lxfi_rewriter::InterfaceSpec;
+
+/// The protocol family number CAN-BCM registers.
+pub const CAN_BCM_FAMILY: u64 = 30;
+
+/// `sendmsg` opcode: rx_setup (allocate the frame buffer).
+pub const OP_RX_SETUP: u64 = 1;
+/// `sendmsg` opcode: deliver frames (fill the buffer).
+pub const OP_DELIVER: u64 = 2;
+
+/// Builds the can-bcm module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("can-bcm");
+
+    let sock_register = pb.import_func("sock_register");
+    let copy_from_user = pb.import_func("copy_from_user");
+    let kmalloc = pb.import_func("kmalloc");
+    let kfree = pb.import_func("kfree");
+
+    let ops = pb.global("bcm_proto_ops", proto_ops::SIZE);
+
+    let ioctl = pb.declare("bcm_ioctl", 3);
+    let sendmsg = pb.declare("bcm_sendmsg", 3);
+    let recvmsg = pb.declare("bcm_recvmsg", 3);
+    let bind = pb.declare("bcm_bind", 2);
+    let rx_setup = pb.declare("bcm_rx_setup", 2);
+    let deliver = pb.declare("bcm_deliver", 2);
+
+    pb.fn_reloc(ops, proto_ops::IOCTL as u64, ioctl);
+    pb.fn_reloc(ops, proto_ops::SENDMSG as u64, sendmsg);
+    pb.fn_reloc(ops, proto_ops::RECVMSG as u64, recvmsg);
+    pb.fn_reloc(ops, proto_ops::BIND as u64, bind);
+
+    pb.define("bcm_init", 0, 0, |f| {
+        f.global_addr(R0, ops);
+        f.call_extern(
+            sock_register,
+            &[(CAN_BCM_FAMILY as i64).into(), R0.into()],
+            None,
+        );
+        f.ret(0i64);
+    });
+
+    pb.define("bcm_ioctl", 3, 0, |f| {
+        f.load8(R0, R0, sock::QUEUED);
+        f.ret(R0);
+    });
+
+    // bcm_sendmsg(sock, buf, len): header = { op, nframes, fill_len, val }.
+    pb.define("bcm_sendmsg", 3, 32, |f| {
+        let setup = f.label();
+        let deliver_l = f.label();
+        let bad = f.label();
+        f.mov(R10, R0); // sock
+        f.frame_addr(R3, 0);
+        f.call_extern(
+            copy_from_user,
+            &[R3.into(), R1.into(), 32i64.into()],
+            Some(R4),
+        );
+        f.br(Cond::Ne, R4, 0i64, bad);
+        f.load_frame(R5, 0, Width::B8); // op
+        f.br(Cond::Eq, R5, OP_RX_SETUP as i64, setup);
+        f.br(Cond::Eq, R5, OP_DELIVER as i64, deliver_l);
+        f.jmp(bad);
+        f.bind(setup);
+        f.load_frame(R1, 8, Width::B8); // nframes
+        f.call_local(rx_setup, &[R10.into(), R1.into()], Some(R0));
+        f.ret(R0);
+        f.bind(deliver_l);
+        f.frame_addr(R1, 16); // &{fill_len, val}
+        f.call_local(deliver, &[R10.into(), R1.into()], Some(R0));
+        f.ret(R0);
+        f.bind(bad);
+        f.mov(R0, -22i64); // -EINVAL
+        f.ret(R0);
+    });
+
+    // bcm_rx_setup(sock, nframes): THE BUG — the size computation
+    // `nframes * 16` is performed in 32 bits (CVE-2010-2959).
+    pb.define("bcm_rx_setup", 2, 0, |f| {
+        let fail = f.label();
+        f.mov(R10, R0);
+        f.bin(BinOp::Mul, R2, R1, 16i64);
+        f.bin(BinOp::And, R2, R2, 0xffff_ffffi64); // 32-bit truncation
+        f.call_extern(kmalloc, &[R2.into()], Some(R3));
+        f.br(Cond::Eq, R3, 0i64, fail);
+        // Stash the buffer pointer and frame count on our socket.
+        f.store8(R3, R10, sock::PRIV);
+        f.store8(R1, R10, sock::QUEUED);
+        f.ret(0i64);
+        f.bind(fail);
+        f.mov(R0, -12i64);
+        f.ret(R0);
+    });
+
+    // bcm_deliver(sock, &{fill_len, val}): writes `fill_len` bytes of
+    // frame data into the rx buffer — 8 bytes of `val` at a time. The
+    // buffer may be (much) smaller than fill_len after the overflow.
+    pb.define("bcm_deliver", 2, 0, |f| {
+        let top = f.label();
+        let done = f.label();
+        f.load8(R2, R1, 0); // fill_len
+        f.load8(R3, R1, 8); // val
+        f.load8(R4, R0, sock::PRIV); // buffer
+        f.mov(R5, 0i64); // offset
+        f.bind(top);
+        f.br(Cond::Ule, R2, R5, done);
+        f.add(R6, R4, R5);
+        f.store8(R3, R6, 0);
+        f.add(R5, R5, 8i64);
+        f.jmp(top);
+        f.bind(done);
+        f.ret(0i64);
+    });
+
+    pb.define("bcm_recvmsg", 3, 0, |f| {
+        f.load8(R0, R0, sock::QUEUED);
+        f.ret(R0);
+    });
+
+    pb.define("bcm_bind", 2, 0, |f| {
+        f.load8(R2, R1, 0);
+        f.store8(R2, R0, sock::PRIV);
+        f.ret(0i64);
+    });
+
+    pb.define("bcm_release", 1, 0, |f| {
+        let out = f.label();
+        f.load8(R1, R0, sock::PRIV);
+        f.br(Cond::Eq, R1, 0i64, out);
+        f.call_extern(kfree, &[R1.into()], None);
+        f.store8(0i64, R0, sock::PRIV);
+        f.bind(out);
+        f.ret(0i64);
+    });
+
+    let sig_ioctl = pb.sig("proto_ioctl", 3);
+    let sig_sendmsg = pb.sig("proto_sendmsg", 3);
+    let sig_recvmsg = pb.sig("proto_recvmsg", 3);
+    let sig_bind = pb.sig("proto_bind", 2);
+    pb.assign_sig(ioctl, sig_ioctl);
+    pb.assign_sig(sendmsg, sig_sendmsg);
+    pb.assign_sig(recvmsg, sig_recvmsg);
+    pb.assign_sig(bind, sig_bind);
+
+    let mut iface = InterfaceSpec::new();
+    for name in ["proto_ioctl", "proto_sendmsg", "proto_recvmsg"] {
+        iface.declare_sig(crate::decl(
+            name,
+            vec![
+                Param::ptr("sock", "sock"),
+                Param::scalar("a"),
+                Param::scalar("b"),
+            ],
+            PROTO_SOCK_ANN,
+        ));
+    }
+    iface.declare_sig(crate::decl(
+        "proto_bind",
+        vec![Param::ptr("sock", "sock"), Param::scalar("addr")],
+        PROTO_SOCK_ANN,
+    ));
+    iface.declare_fn(crate::decl(
+        "bcm_release",
+        vec![Param::ptr("sock", "sock")],
+        "principal(sock)",
+    ));
+
+    ModuleSpec {
+        name: "can-bcm".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("bcm_init".into()),
+    }
+}

@@ -1,0 +1,131 @@
+//! The dm-crypt device-mapper target: transparent block encryption.
+//!
+//! §2.1's motivating example for module principals: one dm-crypt module
+//! instance manages the system disk *and* any USB stick the user plugs
+//! in. Each created device is a separate principal named by its
+//! `dm_target`, so a compromise via one device's data path cannot write
+//! another device's key or buffers.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::dm::{DM_CTR_ANN, DM_MAP_ANN};
+use lxfi_kernel::types::{bio, dm_target};
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{BinOp, Cond, ProgramBuilder};
+use lxfi_rewriter::InterfaceSpec;
+
+/// dm target-type id for dm-crypt.
+pub const TARGET_TYPE: u64 = 1;
+
+/// Builds the dm-crypt module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("dm-crypt");
+
+    let dm_register_target = pb.import_func("dm_register_target");
+    let kmalloc = pb.import_func("kmalloc");
+    let kfree = pb.import_func("kfree");
+
+    // Ops table: ctr at +0, map at +8, dtr at +16.
+    let ops = pb.global("crypt_ops", 64);
+
+    let ctr = pb.declare("crypt_ctr", 2);
+    let map = pb.declare("crypt_map", 2);
+    let dtr = pb.declare("crypt_dtr", 2);
+
+    pb.fn_reloc(ops, 0, ctr);
+    pb.fn_reloc(ops, 8, map);
+    pb.fn_reloc(ops, 16, dtr);
+
+    pb.define("crypt_init", 0, 0, |f| {
+        f.global_addr(R0, ops);
+        f.call_extern(
+            dm_register_target,
+            &[(TARGET_TYPE as i64).into(), R0.into()],
+            None,
+        );
+        f.ret(0i64);
+    });
+
+    // crypt_ctr(ti, key): allocate per-device key material.
+    pb.define("crypt_ctr", 2, 0, |f| {
+        let fail = f.label();
+        f.mov(R10, R0);
+        f.call_extern(kmalloc, &[32i64.into()], Some(R2));
+        f.br(Cond::Eq, R2, 0i64, fail);
+        // Expand the user key into the key schedule.
+        f.bin(BinOp::Xor, R3, R1, 0x5a5a_5a5ai64);
+        f.store8(R3, R2, 0);
+        f.bin(BinOp::Rotl, R4, R3, 17i64);
+        f.store8(R4, R2, 8);
+        f.store8(R10, R2, 16); // bind schedule to this target
+        f.store8(R2, R10, dm_target::PRIV);
+        f.ret(0i64);
+        f.bind(fail);
+        f.mov(R0, -12i64);
+        f.ret(R0);
+    });
+
+    // crypt_map(ti, bio): XOR-"encrypt" the payload in place.
+    pb.define("crypt_map", 2, 0, |f| {
+        let top = f.label();
+        let done = f.label();
+        f.load8(R2, R0, dm_target::PRIV); // key schedule
+        f.load8(R3, R2, 0); // key word
+        f.load8(R4, R1, bio::DATA);
+        f.load8(R5, R1, bio::LEN);
+        f.mov(R6, 0i64);
+        f.bind(top);
+        f.br(Cond::Ule, R5, R6, done);
+        f.add(R7, R4, R6);
+        f.load8(R8, R7, 0);
+        f.bin(BinOp::Xor, R8, R8, R3);
+        f.store8(R8, R7, 0);
+        f.add(R6, R6, 8i64);
+        f.jmp(top);
+        f.bind(done);
+        f.store8(1i64, R1, bio::STATUS);
+        f.ret(0i64); // DM_MAPIO_SUBMITTED
+    });
+
+    pb.define("crypt_dtr", 2, 0, |f| {
+        let out = f.label();
+        f.load8(R2, R0, dm_target::PRIV);
+        f.br(Cond::Eq, R2, 0i64, out);
+        f.call_extern(kfree, &[R2.into()], None);
+        f.store8(0i64, R0, dm_target::PRIV);
+        f.bind(out);
+        f.ret(0i64);
+    });
+
+    let sig_ctr = pb.sig("dm_ctr", 2);
+    let sig_map = pb.sig("dm_map", 2);
+    let sig_dtr = pb.sig("dm_dtr", 2);
+    pb.assign_sig(ctr, sig_ctr);
+    pb.assign_sig(map, sig_map);
+    pb.assign_sig(dtr, sig_dtr);
+
+    let mut iface = InterfaceSpec::new();
+    iface.declare_sig(crate::decl(
+        "dm_ctr",
+        vec![Param::ptr("ti", "dm_target"), Param::scalar("arg")],
+        DM_CTR_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "dm_map",
+        vec![Param::ptr("ti", "dm_target"), Param::ptr("bio", "bio")],
+        DM_MAP_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "dm_dtr",
+        vec![Param::ptr("ti", "dm_target"), Param::scalar("unused")],
+        "principal(ti)",
+    ));
+
+    ModuleSpec {
+        name: "dm-crypt".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("crypt_init".into()),
+    }
+}

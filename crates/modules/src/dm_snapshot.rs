@@ -1,0 +1,140 @@
+//! The dm-snapshot target: copy-on-write block snapshots.
+//!
+//! Each snapshot device owns a COW store allocated at construction; the
+//! map path copies original data into the store before a write goes
+//! through. Per-device principals keep one snapshot's store out of
+//! another's reach.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::dm::{DM_CTR_ANN, DM_MAP_ANN};
+use lxfi_kernel::types::{bio, dm_target};
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder};
+use lxfi_rewriter::InterfaceSpec;
+
+/// dm target-type id for dm-snapshot.
+pub const TARGET_TYPE: u64 = 3;
+
+/// COW store layout: used counter at +0, chunk slots from +8.
+const COW_USED: i64 = 0;
+const COW_SLOTS: i64 = 8;
+const CHUNK: i64 = 64;
+
+/// Builds the dm-snapshot module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("dm-snapshot");
+
+    let dm_register_target = pb.import_func("dm_register_target");
+    let kzalloc = pb.import_func("kzalloc");
+    let kfree = pb.import_func("kfree");
+    let memcpy_k = pb.import_func("memcpy_k");
+
+    let ops = pb.global("snap_ops", 64);
+    let stats = pb.global("snap_stats", 8); // total COW copies
+
+    let ctr = pb.declare("snap_ctr", 2);
+    let map = pb.declare("snap_map", 2);
+    let dtr = pb.declare("snap_dtr", 2);
+
+    pb.fn_reloc(ops, 0, ctr);
+    pb.fn_reloc(ops, 8, map);
+    pb.fn_reloc(ops, 16, dtr);
+
+    pb.define("snap_init", 0, 0, |f| {
+        f.global_addr(R0, ops);
+        f.call_extern(
+            dm_register_target,
+            &[(TARGET_TYPE as i64).into(), R0.into()],
+            None,
+        );
+        f.ret(0i64);
+    });
+
+    // snap_ctr(ti, chunks): allocate the COW store.
+    pb.define("snap_ctr", 2, 0, |f| {
+        let fail = f.label();
+        f.mov(R10, R0);
+        // store size = 8 (header) + chunks * CHUNK, capped by kmalloc.
+        f.mul(R2, R1, CHUNK);
+        f.add(R2, R2, 8i64);
+        f.call_extern(kzalloc, &[R2.into()], Some(R3));
+        f.br(Cond::Eq, R3, 0i64, fail);
+        f.store8(R3, R10, dm_target::PRIV);
+        f.ret(0i64);
+        f.bind(fail);
+        f.mov(R0, -12i64);
+        f.ret(R0);
+    });
+
+    // snap_map(ti, bio): on write, copy the first chunk of the payload
+    // into the COW store, then let the write proceed.
+    pb.define("snap_map", 2, 0, |f| {
+        let done = f.label();
+        f.load8(R2, R1, bio::RW);
+        f.br(Cond::Eq, R2, 0i64, done); // reads pass through
+        f.load8(R3, R0, dm_target::PRIV); // cow store
+        f.load8(R4, R3, COW_USED);
+        // slot = store + COW_SLOTS + used * CHUNK.
+        f.mul(R5, R4, CHUNK);
+        f.add(R5, R5, COW_SLOTS);
+        f.add(R5, R5, R3);
+        f.load8(R6, R1, bio::DATA);
+        // memcpy_k(slot, payload, CHUNK) — dst ownership checked by the
+        // kernel's annotation; we own the store we allocated.
+        f.call_extern(memcpy_k, &[R5.into(), R6.into(), CHUNK.into()], None);
+        f.load8(R7, R3, COW_USED);
+        f.add(R7, R7, 1i64);
+        f.store8(R7, R3, COW_USED);
+        // Account globally (module .data, shared principal).
+        f.global_addr(R8, stats);
+        f.load8(R9, R8, 0);
+        f.add(R9, R9, 1i64);
+        f.store8(R9, R8, 0);
+        f.bind(done);
+        f.store8(1i64, R1, bio::STATUS);
+        f.ret(0i64);
+    });
+
+    pb.define("snap_dtr", 2, 0, |f| {
+        let out = f.label();
+        f.load8(R2, R0, dm_target::PRIV);
+        f.br(Cond::Eq, R2, 0i64, out);
+        f.call_extern(kfree, &[R2.into()], None);
+        f.store8(0i64, R0, dm_target::PRIV);
+        f.bind(out);
+        f.ret(0i64);
+    });
+
+    let sig_ctr = pb.sig("dm_ctr", 2);
+    let sig_map = pb.sig("dm_map", 2);
+    let sig_dtr = pb.sig("dm_dtr", 2);
+    pb.assign_sig(ctr, sig_ctr);
+    pb.assign_sig(map, sig_map);
+    pb.assign_sig(dtr, sig_dtr);
+
+    let mut iface = InterfaceSpec::new();
+    iface.declare_sig(crate::decl(
+        "dm_ctr",
+        vec![Param::ptr("ti", "dm_target"), Param::scalar("arg")],
+        DM_CTR_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "dm_map",
+        vec![Param::ptr("ti", "dm_target"), Param::ptr("bio", "bio")],
+        DM_MAP_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "dm_dtr",
+        vec![Param::ptr("ti", "dm_target"), Param::scalar("unused")],
+        "principal(ti)",
+    ));
+
+    ModuleSpec {
+        name: "dm-snapshot".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("snap_init".into()),
+    }
+}

@@ -1,0 +1,99 @@
+//! The dm-zero target — the smallest module in Figure 9 (6 functions in
+//! the paper's count): reads return zeros, writes are discarded.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::dm::{DM_CTR_ANN, DM_MAP_ANN};
+use lxfi_kernel::types::bio;
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder};
+use lxfi_rewriter::InterfaceSpec;
+
+/// dm target-type id for dm-zero.
+pub const TARGET_TYPE: u64 = 2;
+
+/// Builds the dm-zero module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("dm-zero");
+
+    let dm_register_target = pb.import_func("dm_register_target");
+
+    let ops = pb.global("zero_ops", 64);
+
+    let ctr = pb.declare("zero_ctr", 2);
+    let map = pb.declare("zero_map", 2);
+    let dtr = pb.declare("zero_dtr", 2);
+
+    pb.fn_reloc(ops, 0, ctr);
+    pb.fn_reloc(ops, 8, map);
+    pb.fn_reloc(ops, 16, dtr);
+
+    pb.define("zero_init", 0, 0, |f| {
+        f.global_addr(R0, ops);
+        f.call_extern(
+            dm_register_target,
+            &[(TARGET_TYPE as i64).into(), R0.into()],
+            None,
+        );
+        f.ret(0i64);
+    });
+
+    pb.define("zero_ctr", 2, 0, |f| f.ret(0i64));
+
+    // zero_map(ti, bio): reads see zeros; writes vanish.
+    pb.define("zero_map", 2, 0, |f| {
+        let top = f.label();
+        let done = f.label();
+        let write = f.label();
+        f.load8(R2, R1, bio::RW);
+        f.br(Cond::Ne, R2, 0i64, write);
+        // Read: fill the payload with zeros.
+        f.load8(R3, R1, bio::DATA);
+        f.load8(R4, R1, bio::LEN);
+        f.mov(R5, 0i64);
+        f.bind(top);
+        f.br(Cond::Ule, R4, R5, done);
+        f.add(R6, R3, R5);
+        f.store8(0i64, R6, 0);
+        f.add(R5, R5, 8i64);
+        f.jmp(top);
+        f.bind(write);
+        f.bind(done);
+        f.store8(1i64, R1, bio::STATUS);
+        f.ret(0i64);
+    });
+
+    pb.define("zero_dtr", 2, 0, |f| f.ret(0i64));
+
+    let sig_ctr = pb.sig("dm_ctr", 2);
+    let sig_map = pb.sig("dm_map", 2);
+    let sig_dtr = pb.sig("dm_dtr", 2);
+    pb.assign_sig(ctr, sig_ctr);
+    pb.assign_sig(map, sig_map);
+    pb.assign_sig(dtr, sig_dtr);
+
+    let mut iface = InterfaceSpec::new();
+    iface.declare_sig(crate::decl(
+        "dm_ctr",
+        vec![Param::ptr("ti", "dm_target"), Param::scalar("arg")],
+        DM_CTR_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "dm_map",
+        vec![Param::ptr("ti", "dm_target"), Param::ptr("bio", "bio")],
+        DM_MAP_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "dm_dtr",
+        vec![Param::ptr("ti", "dm_target"), Param::scalar("unused")],
+        "principal(ti)",
+    ));
+
+    ModuleSpec {
+        name: "dm-zero".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("zero_init".into()),
+    }
+}

@@ -1,0 +1,209 @@
+//! The e1000 network device driver — the paper's benchmark module (§8.4)
+//! and the running example of Figures 1 and 4.
+//!
+//! Lifecycle, exactly as in Figure 4:
+//!
+//! 1. `e1000_init` registers the PCI driver.
+//! 2. `e1000_probe(pcidev)` runs as the principal named `pcidev` (from
+//!    the `principal(pcidev)` annotation on the probe pointer type),
+//!    allocates the net_device, performs the statically-coupled
+//!    `lxfi_check_pcidev` + `lxfi_princ_alias(pcidev, ndev)` pair so the
+//!    same logical principal answers to both names, enables the device,
+//!    maps its MMIO ring, installs `e1000_xmit` in the ops table, and
+//!    registers NAPI polling.
+//! 3. `e1000_xmit(skb, dev)` runs as the principal named `dev` — the
+//!    *same* principal thanks to the alias — consumes the packet's
+//!    capabilities (transferred by the `ndo_start_xmit` annotation),
+//!    writes a TX descriptor into the MMIO ring, and frees the skb.
+//! 4. `e1000_poll(dev, budget)` allocates skbs, fills them with received
+//!    bytes, and hands each to `netif_rx`, which transfers the
+//!    capabilities away again.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::net::{NAPI_POLL_ANN, NDO_START_XMIT_ANN};
+use lxfi_kernel::pci::PCI_PROBE_ANN;
+use lxfi_kernel::types::{net_device, net_device_ops, sk_buff};
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder, Width};
+use lxfi_rewriter::InterfaceSpec;
+
+/// Driver-private layout (appended to the net_device allocation):
+/// `priv[0]` = MMIO base, `priv[8]` = TX ring index.
+pub const PRIV_SIZE: u64 = 64;
+
+const PRIV_MMIO: i64 = 0;
+const PRIV_RING_IDX: i64 = 8;
+/// TX descriptor ring: 16-byte descriptors starting at MMIO+256.
+const RING_OFFSET: i64 = 256;
+const RING_SLOTS: i64 = 64;
+
+/// Builds the e1000 module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("e1000");
+
+    let pci_register_driver = pb.import_func("pci_register_driver");
+    let pci_enable_device = pb.import_func("pci_enable_device");
+    let pci_iomap = pb.import_func("pci_iomap");
+    let lxfi_check_pcidev = pb.import_func("lxfi_check_pcidev");
+    let lxfi_princ_alias = pb.import_func("lxfi_princ_alias");
+    let alloc_etherdev = pb.import_func("alloc_etherdev");
+    let register_netdev = pb.import_func("register_netdev");
+    let netif_napi_add = pb.import_func("netif_napi_add");
+    let netif_rx = pb.import_func("netif_rx");
+    let alloc_skb = pb.import_func("alloc_skb");
+    let kfree_skb = pb.import_func("kfree_skb");
+    let napi_complete = pb.import_func("napi_complete");
+    let spin_lock_init = pb.import_func("spin_lock_init");
+    let printk = pb.import_func("printk");
+
+    // .data: the ops table (Figure 1's net_device_ops) and a lock.
+    let dev_ops = pb.global("e1000_dev_ops", net_device_ops::SIZE);
+    let tx_lock = pb.global("e1000_tx_lock", 8);
+
+    let probe = pb.declare("e1000_probe", 1);
+    let xmit = pb.declare("e1000_xmit", 2);
+    let poll = pb.declare("e1000_poll", 2);
+
+    // module_init: register with the PCI core.
+    pb.define("e1000_init", 0, 0, |f| {
+        f.func_addr(R0, probe);
+        f.call_extern(pci_register_driver, &[R0.into()], None);
+        f.ret(0i64);
+    });
+
+    // int e1000_probe(struct pci_dev *pcidev) — Figure 4 lines 69-78.
+    pb.define("e1000_probe", 1, 0, |f| {
+        let fail = f.label();
+        f.mov(R10, R0); // pcidev
+        f.call_extern(alloc_etherdev, &[(PRIV_SIZE as i64).into()], Some(R11));
+        f.br(Cond::Eq, R11, 0i64, fail);
+        // The statically-coupled check + alias (Figure 4 lines 72-73):
+        // after this, `ndev` names the same principal as `pcidev`.
+        f.call_extern(lxfi_check_pcidev, &[R10.into()], None);
+        f.call_extern(lxfi_princ_alias, &[R10.into(), R11.into()], None);
+        f.call_extern(pci_enable_device, &[R10.into()], None);
+        f.call_extern(pci_iomap, &[R10.into()], Some(R12));
+        // priv[PRIV_MMIO] = mmio; priv[PRIV_RING_IDX] = 0.
+        f.load8(R13, R11, net_device::PRIV);
+        f.store8(R12, R13, PRIV_MMIO);
+        f.store8(0i64, R13, PRIV_RING_IDX);
+        // ndev->dev_ops = &e1000_dev_ops; dev_ops.ndo_start_xmit = myxmit
+        // (Figure 1 line 36 — a module write to its own .data).
+        f.global_addr(R14, dev_ops);
+        f.store8(R14, R11, net_device::DEV_OPS);
+        f.func_addr(R15, xmit);
+        f.store8(R15, R14, net_device_ops::NDO_START_XMIT);
+        // Init the TX lock (legitimate spin_lock_init use).
+        f.global_addr(R9, tx_lock);
+        f.call_extern(spin_lock_init, &[R9.into()], None);
+        // netif_napi_add(ndev, napi, my_poll_cb) — Figure 1 line 37.
+        f.func_addr(R8, poll);
+        f.call_extern(netif_napi_add, &[R11.into(), R8.into()], None);
+        f.call_extern(register_netdev, &[R11.into()], None);
+        f.ret(0i64);
+        f.bind(fail);
+        f.mov(R0, -12i64); // -ENOMEM
+        f.ret(R0);
+    });
+
+    // netdev_tx_t e1000_xmit(struct sk_buff *skb, struct net_device *dev).
+    pb.define("e1000_xmit", 2, 0, |f| {
+        // Load payload pointer and length from the skb (we own it now).
+        f.load8(R2, R0, sk_buff::DATA);
+        f.load8(R3, R0, sk_buff::LEN);
+        // priv = dev->priv; mmio = priv[0]; idx = priv[8].
+        f.load8(R4, R1, net_device::PRIV);
+        f.load8(R5, R4, PRIV_MMIO);
+        f.load8(R6, R4, PRIV_RING_IDX);
+        // slot = mmio + RING_OFFSET + (idx % RING_SLOTS) * 16.
+        f.bin(lxfi_machine::BinOp::Rem, R7, R6, RING_SLOTS);
+        f.bin(lxfi_machine::BinOp::Mul, R7, R7, 16i64);
+        f.add(R7, R7, RING_OFFSET);
+        f.add(R7, R7, R5);
+        // Write the TX descriptor (address, length) into device memory.
+        f.store8(R2, R7, 0);
+        f.store8(R3, R7, 8);
+        // priv[8] = idx + 1.
+        f.add(R6, R6, 1i64);
+        f.store8(R6, R4, PRIV_RING_IDX);
+        // dev->tx_packets += 1 (we hold WRITE on the whole net_device).
+        f.load8(R8, R1, net_device::TX_PACKETS);
+        f.add(R8, R8, 1i64);
+        f.store8(R8, R1, net_device::TX_PACKETS);
+        // TX completes immediately in the simulation: free the skb.
+        f.call_extern(kfree_skb, &[R0.into()], None);
+        f.ret(0i64); // NETDEV_TX_OK
+    });
+
+    // int e1000_poll(struct net_device *dev, int budget).
+    pb.define("e1000_poll", 2, 0, |f| {
+        let top = f.label();
+        let done = f.label();
+        let out = f.label();
+        f.mov(R10, R1); // budget
+        f.mov(R11, 0i64); // delivered
+        f.mov(R12, R0); // dev
+        f.bind(top);
+        f.br(Cond::Ule, R10, R11, done);
+        f.call_extern(alloc_skb, &[60i64.into()], Some(R2));
+        f.br(Cond::Eq, R2, 0i64, done);
+        // Fill a minimal Ethernet header into the payload we now own.
+        f.load8(R3, R2, sk_buff::DATA);
+        f.store8(0x00ff_ffffi64, R3, 0);
+        f.store8(R11, R3, 8); // sequence number
+        f.store(0x0800i64, R2, sk_buff::PROTOCOL, Width::B8);
+        // Hand the frame to the stack; its capabilities transfer away.
+        f.call_extern(netif_rx, &[R2.into()], None);
+        f.add(R11, R11, 1i64);
+        f.jmp(top);
+        f.bind(done);
+        f.call_extern(napi_complete, &[R12.into()], None);
+        f.jmp(out);
+        f.bind(out);
+        f.ret(R11);
+    });
+
+    // Diagnostics function exercising printk (annotation-free export).
+    pb.define("e1000_log", 0, 0, |f| {
+        f.call_extern(printk, &[0i64.into()], None);
+        f.ret(0i64);
+    });
+
+    // Annotation propagation facts (§4.2): probe/xmit/poll acquire their
+    // annotations from the pointer types they are assigned to.
+    let sig_probe = pb.sig("pci_probe", 1);
+    let sig_xmit = pb.sig("ndo_start_xmit", 2);
+    let sig_poll = pb.sig("napi_poll", 2);
+    pb.assign_sig(probe, sig_probe);
+    pb.assign_sig(xmit, sig_xmit);
+    pb.assign_sig(poll, sig_poll);
+
+    let mut iface = InterfaceSpec::new();
+    iface.declare_sig(crate::decl(
+        "pci_probe",
+        vec![Param::ptr("pcidev", "struct pci_dev")],
+        PCI_PROBE_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "ndo_start_xmit",
+        vec![
+            Param::ptr("skb", "sk_buff"),
+            Param::ptr("dev", "net_device"),
+        ],
+        NDO_START_XMIT_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "napi_poll",
+        vec![Param::ptr("dev", "net_device"), Param::scalar("budget")],
+        NAPI_POLL_ANN,
+    ));
+
+    ModuleSpec {
+        name: "e1000".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("e1000_init".into()),
+    }
+}

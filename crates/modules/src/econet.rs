@@ -1,0 +1,238 @@
+//! The econet protocol module, with CVE-2010-3849/3850 reproduced.
+//!
+//! Econet is the paper's example of a *multi-principal* module (§3.1):
+//! every socket is a separate principal named by the `sock` pointer, and
+//! the module keeps a global linked list of sockets whose links live
+//! inside the socket objects themselves — so list surgery requires the
+//! module's **global** principal (Guideline 6).
+//!
+//! The vulnerabilities, as in the 2010 exploit chain:
+//!
+//! - `econet_sendmsg` dereferences a NULL "device" pointer when a crafted
+//!   message arrives (standing in for the missing `capable()` check and
+//!   NULL dereference of CVE-2010-3849/3850);
+//! - combined with the kernel's `do_exit` zero-write (CVE-2010-4258) the
+//!   attacker redirects `econet_ops.ioctl` into user space.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::socket::PROTO_SOCK_ANN;
+use lxfi_kernel::types::{proto_ops, sock};
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder};
+use lxfi_rewriter::InterfaceSpec;
+
+/// The protocol family number econet registers.
+pub const ECONET_FAMILY: u64 = 9;
+
+/// Byte offset inside `sock` used for the module's intrusive list link.
+pub const LIST_NEXT: i64 = 40;
+
+/// The message tag that triggers the NULL dereference.
+pub const CRASH_MAGIC: u64 = 0xdead;
+
+/// Builds the econet module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("econet");
+
+    let sock_register = pb.import_func("sock_register");
+    let copy_from_user = pb.import_func("copy_from_user");
+    let copy_to_user = pb.import_func("copy_to_user");
+    let spin_lock = pb.import_func("spin_lock");
+    let spin_unlock = pb.import_func("spin_unlock");
+    let spin_lock_init = pb.import_func("spin_lock_init");
+    let lxfi_switch_global = pb.import_func("lxfi_switch_global");
+
+    // .data: the ops table (the exploit's corruption target), the list
+    // head, and a lock.
+    let ops = pb.global("econet_ops", proto_ops::SIZE);
+    let head = pb.global("econet_sklist", 8);
+    let lock = pb.global("econet_lock", 8);
+
+    let ioctl = pb.declare("econet_ioctl", 3);
+    let sendmsg = pb.declare("econet_sendmsg", 3);
+    let recvmsg = pb.declare("econet_recvmsg", 3);
+    let bind = pb.declare("econet_bind", 2);
+
+    // Static initializer: struct proto_ops econet_ops = { ... }.
+    pb.fn_reloc(ops, proto_ops::IOCTL as u64, ioctl);
+    pb.fn_reloc(ops, proto_ops::SENDMSG as u64, sendmsg);
+    pb.fn_reloc(ops, proto_ops::RECVMSG as u64, recvmsg);
+    pb.fn_reloc(ops, proto_ops::BIND as u64, bind);
+
+    pb.define("econet_init", 0, 0, |f| {
+        f.global_addr(R1, lock);
+        f.call_extern(spin_lock_init, &[R1.into()], None);
+        f.global_addr(R0, ops);
+        f.call_extern(
+            sock_register,
+            &[(ECONET_FAMILY as i64).into(), R0.into()],
+            None,
+        );
+        f.ret(0i64);
+    });
+
+    pb.define("econet_ioctl", 3, 0, |f| {
+        // Benign: report the socket's queued byte count.
+        f.load8(R0, R0, sock::QUEUED);
+        f.ret(R0);
+    });
+
+    // econet_sendmsg(sock, buf, len): reads an 8-byte tag from user
+    // memory; the CRASH_MAGIC tag reaches the unchecked NULL-device path.
+    pb.define("econet_sendmsg", 3, 16, |f| {
+        let crash = f.label();
+        let out = f.label();
+        f.mov(R10, R0); // sock
+        f.frame_addr(R3, 0);
+        f.call_extern(
+            copy_from_user,
+            &[R3.into(), R1.into(), 8i64.into()],
+            Some(R4),
+        );
+        f.br(Cond::Ne, R4, 0i64, out);
+        f.load_frame(R5, 0, lxfi_machine::Width::B8);
+        f.br(Cond::Eq, R5, CRASH_MAGIC as i64, crash);
+        // Normal path: account the queued bytes on this socket (we hold
+        // WRITE on our own sock object from the annotation's copy).
+        f.load8(R6, R10, sock::QUEUED);
+        f.add(R6, R6, R2);
+        f.store8(R6, R10, sock::QUEUED);
+        f.ret(R2);
+        f.bind(crash);
+        // CVE-2010-3849/3850: the missing check leaves a NULL device
+        // pointer that is then dereferenced.
+        f.mov(R7, 0i64);
+        f.load8(R8, R7, 0); // *NULL — kernel oops
+        f.ret(R8);
+        f.bind(out);
+        f.mov(R0, -14i64); // -EFAULT
+        f.ret(R0);
+    });
+
+    pb.define("econet_recvmsg", 3, 0, |f| {
+        // Return queued bytes to the user (bounded by len).
+        let small = f.label();
+        f.load8(R3, R0, sock::QUEUED);
+        f.br(Cond::Ule, R3, R2, small);
+        f.mov(R3, R2);
+        f.bind(small);
+        // copy_to_user(buf, &sock->queued-as-data, n) — we just copy from
+        // the sock struct itself as the "payload".
+        f.call_extern(copy_to_user, &[R1.into(), R0.into(), R3.into()], Some(R4));
+        f.ret(R3);
+    });
+
+    // econet_bind(sock, addr): links the socket into the module-global
+    // list. Dereferences `addr` (NULL bind faults, as in the CVE chain).
+    pb.define("econet_bind", 2, 0, |f| {
+        f.mov(R10, R0);
+        f.load8(R2, R1, 0); // station number from sockaddr (NULL → oops)
+        f.store8(R2, R10, sock::PRIV); // remember our station
+                                       // Guideline 6: cross-instance list work needs the global
+                                       // principal. The preceding writes double as the "adequate check"
+                                       // (they fault unless this really is our socket).
+        f.global_addr(R3, lock);
+        f.call_extern(spin_lock, &[R3.into()], None);
+        f.call_extern(lxfi_switch_global, &[], None);
+        // sock->next = head; head = sock.
+        f.global_addr(R4, head);
+        f.load8(R5, R4, 0);
+        f.store8(R5, R10, LIST_NEXT);
+        f.store8(R10, R4, 0);
+        f.call_extern(spin_unlock, &[R3.into()], None);
+        f.ret(0i64);
+    });
+
+    // econet_unlink(victim): removes a socket from the global list —
+    // requires writing *another* socket's link field, which only the
+    // global principal may do. Called from release paths.
+    pb.define("econet_unlink", 1, 0, |f| {
+        let scan = f.label();
+        let found = f.label();
+        let out = f.label();
+        let step = f.label();
+        f.mov(R10, R0); // victim
+        f.call_extern(lxfi_switch_global, &[], None);
+        f.global_addr(R1, head);
+        f.load8(R2, R1, 0); // cur = head
+                            // If head == victim: head = victim->next.
+        f.br(Cond::Ne, R2, R10, scan);
+        f.load8(R3, R10, LIST_NEXT);
+        f.store8(R3, R1, 0);
+        f.ret(0i64);
+        f.bind(scan);
+        f.br(Cond::Eq, R2, 0i64, out);
+        f.load8(R3, R2, LIST_NEXT);
+        f.br(Cond::Eq, R3, R10, found);
+        f.jmp(step);
+        f.bind(step);
+        f.mov(R2, R3);
+        f.jmp(scan);
+        f.bind(found);
+        // cur->next = victim->next — a write into a *different* socket.
+        f.load8(R4, R10, LIST_NEXT);
+        f.store8(R4, R2, LIST_NEXT);
+        f.ret(0i64);
+        f.bind(out);
+        f.mov(R0, -2i64); // -ENOENT
+        f.ret(R0);
+    });
+
+    // A deliberately under-privileged variant of unlink that does NOT
+    // switch to the global principal — used by tests to show that an
+    // instance principal cannot touch a sibling socket's fields (§3.1).
+    pb.define("econet_unlink_noglobal", 2, 0, |f| {
+        // args: (victim_prev, victim) — writes prev->next directly.
+        f.load8(R2, R1, LIST_NEXT);
+        f.store8(R2, R0, LIST_NEXT);
+        f.ret(0i64);
+    });
+
+    let sig_ioctl = pb.sig("proto_ioctl", 3);
+    let sig_sendmsg = pb.sig("proto_sendmsg", 3);
+    let sig_recvmsg = pb.sig("proto_recvmsg", 3);
+    let sig_bind = pb.sig("proto_bind", 2);
+    pb.assign_sig(ioctl, sig_ioctl);
+    pb.assign_sig(sendmsg, sig_sendmsg);
+    pb.assign_sig(recvmsg, sig_recvmsg);
+    pb.assign_sig(bind, sig_bind);
+
+    let mut iface = InterfaceSpec::new();
+    for name in ["proto_ioctl", "proto_sendmsg", "proto_recvmsg"] {
+        iface.declare_sig(crate::decl(
+            name,
+            vec![
+                Param::ptr("sock", "sock"),
+                Param::scalar("a"),
+                Param::scalar("b"),
+            ],
+            PROTO_SOCK_ANN,
+        ));
+    }
+    iface.declare_sig(crate::decl(
+        "proto_bind",
+        vec![Param::ptr("sock", "sock"), Param::scalar("addr")],
+        PROTO_SOCK_ANN,
+    ));
+    // Direct annotations for the internal entry points tests drive:
+    // unlink runs as the socket principal named by its argument.
+    iface.declare_fn(crate::decl(
+        "econet_unlink",
+        vec![Param::ptr("sock", "sock")],
+        "principal(sock)",
+    ));
+    iface.declare_fn(crate::decl(
+        "econet_unlink_noglobal",
+        vec![Param::ptr("prev", "sock"), Param::ptr("sock", "sock")],
+        "principal(sock)",
+    ));
+
+    ModuleSpec {
+        name: "econet".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("econet_init".into()),
+    }
+}

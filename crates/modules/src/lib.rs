@@ -1,0 +1,69 @@
+//! The ten annotated kernel modules of the paper's evaluation (Figure 9).
+//!
+//! | category            | modules                                   |
+//! |---------------------|-------------------------------------------|
+//! | net device driver   | [`e1000`]                                 |
+//! | sound device driver | [`snd_intel8x0`], [`snd_ens1370`]         |
+//! | net protocol driver | [`rds`], [`can`], [`can_bcm`], [`econet`] |
+//! | block device driver | [`dm_crypt`], [`dm_zero`], [`dm_snapshot`]|
+//!
+//! Each module is a KIR program built against the simulated kernel's
+//! exports, with the interface annotations required to load it under
+//! LXFI. Three of them faithfully reproduce their 2010 CVEs:
+//!
+//! - [`can_bcm`]: the `bcm_rx_setup` integer overflow (CVE-2010-2959);
+//! - [`econet`]: the NULL-dereference / missed-check pair
+//!   (CVE-2010-3849/3850), exploitable together with the kernel's
+//!   `do_exit` bug (CVE-2010-4258);
+//! - [`rds`]: the unchecked user-pointer page copy (CVE-2010-3904).
+
+pub mod can;
+pub mod can_bcm;
+pub mod dm_crypt;
+pub mod dm_snapshot;
+pub mod dm_zero;
+pub mod e1000;
+pub mod econet;
+pub mod rds;
+pub mod snd_ens1370;
+pub mod snd_intel8x0;
+
+use lxfi_annotations::parse_fn_annotations;
+use lxfi_core::iface::{FnDecl, Param};
+use lxfi_kernel::ModuleSpec;
+
+/// Builds an annotated declaration (helper for module interface specs).
+pub fn decl(name: &str, params: Vec<Param>, ann: &str) -> FnDecl {
+    FnDecl::new(
+        name,
+        params,
+        parse_fn_annotations(ann).unwrap_or_else(|e| panic!("bad annotation on {name}: {e}")),
+    )
+}
+
+/// All ten module specs, in the order of Figure 9.
+pub fn all_specs() -> Vec<ModuleSpec> {
+    vec![
+        e1000::spec(),
+        snd_intel8x0::spec(),
+        snd_ens1370::spec(),
+        rds::spec(),
+        can::spec(),
+        can_bcm::spec(),
+        econet::spec(),
+        dm_crypt::spec(),
+        dm_zero::spec(),
+        dm_snapshot::spec(),
+    ]
+}
+
+/// The Figure 9 category of each module, for the annotation census.
+pub fn category(module: &str) -> &'static str {
+    match module {
+        "e1000" => "net device driver",
+        "snd-intel8x0" | "snd-ens1370" => "sound device driver",
+        "rds" | "can" | "can-bcm" | "econet" => "net protocol driver",
+        "dm-crypt" | "dm-zero" | "dm-snapshot" => "block device driver",
+        _ => "other",
+    }
+}

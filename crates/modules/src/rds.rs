@@ -1,0 +1,178 @@
+//! The RDS (Reliable Datagram Sockets) module, with CVE-2010-3904.
+//!
+//! The vulnerability: RDS's page-copy routine writes message payloads to
+//! a *user-supplied destination pointer without checking it points to
+//! user space*. An attacker sends a message whose header names a kernel
+//! address, then receives it — the module's own store loop writes
+//! attacker-controlled bytes anywhere in the kernel.
+//!
+//! In the published exploit the attacker overwrites
+//! `rds_proto_ops.ioctl` with a user-space function address and invokes
+//! `ioctl(2)`. LXFI stops this twice over (§8.1):
+//!
+//! 1. `rds_proto_ops` lives in the module's **read-only** section, and
+//!    LXFI (unlike stock Linux) grants no WRITE capability for it — the
+//!    store loop faults immediately;
+//! 2. with the table deliberately made writable
+//!    ([`spec_writable_ops`]), the corrupting store succeeds but the
+//!    kernel's next indirect call through the slot fails the writer
+//!    CALL-capability check.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::socket::PROTO_SOCK_ANN;
+use lxfi_kernel::types::{proto_ops, sock};
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder, Width};
+use lxfi_rewriter::InterfaceSpec;
+
+/// The protocol family number RDS registers.
+pub const RDS_FAMILY: u64 = 21;
+
+/// Builds the RDS module (ops table in rodata, as in the real module).
+pub fn spec() -> ModuleSpec {
+    build(false)
+}
+
+/// Builds the variant with a writable ops table — the paper's second
+/// experiment, exercising the indirect-call defense instead of the
+/// read-only-section defense.
+pub fn spec_writable_ops() -> ModuleSpec {
+    build(true)
+}
+
+fn build(writable_ops: bool) -> ModuleSpec {
+    let mut pb = ProgramBuilder::new(if writable_ops { "rds-wops" } else { "rds" });
+
+    let sock_register = pb.import_func("sock_register");
+    let copy_from_user = pb.import_func("copy_from_user");
+    let kmalloc = pb.import_func("kmalloc");
+    let kfree = pb.import_func("kfree");
+
+    // The ops table: read-only in the real module.
+    let ops = if writable_ops {
+        pb.global("rds_proto_ops", proto_ops::SIZE)
+    } else {
+        pb.rodata("rds_proto_ops", proto_ops::SIZE)
+    };
+    // Pending-message state: dest pointer, value, valid flag.
+    let pending = pb.global("rds_pending", 24);
+
+    let ioctl = pb.declare("rds_ioctl", 3);
+    let sendmsg = pb.declare("rds_sendmsg", 3);
+    let recvmsg = pb.declare("rds_recvmsg", 3);
+    let bind = pb.declare("rds_bind", 2);
+
+    pb.fn_reloc(ops, proto_ops::IOCTL as u64, ioctl);
+    pb.fn_reloc(ops, proto_ops::SENDMSG as u64, sendmsg);
+    pb.fn_reloc(ops, proto_ops::RECVMSG as u64, recvmsg);
+    pb.fn_reloc(ops, proto_ops::BIND as u64, bind);
+
+    pb.define("rds_init", 0, 0, |f| {
+        f.global_addr(R0, ops);
+        f.call_extern(
+            sock_register,
+            &[(RDS_FAMILY as i64).into(), R0.into()],
+            None,
+        );
+        f.ret(0i64);
+    });
+
+    pb.define("rds_ioctl", 3, 0, |f| {
+        f.load8(R0, R0, sock::QUEUED);
+        f.ret(R0);
+    });
+
+    // rds_sendmsg(sock, buf, len): header = { dest_ptr, value } copied
+    // from user space into the module's pending-message state.
+    pb.define("rds_sendmsg", 3, 16, |f| {
+        let out = f.label();
+        f.frame_addr(R3, 0);
+        f.call_extern(
+            copy_from_user,
+            &[R3.into(), R1.into(), 16i64.into()],
+            Some(R4),
+        );
+        f.br(Cond::Ne, R4, 0i64, out);
+        f.load_frame(R5, 0, Width::B8); // dest
+        f.load_frame(R6, 8, Width::B8); // value
+        f.global_addr(R7, pending);
+        f.store8(R5, R7, 0);
+        f.store8(R6, R7, 8);
+        f.store8(1i64, R7, 16);
+        f.ret(16i64);
+        f.bind(out);
+        f.mov(R0, -14i64);
+        f.ret(R0);
+    });
+
+    // rds_recvmsg(sock, buf, len): delivers the pending message — by
+    // writing `value` to `dest`. CVE-2010-3904: no check that `dest` is
+    // a user address (the correct code would use copy_to_user).
+    pb.define("rds_recvmsg", 3, 0, |f| {
+        let none = f.label();
+        f.global_addr(R3, pending);
+        f.load8(R4, R3, 16);
+        f.br(Cond::Eq, R4, 0i64, none);
+        f.load8(R5, R3, 0); // dest (user-controlled!)
+        f.load8(R6, R3, 8); // value
+        f.store8(R6, R5, 0); // ← the missing-check write
+        f.store8(0i64, R3, 16);
+        f.ret(8i64);
+        f.bind(none);
+        f.mov(R0, -11i64); // -EAGAIN
+        f.ret(R0);
+    });
+
+    pb.define("rds_bind", 2, 0, |f| {
+        f.load8(R2, R1, 0);
+        f.store8(R2, R0, sock::PRIV);
+        f.ret(0i64);
+    });
+
+    // A congestion-map scratch allocator (gives RDS some legitimate
+    // allocator traffic for the benchmarks and census).
+    pb.define("rds_cong_alloc", 1, 0, |f| {
+        f.call_extern(kmalloc, &[R0.into()], Some(R1));
+        f.ret(R1);
+    });
+    pb.define("rds_cong_free", 1, 0, |f| {
+        f.call_extern(kfree, &[R0.into()], None);
+        f.ret(0i64);
+    });
+
+    let sig_ioctl = pb.sig("proto_ioctl", 3);
+    let sig_sendmsg = pb.sig("proto_sendmsg", 3);
+    let sig_recvmsg = pb.sig("proto_recvmsg", 3);
+    let sig_bind = pb.sig("proto_bind", 2);
+    pb.assign_sig(ioctl, sig_ioctl);
+    pb.assign_sig(sendmsg, sig_sendmsg);
+    pb.assign_sig(recvmsg, sig_recvmsg);
+    pb.assign_sig(bind, sig_bind);
+
+    let mut iface = InterfaceSpec::new();
+    for name in ["proto_ioctl", "proto_sendmsg", "proto_recvmsg"] {
+        iface.declare_sig(crate::decl(
+            name,
+            vec![
+                Param::ptr("sock", "sock"),
+                Param::scalar("a"),
+                Param::scalar("b"),
+            ],
+            PROTO_SOCK_ANN,
+        ));
+    }
+    iface.declare_sig(crate::decl(
+        "proto_bind",
+        vec![Param::ptr("sock", "sock"), Param::scalar("addr")],
+        PROTO_SOCK_ANN,
+    ));
+
+    ModuleSpec {
+        name: if writable_ops { "rds-wops" } else { "rds" }.into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("rds_init".into()),
+    }
+}

@@ -1,0 +1,123 @@
+//! The snd-ens1370 sound driver (Ensoniq AudioPCI).
+//!
+//! Structurally a sibling of [`crate::snd_intel8x0`] — Figure 9 shows the
+//! second sound driver needs almost no *new* annotations because the
+//! sound interface is shared. This one adds a sample-rate register and a
+//! reset path.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::snd::PCM_OP_ANN;
+use lxfi_kernel::types::snd_pcm;
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder};
+use lxfi_rewriter::InterfaceSpec;
+
+/// Builds the snd-ens1370 module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("snd-ens1370");
+
+    let snd_card_new = pb.import_func("snd_card_new");
+    let snd_pcm_new = pb.import_func("snd_pcm_new");
+    let snd_dma_alloc = pb.import_func("snd_dma_alloc");
+    let snd_card_register = pb.import_func("snd_card_register");
+    let kzalloc = pb.import_func("kzalloc");
+
+    let ops = pb.global("ens1370_ops", 64);
+    let rate = pb.global("ens1370_rate", 8);
+
+    let trigger = pb.declare("ens1370_trigger", 2);
+    let pointer = pb.declare("ens1370_pointer", 2);
+
+    pb.fn_reloc(ops, 0, trigger);
+    pb.fn_reloc(ops, 8, pointer);
+
+    pb.define("ens1370_init", 0, 0, |f| {
+        let fail = f.label();
+        f.call_extern(snd_card_new, &[], Some(R10));
+        f.br(Cond::Eq, R10, 0i64, fail);
+        f.global_addr(R2, ops);
+        f.call_extern(snd_pcm_new, &[R10.into(), R2.into()], Some(R11));
+        f.br(Cond::Eq, R11, 0i64, fail);
+        f.call_extern(snd_dma_alloc, &[R11.into(), 2048i64.into()], Some(R12));
+        // Scratch state buffer (AC'97 shadow registers).
+        f.call_extern(kzalloc, &[64i64.into()], Some(R13));
+        f.global_addr(R3, rate);
+        f.store8(44100i64, R3, 0);
+        f.call_extern(snd_card_register, &[R10.into()], None);
+        f.ret(0i64);
+        f.bind(fail);
+        f.mov(R0, -12i64);
+        f.ret(R0);
+    });
+
+    pb.define("ens1370_trigger", 2, 0, |f| {
+        let stop = f.label();
+        let top = f.label();
+        let done = f.label();
+        f.br(Cond::Eq, R1, 0i64, stop);
+        f.store8(1i64, R0, snd_pcm::STATE);
+        // Prime the DMA area with a square wave derived from the rate.
+        f.global_addr(R5, rate);
+        f.load8(R6, R5, 0);
+        f.load8(R2, R0, snd_pcm::DMA_AREA);
+        f.mov(R3, 0i64);
+        f.bind(top);
+        f.br(Cond::Ule, 64i64, R3, done);
+        f.add(R4, R2, R3);
+        f.store8(R6, R4, 0);
+        f.add(R3, R3, 8i64);
+        f.jmp(top);
+        f.bind(done);
+        f.ret(0i64);
+        f.bind(stop);
+        f.store8(0i64, R0, snd_pcm::STATE);
+        f.ret(0i64);
+    });
+
+    pb.define("ens1370_pointer", 2, 0, |f| {
+        f.load8(R2, R0, snd_pcm::HW_PTR);
+        f.add(R2, R2, 32i64);
+        f.bin(lxfi_machine::BinOp::Rem, R2, R2, 2048i64);
+        f.store8(R2, R0, snd_pcm::HW_PTR);
+        f.ret(R2);
+    });
+
+    // ens1370_reset(pcm): clears stream state — reached from the trigger
+    // path on error in the real driver.
+    pb.define("ens1370_reset", 1, 0, |f| {
+        f.store8(0i64, R0, snd_pcm::STATE);
+        f.store8(0i64, R0, snd_pcm::HW_PTR);
+        f.ret(0i64);
+    });
+
+    let sig_trigger = pb.sig("pcm_trigger", 2);
+    let sig_pointer = pb.sig("pcm_pointer", 2);
+    pb.assign_sig(trigger, sig_trigger);
+    pb.assign_sig(pointer, sig_pointer);
+
+    let mut iface = InterfaceSpec::new();
+    iface.declare_sig(crate::decl(
+        "pcm_trigger",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("cmd")],
+        PCM_OP_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "pcm_pointer",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("unused")],
+        PCM_OP_ANN,
+    ));
+    iface.declare_fn(crate::decl(
+        "ens1370_reset",
+        vec![Param::ptr("pcm", "snd_pcm")],
+        "principal(pcm) pre(copy(write, pcm, 64))",
+    ));
+
+    ModuleSpec {
+        name: "snd-ens1370".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("ens1370_init".into()),
+    }
+}

@@ -1,0 +1,108 @@
+//! The snd-intel8x0 sound driver (AC'97 controller).
+//!
+//! Each PCM stream is a principal named by the `snd_pcm` pointer; the
+//! trigger and pointer callbacks are dispatched through the module's ops
+//! table, exercising the checked indirect-call path.
+
+use lxfi_core::iface::Param;
+use lxfi_kernel::snd::PCM_OP_ANN;
+use lxfi_kernel::types::snd_pcm;
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::{Cond, ProgramBuilder};
+use lxfi_rewriter::InterfaceSpec;
+
+/// Builds the snd-intel8x0 module.
+pub fn spec() -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("snd-intel8x0");
+
+    let snd_card_new = pb.import_func("snd_card_new");
+    let snd_pcm_new = pb.import_func("snd_pcm_new");
+    let snd_dma_alloc = pb.import_func("snd_dma_alloc");
+    let snd_card_register = pb.import_func("snd_card_register");
+    let spin_lock_init = pb.import_func("spin_lock_init");
+
+    // Ops table: trigger at +0, pointer at +8.
+    let ops = pb.global("intel8x0_ops", 64);
+    let lock = pb.global("intel8x0_lock", 8);
+
+    let trigger = pb.declare("intel8x0_trigger", 2);
+    let pointer = pb.declare("intel8x0_pointer", 2);
+
+    pb.fn_reloc(ops, 0, trigger);
+    pb.fn_reloc(ops, 8, pointer);
+
+    pb.define("intel8x0_init", 0, 0, |f| {
+        let fail = f.label();
+        f.global_addr(R1, lock);
+        f.call_extern(spin_lock_init, &[R1.into()], None);
+        f.call_extern(snd_card_new, &[], Some(R10));
+        f.br(Cond::Eq, R10, 0i64, fail);
+        f.global_addr(R2, ops);
+        f.call_extern(snd_pcm_new, &[R10.into(), R2.into()], Some(R11));
+        f.br(Cond::Eq, R11, 0i64, fail);
+        f.call_extern(snd_dma_alloc, &[R11.into(), 4096i64.into()], Some(R12));
+        f.call_extern(snd_card_register, &[R10.into()], None);
+        f.ret(0i64);
+        f.bind(fail);
+        f.mov(R0, -12i64);
+        f.ret(R0);
+    });
+
+    // trigger(pcm, cmd): cmd 1 = start (fill a silence block), 0 = stop.
+    pb.define("intel8x0_trigger", 2, 0, |f| {
+        let stop = f.label();
+        let top = f.label();
+        let done = f.label();
+        f.br(Cond::Eq, R1, 0i64, stop);
+        f.store8(1i64, R0, snd_pcm::STATE);
+        // Write 128 bytes of silence into the DMA area.
+        f.load8(R2, R0, snd_pcm::DMA_AREA);
+        f.mov(R3, 0i64);
+        f.bind(top);
+        f.br(Cond::Ule, 128i64, R3, done);
+        f.add(R4, R2, R3);
+        f.store8(0i64, R4, 0);
+        f.add(R3, R3, 8i64);
+        f.jmp(top);
+        f.bind(done);
+        f.ret(0i64);
+        f.bind(stop);
+        f.store8(0i64, R0, snd_pcm::STATE);
+        f.ret(0i64);
+    });
+
+    // pointer(pcm): advance and report the hardware position.
+    pb.define("intel8x0_pointer", 2, 0, |f| {
+        f.load8(R2, R0, snd_pcm::HW_PTR);
+        f.add(R2, R2, 64i64);
+        f.bin(lxfi_machine::BinOp::Rem, R2, R2, 4096i64);
+        f.store8(R2, R0, snd_pcm::HW_PTR);
+        f.ret(R2);
+    });
+
+    let sig_trigger = pb.sig("pcm_trigger", 2);
+    let sig_pointer = pb.sig("pcm_pointer", 2);
+    pb.assign_sig(trigger, sig_trigger);
+    pb.assign_sig(pointer, sig_pointer);
+
+    let mut iface = InterfaceSpec::new();
+    iface.declare_sig(crate::decl(
+        "pcm_trigger",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("cmd")],
+        PCM_OP_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "pcm_pointer",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("unused")],
+        PCM_OP_ANN,
+    ));
+
+    ModuleSpec {
+        name: "snd-intel8x0".into(),
+        program: pb.finish(),
+        iface,
+        iterators: vec![],
+        init_fn: Some("intel8x0_init".into()),
+    }
+}

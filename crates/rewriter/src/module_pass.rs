@@ -1,0 +1,367 @@
+//! The module rewriter (§4.2).
+//!
+//! For each module function, inserts a [`GuardWrite`] before every store
+//! whose safety the verifier cannot prove. Frame-local stores
+//! (`StoreFrame`) are statically bounds-checked by the KIR verifier and
+//! fall inside the thread-stack WRITE capability, so they need no guard —
+//! this is the constant-offset elision the paper credits for MD5's 2%
+//! overhead (§8.3).
+//!
+//! The pass also performs a peephole optimization: consecutive stores
+//! through the same (unmodified) base register are covered by one merged
+//! guard spanning all of them, mirroring the paper's observation that a
+//! compile-time approach "provides opportunities for compile-time
+//! optimizations" that binary rewriters like XFI cannot exploit.
+//!
+//! Finally it derives the module-initialization grant list from the
+//! import table: a CALL capability for every imported function's wrapper
+//! and a WRITE capability for every imported data symbol, granted to the
+//! module's *shared* principal at load time.
+//!
+//! [`GuardWrite`]: lxfi_machine::isa::Inst::GuardWrite
+
+use lxfi_machine::isa::{Inst, Operand, Reg};
+use lxfi_machine::program::{ImportKind, Program};
+
+use crate::edit::insert_before;
+
+/// Options controlling the module pass.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Merge consecutive same-base store guards into one range guard.
+    /// Merging is strictly *more* restrictive (the principal must own the
+    /// whole spanned range), never less.
+    pub merge_write_guards: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            merge_write_guards: true,
+        }
+    }
+}
+
+/// An initial capability grant derived from the import table (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InitGrant {
+    /// CALL capability for imported function `name` (resolved to the
+    /// wrapper address at load).
+    Call {
+        /// Kernel symbol name.
+        name: String,
+    },
+    /// WRITE capability over imported data symbol `name`.
+    Write {
+        /// Kernel symbol name.
+        name: String,
+    },
+}
+
+/// Result of rewriting one module.
+#[derive(Debug)]
+pub struct ModuleRewrite {
+    /// The instrumented program.
+    pub program: Program,
+    /// Initial grants for the shared principal.
+    pub init_grants: Vec<InitGrant>,
+    /// Number of store guards inserted.
+    pub guards_inserted: usize,
+    /// Stores proven safe statically (frame-local) — no guard.
+    pub guards_elided: usize,
+    /// Guards saved by merging consecutive same-base stores.
+    pub guards_merged: usize,
+}
+
+/// Runs the module pass.
+pub fn rewrite_module(input: &Program, opts: RewriteOptions) -> ModuleRewrite {
+    let mut program = input.clone();
+    let mut guards_inserted = 0;
+    let mut guards_elided = 0;
+    let mut guards_merged = 0;
+
+    for f in &mut program.funcs {
+        let leaders = block_leaders(&f.insts);
+        let mut inserts: Vec<(usize, Inst)> = Vec::new();
+        let mut i = 0;
+        while i < f.insts.len() {
+            match &f.insts[i] {
+                Inst::StoreFrame { .. } => {
+                    // Statically verified in-frame: covered by the
+                    // thread-stack WRITE capability. No guard.
+                    guards_elided += 1;
+                    i += 1;
+                }
+                Inst::Store {
+                    base, off, width, ..
+                } => {
+                    let group_end = if opts.merge_write_guards {
+                        store_group_end(&f.insts, i, *base, &leaders)
+                    } else {
+                        i + 1
+                    };
+                    if group_end > i + 1 {
+                        // Merged guard spanning the whole group.
+                        let (lo, span) = group_extent(&f.insts[i..group_end]);
+                        inserts.push((
+                            i,
+                            Inst::GuardWrite {
+                                base: *base,
+                                off: lo,
+                                len: Operand::Imm(span as i64),
+                            },
+                        ));
+                        guards_inserted += 1;
+                        guards_merged += group_end - i - 1;
+                    } else {
+                        inserts.push((
+                            i,
+                            Inst::GuardWrite {
+                                base: *base,
+                                off: *off,
+                                len: Operand::Imm(width.bytes() as i64),
+                            },
+                        ));
+                        guards_inserted += 1;
+                    }
+                    i = group_end;
+                }
+                _ => i += 1,
+            }
+        }
+        f.insts = insert_before(&f.insts, inserts);
+    }
+
+    let init_grants = input
+        .imports
+        .iter()
+        .map(|imp| match imp.kind {
+            ImportKind::Func => InitGrant::Call {
+                name: imp.name.clone(),
+            },
+            ImportKind::Data => InitGrant::Write {
+                name: imp.name.clone(),
+            },
+        })
+        .collect();
+
+    ModuleRewrite {
+        program,
+        init_grants,
+        guards_inserted,
+        guards_elided,
+        guards_merged,
+    }
+}
+
+/// Instruction indices that start a basic block (targets of any branch).
+fn block_leaders(body: &[Inst]) -> Vec<bool> {
+    let mut leaders = vec![false; body.len() + 1];
+    for inst in body {
+        if let Some(t) = inst.jump_target() {
+            leaders[t] = true;
+        }
+    }
+    leaders
+}
+
+/// Returns the exclusive end of the run of consecutive `Store`s through
+/// `base` starting at `start`, stopping at block boundaries, any
+/// redefinition of `base`, or any instruction that could change
+/// capability state (calls) or control flow.
+fn store_group_end(body: &[Inst], start: usize, base: Operand, leaders: &[bool]) -> usize {
+    let base_reg = match base {
+        Operand::Reg(r) => Some(r),
+        Operand::Imm(_) => None,
+    };
+    let mut end = start + 1;
+    while end < body.len() {
+        if leaders[end] {
+            break; // A branch may land here and skip the merged guard.
+        }
+        match &body[end] {
+            Inst::Store { base: b, .. } if *b == base => {
+                if let (Some(r), Some(def)) = (base_reg, body[end].def_reg()) {
+                    if def == r {
+                        break;
+                    }
+                }
+                end += 1;
+            }
+            _ => break,
+        }
+    }
+    let _ = base_reg.map(|r: Reg| r); // silence unused in non-debug builds
+    end
+}
+
+/// `[lo, hi)` byte extent covered by a run of stores (same base).
+fn group_extent(group: &[Inst]) -> (i64, u64) {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for inst in group {
+        if let Inst::Store { off, width, .. } = inst {
+            lo = lo.min(*off);
+            hi = hi.max(*off + width.bytes() as i64);
+        }
+    }
+    (lo, (hi - lo) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lxfi_machine::builder::regs::*;
+    use lxfi_machine::builder::ProgramBuilder;
+    use lxfi_machine::isa::{Cond, Width};
+    use lxfi_machine::verify_program;
+
+    #[test]
+    fn guards_inserted_before_stores() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 1, 0, |f| {
+            f.store8(1i64, R0, 0);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        let insts = &rw.program.funcs[0].insts;
+        assert!(insts[0].is_guard());
+        assert!(matches!(insts[1], Inst::Store { .. }));
+        assert_eq!(rw.guards_inserted, 1);
+        verify_program(&rw.program).unwrap();
+    }
+
+    #[test]
+    fn frame_stores_are_elided() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 0, 32, |f| {
+            f.store_frame(1i64, 0, Width::B8);
+            f.store_frame(2i64, 8, Width::B8);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(rw.guards_inserted, 0);
+        assert_eq!(rw.guards_elided, 2);
+        assert_eq!(rw.program.code_size(), 3, "no code growth");
+    }
+
+    #[test]
+    fn consecutive_stores_same_base_merge() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("init_obj", 1, 0, |f| {
+            f.store8(0i64, R0, 0);
+            f.store8(0i64, R0, 8);
+            f.store(0i64, R0, 16, Width::B4);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(rw.guards_inserted, 1);
+        assert_eq!(rw.guards_merged, 2);
+        match &rw.program.funcs[0].insts[0] {
+            Inst::GuardWrite { off, len, .. } => {
+                assert_eq!(*off, 0);
+                assert_eq!(*len, Operand::Imm(20));
+            }
+            other => panic!("expected merged guard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_disabled_guards_each_store() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 1, 0, |f| {
+            f.store8(0i64, R0, 0);
+            f.store8(0i64, R0, 8);
+            f.ret_void();
+        });
+        let rw = rewrite_module(
+            &pb.finish(),
+            RewriteOptions {
+                merge_write_guards: false,
+            },
+        );
+        assert_eq!(rw.guards_inserted, 2);
+        assert_eq!(rw.guards_merged, 0);
+    }
+
+    #[test]
+    fn merge_stops_at_branch_targets() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 2, 0, |f| {
+            let mid = f.label();
+            f.br(Cond::Eq, R1, 0i64, mid);
+            f.store8(0i64, R0, 0);
+            f.bind(mid); // branch lands between the stores
+            f.store8(0i64, R0, 8);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(
+            rw.guards_inserted, 2,
+            "a merged guard would be skippable via the branch"
+        );
+        verify_program(&rw.program).unwrap();
+        // The branch must land on the second guard, not the second store.
+        let insts = &rw.program.funcs[0].insts;
+        let target = insts[0].jump_target().unwrap();
+        assert!(insts[target].is_guard());
+    }
+
+    #[test]
+    fn merge_stops_at_base_redefinition() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 1, 0, |f| {
+            f.store8(R0, R0, 0); // store also redefines nothing; base reused
+            f.mov(R0, 0x9000i64); // redefines base
+            f.store8(0i64, R0, 8);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(rw.guards_inserted, 2);
+    }
+
+    #[test]
+    fn init_grants_from_import_table() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.import_func("kmalloc");
+        pb.import_func("netif_rx");
+        pb.import_data("jiffies");
+        pb.define("f", 0, 0, |f| f.ret_void());
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(
+            rw.init_grants,
+            vec![
+                InitGrant::Call {
+                    name: "kmalloc".into()
+                },
+                InitGrant::Call {
+                    name: "netif_rx".into()
+                },
+                InitGrant::Write {
+                    name: "jiffies".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rewritten_program_always_verifies() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("loopy", 2, 16, |f| {
+            let top = f.label();
+            let out = f.label();
+            f.bind(top);
+            f.br(Cond::Eq, R1, 0i64, out);
+            f.store8(R1, R0, 0);
+            f.store_frame(R1, 0, Width::B8);
+            f.sub(R1, R1, 1i64);
+            f.jmp(top);
+            f.bind(out);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        verify_program(&rw.program).unwrap();
+        assert_eq!(rw.guards_inserted, 1);
+        assert_eq!(rw.guards_elided, 1);
+    }
+}

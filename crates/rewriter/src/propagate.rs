@@ -1,0 +1,275 @@
+//! Annotation propagation (§4.2).
+//!
+//! Annotations live on function-pointer *types* (e.g.
+//! `net_device_ops.ndo_start_xmit`) and on kernel prototypes. A module
+//! function like `myxmit` acquires its annotations from the type it is
+//! assigned to — along initializations, assignments, and argument passing
+//! (recorded as [`SigAssignment`] facts by the module builder). A function
+//! reached from several sources must receive *exactly the same*
+//! annotation set; a conflict is a compile-time error.
+//!
+//! [`SigAssignment`]: lxfi_machine::program::SigAssignment
+
+use std::collections::HashMap;
+
+use lxfi_core::iface::FnDecl;
+use lxfi_machine::program::{FuncId, Program};
+
+/// The annotated interface surface the module is compiled against.
+#[derive(Debug, Default)]
+pub struct InterfaceSpec {
+    /// Function-pointer type name → annotated declaration.
+    pub sig_decls: HashMap<String, FnDecl>,
+    /// Explicit annotations on module functions (rare; most module
+    /// functions get theirs by propagation).
+    pub fn_decls: HashMap<String, FnDecl>,
+}
+
+impl InterfaceSpec {
+    /// Creates an empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function-pointer type declaration.
+    pub fn declare_sig(&mut self, decl: FnDecl) {
+        self.sig_decls.insert(decl.name.clone(), decl);
+    }
+
+    /// Adds an explicit module-function declaration.
+    pub fn declare_fn(&mut self, decl: FnDecl) {
+        self.fn_decls.insert(decl.name.clone(), decl);
+    }
+}
+
+/// Propagation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropagateError {
+    /// A function acquired two different annotation sets.
+    Conflict {
+        /// Module function name.
+        func: String,
+        /// First source and its canonical annotation.
+        first: (String, String),
+        /// Second source and its conflicting canonical annotation.
+        second: (String, String),
+    },
+    /// A `SigAssignment` references a type the spec does not declare.
+    UnknownSig {
+        /// Module function name.
+        func: String,
+        /// Signature name.
+        sig: String,
+    },
+}
+
+impl std::fmt::Display for PropagateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropagateError::Conflict {
+                func,
+                first,
+                second,
+            } => write!(
+                f,
+                "function `{func}` has conflicting annotations: from {} `{}` vs from {} `{}`",
+                first.0, first.1, second.0, second.1
+            ),
+            PropagateError::UnknownSig { func, sig } => {
+                write!(f, "function `{func}` assigned to unannotated type `{sig}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropagateError {}
+
+/// Computes the final annotation set for every module function.
+///
+/// The result is order-independent: all sources are gathered first, then
+/// checked pairwise for canonical equality (§4.2: "LXFI verifies that
+/// these annotations are exactly the same").
+pub fn propagate(
+    program: &Program,
+    spec: &InterfaceSpec,
+) -> Result<HashMap<FuncId, FnDecl>, PropagateError> {
+    // func → [(source description, decl)]
+    let mut sources: HashMap<FuncId, Vec<(String, FnDecl)>> = HashMap::new();
+
+    for (id, f) in program.funcs.iter().enumerate() {
+        if let Some(d) = spec.fn_decls.get(&f.name) {
+            sources
+                .entry(FuncId(id as u32))
+                .or_default()
+                .push((format!("explicit annotation on `{}`", f.name), d.clone()));
+        }
+    }
+
+    let mut assignments = program.sig_assignments.clone();
+    // Deterministic order regardless of recording order.
+    assignments.sort_by_key(|a| (a.func, a.sig.0));
+    for a in &assignments {
+        let fname = &program.funcs[a.func.0 as usize].name;
+        let sname = &program.sigs[a.sig.0 as usize].name;
+        let d = spec
+            .sig_decls
+            .get(sname)
+            .ok_or_else(|| PropagateError::UnknownSig {
+                func: fname.clone(),
+                sig: sname.clone(),
+            })?;
+        sources
+            .entry(a.func)
+            .or_default()
+            .push((format!("pointer type `{sname}`"), d.clone()));
+    }
+
+    let mut out = HashMap::new();
+    for (func, srcs) in sources {
+        let fname = &program.funcs[func.0 as usize].name;
+        let (first_src, first) = &srcs[0];
+        for (src, d) in &srcs[1..] {
+            if d.ann.canonical() != first.ann.canonical() {
+                return Err(PropagateError::Conflict {
+                    func: fname.clone(),
+                    first: (first_src.clone(), first.ann.canonical()),
+                    second: (src.clone(), d.ann.canonical()),
+                });
+            }
+        }
+        // The function inherits the declaration with its own name.
+        let mut decl = first.clone();
+        decl.name = fname.clone();
+        out.insert(func, decl);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lxfi_annotations::parse_fn_annotations;
+    use lxfi_core::iface::Param;
+    use lxfi_machine::builder::ProgramBuilder;
+
+    fn decl(name: &str, ann: &str) -> FnDecl {
+        FnDecl::new(
+            name,
+            vec![
+                Param::ptr("skb", "sk_buff"),
+                Param::ptr("dev", "net_device"),
+            ],
+            parse_fn_annotations(ann).unwrap(),
+        )
+    }
+
+    #[test]
+    fn function_inherits_pointer_type_annotation() {
+        let mut pb = ProgramBuilder::new("e1000");
+        let sig = pb.sig("ndo_start_xmit", 2);
+        let f = pb.define("myxmit", 2, 0, |f| f.ret_void());
+        pb.assign_sig(f, sig);
+        let p = pb.finish();
+
+        let mut spec = InterfaceSpec::new();
+        spec.declare_sig(decl(
+            "ndo_start_xmit",
+            "principal(dev) pre(transfer(skb_caps(skb)))",
+        ));
+        let map = propagate(&p, &spec).unwrap();
+        let d = &map[&f];
+        assert_eq!(d.name, "myxmit");
+        assert!(d.ann.canonical().contains("skb_caps"));
+    }
+
+    #[test]
+    fn matching_sources_are_accepted() {
+        let mut pb = ProgramBuilder::new("m");
+        let s1 = pb.sig("tx_a", 2);
+        let s2 = pb.sig("tx_b", 2);
+        let f = pb.define("myxmit", 2, 0, |f| f.ret_void());
+        pb.assign_sig(f, s1);
+        pb.assign_sig(f, s2);
+        let p = pb.finish();
+        let mut spec = InterfaceSpec::new();
+        spec.declare_sig(decl("tx_a", "pre(transfer(skb_caps(skb)))"));
+        spec.declare_sig(decl("tx_b", "pre(transfer(skb_caps(skb)))"));
+        assert!(propagate(&p, &spec).is_ok());
+    }
+
+    #[test]
+    fn conflicting_sources_are_rejected() {
+        let mut pb = ProgramBuilder::new("m");
+        let s1 = pb.sig("tx_a", 2);
+        let s2 = pb.sig("tx_b", 2);
+        let f = pb.define("myxmit", 2, 0, |f| f.ret_void());
+        pb.assign_sig(f, s1);
+        pb.assign_sig(f, s2);
+        let p = pb.finish();
+        let mut spec = InterfaceSpec::new();
+        spec.declare_sig(decl("tx_a", "pre(transfer(skb_caps(skb)))"));
+        spec.declare_sig(decl("tx_b", "pre(copy(skb_caps(skb)))"));
+        let err = propagate(&p, &spec).unwrap_err();
+        assert!(matches!(err, PropagateError::Conflict { .. }));
+    }
+
+    #[test]
+    fn explicit_and_propagated_must_match() {
+        let mut pb = ProgramBuilder::new("m");
+        let s1 = pb.sig("tx_a", 2);
+        let f = pb.define("myxmit", 2, 0, |f| f.ret_void());
+        pb.assign_sig(f, s1);
+        let p = pb.finish();
+        let mut spec = InterfaceSpec::new();
+        spec.declare_sig(decl("tx_a", "pre(transfer(skb_caps(skb)))"));
+        spec.declare_fn(decl("myxmit", "pre(check(write, skb, 8))"));
+        assert!(propagate(&p, &spec).is_err());
+    }
+
+    #[test]
+    fn unknown_sig_is_an_error() {
+        let mut pb = ProgramBuilder::new("m");
+        let s1 = pb.sig("mystery_t", 2);
+        let f = pb.define("g", 2, 0, |f| f.ret_void());
+        pb.assign_sig(f, s1);
+        let p = pb.finish();
+        let err = propagate(&p, &InterfaceSpec::new()).unwrap_err();
+        assert!(matches!(err, PropagateError::UnknownSig { .. }));
+    }
+
+    #[test]
+    fn result_is_order_independent() {
+        // Record assignments in both orders; same outcome.
+        let build = |swap: bool| {
+            let mut pb = ProgramBuilder::new("m");
+            let s1 = pb.sig("tx_a", 2);
+            let s2 = pb.sig("tx_b", 2);
+            let f = pb.define("myxmit", 2, 0, |f| f.ret_void());
+            if swap {
+                pb.assign_sig(f, s2);
+                pb.assign_sig(f, s1);
+            } else {
+                pb.assign_sig(f, s1);
+                pb.assign_sig(f, s2);
+            }
+            (pb.finish(), f)
+        };
+        let mut spec = InterfaceSpec::new();
+        spec.declare_sig(decl("tx_a", "pre(transfer(skb_caps(skb)))"));
+        spec.declare_sig(decl("tx_b", "pre(transfer(skb_caps(skb)))"));
+        let (p1, f1) = build(false);
+        let (p2, f2) = build(true);
+        let m1 = propagate(&p1, &spec).unwrap();
+        let m2 = propagate(&p2, &spec).unwrap();
+        assert_eq!(m1[&f1].ann.canonical(), m2[&f2].ann.canonical());
+    }
+
+    #[test]
+    fn unannotated_functions_get_nothing() {
+        let mut pb = ProgramBuilder::new("m");
+        let f = pb.define("internal_helper", 0, 0, |f| f.ret_void());
+        let p = pb.finish();
+        let map = propagate(&p, &InterfaceSpec::new()).unwrap();
+        assert!(!map.contains_key(&f));
+    }
+}

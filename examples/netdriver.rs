@@ -1,0 +1,48 @@
+//! The Figure 1/4 scenario end to end: the e1000 driver probes a PCI
+//! device, aliases its principals, transmits and receives packets — all
+//! under LXFI enforcement, with guard statistics at the end.
+//!
+//! Run with: `cargo run --example netdriver`
+
+use lxfi::prelude::*;
+use lxfi_core::ALL_GUARD_KINDS;
+
+fn main() {
+    println!("== e1000 under LXFI ==\n");
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.pci_add_device(0x8086, 0x100e, 11);
+    k.load_module(lxfi_modules::e1000::spec()).unwrap();
+
+    // PCI probe: runs as the principal named by the pci_dev pointer,
+    // receives REF(struct pci_dev), and aliases the net_device name to
+    // the same principal (Figure 4 lines 69-78).
+    let bound = k.enter(|k| k.pci_probe_all()).unwrap();
+    println!("pci_probe_all: {bound} device bound");
+    let dev = *k.net.devices.last().unwrap();
+
+    // Transmit through the (rewritten) dev_queue_xmit thunk: the skb's
+    // capabilities transfer to the driver, which writes the MMIO ring.
+    for len in [64, 256, 1448] {
+        let r = k.enter(|k| k.net_send_packet(dev, len)).unwrap();
+        println!("tx {len:>5}B -> status {r} (NETDEV_TX_OK)");
+    }
+    println!("driver TX counter: {}", k.net_tx_packets(dev));
+
+    // Receive via NAPI poll inside a simulated interrupt; each skb's
+    // capabilities transfer to the kernel at netif_rx.
+    let got = k.enter(|k| k.net_deliver_rx(dev, 8)).unwrap();
+    let drained = k.enter(|k| k.net_drain_rx()).unwrap();
+    println!("rx: poll delivered {got}, stack drained {drained}");
+
+    println!("\nguard statistics:");
+    for kind in ALL_GUARD_KINDS {
+        println!(
+            "  {:<20} {:>6} guards  {:>8} cycles",
+            kind.label(),
+            k.rt.stats.count(kind),
+            k.rt.stats.cycles(kind)
+        );
+    }
+    assert!(k.panic_reason().is_none());
+    println!("\nno violations — the annotated interface was used as intended.");
+}

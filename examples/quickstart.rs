@@ -1,0 +1,83 @@
+//! Quickstart: annotate a kernel API, load a module under LXFI, and watch
+//! a violation get blocked.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lxfi::prelude::*;
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::ProgramBuilder;
+use lxfi_rewriter::InterfaceSpec;
+
+fn main() {
+    // A tiny module: `fill(n)` allocates n bytes and writes them;
+    // `smash(n)` allocates n bytes and writes one byte past the end.
+    let spec = || {
+        let mut pb = ProgramBuilder::new("demo");
+        let kmalloc = pb.import_func("kmalloc");
+        pb.define("fill", 1, 0, |f| {
+            let done = f.label();
+            let top = f.label();
+            f.mov(R5, R0);
+            f.call_extern(kmalloc, &[R0.into()], Some(R1));
+            f.mov(R2, 0i64);
+            f.bind(top);
+            f.br(lxfi_machine::Cond::Eq, R2, R5, done);
+            f.add(R3, R1, R2);
+            f.store(0x42i64, R3, 0, lxfi_machine::Width::B1);
+            f.add(R2, R2, 1i64);
+            f.jmp(top);
+            f.bind(done);
+            f.ret(R1);
+        });
+        pb.define("smash", 1, 0, |f| {
+            f.mov(R5, R0);
+            f.call_extern(kmalloc, &[R0.into()], Some(R1));
+            f.add(R2, R1, R5);
+            f.store(0x66i64, R2, 0, lxfi_machine::Width::B1); // one past end!
+            f.ret(R1);
+        });
+        ModuleSpec {
+            name: "demo".into(),
+            program: pb.finish(),
+            iface: InterfaceSpec::new(),
+            iterators: vec![],
+            init_fn: None,
+        }
+    };
+
+    println!("== LXFI quickstart ==\n");
+    println!(
+        "kmalloc's annotation is:\n  post(if (return != 0) transfer(write, return, size))\n\
+         so the module receives a WRITE capability for exactly the bytes\n\
+         it asked for — nothing more.\n"
+    );
+
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    let id = k.load_module(spec()).unwrap();
+
+    // In-bounds writes are fine.
+    let fill = k.module_fn_addr(id, "fill").unwrap();
+    let p = k
+        .enter(|k| k.invoke_module_function(fill, &[64], None))
+        .unwrap();
+    println!("fill(64)  -> wrote 64 bytes at {p:#x}: OK");
+
+    // The out-of-bounds write is stopped at the first bad byte.
+    let smash = k.module_fn_addr(id, "smash").unwrap();
+    match k.enter(|k| k.invoke_module_function(smash, &[64], None)) {
+        Err(e) => println!("smash(64) -> {e}"),
+        Ok(_) => unreachable!("LXFI must block the overflow"),
+    }
+    println!("\nviolation recorded: {:?}", k.last_violation().unwrap());
+
+    // The same module on a stock kernel corrupts the heap silently.
+    let mut k = Kernel::boot(IsolationMode::Stock);
+    let id = k.load_module(spec()).unwrap();
+    let smash = k.module_fn_addr(id, "smash").unwrap();
+    let p = k
+        .enter(|k| k.invoke_module_function(smash, &[64], None))
+        .unwrap();
+    let b = k.mem.read(p + 64, lxfi_machine::Width::B1).unwrap();
+    println!("\nstock kernel: smash(64) wrote {b:#x} into the adjacent object — silent corruption");
+}

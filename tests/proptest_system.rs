@@ -1,0 +1,114 @@
+//! System-level property tests: randomized module behaviour against the
+//! full kernel, checking the LXFI enforcement oracle end to end.
+
+use proptest::prelude::*;
+
+use lxfi::prelude::*;
+use lxfi_core::Violation;
+use lxfi_kernel::ModuleSpec;
+use lxfi_machine::builder::regs::*;
+use lxfi_machine::ProgramBuilder;
+use lxfi_rewriter::InterfaceSpec;
+
+/// A module that allocates `size` bytes and stores one byte at `off`.
+fn poke_module(size: u64, off: u64) -> ModuleSpec {
+    let mut pb = ProgramBuilder::new("poke");
+    let km = pb.import_func("kmalloc");
+    pb.define("poke", 0, 0, |f| {
+        f.call_extern(km, &[(size as i64).into()], Some(R1));
+        f.add(R2, R1, off as i64);
+        f.store(0x5ai64, R2, 0, lxfi_machine::Width::B1);
+        f.ret(R1);
+    });
+    ModuleSpec {
+        name: "poke".into(),
+        program: pb.finish(),
+        iface: InterfaceSpec::new(),
+        iterators: vec![],
+        init_fn: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The enforcement oracle: a store at offset `off` into a `size`-byte
+    /// allocation is allowed iff `off < size` — matching kmalloc's
+    /// transfer annotation exactly, for arbitrary sizes and offsets.
+    #[test]
+    fn store_allowed_iff_within_allocation(size in 1u64..4096, off in 0u64..8192) {
+        let mut k = Kernel::boot(IsolationMode::Lxfi);
+        let id = k.load_module(poke_module(size, off)).unwrap();
+        let addr = k.module_fn_addr(id, "poke").unwrap();
+        let r = k.enter(|k| k.invoke_module_function(addr, &[], None));
+        if off < size {
+            prop_assert!(r.is_ok(), "in-bounds store at {off} of {size} denied");
+        } else {
+            prop_assert!(r.is_err(), "out-of-bounds store at {off} of {size} allowed");
+            let is_missing_write =
+                matches!(k.last_violation(), Some(Violation::MissingWrite { .. }));
+            prop_assert!(is_missing_write);
+        }
+    }
+
+    /// Benign packet traffic of arbitrary sizes and interleavings never
+    /// panics the LXFI kernel, and stock/LXFI agree on all counters.
+    #[test]
+    fn random_net_traffic_is_clean(
+        ops in proptest::collection::vec((0u8..3, 1u64..1400), 1..25)
+    ) {
+        let run = |mode: IsolationMode| {
+            let mut k = Kernel::boot(mode);
+            k.pci_add_device(0x8086, 0x100e, 11);
+            k.load_module(lxfi_modules::e1000::spec()).unwrap();
+            k.enter(|k| k.pci_probe_all()).unwrap();
+            let dev = *k.net.devices.last().unwrap();
+            for &(op, len) in &ops {
+                match op {
+                    0 => {
+                        k.enter(|k| k.net_send_packet(dev, len)).unwrap();
+                    }
+                    1 => {
+                        k.enter(|k| k.net_deliver_rx(dev, len % 8 + 1)).unwrap();
+                    }
+                    _ => {
+                        k.enter(|k| k.net_drain_rx()).unwrap();
+                    }
+                }
+            }
+            assert!(k.panic_reason().is_none());
+            (k.net_tx_packets(dev), k.net.rx_total)
+        };
+        prop_assert_eq!(run(IsolationMode::Stock), run(IsolationMode::Lxfi));
+    }
+
+    /// Socket traffic across all four protocol modules with arbitrary
+    /// payload sizes never violates policy.
+    #[test]
+    fn random_socket_traffic_is_clean(
+        msgs in proptest::collection::vec((0usize..4, 1u64..48), 1..20)
+    ) {
+        let mut k = Kernel::boot(IsolationMode::Lxfi);
+        for spec in lxfi_modules::all_specs() {
+            k.load_module(spec).unwrap();
+        }
+        let fams = [9u64, 21, 29, 30];
+        let socks: Vec<_> = fams
+            .iter()
+            .map(|&f| k.enter(|k| k.sys_socket(f)).unwrap())
+            .collect();
+        let buf = k.user_alloc(64);
+        let dest = k.user_alloc(8);
+        for &(which, len) in &msgs {
+            // Benign headers for each protocol (RDS gets a user dest).
+            k.mem.write_word(buf, if which == 3 { 1 } else { 7 }).unwrap();
+            k.mem.write_word(buf + 8, if which == 1 { dest } else { 4 }).unwrap();
+            if which == 1 {
+                k.mem.write_word(buf, dest).unwrap();
+            }
+            let s = socks[which];
+            k.enter(|k| k.sys_sendmsg(s, buf, len.max(32))).unwrap();
+        }
+        prop_assert!(k.panic_reason().is_none());
+    }
+}
