@@ -1,0 +1,162 @@
+//! A minimal, API-compatible subset of the `criterion` crate.
+//!
+//! Provides [`Criterion`], [`Bencher::iter`], benchmark groups, and the
+//! `criterion_group!` / `criterion_main!` macros — enough to run this
+//! workspace's `benches/` targets with `cargo bench` and print stable
+//! median ns/iter figures. No HTML reports, no statistical regression
+//! analysis; swap in the real crate by repointing the workspace
+//! dependency once a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iteration across samples.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up, also used to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 100_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result_ns: f64::NAN,
+        };
+        f(&mut b);
+        if b.result_ns.is_nan() {
+            println!("{name:<40} (no measurement)");
+        } else {
+            println!("{name:<40} time: {:>12.1} ns/iter", b.result_ns);
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside print as `group/label`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, label: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, label);
+        self.c.run_one(&full, f);
+        self
+    }
+
+    /// Closes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from a config expression and
+/// target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,139 @@
+//! A minimal, API-compatible subset of the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this shim provides
+//! exactly the surface the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, range and tuple strategies, [`strategy::Just`],
+//! `prop_oneof!`, regex-literal string strategies, [`collection::vec`],
+//! [`option::of`], `any::<T>()`, the `proptest!` macro (supporting both
+//! `name in strategy` and `name: Type` parameters), and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **no shrinking** — a failing case reports its case index and seed so
+//!   it can be replayed, but is not minimized;
+//! - **uniform generation** — no size-biased or edge-case-weighted
+//!   distributions beyond what the strategies themselves encode;
+//! - `prop_assert*` panics (the runner catches and reports) instead of
+//!   returning `TestCaseError`.
+//!
+//! Swap this shim for the real `proptest` by pointing the workspace
+//! dependency back at the registry; no test source changes are required.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniformly selects one of the listed strategies per generated value.
+///
+/// Only the unweighted form is supported; all arms must share a value
+/// type (they are boxed into a [`strategy::Union`]).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests.
+///
+/// Supports the subset of the real macro's grammar this workspace uses:
+/// an optional `#![proptest_config(expr)]` header, then test functions
+/// whose parameters are either `name in strategy` or `name: Type`
+/// (shorthand for `name in any::<Type>()`), in any order.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __runner =
+                    $crate::test_runner::TestRunner::new(__config, stringify!($name));
+                $crate::__proptest_case!(__runner, $body, [], $($params)*);
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Terminal: all parameters collected.
+    ($runner:ident, $body:block, [$(($p:ident, $s:expr)),*], ) => {
+        $runner.run(|__rng| {
+            $(let $p = $crate::strategy::Strategy::generate(&$s, __rng);)*
+            $body
+        });
+    };
+    // `name in strategy`, more parameters follow.
+    ($runner:ident, $body:block, [$(($p:ident, $s:expr)),*],
+     $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!($runner, $body, [$(($p, $s),)* ($name, $strat)], $($rest)*);
+    };
+    // `name in strategy`, final parameter.
+    ($runner:ident, $body:block, [$(($p:ident, $s:expr)),*],
+     $name:ident in $strat:expr) => {
+        $crate::__proptest_case!($runner, $body, [$(($p, $s),)* ($name, $strat)],);
+    };
+    // `name: Type`, more parameters follow.
+    ($runner:ident, $body:block, [$(($p:ident, $s:expr)),*],
+     $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(
+            $runner, $body,
+            [$(($p, $s),)* ($name, $crate::arbitrary::any::<$ty>())],
+            $($rest)*
+        );
+    };
+    // `name: Type`, final parameter.
+    ($runner:ident, $body:block, [$(($p:ident, $s:expr)),*],
+     $name:ident : $ty:ty) => {
+        $crate::__proptest_case!(
+            $runner, $body,
+            [$(($p, $s),)* ($name, $crate::arbitrary::any::<$ty>())],
+        );
+    };
+}

@@ -1,0 +1,141 @@
+//! Sampling strings from a small regex subset.
+//!
+//! Supports exactly what string-literal strategies in this workspace
+//! need: literal characters, character classes (`[a-z0-9_]`, with ranges
+//! and literal members), and the quantifiers `{n}`, `{n,m}`, `?`, `*`,
+//! `+` (unbounded repetition is capped at 8).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>), // inclusive ranges; singletons are (c, c)
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                return Atom::Class(ranges);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().unwrap();
+                let hi = chars.next().unwrap();
+                ranges.push((lo, hi));
+            }
+            _ => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+            }
+        }
+    }
+    panic!("unterminated character class in regex strategy");
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> (u32, u32) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("regex {n,m} lower bound"),
+                    hi.trim().parse().expect("regex {n,m} upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("regex {n} count");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Samples one string matching `pattern` (within the supported subset).
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            _ => Atom::Literal(c),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        atoms.push((atom, lo, hi));
+    }
+    let mut out = String::new();
+    for (atom, lo, hi) in &atoms {
+        let n = if lo == hi {
+            *lo
+        } else {
+            lo + rng.below(u64::from(hi - lo + 1)) as u32
+        };
+        for _ in 0..n {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let span = (hi as u64) - (lo as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_pattern_samples_match() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = sample_regex("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+}

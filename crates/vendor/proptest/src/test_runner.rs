@@ -1,0 +1,112 @@
+//! Deterministic test execution: per-test seeded RNG and the case loop.
+
+/// A small, fast, deterministic RNG (SplitMix64). Not cryptographic; the
+/// only requirements here are decent equidistribution and stable output
+/// for a given seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping is fine at test quality.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Run configuration; only the case count is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the interpreter-heavy
+        // system tests quick while still exercising plenty of cases.
+        // Override per test with `#![proptest_config(...)]`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives the case loop for one `proptest!` test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner seeded stably from the test's name (so each test has an
+    /// independent, reproducible stream). `PROPTEST_SEED` overrides the
+    /// base seed for replay experiments.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                seed ^= v;
+            }
+        }
+        TestRunner { config, seed, name }
+    }
+
+    /// Runs `case` once per configured case with a per-case RNG. A panic
+    /// in the body is reported with the case index and seed, then
+    /// re-raised so the harness records the failure.
+    pub fn run(&mut self, mut case: impl FnMut(&mut TestRng)) {
+        for i in 0..self.config.cases {
+            let mut rng = TestRng::new(self.seed.wrapping_add(u64::from(i)));
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case(&mut rng);
+            }));
+            if let Err(e) = r {
+                eprintln!(
+                    "proptest {}: case {}/{} failed (base seed {:#x})",
+                    self.name, i, self.config.cases, self.seed
+                );
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
