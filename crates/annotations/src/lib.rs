@@ -39,7 +39,9 @@ pub mod eval;
 pub mod hash;
 pub mod parse;
 
-pub use ast::{Action, Annotation, CapList, CapTypeExpr, Expr, FnAnnotations, PrincipalExpr};
+pub use ast::{
+    Action, Annotation, BinExprOp, CapList, CapTypeExpr, Expr, FnAnnotations, PrincipalExpr,
+};
 pub use eval::{eval_expr, EvalCtx, EvalError};
 pub use hash::annotation_hash;
 pub use parse::{parse_annotation_list, parse_fn_annotations, ParseError};

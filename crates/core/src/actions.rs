@@ -15,10 +15,13 @@
 //! capability, so grants *to* the kernel are pure revocations and checks
 //! *of* the kernel always pass.
 
-use lxfi_annotations::{eval_expr, Action, CapList, CapTypeExpr, EvalCtx, Expr};
 use lxfi_machine::{AddressSpace, Word};
 
 use crate::caps::RawCap;
+use crate::compiled::{
+    compile_annotations, eval_compiled, CAction, CCapKind, CCapList, CSize, CallValues,
+    CompiledAnn,
+};
 use crate::iface::{FnDecl, TypeLayouts};
 use crate::runtime::{EmittedCap, Runtime};
 use crate::shadow::PrincipalCtx;
@@ -50,6 +53,12 @@ pub struct CallSite<'a> {
 }
 
 /// Applies the declaration's `pre` or `post` actions for one call.
+///
+/// Declarations registered through the kernel carry a pre-compiled,
+/// name-free action IR (see [`crate::compiled`]); enforcement walks it
+/// directly. A declaration that was never compiled (hand-built in a
+/// test) is compiled on the fly — same semantics, registration-time
+/// cost paid per call.
 pub fn apply_actions(
     rt: &mut Runtime,
     mem: &AddressSpace,
@@ -57,54 +66,48 @@ pub fn apply_actions(
     site: &CallSite<'_>,
     dir: Dir,
 ) -> Result<(), Violation> {
-    let actions = match dir {
-        Dir::Pre => &site.decl.ann.pre,
-        Dir::Post => &site.decl.ann.post,
+    let owned;
+    let compiled: &CompiledAnn = match &site.decl.compiled {
+        Some(c) => c,
+        None => {
+            owned = compile_annotations(&site.decl.ann, &site.decl.params, layouts, rt);
+            &owned
+        }
     };
-    let params = site.decl.param_names();
-    for a in actions {
-        apply_one(rt, mem, layouts, site, dir, &params, a)?;
-    }
-    Ok(())
-}
-
-fn eval(
-    rt: &Runtime,
-    site: &CallSite<'_>,
-    params: &[String],
-    dir: Dir,
-    e: &Expr,
-) -> Result<i64, Violation> {
-    let ctx = EvalCtx {
-        params,
+    let actions = match dir {
+        Dir::Pre => &compiled.pre,
+        Dir::Post => &compiled.post,
+    };
+    let vals = CallValues {
         args: site.args,
         ret: match dir {
             Dir::Pre => None,
             Dir::Post => site.ret,
         },
-        consts: rt.consts(),
     };
-    eval_expr(e, &ctx).map_err(|e| Violation::BadExpression { why: e.to_string() })
+    for a in actions {
+        apply_one(rt, mem, site, dir, vals, a)?;
+    }
+    Ok(())
 }
 
 fn apply_one(
     rt: &mut Runtime,
     mem: &AddressSpace,
-    layouts: &TypeLayouts,
     site: &CallSite<'_>,
     dir: Dir,
-    params: &[String],
-    action: &Action,
+    vals: CallValues<'_>,
+    action: &CAction,
 ) -> Result<(), Violation> {
     match action {
-        Action::If(cond, inner) => {
-            if eval(rt, site, params, dir, cond)? != 0 {
-                apply_one(rt, mem, layouts, site, dir, params, inner)?;
+        CAction::If(cond, inner) => {
+            if eval_compiled(cond, vals, rt)? != 0 {
+                apply_one(rt, mem, site, dir, vals, inner)?;
             }
             Ok(())
         }
-        Action::Copy(caps) => {
-            let resolved = resolve_caplist(rt, mem, layouts, site, dir, params, caps)?;
+        CAction::Copy(caps) => {
+            let resolved = resolve_caplist(rt, mem, vals, caps)?;
             let (src, dst) = endpoints(site, dir);
             for cap in resolved {
                 record_action(rt);
@@ -115,8 +118,8 @@ fn apply_one(
             }
             Ok(())
         }
-        Action::Transfer(caps) => {
-            let resolved = resolve_caplist(rt, mem, layouts, site, dir, params, caps)?;
+        CAction::Transfer(caps) => {
+            let resolved = resolve_caplist(rt, mem, vals, caps)?;
             let (src, dst) = endpoints(site, dir);
             for cap in resolved {
                 record_action(rt);
@@ -130,8 +133,8 @@ fn apply_one(
             }
             Ok(())
         }
-        Action::Check(caps) => {
-            let resolved = resolve_caplist(rt, mem, layouts, site, dir, params, caps)?;
+        CAction::Check(caps) => {
+            let resolved = resolve_caplist(rt, mem, vals, caps)?;
             // All checks are pre: the caller must own the capability.
             for cap in resolved {
                 record_action(rt);
@@ -178,68 +181,47 @@ fn require_owned(rt: &Runtime, ctx: PrincipalCtx, cap: RawCap) -> Result<(), Vio
     })
 }
 
-/// Resolves a caplist to concrete capabilities: evaluates expressions,
-/// applies the `sizeof(*ptr)` default, interns REF types, and expands
-/// capability iterators.
+/// Resolves a compiled caplist to concrete capabilities: evaluates
+/// expressions and expands capability iterators. REF types and iterator
+/// names were interned at compile time, so no string work happens here.
 fn resolve_caplist(
     rt: &mut Runtime,
     mem: &AddressSpace,
-    layouts: &TypeLayouts,
-    site: &CallSite<'_>,
-    dir: Dir,
-    params: &[String],
-    caps: &CapList,
+    vals: CallValues<'_>,
+    caps: &CCapList,
 ) -> Result<Vec<RawCap>, Violation> {
     match caps {
-        CapList::Inline { ctype, ptr, size } => {
-            let addr = eval(rt, site, params, dir, ptr)? as u64;
-            let cap = match ctype {
-                CapTypeExpr::Write => {
+        CCapList::Inline { kind, ptr, size } => {
+            let addr = eval_compiled(ptr, vals, rt)? as u64;
+            let cap = match kind {
+                CCapKind::Write => {
                     let sz = match size {
-                        Some(e) => eval(rt, site, params, dir, e)? as u64,
-                        None => default_size(site, layouts, ptr)?,
+                        CSize::Expr(e) => eval_compiled(e, vals, rt)? as u64,
+                        CSize::Sizeof(s) => *s,
+                        CSize::Unresolved(why) => {
+                            return Err(Violation::BadExpression { why: why.clone() })
+                        }
                     };
                     RawCap::write(addr, sz)
                 }
-                CapTypeExpr::Call => RawCap::call(addr),
-                CapTypeExpr::Ref(tname) => {
-                    let t = rt.ref_type(tname);
-                    RawCap::reference(t, addr)
-                }
+                CCapKind::Call => RawCap::call(addr),
+                CCapKind::Ref(t) => RawCap::reference(*t, addr),
             };
             Ok(vec![cap])
         }
-        CapList::Iter { func, arg } => {
-            let v = eval(rt, site, params, dir, arg)? as u64;
-            let emitted = rt.run_iterator(func, mem, v)?;
+        CCapList::Iter { func, arg } => {
+            let v = eval_compiled(arg, vals, rt)? as u64;
+            let emitted = rt.run_iterator_id(*func, mem, v)?;
             Ok(emitted
                 .into_iter()
                 .map(|e| match e {
                     EmittedCap::Write { addr, size } => RawCap::write(addr, size),
                     EmittedCap::Call { target } => RawCap::call(target),
-                    EmittedCap::Ref { rtype, value } => {
-                        let t = rt.ref_type(&rtype);
-                        RawCap::reference(t, value)
-                    }
+                    EmittedCap::Ref { rtype, value } => RawCap::reference(rtype, value),
                 })
                 .collect())
         }
     }
-}
-
-/// The default size `sizeof(*ptr)`: only available when the pointer
-/// expression is a bare parameter with a declared pointee type.
-fn default_size(site: &CallSite<'_>, layouts: &TypeLayouts, ptr: &Expr) -> Result<u64, Violation> {
-    let Expr::Ident(name) = ptr else {
-        return Err(Violation::BadExpression {
-            why: format!("cannot infer sizeof(*({ptr})): not a parameter"),
-        });
-    };
-    site.decl
-        .default_size_of(name, layouts)
-        .ok_or_else(|| Violation::BadExpression {
-            why: format!("no pointee type known for parameter `{name}`"),
-        })
 }
 
 #[cfg(test)]

@@ -9,12 +9,27 @@
 //!   functions requiring a REF of type `t`, *without* write access;
 //! - `CALL(a)` — the principal may call or jump to address `a`.
 //!
-//! WRITE capabilities live in a hash table keyed by the address with its
-//! low 12 bits masked (§5): a range capability is inserted into every
-//! 4 KiB-aligned slot it overlaps, so a containment query touches exactly
-//! one slot and scans a short list. The paper found this faster than a
-//! balanced tree because kernel modules rarely manipulate objects larger
-//! than a page.
+//! WRITE capabilities live in [`WriteTable`], a sorted interval index:
+//! grants are kept ordered by `(start, size)` alongside a running
+//! prefix-maximum of interval ends, so containment and overlap queries
+//! binary-search to the query point and walk left only while the prefix
+//! maximum proves an interval can still reach the query — O(log n + k)
+//! where k is the number of intervals overlapping the probe (k ≤ 1 for
+//! the disjoint grants kernel modules hold in practice).
+//!
+//! The paper's original structure — ranges replicated into 4 KiB-masked
+//! hash slots, each slot scanned linearly (§5) — is retained as
+//! [`LinearWriteTable`], the measured baseline for the guard
+//! microbenchmarks in `lxfi-bench`.
+//!
+//! # Overflow discipline
+//!
+//! All range ends are computed saturating at `Word::MAX`: a grant whose
+//! nominal end would exceed the address space is clamped to
+//! `[addr, Word::MAX)` (so the final byte of the address space is never
+//! coverable — ends are exclusive and `2^64` is unrepresentable), and
+//! queries whose end would overflow return `false`. No path panics in
+//! debug builds for ranges near `Word::MAX`.
 
 use std::collections::{HashMap, HashSet};
 
@@ -79,17 +94,239 @@ impl RawCap {
     }
 }
 
-const SLOT_SHIFT: u32 = 12;
-
-/// WRITE-capability table: ranges hashed under 12-bit-masked keys.
+/// WRITE-capability table: sorted intervals with a prefix-maximum end
+/// index (see the module docs for the query algorithm).
+///
+/// # Zero-size semantics
+///
+/// `grant(_, 0)` is a silent no-op — an empty range conveys no
+/// authority, so there is nothing to record — while `covers(_, 0)` and
+/// the other zero-length queries are *vacuously true/false* ("every
+/// byte of the empty range is covered"). The asymmetry is deliberate:
+/// a zero-length write is always permitted, but granting one must not
+/// create a revocable entry. `revoke(_, 0)` correspondingly returns
+/// `false`.
 #[derive(Debug, Default, Clone)]
 pub struct WriteTable {
+    /// Interval starts, sorted ascending (ties broken by size).
+    starts: Vec<Word>,
+    /// Interval sizes, parallel to `starts`. Pre-clamped so
+    /// `starts[i] + sizes[i]` never overflows.
+    sizes: Vec<u64>,
+    /// `prefix_max_end[i] = max(starts[j] + sizes[j] for j <= i)`.
+    prefix_max_end: Vec<Word>,
+}
+
+/// Clamps a grant so its exclusive end saturates at `Word::MAX`.
+#[inline]
+fn clamp_size(addr: Word, size: u64) -> u64 {
+    size.min(Word::MAX - addr)
+}
+
+impl WriteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the first entry with `(start, size)` lexicographically
+    /// `>=` the key.
+    #[inline]
+    fn lower_bound(&self, addr: Word, size: u64) -> usize {
+        let (mut lo, mut hi) = (0, self.starts.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if (self.starts[mid], self.sizes[mid]) < (addr, size) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Rebuilds `prefix_max_end` from index `from` to the end.
+    fn rebuild_prefix(&mut self, from: usize) {
+        self.prefix_max_end.truncate(from);
+        let mut run = if from == 0 {
+            0
+        } else {
+            self.prefix_max_end[from - 1]
+        };
+        for i in from..self.starts.len() {
+            run = run.max(self.starts[i] + self.sizes[i]);
+            self.prefix_max_end.push(run);
+        }
+    }
+
+    /// Grants `[addr, addr+size)`. Duplicate grants are idempotent; a
+    /// range whose end would overflow saturates at `Word::MAX` (module
+    /// docs). Zero-size grants are no-ops.
+    pub fn grant(&mut self, addr: Word, size: u64) {
+        let size = clamp_size(addr, size);
+        if size == 0 {
+            return;
+        }
+        let i = self.lower_bound(addr, size);
+        if i < self.starts.len() && self.starts[i] == addr && self.sizes[i] == size {
+            return; // idempotent
+        }
+        self.starts.insert(i, addr);
+        self.sizes.insert(i, size);
+        self.rebuild_prefix(i);
+    }
+
+    /// Revokes the exact capability `(addr, size)`; returns whether it
+    /// was present. Sizes are clamped the same way as in [`grant`], so a
+    /// saturated grant revokes with the size it was granted under.
+    ///
+    /// [`grant`]: WriteTable::grant
+    pub fn revoke(&mut self, addr: Word, size: u64) -> bool {
+        let size = clamp_size(addr, size);
+        if size == 0 {
+            return false;
+        }
+        let i = self.lower_bound(addr, size);
+        if i >= self.starts.len() || self.starts[i] != addr || self.sizes[i] != size {
+            return false;
+        }
+        self.starts.remove(i);
+        self.sizes.remove(i);
+        self.rebuild_prefix(i);
+        true
+    }
+
+    /// Revokes every capability whose range intersects `[addr, addr+size)`.
+    /// Returns the number of capabilities removed. Used when freeing
+    /// memory must strip *all* residual access.
+    pub fn revoke_overlapping(&mut self, addr: Word, size: u64) -> usize {
+        if size == 0 {
+            return 0;
+        }
+        let end = addr.saturating_add(size);
+        let before = self.starts.len();
+        // Overlap candidates all have start < end; entries at or past the
+        // partition point cannot intersect.
+        let cut = self.starts.partition_point(|&a| a < end);
+        let mut first_removed = cut;
+        let mut w = 0;
+        for i in 0..cut {
+            if self.starts[i] + self.sizes[i] > addr {
+                first_removed = first_removed.min(i);
+                continue; // overlapping: drop
+            }
+            if w != i {
+                self.starts[w] = self.starts[i];
+                self.sizes[w] = self.sizes[i];
+            }
+            w += 1;
+        }
+        if w != cut {
+            self.starts.copy_within(cut.., w);
+            self.sizes.copy_within(cut.., w);
+            let n = before - (cut - w);
+            self.starts.truncate(n);
+            self.sizes.truncate(n);
+            self.rebuild_prefix(first_removed);
+        }
+        before - self.starts.len()
+    }
+
+    /// True if the exact capability `(addr, size)` is present.
+    pub fn owns_exact(&self, addr: Word, size: u64) -> bool {
+        let size = clamp_size(addr, size);
+        if size == 0 {
+            return false;
+        }
+        let i = self.lower_bound(addr, size);
+        i < self.starts.len() && self.starts[i] == addr && self.sizes[i] == size
+    }
+
+    /// True if any capability intersects `[addr, addr+len)`.
+    pub fn overlaps(&self, addr: Word, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let end = addr.saturating_add(len);
+        let mut i = self.starts.partition_point(|&a| a < end);
+        while i > 0 {
+            i -= 1;
+            if self.prefix_max_end[i] <= addr {
+                return false; // nothing at or left of i reaches past addr
+            }
+            if self.starts[i] + self.sizes[i] > addr {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if some single capability covers all of `[addr, addr+len)`.
+    pub fn covers(&self, addr: Word, len: u64) -> bool {
+        self.covering(addr, len).is_some() || len == 0
+    }
+
+    /// The `(start, end)` of a single capability covering all of
+    /// `[addr, addr+len)`, if one exists. The guard fast-path cache
+    /// stores this interval so repeated writes into the same grant skip
+    /// the search entirely.
+    pub fn covering(&self, addr: Word, len: u64) -> Option<(Word, Word)> {
+        if len == 0 {
+            return None;
+        }
+        let end = addr.checked_add(len)?;
+        // Candidates all have start <= addr.
+        let mut i = self.starts.partition_point(|&a| a <= addr);
+        while i > 0 {
+            i -= 1;
+            if self.prefix_max_end[i] < end {
+                return None; // no interval at or left of i reaches end
+            }
+            let iv_end = self.starts[i] + self.sizes[i];
+            if iv_end >= end {
+                return Some((self.starts[i], iv_end));
+            }
+        }
+        None
+    }
+
+    /// Number of live capabilities.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True when no capability is held.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Iterates over live `(addr, size)` grants in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Word, u64)> + '_ {
+        self.starts.iter().copied().zip(self.sizes.iter().copied())
+    }
+}
+
+// --------------------------------------------------------------- baseline
+
+const SLOT_SHIFT: u32 = 12;
+
+/// The paper's original WRITE table (§5): ranges hashed under
+/// 12-bit-masked keys, one replica per 4 KiB slot the range overlaps,
+/// each slot scanned linearly.
+///
+/// Superseded by the interval-indexed [`WriteTable`] on the guard hot
+/// path; kept as the measured baseline for `lxfi-bench`'s guard
+/// microbenchmarks (Figure 11/13 companions) so the speedup is a
+/// reproducible number rather than a claim. Overflow discipline matches
+/// [`WriteTable`] (saturating ends).
+#[derive(Debug, Default, Clone)]
+pub struct LinearWriteTable {
     slots: HashMap<u64, Vec<(Word, u64)>>,
     /// Number of live (addr, size) grants — slot entries are replicas.
     entries: usize,
 }
 
-impl WriteTable {
+impl LinearWriteTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
@@ -100,13 +337,15 @@ impl WriteTable {
         let last = if size == 0 {
             first
         } else {
-            (addr + (size - 1)) >> SLOT_SHIFT
+            (addr.saturating_add(size - 1)) >> SLOT_SHIFT
         };
         first..=last
     }
 
-    /// Grants `[addr, addr+size)`. Duplicate grants are idempotent.
+    /// Grants `[addr, addr+size)`; same clamping and zero-size semantics
+    /// as [`WriteTable::grant`].
     pub fn grant(&mut self, addr: Word, size: u64) {
+        let size = clamp_size(addr, size);
         if size == 0 {
             return;
         }
@@ -119,9 +358,10 @@ impl WriteTable {
         self.entries += 1;
     }
 
-    /// Revokes the exact capability `(addr, size)`; returns whether it was
-    /// present.
+    /// Revokes the exact capability `(addr, size)`; returns whether it
+    /// was present.
     pub fn revoke(&mut self, addr: Word, size: u64) -> bool {
+        let size = clamp_size(addr, size);
         if size == 0 || !self.owns_exact(addr, size) {
             return false;
         }
@@ -137,17 +377,13 @@ impl WriteTable {
         true
     }
 
-    /// Revokes every capability whose range intersects `[addr, addr+size)`.
-    /// Returns the number of capabilities removed. Used when freeing
-    /// memory must strip *all* residual access.
+    /// Revokes every capability intersecting `[addr, addr+size)`;
+    /// returns the number removed.
     pub fn revoke_overlapping(&mut self, addr: Word, size: u64) -> usize {
         if size == 0 {
             return 0;
         }
-        let end = addr + size;
-        // Collect victims from the slots the query range covers; a
-        // capability overlapping the query necessarily appears in one of
-        // those slots (it overlaps a page the query overlaps).
+        let end = addr.saturating_add(size);
         let mut victims: HashSet<(Word, u64)> = HashSet::new();
         for s in Self::slot_range(addr, size) {
             if let Some(v) = self.slots.get(&s) {
@@ -166,6 +402,7 @@ impl WriteTable {
 
     /// True if the exact capability `(addr, size)` is present.
     pub fn owns_exact(&self, addr: Word, size: u64) -> bool {
+        let size = clamp_size(addr, size);
         if size == 0 {
             return false;
         }
@@ -350,10 +587,76 @@ mod tests {
     }
 
     #[test]
+    fn zero_size_grant_is_a_noop() {
+        // The documented asymmetry: grant(_, 0) records nothing, yet
+        // covers(_, 0) stays vacuously true and revoke(_, 0) is false.
+        let mut t = WriteTable::new();
+        t.grant(0x1000, 0);
+        assert!(t.is_empty());
+        assert!(!t.overlaps(0x1000, 0));
+        assert!(!t.revoke(0x1000, 0));
+        assert!(t.covers(0x1000, 0));
+        assert_eq!(t.revoke_overlapping(0x1000, 0), 0);
+    }
+
+    #[test]
     fn overflow_range_rejected() {
         let mut t = WriteTable::new();
         t.grant(u64::MAX - 8, 8);
         assert!(!t.covers(u64::MAX - 4, 8), "overflowing query is false");
+    }
+
+    #[test]
+    fn near_max_ranges_saturate_consistently() {
+        let mut t = WriteTable::new();
+        // Nominal end MAX+8 saturates to [MAX-8, MAX).
+        t.grant(u64::MAX - 8, 16);
+        assert_eq!(t.len(), 1);
+        assert!(t.covers(u64::MAX - 8, 8));
+        assert!(t.overlaps(u64::MAX - 1, 1));
+        assert!(
+            !t.covers(u64::MAX - 8, 9),
+            "byte MAX is unreachable under an exclusive end"
+        );
+        // Revoking under the same nominal size finds the clamped grant.
+        assert!(t.revoke(u64::MAX - 8, 16));
+        assert!(t.is_empty());
+        // A grant starting at MAX can cover nothing and records nothing.
+        t.grant(u64::MAX, 4);
+        assert!(t.is_empty());
+        // revoke_overlapping near the top must not overflow either.
+        t.grant(u64::MAX - 64, 64);
+        assert_eq!(t.revoke_overlapping(u64::MAX - 8, u64::MAX), 1);
+    }
+
+    #[test]
+    fn covering_returns_the_hit_interval() {
+        let mut t = WriteTable::new();
+        t.grant(0x1000, 0x100);
+        t.grant(0x1080, 0x10);
+        assert_eq!(t.covering(0x1004, 8), Some((0x1000, 0x1100)));
+        // A probe inside the small grant may return either cover; both
+        // returned intervals must actually cover the probe.
+        let (s, e) = t.covering(0x1084, 4).unwrap();
+        assert!(s <= 0x1084 && 0x1088 <= e);
+        assert_eq!(t.covering(0x1100, 1), None);
+        assert_eq!(t.covering(0x1004, 0), None, "zero-length has no interval");
+    }
+
+    #[test]
+    fn overlapping_grants_resolved_via_prefix_max() {
+        // A long interval "hiding" left of many short ones: the prefix
+        // maximum must carry its reach across the short entries.
+        let mut t = WriteTable::new();
+        t.grant(0x1000, 0x10000);
+        for i in 0..64u64 {
+            t.grant(0x2000 + i * 0x20, 0x10);
+        }
+        assert!(t.covers(0x9000, 8), "long grant found past short ones");
+        assert!(t.covers(0x2008, 8));
+        assert!(t.revoke(0x1000, 0x10000));
+        assert!(!t.covers(0x9000, 8));
+        assert!(t.covers(0x2008, 8));
     }
 
     #[test]
@@ -383,11 +686,31 @@ mod tests {
     }
 
     #[test]
-    fn iter_deduplicates_replicas() {
+    fn iter_is_deduplicated_and_ordered() {
         let mut t = WriteTable::new();
         t.grant(0x1800, 0x3000);
         t.grant(0x1000, 8);
+        t.grant(0x1800, 0x3000);
         let all: Vec<_> = t.iter().collect();
-        assert_eq!(all.len(), 2);
+        assert_eq!(all, vec![(0x1000, 8), (0x1800, 0x3000)]);
+    }
+
+    #[test]
+    fn linear_baseline_agrees_on_basics() {
+        let mut t = LinearWriteTable::new();
+        t.grant(0x1800, 0x3000);
+        t.grant(0x1000, 64);
+        assert_eq!(t.len(), 2);
+        assert!(t.covers(0x2000, 8));
+        assert!(t.covers(0x1010, 8));
+        assert!(!t.covers(0x4800, 1));
+        assert!(t.overlaps(0x1030, 0x100));
+        assert_eq!(t.revoke_overlapping(0x1000, 0x40), 1);
+        assert!(t.revoke(0x1800, 0x3000));
+        assert!(t.is_empty());
+        // Overflow discipline matches the interval table.
+        t.grant(u64::MAX - 8, 16);
+        assert!(t.covers(u64::MAX - 8, 8));
+        assert!(!t.covers(u64::MAX - 4, 8));
     }
 }

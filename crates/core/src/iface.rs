@@ -7,6 +7,7 @@
 //! against the parameter's declared pointee type through [`TypeLayouts`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lxfi_annotations::{annotation_hash, FnAnnotations};
 
@@ -46,10 +47,15 @@ pub struct FnDecl {
     pub name: String,
     /// Parameters in order.
     pub params: Vec<Param>,
-    /// The annotation set.
+    /// The annotation set (kept for canonical printing and hashing).
     pub ann: FnAnnotations,
     /// Cached annotation hash (`ahash`, §4.1).
     pub ahash: u64,
+    /// Name-free enforcement IR, filled by [`FnDecl::compile`]. Shared so
+    /// cloning a declaration (wrappers clone per call site) costs one
+    /// reference count. `None` falls back to compiling at enforcement
+    /// time — correct but slow; registration paths always compile.
+    pub compiled: Option<Arc<crate::compiled::CompiledAnn>>,
 }
 
 impl FnDecl {
@@ -61,7 +67,21 @@ impl FnDecl {
             params,
             ann,
             ahash,
+            compiled: None,
         }
+    }
+
+    /// Compiles the annotation set into the name-free IR (see
+    /// [`crate::compiled`]). Call once at registration, after type
+    /// layouts are known; constants and iterators referenced by the
+    /// annotations may still be registered later.
+    pub fn compile(&mut self, rt: &mut crate::runtime::Runtime, layouts: &TypeLayouts) {
+        self.compiled = Some(Arc::new(crate::compiled::compile_annotations(
+            &self.ann,
+            &self.params,
+            layouts,
+            rt,
+        )));
     }
 
     /// Parameter names, in order (for expression evaluation).

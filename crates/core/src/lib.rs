@@ -14,7 +14,10 @@
 //! This crate implements the runtime half of the system (§5):
 //!
 //! - per-principal capability tables ([`caps`]) — WRITE ranges in a
-//!   hash table keyed by 12-bit-masked addresses, CALL and REF sets;
+//!   binary-searched interval index (the paper's masked-slot hash table
+//!   survives as the benchmarked baseline), CALL and REF sets;
+//! - compiled annotations ([`compiled`]) — names resolved to dense ids at
+//!   registration so enforcement never hashes strings;
 //! - the principal registry with pointer-naming and `lxfi_princ_alias`
 //!   ([`principal`]);
 //! - per-thread shadow stacks saving return tokens and principal context
@@ -29,6 +32,7 @@
 
 pub mod actions;
 pub mod caps;
+pub mod compiled;
 pub mod iface;
 pub mod principal;
 pub mod runtime;
@@ -36,10 +40,11 @@ pub mod shadow;
 pub mod stats;
 pub mod writer_set;
 
-pub use caps::{CapType, RawCap, RefTypeId, WriteTable};
+pub use caps::{CapType, LinearWriteTable, RawCap, RefTypeId, WriteTable};
+pub use compiled::CompiledAnn;
 pub use iface::{FnDecl, Param, TypeLayouts};
 pub use principal::{ModuleId, PrincipalId, PrincipalKind};
-pub use runtime::{IteratorFn, Runtime, ThreadId};
+pub use runtime::{ConstId, IteratorFn, IteratorId, Runtime, ThreadId};
 pub use stats::{GuardCosts, GuardKind, GuardStats, ALL_GUARD_KINDS};
 
 use lxfi_machine::Word;

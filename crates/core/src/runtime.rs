@@ -17,9 +17,21 @@ use crate::Violation;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ThreadId(pub u32);
 
+/// Identifies a registered capability iterator. Interned at registration
+/// so the enforcement path never hashes iterator names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IteratorId(pub u32);
+
+/// Identifies a named kernel constant usable in annotation expressions.
+/// Interned when an annotation referencing the name is compiled or when
+/// the constant is defined, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstId(pub u32);
+
 /// A capability emitted by a programmer-supplied capability iterator
-/// (§3.3). REF types are named; the runtime interns them on application.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// (§3.3). REF types are pre-interned via [`Runtime::ref_type`], so
+/// emitting capabilities involves no string work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EmittedCap {
     /// WRITE over a range.
     Write {
@@ -33,10 +45,10 @@ pub enum EmittedCap {
         /// Call target.
         target: Word,
     },
-    /// REF of a named type.
+    /// REF of an interned type.
     Ref {
-        /// Type name.
-        rtype: String,
+        /// Interned type.
+        rtype: RefTypeId,
         /// Referred value.
         value: Word,
     },
@@ -75,9 +87,20 @@ pub struct Runtime {
     writer_map: WriterMap,
     ref_types: Vec<String>,
     ref_type_ids: HashMap<String, RefTypeId>,
-    iterators: HashMap<String, IteratorFn>,
+    iterators: Vec<Option<IteratorFn>>,
+    iterator_ids: HashMap<String, IteratorId>,
+    iterator_names: Vec<String>,
     fn_registry: HashMap<Word, FnMeta>,
     consts: HashMap<String, i64>,
+    const_values: Vec<Option<i64>>,
+    const_ids: HashMap<String, ConstId>,
+    const_names: Vec<String>,
+    /// One-entry "last grant hit" cache for the write guard: the covering
+    /// interval of the most recent successful [`Runtime::check_write`],
+    /// keyed by the principal it was established for (so a principal
+    /// switch naturally misses instead of needing explicit invalidation).
+    /// Cleared by every revocation path.
+    write_cache: Option<(PrincipalId, Word, Word)>,
     /// Guard counters (public: benches read and reset them).
     pub stats: GuardStats,
     /// Deterministic guard costs.
@@ -106,9 +129,15 @@ impl Runtime {
             writer_map: WriterMap::new(),
             ref_types: Vec::new(),
             ref_type_ids: HashMap::new(),
-            iterators: HashMap::new(),
+            iterators: Vec::new(),
+            iterator_ids: HashMap::new(),
+            iterator_names: Vec::new(),
             fn_registry: HashMap::new(),
             consts: HashMap::new(),
+            const_values: Vec::new(),
+            const_ids: HashMap::new(),
+            const_names: Vec::new(),
+            write_cache: None,
             stats: GuardStats::new(),
             costs: GuardCosts::default(),
             writer_fastpath: true,
@@ -241,12 +270,14 @@ impl Runtime {
 
     /// Revokes a capability from one principal.
     pub fn revoke(&mut self, p: PrincipalId, cap: RawCap) -> bool {
+        self.write_cache = None;
         self.principals[p.0 as usize].caps.revoke(cap)
     }
 
     /// Revokes a capability from **every** principal in the system —
     /// `transfer` semantics (§3.3): no stale copies survive.
     pub fn revoke_everywhere(&mut self, cap: RawCap) {
+        self.write_cache = None;
         for p in &mut self.principals {
             p.caps.revoke(cap);
         }
@@ -256,6 +287,7 @@ impl Runtime {
     /// every principal (used by `kfree`: freed memory must have no
     /// outstanding capabilities).
     pub fn revoke_write_overlapping_everywhere(&mut self, addr: Word, size: u64) {
+        self.write_cache = None;
         for p in &mut self.principals {
             p.caps.write.revoke_overlapping(addr, size);
         }
@@ -341,6 +373,13 @@ impl Runtime {
     /// Memory-write guard (§4.2): the current principal must hold WRITE
     /// coverage of `[addr, addr+len)`, or the write must fall inside the
     /// current thread's kernel stack.
+    ///
+    /// This is the implementation behind `Env::guard_write`, executed for
+    /// every un-elided module store. The one-entry last-grant-hit cache
+    /// is consulted before the table walk: module code overwhelmingly
+    /// issues runs of stores into the same object (packet payloads,
+    /// private structs), so the previous covering interval usually
+    /// answers the next check in a few compares.
     pub fn check_write(&mut self, t: ThreadId, addr: Word, len: u64) -> Result<(), Violation> {
         let c = self.costs.mem_write;
         self.stats.record(GuardKind::MemWrite, c);
@@ -348,12 +387,23 @@ impl Runtime {
         let Some((_m, p)) = ctx else {
             return Ok(()); // Kernel context: trusted.
         };
+        if len == 0 {
+            return Ok(()); // Zero-length writes are vacuously permitted.
+        }
+        let end = addr.checked_add(len);
         if let Some(&(base, slen)) = self.thread_stacks.get(&t) {
-            if addr >= base && addr + len <= base + slen {
+            if addr >= base && end.is_some_and(|e| e <= base + slen) {
                 return Ok(());
             }
         }
-        if self.owns(p, RawCap::write(addr, len)) {
+        if let Some((cp, cs, ce)) = self.write_cache {
+            if cp == p && cs <= addr && end.is_some_and(|e| e <= ce) {
+                self.stats.write_cache_hits += 1;
+                return Ok(());
+            }
+        }
+        if let Some(interval) = self.write_covering(p, addr, len) {
+            self.write_cache = Some((p, interval.0, interval.1));
             Ok(())
         } else {
             Err(Violation::MissingWrite {
@@ -361,6 +411,24 @@ impl Runtime {
                 addr,
                 len,
             })
+        }
+    }
+
+    /// The covering interval behind a successful WRITE ownership test,
+    /// with the principal-hierarchy fallbacks of [`Runtime::owns`].
+    fn write_covering(&self, p: PrincipalId, addr: Word, len: u64) -> Option<(Word, Word)> {
+        let pr = &self.principals[p.0 as usize];
+        match pr.kind {
+            PrincipalKind::Shared => pr.caps.write.covering(addr, len),
+            PrincipalKind::Instance => pr.caps.write.covering(addr, len).or_else(|| {
+                let shared = self.modules[pr.module.0 as usize].shared;
+                self.principals[shared.0 as usize].caps.write.covering(addr, len)
+            }),
+            PrincipalKind::Global => {
+                let m = &self.modules[pr.module.0 as usize];
+                m.all_principals()
+                    .find_map(|q| self.principals[q.0 as usize].caps.write.covering(addr, len))
+            }
         }
     }
 
@@ -450,16 +518,13 @@ impl Runtime {
         // Second check (§4.1): the annotations of the stored function and
         // of the function-pointer type must match, so a module cannot
         // launder a function through a differently-annotated slot.
-        let meta = self
+        let fn_hash = self
             .fn_registry
             .get(&target)
-            .cloned()
+            .map(|m| m.ahash)
             .ok_or(Violation::NotAFunction { target })?;
-        if meta.ahash != sig_hash {
-            return Err(Violation::AnnotationMismatch {
-                sig_hash,
-                fn_hash: meta.ahash,
-            });
+        if fn_hash != sig_hash {
+            return Err(Violation::AnnotationMismatch { sig_hash, fn_hash });
         }
         Ok(())
     }
@@ -494,45 +559,113 @@ impl Runtime {
 
     // ---------------------------------------------------------- iterators
 
-    /// Registers a capability iterator under `name`.
-    pub fn register_iterator(&mut self, name: &str, f: IteratorFn) {
-        self.iterators.insert(name.to_string(), f);
+    /// Interns an iterator name, reserving an empty slot if the iterator
+    /// has not been registered yet (annotations may be compiled before
+    /// the module supplying the iterator loads).
+    pub fn iterator_id(&mut self, name: &str) -> IteratorId {
+        if let Some(&id) = self.iterator_ids.get(name) {
+            return id;
+        }
+        let id = IteratorId(self.iterators.len() as u32);
+        self.iterators.push(None);
+        self.iterator_names.push(name.to_string());
+        self.iterator_ids.insert(name.to_string(), id);
+        id
     }
 
-    /// Runs a registered iterator.
+    /// The name an iterator id was interned under (diagnostics).
+    pub fn iterator_name(&self, id: IteratorId) -> &str {
+        &self.iterator_names[id.0 as usize]
+    }
+
+    /// Registers a capability iterator under `name`; returns the interned
+    /// id compiled annotations reference it by.
+    pub fn register_iterator(&mut self, name: &str, f: IteratorFn) -> IteratorId {
+        let id = self.iterator_id(name);
+        self.iterators[id.0 as usize] = Some(f);
+        id
+    }
+
+    /// Runs a registered iterator by interned id (the enforcement path —
+    /// no name lookup).
+    pub fn run_iterator_id(
+        &self,
+        id: IteratorId,
+        mem: &AddressSpace,
+        arg: Word,
+    ) -> Result<Vec<EmittedCap>, Violation> {
+        let f = self.iterators[id.0 as usize]
+            .as_ref()
+            .ok_or_else(|| Violation::UnknownIterator {
+                name: self.iterator_name(id).to_string(),
+            })?;
+        let mut out = Vec::new();
+        f(mem, arg, &mut out).map_err(|why| Violation::IteratorFailed {
+            name: self.iterator_name(id).to_string(),
+            why,
+        })?;
+        Ok(out)
+    }
+
+    /// Runs a registered iterator by name (registration-time / test API;
+    /// enforcement goes through [`Runtime::run_iterator_id`]).
     pub fn run_iterator(
         &self,
         name: &str,
         mem: &AddressSpace,
         arg: Word,
     ) -> Result<Vec<EmittedCap>, Violation> {
-        let f = self
-            .iterators
+        let id = self
+            .iterator_ids
             .get(name)
+            .copied()
             .ok_or_else(|| Violation::UnknownIterator {
                 name: name.to_string(),
             })?;
-        let mut out = Vec::new();
-        f(mem, arg, &mut out).map_err(|why| Violation::IteratorFailed {
-            name: name.to_string(),
-            why,
-        })?;
-        Ok(out)
+        self.run_iterator_id(id, mem, arg)
     }
 
     /// Number of registered iterators (annotation census, §8.2).
+    /// Interned-but-unregistered slots do not count.
     pub fn iterator_count(&self) -> usize {
-        self.iterators.len()
+        self.iterators.iter().filter(|f| f.is_some()).count()
     }
 
     // ------------------------------------------------------------- consts
 
+    /// Interns a constant name, reserving an undefined slot if the
+    /// constant has not been defined yet (evaluating an undefined slot
+    /// reports an unknown identifier, matching by-name lookup).
+    pub fn const_id(&mut self, name: &str) -> ConstId {
+        if let Some(&id) = self.const_ids.get(name) {
+            return id;
+        }
+        let id = ConstId(self.const_values.len() as u32);
+        self.const_values.push(self.consts.get(name).copied());
+        self.const_names.push(name.to_string());
+        self.const_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The value of an interned constant, if defined.
+    pub fn const_value(&self, id: ConstId) -> Option<i64> {
+        self.const_values[id.0 as usize]
+    }
+
+    /// The name a constant id was interned under (diagnostics).
+    pub fn const_name(&self, id: ConstId) -> &str {
+        &self.const_names[id.0 as usize]
+    }
+
     /// Defines a named kernel constant usable in annotation expressions.
     pub fn define_const(&mut self, name: &str, value: i64) {
         self.consts.insert(name.to_string(), value);
+        let id = self.const_id(name);
+        self.const_values[id.0 as usize] = Some(value);
     }
 
-    /// The constant table (for expression evaluation).
+    /// The constant table (name-keyed view, for diagnostics and the
+    /// uncompiled evaluation fallback).
     pub fn consts(&self) -> &HashMap<String, i64> {
         &self.consts
     }

@@ -103,6 +103,9 @@ pub struct GuardStats {
     counts: [u64; 5],
     cycles: [u64; 5],
     indcall_by_module: HashMap<ModuleId, (u64, u64)>,
+    /// Mem-write checks answered by the one-entry last-grant-hit cache
+    /// (a subset of the `MemWrite` count; benches report the hit rate).
+    pub write_cache_hits: u64,
 }
 
 impl GuardStats {
