@@ -20,7 +20,9 @@ pub struct Export {
     /// Symbol name (what modules import).
     pub name: String,
     /// Annotated prototype; `None` = unannotated (modules cannot call).
-    pub decl: Option<FnDecl>,
+    /// Shared so the per-call wrapper path clones a reference count, not
+    /// the declaration's strings.
+    pub decl: Option<Rc<FnDecl>>,
     /// The implementation.
     pub imp: NativeFn,
     /// True for LXFI runtime entry points (`lxfi_princ_alias`,

@@ -84,8 +84,12 @@ struct LoadedModule {
     program: Rc<Program>,
     global_addrs: Vec<Word>,
     fn_base: Word,
-    decls: HashMap<FuncId, FnDecl>,
+    decls: HashMap<FuncId, Rc<FnDecl>>,
     import_addrs: Vec<Word>,
+    /// Annotation hash per program `SigId`, resolved against the sig
+    /// registry whenever it changes — so the indirect-call guard indexes
+    /// an array instead of hashing a sig name per call.
+    sig_ahash: Vec<u64>,
 }
 
 struct ThreadState {
@@ -144,6 +148,10 @@ pub struct Kernel {
     /// Processes, credentials, pid hash.
     pub procs: ProcessTable,
 
+    /// Hash of the empty annotation set (the default for unannotated
+    /// functions and unknown sigs), computed once at boot.
+    empty_ahash: u64,
+
     fuel: u64,
     /// Cycles consumed by interpreted instructions (monotonic).
     pub cycles: u64,
@@ -192,6 +200,7 @@ impl Kernel {
             exec_stack: Vec::new(),
             slab: Slab::new(HEAP_BASE),
             procs,
+            empty_ahash: lxfi_annotations::annotation_hash(&Default::default()),
             fuel: u64::MAX,
             cycles: 0,
             panic: None,
@@ -281,12 +290,14 @@ impl Kernel {
         runtime_call: bool,
     ) {
         let decl = ann.map(|src| {
-            FnDecl::new(
+            let mut d = FnDecl::new(
                 name,
                 params.clone(),
                 parse_fn_annotations(src)
                     .unwrap_or_else(|e| panic!("bad annotation on {name}: {e}")),
-            )
+            );
+            d.compile(&mut self.rt, &self.layouts);
+            Rc::new(d)
         });
         let idx = self.exports.len();
         assert!(
@@ -294,10 +305,7 @@ impl Kernel {
             "duplicate export {name}"
         );
         let addr = EXPORT_BASE + idx as u64 * FN_SPACING;
-        let ahash = decl
-            .as_ref()
-            .map(|d| d.ahash)
-            .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
+        let ahash = decl.as_ref().map(|d| d.ahash).unwrap_or(self.empty_ahash);
         self.rt.register_function(
             addr,
             FnMeta {
@@ -317,7 +325,7 @@ impl Kernel {
     /// Declares an annotated function-pointer type (interface annotation
     /// on a struct field, e.g. `net_device_ops.ndo_start_xmit`).
     pub fn define_sig(&mut self, name: &str, params: Vec<Param>, ann: &str) {
-        let decl = FnDecl::new(
+        let mut decl = FnDecl::new(
             name,
             params,
             parse_fn_annotations(ann).unwrap_or_else(|e| panic!("bad annotation on {name}: {e}")),
@@ -330,7 +338,29 @@ impl Kernel {
             );
             return;
         }
+        decl.compile(&mut self.rt, &self.layouts);
         self.sig_decls.insert(name.to_string(), decl);
+        self.refresh_sig_hashes();
+    }
+
+    /// Re-resolves every loaded module's per-`SigId` annotation hashes
+    /// against the sig registry. Called whenever the registry gains an
+    /// entry, so the indirect-call guards stay array-indexed.
+    fn refresh_sig_hashes(&mut self) {
+        for i in 0..self.modules.len() {
+            let prog = Rc::clone(&self.modules[i].program);
+            let hashes = prog
+                .sigs
+                .iter()
+                .map(|s| {
+                    self.sig_decls
+                        .get(&s.name)
+                        .map(|d| d.ahash)
+                        .unwrap_or(self.empty_ahash)
+                })
+                .collect();
+            self.modules[i].sig_ahash = hashes;
+        }
     }
 
     /// The annotated declaration of a function-pointer type.
@@ -512,7 +542,9 @@ impl Kernel {
                     )));
                 }
             } else {
-                self.sig_decls.insert(name.clone(), d.clone());
+                let mut d = d.clone();
+                d.compile(&mut self.rt, &self.layouts);
+                self.sig_decls.insert(name.clone(), d);
             }
         }
 
@@ -525,6 +557,14 @@ impl Kernel {
             }
             IsolationMode::Stock => (spec.program.clone(), HashMap::new(), Vec::new()),
         };
+        // Compile the module declarations' enforcement IR once, at load.
+        let decls: HashMap<FuncId, Rc<FnDecl>> = decls
+            .into_iter()
+            .map(|(fid, mut d)| {
+                d.compile(&mut self.rt, &self.layouts);
+                (fid, Rc::new(d))
+            })
+            .collect();
 
         let midx = self.modules.len();
         let window = MODULE_BASE + midx as u64 * MODULE_STRIDE;
@@ -560,7 +600,6 @@ impl Kernel {
                 .write_word(addr, fn_base + u64::from(r.func.0) * FN_SPACING)
                 .expect("reloc target mapped");
         }
-        let empty_hash = lxfi_annotations::annotation_hash(&Default::default());
         for (i, _f) in program.funcs.iter().enumerate() {
             let fid = FuncId(i as u32);
             let addr = fn_base + i as u64 * FN_SPACING;
@@ -569,7 +608,7 @@ impl Kernel {
                 addr,
                 FnMeta {
                     name: format!("{}::{}", spec.name, program.funcs[i].name),
-                    ahash: decls.get(&fid).map(|d| d.ahash).unwrap_or(empty_hash),
+                    ahash: decls.get(&fid).map(|d| d.ahash).unwrap_or(self.empty_ahash),
                     module: mid,
                 },
             );
@@ -654,8 +693,13 @@ impl Kernel {
             fn_base,
             decls,
             import_addrs,
+            sig_ahash: Vec::new(),
         });
         self.module_idx.insert(spec.name.clone(), midx);
+        // The merged sig declarations may concern earlier modules' call
+        // sites too; refresh every module's per-SigId hash array (before
+        // module_init runs and can take indirect calls).
+        self.refresh_sig_hashes();
 
         if let Some(init) = &spec.init_fn {
             let fid = self.modules[midx]
@@ -705,8 +749,10 @@ impl Kernel {
             fn_base,
             decls: HashMap::new(),
             import_addrs,
+            sig_ahash: Vec::new(),
         });
         self.module_idx.insert("<kernel-thunks>".into(), midx);
+        self.refresh_sig_hashes();
     }
 
     /// Loaded-module lookup by name.
@@ -803,11 +849,11 @@ impl Kernel {
                     // Unannotated module function invoked directly by the
                     // kernel (e.g. module_init): runs as the shared
                     // principal with no capability actions.
-                    FnDecl::new(
+                    Rc::new(FnDecl::new(
                         prog.funcs[fid.0 as usize].name.clone(),
                         Vec::new(),
                         Default::default(),
-                    )
+                    ))
                 });
                 let callee_p = self.select_principal(mid, &decl, args)?;
                 let t = self.current_thread();
@@ -856,6 +902,24 @@ impl Kernel {
         decl: &FnDecl,
         args: &[Word],
     ) -> Result<PrincipalId, Trap> {
+        // Compiled declarations resolved the principal parameter to an
+        // argument position at registration; no name comparison per call.
+        if let Some(c) = &decl.compiled {
+            use lxfi_core::compiled::CPrincipal;
+            return Ok(match &c.principal {
+                None | Some(CPrincipal::Shared) => self.rt.shared_principal(mid),
+                Some(CPrincipal::Global) => self.rt.global_principal(mid),
+                Some(CPrincipal::Arg(i)) => {
+                    let ptr = args.get(*i as usize).copied().unwrap_or(0);
+                    self.rt.principal_for_name(mid, ptr)
+                }
+                Some(CPrincipal::UnknownArg(name)) => {
+                    return Err(Trap::from(Violation::BadExpression {
+                        why: format!("principal({name}) is not a parameter of {}", decl.name),
+                    }))
+                }
+            });
+        }
         use lxfi_annotations::PrincipalExpr;
         Ok(match &decl.ann.principal {
             None | Some(PrincipalExpr::Shared) => self.rt.shared_principal(mid),
@@ -898,25 +962,19 @@ impl Kernel {
                 .sig_decls
                 .get(sig_name)
                 .map(|d| d.ahash)
-                .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
+                .unwrap_or(self.empty_ahash);
             self.rt.check_indcall(slot, target, ahash)?;
         }
-        self.dispatch_checked_pointer(target, sig_name, args)
+        self.dispatch_checked_pointer(target, args)
     }
 
     /// Dispatches a function pointer that already passed (or was exempted
-    /// from) the indirect-call check.
-    fn dispatch_checked_pointer(
-        &mut self,
-        target: Word,
-        sig_name: &str,
-        args: &[Word],
-    ) -> Result<Word, Trap> {
+    /// from) the indirect-call check. The slot's annotation needs no
+    /// separate enforcement here: for module targets the ahash check
+    /// guaranteed the function's own annotation equals the slot's, so the
+    /// function's declaration is used.
+    fn dispatch_checked_pointer(&mut self, target: Word, args: &[Word]) -> Result<Word, Trap> {
         if self.fn_addrs.contains_key(&target) {
-            // Enforce the slot's annotation on the module function: the
-            // ahash check guaranteed the function's own annotation equals
-            // the slot's, so using the function's decl is equivalent.
-            let _ = sig_name;
             self.invoke_module_function(target, args, None)
         } else if let Some(idx) = self.addr_to_export(target) {
             let imp = self.exports[idx].imp.clone();
@@ -1022,13 +1080,11 @@ impl Env for Kernel {
     }
 
     fn guard_indcall(&mut self, slot: Word, sig: SigId) -> Result<(), Trap> {
+        // Hot path: the sig's annotation hash was resolved at load time
+        // (refresh_sig_hashes); a single array index replaces the former
+        // name clone + string-keyed registry lookup.
         let midx = *self.exec_stack.last().expect("executing");
-        let sig_name = self.modules[midx].program.sigs[sig.0 as usize].name.clone();
-        let ahash = self
-            .sig_decls
-            .get(&sig_name)
-            .map(|d| d.ahash)
-            .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
+        let ahash = self.modules[midx].sig_ahash[sig.0 as usize];
         let target = self.mem.read_word(slot)?;
         self.rt.check_indcall(slot, target, ahash)?;
         Ok(())
@@ -1041,12 +1097,14 @@ impl Env for Kernel {
         if import.kind != ImportKind::Func {
             return Err(Trap::BadRef(format!("calling data import {}", import.name)));
         }
-        let name = import.name.clone();
         let target = m.import_addrs[sym.0 as usize];
         let mode = m.mode;
-        let idx = self
-            .addr_to_export(target)
-            .ok_or_else(|| Trap::BadRef(format!("extern {name}")))?;
+        let idx = self.addr_to_export(target).ok_or_else(|| {
+            Trap::BadRef(format!(
+                "extern {}",
+                self.modules[midx].program.imports[sym.0 as usize].name
+            ))
+        })?;
 
         match mode {
             IsolationMode::Stock => {
@@ -1058,10 +1116,13 @@ impl Env for Kernel {
                 // CALL capability for the export's wrapper (granted at
                 // module init from the symbol table, §4.2).
                 self.rt.check_call(t, target)?;
-                let decl = self.exports[idx]
-                    .decl
-                    .clone()
-                    .ok_or_else(|| Trap::from(Violation::UnannotatedFunction { name }))?;
+                // Success path is allocation-free: the declaration is an
+                // Rc clone; the import name is only cloned on error.
+                let decl = self.exports[idx].decl.clone().ok_or_else(|| {
+                    Trap::from(Violation::UnannotatedFunction {
+                        name: self.exports[idx].name.clone(),
+                    })
+                })?;
                 let caller = self.rt.current(t);
                 let imp = self.exports[idx].imp.clone();
                 if self.exports[idx].runtime_call {
@@ -1123,20 +1184,18 @@ impl Env for Kernel {
         let midx = *self.exec_stack.last().expect("executing");
         let m = &self.modules[midx];
         let mode = m.mode;
-        let sig_name = m.program.sigs[sig.0 as usize].name.clone();
+        // Load-time-resolved hash; the sig *name* plays no role at call
+        // time (dispatch ignores it — the ahash check already pinned the
+        // callee's annotations to the slot's).
+        let site_hash = m.sig_ahash[sig.0 as usize];
         match mode {
-            IsolationMode::Stock => self.dispatch_checked_pointer(target, &sig_name, args),
+            IsolationMode::Stock => self.dispatch_checked_pointer(target, args),
             IsolationMode::Lxfi => {
                 let t = self.current_thread();
                 // The module may only call targets it holds CALL for.
                 self.rt.check_call(t, target)?;
                 // Annotation match between the call site's pointer type
                 // and the invoked function (§4.1, module side).
-                let site_hash = self
-                    .sig_decls
-                    .get(&sig_name)
-                    .map(|d| d.ahash)
-                    .unwrap_or_else(|| lxfi_annotations::annotation_hash(&Default::default()));
                 let meta = self
                     .rt
                     .function_at(target)
