@@ -209,7 +209,7 @@ mod tests {
         let args = vec![0xffff_8000_0000_0000u64];
         let consts = HashMap::new();
         let c = ctx(&params, &args, None, &consts);
-        assert_eq!(eval_expr(&Expr::Ident("p".into()), &c).unwrap() < 0, true);
+        assert!(eval_expr(&Expr::Ident("p".into()), &c).unwrap() < 0);
     }
 
     #[test]

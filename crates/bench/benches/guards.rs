@@ -58,6 +58,72 @@ fn benches(c: &mut Criterion) {
             rt.revoke(p, cap);
         })
     });
+
+    // Interval index vs the paper's masked-slot linear scan, and the
+    // guard cache's repeated-store fast path: same harness the
+    // table_guard_costs binary reports, exposed as wall-clock benches.
+    write_table_benches(c);
+}
+
+fn write_table_benches(c: &mut Criterion) {
+    use lxfi_bench::guards::{
+        bench_guard_runtime, bench_tables, rotating_hit_probe, rotating_miss_probe, ARENA,
+    };
+    const GRANTS: usize = 512;
+    let (linear, interval) = bench_tables(GRANTS);
+
+    let mut group = c.benchmark_group("write_table_hit");
+    let mut i = 0u64;
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let a = rotating_hit_probe(i, GRANTS);
+            i += 1;
+            linear.covers(std::hint::black_box(a), 8)
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("interval", |b| {
+        b.iter(|| {
+            let a = rotating_hit_probe(i, GRANTS);
+            i += 1;
+            interval.covers(std::hint::black_box(a), 8)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("write_table_miss");
+    let mut i = 0u64;
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let a = rotating_miss_probe(i, GRANTS);
+            i += 1;
+            linear.covers(std::hint::black_box(a), 8)
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("interval", |b| {
+        b.iter(|| {
+            let a = rotating_miss_probe(i, GRANTS);
+            i += 1;
+            interval.covers(std::hint::black_box(a), 8)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("guard_write_512_grants");
+    let (mut rt, t) = bench_guard_runtime(GRANTS);
+    group.bench_function("repeated_store_cache_hit", |b| {
+        b.iter(|| rt.check_write(t, std::hint::black_box(ARENA), 8).unwrap())
+    });
+    let mut i = 0u64;
+    group.bench_function("rotating_store_cache_miss", |b| {
+        b.iter(|| {
+            let a = rotating_hit_probe(i, GRANTS);
+            i += 1;
+            rt.check_write(t, std::hint::black_box(a), 8).unwrap()
+        })
+    });
+    group.finish();
 }
 
 criterion_group! {

@@ -19,8 +19,7 @@ use lxfi_machine::{AddressSpace, Word};
 
 use crate::caps::RawCap;
 use crate::compiled::{
-    compile_annotations, eval_compiled, CAction, CCapKind, CCapList, CSize, CallValues,
-    CompiledAnn,
+    compile_annotations, eval_compiled, CAction, CCapKind, CCapList, CSize, CallValues, CompiledAnn,
 };
 use crate::iface::{FnDecl, TypeLayouts};
 use crate::runtime::{EmittedCap, Runtime};

@@ -19,7 +19,9 @@
 //! Enforcement (`crate::actions`) walks this IR only; the original AST is
 //! kept solely for canonical printing and hashing.
 
-use lxfi_annotations::{Action, BinExprOp, CapList, CapTypeExpr, Expr, FnAnnotations, PrincipalExpr};
+use lxfi_annotations::{
+    Action, BinExprOp, CapList, CapTypeExpr, Expr, FnAnnotations, PrincipalExpr,
+};
 use lxfi_machine::Word;
 
 use crate::caps::RefTypeId;
@@ -151,12 +153,7 @@ fn compile_default_size(ptr: &Expr, params: &[Param], layouts: &TypeLayouts) -> 
     let Expr::Ident(name) = ptr else {
         return CSize::Unresolved(format!("cannot infer sizeof(*({ptr})): not a parameter"));
     };
-    let size = params
-        .iter()
-        .find(|p| &p.name == name)
-        .and_then(|p| p.pointee.as_deref())
-        .and_then(|ty| layouts.size_of(ty));
-    match size {
+    match crate::iface::param_pointee_size(params, name, layouts) {
         Some(s) => CSize::Sizeof(s),
         None => CSize::Unresolved(format!("no pointee type known for parameter `{name}`")),
     }
@@ -271,9 +268,11 @@ pub fn eval_compiled(e: &CExpr, vals: CallValues<'_>, rt: &Runtime) -> Result<i6
                     why: format!("argument {i} not provided"),
                 })? as i64
         }
-        CExpr::Const(id) => rt.const_value(*id).ok_or_else(|| Violation::BadExpression {
-            why: format!("unknown identifier `{}` in annotation", rt.const_name(*id)),
-        })?,
+        CExpr::Const(id) => rt
+            .const_value(*id)
+            .ok_or_else(|| Violation::BadExpression {
+                why: format!("unknown identifier `{}` in annotation", rt.const_name(*id)),
+            })?,
         CExpr::Neg(inner) => eval_compiled(inner, vals, rt)?.wrapping_neg(),
         CExpr::Not(inner) => i64::from(eval_compiled(inner, vals, rt)? == 0),
         CExpr::Bin(op, l, r) => {
@@ -340,8 +339,8 @@ mod tests {
     #[test]
     fn consts_may_be_defined_after_compilation() {
         let mut rt = Runtime::new();
-        let ann =
-            parse_fn_annotations("post(if (return == -NETDEV_BUSY) transfer(write, p, 8))").unwrap();
+        let ann = parse_fn_annotations("post(if (return == -NETDEV_BUSY) transfer(write, p, 8))")
+            .unwrap();
         let params = vec![Param::ptr("p", "sk_buff")];
         let c = compile_annotations(&ann, &params, &TypeLayouts::new(), &mut rt);
         let CAction::If(cond, _) = &c.post[0] else {

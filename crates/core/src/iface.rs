@@ -84,18 +84,24 @@ impl FnDecl {
         )));
     }
 
-    /// Parameter names, in order (for expression evaluation).
-    pub fn param_names(&self) -> Vec<String> {
-        self.params.iter().map(|p| p.name.clone()).collect()
-    }
-
     /// Resolves the default capability size for parameter `name`:
     /// `sizeof(*ptr)` via the type-layout registry.
     pub fn default_size_of(&self, name: &str, layouts: &TypeLayouts) -> Option<u64> {
-        let p = self.params.iter().find(|p| p.name == name)?;
-        let ty = p.pointee.as_deref()?;
-        layouts.size_of(ty)
+        param_pointee_size(&self.params, name, layouts)
     }
+}
+
+/// `sizeof(*name)` for a parameter list: the single definition of the
+/// default-size rule, shared by [`FnDecl::default_size_of`] and the
+/// annotation compiler.
+pub(crate) fn param_pointee_size(
+    params: &[Param],
+    name: &str,
+    layouts: &TypeLayouts,
+) -> Option<u64> {
+    let p = params.iter().find(|p| p.name == name)?;
+    let ty = p.pointee.as_deref()?;
+    layouts.size_of(ty)
 }
 
 /// Registry of simulated struct sizes (the kernel's type layouts).

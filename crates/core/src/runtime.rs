@@ -91,7 +91,6 @@ pub struct Runtime {
     iterator_ids: HashMap<String, IteratorId>,
     iterator_names: Vec<String>,
     fn_registry: HashMap<Word, FnMeta>,
-    consts: HashMap<String, i64>,
     const_values: Vec<Option<i64>>,
     const_ids: HashMap<String, ConstId>,
     const_names: Vec<String>,
@@ -133,7 +132,6 @@ impl Runtime {
             iterator_ids: HashMap::new(),
             iterator_names: Vec::new(),
             fn_registry: HashMap::new(),
-            consts: HashMap::new(),
             const_values: Vec::new(),
             const_ids: HashMap::new(),
             const_names: Vec::new(),
@@ -422,7 +420,10 @@ impl Runtime {
             PrincipalKind::Shared => pr.caps.write.covering(addr, len),
             PrincipalKind::Instance => pr.caps.write.covering(addr, len).or_else(|| {
                 let shared = self.modules[pr.module.0 as usize].shared;
-                self.principals[shared.0 as usize].caps.write.covering(addr, len)
+                self.principals[shared.0 as usize]
+                    .caps
+                    .write
+                    .covering(addr, len)
             }),
             PrincipalKind::Global => {
                 let m = &self.modules[pr.module.0 as usize];
@@ -594,11 +595,12 @@ impl Runtime {
         mem: &AddressSpace,
         arg: Word,
     ) -> Result<Vec<EmittedCap>, Violation> {
-        let f = self.iterators[id.0 as usize]
-            .as_ref()
-            .ok_or_else(|| Violation::UnknownIterator {
-                name: self.iterator_name(id).to_string(),
-            })?;
+        let f =
+            self.iterators[id.0 as usize]
+                .as_ref()
+                .ok_or_else(|| Violation::UnknownIterator {
+                    name: self.iterator_name(id).to_string(),
+                })?;
         let mut out = Vec::new();
         f(mem, arg, &mut out).map_err(|why| Violation::IteratorFailed {
             name: self.iterator_name(id).to_string(),
@@ -615,13 +617,13 @@ impl Runtime {
         mem: &AddressSpace,
         arg: Word,
     ) -> Result<Vec<EmittedCap>, Violation> {
-        let id = self
-            .iterator_ids
-            .get(name)
-            .copied()
-            .ok_or_else(|| Violation::UnknownIterator {
-                name: name.to_string(),
-            })?;
+        let id =
+            self.iterator_ids
+                .get(name)
+                .copied()
+                .ok_or_else(|| Violation::UnknownIterator {
+                    name: name.to_string(),
+                })?;
         self.run_iterator_id(id, mem, arg)
     }
 
@@ -641,7 +643,7 @@ impl Runtime {
             return id;
         }
         let id = ConstId(self.const_values.len() as u32);
-        self.const_values.push(self.consts.get(name).copied());
+        self.const_values.push(None);
         self.const_names.push(name.to_string());
         self.const_ids.insert(name.to_string(), id);
         id
@@ -659,15 +661,8 @@ impl Runtime {
 
     /// Defines a named kernel constant usable in annotation expressions.
     pub fn define_const(&mut self, name: &str, value: i64) {
-        self.consts.insert(name.to_string(), value);
         let id = self.const_id(name);
         self.const_values[id.0 as usize] = Some(value);
-    }
-
-    /// The constant table (name-keyed view, for diagnostics and the
-    /// uncompiled evaluation fallback).
-    pub fn consts(&self) -> &HashMap<String, i64> {
-        &self.consts
     }
 }
 

@@ -1,14 +1,16 @@
 //! Property tests for the capability tables and principal model.
 //!
-//! The WRITE table's 12-bit-masked slot replication (§5) is checked
-//! against a naive interval-list oracle under arbitrary grant/revoke
-//! sequences, and the principal hierarchy invariants of §3.1 are checked
-//! under random capability traffic.
+//! Both WRITE-table implementations — the interval index on the guard
+//! hot path and the paper's 12-bit-masked slot baseline (§5) — are
+//! checked against a naive `Vec<(Word, u64)>` reference model under
+//! arbitrary grant/revoke sequences, including ranges whose end
+//! arithmetic saturates near `Word::MAX`; the principal hierarchy
+//! invariants of §3.1 are checked under random capability traffic.
 
 use proptest::prelude::*;
 
 use lxfi_core::caps::CapSet;
-use lxfi_core::{ModuleId, PrincipalId, RawCap, Runtime, ThreadId, WriteTable};
+use lxfi_core::{LinearWriteTable, ModuleId, PrincipalId, RawCap, Runtime, ThreadId, WriteTable};
 
 // ------------------------------------------------- WriteTable vs oracle
 
@@ -21,7 +23,7 @@ enum WOp {
 
 fn arb_wop() -> impl Strategy<Value = WOp> {
     // Keep the address universe small so operations collide often, and
-    // sizes up to 3 pages so slot replication is exercised.
+    // sizes up to 3 pages so multi-page intervals are exercised.
     let addr = 0x10_0000u64..0x10_4000;
     let size = prop_oneof![1u64..64, 64u64..5000, Just(12288u64)];
     prop_oneof![
@@ -31,56 +33,182 @@ fn arb_wop() -> impl Strategy<Value = WOp> {
     ]
 }
 
-/// Naive oracle: a plain list of granted ranges.
+/// Ops drawn from the last two pages of the address space, where end
+/// arithmetic saturates (sizes deliberately overflow `Word::MAX`).
+fn arb_wop_near_max() -> impl Strategy<Value = WOp> {
+    let addr = prop_oneof![
+        u64::MAX - 0x2000..u64::MAX,
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+    ];
+    let size = prop_oneof![1u64..64, 64u64..5000, Just(u64::MAX), Just(u64::MAX / 2)];
+    prop_oneof![
+        (addr.clone(), size.clone()).prop_map(|(a, s)| WOp::Grant(a, s)),
+        (addr.clone(), size.clone()).prop_map(|(a, s)| WOp::Revoke(a, s)),
+        (addr, size).prop_map(|(a, s)| WOp::RevokeOverlapping(a, s)),
+    ]
+}
+
+/// Naive reference model: a plain `Vec<(Word, u64)>` of granted ranges
+/// with the documented saturating/zero-size semantics spelled out
+/// longhand. Both WRITE-table implementations (the interval index and
+/// the masked-slot baseline) are property-checked against it.
 #[derive(Default)]
 struct Oracle {
     ranges: Vec<(u64, u64)>,
 }
 
 impl Oracle {
+    /// The documented clamp: an exclusive end saturates at `Word::MAX`.
+    fn clamp(a: u64, s: u64) -> u64 {
+        s.min(u64::MAX - a)
+    }
     fn grant(&mut self, a: u64, s: u64) {
+        let s = Self::clamp(a, s);
         if s > 0 && !self.ranges.contains(&(a, s)) {
             self.ranges.push((a, s));
         }
     }
-    fn revoke(&mut self, a: u64, s: u64) {
-        self.ranges.retain(|&(x, y)| !(x == a && y == s));
+    fn revoke(&mut self, a: u64, s: u64) -> bool {
+        let s = Self::clamp(a, s);
+        let before = self.ranges.len();
+        self.ranges.retain(|&(x, y)| !(x == a && y == s && s > 0));
+        self.ranges.len() != before
     }
-    fn revoke_overlapping(&mut self, a: u64, s: u64) {
-        let end = a + s;
+    fn revoke_overlapping(&mut self, a: u64, s: u64) -> usize {
+        if s == 0 {
+            return 0;
+        }
+        let end = a.saturating_add(s);
+        let before = self.ranges.len();
         self.ranges.retain(|&(x, y)| !(x < end && a < x + y));
+        before - self.ranges.len()
     }
     fn covers(&self, a: u64, l: u64) -> bool {
-        l == 0 || self.ranges.iter().any(|&(x, y)| x <= a && a + l <= x + y)
+        if l == 0 {
+            return true;
+        }
+        let Some(end) = a.checked_add(l) else {
+            return false;
+        };
+        self.ranges.iter().any(|&(x, y)| x <= a && end <= x + y)
     }
+    fn overlaps(&self, a: u64, l: u64) -> bool {
+        if l == 0 {
+            return false;
+        }
+        let end = a.saturating_add(l);
+        self.ranges.iter().any(|&(x, y)| x < end && a < x + y)
+    }
+    fn owns_exact(&self, a: u64, s: u64) -> bool {
+        let s = Self::clamp(a, s);
+        s > 0 && self.ranges.contains(&(a, s))
+    }
+}
+
+/// Drives both table implementations and the oracle through one op
+/// sequence, checking agreement at every probe.
+fn check_against_oracle(ops: &[WOp], probes: &[(u64, u64)]) {
+    let mut t = WriteTable::new();
+    let mut lin = LinearWriteTable::new();
+    let mut o = Oracle::default();
+    for op in ops {
+        match *op {
+            WOp::Grant(a, s) => {
+                t.grant(a, s);
+                lin.grant(a, s);
+                o.grant(a, s);
+            }
+            WOp::Revoke(a, s) => {
+                let got = t.revoke(a, s);
+                assert_eq!(lin.revoke(a, s), got);
+                assert_eq!(o.revoke(a, s), got, "revoke ({:#x}, {})", a, s);
+            }
+            WOp::RevokeOverlapping(a, s) => {
+                let got = t.revoke_overlapping(a, s);
+                assert_eq!(lin.revoke_overlapping(a, s), got);
+                assert_eq!(
+                    o.revoke_overlapping(a, s),
+                    got,
+                    "revoke_overlapping ({:#x}, {})",
+                    a,
+                    s
+                );
+            }
+        }
+    }
+    for &(a, l) in probes {
+        assert_eq!(t.covers(a, l), o.covers(a, l), "covers ({:#x}, {})", a, l);
+        assert_eq!(
+            lin.covers(a, l),
+            o.covers(a, l),
+            "linear covers ({:#x}, {})",
+            a,
+            l
+        );
+        assert_eq!(
+            t.overlaps(a, l),
+            o.overlaps(a, l),
+            "overlaps ({:#x}, {})",
+            a,
+            l
+        );
+        assert_eq!(
+            lin.overlaps(a, l),
+            o.overlaps(a, l),
+            "linear overlaps ({:#x}, {})",
+            a,
+            l
+        );
+        assert_eq!(
+            t.owns_exact(a, l),
+            o.owns_exact(a, l),
+            "owns_exact ({:#x}, {})",
+            a,
+            l
+        );
+        // covering() must return an interval that actually covers.
+        if let Some((s, e)) = t.covering(a, l) {
+            assert!(s <= a && a + l <= e, "covering ({:#x}, {})", a, l);
+        } else {
+            assert!(l == 0 || !o.covers(a, l));
+        }
+    }
+    assert_eq!(t.len(), o.ranges.len());
+    assert_eq!(lin.len(), o.ranges.len());
+    let mut from_iter: Vec<_> = t.iter().collect();
+    let mut expect = o.ranges.clone();
+    from_iter.sort_unstable();
+    expect.sort_unstable();
+    assert_eq!(from_iter, expect);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The masked-slot WRITE table agrees with the interval-list oracle on
-    /// arbitrary operation sequences and probe points.
+    /// Both WRITE-table implementations agree with the naive interval
+    /// reference model on arbitrary operation sequences and probes.
     #[test]
     fn write_table_matches_oracle(
         ops in proptest::collection::vec(arb_wop(), 1..40),
         probes in proptest::collection::vec((0x10_0000u64..0x10_4100, 1u64..256), 20),
     ) {
-        let mut t = WriteTable::new();
-        let mut o = Oracle::default();
-        for op in &ops {
-            match *op {
-                WOp::Grant(a, s) => { t.grant(a, s); o.grant(a, s); }
-                WOp::Revoke(a, s) => { t.revoke(a, s); o.revoke(a, s); }
-                WOp::RevokeOverlapping(a, s) => {
-                    t.revoke_overlapping(a, s);
-                    o.revoke_overlapping(a, s);
-                }
-            }
-        }
-        for &(a, l) in &probes {
-            prop_assert_eq!(t.covers(a, l), o.covers(a, l), "probe ({:#x}, {})", a, l);
-        }
-        prop_assert_eq!(t.len(), o.ranges.len());
+        check_against_oracle(&ops, &probes);
+    }
+
+    /// Same agreement where every end computation saturates: addresses
+    /// within two pages of `Word::MAX` and sizes up to `Word::MAX`
+    /// (panicked in debug builds before the overflow-discipline fix).
+    #[test]
+    fn write_table_matches_oracle_near_max(
+        ops in proptest::collection::vec(arb_wop_near_max(), 1..40),
+        probes in proptest::collection::vec(
+            (u64::MAX - 0x2100..u64::MAX, 1u64..256), 20),
+        overflow_probes in proptest::collection::vec(
+            (u64::MAX - 0x100..u64::MAX, 0x200u64..u64::MAX), 4),
+    ) {
+        check_against_oracle(&ops, &probes);
+        check_against_oracle(&ops, &overflow_probes);
     }
 
     /// Every address inside a granted range is covered; every address

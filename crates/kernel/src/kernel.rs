@@ -151,6 +151,10 @@ pub struct Kernel {
     /// Hash of the empty annotation set (the default for unannotated
     /// functions and unknown sigs), computed once at boot.
     empty_ahash: u64,
+    /// Shared declaration for unannotated module functions invoked
+    /// directly by the kernel (e.g. `module_init`): empty annotations,
+    /// compiled once at boot so the per-call fallback is an Rc clone.
+    unannotated_decl: Rc<FnDecl>,
 
     fuel: u64,
     /// Cycles consumed by interpreted instructions (monotonic).
@@ -201,6 +205,7 @@ impl Kernel {
             slab: Slab::new(HEAP_BASE),
             procs,
             empty_ahash: lxfi_annotations::annotation_hash(&Default::default()),
+            unannotated_decl: Rc::new(FnDecl::new("<unannotated>", Vec::new(), Default::default())),
             fuel: u64::MAX,
             cycles: 0,
             panic: None,
@@ -215,6 +220,11 @@ impl Kernel {
             dm: Default::default(),
         };
         types::register_layouts(&mut k.layouts);
+        {
+            let mut d = (*k.unannotated_decl).clone();
+            d.compile(&mut k.rt, &k.layouts);
+            k.unannotated_decl = Rc::new(d);
+        }
         k.spawn_thread();
         crate::exports_base::register(&mut k);
         crate::pci::register(&mut k);
@@ -845,16 +855,14 @@ impl Kernel {
             }
             IsolationMode::Lxfi => {
                 let mid = m.mid.expect("isolated module has runtime id");
-                let decl = m.decls.get(&fid).cloned().unwrap_or_else(|| {
-                    // Unannotated module function invoked directly by the
-                    // kernel (e.g. module_init): runs as the shared
-                    // principal with no capability actions.
-                    Rc::new(FnDecl::new(
-                        prog.funcs[fid.0 as usize].name.clone(),
-                        Vec::new(),
-                        Default::default(),
-                    ))
-                });
+                // Unannotated module functions (e.g. module_init) run as
+                // the shared principal with no capability actions, via
+                // the boot-compiled shared empty declaration.
+                let decl = m
+                    .decls
+                    .get(&fid)
+                    .cloned()
+                    .unwrap_or_else(|| Rc::clone(&self.unannotated_decl));
                 let callee_p = self.select_principal(mid, &decl, args)?;
                 let t = self.current_thread();
                 let token = self.rt.wrapper_enter(t, Some((mid, callee_p)));

@@ -62,6 +62,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // layout constants checked on purpose
     fn regions_are_disjoint_and_classified() {
         assert!(is_user_addr(0x1000));
         assert!(!is_user_addr(HEAP_BASE));

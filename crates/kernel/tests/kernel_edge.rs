@@ -76,10 +76,8 @@ fn sched_spec() -> ModuleSpec {
             lxfi_core::Param::ptr("skb", "sk_buff"),
             lxfi_core::Param::ptr("q", "Qdisc"),
         ],
-        lxfi_annotations::parse_fn_annotations(
-            "pre(check(write, skb, 1)) pre(copy(write, q, 64))",
-        )
-        .unwrap(),
+        lxfi_annotations::parse_fn_annotations("pre(check(write, skb, 1)) pre(copy(write, q, 64))")
+            .unwrap(),
     ));
 
     ModuleSpec {

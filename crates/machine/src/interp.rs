@@ -301,6 +301,9 @@ mod tests {
     use crate::builder::ProgramBuilder;
     use crate::isa::{Cond, Width};
 
+    /// An extern-call handler in the test environment.
+    pub type ExternFn = Box<dyn FnMut(&mut AddressSpace, &[Word]) -> Word>;
+
     /// Minimal test environment: one stack, no isolation, extern calls
     /// dispatch to a table of closures.
     pub struct TestEnv {
@@ -308,7 +311,7 @@ mod tests {
         pub fuel: u64,
         pub sp: Word,
         pub stack_base: Word,
-        pub externs: Vec<Box<dyn FnMut(&mut AddressSpace, &[Word]) -> Word>>,
+        pub externs: Vec<ExternFn>,
         pub guard_log: Vec<(Word, Word)>,
     }
 

@@ -39,9 +39,7 @@ fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
     panic!("unterminated character class in regex strategy");
 }
 
-fn parse_quantifier(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> (u32, u32) {
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
     match chars.peek() {
         Some('?') => {
             chars.next();
