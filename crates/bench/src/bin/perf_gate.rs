@@ -1,0 +1,192 @@
+//! CI perf-regression gate for the guard-path latencies.
+//!
+//! Usage: `perf_gate <baseline.json> <current.json>`
+//!
+//! Both files are flat JSON objects of `"key": ns` pairs as emitted by
+//! `table_guard_costs --json`. The gate is **ratio-based** so it is
+//! hostname-tolerant: for each optimized structure it compares the
+//! *speedup ratio* `optimized_ns / baseline_structure_ns` measured now
+//! against the same ratio recorded in `baseline.json`, and fails when
+//! the current ratio regresses more than [`REGRESSION_FACTOR`]× — a
+//! slower machine scales both numerators and denominators, but a code
+//! regression moves the ratio.
+//!
+//! Two absolute-structure floors are also enforced: the interval WRITE
+//! table must beat the linear scan, and the reverse writer index must
+//! beat the 512-principal walk by ≥5x (the PR acceptance bar).
+//!
+//! Exit status: 0 = pass, 1 = regression, 2 = bad input.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// A measured ratio may regress up to this factor over the recorded
+/// baseline ratio before the gate fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// `(label, optimized key, reference key)` — the gated structures.
+const GATED: [(&str, &str, &str); 7] = [
+    ("write-table hit", "interval_hit_ns", "linear_hit_ns"),
+    ("write-table miss", "interval_miss_ns", "linear_miss_ns"),
+    (
+        "write-guard cache (repeated/rotating)",
+        "guard_repeated_ns",
+        "guard_rotating_ns",
+    ),
+    ("writer index @8", "writer_index_8_ns", "writer_linear_8_ns"),
+    (
+        "writer index @64",
+        "writer_index_64_ns",
+        "writer_linear_64_ns",
+    ),
+    (
+        "writer index @512",
+        "writer_index_512_ns",
+        "writer_linear_512_ns",
+    ),
+    (
+        "writer index scaling (512/8)",
+        "writer_index_512_ns",
+        "writer_index_8_ns",
+    ),
+];
+
+/// Parses a flat JSON object of string→number pairs. Deliberately
+/// minimal (the workspace vendors no serde): accepts exactly the shape
+/// `table_guard_costs --json` emits, rejects anything nested.
+fn parse_flat_json(text: &str) -> Result<HashMap<String, f64>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a top-level JSON object")?;
+    let mut map = HashMap::new();
+    for (ln, line) in body.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: expected \"key\": value", ln + 1))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: key must be quoted", ln + 1))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad number ({e})", ln + 1))?;
+        map.insert(key.to_string(), value);
+    }
+    Ok(map)
+}
+
+fn load(path: &str) -> Result<HashMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn ratio(m: &HashMap<String, f64>, num: &str, den: &str, src: &str) -> Result<f64, String> {
+    let n = m.get(num).ok_or_else(|| format!("{src}: missing {num}"))?;
+    let d = m.get(den).ok_or_else(|| format!("{src}: missing {den}"))?;
+    if *d <= 0.0 {
+        return Err(format!("{src}: {den} must be positive"));
+    }
+    Ok(n / d)
+}
+
+fn run(baseline_path: &str, current_path: &str) -> Result<bool, String> {
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let mut ok = true;
+
+    println!("perf gate: current ratios vs {baseline_path} (fail > {REGRESSION_FACTOR}x)\n");
+    println!(
+        "{:<38} {:>10} {:>10} {:>8}  verdict",
+        "structure", "baseline", "current", "margin"
+    );
+    for (label, num, den) in GATED {
+        let base = ratio(&baseline, num, den, baseline_path)?;
+        let cur = ratio(&current, num, den, current_path)?;
+        let margin = cur / base;
+        let pass = margin <= REGRESSION_FACTOR;
+        ok &= pass;
+        println!(
+            "{:<38} {:>10.4} {:>10.4} {:>7.2}x  {}",
+            label,
+            base,
+            cur,
+            margin,
+            if pass { "ok" } else { "REGRESSED" }
+        );
+    }
+
+    // Absolute floors, independent of the recorded baseline.
+    let interval = ratio(&current, "interval_hit_ns", "linear_hit_ns", current_path)?;
+    if interval >= 1.0 {
+        ok = false;
+        println!("\ninterval WRITE table no longer beats the linear scan ({interval:.2}x)");
+    }
+    let wi512 = ratio(
+        &current,
+        "writer_index_512_ns",
+        "writer_linear_512_ns",
+        current_path,
+    )?;
+    if wi512 > 0.2 {
+        ok = false;
+        println!(
+            "\nreverse writer index under 5x vs the 512-principal walk \
+             ({:.1}x)",
+            1.0 / wi512.max(1e-9)
+        );
+    } else {
+        println!(
+            "\nreverse writer index beats the 512-principal walk by {:.1}x (floor: 5x)",
+            1.0 / wi512.max(1e-9)
+        );
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline, current] = &args[..] else {
+        eprintln!("usage: perf_gate <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, current) {
+        Ok(true) => {
+            println!("\nperf gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("\nperf gate: FAIL");
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_emitted_shape() {
+        let m = parse_flat_json("{\n  \"a_ns\": 1.5,\n  \"b_ns\": 2\n}").unwrap();
+        assert_eq!(m["a_ns"], 1.5);
+        assert_eq!(m["b_ns"], 2.0);
+    }
+
+    #[test]
+    fn rejects_non_objects() {
+        assert!(parse_flat_json("[1, 2]").is_err());
+        assert!(parse_flat_json("{\"k\": \"str\"}").is_err());
+    }
+}

@@ -1,9 +1,50 @@
-//! Regenerates Figure 13: guards per packet and per-guard cost for the
-//! UDP_STREAM TX workload.
+//! Regenerates Figure 13 (guards per packet, per-guard cost on the
+//! UDP_STREAM TX workload) plus the guard-structure latency comparisons:
+//! WRITE-table interval index vs linear scan, the write-guard cache, and
+//! the reverse writer index vs the global principal walk.
+//!
+//! `--json` emits the latency numbers as a flat JSON object (stable
+//! keys, ns values) for the CI perf gate (`perf_gate`) and the workflow
+//! artifact; the human tables are suppressed in that mode.
 
-use lxfi_bench::{guards, render_table};
+use lxfi_bench::{guards, render_table, writer_index};
+
+/// Measured latencies, as `(key, ns)` pairs with stable names.
+fn measurements(iters: u64) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let tables = guards::write_table_comparison(512, iters);
+    out.push(("linear_hit_ns".into(), tables[0].hit_ns));
+    out.push(("linear_miss_ns".into(), tables[0].miss_ns));
+    out.push(("interval_hit_ns".into(), tables[1].hit_ns));
+    out.push(("interval_miss_ns".into(), tables[1].miss_ns));
+    let cache = guards::guard_cache_comparison(512, iters);
+    out.push(("guard_repeated_ns".into(), cache.repeated_ns));
+    out.push(("guard_rotating_ns".into(), cache.rotating_ns));
+    for row in writer_index::writer_lookup_rows(iters) {
+        out.push((
+            format!("writer_linear_{}_ns", row.principals),
+            row.linear_ns,
+        ));
+        out.push((format!("writer_index_{}_ns", row.principals), row.index_ns));
+    }
+    out
+}
+
+fn emit_json(measured: &[(String, f64)]) {
+    println!("{{");
+    for (i, (k, v)) in measured.iter().enumerate() {
+        let comma = if i + 1 == measured.len() { "" } else { "," };
+        println!("  \"{k}\": {v:.3}{comma}");
+    }
+    println!("}}");
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        emit_json(&measurements(200_000));
+        return;
+    }
+
     println!("Figure 13: LXFI guards on the UDP_STREAM TX path\n");
     let rows: Vec<Vec<String>> = guards::figure13(500)
         .into_iter()
@@ -59,5 +100,36 @@ fn main() {
         cache.repeated_ns,
         cache.hit_rate * 100.0,
         cache.rotating_ns
+    );
+
+    println!("\nInd-call slow path: writers_of(slot) latency (host ns):\n");
+    let rows: Vec<Vec<String>> = writer_index::writer_lookup_rows(200_000)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.principals),
+                format!("{:.1}", r.linear_ns),
+                format!("{:.1}", r.index_ns),
+                format!("{:.1}x", r.linear_ns / r.index_ns.max(0.001)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Principals",
+                "Linear walk ns",
+                "Reverse index ns",
+                "Speedup"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nEvery slot has two writers; the walk pays O(principals) per\n\
+         lookup (plus a Vec allocation), the reverse index pays one\n\
+         window search over interned writer sets. Re-emit as JSON with\n\
+         `--json` (the CI perf gate consumes it; see bench/baseline.json)."
     );
 }

@@ -19,6 +19,7 @@ pub mod guards;
 pub mod loc;
 pub mod netperf;
 pub mod sfi;
+pub mod writer_index;
 
 /// Renders an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,159 @@
+//! Writer-lookup latency: the reverse writer index vs the paper's
+//! global principal walk, at 8 / 64 / 512 principals.
+//!
+//! The workload models a many-module world: every principal owns a
+//! private arena (its slab objects), and each of [`SLOTS`]
+//! function-pointer slots is writable by exactly two principals (an
+//! ops-table shared by a driver pair). The slow-path question — "who
+//! can write this slot?" — has a two-element answer regardless of scale,
+//! so the linear walk's O(principals) probe cost is pure overhead and
+//! the reverse index's O(log intervals + 2) stays flat.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lxfi_core::{LinearWriterIndex, PrincipalId, WriterIndex};
+
+/// Base address of the probed function-pointer slots.
+pub const SLOT_BASE: u64 = 0x40_0000;
+/// One slot per 64-byte granule (so probes touch distinct intervals).
+pub const SLOT_STRIDE: u64 = 64;
+/// Number of probed slots.
+pub const SLOTS: u64 = 64;
+/// Base address of the per-principal private arenas.
+pub const ARENA_BASE: u64 = 0x100_0000;
+/// Byte stride between consecutive principals' arenas.
+pub const ARENA_STRIDE: u64 = 0x1000;
+
+/// Address of the `i`-th rotated slot probe (stride-13 walk, like the
+/// WRITE-table benches, so consecutive probes land in different slots).
+pub fn rotating_slot_probe(i: u64) -> u64 {
+    SLOT_BASE + (i.wrapping_mul(13) % SLOTS) * SLOT_STRIDE
+}
+
+/// Builds both writer-lookup structures over an identical grant
+/// population: `principals` principals, each holding one private arena
+/// grant, and every slot granted to two principals (round-robin).
+pub fn bench_writer_indexes(principals: usize) -> (LinearWriterIndex, WriterIndex) {
+    assert!(principals >= 2, "slots need two distinct writers");
+    let mut linear = LinearWriterIndex::new();
+    let mut index = WriterIndex::new();
+    let mut grant = |p: usize, addr: u64, size: u64| {
+        linear.grant(PrincipalId(p as u32), addr, size);
+        index.add(PrincipalId(p as u32), addr, size);
+    };
+    for p in 0..principals {
+        grant(p, ARENA_BASE + p as u64 * ARENA_STRIDE, 0x100);
+    }
+    for s in 0..SLOTS {
+        let a = (2 * s) as usize % principals;
+        let b = (2 * s + 1) as usize % principals;
+        grant(a, SLOT_BASE + s * SLOT_STRIDE, 8);
+        grant(b, SLOT_BASE + s * SLOT_STRIDE, 8);
+    }
+    (linear, index)
+}
+
+/// Measured slow-path lookup latency at one principal count.
+#[derive(Debug, Clone)]
+pub struct WriterLookupLatency {
+    /// Number of principals in the system.
+    pub principals: usize,
+    /// ns per lookup via the global principal walk (allocates a `Vec`).
+    pub linear_ns: f64,
+    /// ns per lookup via the reverse index (allocation-free iteration).
+    pub index_ns: f64,
+}
+
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / iters.max(1) as f64
+}
+
+/// Times `writers_of` on both structures with rotating slot probes.
+/// Every probe finds exactly two writers; the assertions keep the
+/// optimizer honest and the workload correct.
+pub fn writer_lookup_comparison(principals: usize, iters: u64) -> WriterLookupLatency {
+    let (linear, index) = bench_writer_indexes(principals);
+    let mut i = 0u64;
+    let linear_ns = time_ns(iters, || {
+        let a = rotating_slot_probe(i);
+        i += 1;
+        assert_eq!(linear.writers_of(black_box(a), 8).len(), 2);
+    });
+    let mut i = 0u64;
+    let index_ns = time_ns(iters, || {
+        let a = rotating_slot_probe(i);
+        i += 1;
+        assert_eq!(index.writers_over(black_box(a), 8).count(), 2);
+    });
+    WriterLookupLatency {
+        principals,
+        linear_ns,
+        index_ns,
+    }
+}
+
+/// The principal counts the guard-cost table and the CI perf gate report.
+pub const PRINCIPAL_COUNTS: [usize; 3] = [8, 64, 512];
+
+/// One comparison row per entry of [`PRINCIPAL_COUNTS`].
+pub fn writer_lookup_rows(iters: u64) -> Vec<WriterLookupLatency> {
+    PRINCIPAL_COUNTS
+        .iter()
+        .map(|&n| writer_lookup_comparison(n, iters))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structures_agree_on_the_workload() {
+        for &n in &PRINCIPAL_COUNTS {
+            let (linear, index) = bench_writer_indexes(n);
+            for i in 0..SLOTS {
+                let probe = SLOT_BASE + i * SLOT_STRIDE;
+                let mut got: Vec<PrincipalId> = index.writers_over(probe, 8).collect();
+                got.sort();
+                assert_eq!(got, linear.writers_of(probe, 8), "slot {i}, n={n}");
+                assert_eq!(got.len(), 2);
+            }
+            // Arena probes see exactly their owner.
+            let arena = ARENA_BASE + (n as u64 / 2) * ARENA_STRIDE;
+            assert_eq!(index.writers_over(arena, 8).count(), 1);
+        }
+    }
+
+    #[test]
+    fn reverse_index_beats_linear_walk_by_5x_at_512() {
+        // The acceptance bar: ≥5x on the 512-principal slow-path lookup.
+        // The real margin is far larger (the walk probes 512 tables per
+        // query); 5x keeps the test robust on loaded CI machines.
+        let lat = writer_lookup_comparison(512, 20_000);
+        assert!(
+            lat.index_ns * 5.0 < lat.linear_ns,
+            "index {:.1}ns vs linear walk {:.1}ns at 512 principals",
+            lat.index_ns,
+            lat.linear_ns
+        );
+    }
+
+    #[test]
+    fn index_latency_stays_flat_as_principals_grow() {
+        // 8 → 512 principals: the walk slows by ~64x, the index must not
+        // (allow generous noise: 4x).
+        let small = writer_lookup_comparison(8, 20_000);
+        let large = writer_lookup_comparison(512, 20_000);
+        assert!(
+            large.index_ns < small.index_ns * 4.0 + 50.0,
+            "index lookup should be ~flat: {:.1}ns at 8 vs {:.1}ns at 512",
+            small.index_ns,
+            large.index_ns
+        );
+    }
+}

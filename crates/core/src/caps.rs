@@ -200,8 +200,23 @@ impl WriteTable {
     /// Returns the number of capabilities removed. Used when freeing
     /// memory must strip *all* residual access.
     pub fn revoke_overlapping(&mut self, addr: Word, size: u64) -> usize {
+        self.revoke_overlapping_span(addr, size).0
+    }
+
+    /// Like [`revoke_overlapping`], but also reports the union extent
+    /// `(min start, max end)` of the removed capabilities — a whole grant
+    /// is revoked even when only partially intersected, so the extent can
+    /// reach beyond the revocation range. The reverse writer index uses
+    /// it to know how far a principal's coverage actually changed.
+    ///
+    /// [`revoke_overlapping`]: WriteTable::revoke_overlapping
+    pub fn revoke_overlapping_span(
+        &mut self,
+        addr: Word,
+        size: u64,
+    ) -> (usize, Option<(Word, Word)>) {
         if size == 0 {
-            return 0;
+            return (0, None);
         }
         let end = addr.saturating_add(size);
         let before = self.starts.len();
@@ -209,10 +224,16 @@ impl WriteTable {
         // partition point cannot intersect.
         let cut = self.starts.partition_point(|&a| a < end);
         let mut first_removed = cut;
+        let mut span: Option<(Word, Word)> = None;
         let mut w = 0;
         for i in 0..cut {
-            if self.starts[i] + self.sizes[i] > addr {
+            let iv_end = self.starts[i] + self.sizes[i];
+            if iv_end > addr {
                 first_removed = first_removed.min(i);
+                span = Some(match span {
+                    None => (self.starts[i], iv_end),
+                    Some((lo, hi)) => (lo.min(self.starts[i]), hi.max(iv_end)),
+                });
                 continue; // overlapping: drop
             }
             if w != i {
@@ -229,7 +250,7 @@ impl WriteTable {
             self.sizes.truncate(n);
             self.rebuild_prefix(first_removed);
         }
-        before - self.starts.len()
+        (before - self.starts.len(), span)
     }
 
     /// True if the exact capability `(addr, size)` is present.
@@ -303,6 +324,23 @@ impl WriteTable {
     /// Iterates over live `(addr, size)` grants in address order.
     pub fn iter(&self) -> impl Iterator<Item = (Word, u64)> + '_ {
         self.starts.iter().copied().zip(self.sizes.iter().copied())
+    }
+
+    /// Iterates over the grants intersecting `[addr, addr+len)`, in
+    /// address order (used to reinstate residual writer-index coverage
+    /// after a revocation).
+    pub fn iter_overlapping(&self, addr: Word, len: u64) -> impl Iterator<Item = (Word, u64)> + '_ {
+        let end = if len == 0 {
+            addr
+        } else {
+            addr.saturating_add(len)
+        };
+        let cut = self.starts.partition_point(|&a| a < end);
+        self.starts[..cut]
+            .iter()
+            .copied()
+            .zip(self.sizes[..cut].iter().copied())
+            .filter(move |&(a, s)| len != 0 && a + s > addr)
     }
 }
 

@@ -24,7 +24,9 @@
 //!   ([`shadow`]);
 //! - writer-set tracking that lets the kernel skip indirect-call checks
 //!   for function-pointer slots no module could have written
-//!   ([`writer_set`]);
+//!   ([`writer_set`]), backed on the slow path by a reverse writer index
+//!   (addr range → interned writer-principal set, [`writer_index`]) so
+//!   the lookup is sublinear in the number of principals;
 //! - the annotation-action engine executed at wrapper boundaries
 //!   ([`actions`]);
 //! - guard statistics for the Figure 13 cost breakdown ([`stats`]);
@@ -38,6 +40,7 @@ pub mod principal;
 pub mod runtime;
 pub mod shadow;
 pub mod stats;
+pub mod writer_index;
 pub mod writer_set;
 
 pub use caps::{CapType, LinearWriteTable, RawCap, RefTypeId, WriteTable};
@@ -46,6 +49,7 @@ pub use iface::{FnDecl, Param, TypeLayouts};
 pub use principal::{ModuleId, PrincipalId, PrincipalKind};
 pub use runtime::{ConstId, IteratorFn, IteratorId, Runtime, ThreadId};
 pub use stats::{GuardCosts, GuardKind, GuardStats, ALL_GUARD_KINDS};
+pub use writer_index::{LinearWriterIndex, WriterIndex, WriterSetId};
 
 use lxfi_machine::Word;
 

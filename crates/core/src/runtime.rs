@@ -10,6 +10,7 @@ use crate::caps::{CapSet, CapType, RawCap, RefTypeId};
 use crate::principal::{ModuleId, ModuleInfo, PrincipalId, PrincipalKind};
 use crate::shadow::{PrincipalCtx, ShadowStack};
 use crate::stats::{GuardCosts, GuardKind, GuardStats};
+use crate::writer_index::WriterIndex;
 use crate::writer_set::WriterMap;
 use crate::Violation;
 
@@ -85,6 +86,10 @@ pub struct Runtime {
     threads: HashMap<ThreadId, ShadowStack>,
     thread_stacks: HashMap<ThreadId, (Word, u64)>,
     writer_map: WriterMap,
+    /// Reverse writer index (addr range → interned writer-principal set):
+    /// kept in lockstep with every WRITE grant/revocation so the
+    /// indirect-call slow path is sublinear in the number of principals.
+    writer_index: WriterIndex,
     ref_types: Vec<String>,
     ref_type_ids: HashMap<String, RefTypeId>,
     iterators: Vec<Option<IteratorFn>>,
@@ -126,6 +131,7 @@ impl Runtime {
             threads: HashMap::new(),
             thread_stacks: HashMap::new(),
             writer_map: WriterMap::new(),
+            writer_index: WriterIndex::new(),
             ref_types: Vec::new(),
             ref_type_ids: HashMap::new(),
             iterators: Vec::new(),
@@ -258,10 +264,11 @@ impl Runtime {
     }
 
     /// Grants a capability to a principal. WRITE grants mark the
-    /// writer-set map (§5).
+    /// writer-set map and enter the reverse writer index (§5).
     pub fn grant(&mut self, p: PrincipalId, cap: RawCap) {
         if cap.ctype == CapType::Write {
             self.writer_map.mark(cap.addr, cap.size);
+            self.writer_index.add(p, cap.addr, cap.size);
         }
         self.principals[p.0 as usize].caps.grant(cap);
     }
@@ -269,15 +276,48 @@ impl Runtime {
     /// Revokes a capability from one principal.
     pub fn revoke(&mut self, p: PrincipalId, cap: RawCap) -> bool {
         self.write_cache = None;
-        self.principals[p.0 as usize].caps.revoke(cap)
+        let removed = self.principals[p.0 as usize].caps.revoke(cap);
+        if removed && cap.ctype == CapType::Write {
+            self.unindex_write(p, cap.addr, cap.size);
+        }
+        removed
+    }
+
+    /// Drops `p` from the writer index over `[addr, addr+size)`, then
+    /// reinstates whatever coverage `p`'s *remaining* grants still have
+    /// there (the index stores merged coverage, so revoking one of two
+    /// overlapping grants must not erase the survivor).
+    fn unindex_write(&mut self, p: PrincipalId, addr: Word, size: u64) {
+        let Runtime {
+            principals,
+            writer_index,
+            ..
+        } = self;
+        writer_index.remove(p, addr, size);
+        let end = addr.saturating_add(size);
+        for (a, s) in principals[p.0 as usize]
+            .caps
+            .write
+            .iter_overlapping(addr, size)
+        {
+            // Clip to the removed window: coverage outside it never left.
+            let lo = a.max(addr);
+            let hi = (a.saturating_add(s)).min(end);
+            if lo < hi {
+                writer_index.add(p, lo, hi - lo);
+            }
+        }
     }
 
     /// Revokes a capability from **every** principal in the system —
     /// `transfer` semantics (§3.3): no stale copies survive.
     pub fn revoke_everywhere(&mut self, cap: RawCap) {
         self.write_cache = None;
-        for p in &mut self.principals {
-            p.caps.revoke(cap);
+        for i in 0..self.principals.len() {
+            let removed = self.principals[i].caps.revoke(cap);
+            if removed && cap.ctype == CapType::Write {
+                self.unindex_write(PrincipalId(i as u32), cap.addr, cap.size);
+            }
         }
     }
 
@@ -286,8 +326,17 @@ impl Runtime {
     /// outstanding capabilities).
     pub fn revoke_write_overlapping_everywhere(&mut self, addr: Word, size: u64) {
         self.write_cache = None;
-        for p in &mut self.principals {
-            p.caps.write.revoke_overlapping(addr, size);
+        for i in 0..self.principals.len() {
+            let (_, span) = self.principals[i]
+                .caps
+                .write
+                .revoke_overlapping_span(addr, size);
+            // A partially intersected grant is revoked whole, so the lost
+            // coverage can reach beyond [addr, addr+size): un-index the
+            // actual extent of what was removed.
+            if let Some((lo, hi)) = span {
+                self.unindex_write(PrincipalId(i as u32), lo, hi - lo);
+            }
         }
     }
 
@@ -462,16 +511,34 @@ impl Runtime {
         self.fn_registry.get(&addr)
     }
 
-    /// Principals (from any module) holding WRITE coverage of `addr`
-    /// (the slow path of writer-set tracking: traverses the global
-    /// principal list, §5).
+    /// Principals (from any module) holding WRITE coverage of any byte of
+    /// the 8-byte slot at `addr` — the indirect-call slow path, answered
+    /// by the reverse writer index in O(log intervals + writers) instead
+    /// of the paper's global principal-list traversal (§5).
+    ///
+    /// Allocates the result for diagnostic callers; the enforcement path
+    /// ([`Runtime::check_indcall`]) iterates the interned sets directly.
     pub fn writers_of(&self, addr: Word) -> Vec<PrincipalId> {
+        let mut v: Vec<PrincipalId> = self.writer_index.writers_over(addr, 8).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The retired global traversal: every principal's WRITE table probed
+    /// for overlap with the slot. Kept as the in-tree reference the
+    /// reverse index is property-tested and benchmarked against.
+    pub fn writers_of_linear(&self, addr: Word) -> Vec<PrincipalId> {
         self.principals
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.caps.write.covers(addr, 8))
+            .filter(|(_, p)| p.caps.write.overlaps(addr, 8))
             .map(|(i, _)| PrincipalId(i as u32))
             .collect()
+    }
+
+    /// Read access to the reverse writer index (diagnostics, tests).
+    pub fn writer_index(&self) -> &WriterIndex {
+        &self.writer_index
     }
 
     /// `lxfi_check_indcall(pptr, ahash)` (§4.1): validates a kernel
@@ -493,28 +560,31 @@ impl Runtime {
             self.stats.record(GuardKind::KernelIndCall, c);
             return Ok(());
         }
-        // Past the bitmap: the global principal-list traversal runs, so
-        // the slow-path cost applies even when it finds no writers (a
-        // benign bitmap false positive, §5).
+        // Past the bitmap: the reverse-index lookup runs, so the
+        // slow-path cost applies even when it finds no writers (a benign
+        // bitmap false positive, §5).
         let c = self.costs.ind_call_slow;
         self.stats.record(GuardKind::KernelIndCall, c);
-        let writers = self.writers_of(slot);
-        if writers.is_empty() {
-            return Ok(());
-        }
         // First check (§4.1): every writer principal must hold a CALL
         // capability for the target. This is what rejects user-space
         // targets and un-imported kernel functions like `detach_pid`.
-        for w in &writers {
+        // The writer set comes straight out of the index's interned sets
+        // — no per-call allocation.
+        let mut any_writer = false;
+        for w in self.writer_index.writers_over(slot, 8) {
+            any_writer = true;
             let module = self.principals[w.0 as usize].module;
             self.stats.record_indcall_module(module, c);
-            if !self.owns(*w, RawCap::call(target)) {
+            if !self.owns(w, RawCap::call(target)) {
                 return Err(Violation::IndCallUnauthorized {
                     slot,
                     target,
-                    writer: *w,
+                    writer: w,
                 });
             }
+        }
+        if !any_writer {
+            return Ok(());
         }
         // Second check (§4.1): the annotations of the stored function and
         // of the function-pointer type must match, so a module cannot
@@ -537,13 +607,12 @@ impl Runtime {
     /// WRITE coverage.
     pub fn note_zeroed(&mut self, addr: Word, len: u64) {
         // A granule stays marked while any principal holds WRITE coverage
-        // of any byte in it (clearing would be a false negative).
-        let principals = &self.principals;
-        self.writer_map.clear_zeroed(addr, len, |granule| {
-            principals
-                .iter()
-                .any(|p| p.caps.write.overlaps(granule, 64))
-        });
+        // of any byte in it (clearing would be a false negative). The
+        // reverse index answers this in one window search instead of a
+        // per-granule walk of every principal.
+        let index = &self.writer_index;
+        self.writer_map
+            .clear_zeroed(addr, len, |granule| index.overlaps(granule, 64));
     }
 
     /// Direct writer-map marking (used when a module is loaded: its

@@ -1,0 +1,614 @@
+//! Reverse writer index (§5 scaling): address range → writer principals.
+//!
+//! The indirect-call slow path asks "which principals hold WRITE coverage
+//! of this function-pointer slot?". The paper answers by walking the
+//! global principal list — linear in the number of principals, and the
+//! list grows with every module instance. This module inverts the
+//! question: a sorted map of **disjoint address intervals**, each carrying
+//! an **interned set** of the principals granted WRITE over it, is
+//! maintained incrementally on every WRITE grant and revocation, so the
+//! lookup is a binary search plus a walk of the (small) writer set —
+//! O(log intervals + |writers|) instead of O(principals).
+//!
+//! Writer sets are interned like the runtime's REF-type names: a sorted,
+//! deduplicated `Vec<PrincipalId>` maps to a dense [`WriterSetId`], so
+//! the many intervals produced by overlapping grants from the same
+//! principals share one set allocation, and set identity is a `u32`
+//! compare (which is also what lets adjacent intervals coalesce).
+//!
+//! The paper's traversal survives as [`LinearWriterIndex`] — per-principal
+//! [`WriteTable`]s probed one by one — mirroring the `LinearWriteTable`
+//! treatment of PR 1: the old structure stays in-tree as the measured
+//! baseline for `lxfi-bench` and as a property-test oracle.
+//!
+//! # Semantics
+//!
+//! A principal is a *writer of `[addr, addr+len)`* when one of its grants
+//! **overlaps any byte** of the range. (The pre-index slow path required
+//! a single grant to *cover* the whole slot; overlap is strictly more
+//! conservative — a principal that can corrupt even one byte of a
+//! function pointer is a writer — and is what both the index and the
+//! linear baseline implement.)
+//!
+//! # Overflow discipline
+//!
+//! Identical to [`WriteTable`]: grant ends saturate at `Word::MAX`
+//! (exclusive), zero-length ranges grant/match nothing, and query ends
+//! saturate rather than wrap.
+
+use std::collections::HashMap;
+
+use lxfi_machine::Word;
+
+use crate::caps::WriteTable;
+use crate::principal::PrincipalId;
+
+/// Interned id of a sorted, deduplicated set of writer principals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriterSetId(pub u32);
+
+/// The interned empty set (id 0 by construction).
+pub const EMPTY_WRITERS: WriterSetId = WriterSetId(0);
+
+/// Interns writer sets: identical sets share one id, so interval
+/// entries are a `u32` and set equality is an integer compare.
+#[derive(Debug)]
+struct SetInterner {
+    sets: Vec<Vec<PrincipalId>>,
+    ids: HashMap<Vec<PrincipalId>, WriterSetId>,
+}
+
+impl SetInterner {
+    fn new() -> Self {
+        let mut it = SetInterner {
+            sets: Vec::new(),
+            ids: HashMap::new(),
+        };
+        it.intern(Vec::new()); // id 0 = the empty set
+        it
+    }
+
+    /// Interns a sorted, deduplicated principal set.
+    fn intern(&mut self, set: Vec<PrincipalId>) -> WriterSetId {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted + dedup'd");
+        if let Some(&id) = self.ids.get(&set) {
+            return id;
+        }
+        let id = WriterSetId(self.sets.len() as u32);
+        self.sets.push(set.clone());
+        self.ids.insert(set, id);
+        id
+    }
+
+    fn get(&self, id: WriterSetId) -> &[PrincipalId] {
+        &self.sets[id.0 as usize]
+    }
+
+    /// The set `sid ∪ {p}`.
+    fn with(&mut self, sid: WriterSetId, p: PrincipalId) -> WriterSetId {
+        let cur = self.get(sid);
+        match cur.binary_search(&p) {
+            Ok(_) => sid,
+            Err(pos) => {
+                let mut v = cur.to_vec();
+                v.insert(pos, p);
+                self.intern(v)
+            }
+        }
+    }
+
+    /// The set `sid ∖ {p}`.
+    fn without(&mut self, sid: WriterSetId, p: PrincipalId) -> WriterSetId {
+        let cur = self.get(sid);
+        match cur.binary_search(&p) {
+            Err(_) => sid,
+            Ok(pos) => {
+                if cur.len() == 1 {
+                    return EMPTY_WRITERS;
+                }
+                let mut v = cur.to_vec();
+                v.remove(pos);
+                self.intern(v)
+            }
+        }
+    }
+
+    fn singleton(&mut self, p: PrincipalId) -> WriterSetId {
+        self.intern(vec![p])
+    }
+
+    fn len(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// Clamps a range so its exclusive end saturates at `Word::MAX`
+/// (the same discipline as `WriteTable`).
+#[inline]
+fn clamp_size(addr: Word, size: u64) -> u64 {
+    size.min(Word::MAX - addr)
+}
+
+/// The reverse writer index: disjoint, sorted `[start, end)` intervals,
+/// each mapped to a non-empty interned writer set. Touching intervals
+/// with the same set are coalesced on every mutation, so the entry count
+/// tracks the number of *distinct-coverage* regions, not the number of
+/// grants.
+#[derive(Debug)]
+pub struct WriterIndex {
+    starts: Vec<Word>,
+    /// Exclusive ends, parallel to `starts`. Disjointness makes this
+    /// vector sorted too, which the window search relies on.
+    ends: Vec<Word>,
+    sets: Vec<WriterSetId>,
+    interner: SetInterner,
+}
+
+impl Default for WriterIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriterIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        WriterIndex {
+            starts: Vec::new(),
+            ends: Vec::new(),
+            sets: Vec::new(),
+            interner: SetInterner::new(),
+        }
+    }
+
+    /// Indices of the entries overlapping `[a, e)`: `lo..hi`.
+    #[inline]
+    fn window(&self, a: Word, e: Word) -> (usize, usize) {
+        let lo = self.ends.partition_point(|&x| x <= a);
+        let hi = self.starts.partition_point(|&s| s < e);
+        (lo, hi.max(lo))
+    }
+
+    /// Replaces entries `lo..hi` with `repl`, coalescing touching
+    /// equal-set segments.
+    fn splice(&mut self, lo: usize, hi: usize, repl: Vec<(Word, Word, WriterSetId)>) {
+        let mut merged: Vec<(Word, Word, WriterSetId)> = Vec::with_capacity(repl.len());
+        for seg in repl {
+            debug_assert!(seg.0 < seg.1, "non-empty segment");
+            if let Some(last) = merged.last_mut() {
+                if last.1 == seg.0 && last.2 == seg.2 {
+                    last.1 = seg.1;
+                    continue;
+                }
+            }
+            merged.push(seg);
+        }
+        self.starts.splice(lo..hi, merged.iter().map(|s| s.0));
+        self.ends.splice(lo..hi, merged.iter().map(|s| s.1));
+        self.sets.splice(lo..hi, merged.iter().map(|s| s.2));
+    }
+
+    /// Records that `p` was granted WRITE over `[addr, addr+size)`:
+    /// existing intervals split at the grant's boundaries and union `p`
+    /// in; uncovered gaps become `{p}` intervals. Idempotent.
+    pub fn add(&mut self, p: PrincipalId, addr: Word, size: u64) {
+        let size = clamp_size(addr, size);
+        if size == 0 {
+            return;
+        }
+        let e = addr + size;
+        let (wlo, whi) = self.window(addr, e);
+        let mut lo = wlo;
+        let mut hi = whi;
+        let mut out = Vec::new();
+        // Pull a touching left neighbor into the splice so a coalescible
+        // boundary merges instead of fragmenting.
+        if wlo > 0 && self.ends[wlo - 1] == addr {
+            lo = wlo - 1;
+            out.push((self.starts[lo], self.ends[lo], self.sets[lo]));
+        }
+        let mut cursor = addr;
+        for j in wlo..whi {
+            let (s, en, sid) = (self.starts[j], self.ends[j], self.sets[j]);
+            let ov_lo = s.max(addr);
+            let ov_hi = en.min(e);
+            if s < ov_lo {
+                out.push((s, ov_lo, sid));
+            }
+            if cursor < ov_lo {
+                let single = self.interner.singleton(p);
+                out.push((cursor, ov_lo, single));
+            }
+            let merged = self.interner.with(sid, p);
+            out.push((ov_lo, ov_hi, merged));
+            if en > ov_hi {
+                out.push((ov_hi, en, sid));
+            }
+            cursor = ov_hi;
+        }
+        if cursor < e {
+            let single = self.interner.singleton(p);
+            out.push((cursor, e, single));
+        }
+        if whi < self.starts.len() && self.starts[whi] == e {
+            out.push((self.starts[whi], self.ends[whi], self.sets[whi]));
+            hi = whi + 1;
+        }
+        self.splice(lo, hi, out);
+    }
+
+    /// Removes `p` from the writer sets of `[addr, addr+size)`, splitting
+    /// intervals at the boundaries; intervals whose set empties are
+    /// dropped. A no-op where `p` is not a writer.
+    ///
+    /// Callers revoking one grant must afterwards [`add`](Self::add) back
+    /// any of `p`'s *other* grants still overlapping the range — the
+    /// index stores merged coverage, not individual grants.
+    pub fn remove(&mut self, p: PrincipalId, addr: Word, size: u64) {
+        let size = clamp_size(addr, size);
+        if size == 0 {
+            return;
+        }
+        let e = addr + size;
+        let (wlo, whi) = self.window(addr, e);
+        let mut lo = wlo;
+        let mut hi = whi;
+        let mut out = Vec::new();
+        if wlo > 0 && self.ends[wlo - 1] == addr {
+            lo = wlo - 1;
+            out.push((self.starts[lo], self.ends[lo], self.sets[lo]));
+        }
+        for j in wlo..whi {
+            let (s, en, sid) = (self.starts[j], self.ends[j], self.sets[j]);
+            let ov_lo = s.max(addr);
+            let ov_hi = en.min(e);
+            if s < ov_lo {
+                out.push((s, ov_lo, sid));
+            }
+            let shrunk = self.interner.without(sid, p);
+            if shrunk != EMPTY_WRITERS {
+                out.push((ov_lo, ov_hi, shrunk));
+            }
+            if en > ov_hi {
+                out.push((ov_hi, en, sid));
+            }
+        }
+        if whi < self.starts.len() && self.starts[whi] == e {
+            out.push((self.starts[whi], self.ends[whi], self.sets[whi]));
+            hi = whi + 1;
+        }
+        self.splice(lo, hi, out);
+    }
+
+    /// True if any writer interval overlaps `[addr, addr+len)` (query end
+    /// saturates at `Word::MAX`).
+    pub fn overlaps(&self, addr: Word, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let e = addr.saturating_add(len);
+        let (lo, hi) = self.window(addr, e);
+        lo < hi
+    }
+
+    /// Deduplicated writer principals of `[addr, addr+len)`, in interval
+    /// order. Allocation-free: the iterator yields straight out of the
+    /// interned sets (the common case is a single covering interval).
+    pub fn writers_over(&self, addr: Word, len: u64) -> WritersOver<'_> {
+        let (lo, hi) = if len == 0 {
+            (0, 0)
+        } else {
+            let e = addr.saturating_add(len);
+            self.window(addr, e)
+        };
+        WritersOver {
+            index: self,
+            lo,
+            hi,
+            j: lo,
+            k: 0,
+        }
+    }
+
+    /// The interned set for an id (diagnostics / bench assertions).
+    pub fn set(&self, id: WriterSetId) -> &[PrincipalId] {
+        self.interner.get(id)
+    }
+
+    /// Number of live intervals (diagnostics).
+    pub fn interval_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Number of distinct interned writer sets ever created, including
+    /// the empty set (diagnostics; interned sets are never freed).
+    pub fn set_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Iterates `(start, end, writers)` over all intervals (diagnostics).
+    pub fn intervals(&self) -> impl Iterator<Item = (Word, Word, &[PrincipalId])> + '_ {
+        (0..self.starts.len()).map(move |i| {
+            (
+                self.starts[i],
+                self.ends[i],
+                self.interner.get(self.sets[i]),
+            )
+        })
+    }
+
+    /// Panics unless the structural invariants hold: sorted disjoint
+    /// non-empty intervals, non-empty sorted writer sets, and no
+    /// coalescible (touching, equal-set) neighbors. Test/proptest hook.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert_eq!(self.starts.len(), self.ends.len());
+        assert_eq!(self.starts.len(), self.sets.len());
+        for i in 0..self.starts.len() {
+            assert!(self.starts[i] < self.ends[i], "interval {i} non-empty");
+            assert_ne!(self.sets[i], EMPTY_WRITERS, "interval {i} has writers");
+            let set = self.interner.get(self.sets[i]);
+            assert!(!set.is_empty());
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "set sorted");
+            if i + 1 < self.starts.len() {
+                assert!(self.ends[i] <= self.starts[i + 1], "disjoint + sorted");
+                assert!(
+                    !(self.ends[i] == self.starts[i + 1] && self.sets[i] == self.sets[i + 1]),
+                    "touching equal-set intervals must coalesce"
+                );
+            }
+        }
+    }
+}
+
+/// Iterator over the deduplicated writers of a range; see
+/// [`WriterIndex::writers_over`].
+pub struct WritersOver<'a> {
+    index: &'a WriterIndex,
+    lo: usize,
+    hi: usize,
+    j: usize,
+    k: usize,
+}
+
+impl Iterator for WritersOver<'_> {
+    type Item = PrincipalId;
+
+    fn next(&mut self) -> Option<PrincipalId> {
+        while self.j < self.hi {
+            let sid = self.index.sets[self.j];
+            let set = self.index.interner.get(sid);
+            while self.k < set.len() {
+                let w = set[self.k];
+                self.k += 1;
+                // Skip principals already yielded from an earlier
+                // overlapping interval (ranges rarely span more than one,
+                // so this loop body almost never runs).
+                let dup = (self.lo..self.j).any(|jj| {
+                    let sj = self.index.sets[jj];
+                    sj == sid || self.index.interner.get(sj).binary_search(&w).is_ok()
+                });
+                if !dup {
+                    return Some(w);
+                }
+            }
+            self.j += 1;
+            self.k = 0;
+        }
+        None
+    }
+}
+
+// --------------------------------------------------------------- baseline
+
+/// The paper's writer lookup (§5): one WRITE table per principal, every
+/// table probed on every query. Superseded on the indirect-call slow
+/// path by [`WriterIndex`]; kept as the measured baseline for
+/// `lxfi-bench`'s `writer_index` benches and as a property-test oracle,
+/// mirroring the `LinearWriteTable` treatment of the WRITE-table
+/// refactor.
+#[derive(Debug, Default)]
+pub struct LinearWriterIndex {
+    tables: Vec<WriteTable>,
+}
+
+impl LinearWriterIndex {
+    /// Creates an empty baseline index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn table_mut(&mut self, p: PrincipalId) -> &mut WriteTable {
+        let i = p.0 as usize;
+        if i >= self.tables.len() {
+            self.tables.resize_with(i + 1, WriteTable::new);
+        }
+        &mut self.tables[i]
+    }
+
+    /// Grants `[addr, addr+size)` to `p`.
+    pub fn grant(&mut self, p: PrincipalId, addr: Word, size: u64) {
+        self.table_mut(p).grant(addr, size);
+    }
+
+    /// Revokes the exact grant `(addr, size)` from `p`.
+    pub fn revoke(&mut self, p: PrincipalId, addr: Word, size: u64) -> bool {
+        self.table_mut(p).revoke(addr, size)
+    }
+
+    /// Revokes every grant of `p` intersecting `[addr, addr+size)`.
+    pub fn revoke_overlapping(&mut self, p: PrincipalId, addr: Word, size: u64) -> usize {
+        self.table_mut(p).revoke_overlapping(addr, size)
+    }
+
+    /// The global walk: every principal's table probed for overlap with
+    /// `[addr, addr+len)` — linear in principals, allocating per call.
+    pub fn writers_of(&self, addr: Word, len: u64) -> Vec<PrincipalId> {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.overlaps(addr, len))
+            .map(|(i, _)| PrincipalId(i as u32))
+            .collect()
+    }
+
+    /// Number of principal slots (diagnostics).
+    pub fn principal_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: PrincipalId = PrincipalId(0);
+    const P1: PrincipalId = PrincipalId(1);
+    const P2: PrincipalId = PrincipalId(2);
+
+    fn writers(ix: &WriterIndex, addr: Word, len: u64) -> Vec<PrincipalId> {
+        ix.writers_over(addr, len).collect()
+    }
+
+    #[test]
+    fn single_grant_single_writer() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 64);
+        ix.check_invariants();
+        assert_eq!(writers(&ix, 0x1000, 8), vec![P0]);
+        assert_eq!(writers(&ix, 0x103f, 8), vec![P0], "tail byte overlaps");
+        assert!(writers(&ix, 0x1040, 8).is_empty());
+        assert!(
+            writers(&ix, 0xff8, 8).is_empty(),
+            "exclusive end: [0xff8, 0x1000) misses the grant"
+        );
+    }
+
+    #[test]
+    fn overlapping_grants_union_and_split() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 0x100);
+        ix.add(P1, 0x1080, 0x100);
+        ix.check_invariants();
+        assert_eq!(ix.interval_count(), 3, "split at 0x1080 and 0x1100");
+        assert_eq!(writers(&ix, 0x1000, 8), vec![P0]);
+        assert_eq!(writers(&ix, 0x1080, 8), vec![P0, P1]);
+        assert_eq!(writers(&ix, 0x1100, 8), vec![P1]);
+        // A probe spanning the split point still yields each writer once.
+        assert_eq!(writers(&ix, 0x107c, 8), vec![P0, P1]);
+    }
+
+    #[test]
+    fn remove_merges_back() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 0x100);
+        ix.add(P1, 0x1080, 0x10);
+        assert_eq!(ix.interval_count(), 3);
+        ix.remove(P1, 0x1080, 0x10);
+        ix.check_invariants();
+        assert_eq!(ix.interval_count(), 1, "splits coalesce after removal");
+        assert_eq!(writers(&ix, 0x1080, 8), vec![P0]);
+    }
+
+    #[test]
+    fn remove_creates_gap() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 0x30);
+        ix.remove(P0, 0x1010, 0x10);
+        ix.check_invariants();
+        assert_eq!(ix.interval_count(), 2);
+        assert_eq!(writers(&ix, 0x1000, 8), vec![P0]);
+        assert!(writers(&ix, 0x1010, 8).is_empty());
+        assert_eq!(writers(&ix, 0x1020, 8), vec![P0]);
+        // A probe across the gap still finds P0 exactly once.
+        assert_eq!(writers(&ix, 0x1008, 0x20), vec![P0]);
+    }
+
+    #[test]
+    fn idempotent_add_does_not_fragment() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 0x100);
+        ix.add(P0, 0x1040, 0x10); // interior re-grant, same writer
+        ix.check_invariants();
+        assert_eq!(ix.interval_count(), 1, "equal-set splits re-coalesce");
+    }
+
+    #[test]
+    fn adjacent_same_set_coalesces() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 0x40);
+        ix.add(P0, 0x1040, 0x40);
+        ix.check_invariants();
+        assert_eq!(ix.interval_count(), 1);
+        assert_eq!(writers(&ix, 0x1038, 16), vec![P0]);
+    }
+
+    #[test]
+    fn three_writers_dedup_across_intervals() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 0x100);
+        ix.add(P1, 0x1000, 0x80);
+        ix.add(P2, 0x1040, 0x100);
+        ix.check_invariants();
+        let all = writers(&ix, 0x1000, 0x200);
+        assert_eq!(all, vec![P0, P1, P2]);
+        assert_eq!(writers(&ix, 0x1060, 8), vec![P0, P1, P2]);
+        assert_eq!(writers(&ix, 0x1090, 8), vec![P0, P2]);
+    }
+
+    #[test]
+    fn near_max_saturates() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, u64::MAX - 8, 16); // clamps to [MAX-8, MAX)
+        ix.check_invariants();
+        assert_eq!(writers(&ix, u64::MAX - 4, 8), vec![P0]);
+        assert!(writers(&ix, u64::MAX, 8).is_empty(), "empty clamped probe");
+        ix.add(P1, u64::MAX, 8); // clamps to nothing
+        assert_eq!(ix.interval_count(), 1);
+        ix.remove(P0, u64::MAX - 8, 16);
+        assert_eq!(ix.interval_count(), 0);
+    }
+
+    #[test]
+    fn zero_len_probe_is_empty() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 64);
+        assert!(writers(&ix, 0x1010, 0).is_empty());
+        assert!(!ix.overlaps(0x1010, 0));
+    }
+
+    #[test]
+    fn set_interning_shares_ids() {
+        let mut ix = WriterIndex::new();
+        for i in 0..8u64 {
+            ix.add(P0, 0x1000 + i * 0x100, 0x40);
+            ix.add(P1, 0x1000 + i * 0x100, 0x40);
+        }
+        ix.check_invariants();
+        // 8 disjoint {P0,P1} regions but only 4 sets ever interned:
+        // {}, {P0}, {P0,P1} — plus nothing else.
+        assert_eq!(ix.interval_count(), 8);
+        assert_eq!(ix.set_count(), 3);
+    }
+
+    #[test]
+    fn linear_baseline_agrees() {
+        let mut ix = WriterIndex::new();
+        let mut lin = LinearWriterIndex::new();
+        let ops: &[(PrincipalId, Word, u64)] = &[
+            (P0, 0x1000, 0x100),
+            (P1, 0x1080, 0x100),
+            (P2, 0x10f8, 0x10),
+            (P0, 0x3000, 0x40),
+        ];
+        for &(p, a, s) in ops {
+            ix.add(p, a, s);
+            lin.grant(p, a, s);
+        }
+        for probe in [0x1000u64, 0x1080, 0x10f8, 0x1100, 0x2000, 0x3000] {
+            let mut got = writers(&ix, probe, 8);
+            got.sort();
+            assert_eq!(got, lin.writers_of(probe, 8), "probe {probe:#x}");
+        }
+    }
+}

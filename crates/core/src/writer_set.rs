@@ -9,9 +9,12 @@
 //! are bitmaps, one bit per 64-byte granule, meaning "some principal has
 //! been *granted WRITE* over this granule since it was last zeroed". A
 //! clear bit proves the writer set is empty (no false negatives); a set
-//! bit sends the check down the slow path, which walks the global
-//! principal list asking who actually holds WRITE coverage — set bits for
-//! granules nobody can write anymore are benign false positives.
+//! bit sends the check down the slow path, which consults the reverse
+//! writer index ([`crate::writer_index`]) for who actually holds WRITE
+//! coverage — set bits for granules nobody can write anymore are benign
+//! false positives. (The paper's slow path walked the global principal
+//! list instead; that traversal survives as the benchmarked
+//! `LinearWriterIndex` baseline.)
 
 use std::collections::HashMap;
 
@@ -40,8 +43,11 @@ impl WriterMap {
     }
 
     /// Marks `[addr, addr+len)` as possibly module-written (called on
-    /// every WRITE-capability grant).
+    /// every WRITE-capability grant). The end saturates at `Word::MAX`
+    /// (exclusive), matching the capability tables' overflow discipline;
+    /// a mark starting at `Word::MAX` covers nothing.
     pub fn mark(&mut self, addr: Word, len: u64) {
+        let len = len.min(Word::MAX - addr);
         if len == 0 {
             return;
         }
@@ -78,8 +84,9 @@ impl WriterMap {
             return;
         }
         // Only granules *fully* inside the zeroed range may be cleared.
+        // The zeroed end saturates like every other range end.
         let first = addr.div_ceil(1 << GRANULE_SHIFT);
-        let last = (addr + len) >> GRANULE_SHIFT; // exclusive
+        let last = addr.saturating_add(len) >> GRANULE_SHIFT; // exclusive
         let mut g = first;
         while g < last {
             let base = g << GRANULE_SHIFT;
@@ -151,6 +158,25 @@ mod tests {
         m.clear_zeroed(0x3010, 0x80, |_| false);
         assert!(m.maybe_written(0x3000));
         assert!(!m.maybe_written(0x3040));
+    }
+
+    #[test]
+    fn near_max_marks_saturate() {
+        let mut m = WriterMap::new();
+        // Nominal end MAX+8 saturates to [MAX-8, MAX); must not overflow.
+        m.mark(u64::MAX - 8, 16);
+        assert!(m.maybe_written(u64::MAX - 8));
+        assert!(m.maybe_written(u64::MAX - 1));
+        // A mark starting at MAX covers nothing.
+        let mut m2 = WriterMap::new();
+        m2.mark(u64::MAX, 8);
+        assert_eq!(m2.dirty_pages(), 0);
+        // Saturating clear_zeroed must not overflow. The top granule
+        // reaches byte MAX, which no saturated (exclusive-end) range can
+        // fully contain — so its bit conservatively stays set.
+        m.clear_zeroed(u64::MAX - 0x1000, u64::MAX, |_| false);
+        assert!(m.maybe_written(u64::MAX - 8));
+        assert!(!m.maybe_written(u64::MAX - 0x80));
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   `pre` actions, interpretation of the module function, `post`
 //!   actions, wrapper exit.
 //! - **kernel indirect calls** ([`Kernel::indirect_call`] for native code,
-//!   `GuardIndCall` for rewritten kernel thunks): writer-set check, CALL
-//!   capability of the writer, annotation-hash match — then dispatch.
+//!   `GuardIndCall` for rewritten kernel thunks): writer-set bitmap check,
+//!   then — on the slow path — the reverse writer index resolves the
+//!   slot's writer principals (sublinear in principals, §5), each of
+//!   which must hold CALL for the target, plus the annotation-hash match
+//!   — then dispatch.
 //!
 //! A policy violation anywhere escalates to a **kernel panic** (§3); a
 //! machine fault (NULL dereference) goes down the **oops** path, which
