@@ -124,6 +124,25 @@ fn write_table_benches(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Revoke-heavy churn: guarded store with an unrelated instance's
+    // grant revoked+re-granted in the same iteration (the churn is part
+    // of the measured loop here; the table harness separates them).
+    let mut group = c.benchmark_group("guard_write_revoke_churn_64");
+    use lxfi_bench::guards::{churn_unrelated, revoke_heavy_runtime};
+    let (mut rt, t, ps) = revoke_heavy_runtime(64);
+    group.bench_function("steady_store", |b| {
+        b.iter(|| rt.check_write(t, std::hint::black_box(ARENA), 8).unwrap())
+    });
+    let mut i = 0u64;
+    group.bench_function("unrelated_revoke_plus_store", |b| {
+        b.iter(|| {
+            churn_unrelated(&mut rt, &ps, i);
+            i += 1;
+            rt.check_write(t, std::hint::black_box(ARENA), 8).unwrap()
+        })
+    });
+    group.finish();
 }
 
 criterion_group! {

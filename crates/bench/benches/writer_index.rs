@@ -67,8 +67,28 @@ fn indcall_slow_path_bench(c: &mut Criterion) {
     });
 }
 
+/// Grant/revoke splice latency at 512 principals, 1/4/16 shards over an
+/// identical 2048-interval population.
+fn splice_benches(c: &mut Criterion) {
+    use lxfi_bench::writer_index::{bench_sharded_index, splice_churn_op, SPLICE_SHARD_COUNTS};
+    let mut group = c.benchmark_group("splice_churn_512_principals");
+    for &shards in &SPLICE_SHARD_COUNTS {
+        let mut ix = bench_sharded_index(512, shards);
+        let mut i = 0u64;
+        let name = format!("{shards}_shards");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                splice_churn_op(&mut ix, 512, i);
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     lookup_benches(c);
+    splice_benches(c);
     indcall_slow_path_bench(c);
 }
 

@@ -2,18 +2,27 @@
 //!
 //! Usage: `perf_gate <baseline.json> <current.json>`
 //!
-//! Both files are flat JSON objects of `"key": ns` pairs as emitted by
-//! `table_guard_costs --json`. The gate is **ratio-based** so it is
-//! hostname-tolerant: for each optimized structure it compares the
-//! *speedup ratio* `optimized_ns / baseline_structure_ns` measured now
-//! against the same ratio recorded in `baseline.json`, and fails when
-//! the current ratio regresses more than [`REGRESSION_FACTOR`]× — a
-//! slower machine scales both numerators and denominators, but a code
-//! regression moves the ratio.
+//! Both files are flat JSON objects of `"key": value` pairs as emitted
+//! by `table_guard_costs --json`. Every check is evaluated and printed
+//! as one row of a pass/fail table (no first-failure bailout); the exit
+//! status reflects the whole set.
 //!
-//! Two absolute-structure floors are also enforced: the interval WRITE
-//! table must beat the linear scan, and the reverse writer index must
-//! beat the 512-principal walk by ≥5x (the PR acceptance bar).
+//! Two kinds of checks run:
+//!
+//! - **Ratio checks** are hostname-tolerant: for each optimized
+//!   structure the *speedup ratio* `optimized_ns / baseline_structure_ns`
+//!   measured now is compared against the same ratio recorded in
+//!   `baseline.json`, failing when it regresses more than
+//!   [`REGRESSION_FACTOR`]× — a slower machine scales numerator and
+//!   denominator together, but a code regression moves the ratio.
+//! - **Absolute floors** hold regardless of the recorded baseline: the
+//!   interval WRITE table beats the linear scan; the reverse writer
+//!   index beats the 512-principal walk by ≥5x; the post-unrelated-
+//!   revoke cached store stays under the uncached probe *and* within
+//!   1.5x of the steady-state cached store (+2 ns noise allowance at
+//!   single-digit-ns scale); the revoke-heavy cache hit rate stays
+//!   ≥95%; and the 4-shard splice beats the unsharded splice at 512
+//!   principals.
 //!
 //! Exit status: 0 = pass, 1 = regression, 2 = bad input.
 
@@ -24,8 +33,13 @@ use std::process::ExitCode;
 /// baseline ratio before the gate fails.
 const REGRESSION_FACTOR: f64 = 2.0;
 
-/// `(label, optimized key, reference key)` — the gated structures.
-const GATED: [(&str, &str, &str); 7] = [
+/// Absolute tolerance (ns) added to the post-revoke-vs-steady floor:
+/// both quantities are single-digit cache hits, where per-call timing
+/// noise is a meaningful fraction of the value.
+const POST_REVOKE_SLACK_NS: f64 = 2.0;
+
+/// `(label, optimized key, reference key)` — the ratio-gated structures.
+const GATED: [(&str, &str, &str); 12] = [
     ("write-table hit", "interval_hit_ns", "linear_hit_ns"),
     ("write-table miss", "interval_miss_ns", "linear_miss_ns"),
     (
@@ -49,7 +63,43 @@ const GATED: [(&str, &str, &str); 7] = [
         "writer_index_512_ns",
         "writer_index_8_ns",
     ),
+    (
+        "revoke-heavy @8 (post/uncached)",
+        "revoke_heavy_8_post_revoke_ns",
+        "revoke_heavy_8_uncached_ns",
+    ),
+    (
+        "revoke-heavy @64 (post/uncached)",
+        "revoke_heavy_64_post_revoke_ns",
+        "revoke_heavy_64_uncached_ns",
+    ),
+    (
+        "revoke-heavy @512 (post/uncached)",
+        "revoke_heavy_512_post_revoke_ns",
+        "revoke_heavy_512_uncached_ns",
+    ),
+    (
+        "splice 4-shard/unsharded @512",
+        "splice_512p_4shard_ns",
+        "splice_512p_1shard_ns",
+    ),
+    (
+        "splice 16-shard/unsharded @512",
+        "splice_512p_16shard_ns",
+        "splice_512p_1shard_ns",
+    ),
 ];
+
+/// One evaluated gate row.
+struct Check {
+    label: String,
+    /// Baseline quantity (`None` for absolute floors).
+    baseline: Option<f64>,
+    current: f64,
+    /// Upper bound `current` must stay at or below.
+    limit: f64,
+    pass: bool,
+}
 
 /// Parses a flat JSON object of string→number pairs. Deliberately
 /// minimal (the workspace vendors no serde): accepts exactly the shape
@@ -88,10 +138,16 @@ fn load(path: &str) -> Result<HashMap<String, f64>, String> {
     parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+fn get(m: &HashMap<String, f64>, key: &str, src: &str) -> Result<f64, String> {
+    m.get(key)
+        .copied()
+        .ok_or_else(|| format!("{src}: missing {key}"))
+}
+
 fn ratio(m: &HashMap<String, f64>, num: &str, den: &str, src: &str) -> Result<f64, String> {
-    let n = m.get(num).ok_or_else(|| format!("{src}: missing {num}"))?;
-    let d = m.get(den).ok_or_else(|| format!("{src}: missing {den}"))?;
-    if *d <= 0.0 {
+    let n = get(m, num, src)?;
+    let d = get(m, den, src)?;
+    if d <= 0.0 {
         return Err(format!("{src}: {den} must be positive"));
     }
     Ok(n / d)
@@ -100,54 +156,129 @@ fn ratio(m: &HashMap<String, f64>, num: &str, den: &str, src: &str) -> Result<f6
 fn run(baseline_path: &str, current_path: &str) -> Result<bool, String> {
     let baseline = load(baseline_path)?;
     let current = load(current_path)?;
-    let mut ok = true;
+    let mut checks: Vec<Check> = Vec::new();
 
-    println!("perf gate: current ratios vs {baseline_path} (fail > {REGRESSION_FACTOR}x)\n");
-    println!(
-        "{:<38} {:>10} {:>10} {:>8}  verdict",
-        "structure", "baseline", "current", "margin"
-    );
+    // Ratio checks: current ratio vs recorded ratio, REGRESSION_FACTOR.
     for (label, num, den) in GATED {
         let base = ratio(&baseline, num, den, baseline_path)?;
         let cur = ratio(&current, num, den, current_path)?;
-        let margin = cur / base;
-        let pass = margin <= REGRESSION_FACTOR;
-        ok &= pass;
-        println!(
-            "{:<38} {:>10.4} {:>10.4} {:>7.2}x  {}",
-            label,
-            base,
-            cur,
-            margin,
-            if pass { "ok" } else { "REGRESSED" }
-        );
+        checks.push(Check {
+            label: label.to_string(),
+            baseline: Some(base),
+            current: cur,
+            limit: base * REGRESSION_FACTOR,
+            pass: cur <= base * REGRESSION_FACTOR,
+        });
     }
 
     // Absolute floors, independent of the recorded baseline.
+    let mut floor = |label: String, current: f64, limit: f64| {
+        checks.push(Check {
+            label,
+            baseline: None,
+            current,
+            limit,
+            pass: current <= limit,
+        });
+    };
+
     let interval = ratio(&current, "interval_hit_ns", "linear_hit_ns", current_path)?;
-    if interval >= 1.0 {
-        ok = false;
-        println!("\ninterval WRITE table no longer beats the linear scan ({interval:.2}x)");
-    }
+    floor("floor: interval/linear hit < 1".into(), interval, 1.0);
     let wi512 = ratio(
         &current,
         "writer_index_512_ns",
         "writer_linear_512_ns",
         current_path,
     )?;
-    if wi512 > 0.2 {
-        ok = false;
-        println!(
-            "\nreverse writer index under 5x vs the 512-principal walk \
-             ({:.1}x)",
-            1.0 / wi512.max(1e-9)
+    floor(
+        "floor: writer index ≥5x @512 (ratio ≤0.2)".into(),
+        wi512,
+        0.2,
+    );
+
+    for n in [8u32, 64, 512] {
+        let steady = get(
+            &current,
+            &format!("revoke_heavy_{n}_steady_ns"),
+            current_path,
+        )?;
+        let post = get(
+            &current,
+            &format!("revoke_heavy_{n}_post_revoke_ns"),
+            current_path,
+        )?;
+        let uncached = get(
+            &current,
+            &format!("revoke_heavy_{n}_uncached_ns"),
+            current_path,
+        )?;
+        let hit_rate = get(
+            &current,
+            &format!("revoke_heavy_{n}_hit_rate"),
+            current_path,
+        )?;
+        // The tentpole acceptance bar: an unrelated revoke between two
+        // guarded stores must not degrade the second store to uncached
+        // cost…
+        floor(
+            format!("floor: post-revoke < uncached @{n}"),
+            post,
+            uncached,
         );
-    } else {
-        println!(
-            "\nreverse writer index beats the 512-principal walk by {:.1}x (floor: 5x)",
-            1.0 / wi512.max(1e-9)
+        // …and must stay within 1.5x of the steady-state cached hit.
+        floor(
+            format!("floor: post-revoke ≤ 1.5x steady @{n}"),
+            post,
+            1.5 * steady + POST_REVOKE_SLACK_NS,
+        );
+        // Deterministic half of the same claim: the epoch cache keeps
+        // hitting (expressed as miss rate ≤ 5% so the row reads as an
+        // upper bound like every other).
+        floor(
+            format!("floor: churn miss rate ≤5% @{n}"),
+            1.0 - hit_rate,
+            0.05,
         );
     }
+    let splice4 = ratio(
+        &current,
+        "splice_512p_4shard_ns",
+        "splice_512p_1shard_ns",
+        current_path,
+    )?;
+    floor(
+        "floor: 4-shard splice < unsharded @512".into(),
+        splice4,
+        1.0,
+    );
+
+    // Report: one row per check, no first-failure bailout.
+    println!(
+        "perf gate: {current_path} vs {baseline_path} \
+         (ratio rows fail beyond {REGRESSION_FACTOR}x of baseline)\n"
+    );
+    println!(
+        "{:<42} {:>10} {:>10} {:>10}  verdict",
+        "check", "baseline", "current", "limit"
+    );
+    let mut ok = true;
+    for c in &checks {
+        ok &= c.pass;
+        let base = c
+            .baseline
+            .map(|b| format!("{b:>10.4}"))
+            .unwrap_or_else(|| format!("{:>10}", "-"));
+        println!(
+            "{:<42} {} {:>10.4} {:>10.4}  {}",
+            c.label,
+            base,
+            c.current,
+            c.limit,
+            if c.pass { "ok" } else { "FAIL" }
+        );
+    }
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    println!("\n{} checks, {} failed", checks.len(), failed);
     Ok(ok)
 }
 
@@ -159,11 +290,11 @@ fn main() -> ExitCode {
     };
     match run(baseline, current) {
         Ok(true) => {
-            println!("\nperf gate: PASS");
+            println!("perf gate: PASS");
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            println!("\nperf gate: FAIL");
+            println!("perf gate: FAIL");
             ExitCode::from(1)
         }
         Err(e) => {

@@ -1,15 +1,18 @@
 //! Regenerates Figure 13 (guards per packet, per-guard cost on the
 //! UDP_STREAM TX workload) plus the guard-structure latency comparisons:
-//! WRITE-table interval index vs linear scan, the write-guard cache, and
-//! the reverse writer index vs the global principal walk.
+//! WRITE-table interval index vs linear scan, the epoch-validated write
+//! guard cache under revoke-heavy churn, grant/revoke splice latency at
+//! 1/4/16 writer-index shards, and the reverse writer index vs the
+//! global principal walk.
 //!
-//! `--json` emits the latency numbers as a flat JSON object (stable
-//! keys, ns values) for the CI perf gate (`perf_gate`) and the workflow
-//! artifact; the human tables are suppressed in that mode.
+//! `--json` emits the measurements as a flat JSON object (stable keys;
+//! `*_ns` latencies, `*_rate` fractions, and raw guard counters) for the
+//! CI perf gate (`perf_gate`) and the workflow artifact; the human
+//! tables are suppressed in that mode.
 
 use lxfi_bench::{guards, render_table, writer_index};
 
-/// Measured latencies, as `(key, ns)` pairs with stable names.
+/// Measured values, as `(key, value)` pairs with stable names.
 fn measurements(iters: u64) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let tables = guards::write_table_comparison(512, iters);
@@ -26,6 +29,34 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
             row.linear_ns,
         ));
         out.push((format!("writer_index_{}_ns", row.principals), row.index_ns));
+    }
+    // Revoke-heavy churn: per-call store latencies, the cache hit rate
+    // the epoch design guarantees, and the raw counters behind it.
+    for row in guards::revoke_heavy_rows(iters / 4) {
+        let n = row.principals;
+        out.push((format!("revoke_heavy_{n}_steady_ns"), row.steady_ns));
+        out.push((
+            format!("revoke_heavy_{n}_post_revoke_ns"),
+            row.post_revoke_ns,
+        ));
+        out.push((format!("revoke_heavy_{n}_uncached_ns"), row.uncached_ns));
+        out.push((format!("revoke_heavy_{n}_hit_rate"), row.hit_rate));
+        out.push((
+            format!("revoke_heavy_{n}_cache_hits"),
+            row.cache_hits as f64,
+        ));
+        out.push((
+            format!("revoke_heavy_{n}_cache_misses"),
+            row.cache_misses as f64,
+        ));
+        out.push((
+            format!("revoke_heavy_{n}_epoch_bumps"),
+            row.epoch_bumps as f64,
+        ));
+    }
+    // Grant/revoke splice latency vs shard count, 512 principals.
+    for row in writer_index::splice_rows(iters / 10) {
+        out.push((format!("splice_512p_{}shard_ns", row.shards), row.churn_ns));
     }
     out
 }
@@ -101,6 +132,50 @@ fn main() {
         cache.hit_rate * 100.0,
         cache.rotating_ns
     );
+
+    println!("\nRevoke-heavy write guard (per-store host ns; an unrelated\ninstance's grant revoked+re-granted between stores):\n");
+    let rows: Vec<Vec<String>> = guards::revoke_heavy_rows(50_000)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.principals),
+                format!("{:.1}", r.steady_ns),
+                format!("{:.1}", r.post_revoke_ns),
+                format!("{:.1}", r.uncached_ns),
+                format!("{:.1}%", r.hit_rate * 100.0),
+                format!("{}", r.epoch_bumps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Principals",
+                "Steady ns",
+                "Post-revoke ns",
+                "Uncached ns",
+                "Hit rate",
+                "Epoch bumps"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nThe epoch cache keeps the post-revoke store at cached cost (the\n\
+         churned instances' epochs bump, the writer's does not); before,\n\
+         every revoke cleared the global one-entry cache and the next\n\
+         store paid the uncached interval probe."
+    );
+
+    println!(
+        "\nGrant/revoke splice latency vs writer-index shards (512\nprincipals, 2048 intervals):\n"
+    );
+    let rows: Vec<Vec<String>> = writer_index::splice_rows(20_000)
+        .into_iter()
+        .map(|r| vec![format!("{}", r.shards), format!("{:.1}", r.churn_ns)])
+        .collect();
+    println!("{}", render_table(&["Shards", "Churn ns"], &rows));
 
     println!("\nInd-call slow path: writers_of(slot) latency (host ns):\n");
     let rows: Vec<Vec<String>> = writer_index::writer_lookup_rows(200_000)

@@ -140,11 +140,20 @@ pub struct WriteTableLatency {
 }
 
 fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
-    let t = Instant::now();
-    for _ in 0..iters {
-        f();
+    // Minimum over three batches: a latency estimate robust to the
+    // scheduler descheduling one batch on a shared CI runner (a single
+    // preemption inflates a mean arbitrarily, and the perf gate's
+    // tightest rows sit at tens of ns).
+    let batch = (iters / 3).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / batch as f64);
     }
-    t.elapsed().as_nanos() as f64 / iters.max(1) as f64
+    best
 }
 
 fn probe_sets(grants: usize) -> (Vec<u64>, Vec<u64>) {
@@ -232,6 +241,182 @@ pub fn guard_cache_comparison(grants: usize, iters: u64) -> GuardCacheLatency {
     }
 }
 
+// ---------------------------------------------- revoke-heavy workloads
+
+/// Base of the per-instance private arenas in the revoke-heavy workload.
+pub const CHURN_ARENA: u64 = 0x200_0000;
+/// Byte stride between instances' arenas.
+pub const CHURN_STRIDE: u64 = 0x1000;
+/// Grants held by the module's shared principal (the measured store's
+/// coverage comes from the instance→shared fallback, so the uncached
+/// probe pays two interval searches).
+pub const SHARED_GRANTS: usize = 512;
+
+/// Measured latencies of the write guard under capability churn:
+/// `principals` instance principals of one module, instance 0 issuing
+/// guarded stores into shared-owned memory while the *other* instances'
+/// grants are revoked and re-granted between every pair of stores.
+///
+/// With the epoch-validated cache, the unrelated churn bumps only the
+/// churned instances' epochs, so instance 0 keeps hitting its cached
+/// covering interval; the pre-epoch design cleared the (global) cache on
+/// every revoke and degraded each post-revoke store to the full
+/// interval-table probe (`uncached_ns`).
+#[derive(Debug, Clone)]
+pub struct RevokeHeavyLatency {
+    /// Number of instance principals.
+    pub principals: usize,
+    /// ns per guarded store in steady state (no churn; cache hits).
+    pub steady_ns: f64,
+    /// ns per guarded store with an unrelated revoke+grant between every
+    /// pair of stores (churn excluded from the timing).
+    pub post_revoke_ns: f64,
+    /// ns per guarded store with the cache disabled: the full
+    /// instance-miss + shared-hit interval probe every store pays when
+    /// its cache entry is gone.
+    pub uncached_ns: f64,
+    /// Cache hit rate over the churn phase (1.0 = no store degraded).
+    pub hit_rate: f64,
+    /// Raw counters over the churn phase, for the `--json` report.
+    pub cache_hits: u64,
+    /// Cache misses over the churn phase.
+    pub cache_misses: u64,
+    /// Per-principal epoch bumps the churn caused.
+    pub epoch_bumps: u64,
+}
+
+/// Per-call timing overhead of an `Instant::now()/elapsed()` pair,
+/// measured so the per-store numbers can subtract it.
+fn timer_overhead_ns() -> f64 {
+    let reps = 100_000u64;
+    let mut acc = std::time::Duration::ZERO;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        acc += t0.elapsed();
+    }
+    acc.as_nanos() as f64 / reps as f64
+}
+
+/// Builds the churn runtime: one module, `principals` instances each
+/// holding a private arena grant, and [`SHARED_GRANTS`] disjoint grants
+/// on the shared principal. Instance 0 is the measured writer; its
+/// stores land in shared-owned memory (instance table misses, shared
+/// table covers — the §3.1 fallback).
+pub fn revoke_heavy_runtime(principals: usize) -> (Runtime, ThreadId, Vec<lxfi_core::PrincipalId>) {
+    assert!(principals >= 2, "churn needs an unrelated principal");
+    let mut rt = Runtime::new();
+    let m = rt.register_module("bench");
+    let t = ThreadId(0);
+    rt.register_thread(t, 0xffff_9000_0000_0000, 0x2000);
+    let shared = rt.shared_principal(m);
+    for i in 0..SHARED_GRANTS as u64 {
+        rt.grant(shared, RawCap::write(ARENA + i * STRIDE, 8));
+    }
+    let ps: Vec<_> = (0..principals)
+        .map(|i| rt.principal_for_name(m, 0x9000 + i as u64 * 8))
+        .collect();
+    for (i, &p) in ps.iter().enumerate() {
+        rt.grant(
+            p,
+            RawCap::write(CHURN_ARENA + i as u64 * CHURN_STRIDE, 0x100),
+        );
+    }
+    rt.thread(t).set_current(Some((m, ps[0])));
+    (rt, t, ps)
+}
+
+/// The unrelated-churn step of the revoke-heavy workload: the `i`-th
+/// rotated victim instance (never instance 0, the measured writer) has
+/// its private arena grant revoked and re-granted. Shared by the table
+/// harness and the criterion bench so both measure the same churn.
+pub fn churn_unrelated(rt: &mut Runtime, ps: &[lxfi_core::PrincipalId], i: u64) {
+    let victim = 1 + (i as usize % (ps.len() - 1));
+    let cap = RawCap::write(CHURN_ARENA + victim as u64 * CHURN_STRIDE, 0x100);
+    rt.revoke(ps[victim], cap);
+    rt.grant(ps[victim], cap);
+}
+
+/// Runs the three phases of the revoke-heavy workload. Store latencies
+/// are timed per call (the interleaved churn must not pollute them)
+/// with the timer overhead subtracted.
+pub fn revoke_heavy_comparison(principals: usize, iters: u64) -> RevokeHeavyLatency {
+    let (mut rt, t, ps) = revoke_heavy_runtime(principals);
+    let overhead = timer_overhead_ns();
+    let addr = ARENA; // shared-owned; instance 0 reaches it via fallback
+
+    // Minimum over three per-call batches, overhead subtracted — the
+    // same preemption robustness as `time_ns`, per phase.
+    fn min_batches(
+        iters: u64,
+        overhead: f64,
+        mut step: impl FnMut(u64) -> std::time::Duration,
+    ) -> f64 {
+        let batch = (iters / 3).max(1);
+        let mut best = f64::INFINITY;
+        let mut i = 0u64;
+        for _ in 0..3 {
+            let mut acc = std::time::Duration::ZERO;
+            for _ in 0..batch {
+                acc += step(i);
+                i += 1;
+            }
+            best = best.min(acc.as_nanos() as f64 / batch as f64);
+        }
+        (best - overhead).max(0.0)
+    }
+
+    // Steady state: guarded stores, no churn.
+    rt.check_write(t, addr, 8).unwrap(); // prime the cache
+    let steady_ns = min_batches(iters, overhead, |_| {
+        let t0 = Instant::now();
+        rt.check_write(t, black_box(addr), 8).unwrap();
+        t0.elapsed()
+    });
+
+    // Churn: an unrelated instance's grant revoked and re-granted
+    // between every pair of guarded stores (untimed).
+    rt.stats.reset();
+    let post_revoke_ns = min_batches(iters, overhead, |i| {
+        churn_unrelated(&mut rt, &ps, i);
+        let t0 = Instant::now();
+        rt.check_write(t, black_box(addr), 8).unwrap();
+        t0.elapsed()
+    });
+    let cache_hits = rt.stats.write_cache_hits;
+    let cache_misses = rt.stats.write_cache_misses;
+    let epoch_bumps = rt.stats.epoch_bumps;
+    let hit_rate = rt.stats.write_cache_hit_rate();
+
+    // Uncached probe: what every post-revoke store cost before the
+    // epoch cache (instance-table miss + shared-table search).
+    rt.guard_cache_enabled = false;
+    let uncached_ns = min_batches(iters, overhead, |_| {
+        let t0 = Instant::now();
+        rt.check_write(t, black_box(addr), 8).unwrap();
+        t0.elapsed()
+    });
+
+    RevokeHeavyLatency {
+        principals,
+        steady_ns,
+        post_revoke_ns,
+        uncached_ns,
+        hit_rate,
+        cache_hits,
+        cache_misses,
+        epoch_bumps,
+    }
+}
+
+/// One revoke-heavy row per entry of
+/// [`crate::writer_index::PRINCIPAL_COUNTS`] (8 / 64 / 512).
+pub fn revoke_heavy_rows(iters: u64) -> Vec<RevokeHeavyLatency> {
+    crate::writer_index::PRINCIPAL_COUNTS
+        .iter()
+        .map(|&n| revoke_heavy_comparison(n, iters))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +475,23 @@ mod tests {
             interval.miss_ns,
             linear.miss_ns
         );
+    }
+
+    #[test]
+    fn revoke_heavy_churn_keeps_hitting_the_cache() {
+        // The tentpole claim, deterministic half: interleaved unrelated
+        // revokes must not evict the measured principal's cache. Before
+        // the epoch cache, the hit rate here was exactly 0.
+        let lat = revoke_heavy_comparison(64, 6_000);
+        assert_eq!(
+            lat.hit_rate, 1.0,
+            "every post-revoke store must still hit: {lat:?}"
+        );
+        assert!(lat.cache_misses == 0 && lat.cache_hits == 6_000);
+        // Each churn iteration revokes one instance grant: one bump for
+        // the instance, one for the module's global principal.
+        assert_eq!(lat.epoch_bumps, 2 * 6_000);
+        assert!(lat.steady_ns >= 0.0 && lat.post_revoke_ns >= 0.0 && lat.uncached_ns > 0.0);
     }
 
     #[test]

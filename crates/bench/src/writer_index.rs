@@ -66,11 +66,20 @@ pub struct WriterLookupLatency {
 }
 
 fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
-    let t = Instant::now();
-    for _ in 0..iters {
-        f();
+    // Minimum over three batches: a latency estimate robust to the
+    // scheduler descheduling one batch on a shared CI runner (a single
+    // preemption inflates a mean arbitrarily, and the perf gate's
+    // tightest rows sit at tens of ns).
+    let batch = (iters / 3).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / batch as f64);
     }
-    t.elapsed().as_nanos() as f64 / iters.max(1) as f64
+    best
 }
 
 /// Times `writers_of` on both structures with rotating slot probes.
@@ -108,6 +117,86 @@ pub fn writer_lookup_rows(iters: u64) -> Vec<WriterLookupLatency> {
         .collect()
 }
 
+// ------------------------------------------------- grant/revoke splices
+
+/// Base address of the splice-churn arena.
+pub const CHURN_BASE: u64 = 0x800_0000;
+/// Byte stride between churned grants.
+pub const CHURN_GRANT_STRIDE: u64 = 0x100;
+/// Grants (and therefore intervals) in the splice workload: enough that
+/// an unsharded revoke/grant memmoves a four-digit interval tail.
+pub const CHURN_GRANTS: usize = 2048;
+
+/// Shard counts the splice comparison and the CI perf gate report.
+pub const SPLICE_SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// A [`WriterIndex`] with `shards` equal-width shards over the churn
+/// arena, populated with [`CHURN_GRANTS`] disjoint grants round-robined
+/// over `principals` principals — the interval population is identical
+/// for every shard count; only the splice locality differs.
+pub fn bench_sharded_index(principals: usize, shards: usize) -> WriterIndex {
+    assert!(principals >= 1 && shards >= 1);
+    let span = CHURN_GRANTS as u64 * CHURN_GRANT_STRIDE;
+    let bounds: Vec<u64> = (1..shards as u64)
+        .map(|k| CHURN_BASE + span * k / shards as u64)
+        .collect();
+    let mut ix = WriterIndex::with_boundaries(bounds);
+    for g in 0..CHURN_GRANTS {
+        let p = PrincipalId((g % principals) as u32);
+        ix.add(p, CHURN_BASE + g as u64 * CHURN_GRANT_STRIDE, 0x80);
+    }
+    ix
+}
+
+/// Measured grant/revoke splice latency at one shard count.
+#[derive(Debug, Clone)]
+pub struct SpliceLatency {
+    /// Number of principals whose grants populate the index.
+    pub principals: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// ns per revoke+re-grant churn op (two splices).
+    pub churn_ns: f64,
+}
+
+/// One churn op of the splice workload: the `i`-th rotated grant is
+/// removed and immediately re-added (two splices). Shared by the table
+/// harness and the criterion bench so both measure the same workload.
+pub fn splice_churn_op(ix: &mut WriterIndex, principals: usize, i: u64) {
+    let g = i.wrapping_mul(13) % CHURN_GRANTS as u64;
+    let p = PrincipalId((g % principals as u64) as u32);
+    let a = CHURN_BASE + g * CHURN_GRANT_STRIDE;
+    ix.remove(std::hint::black_box(p), a, 0x80);
+    ix.add(p, a, 0x80);
+}
+
+/// Times [`splice_churn_op`] rotating across the populated grants: each
+/// op removes one interval from its shard and splices it back, so the
+/// cost is dominated by the shard's `Vec` tail memmove — the quantity
+/// sharding bounds.
+pub fn splice_comparison(principals: usize, shards: usize, iters: u64) -> SpliceLatency {
+    let mut ix = bench_sharded_index(principals, shards);
+    let mut i = 0u64;
+    let churn_ns = time_ns(iters, || {
+        splice_churn_op(&mut ix, principals, i);
+        i += 1;
+    });
+    SpliceLatency {
+        principals,
+        shards,
+        churn_ns,
+    }
+}
+
+/// One splice row per entry of [`SPLICE_SHARD_COUNTS`], at 512
+/// principals (the scale the acceptance bar names).
+pub fn splice_rows(iters: u64) -> Vec<SpliceLatency> {
+    SPLICE_SHARD_COUNTS
+        .iter()
+        .map(|&s| splice_comparison(512, s, iters))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +229,44 @@ mod tests {
             "index {:.1}ns vs linear walk {:.1}ns at 512 principals",
             lat.index_ns,
             lat.linear_ns
+        );
+    }
+
+    #[test]
+    fn sharded_and_unsharded_splice_workloads_agree() {
+        // Identical grant populations at every shard count: probes in,
+        // between, and across grants answer identically.
+        let flat = bench_sharded_index(512, 1);
+        for &s in &SPLICE_SHARD_COUNTS[1..] {
+            let sharded = bench_sharded_index(512, s);
+            assert_eq!(sharded.shard_count(), s);
+            for g in (0..CHURN_GRANTS as u64).step_by(37) {
+                let a = CHURN_BASE + g * CHURN_GRANT_STRIDE;
+                for probe in [a, a + 0x78, a + 0x80, a.wrapping_sub(8)] {
+                    let mut want: Vec<PrincipalId> = flat.writers_over(probe, 8).collect();
+                    want.sort();
+                    let mut got: Vec<PrincipalId> = sharded.writers_over(probe, 8).collect();
+                    got.sort();
+                    assert_eq!(got, want, "{s} shards, probe {probe:#x}");
+                }
+            }
+            sharded.check_invariants();
+        }
+    }
+
+    #[test]
+    fn sharded_splice_beats_unsharded_at_512() {
+        // The acceptance bar: grant/revoke splice time at 512 principals
+        // improves vs the unsharded index at ≥4 shards. The real margin
+        // tracks the shard-size ratio; asserting parity-or-better keeps
+        // the test robust on loaded machines.
+        let flat = splice_comparison(512, 1, 4_000);
+        let sharded = splice_comparison(512, 4, 4_000);
+        assert!(
+            sharded.churn_ns < flat.churn_ns,
+            "4-shard churn {:.1}ns vs unsharded {:.1}ns",
+            sharded.churn_ns,
+            flat.churn_ns
         );
     }
 

@@ -1,0 +1,170 @@
+//! Epoch-validated per-principal write-guard cache.
+//!
+//! The write guard ([`crate::Runtime::check_write`]) runs on every
+//! un-elided module store, and module code overwhelmingly issues *runs*
+//! of stores into the same few objects (packet payloads, private
+//! structs, ring descriptors). The original cache was a single global
+//! `(principal, start, end)` entry cleared by **every** revocation in
+//! the system — so a driver revoking one of *its* capabilities evicted
+//! every other module's hot store path, degrading the next store of each
+//! to a full interval-table probe.
+//!
+//! This module replaces it with a small **set-associative cache per
+//! principal** ([`WAYS`] covering intervals each), validated by a
+//! **per-principal epoch counter** owned by the runtime:
+//!
+//! - a successful guard probe inserts its covering grant interval,
+//!   stamped with the principal's current epoch;
+//! - a lookup hits only if the stamped epoch still equals the
+//!   principal's current epoch *and* a cached interval covers the write;
+//! - revocation bumps the epochs of exactly the principals whose
+//!   coverage could have shrunk (the revokee plus its hierarchy
+//!   observers, see `Runtime::bump_write_epochs`), which invalidates
+//!   their cached intervals wholesale in O(1) without touching anyone
+//!   else's.
+//!
+//! Grants never bump epochs: a cached interval asserts "this principal
+//! may write `[start, end)`", and granting *more* authority cannot
+//! falsify it. Only revocation can, and only for the principals that
+//! could observe the revoked coverage.
+//!
+//! The cache stores only positive decisions. A denied write is never
+//! cached, so a later grant is visible immediately.
+
+use lxfi_machine::Word;
+
+use crate::principal::PrincipalId;
+
+/// Associativity: covering intervals remembered per principal. Module
+/// code rarely interleaves stores into more than a handful of objects
+/// between revocations; four ways cover the packet-TX workload with a
+/// >99% hit rate while keeping lookup a few compares.
+pub const WAYS: usize = 4;
+
+/// One cached covering interval `[start, end)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct WayEntry {
+    start: Word,
+    end: Word,
+}
+
+/// One principal's cache set: up to [`WAYS`] intervals, all stamped with
+/// the epoch they were filled under. A stale epoch invalidates the whole
+/// set lazily — no revocation-time walk.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheSet {
+    epoch: u64,
+    len: u8,
+    cursor: u8,
+    ways: [WayEntry; WAYS],
+}
+
+/// The write-guard cache: one [`CacheSet`] per principal, grown lazily
+/// as principals first complete a guarded write.
+#[derive(Debug, Default)]
+pub struct WriteGuardCache {
+    sets: Vec<CacheSet>,
+}
+
+impl WriteGuardCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if a covering interval cached for `p` under the current
+    /// `epoch` covers `[addr, end)`.
+    #[inline]
+    pub fn lookup(&self, p: PrincipalId, epoch: u64, addr: Word, end: Word) -> bool {
+        let Some(set) = self.sets.get(p.0 as usize) else {
+            return false;
+        };
+        if set.epoch != epoch {
+            return false;
+        }
+        set.ways[..set.len as usize]
+            .iter()
+            .any(|w| w.start <= addr && end <= w.end)
+    }
+
+    /// Records `interval` as a covering grant for `p` under `epoch`.
+    /// If the set was filled under an older epoch it is reset first
+    /// (the lazy half of epoch invalidation). Replacement within an
+    /// epoch is round-robin.
+    pub fn insert(&mut self, p: PrincipalId, epoch: u64, interval: (Word, Word)) {
+        let i = p.0 as usize;
+        if i >= self.sets.len() {
+            self.sets.resize_with(i + 1, CacheSet::default);
+        }
+        let set = &mut self.sets[i];
+        if set.epoch != epoch {
+            set.len = 0;
+            set.cursor = 0;
+            set.epoch = epoch;
+        }
+        set.ways[set.cursor as usize] = WayEntry {
+            start: interval.0,
+            end: interval.1,
+        };
+        set.len = set.len.max(set.cursor + 1);
+        set.cursor = (set.cursor + 1) % WAYS as u8;
+    }
+
+    /// Number of principals with an allocated cache set (diagnostics).
+    pub fn principal_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: PrincipalId = PrincipalId(0);
+    const P1: PrincipalId = PrincipalId(1);
+
+    #[test]
+    fn miss_when_empty_or_unknown_principal() {
+        let c = WriteGuardCache::new();
+        assert!(!c.lookup(P0, 0, 0x1000, 0x1008));
+        assert!(!c.lookup(PrincipalId(99), 0, 0x1000, 0x1008));
+    }
+
+    #[test]
+    fn hit_requires_coverage_and_epoch() {
+        let mut c = WriteGuardCache::new();
+        c.insert(P0, 3, (0x1000, 0x1100));
+        assert!(c.lookup(P0, 3, 0x1000, 0x1008));
+        assert!(c.lookup(P0, 3, 0x10f8, 0x1100), "tail bytes covered");
+        assert!(!c.lookup(P0, 3, 0x10f8, 0x1101), "past the interval");
+        assert!(!c.lookup(P0, 4, 0x1000, 0x1008), "stale epoch misses");
+        assert!(!c.lookup(P1, 3, 0x1000, 0x1008), "per-principal isolation");
+    }
+
+    #[test]
+    fn insert_under_new_epoch_resets_the_set() {
+        let mut c = WriteGuardCache::new();
+        c.insert(P0, 1, (0x1000, 0x1100));
+        c.insert(P0, 1, (0x2000, 0x2100));
+        c.insert(P0, 2, (0x3000, 0x3100));
+        assert!(!c.lookup(P0, 2, 0x1000, 0x1008), "old ways dropped");
+        assert!(!c.lookup(P0, 2, 0x2000, 0x2008));
+        assert!(c.lookup(P0, 2, 0x3000, 0x3008));
+    }
+
+    #[test]
+    fn associative_ways_hold_multiple_objects() {
+        let mut c = WriteGuardCache::new();
+        for i in 0..WAYS as u64 {
+            c.insert(P0, 0, (0x1000 * (i + 1), 0x1000 * (i + 1) + 0x100));
+        }
+        for i in 0..WAYS as u64 {
+            assert!(c.lookup(P0, 0, 0x1000 * (i + 1), 0x1000 * (i + 1) + 8));
+        }
+        // A fifth insert evicts round-robin (the oldest way).
+        c.insert(P0, 0, (0x9000, 0x9100));
+        assert!(!c.lookup(P0, 0, 0x1000, 0x1008), "way 0 evicted");
+        assert!(c.lookup(P0, 0, 0x9000, 0x9008));
+        assert!(c.lookup(P0, 0, 0x2000, 0x2008), "younger ways survive");
+    }
+}

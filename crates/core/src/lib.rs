@@ -25,8 +25,13 @@
 //! - writer-set tracking that lets the kernel skip indirect-call checks
 //!   for function-pointer slots no module could have written
 //!   ([`writer_set`]), backed on the slow path by a reverse writer index
-//!   (addr range → interned writer-principal set, [`writer_index`]) so
-//!   the lookup is sublinear in the number of principals;
+//!   sharded by address region (addr range → interned, refcounted
+//!   writer-principal set, [`writer_index`]) so the lookup is sublinear
+//!   in the number of principals and grant/revoke splices are bounded by
+//!   the shard;
+//! - an epoch-validated per-principal write-guard cache ([`epoch_cache`])
+//!   so revocation invalidates precisely the principals whose coverage
+//!   shrank instead of the whole system's cached guard state;
 //! - the annotation-action engine executed at wrapper boundaries
 //!   ([`actions`]);
 //! - guard statistics for the Figure 13 cost breakdown ([`stats`]);
@@ -35,6 +40,7 @@
 pub mod actions;
 pub mod caps;
 pub mod compiled;
+pub mod epoch_cache;
 pub mod iface;
 pub mod principal;
 pub mod runtime;
@@ -45,6 +51,7 @@ pub mod writer_set;
 
 pub use caps::{CapType, LinearWriteTable, RawCap, RefTypeId, WriteTable};
 pub use compiled::CompiledAnn;
+pub use epoch_cache::WriteGuardCache;
 pub use iface::{FnDecl, Param, TypeLayouts};
 pub use principal::{ModuleId, PrincipalId, PrincipalKind};
 pub use runtime::{ConstId, IteratorFn, IteratorId, Runtime, ThreadId};

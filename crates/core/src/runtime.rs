@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use lxfi_machine::{AddressSpace, Word};
 
 use crate::caps::{CapSet, CapType, RawCap, RefTypeId};
+use crate::epoch_cache::WriteGuardCache;
 use crate::principal::{ModuleId, ModuleInfo, PrincipalId, PrincipalKind};
 use crate::shadow::{PrincipalCtx, ShadowStack};
 use crate::stats::{GuardCosts, GuardKind, GuardStats};
@@ -66,6 +67,11 @@ struct Principal {
     module: ModuleId,
     kind: PrincipalKind,
     caps: CapSet,
+    /// Write-guard epoch: incremented whenever this principal's
+    /// *observable* WRITE coverage may have shrunk (a revocation from it
+    /// or from a principal it falls back to). Cached guard decisions
+    /// stamped with an older epoch are invalid.
+    write_epoch: u64,
 }
 
 /// Metadata for a registered function address.
@@ -99,12 +105,11 @@ pub struct Runtime {
     const_values: Vec<Option<i64>>,
     const_ids: HashMap<String, ConstId>,
     const_names: Vec<String>,
-    /// One-entry "last grant hit" cache for the write guard: the covering
-    /// interval of the most recent successful [`Runtime::check_write`],
-    /// keyed by the principal it was established for (so a principal
-    /// switch naturally misses instead of needing explicit invalidation).
-    /// Cleared by every revocation path.
-    write_cache: Option<(PrincipalId, Word, Word)>,
+    /// Per-principal set-associative cache of covering grant intervals
+    /// for the write guard, validated by each principal's `write_epoch`.
+    /// Revocation bumps only the affected principals' epochs, so an
+    /// unrelated revoke evicts nothing (see [`crate::epoch_cache`]).
+    write_cache: WriteGuardCache,
     /// Guard counters (public: benches read and reset them).
     pub stats: GuardStats,
     /// Deterministic guard costs.
@@ -114,6 +119,12 @@ pub struct Runtime {
     /// proves the slot clean. Used to quantify how much the writer-set
     /// optimization (§5) saves; always true in normal operation.
     pub writer_fastpath: bool,
+    /// Ablation/test switch: when false, [`Runtime::check_write`] skips
+    /// the epoch-validated guard cache entirely and always probes the
+    /// interval tables. The epoch-cache property test drives a cached
+    /// and an uncached runtime through identical traffic and asserts
+    /// identical decisions; benches use it to price the uncached probe.
+    pub guard_cache_enabled: bool,
 }
 
 impl Default for Runtime {
@@ -141,11 +152,31 @@ impl Runtime {
             const_values: Vec::new(),
             const_ids: HashMap::new(),
             const_names: Vec::new(),
-            write_cache: None,
+            write_cache: WriteGuardCache::new(),
             stats: GuardStats::new(),
             costs: GuardCosts::default(),
             writer_fastpath: true,
+            guard_cache_enabled: true,
         }
+    }
+
+    /// Reconfigures the reverse writer index's shard boundaries (address
+    /// split points — typically the kernel layout's region bases and
+    /// module windows) and rebuilds the index from every principal's
+    /// live WRITE grants. Callable at any time; the simulated kernel
+    /// does it once at boot, before any module loads.
+    pub fn set_shard_boundaries(&mut self, boundaries: Vec<Word>) {
+        let mut index = WriterIndex::with_boundaries(boundaries);
+        // The allocation gauge is documented monotonic; fold the retired
+        // index's count in so a rebuild never steps it backwards.
+        index.carry_allocation_count(self.writer_index.sets_ever_interned());
+        for (i, pr) in self.principals.iter().enumerate() {
+            for (a, s) in pr.caps.write.iter() {
+                index.add(PrincipalId(i as u32), a, s);
+            }
+        }
+        self.writer_index = index;
+        self.update_writer_set_gauges();
     }
 
     // ------------------------------------------------------------ modules
@@ -166,6 +197,7 @@ impl Runtime {
             module,
             kind,
             caps: CapSet::new(),
+            write_epoch: 0,
         });
         id
     }
@@ -264,23 +296,84 @@ impl Runtime {
     }
 
     /// Grants a capability to a principal. WRITE grants mark the
-    /// writer-set map and enter the reverse writer index (§5).
+    /// writer-set map and enter the reverse writer index (§5). Grants
+    /// never bump write epochs: added authority cannot invalidate a
+    /// cached positive guard decision.
     pub fn grant(&mut self, p: PrincipalId, cap: RawCap) {
         if cap.ctype == CapType::Write {
             self.writer_map.mark(cap.addr, cap.size);
             self.writer_index.add(p, cap.addr, cap.size);
+            self.update_writer_set_gauges();
         }
         self.principals[p.0 as usize].caps.grant(cap);
     }
 
-    /// Revokes a capability from one principal.
+    /// Revokes a capability from one principal. A successful WRITE
+    /// revocation bumps the write epochs of exactly the principals whose
+    /// observable coverage shrank; every other principal's guard cache
+    /// survives untouched.
     pub fn revoke(&mut self, p: PrincipalId, cap: RawCap) -> bool {
-        self.write_cache = None;
         let removed = self.principals[p.0 as usize].caps.revoke(cap);
         if removed && cap.ctype == CapType::Write {
+            self.bump_write_epochs(p);
             self.unindex_write(p, cap.addr, cap.size);
+            self.update_writer_set_gauges();
         }
         removed
+    }
+
+    /// The current write-guard epoch of a principal (diagnostics/tests).
+    pub fn write_epoch(&self, p: PrincipalId) -> u64 {
+        self.principals[p.0 as usize].write_epoch
+    }
+
+    /// Bumps the write epoch of `p` and of every principal whose
+    /// [`Runtime::check_write`] coverage can *observe* `p`'s WRITE table
+    /// through the §3.1 hierarchy fallbacks:
+    ///
+    /// - revoking from an **instance** also invalidates the module's
+    ///   global principal (it unions every instance);
+    /// - revoking from the **shared** principal invalidates every
+    ///   instance (they fall back to shared) and the global principal;
+    /// - revoking from the **global** principal invalidates only itself
+    ///   (nobody falls back to global).
+    fn bump_write_epochs(&mut self, p: PrincipalId) {
+        self.bump_one_epoch(p);
+        let pr = &self.principals[p.0 as usize];
+        let module = pr.module;
+        match pr.kind {
+            PrincipalKind::Global => {}
+            PrincipalKind::Instance => {
+                let g = self.modules[module.0 as usize].global;
+                self.bump_one_epoch(g);
+            }
+            PrincipalKind::Shared => {
+                let m = &self.modules[module.0 as usize];
+                let global = m.global;
+                let instances = m.instances.len();
+                self.bump_one_epoch(global);
+                // Index instead of iterating: the bump needs `&mut
+                // self.principals` while the instance list lives in
+                // `self.modules`, and this path must not allocate.
+                for k in 0..instances {
+                    let q = self.modules[module.0 as usize].instances[k];
+                    self.bump_one_epoch(q);
+                }
+            }
+        }
+    }
+
+    fn bump_one_epoch(&mut self, p: PrincipalId) {
+        self.principals[p.0 as usize].write_epoch += 1;
+        self.stats.epoch_bumps += 1;
+    }
+
+    /// Refreshes the writer-set GC gauges in [`GuardStats`] from the
+    /// reverse index's interner (two loads; called after every index
+    /// mutation).
+    fn update_writer_set_gauges(&mut self) {
+        self.stats.writer_sets_live = self.writer_index.set_count() as u64;
+        self.stats.writer_sets_ever = self.writer_index.sets_ever_interned();
     }
 
     /// Drops `p` from the writer index over `[addr, addr+size)`, then
@@ -310,22 +403,30 @@ impl Runtime {
     }
 
     /// Revokes a capability from **every** principal in the system —
-    /// `transfer` semantics (§3.3): no stale copies survive.
+    /// `transfer` semantics (§3.3): no stale copies survive. Bumps write
+    /// epochs only for the principals a removal actually touched.
     pub fn revoke_everywhere(&mut self, cap: RawCap) {
-        self.write_cache = None;
+        let mut touched = false;
         for i in 0..self.principals.len() {
             let removed = self.principals[i].caps.revoke(cap);
             if removed && cap.ctype == CapType::Write {
-                self.unindex_write(PrincipalId(i as u32), cap.addr, cap.size);
+                let p = PrincipalId(i as u32);
+                self.bump_write_epochs(p);
+                self.unindex_write(p, cap.addr, cap.size);
+                touched = true;
             }
+        }
+        if touched {
+            self.update_writer_set_gauges();
         }
     }
 
     /// Revokes all WRITE capabilities overlapping `[addr, addr+size)` from
     /// every principal (used by `kfree`: freed memory must have no
-    /// outstanding capabilities).
+    /// outstanding capabilities). Bumps write epochs only for principals
+    /// that actually lost coverage.
     pub fn revoke_write_overlapping_everywhere(&mut self, addr: Word, size: u64) {
-        self.write_cache = None;
+        let mut touched = false;
         for i in 0..self.principals.len() {
             let (_, span) = self.principals[i]
                 .caps
@@ -335,8 +436,14 @@ impl Runtime {
             // coverage can reach beyond [addr, addr+size): un-index the
             // actual extent of what was removed.
             if let Some((lo, hi)) = span {
-                self.unindex_write(PrincipalId(i as u32), lo, hi - lo);
+                let p = PrincipalId(i as u32);
+                self.bump_write_epochs(p);
+                self.unindex_write(p, lo, hi - lo);
+                touched = true;
             }
+        }
+        if touched {
+            self.update_writer_set_gauges();
         }
     }
 
@@ -422,11 +529,13 @@ impl Runtime {
     /// current thread's kernel stack.
     ///
     /// This is the implementation behind `Env::guard_write`, executed for
-    /// every un-elided module store. The one-entry last-grant-hit cache
-    /// is consulted before the table walk: module code overwhelmingly
-    /// issues runs of stores into the same object (packet payloads,
-    /// private structs), so the previous covering interval usually
-    /// answers the next check in a few compares.
+    /// every un-elided module store. The per-principal epoch-validated
+    /// cache is consulted before the table walk: module code
+    /// overwhelmingly issues runs of stores into the same few objects
+    /// (packet payloads, private structs), so a recently established
+    /// covering interval usually answers the next check in a few
+    /// compares — and because validity is an epoch compare, a revocation
+    /// affecting *other* principals does not evict it.
     pub fn check_write(&mut self, t: ThreadId, addr: Word, len: u64) -> Result<(), Violation> {
         let c = self.costs.mem_write;
         self.stats.record(GuardKind::MemWrite, c);
@@ -443,14 +552,23 @@ impl Runtime {
                 return Ok(());
             }
         }
-        if let Some((cp, cs, ce)) = self.write_cache {
-            if cp == p && cs <= addr && end.is_some_and(|e| e <= ce) {
-                self.stats.write_cache_hits += 1;
-                return Ok(());
+        if self.guard_cache_enabled {
+            // An overflowing end never consults the cache (the probe
+            // below denies it), so it counts as neither hit nor miss.
+            if let Some(e) = end {
+                let epoch = self.principals[p.0 as usize].write_epoch;
+                if self.write_cache.lookup(p, epoch, addr, e) {
+                    self.stats.write_cache_hits += 1;
+                    return Ok(());
+                }
+                self.stats.write_cache_misses += 1;
             }
         }
         if let Some(interval) = self.write_covering(p, addr, len) {
-            self.write_cache = Some((p, interval.0, interval.1));
+            if self.guard_cache_enabled {
+                let epoch = self.principals[p.0 as usize].write_epoch;
+                self.write_cache.insert(p, epoch, interval);
+            }
             Ok(())
         } else {
             Err(Violation::MissingWrite {
@@ -837,6 +955,130 @@ mod tests {
         rt.check_write(t, 0x5000, 8).unwrap();
         rt.check_write(t, 0x5038, 8).unwrap();
         assert!(rt.check_write(t, 0x5040, 8).is_err());
+    }
+
+    #[test]
+    fn unrelated_revoke_does_not_evict_guard_cache() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let b = rt.principal_for_name(m, 0xa000);
+        rt.grant(a, RawCap::write(0x5000, 64));
+        rt.grant(b, RawCap::write(0x6000, 64));
+        let t = ThreadId(0);
+        rt.thread(t).set_current(Some((m, a)));
+        rt.check_write(t, 0x5000, 8).unwrap(); // prime a's cache
+        rt.stats.reset();
+        // Revoking b's (unrelated) capability must not bump a's epoch…
+        let epoch_before = rt.write_epoch(a);
+        rt.revoke(b, RawCap::write(0x6000, 64));
+        assert_eq!(rt.write_epoch(a), epoch_before);
+        // …so a's next store still hits the cache.
+        rt.check_write(t, 0x5008, 8).unwrap();
+        assert_eq!(rt.stats.write_cache_hits, 1);
+        assert_eq!(rt.stats.write_cache_misses, 0);
+    }
+
+    #[test]
+    fn own_revoke_invalidates_guard_cache() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let t = ThreadId(0);
+        rt.thread(t).set_current(Some((m, a)));
+        rt.grant(a, RawCap::write(0x5000, 64));
+        rt.check_write(t, 0x5000, 8).unwrap();
+        rt.revoke(a, RawCap::write(0x5000, 64));
+        // The cached interval is stale; the epoch bump must force the
+        // table probe, which now denies.
+        assert!(rt.check_write(t, 0x5000, 8).is_err());
+    }
+
+    #[test]
+    fn shared_revoke_invalidates_instance_cache() {
+        // The instance's cached interval came from the SHARED table via
+        // the §3.1 fallback: revoking from shared must invalidate it.
+        let (mut rt, m) = rt_with_module();
+        let shared = rt.shared_principal(m);
+        let a = rt.principal_for_name(m, 0x9000);
+        rt.grant(shared, RawCap::write(0x5000, 64));
+        let t = ThreadId(0);
+        rt.thread(t).set_current(Some((m, a)));
+        rt.check_write(t, 0x5000, 8).unwrap(); // cached under a, via shared
+        rt.revoke(shared, RawCap::write(0x5000, 64));
+        assert!(
+            rt.check_write(t, 0x5000, 8).is_err(),
+            "stale shared-derived interval must not survive the revoke"
+        );
+    }
+
+    #[test]
+    fn transfer_invalidates_every_holder_cache() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let cap = RawCap::write(0x5000, 64);
+        rt.grant(a, cap);
+        let t = ThreadId(0);
+        rt.thread(t).set_current(Some((m, a)));
+        rt.check_write(t, 0x5000, 8).unwrap();
+        rt.revoke_everywhere(cap);
+        assert!(rt.check_write(t, 0x5000, 8).is_err());
+    }
+
+    #[test]
+    fn call_revoke_does_not_bump_write_epoch() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        rt.grant(a, RawCap::call(0xf000));
+        let before = rt.write_epoch(a);
+        rt.revoke(a, RawCap::call(0xf000));
+        assert_eq!(
+            rt.write_epoch(a),
+            before,
+            "CALL revokes leave the write cache alone"
+        );
+    }
+
+    #[test]
+    fn failed_revoke_bumps_nothing() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let before = rt.write_epoch(a);
+        assert!(!rt.revoke(a, RawCap::write(0x5000, 64)));
+        assert_eq!(rt.write_epoch(a), before);
+        assert_eq!(rt.stats.epoch_bumps, 0);
+    }
+
+    #[test]
+    fn disabled_cache_still_decides_identically() {
+        let (mut rt, m) = rt_with_module();
+        rt.guard_cache_enabled = false;
+        let a = rt.principal_for_name(m, 0x9000);
+        let t = ThreadId(0);
+        rt.thread(t).set_current(Some((m, a)));
+        rt.grant(a, RawCap::write(0x5000, 64));
+        rt.check_write(t, 0x5000, 8).unwrap();
+        rt.check_write(t, 0x5000, 8).unwrap();
+        assert_eq!(rt.stats.write_cache_hits, 0, "cache bypassed");
+        assert_eq!(rt.stats.write_cache_misses, 0);
+        assert!(rt.check_write(t, 0x6000, 8).is_err());
+    }
+
+    #[test]
+    fn sharded_runtime_answers_match_unsharded() {
+        let (mut rt, m) = rt_with_module();
+        let a = rt.principal_for_name(m, 0x9000);
+        let b = rt.principal_for_name(m, 0xa000);
+        rt.grant(a, RawCap::write(0x5000, 0x100));
+        rt.grant(b, RawCap::write(0x5080, 0x100));
+        let before_a = rt.writers_of(0x5080);
+        // Re-sharding rebuilds the index from live grants; answers and
+        // invariants must be unchanged.
+        rt.set_shard_boundaries(vec![0x5080, 0x5100]);
+        rt.writer_index().check_invariants();
+        assert_eq!(rt.writer_index().shard_count(), 3);
+        assert_eq!(rt.writers_of(0x5080), before_a);
+        assert_eq!(rt.writers_of(0x5080), rt.writers_of_linear(0x5080));
+        rt.revoke(b, RawCap::write(0x5080, 0x100));
+        assert_eq!(rt.writers_of(0x5080), vec![a]);
     }
 
     #[test]

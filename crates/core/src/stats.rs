@@ -103,9 +103,25 @@ pub struct GuardStats {
     counts: [u64; 5],
     cycles: [u64; 5],
     indcall_by_module: HashMap<ModuleId, (u64, u64)>,
-    /// Mem-write checks answered by the one-entry last-grant-hit cache
-    /// (a subset of the `MemWrite` count; benches report the hit rate).
+    /// Mem-write checks answered by the epoch-validated write-guard
+    /// cache (a subset of the `MemWrite` count; benches and the CI perf
+    /// gate report the hit rate).
     pub write_cache_hits: u64,
+    /// Mem-write checks that consulted the cache and fell through to the
+    /// interval-table probe (`hits + misses` = cache-consulting checks;
+    /// kernel-context and stack writes never reach the cache).
+    pub write_cache_misses: u64,
+    /// Per-principal write-epoch increments caused by revocation. Each
+    /// bump wholesale-invalidates one principal's cached intervals, so
+    /// this counts how much cached state revocation traffic destroyed.
+    pub epoch_bumps: u64,
+    /// Gauge: interned writer sets currently referenced by the reverse
+    /// writer index (updated by the runtime after every index mutation).
+    pub writer_sets_live: u64,
+    /// Gauge: writer-set allocations ever performed by the index's
+    /// interner, including slot reuses after GC. `ever` growing while
+    /// `live` stays flat is the set-GC working.
+    pub writer_sets_ever: u64,
 }
 
 impl GuardStats {
@@ -145,6 +161,17 @@ impl GuardStats {
             .get(&module)
             .copied()
             .unwrap_or((0, 0))
+    }
+
+    /// Fraction of cache-consulting mem-write checks the write-guard
+    /// cache answered (0 when none ran).
+    pub fn write_cache_hit_rate(&self) -> f64 {
+        let total = self.write_cache_hits + self.write_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.write_cache_hits as f64 / total as f64
+        }
     }
 
     /// Total cycles spent in all guards.
@@ -206,6 +233,15 @@ mod tests {
         assert_eq!(c.function_entry, 16);
         assert_eq!(c.function_exit, 14);
         assert_eq!(c.mem_write, 51);
+    }
+
+    #[test]
+    fn cache_hit_rate_counts_only_consulting_checks() {
+        let mut s = GuardStats::new();
+        assert_eq!(s.write_cache_hit_rate(), 0.0, "no checks yet");
+        s.write_cache_hits = 3;
+        s.write_cache_misses = 1;
+        assert!((s.write_cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -10,11 +10,41 @@
 //! lookup is a binary search plus a walk of the (small) writer set —
 //! O(log intervals + |writers|) instead of O(principals).
 //!
+//! # Sharding
+//!
+//! The interval map is **sharded by address region**: the caller hands
+//! [`WriterIndex::with_boundaries`] a sorted list of split points
+//! (module windows, slab zones — see the simulated kernel's
+//! `layout::shard_boundaries`), and every interval lives in the shard
+//! its addresses fall in. Queries resolve the shard with one small
+//! binary search over the boundary list (effectively O(1) for the ≤ a
+//! few dozen regions a kernel layout defines) before the O(log
+//! intervals-in-shard) window search, and — the actual point — the Vec
+//! splice a grant or revoke performs moves only the *shard's* tail, not
+//! the whole system's interval population. The shard is also the
+//! natural unit of concurrent mutation for a future multi-threaded
+//! kernel. A default-constructed index has a single shard covering the
+//! whole address space (the pre-sharding behavior).
+//!
+//! Intervals never span a shard boundary: a grant crossing one is split
+//! at the boundary, so two touching same-set intervals can exist across
+//! a boundary (they coalesce freely *within* a shard).
+//!
+//! # Writer-set interning and GC
+//!
 //! Writer sets are interned like the runtime's REF-type names: a sorted,
 //! deduplicated `Vec<PrincipalId>` maps to a dense [`WriterSetId`], so
 //! the many intervals produced by overlapping grants from the same
 //! principals share one set allocation, and set identity is a `u32`
 //! compare (which is also what lets adjacent intervals coalesce).
+//! Interned sets are **refcounted by the interval entries referencing
+//! them** (across all shards): when the last referencing interval is
+//! spliced away, the set is freed and its slot recycled, so a
+//! long-running grant/revoke churn interns new combinations forever
+//! without growing memory. [`set_count`](WriterIndex::set_count) gauges
+//! live sets; [`sets_ever_interned`](WriterIndex::sets_ever_interned)
+//! counts allocations (including slot reuses) — `ever` growing while
+//! `live` stays flat is the GC working.
 //!
 //! The paper's traversal survives as [`LinearWriterIndex`] — per-principal
 //! [`WriteTable`]s probed one by one — mirroring the `LinearWriteTable`
@@ -47,41 +77,85 @@ use crate::principal::PrincipalId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WriterSetId(pub u32);
 
-/// The interned empty set (id 0 by construction).
+/// The interned empty set (id 0 by construction; pinned, never freed).
 pub const EMPTY_WRITERS: WriterSetId = WriterSetId(0);
 
 /// Interns writer sets: identical sets share one id, so interval
-/// entries are a `u32` and set equality is an integer compare.
+/// entries are a `u32` and set equality is an integer compare. Live
+/// sets are refcounted by the interval entries referencing them;
+/// slots whose refcount drops to zero are recycled.
 #[derive(Debug)]
 struct SetInterner {
     sets: Vec<Vec<PrincipalId>>,
+    /// Number of interval entries (across all shards) holding each id.
+    refs: Vec<u32>,
     ids: HashMap<Vec<PrincipalId>, WriterSetId>,
+    /// Recycled slots (freed sets) available for reuse.
+    free: Vec<u32>,
+    /// Monotonic count of slot allocations (including reuses).
+    ever: u64,
 }
 
 impl SetInterner {
     fn new() -> Self {
         let mut it = SetInterner {
             sets: Vec::new(),
+            refs: Vec::new(),
             ids: HashMap::new(),
+            free: Vec::new(),
+            ever: 0,
         };
         it.intern(Vec::new()); // id 0 = the empty set
         it
     }
 
-    /// Interns a sorted, deduplicated principal set.
+    /// Interns a sorted, deduplicated principal set. A newly allocated
+    /// slot starts at refcount 0; the caller must [`acquire`] it when an
+    /// interval entry takes the id (splice does this).
+    ///
+    /// [`acquire`]: SetInterner::acquire
     fn intern(&mut self, set: Vec<PrincipalId>) -> WriterSetId {
         debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted + dedup'd");
         if let Some(&id) = self.ids.get(&set) {
             return id;
         }
-        let id = WriterSetId(self.sets.len() as u32);
-        self.sets.push(set.clone());
+        self.ever += 1;
+        let id = if let Some(slot) = self.free.pop() {
+            debug_assert_eq!(self.refs[slot as usize], 0, "recycled slot is dead");
+            self.sets[slot as usize] = set.clone();
+            WriterSetId(slot)
+        } else {
+            self.sets.push(set.clone());
+            self.refs.push(0);
+            WriterSetId((self.sets.len() - 1) as u32)
+        };
         self.ids.insert(set, id);
         id
     }
 
     fn get(&self, id: WriterSetId) -> &[PrincipalId] {
         &self.sets[id.0 as usize]
+    }
+
+    /// One more interval entry references `id`.
+    fn acquire(&mut self, id: WriterSetId) {
+        if id != EMPTY_WRITERS {
+            self.refs[id.0 as usize] += 1;
+        }
+    }
+
+    /// One interval entry dropped `id`; frees the set when unreferenced.
+    fn release(&mut self, id: WriterSetId) {
+        if id == EMPTY_WRITERS {
+            return;
+        }
+        let i = id.0 as usize;
+        self.refs[i] -= 1;
+        if self.refs[i] == 0 {
+            let set = std::mem::take(&mut self.sets[i]);
+            self.ids.remove(&set);
+            self.free.push(id.0);
+        }
     }
 
     /// The set `sid ∪ {p}`.
@@ -117,8 +191,9 @@ impl SetInterner {
         self.intern(vec![p])
     }
 
-    fn len(&self) -> usize {
-        self.sets.len()
+    /// Live distinct sets (including the pinned empty set).
+    fn live(&self) -> usize {
+        self.ids.len()
     }
 }
 
@@ -129,38 +204,19 @@ fn clamp_size(addr: Word, size: u64) -> u64 {
     size.min(Word::MAX - addr)
 }
 
-/// The reverse writer index: disjoint, sorted `[start, end)` intervals,
+/// One address-region shard: disjoint, sorted `[start, end)` intervals,
 /// each mapped to a non-empty interned writer set. Touching intervals
-/// with the same set are coalesced on every mutation, so the entry count
-/// tracks the number of *distinct-coverage* regions, not the number of
-/// grants.
-#[derive(Debug)]
-pub struct WriterIndex {
+/// with the same set are coalesced on every mutation.
+#[derive(Debug, Default)]
+struct Shard {
     starts: Vec<Word>,
     /// Exclusive ends, parallel to `starts`. Disjointness makes this
     /// vector sorted too, which the window search relies on.
     ends: Vec<Word>,
     sets: Vec<WriterSetId>,
-    interner: SetInterner,
 }
 
-impl Default for WriterIndex {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl WriterIndex {
-    /// Creates an empty index.
-    pub fn new() -> Self {
-        WriterIndex {
-            starts: Vec::new(),
-            ends: Vec::new(),
-            sets: Vec::new(),
-            interner: SetInterner::new(),
-        }
-    }
-
+impl Shard {
     /// Indices of the entries overlapping `[a, e)`: `lo..hi`.
     #[inline]
     fn window(&self, a: Word, e: Word) -> (usize, usize) {
@@ -170,8 +226,16 @@ impl WriterIndex {
     }
 
     /// Replaces entries `lo..hi` with `repl`, coalescing touching
-    /// equal-set segments.
-    fn splice(&mut self, lo: usize, hi: usize, repl: Vec<(Word, Word, WriterSetId)>) {
+    /// equal-set segments and maintaining the interner's refcounts
+    /// (new entries acquired before old ones release, so a set that
+    /// survives the splice is never transiently freed).
+    fn splice(
+        &mut self,
+        interner: &mut SetInterner,
+        lo: usize,
+        hi: usize,
+        repl: Vec<(Word, Word, WriterSetId)>,
+    ) {
         let mut merged: Vec<(Word, Word, WriterSetId)> = Vec::with_capacity(repl.len());
         for seg in repl {
             debug_assert!(seg.0 < seg.1, "non-empty segment");
@@ -183,20 +247,20 @@ impl WriterIndex {
             }
             merged.push(seg);
         }
+        for seg in &merged {
+            interner.acquire(seg.2);
+        }
+        for j in lo..hi {
+            interner.release(self.sets[j]);
+        }
         self.starts.splice(lo..hi, merged.iter().map(|s| s.0));
         self.ends.splice(lo..hi, merged.iter().map(|s| s.1));
         self.sets.splice(lo..hi, merged.iter().map(|s| s.2));
     }
 
-    /// Records that `p` was granted WRITE over `[addr, addr+size)`:
-    /// existing intervals split at the grant's boundaries and union `p`
-    /// in; uncovered gaps become `{p}` intervals. Idempotent.
-    pub fn add(&mut self, p: PrincipalId, addr: Word, size: u64) {
-        let size = clamp_size(addr, size);
-        if size == 0 {
-            return;
-        }
-        let e = addr + size;
+    /// Unions `p` into `[addr, e)` within this shard (the caller has
+    /// already clipped the range to the shard's bounds). Idempotent.
+    fn add(&mut self, interner: &mut SetInterner, p: PrincipalId, addr: Word, e: Word) {
         let (wlo, whi) = self.window(addr, e);
         let mut lo = wlo;
         let mut hi = whi;
@@ -216,10 +280,10 @@ impl WriterIndex {
                 out.push((s, ov_lo, sid));
             }
             if cursor < ov_lo {
-                let single = self.interner.singleton(p);
+                let single = interner.singleton(p);
                 out.push((cursor, ov_lo, single));
             }
-            let merged = self.interner.with(sid, p);
+            let merged = interner.with(sid, p);
             out.push((ov_lo, ov_hi, merged));
             if en > ov_hi {
                 out.push((ov_hi, en, sid));
@@ -227,29 +291,20 @@ impl WriterIndex {
             cursor = ov_hi;
         }
         if cursor < e {
-            let single = self.interner.singleton(p);
+            let single = interner.singleton(p);
             out.push((cursor, e, single));
         }
         if whi < self.starts.len() && self.starts[whi] == e {
             out.push((self.starts[whi], self.ends[whi], self.sets[whi]));
             hi = whi + 1;
         }
-        self.splice(lo, hi, out);
+        self.splice(interner, lo, hi, out);
     }
 
-    /// Removes `p` from the writer sets of `[addr, addr+size)`, splitting
-    /// intervals at the boundaries; intervals whose set empties are
-    /// dropped. A no-op where `p` is not a writer.
-    ///
-    /// Callers revoking one grant must afterwards [`add`](Self::add) back
-    /// any of `p`'s *other* grants still overlapping the range — the
-    /// index stores merged coverage, not individual grants.
-    pub fn remove(&mut self, p: PrincipalId, addr: Word, size: u64) {
-        let size = clamp_size(addr, size);
-        if size == 0 {
-            return;
-        }
-        let e = addr + size;
+    /// Removes `p` from the writer sets of `[addr, e)` within this shard
+    /// (pre-clipped); intervals whose set empties are dropped. A no-op
+    /// where `p` is not a writer.
+    fn remove(&mut self, interner: &mut SetInterner, p: PrincipalId, addr: Word, e: Word) {
         let (wlo, whi) = self.window(addr, e);
         let mut lo = wlo;
         let mut hi = whi;
@@ -265,7 +320,7 @@ impl WriterIndex {
             if s < ov_lo {
                 out.push((s, ov_lo, sid));
             }
-            let shrunk = self.interner.without(sid, p);
+            let shrunk = interner.without(sid, p);
             if shrunk != EMPTY_WRITERS {
                 out.push((ov_lo, ov_hi, shrunk));
             }
@@ -277,7 +332,120 @@ impl WriterIndex {
             out.push((self.starts[whi], self.ends[whi], self.sets[whi]));
             hi = whi + 1;
         }
-        self.splice(lo, hi, out);
+        self.splice(interner, lo, hi, out);
+    }
+}
+
+/// The reverse writer index: address-region shards of disjoint sorted
+/// intervals over one refcounted set interner. See the module docs for
+/// the sharding and GC disciplines.
+#[derive(Debug)]
+pub struct WriterIndex {
+    /// Sorted, distinct, non-zero shard split points; shard `i` covers
+    /// `[boundaries[i-1], boundaries[i])` (first from 0, last to MAX).
+    boundaries: Vec<Word>,
+    shards: Vec<Shard>,
+    interner: SetInterner,
+}
+
+impl Default for WriterIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriterIndex {
+    /// Creates an empty single-shard index (whole address space).
+    pub fn new() -> Self {
+        Self::with_boundaries(Vec::new())
+    }
+
+    /// Creates an empty index sharded at the given split points
+    /// (deduplicated, sorted; zeros dropped). `n` boundaries make
+    /// `n + 1` shards.
+    pub fn with_boundaries(mut boundaries: Vec<Word>) -> Self {
+        boundaries.retain(|&b| b > 0);
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let shards = (0..=boundaries.len()).map(|_| Shard::default()).collect();
+        WriterIndex {
+            boundaries,
+            shards,
+            interner: SetInterner::new(),
+        }
+    }
+
+    /// The configured shard split points.
+    pub fn boundaries(&self) -> &[Word] {
+        &self.boundaries
+    }
+
+    /// Number of shards (`boundaries + 1`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `addr`.
+    #[inline]
+    fn shard_of(&self, addr: Word) -> usize {
+        self.boundaries.partition_point(|&b| b <= addr)
+    }
+
+    /// Inclusive lower bound of shard `s`.
+    #[inline]
+    fn shard_lo(&self, s: usize) -> Word {
+        if s == 0 {
+            0
+        } else {
+            self.boundaries[s - 1]
+        }
+    }
+
+    /// Exclusive upper bound of shard `s` (the top shard runs to MAX,
+    /// which no saturated interval end can exceed).
+    #[inline]
+    fn shard_hi(&self, s: usize) -> Word {
+        self.boundaries.get(s).copied().unwrap_or(Word::MAX)
+    }
+
+    /// Records that `p` was granted WRITE over `[addr, addr+size)`:
+    /// existing intervals split at the grant's boundaries and union `p`
+    /// in; uncovered gaps become `{p}` intervals. Idempotent. A grant
+    /// crossing a shard boundary is split there.
+    pub fn add(&mut self, p: PrincipalId, addr: Word, size: u64) {
+        let size = clamp_size(addr, size);
+        if size == 0 {
+            return;
+        }
+        let e = addr + size;
+        let (first, last) = (self.shard_of(addr), self.shard_of(e - 1));
+        for s in first..=last {
+            let lo = addr.max(self.shard_lo(s));
+            let hi = e.min(self.shard_hi(s));
+            debug_assert!(lo < hi, "clipped segment non-empty");
+            self.shards[s].add(&mut self.interner, p, lo, hi);
+        }
+    }
+
+    /// Removes `p` from the writer sets of `[addr, addr+size)`, splitting
+    /// intervals at the boundaries; intervals whose set empties are
+    /// dropped. A no-op where `p` is not a writer.
+    ///
+    /// Callers revoking one grant must afterwards [`add`](Self::add) back
+    /// any of `p`'s *other* grants still overlapping the range — the
+    /// index stores merged coverage, not individual grants.
+    pub fn remove(&mut self, p: PrincipalId, addr: Word, size: u64) {
+        let size = clamp_size(addr, size);
+        if size == 0 {
+            return;
+        }
+        let e = addr + size;
+        let (first, last) = (self.shard_of(addr), self.shard_of(e - 1));
+        for s in first..=last {
+            let lo = addr.max(self.shard_lo(s));
+            let hi = e.min(self.shard_hi(s));
+            self.shards[s].remove(&mut self.interner, p, lo, hi);
+        }
     }
 
     /// True if any writer interval overlaps `[addr, addr+len)` (query end
@@ -287,25 +455,44 @@ impl WriterIndex {
             return false;
         }
         let e = addr.saturating_add(len);
-        let (lo, hi) = self.window(addr, e);
-        lo < hi
+        let (first, last) = (self.shard_of(addr), self.shard_of(e - 1));
+        (first..=last).any(|s| {
+            let (lo, hi) = self.shards[s].window(addr, e);
+            lo < hi
+        })
     }
 
     /// Deduplicated writer principals of `[addr, addr+len)`, in interval
-    /// order. Allocation-free: the iterator yields straight out of the
-    /// interned sets (the common case is a single covering interval).
+    /// order across shards. Allocation-free: the iterator yields straight
+    /// out of the interned sets (the common case is a single covering
+    /// interval in a single shard).
     pub fn writers_over(&self, addr: Word, len: u64) -> WritersOver<'_> {
-        let (lo, hi) = if len == 0 {
-            (0, 0)
-        } else {
-            let e = addr.saturating_add(len);
-            self.window(addr, e)
-        };
+        if len == 0 {
+            return WritersOver {
+                index: self,
+                addr: 0,
+                end: 0,
+                s_first: 1,
+                s_last: 0,
+                s: 1,
+                win: (0, 0),
+                j: 0,
+                k: 0,
+            };
+        }
+        let e = addr.saturating_add(len);
+        let s_first = self.shard_of(addr);
+        let s_last = self.shard_of(e - 1);
+        let win = self.shards[s_first].window(addr, e);
         WritersOver {
             index: self,
-            lo,
-            hi,
-            j: lo,
+            addr,
+            end: e,
+            s_first,
+            s_last,
+            s: s_first,
+            win,
+            j: win.0,
             k: 0,
         }
     }
@@ -315,49 +502,115 @@ impl WriterIndex {
         self.interner.get(id)
     }
 
-    /// Number of live intervals (diagnostics).
+    /// Number of live intervals across all shards (diagnostics). A range
+    /// spanning shard boundaries counts one interval per shard.
     pub fn interval_count(&self) -> usize {
-        self.starts.len()
+        self.shards.iter().map(|s| s.starts.len()).sum()
     }
 
-    /// Number of distinct interned writer sets ever created, including
-    /// the empty set (diagnostics; interned sets are never freed).
+    /// Number of distinct **live** interned writer sets, including the
+    /// pinned empty set (diagnostics; unreferenced sets are freed and
+    /// their slots recycled).
     pub fn set_count(&self) -> usize {
-        self.interner.len()
+        self.interner.live()
     }
 
-    /// Iterates `(start, end, writers)` over all intervals (diagnostics).
+    /// Writer-set slot allocations ever performed, including reuses of
+    /// recycled slots (monotonic; pairs with [`set_count`](Self::set_count)
+    /// as the live-vs-interned GC gauge).
+    pub fn sets_ever_interned(&self) -> u64 {
+        self.interner.ever
+    }
+
+    /// Folds a predecessor index's allocation count into this one's so
+    /// `sets_ever_interned` stays monotonic across a rebuild
+    /// (`Runtime::set_shard_boundaries` replaces the whole index).
+    pub(crate) fn carry_allocation_count(&mut self, prior: u64) {
+        self.interner.ever += prior;
+    }
+
+    /// Interner slot capacity: high-water mark of simultaneously live
+    /// sets (freed slots are recycled, so this stays bounded under
+    /// churn).
+    pub fn set_slot_capacity(&self) -> usize {
+        self.interner.sets.len()
+    }
+
+    /// Currently recycled (free) interner slots (diagnostics).
+    pub fn free_set_slots(&self) -> usize {
+        self.interner.free.len()
+    }
+
+    /// Iterates `(start, end, writers)` over all intervals in address
+    /// order (diagnostics).
     pub fn intervals(&self) -> impl Iterator<Item = (Word, Word, &[PrincipalId])> + '_ {
-        (0..self.starts.len()).map(move |i| {
-            (
-                self.starts[i],
-                self.ends[i],
-                self.interner.get(self.sets[i]),
-            )
+        let interner = &self.interner;
+        self.shards.iter().flat_map(move |sh| {
+            (0..sh.starts.len()).map(move |i| (sh.starts[i], sh.ends[i], interner.get(sh.sets[i])))
         })
     }
 
     /// Panics unless the structural invariants hold: sorted disjoint
-    /// non-empty intervals, non-empty sorted writer sets, and no
-    /// coalescible (touching, equal-set) neighbors. Test/proptest hook.
+    /// non-empty intervals inside their shard's bounds, non-empty sorted
+    /// writer sets, no coalescible (touching, equal-set) neighbors
+    /// within a shard, and interner refcounts exactly matching the
+    /// interval entries referencing each set. Test/proptest hook.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        assert_eq!(self.starts.len(), self.ends.len());
-        assert_eq!(self.starts.len(), self.sets.len());
-        for i in 0..self.starts.len() {
-            assert!(self.starts[i] < self.ends[i], "interval {i} non-empty");
-            assert_ne!(self.sets[i], EMPTY_WRITERS, "interval {i} has writers");
-            let set = self.interner.get(self.sets[i]);
-            assert!(!set.is_empty());
-            assert!(set.windows(2).all(|w| w[0] < w[1]), "set sorted");
-            if i + 1 < self.starts.len() {
-                assert!(self.ends[i] <= self.starts[i + 1], "disjoint + sorted");
+        let mut refs = vec![0u32; self.interner.sets.len()];
+        for (si, sh) in self.shards.iter().enumerate() {
+            assert_eq!(sh.starts.len(), sh.ends.len());
+            assert_eq!(sh.starts.len(), sh.sets.len());
+            let (slo, shi) = (self.shard_lo(si), self.shard_hi(si));
+            for i in 0..sh.starts.len() {
                 assert!(
-                    !(self.ends[i] == self.starts[i + 1] && self.sets[i] == self.sets[i + 1]),
-                    "touching equal-set intervals must coalesce"
+                    sh.starts[i] < sh.ends[i],
+                    "shard {si} interval {i} non-empty"
+                );
+                assert!(
+                    sh.starts[i] >= slo && sh.ends[i] <= shi,
+                    "shard {si} interval {i} inside shard bounds"
+                );
+                assert_ne!(sh.sets[i], EMPTY_WRITERS, "interval {i} has writers");
+                let set = self.interner.get(sh.sets[i]);
+                assert!(!set.is_empty());
+                assert!(set.windows(2).all(|w| w[0] < w[1]), "set sorted");
+                refs[sh.sets[i].0 as usize] += 1;
+                if i + 1 < sh.starts.len() {
+                    assert!(sh.ends[i] <= sh.starts[i + 1], "disjoint + sorted");
+                    assert!(
+                        !(sh.ends[i] == sh.starts[i + 1] && sh.sets[i] == sh.sets[i + 1]),
+                        "touching equal-set intervals must coalesce"
+                    );
+                }
+            }
+        }
+        for (i, &rc) in refs.iter().enumerate() {
+            assert_eq!(
+                self.interner.refs[i], rc,
+                "set {i} refcount matches its interval references"
+            );
+            if rc > 0 {
+                let set = &self.interner.sets[i];
+                assert_eq!(
+                    self.interner.ids.get(set),
+                    Some(&WriterSetId(i as u32)),
+                    "live set {i} resolvable through the id map"
                 );
             }
         }
+        for &slot in &self.interner.free {
+            assert_eq!(self.interner.refs[slot as usize], 0, "free slot is dead");
+            assert!(
+                self.interner.sets[slot as usize].is_empty(),
+                "free slot taken"
+            );
+        }
+        assert_eq!(
+            self.interner.live() + self.interner.free.len(),
+            self.interner.sets.len(),
+            "every slot is live or free"
+        );
     }
 }
 
@@ -365,37 +618,66 @@ impl WriterIndex {
 /// [`WriterIndex::writers_over`].
 pub struct WritersOver<'a> {
     index: &'a WriterIndex,
-    lo: usize,
-    hi: usize,
+    addr: Word,
+    end: Word,
+    s_first: usize,
+    s_last: usize,
+    s: usize,
+    win: (usize, usize),
     j: usize,
     k: usize,
+}
+
+impl WritersOver<'_> {
+    /// True if `w` was already yielded from an earlier overlapping
+    /// interval (possibly in an earlier shard). Ranges rarely span more
+    /// than one interval, so this almost never iterates.
+    fn already_yielded(&self, w: PrincipalId, sid: WriterSetId) -> bool {
+        for ss in self.s_first..=self.s {
+            let sh = &self.index.shards[ss];
+            let (wlo, whi) = if ss == self.s {
+                (self.win.0, self.j)
+            } else {
+                sh.window(self.addr, self.end)
+            };
+            for jj in wlo..whi {
+                let sj = sh.sets[jj];
+                if sj == sid || self.index.interner.get(sj).binary_search(&w).is_ok() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 impl Iterator for WritersOver<'_> {
     type Item = PrincipalId;
 
     fn next(&mut self) -> Option<PrincipalId> {
-        while self.j < self.hi {
-            let sid = self.index.sets[self.j];
+        loop {
+            if self.j >= self.win.1 {
+                if self.s >= self.s_last {
+                    return None;
+                }
+                self.s += 1;
+                self.win = self.index.shards[self.s].window(self.addr, self.end);
+                self.j = self.win.0;
+                self.k = 0;
+                continue;
+            }
+            let sid = self.index.shards[self.s].sets[self.j];
             let set = self.index.interner.get(sid);
             while self.k < set.len() {
                 let w = set[self.k];
                 self.k += 1;
-                // Skip principals already yielded from an earlier
-                // overlapping interval (ranges rarely span more than one,
-                // so this loop body almost never runs).
-                let dup = (self.lo..self.j).any(|jj| {
-                    let sj = self.index.sets[jj];
-                    sj == sid || self.index.interner.get(sj).binary_search(&w).is_ok()
-                });
-                if !dup {
+                if !self.already_yielded(w, sid) {
                     return Some(w);
                 }
             }
             self.j += 1;
             self.k = 0;
         }
-        None
     }
 }
 
@@ -578,17 +860,124 @@ mod tests {
     }
 
     #[test]
-    fn set_interning_shares_ids() {
+    fn set_interning_shares_ids_and_gcs_transients() {
         let mut ix = WriterIndex::new();
         for i in 0..8u64 {
             ix.add(P0, 0x1000 + i * 0x100, 0x40);
             ix.add(P1, 0x1000 + i * 0x100, 0x40);
         }
         ix.check_invariants();
-        // 8 disjoint {P0,P1} regions but only 4 sets ever interned:
-        // {}, {P0}, {P0,P1} — plus nothing else.
+        // 8 disjoint {P0,P1} regions share ONE live set besides the
+        // pinned empty set; the transient {P0} singletons created before
+        // each P1 add were freed when their last interval upgraded.
         assert_eq!(ix.interval_count(), 8);
-        assert_eq!(ix.set_count(), 3);
+        assert_eq!(ix.set_count(), 2, "live: {{}} and {{P0,P1}}");
+        assert!(
+            ix.sets_ever_interned() >= 3,
+            "transient {{P0}} was interned"
+        );
+        assert!(
+            ix.set_slot_capacity() <= 3,
+            "freed slots recycled: capacity {}",
+            ix.set_slot_capacity()
+        );
+    }
+
+    #[test]
+    fn removing_last_reference_frees_the_set() {
+        let mut ix = WriterIndex::new();
+        ix.add(P0, 0x1000, 0x40);
+        ix.add(P1, 0x1000, 0x40);
+        assert_eq!(ix.set_count(), 2); // {}, {P0,P1}
+        ix.remove(P0, 0x1000, 0x40);
+        ix.check_invariants();
+        assert_eq!(ix.set_count(), 2, "{{P0,P1}} freed, {{P1}} live");
+        ix.remove(P1, 0x1000, 0x40);
+        ix.check_invariants();
+        assert_eq!(ix.set_count(), 1, "only the pinned empty set remains");
+        assert_eq!(ix.interval_count(), 0);
+        assert!(ix.free_set_slots() > 0, "slots await recycling");
+    }
+
+    // ------------------------------------------------------------ shards
+
+    #[test]
+    fn sharded_answers_match_unsharded() {
+        let bounds = vec![0x1080, 0x1100, 0x2000];
+        let mut sharded = WriterIndex::with_boundaries(bounds);
+        let mut flat = WriterIndex::new();
+        let ops: &[(PrincipalId, Word, u64)] = &[
+            (P0, 0x1000, 0x100), // crosses 0x1080
+            (P1, 0x1040, 0x200), // crosses 0x1080 and 0x1100
+            (P2, 0x1ff0, 0x20),  // crosses 0x2000
+            (P0, 0x3000, 0x40),  // inside the top shard
+        ];
+        for &(p, a, s) in ops {
+            sharded.add(p, a, s);
+            flat.add(p, a, s);
+            sharded.check_invariants();
+        }
+        for probe in [
+            0x0ff8u64, 0x1000, 0x1040, 0x107c, 0x1080, 0x10fc, 0x1100, 0x123c, 0x1ff0, 0x1ffc,
+            0x2000, 0x2008, 0x3000,
+        ] {
+            assert_eq!(
+                writers(&sharded, probe, 8),
+                writers(&flat, probe, 8),
+                "probe {probe:#x}"
+            );
+            assert_eq!(sharded.overlaps(probe, 8), flat.overlaps(probe, 8));
+        }
+        // A wide probe spanning every shard still dedups writers.
+        let mut wide: Vec<_> = writers(&sharded, 0x1000, 0x2100);
+        wide.sort();
+        assert_eq!(wide, vec![P0, P1, P2]);
+        // Removals across boundaries agree too.
+        sharded.remove(P1, 0x1040, 0x200);
+        flat.remove(P1, 0x1040, 0x200);
+        sharded.check_invariants();
+        for probe in [0x1040u64, 0x1080, 0x1100, 0x1200] {
+            assert_eq!(
+                writers(&sharded, probe, 8),
+                writers(&flat, probe, 8),
+                "post-remove probe {probe:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_crossing_grant_splits_per_shard() {
+        let mut ix = WriterIndex::with_boundaries(vec![0x1080]);
+        assert_eq!(ix.shard_count(), 2);
+        ix.add(P0, 0x1000, 0x100);
+        ix.check_invariants();
+        // One logical region, two per-shard intervals (no cross-shard
+        // coalescing), one live non-empty set.
+        assert_eq!(ix.interval_count(), 2);
+        assert_eq!(ix.set_count(), 2);
+        assert_eq!(writers(&ix, 0x1078, 16), vec![P0], "probe across boundary");
+        ix.remove(P0, 0x1000, 0x100);
+        assert_eq!(ix.interval_count(), 0);
+    }
+
+    #[test]
+    fn boundaries_normalize() {
+        let ix = WriterIndex::with_boundaries(vec![0x2000, 0, 0x1000, 0x2000]);
+        assert_eq!(ix.boundaries(), &[0x1000, 0x2000]);
+        assert_eq!(ix.shard_count(), 3);
+    }
+
+    #[test]
+    fn near_max_sharded_saturates() {
+        let mut ix = WriterIndex::with_boundaries(vec![u64::MAX - 0x100]);
+        ix.add(P0, u64::MAX - 0x180, 0x1000); // clamps to [MAX-0x180, MAX)
+        ix.check_invariants();
+        assert_eq!(ix.interval_count(), 2, "split at the boundary");
+        assert_eq!(writers(&ix, u64::MAX - 0x110, 0x20), vec![P0]);
+        assert_eq!(writers(&ix, u64::MAX - 8, 8), vec![P0]);
+        ix.remove(P0, u64::MAX - 0x180, u64::MAX);
+        assert_eq!(ix.interval_count(), 0);
+        ix.check_invariants();
     }
 
     #[test]

@@ -16,8 +16,14 @@
 //! residual-coverage reinstatement path), `revoke_everywhere` transfers,
 //! `kfree`-style overlapping revocation, and ranges whose end arithmetic
 //! saturates near `Word::MAX`. The index's structural invariants
-//! (sorted disjoint intervals, interned non-empty sets, full
-//! coalescing) are asserted after every operation.
+//! (sorted disjoint intervals inside their shard bounds, interned
+//! non-empty refcounted sets, full within-shard coalescing) are
+//! asserted after every operation.
+//!
+//! Every sequence additionally runs under **sharded** writer indexes —
+//! proptest-chosen boundaries inside the op universe plus fixed
+//! near-`MAX` boundaries — since shard-boundary splits must never change
+//! a `writers_of` answer.
 
 use proptest::prelude::*;
 
@@ -146,7 +152,14 @@ fn probe_points(ops: &[Op]) -> Vec<u64> {
 /// Drives the runtime (reverse index), the linear baseline, and the
 /// naive model through one sequence, checking agreement at every step.
 fn check_sequence(ops: &[Op]) {
+    check_sequence_sharded(ops, Vec::new());
+}
+
+/// Like [`check_sequence`], but the runtime's writer index is sharded at
+/// the given boundaries first.
+fn check_sequence_sharded(ops: &[Op], boundaries: Vec<u64>) {
     let (mut rt, princs) = runtime_with_principals();
+    rt.set_shard_boundaries(boundaries);
     let mut lin = LinearWriterIndex::new();
     let mut naive = Naive::new(NPRINC);
     // The linear baseline is indexed by raw PrincipalId; pre-size it so
@@ -227,5 +240,43 @@ proptest! {
         let mut ops = low;
         ops.extend(high);
         check_sequence(&ops);
+    }
+
+    /// Sharded at proptest-chosen boundaries inside (and around) the op
+    /// universe: boundary splits never change an answer.
+    #[test]
+    fn writer_index_matches_sharded(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        boundaries in proptest::collection::vec(0x10_0000u64..0x10_2100, 1..5),
+    ) {
+        check_sequence_sharded(&ops, boundaries);
+    }
+
+    /// Sharded agreement where end arithmetic saturates: boundaries in
+    /// the last pages of the address space, including one one-byte-short
+    /// of `Word::MAX`.
+    #[test]
+    fn writer_index_matches_sharded_near_max(
+        ops in proptest::collection::vec(arb_op_near_max(), 1..30),
+    ) {
+        check_sequence_sharded(
+            &ops,
+            vec![u64::MAX - 0x1100, u64::MAX - 0x800, u64::MAX - 0x100, u64::MAX - 1],
+        );
+    }
+
+    /// Mixed universes over region-style shards (one boundary between
+    /// the universes, several inside each).
+    #[test]
+    fn writer_index_matches_sharded_mixed(
+        low in proptest::collection::vec(arb_op(), 1..20),
+        high in proptest::collection::vec(arb_op_near_max(), 1..20),
+    ) {
+        let mut ops = low;
+        ops.extend(high);
+        check_sequence_sharded(
+            &ops,
+            vec![0x10_0800, 0x10_1800, 0x20_0000, u64::MAX - 0x900],
+        );
     }
 }

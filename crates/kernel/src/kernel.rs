@@ -222,6 +222,10 @@ impl Kernel {
             snd: Default::default(),
             dm: Default::default(),
         };
+        // Shard the reverse writer index along the address-space regions
+        // (and the first module windows) before any capability traffic,
+        // so grant/revoke splices stay bounded by the region they touch.
+        k.rt.set_shard_boundaries(shard_boundaries());
         types::register_layouts(&mut k.layouts);
         {
             let mut d = (*k.unannotated_decl).clone();

@@ -47,6 +47,32 @@ pub const KDATA_BASE: Word = 0xffff_8900_0000_0000;
 /// Base of the kernel's own static objects (process table, ops tables).
 pub const KSTATIC_BASE: Word = 0xffff_8a00_0000_0000;
 
+/// Shard split points for the runtime's reverse writer index: one shard
+/// per address region (user space, heap, kernel data, kernel statics,
+/// stacks, module area, exports), plus a shard per module window for the
+/// first [`SHARDED_MODULE_WINDOWS`] modules — the regions whose
+/// capability traffic is independent, so grant/revoke splices in one
+/// never move another's intervals.
+pub fn shard_boundaries() -> Vec<Word> {
+    let mut b = vec![
+        HEAP_BASE,
+        KDATA_BASE,
+        KSTATIC_BASE,
+        STACK_BASE,
+        MODULE_BASE,
+        EXPORT_BASE,
+    ];
+    for i in 1..=SHARDED_MODULE_WINDOWS {
+        b.push(MODULE_BASE + i * MODULE_STRIDE);
+    }
+    b.sort_unstable();
+    b
+}
+
+/// Module windows given their own writer-index shard (later windows
+/// share the tail shard; ten annotated modules exist today).
+pub const SHARDED_MODULE_WINDOWS: u64 = 12;
+
 /// Returns true for user-space addresses.
 pub fn is_user_addr(a: Word) -> bool {
     a < USER_TOP
@@ -75,5 +101,28 @@ mod tests {
         assert!(MODULE_BASE > STACK_BASE + 1024 * STACK_STRIDE);
         assert!(STACK_BASE > HEAP_BASE);
         assert!(EXPORT_BASE > MODULE_BASE + 256 * MODULE_STRIDE);
+    }
+
+    #[test]
+    fn shard_boundaries_are_sorted_distinct_regions() {
+        let b = shard_boundaries();
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        // Every region base is a split point, so no region shares a
+        // shard with another.
+        for base in [
+            HEAP_BASE,
+            KDATA_BASE,
+            KSTATIC_BASE,
+            STACK_BASE,
+            MODULE_BASE,
+            EXPORT_BASE,
+        ] {
+            assert!(b.contains(&base), "{base:#x} missing");
+        }
+        // The per-module-window boundaries stay inside the module area.
+        assert!(b
+            .iter()
+            .filter(|&&x| x > MODULE_BASE && x < EXPORT_BASE)
+            .all(|&x| (x - MODULE_BASE).is_multiple_of(MODULE_STRIDE)));
     }
 }

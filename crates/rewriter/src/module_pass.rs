@@ -11,7 +11,14 @@
 //! through the same (unmodified) base register are covered by one merged
 //! guard spanning all of them, mirroring the paper's observation that a
 //! compile-time approach "provides opportunities for compile-time
-//! optimizations" that binary rewriters like XFI cannot exploit.
+//! optimizations" that binary rewriters like XFI cannot exploit. Merge
+//! runs are **gap-tolerant**: pure register-ALU instructions (moves,
+//! arithmetic, address materialization) may sit between the stores as
+//! long as they do not redefine the base register — they cannot change
+//! where the stores land, touch memory, or transfer control, so the
+//! merged guard's extent is unaffected. Real store sequences (struct
+//! field fills computing each value just before storing it) merge whole
+//! instead of breaking at every intervening `mov`.
 //!
 //! Finally it derives the module-initialization grant list from the
 //! import table: a CALL capability for every imported function's wrapper
@@ -58,6 +65,18 @@ pub enum InitGrant {
     },
 }
 
+/// Counters for the store-guard merge peephole.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Guards saved by merging same-base stores into one range guard.
+    pub guards_merged: usize,
+    /// Pure register-ALU instructions tolerated *inside* merge runs.
+    /// Each one sat between two stores that would otherwise have been
+    /// guarded separately, so this counts the elisions the gap
+    /// tolerance bought beyond strict-adjacency merging.
+    pub gap_insts_tolerated: usize,
+}
+
 /// Result of rewriting one module.
 #[derive(Debug)]
 pub struct ModuleRewrite {
@@ -69,8 +88,8 @@ pub struct ModuleRewrite {
     pub guards_inserted: usize,
     /// Stores proven safe statically (frame-local) — no guard.
     pub guards_elided: usize,
-    /// Guards saved by merging consecutive same-base stores.
-    pub guards_merged: usize,
+    /// Merge-peephole counters.
+    pub merge: MergeStats,
 }
 
 /// Runs the module pass.
@@ -78,7 +97,7 @@ pub fn rewrite_module(input: &Program, opts: RewriteOptions) -> ModuleRewrite {
     let mut program = input.clone();
     let mut guards_inserted = 0;
     let mut guards_elided = 0;
-    let mut guards_merged = 0;
+    let mut merge = MergeStats::default();
 
     for f in &mut program.funcs {
         let leaders = block_leaders(&f.insts);
@@ -95,14 +114,20 @@ pub fn rewrite_module(input: &Program, opts: RewriteOptions) -> ModuleRewrite {
                 Inst::Store {
                     base, off, width, ..
                 } => {
-                    let group_end = if opts.merge_write_guards {
+                    let (group_end, gap_insts) = if opts.merge_write_guards {
                         store_group_end(&f.insts, i, *base, &leaders)
                     } else {
-                        i + 1
+                        (i + 1, 0)
                     };
                     if group_end > i + 1 {
-                        // Merged guard spanning the whole group.
+                        // Merged guard spanning the whole group (the
+                        // extent scans only the stores, so tolerated
+                        // gap instructions cannot widen it).
                         let (lo, span) = group_extent(&f.insts[i..group_end]);
+                        let stores = f.insts[i..group_end]
+                            .iter()
+                            .filter(|inst| matches!(inst, Inst::Store { .. }))
+                            .count();
                         inserts.push((
                             i,
                             Inst::GuardWrite {
@@ -112,7 +137,8 @@ pub fn rewrite_module(input: &Program, opts: RewriteOptions) -> ModuleRewrite {
                             },
                         ));
                         guards_inserted += 1;
-                        guards_merged += group_end - i - 1;
+                        merge.guards_merged += stores - 1;
+                        merge.gap_insts_tolerated += gap_insts;
                     } else {
                         inserts.push((
                             i,
@@ -150,7 +176,7 @@ pub fn rewrite_module(input: &Program, opts: RewriteOptions) -> ModuleRewrite {
         init_grants,
         guards_inserted,
         guards_elided,
-        guards_merged,
+        merge,
     }
 }
 
@@ -165,34 +191,62 @@ fn block_leaders(body: &[Inst]) -> Vec<bool> {
     leaders
 }
 
-/// Returns the exclusive end of the run of consecutive `Store`s through
-/// `base` starting at `start`, stopping at block boundaries, any
-/// redefinition of `base`, or any instruction that could change
-/// capability state (calls) or control flow.
-fn store_group_end(body: &[Inst], start: usize, base: Operand, leaders: &[bool]) -> usize {
+/// True for pure register-ALU instructions: no memory effect, no
+/// capability-state effect, no control transfer. Such an instruction may
+/// sit inside a merge run — it cannot move where the run's stores land
+/// (unless it redefines the base register, which the caller checks).
+fn is_pure_reg_alu(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Mov { .. }
+            | Inst::Bin { .. }
+            | Inst::FrameAddr { .. }
+            | Inst::GlobalAddr { .. }
+            | Inst::SymAddr { .. }
+            | Inst::FuncAddr { .. }
+    )
+}
+
+/// Returns the exclusive end of the run of `Store`s through `base`
+/// starting at `start` (ending just past the last store), plus the
+/// number of tolerated gap instructions inside the run. The run stops at
+/// block boundaries, any redefinition of `base`, and any instruction
+/// that could touch memory, change capability state (calls), or transfer
+/// control; pure register-ALU instructions that leave `base` alone are
+/// stepped over and counted.
+fn store_group_end(body: &[Inst], start: usize, base: Operand, leaders: &[bool]) -> (usize, usize) {
     let base_reg = match base {
         Operand::Reg(r) => Some(r),
         Operand::Imm(_) => None,
     };
-    let mut end = start + 1;
-    while end < body.len() {
-        if leaders[end] {
+    let redefines_base = |inst: &Inst| match (base_reg, inst.def_reg()) {
+        (Some(r), Some(def)) => def == r,
+        _ => false,
+    };
+    let mut end = start + 1; // exclusive end: one past the last store
+    let mut cursor = start + 1;
+    let mut gaps_pending = 0;
+    let mut gap_insts = 0;
+    while cursor < body.len() {
+        if leaders[cursor] {
             break; // A branch may land here and skip the merged guard.
         }
-        match &body[end] {
+        match &body[cursor] {
             Inst::Store { base: b, .. } if *b == base => {
-                if let (Some(r), Some(def)) = (base_reg, body[end].def_reg()) {
-                    if def == r {
-                        break;
-                    }
-                }
-                end += 1;
+                gap_insts += gaps_pending; // the gap sat between stores
+                gaps_pending = 0;
+                cursor += 1;
+                end = cursor;
+            }
+            inst if is_pure_reg_alu(inst) && !redefines_base(inst) => {
+                gaps_pending += 1;
+                cursor += 1;
             }
             _ => break,
         }
     }
     let _ = base_reg.map(|r: Reg| r); // silence unused in non-debug builds
-    end
+    (end, gap_insts)
 }
 
 /// `[lo, hi)` byte extent covered by a run of stores (same base).
@@ -256,7 +310,8 @@ mod tests {
         });
         let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
         assert_eq!(rw.guards_inserted, 1);
-        assert_eq!(rw.guards_merged, 2);
+        assert_eq!(rw.merge.guards_merged, 2);
+        assert_eq!(rw.merge.gap_insts_tolerated, 0);
         match &rw.program.funcs[0].insts[0] {
             Inst::GuardWrite { off, len, .. } => {
                 assert_eq!(*off, 0);
@@ -281,7 +336,81 @@ mod tests {
             },
         );
         assert_eq!(rw.guards_inserted, 2);
-        assert_eq!(rw.guards_merged, 0);
+        assert_eq!(rw.merge, MergeStats::default());
+    }
+
+    #[test]
+    fn pure_alu_gap_does_not_break_the_merge() {
+        // A field fill computing each value just before storing it:
+        //   store [r0+0]; mov r1, 7; add r2, r1, 1; store [r0+8]
+        // The mov/add cannot move the store base, so one guard covers
+        // both stores and the gap instructions are counted.
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 3, 0, |f| {
+            f.store8(1i64, R0, 0);
+            f.mov(R1, 7i64);
+            f.add(R2, R1, 1i64);
+            f.store8(R2, R0, 8);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(rw.guards_inserted, 1);
+        assert_eq!(rw.merge.guards_merged, 1);
+        assert_eq!(rw.merge.gap_insts_tolerated, 2);
+        match &rw.program.funcs[0].insts[0] {
+            Inst::GuardWrite { off, len, .. } => {
+                assert_eq!(*off, 0);
+                assert_eq!(*len, Operand::Imm(16), "extent spans the stores only");
+            }
+            other => panic!("expected merged guard, got {other:?}"),
+        }
+        verify_program(&rw.program).unwrap();
+    }
+
+    #[test]
+    fn trailing_alu_after_last_store_is_not_counted() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 2, 0, |f| {
+            f.store8(1i64, R0, 0);
+            f.store8(2i64, R0, 8);
+            f.mov(R1, 7i64); // after the run: not a tolerated gap
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(rw.guards_inserted, 1);
+        assert_eq!(rw.merge.guards_merged, 1);
+        assert_eq!(rw.merge.gap_insts_tolerated, 0);
+    }
+
+    #[test]
+    fn gap_redefining_base_breaks_the_merge() {
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 2, 0, |f| {
+            f.store8(1i64, R0, 0);
+            f.add(R0, R0, 0x100i64); // redefines the base: run ends
+            f.store8(2i64, R0, 8);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(rw.guards_inserted, 2);
+        assert_eq!(rw.merge, MergeStats::default());
+        verify_program(&rw.program).unwrap();
+    }
+
+    #[test]
+    fn memory_touching_gap_breaks_the_merge() {
+        // A load is not a pure register-ALU instruction; stay
+        // conservative and end the run.
+        let mut pb = ProgramBuilder::new("m");
+        pb.define("f", 3, 0, |f| {
+            f.store8(1i64, R0, 0);
+            f.load(R1, R2, 0, Width::B8);
+            f.store8(R1, R0, 8);
+            f.ret_void();
+        });
+        let rw = rewrite_module(&pb.finish(), RewriteOptions::default());
+        assert_eq!(rw.guards_inserted, 2);
+        assert_eq!(rw.merge, MergeStats::default());
     }
 
     #[test]
