@@ -7,8 +7,17 @@
 //! 2. **Write-guard merging** (module pass): consecutive same-base
 //!    stores share one range guard; disabling it guards each store
 //!    individually.
+//! 3. **Epoch-cache associativity** (`WAYS`): the per-thread write-guard
+//!    cache remembers `WAYS` covering intervals per principal; the
+//!    ablation sweeps 1/2/4/8 ways against store streams rotating over
+//!    1–8 distinct objects (the netperf TX path touches four per
+//!    packet: descriptor, payload, queue state, stats), to justify the
+//!    default of 4.
 
-use lxfi_core::GuardKind;
+use std::hint::black_box;
+use std::time::Instant;
+
+use lxfi_core::{GuardHandle, GuardKind, RawCap, Runtime};
 use lxfi_kernel::{IsolationMode, Kernel};
 use lxfi_rewriter::{rewrite_module, RewriteOptions};
 
@@ -111,9 +120,106 @@ pub fn merge_ablation() -> MergeAblation {
     }
 }
 
+// ------------------------------------------- epoch-cache WAYS ablation
+
+/// Base of the rotated-object arena in the WAYS ablation.
+pub const WAYS_ARENA: u64 = 0x60_0000;
+/// Byte stride between the rotated objects.
+pub const WAYS_OBJ_STRIDE: u64 = 0x1000;
+
+/// One `(ways, objects)` cell of the associativity ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct WaysAblationRow {
+    /// Cache associativity (covering intervals per principal).
+    pub ways: usize,
+    /// Distinct objects the store stream rotates across per packet.
+    pub objects: usize,
+    /// Write-guard cache hit rate over the stream (deterministic).
+    pub hit_rate: f64,
+    /// Measured per-store latency (host ns).
+    pub store_ns: f64,
+}
+
+/// Drives a `W`-way [`GuardHandle`] through the netperf-model store
+/// stream: each "packet" touches `objects` distinct granted objects in
+/// rotation (descriptor-then-payload-then-state style), `stores` stores
+/// total. Returns `(hit_rate, ns_per_store)`.
+fn run_ways<const W: usize>(objects: usize, stores: u64) -> (f64, f64) {
+    let mut rt = Runtime::new();
+    let m = rt.register_module("ways");
+    let p = rt.principal_for_name(m, 0x9000);
+    for k in 0..objects as u64 {
+        rt.grant(p, RawCap::write(WAYS_ARENA + k * WAYS_OBJ_STRIDE, 0x200));
+    }
+    let mut h: GuardHandle<W> = GuardHandle::new(rt.share());
+    h.set_current(Some((m, p)));
+    let addr = |i: u64| {
+        let k = i % objects as u64;
+        WAYS_ARENA + k * WAYS_OBJ_STRIDE + (i % 32) * 8
+    };
+    // One full rotation of warmup, then the measured stream.
+    for i in 0..objects as u64 {
+        h.check_write(addr(i), 8).unwrap();
+    }
+    h.stats.reset();
+    let t0 = Instant::now();
+    for i in 0..stores {
+        h.check_write(black_box(addr(i)), 8).unwrap();
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / stores as f64;
+    (h.stats.write_cache_hit_rate(), ns)
+}
+
+/// The full `ways × objects` grid. Round-robin replacement against a
+/// cyclic stream is the worst case: `objects ≤ ways` hits ~100%,
+/// `objects > ways` collapses to ~0% — the cliff the table in the
+/// README uses to justify (or indict) the default of 4 for workloads
+/// touching more objects per packet.
+pub fn epoch_ways_ablation(stores: u64) -> Vec<WaysAblationRow> {
+    let mut rows = Vec::new();
+    for &objects in &[1usize, 2, 4, 6, 8] {
+        for &ways in &[1usize, 2, 4, 8] {
+            let (hit_rate, store_ns) = match ways {
+                1 => run_ways::<1>(objects, stores),
+                2 => run_ways::<2>(objects, stores),
+                4 => run_ways::<4>(objects, stores),
+                _ => run_ways::<8>(objects, stores),
+            };
+            rows.push(WaysAblationRow {
+                ways,
+                objects,
+                hit_rate,
+                store_ns,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ways_ablation_shows_the_associativity_cliff() {
+        let rows = epoch_ways_ablation(4_000);
+        let cell = |w: usize, o: usize| {
+            rows.iter()
+                .find(|r| r.ways == w && r.objects == o)
+                .unwrap()
+                .hit_rate
+        };
+        // Enough ways for the rotation: everything hits.
+        assert!(cell(4, 4) > 0.99, "4 objects fit 4 ways: {}", cell(4, 4));
+        assert!(cell(8, 6) > 0.99);
+        assert!(cell(1, 1) > 0.99);
+        // One object too many + round-robin replacement: collapse.
+        assert!(cell(4, 6) < 0.05, "6 objects thrash 4 ways: {}", cell(4, 6));
+        assert!(cell(1, 2) < 0.05);
+        assert!(cell(2, 4) < 0.05);
+        // The default covers the netperf TX pattern (4 objects/packet).
+        assert!(cell(4, 2) > 0.99);
+    }
 
     #[test]
     fn writer_set_tracking_saves_indcall_work() {

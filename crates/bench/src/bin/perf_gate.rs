@@ -21,8 +21,15 @@
 //!   revoke cached store stays under the uncached probe *and* within
 //!   1.5x of the steady-state cached store (+2 ns noise allowance at
 //!   single-digit-ns scale); the revoke-heavy cache hit rate stays
-//!   ≥95%; and the 4-shard splice beats the unsharded splice at 512
-//!   principals.
+//!   ≥95%; the 4-shard splice beats the unsharded splice at 512
+//!   principals; and the multi-threaded netperf contention rows hold —
+//!   contended per-store ≤2x uncontended at 2 workers (+5 ns slack),
+//!   churn leaves the cache hit rate ≥50%, and the 4-thread aggregate
+//!   reaches ≥2.5x single-thread. The scaling row is **CPU-count
+//!   aware**: parallel speedup cannot exist on fewer than 4 CPUs, so on
+//!   such hosts (`mt_cpus` in the measured JSON) the row degrades to a
+//!   collapse guard (4 threads must keep ≥½ the single-thread
+//!   aggregate).
 //!
 //! Exit status: 0 = pass, 1 = regression, 2 = bad input.
 
@@ -38,8 +45,13 @@ const REGRESSION_FACTOR: f64 = 2.0;
 /// noise is a meaningful fraction of the value.
 const POST_REVOKE_SLACK_NS: f64 = 2.0;
 
+/// Absolute tolerance (ns) added to the contended-vs-uncontended
+/// multi-threaded store floor (batch-timed tens-of-ns quantities on a
+/// machine that is, by construction, busy).
+const MT_CONTENTION_SLACK_NS: f64 = 5.0;
+
 /// `(label, optimized key, reference key)` — the ratio-gated structures.
-const GATED: [(&str, &str, &str); 12] = [
+const GATED: [(&str, &str, &str); 13] = [
     ("write-table hit", "interval_hit_ns", "linear_hit_ns"),
     ("write-table miss", "interval_miss_ns", "linear_miss_ns"),
     (
@@ -87,6 +99,13 @@ const GATED: [(&str, &str, &str); 12] = [
         "splice 16-shard/unsharded @512",
         "splice_512p_16shard_ns",
         "splice_512p_1shard_ns",
+    ),
+    (
+        // Deterministic simulated cycles: identical on every host, so a
+        // drift here is a real guard-path change on the playback path.
+        "sound playback lxfi/stock cycles",
+        "sound_lxfi_period_cycles",
+        "sound_stock_period_cycles",
     ),
 ];
 
@@ -251,6 +270,45 @@ fn run(baseline_path: &str, current_path: &str) -> Result<bool, String> {
         splice4,
         1.0,
     );
+
+    // Multi-threaded netperf contention rows (tentpole acceptance bar).
+    let contended = get(&current, "mt_store_2t_contended_ns", current_path)?;
+    let uncontended = get(&current, "mt_store_2t_uncontended_ns", current_path)?;
+    floor(
+        "floor: mt contended ≤2x uncontended @2t".into(),
+        contended,
+        2.0 * uncontended + MT_CONTENTION_SLACK_NS,
+    );
+    let mt_hit = get(&current, "mt_contended_2t_hit_rate", current_path)?;
+    floor(
+        "floor: mt contended miss rate ≤50% @2t".into(),
+        1.0 - mt_hit,
+        0.5,
+    );
+    // Scaling: 4-thread aggregate ≥2.5x single-thread — expressed as the
+    // inverse ratio so the row reads as an upper bound. Parallel speedup
+    // is physically impossible below 4 CPUs, so there the row only
+    // guards against collapse (4 threads ≥ half the 1-thread aggregate).
+    let cpus = get(&current, "mt_cpus", current_path)?;
+    let inv_scaling = ratio(
+        &current,
+        "mt_aggregate_1t_mops",
+        "mt_aggregate_4t_mops",
+        current_path,
+    )?;
+    if cpus >= 4.0 {
+        floor(
+            "floor: mt 4t aggregate ≥2.5x 1t (ratio ≤0.4)".into(),
+            inv_scaling,
+            0.4,
+        );
+    } else {
+        floor(
+            format!("floor: mt 4t no collapse ({cpus:.0} cpus: ratio ≤2)"),
+            inv_scaling,
+            2.0,
+        );
+    }
 
     // Report: one row per check, no first-failure bailout.
     println!(

@@ -2,15 +2,17 @@
 //! UDP_STREAM TX workload) plus the guard-structure latency comparisons:
 //! WRITE-table interval index vs linear scan, the epoch-validated write
 //! guard cache under revoke-heavy churn, grant/revoke splice latency at
-//! 1/4/16 writer-index shards, and the reverse writer index vs the
-//! global principal walk.
+//! 1/4/16 writer-index shards, the reverse writer index vs the global
+//! principal walk, the multi-threaded netperf TX workload (contended
+//! and not), and the sound playback period (deterministic cycles).
 //!
 //! `--json` emits the measurements as a flat JSON object (stable keys;
-//! `*_ns` latencies, `*_rate` fractions, and raw guard counters) for the
-//! CI perf gate (`perf_gate`) and the workflow artifact; the human
+//! `*_ns` latencies, `*_rate` fractions, `*_cycles` deterministic
+//! simulated cycles, `*_mops` M stores/s, and raw guard counters) for
+//! the CI perf gate (`perf_gate`) and the workflow artifact; the human
 //! tables are suppressed in that mode.
 
-use lxfi_bench::{guards, render_table, writer_index};
+use lxfi_bench::{guards, netperf_mt, render_table, sound, writer_index};
 
 /// Measured values, as `(key, value)` pairs with stable names.
 fn measurements(iters: u64) -> Vec<(String, f64)> {
@@ -58,6 +60,32 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
     for row in writer_index::splice_rows(iters / 10) {
         out.push((format!("splice_512p_{}shard_ns", row.shards), row.churn_ns));
     }
+    // Multi-threaded netperf TX: scaling (1t vs 4t uncontended) and the
+    // contention pair at 2 threads (CI's smoke thread count). The gate
+    // conditions the scaling row on the host CPU count.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push(("mt_cpus".into(), cpus as f64));
+    let pkts = (iters / 2).max(10_000);
+    let m1 = netperf_mt::run_netperf_mt(1, pkts, false);
+    out.push(("mt_store_1t_ns".into(), m1.store_ns));
+    out.push(("mt_aggregate_1t_mops".into(), m1.aggregate_mops));
+    let m4 = netperf_mt::run_netperf_mt(4, pkts, false);
+    out.push(("mt_store_4t_ns".into(), m4.store_ns));
+    out.push(("mt_aggregate_4t_mops".into(), m4.aggregate_mops));
+    let m2u = netperf_mt::run_netperf_mt(2, pkts, false);
+    let m2c = netperf_mt::run_netperf_mt(2, pkts, true);
+    out.push(("mt_store_2t_uncontended_ns".into(), m2u.store_ns));
+    out.push(("mt_store_2t_contended_ns".into(), m2c.store_ns));
+    out.push(("mt_aggregate_2t_mops".into(), m2u.aggregate_mops));
+    out.push(("mt_contended_2t_hit_rate".into(), m2c.hit_rate));
+    out.push(("mt_contended_2t_churn_ops".into(), m2c.churn_ops as f64));
+    // Sound playback period: deterministic simulated cycles, so the
+    // stock/LXFI ratio is machine-independent.
+    let pb = sound::playback_comparison(200);
+    out.push(("sound_stock_period_cycles".into(), pb.stock));
+    out.push(("sound_lxfi_period_cycles".into(), pb.lxfi));
     out
 }
 
@@ -204,7 +232,38 @@ fn main() {
     println!(
         "\nEvery slot has two writers; the walk pays O(principals) per\n\
          lookup (plus a Vec allocation), the reverse index pays one\n\
-         window search over interned writer sets. Re-emit as JSON with\n\
-         `--json` (the CI perf gate consumes it; see bench/baseline.json)."
+         window search over interned writer sets."
+    );
+
+    println!("\nMulti-threaded netperf TX (2 workers, churn on/off):\n");
+    let m2u = netperf_mt::run_netperf_mt(2, 50_000, false);
+    let m2c = netperf_mt::run_netperf_mt(2, 50_000, true);
+    let rows: Vec<Vec<String>> = [&m2u, &m2c]
+        .iter()
+        .map(|m| {
+            vec![
+                if m.contended { "churn" } else { "idle" }.to_string(),
+                format!("{:.1}", m.store_ns),
+                format!("{:.2}", m.aggregate_mops),
+                format!("{:.1}%", m.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Churn", "Store ns", "Aggregate Mstores/s", "Hit rate"],
+            &rows
+        )
+    );
+    println!("(full 1/2/4/8-thread sweep: `cargo run --bin netperf_mt`)");
+
+    let pb = sound::playback_comparison(200);
+    println!(
+        "\nSound playback period (deterministic cycles): stock {:.0},\n\
+         LXFI {:.0} ({:.1}x) — a tiny operation, so fixed crossing costs\n\
+         dominate. Re-emit as JSON with `--json` (the CI perf gate\n\
+         consumes it; see bench/baseline.json).",
+        pb.stock, pb.lxfi, pb.overhead
     );
 }

@@ -18,7 +18,9 @@ pub mod census;
 pub mod guards;
 pub mod loc;
 pub mod netperf;
+pub mod netperf_mt;
 pub mod sfi;
+pub mod sound;
 pub mod writer_index;
 
 /// Renders an aligned text table.

@@ -174,7 +174,7 @@ fn require_owned(rt: &Runtime, ctx: PrincipalCtx, cap: RawCap) -> Result<(), Vio
         },
         crate::caps::CapType::Ref(t) => Violation::MissingRef {
             principal: p,
-            rtype: rt.ref_type_name(t).to_string(),
+            rtype: rt.ref_type_name(t),
             value: cap.addr,
         },
     })

@@ -10,8 +10,9 @@
 //! to a full interval-table probe.
 //!
 //! This module replaces it with a small **set-associative cache per
-//! principal** ([`WAYS`] covering intervals each), validated by a
-//! **per-principal epoch counter** owned by the runtime:
+//! principal** ([`EpochCache`], `WAYS` covering intervals each),
+//! validated by a **per-principal epoch counter** owned by the runtime
+//! core:
 //!
 //! - a successful guard probe inserts its covering grant interval,
 //!   stamped with the principal's current epoch;
@@ -19,9 +20,17 @@
 //!   principal's current epoch *and* a cached interval covers the write;
 //! - revocation bumps the epochs of exactly the principals whose
 //!   coverage could have shrunk (the revokee plus its hierarchy
-//!   observers, see `Runtime::bump_write_epochs`), which invalidates
+//!   observers, see `RuntimeCore::bump_write_epochs`), which invalidates
 //!   their cached intervals wholesale in O(1) without touching anyone
 //!   else's.
+//!
+//! Since the thread-safe refactor, epochs live in the shared
+//! [`crate::RuntimeCore`] as atomics while each thread's
+//! [`crate::GuardHandle`] owns a private `EpochCache` — so the cache is
+//! written lock-free by exactly one thread and validated against the
+//! globally visible epoch on every lookup. A revoke on any thread bumps
+//! the atomic epoch, and every other thread's stale entries die on
+//! their next comparison without any cross-thread eviction traffic.
 //!
 //! Grants never bump epochs: a cached interval asserts "this principal
 //! may write `[start, end)`", and granting *more* authority cannot
@@ -30,16 +39,25 @@
 //!
 //! The cache stores only positive decisions. A denied write is never
 //! cached, so a later grant is visible immediately.
+//!
+//! The associativity is a const parameter so `lxfi-bench`'s ablation
+//! can sweep 1/2/4/8 ways over the netperf store pattern; the runtime
+//! paths use [`WriteGuardCache`] (= [`DEFAULT_WAYS`]-way), which the
+//! ablation table in the README justifies.
 
 use lxfi_machine::Word;
 
 use crate::principal::PrincipalId;
 
-/// Associativity: covering intervals remembered per principal. Module
-/// code rarely interleaves stores into more than a handful of objects
-/// between revocations; four ways cover the packet-TX workload with a
-/// >99% hit rate while keeping lookup a few compares.
-pub const WAYS: usize = 4;
+/// Default associativity: covering intervals remembered per principal.
+/// Module code rarely interleaves stores into more than a handful of
+/// objects between revocations; four ways cover the packet-TX workload
+/// with a >99% hit rate while keeping lookup a few compares (see the
+/// WAYS ablation in `lxfi-bench`).
+pub const DEFAULT_WAYS: usize = 4;
+
+/// Backwards-compatible alias for the pre-parameterized constant.
+pub const WAYS: usize = DEFAULT_WAYS;
 
 /// One cached covering interval `[start, end)`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,28 +66,53 @@ struct WayEntry {
     end: Word,
 }
 
-/// One principal's cache set: up to [`WAYS`] intervals, all stamped with
+/// One principal's cache set: up to `W` intervals, all stamped with
 /// the epoch they were filled under. A stale epoch invalidates the whole
 /// set lazily — no revocation-time walk.
-#[derive(Debug, Clone, Copy, Default)]
-struct CacheSet {
+#[derive(Debug, Clone, Copy)]
+struct CacheSet<const W: usize> {
     epoch: u64,
     len: u8,
     cursor: u8,
-    ways: [WayEntry; WAYS],
+    ways: [WayEntry; W],
 }
 
-/// The write-guard cache: one [`CacheSet`] per principal, grown lazily
+impl<const W: usize> Default for CacheSet<W> {
+    fn default() -> Self {
+        CacheSet {
+            epoch: 0,
+            len: 0,
+            cursor: 0,
+            ways: [WayEntry::default(); W],
+        }
+    }
+}
+
+/// The write-guard cache: one `CacheSet` per principal, grown lazily
 /// as principals first complete a guarded write.
-#[derive(Debug, Default)]
-pub struct WriteGuardCache {
-    sets: Vec<CacheSet>,
+#[derive(Debug)]
+pub struct EpochCache<const W: usize> {
+    sets: Vec<CacheSet<W>>,
 }
 
-impl WriteGuardCache {
+/// The runtime's write-guard cache ([`DEFAULT_WAYS`]-way).
+pub type WriteGuardCache = EpochCache<DEFAULT_WAYS>;
+
+impl<const W: usize> Default for EpochCache<W> {
+    fn default() -> Self {
+        EpochCache { sets: Vec::new() }
+    }
+}
+
+impl<const W: usize> EpochCache<W> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The cache's associativity.
+    pub const fn ways() -> usize {
+        W
     }
 
     /// True if a covering interval cached for `p` under the current
@@ -107,7 +150,7 @@ impl WriteGuardCache {
             end: interval.1,
         };
         set.len = set.len.max(set.cursor + 1);
-        set.cursor = (set.cursor + 1) % WAYS as u8;
+        set.cursor = (set.cursor + 1) % W as u8;
     }
 
     /// Number of principals with an allocated cache set (diagnostics).
@@ -155,10 +198,10 @@ mod tests {
     #[test]
     fn associative_ways_hold_multiple_objects() {
         let mut c = WriteGuardCache::new();
-        for i in 0..WAYS as u64 {
+        for i in 0..DEFAULT_WAYS as u64 {
             c.insert(P0, 0, (0x1000 * (i + 1), 0x1000 * (i + 1) + 0x100));
         }
-        for i in 0..WAYS as u64 {
+        for i in 0..DEFAULT_WAYS as u64 {
             assert!(c.lookup(P0, 0, 0x1000 * (i + 1), 0x1000 * (i + 1) + 8));
         }
         // A fifth insert evicts round-robin (the oldest way).
@@ -166,5 +209,27 @@ mod tests {
         assert!(!c.lookup(P0, 0, 0x1000, 0x1008), "way 0 evicted");
         assert!(c.lookup(P0, 0, 0x9000, 0x9008));
         assert!(c.lookup(P0, 0, 0x2000, 0x2008), "younger ways survive");
+    }
+
+    #[test]
+    fn one_way_cache_holds_exactly_one_object() {
+        let mut c: EpochCache<1> = EpochCache::new();
+        assert_eq!(EpochCache::<1>::ways(), 1);
+        c.insert(P0, 0, (0x1000, 0x1100));
+        assert!(c.lookup(P0, 0, 0x1000, 0x1008));
+        c.insert(P0, 0, (0x2000, 0x2100));
+        assert!(!c.lookup(P0, 0, 0x1000, 0x1008), "evicted by the insert");
+        assert!(c.lookup(P0, 0, 0x2000, 0x2008));
+    }
+
+    #[test]
+    fn eight_way_cache_survives_wider_rotation() {
+        let mut c: EpochCache<8> = EpochCache::new();
+        for i in 0..8u64 {
+            c.insert(P0, 0, (0x1000 * (i + 1), 0x1000 * (i + 1) + 0x100));
+        }
+        for i in 0..8u64 {
+            assert!(c.lookup(P0, 0, 0x1000 * (i + 1), 0x1000 * (i + 1) + 8));
+        }
     }
 }

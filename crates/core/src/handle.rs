@@ -1,0 +1,379 @@
+//! Per-thread guard handles over the shared [`RuntimeCore`].
+//!
+//! A [`GuardHandle`] is what a kernel thread (or a benchmark worker)
+//! holds to execute guards concurrently: its own shadow stack, its own
+//! kernel-stack window, its own `WAYS`-way epoch-validated write-guard
+//! cache, and its own [`GuardStats`]. The write-guard **hit path is
+//! completely lock-free**: current principal (thread-local shadow
+//! stack), one atomic epoch load from the core, and a few compares in
+//! the private cache. Only a miss (or grant/revoke traffic, which lives
+//! on the core) takes locks — the probed principal's table mutex, one
+//! at a time.
+//!
+//! The soundness contract with revocation is the epoch protocol (see
+//! [`crate::runtime`] module docs): the handle reads the principal's
+//! atomic epoch *before* probing the tables and stamps its cache with
+//! that pre-probe value, so a revoke that bumps the epoch after
+//! removing coverage always invalidates whatever the probe could have
+//! seen. The concurrent-revocation stress tests in
+//! `tests/concurrent_revocation.rs` race exactly this path.
+//!
+//! Handle stats merge into the core's global stats on
+//! [`GuardHandle::flush_stats`] or drop.
+
+use std::sync::Arc;
+
+use lxfi_machine::Word;
+
+use crate::caps::RawCap;
+use crate::epoch_cache::{EpochCache, DEFAULT_WAYS};
+use crate::principal::PrincipalId;
+use crate::runtime::RuntimeCore;
+use crate::shadow::{PrincipalCtx, ShadowStack};
+use crate::stats::{GuardCosts, GuardKind, GuardStats};
+use crate::Violation;
+
+/// The per-thread guard state shared by [`GuardHandle`] and the
+/// single-threaded facade's per-`ThreadId` lanes: shadow stack,
+/// kernel-stack window, and the private epoch cache.
+#[derive(Debug, Default)]
+pub struct GuardState<const W: usize = DEFAULT_WAYS> {
+    pub(crate) shadow: ShadowStack,
+    pub(crate) kstack: Option<(Word, u64)>,
+    pub(crate) cache: EpochCache<W>,
+}
+
+impl<const W: usize> GuardState<W> {
+    /// Fresh state: kernel context, no stack window, cold cache.
+    pub fn new() -> Self {
+        GuardState {
+            shadow: ShadowStack::new(),
+            kstack: None,
+            cache: EpochCache::new(),
+        }
+    }
+}
+
+/// Metering context threaded through the core's guard entry points so
+/// each caller (facade or handle) charges its own stats.
+pub struct GuardEnv<'a> {
+    /// Counter sink.
+    pub stats: &'a mut GuardStats,
+    /// Deterministic guard costs.
+    pub costs: &'a GuardCosts,
+    /// Writer-set bitmap fast path enabled (ablation switch).
+    pub fastpath: bool,
+    /// Reusable writer buffer for the indirect-call slow path.
+    pub scratch: &'a mut Vec<PrincipalId>,
+}
+
+/// The write guard, shared by [`GuardHandle::check_write`] and the
+/// facade's `Runtime::check_write`: stack-window shortcut, private
+/// epoch-cache probe, then the locked table walk with the epoch read
+/// **before** the probe (rule 2 of the soundness discipline).
+pub(crate) fn check_write_in<const W: usize>(
+    core: &RuntimeCore,
+    lane: &mut GuardState<W>,
+    stats: &mut GuardStats,
+    costs: &GuardCosts,
+    cache_enabled: bool,
+    addr: Word,
+    len: u64,
+) -> Result<(), Violation> {
+    stats.record(GuardKind::MemWrite, costs.mem_write);
+    let Some((_m, p)) = lane.shadow.current() else {
+        return Ok(()); // Kernel context: trusted.
+    };
+    if len == 0 {
+        return Ok(()); // Zero-length writes are vacuously permitted.
+    }
+    let end = addr.checked_add(len);
+    if let Some((base, slen)) = lane.kstack {
+        if addr >= base && end.is_some_and(|e| e <= base + slen) {
+            return Ok(());
+        }
+    }
+    if cache_enabled {
+        // An overflowing end never consults the cache (the probe below
+        // denies it), so it counts as neither hit nor miss.
+        if let Some(e) = end {
+            let epoch = core.write_epoch(p);
+            if lane.cache.lookup(p, epoch, addr, e) {
+                stats.write_cache_hits += 1;
+                return Ok(());
+            }
+            stats.write_cache_misses += 1;
+        }
+    }
+    // Epoch read BEFORE the table probe: a concurrent revoke removes
+    // coverage first and bumps after, so a stamp taken here is never
+    // newer than a bump that invalidates what the probe returns.
+    let epoch = core.write_epoch(p);
+    if let Some(interval) = core.write_covering(p, addr, len) {
+        if cache_enabled {
+            lane.cache.insert(p, epoch, interval);
+        }
+        Ok(())
+    } else {
+        Err(Violation::MissingWrite {
+            principal: p,
+            addr,
+            len,
+        })
+    }
+}
+
+/// A cheap per-thread guard executor over a shared [`RuntimeCore`]. See
+/// the module docs; construct one per worker thread with
+/// [`GuardHandle::new`] (typically from `Runtime::share`'s `Arc`).
+pub struct GuardHandle<const W: usize = DEFAULT_WAYS> {
+    core: Arc<RuntimeCore>,
+    lane: GuardState<W>,
+    scratch: Vec<PrincipalId>,
+    /// This thread's guard counters (merged into the core's global
+    /// stats on [`GuardHandle::flush_stats`] or drop).
+    pub stats: GuardStats,
+    /// Deterministic guard costs (copied from the default at creation).
+    pub costs: GuardCosts,
+    /// Per-handle ablation switch mirroring `Runtime::guard_cache_enabled`.
+    pub guard_cache_enabled: bool,
+    /// Per-handle ablation switch mirroring `Runtime::writer_fastpath`.
+    pub writer_fastpath: bool,
+}
+
+impl<const W: usize> GuardHandle<W> {
+    /// A fresh handle: kernel context, cold private cache, zero stats.
+    pub fn new(core: Arc<RuntimeCore>) -> Self {
+        GuardHandle {
+            core,
+            lane: GuardState::new(),
+            scratch: Vec::new(),
+            stats: GuardStats::new(),
+            costs: GuardCosts::default(),
+            guard_cache_enabled: true,
+            writer_fastpath: true,
+        }
+    }
+
+    /// The shared core this handle guards against.
+    pub fn core(&self) -> &Arc<RuntimeCore> {
+        &self.core
+    }
+
+    /// Sets this thread's kernel-stack window (always-writable, §3.2).
+    pub fn set_kernel_stack(&mut self, base: Word, len: u64) {
+        self.lane.kstack = Some((base, len));
+    }
+
+    /// This thread's shadow stack.
+    pub fn shadow(&mut self) -> &mut ShadowStack {
+        &mut self.lane.shadow
+    }
+
+    /// Sets the current principal context directly (test/bench entry;
+    /// kernel threads use the wrapper protocol).
+    pub fn set_current(&mut self, ctx: PrincipalCtx) {
+        self.lane.shadow.set_current(ctx);
+    }
+
+    /// The current principal context.
+    pub fn current(&self) -> PrincipalCtx {
+        self.lane.shadow.current()
+    }
+
+    /// Wrapper entry on this thread (shadow push + principal switch).
+    pub fn wrapper_enter(&mut self, new: PrincipalCtx) -> Word {
+        let c = self.costs.function_entry;
+        self.stats.record(GuardKind::FunctionEntry, c);
+        self.lane.shadow.push(new)
+    }
+
+    /// Wrapper exit on this thread (token validation + restore).
+    pub fn wrapper_exit(&mut self, token: Word) -> Result<(), Violation> {
+        let c = self.costs.function_exit;
+        self.stats.record(GuardKind::FunctionExit, c);
+        self.lane.shadow.pop(token)
+    }
+
+    /// Memory-write guard (§4.2) through this thread's private cache;
+    /// see [`crate::Runtime::check_write`] for semantics.
+    pub fn check_write(&mut self, addr: Word, len: u64) -> Result<(), Violation> {
+        check_write_in(
+            &self.core,
+            &mut self.lane,
+            &mut self.stats,
+            &self.costs,
+            self.guard_cache_enabled,
+            addr,
+            len,
+        )
+    }
+
+    /// Module-level CALL guard for this thread's current principal.
+    pub fn check_call(&mut self, target: Word) -> Result<(), Violation> {
+        let Some((_m, p)) = self.lane.shadow.current() else {
+            return Ok(());
+        };
+        if self.core.owns(p, RawCap::call(target)) {
+            Ok(())
+        } else {
+            Err(Violation::MissingCall {
+                principal: p,
+                target,
+            })
+        }
+    }
+
+    /// Kernel indirect-call check (§4.1) charged to this thread's stats.
+    pub fn check_indcall(
+        &mut self,
+        slot: Word,
+        target: Word,
+        sig_hash: u64,
+    ) -> Result<(), Violation> {
+        let mut env = GuardEnv {
+            stats: &mut self.stats,
+            costs: &self.costs,
+            fastpath: self.writer_fastpath,
+            scratch: &mut self.scratch,
+        };
+        self.core.check_indcall(&mut env, slot, target, sig_hash)
+    }
+
+    /// Merges this thread's stats into the core's global stats and
+    /// zeroes the local counters.
+    pub fn flush_stats(&mut self) {
+        self.core.merge_stats(&self.stats);
+        self.stats.reset();
+    }
+}
+
+impl<const W: usize> Drop for GuardHandle<W> {
+    fn drop(&mut self) {
+        self.core.merge_stats(&self.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::ModuleId;
+
+    fn world() -> (Runtime, ModuleId) {
+        let mut rt = Runtime::new();
+        let m = rt.register_module("mt");
+        (rt, m)
+    }
+
+    #[test]
+    fn handle_guards_against_shared_grants() {
+        let (mut rt, m) = world();
+        let p = rt.principal_for_name(m, 0x9000);
+        rt.grant(p, RawCap::write(0x5000, 64));
+        let mut h: GuardHandle = GuardHandle::new(rt.share());
+        h.set_current(Some((m, p)));
+        h.check_write(0x5000, 8).unwrap(); // miss: fills the cache
+        h.check_write(0x5038, 8).unwrap(); // hit: same covering interval
+        assert!(h.check_write(0x5040, 8).is_err());
+        assert_eq!(h.stats.write_cache_hits, 1);
+        h.check_write(0x5000, 8).unwrap();
+        assert_eq!(h.stats.write_cache_hits, 2);
+    }
+
+    #[test]
+    fn facade_revoke_invalidates_handle_cache() {
+        let (mut rt, m) = world();
+        let p = rt.principal_for_name(m, 0x9000);
+        let cap = RawCap::write(0x5000, 64);
+        rt.grant(p, cap);
+        let mut h: GuardHandle = GuardHandle::new(rt.share());
+        h.set_current(Some((m, p)));
+        h.check_write(0x5000, 8).unwrap(); // primes h's private cache
+        rt.revoke(p, cap);
+        assert!(
+            h.check_write(0x5000, 8).is_err(),
+            "epoch bump must kill the stale cached interval"
+        );
+    }
+
+    #[test]
+    fn unrelated_revoke_leaves_handle_cache_hot() {
+        let (mut rt, m) = world();
+        let a = rt.principal_for_name(m, 0x9000);
+        let b = rt.principal_for_name(m, 0xa000);
+        rt.grant(a, RawCap::write(0x5000, 64));
+        rt.grant(b, RawCap::write(0x6000, 64));
+        let mut h: GuardHandle = GuardHandle::new(rt.share());
+        h.set_current(Some((m, a)));
+        h.check_write(0x5000, 8).unwrap();
+        h.stats.reset();
+        rt.revoke(b, RawCap::write(0x6000, 64));
+        h.check_write(0x5008, 8).unwrap();
+        assert_eq!(h.stats.write_cache_hits, 1);
+        assert_eq!(h.stats.write_cache_misses, 0);
+    }
+
+    #[test]
+    fn shared_revoke_invalidates_instance_caches_on_every_handle() {
+        let (mut rt, m) = world();
+        let shared = rt.shared_principal(m);
+        let a = rt.principal_for_name(m, 0x9000);
+        rt.grant(shared, RawCap::write(0x5000, 64));
+        let mut h1: GuardHandle = GuardHandle::new(rt.share());
+        let mut h2: GuardHandle = GuardHandle::new(rt.share());
+        h1.set_current(Some((m, a)));
+        h2.set_current(Some((m, a)));
+        h1.check_write(0x5000, 8).unwrap(); // both caches hold the
+        h2.check_write(0x5000, 8).unwrap(); // shared-derived interval
+        rt.revoke(shared, RawCap::write(0x5000, 64));
+        assert!(h1.check_write(0x5000, 8).is_err());
+        assert!(h2.check_write(0x5000, 8).is_err());
+    }
+
+    #[test]
+    fn handle_stats_flush_into_core() {
+        let (mut rt, m) = world();
+        let p = rt.principal_for_name(m, 0x9000);
+        rt.grant(p, RawCap::write(0x5000, 64));
+        let core = rt.share();
+        {
+            let mut h: GuardHandle = GuardHandle::new(core.clone());
+            h.set_current(Some((m, p)));
+            h.check_write(0x5000, 8).unwrap();
+            h.check_write(0x5000, 8).unwrap();
+            h.flush_stats();
+            assert_eq!(h.stats.count(GuardKind::MemWrite), 0, "local reset");
+            h.check_write(0x5000, 8).unwrap();
+            // The third check merges on drop.
+        }
+        let g = core.global_stats();
+        assert_eq!(g.count(GuardKind::MemWrite), 3);
+        assert_eq!(g.write_cache_hits, 2);
+    }
+
+    #[test]
+    fn kernel_stack_window_is_per_handle() {
+        let (mut rt, m) = world();
+        let p = rt.principal_for_name(m, 0x9000);
+        let mut h: GuardHandle = GuardHandle::new(rt.share());
+        h.set_current(Some((m, p)));
+        assert!(h.check_write(0xffff_9000_0000_0100, 8).is_err());
+        h.set_kernel_stack(0xffff_9000_0000_0000, 0x2000);
+        h.check_write(0xffff_9000_0000_0100, 8).unwrap();
+        assert!(h.check_write(0xffff_9000_0000_2000, 8).is_err());
+    }
+
+    #[test]
+    fn wrapper_protocol_works_on_handles() {
+        let (mut rt, m) = world();
+        let p = rt.principal_for_name(m, 0x9000);
+        let mut h: GuardHandle = GuardHandle::new(rt.share());
+        let tok = h.wrapper_enter(Some((m, p)));
+        assert_eq!(h.current(), Some((m, p)));
+        h.wrapper_exit(tok).unwrap();
+        assert_eq!(h.current(), None);
+        assert_eq!(h.stats.count(GuardKind::FunctionEntry), 1);
+        assert_eq!(h.stats.count(GuardKind::FunctionExit), 1);
+    }
+}

@@ -41,6 +41,7 @@ pub mod actions;
 pub mod caps;
 pub mod compiled;
 pub mod epoch_cache;
+pub mod handle;
 pub mod iface;
 pub mod principal;
 pub mod runtime;
@@ -51,10 +52,11 @@ pub mod writer_set;
 
 pub use caps::{CapType, LinearWriteTable, RawCap, RefTypeId, WriteTable};
 pub use compiled::CompiledAnn;
-pub use epoch_cache::WriteGuardCache;
+pub use epoch_cache::{EpochCache, WriteGuardCache, DEFAULT_WAYS};
+pub use handle::GuardHandle;
 pub use iface::{FnDecl, Param, TypeLayouts};
 pub use principal::{ModuleId, PrincipalId, PrincipalKind};
-pub use runtime::{ConstId, IteratorFn, IteratorId, Runtime, ThreadId};
+pub use runtime::{ConstId, IteratorFn, IteratorId, KfreeSweep, Runtime, RuntimeCore, ThreadId};
 pub use stats::{GuardCosts, GuardKind, GuardStats, ALL_GUARD_KINDS};
 pub use writer_index::{LinearWriterIndex, WriterIndex, WriterSetId};
 

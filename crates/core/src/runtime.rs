@@ -1,17 +1,73 @@
-//! The LXFI runtime façade (§5): principals, capability operations,
+//! The LXFI runtime (§5): principals, capability operations,
 //! control-transfer interposition, writer-set-accelerated indirect-call
 //! checks, and guard accounting.
+//!
+//! # Concurrency architecture
+//!
+//! Since the thread-safe refactor the runtime is split in two:
+//!
+//! - [`RuntimeCore`] is the **shared world**: principal/module metadata
+//!   behind an `RwLock`, per-principal capability tables each behind
+//!   their own mutex (lock-free to *index* via a chunked slot table),
+//!   per-principal write epochs as atomics, the reverse writer index as
+//!   an array of per-shard locks keyed by the address-region shard
+//!   boundaries, the writer-set bitmap behind an `RwLock`, and the
+//!   interned-ID tables (REF types, iterators, constants, the function
+//!   registry) behind an `RwLock`. Everything takes `&self`; the type is
+//!   `Send + Sync` and meant to live in an `Arc`.
+//! - [`crate::GuardHandle`] is the **per-thread view**: it owns its own
+//!   shadow stack, kernel-stack window, epoch-validated write-guard
+//!   cache, and `GuardStats`, so concurrent guarded stores from
+//!   different threads hit their private caches without any shared
+//!   write. Only grant/revoke traffic takes locks (the affected
+//!   principal's table mutex plus the affected shards).
+//!
+//! [`Runtime`] is the single-threaded facade the simulated kernel and
+//! the benches drive: the old `&mut self` API, one guard lane (shadow
+//! stack + cache) per registered [`ThreadId`], and a plain
+//! [`GuardStats`] field — all delegating to an `Arc<RuntimeCore>` that
+//! [`Runtime::share`] exposes for spawning [`crate::GuardHandle`]s on
+//! other threads.
+//!
+//! # Locking and soundness discipline
+//!
+//! Lock order (outer → inner): `meta` → per-principal `caps` mutex →
+//! `sharding` (read) → per-shard mutex; `writer_map` only ever nests
+//! *inside* `sharding` (note_zeroed holds the sharding read lock while
+//! writing the map) or stands alone. No path takes two
+//! `caps` mutexes at once; fallback probes (instance → shared, global →
+//! union) lock one table at a time.
+//!
+//! The write-guard soundness invariant under races — *after a revoke
+//! returns, no stale cached grant can authorize a write* — follows from
+//! three ordering rules, each enforced here:
+//!
+//! 1. a revoke removes coverage from the capability table **before**
+//!    bumping the affected epochs (so a guard that re-probes can never
+//!    re-cache the dying interval under the new epoch);
+//! 2. a guard reads the principal's epoch **before** probing the tables
+//!    and stamps the cache with that pre-probe value (so the stamp is
+//!    never newer than a revocation that raced the probe);
+//! 3. epoch bumps traverse the §3.1 hierarchy under the `meta` read
+//!    lock, and principal creation takes the `meta` write lock (so an
+//!    instance born before a shared-revoke's bump sweep is always
+//!    included in it).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use lxfi_machine::{AddressSpace, Word};
 
 use crate::caps::{CapSet, CapType, RawCap, RefTypeId};
-use crate::epoch_cache::WriteGuardCache;
+use crate::epoch_cache::DEFAULT_WAYS;
+use crate::handle::{check_write_in, GuardState};
 use crate::principal::{ModuleId, ModuleInfo, PrincipalId, PrincipalKind};
 use crate::shadow::{PrincipalCtx, ShadowStack};
 use crate::stats::{GuardCosts, GuardKind, GuardStats};
-use crate::writer_index::WriterIndex;
+use crate::writer_index::{
+    for_each_segment, normalize_boundaries, shard_hi, shard_lo, IndexShard, SetInterner,
+};
 use crate::writer_set::WriterMap;
 use crate::Violation;
 
@@ -62,18 +118,6 @@ pub enum EmittedCap {
 pub type IteratorFn =
     Box<dyn Fn(&AddressSpace, Word, &mut Vec<EmittedCap>) -> Result<(), String> + Send + Sync>;
 
-#[derive(Debug)]
-struct Principal {
-    module: ModuleId,
-    kind: PrincipalKind,
-    caps: CapSet,
-    /// Write-guard epoch: incremented whenever this principal's
-    /// *observable* WRITE coverage may have shrunk (a revocation from it
-    /// or from a principal it falls back to). Cached guard decisions
-    /// stamped with an older epoch are invalid.
-    write_epoch: u64,
-}
-
 /// Metadata for a registered function address.
 #[derive(Debug, Clone)]
 pub struct FnMeta {
@@ -85,31 +129,1026 @@ pub struct FnMeta {
     pub module: Option<ModuleId>,
 }
 
-/// The LXFI runtime state.
-pub struct Runtime {
-    principals: Vec<Principal>,
+/// Immutable per-principal metadata (the mutable parts — capability
+/// table and epoch — live in the principal's [`PrincipalSlot`]).
+#[derive(Debug, Clone, Copy)]
+struct PrincipalMeta {
+    module: ModuleId,
+    kind: PrincipalKind,
+}
+
+/// Registry state behind the `meta` lock: who the principals and
+/// modules are, and the pointer-name maps.
+#[derive(Debug, Default)]
+struct Meta {
+    principals: Vec<PrincipalMeta>,
     modules: Vec<ModuleInfo>,
-    threads: HashMap<ThreadId, ShadowStack>,
-    thread_stacks: HashMap<ThreadId, (Word, u64)>,
-    writer_map: WriterMap,
-    /// Reverse writer index (addr range → interned writer-principal set):
-    /// kept in lockstep with every WRITE grant/revocation so the
-    /// indirect-call slow path is sublinear in the number of principals.
-    writer_index: WriterIndex,
+}
+
+/// Interned-name tables behind the `names` lock.
+#[derive(Default)]
+struct Names {
     ref_types: Vec<String>,
     ref_type_ids: HashMap<String, RefTypeId>,
-    iterators: Vec<Option<IteratorFn>>,
+    iterators: Vec<Option<Arc<IteratorFn>>>,
     iterator_ids: HashMap<String, IteratorId>,
     iterator_names: Vec<String>,
-    fn_registry: HashMap<Word, FnMeta>,
     const_values: Vec<Option<i64>>,
     const_ids: HashMap<String, ConstId>,
     const_names: Vec<String>,
-    /// Per-principal set-associative cache of covering grant intervals
-    /// for the write guard, validated by each principal's `write_epoch`.
-    /// Revocation bumps only the affected principals' epochs, so an
-    /// unrelated revoke evicts nothing (see [`crate::epoch_cache`]).
-    write_cache: WriteGuardCache,
+}
+
+/// One principal's mutable state: the write epoch (atomic, read
+/// lock-free by every guard) and the capability tables (mutex, taken by
+/// grant/revoke and by guard cache misses).
+#[derive(Debug)]
+struct PrincipalSlot {
+    epoch: AtomicU64,
+    caps: Mutex<CapSet>,
+}
+
+impl Default for PrincipalSlot {
+    fn default() -> Self {
+        PrincipalSlot {
+            epoch: AtomicU64::new(0),
+            caps: Mutex::new(CapSet::new()),
+        }
+    }
+}
+
+/// Principals per slot chunk.
+const SLOT_CHUNK: usize = 64;
+/// Hard cap on principals (chunks are preallocated `OnceLock`s so slot
+/// lookup never takes a lock).
+const MAX_PRINCIPALS: usize = 1 << 16;
+
+/// A chunked, append-only principal-slot table: indexing is two atomic
+/// loads (`OnceLock::get`), so the guard hot path reaches a principal's
+/// epoch without any lock while registration (under the `meta` write
+/// lock) initializes chunks on demand.
+struct SlotTable {
+    chunks: Box<[OnceLock<Box<[PrincipalSlot; SLOT_CHUNK]>>]>,
+}
+
+impl SlotTable {
+    fn new() -> Self {
+        SlotTable {
+            chunks: (0..MAX_PRINCIPALS / SLOT_CHUNK)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// Makes sure the chunk holding principal `i` exists.
+    fn ensure(&self, i: usize) {
+        assert!(i < MAX_PRINCIPALS, "principal limit ({MAX_PRINCIPALS})");
+        self.chunks[i / SLOT_CHUNK]
+            .get_or_init(|| Box::new(std::array::from_fn(|_| PrincipalSlot::default())));
+    }
+
+    /// The slot of a registered principal (lock-free).
+    fn get(&self, i: usize) -> &PrincipalSlot {
+        &self.chunks[i / SLOT_CHUNK]
+            .get()
+            .expect("principal registered")[i % SLOT_CHUNK]
+    }
+}
+
+/// The sharded reverse writer index: split points plus one
+/// independently locked [`IndexShard`] per region, over one shared
+/// (mutexed) set interner. Grant/revoke splices and indirect-call
+/// lookups lock only the shards their address range touches, one at a
+/// time, under the interner mutex (taken before any shard lock). The
+/// interner mutex therefore serializes index *mutations* with each
+/// other and with writer lookups — which is also what makes a
+/// revocation's remove-and-reinstate atomic per shard — while the
+/// interner-free queries (`overlaps`, the presence hint) only contend
+/// on the shards they touch, and the guard-store hot path touches none
+/// of this. Narrowing the interner hold to the id/refcount phase (so
+/// splice memmoves in different shards can overlap) is a ROADMAP item.
+struct Sharding {
+    boundaries: Vec<Word>,
+    shards: Vec<Mutex<IndexShard>>,
+    interner: Mutex<SetInterner>,
+    /// Allocation count carried from retired predecessors so the
+    /// `sets_ever` gauge stays monotonic across rebuilds.
+    ever_carried: u64,
+}
+
+impl Sharding {
+    fn new(boundaries: Vec<Word>, ever_carried: u64) -> Self {
+        let boundaries = normalize_boundaries(boundaries);
+        let shards = (0..=boundaries.len())
+            .map(|_| Mutex::new(IndexShard::new()))
+            .collect();
+        Sharding {
+            boundaries,
+            shards,
+            interner: Mutex::new(SetInterner::new()),
+            ever_carried,
+        }
+    }
+
+    /// Runs `f` on every shard segment of `[addr, addr+size)` (clamped),
+    /// locking one shard at a time. The clipping walk itself is shared
+    /// with the single-threaded index ([`for_each_segment`]).
+    fn for_segments(&self, addr: Word, size: u64, mut f: impl FnMut(&mut IndexShard, Word, Word)) {
+        for_each_segment(&self.boundaries, addr, size, |s, lo, hi| {
+            f(&mut self.shards[s].lock().expect("shard lock"), lo, hi)
+        });
+    }
+
+    fn add(&self, p: PrincipalId, addr: Word, size: u64) {
+        let mut interner = self.interner.lock().expect("interner lock");
+        self.for_segments(addr, size, |sh, lo, hi| sh.add(&mut interner, p, lo, hi));
+    }
+
+    /// Replaces `p`'s index coverage over `[addr, addr+size)` with the
+    /// given residual ranges (a revocation survivor set, pre-clipped by
+    /// the caller to the window). Each shard's remove-and-restore runs
+    /// under a **single** hold of that shard's lock, so a concurrent
+    /// indirect-call lookup can never observe the transient no-coverage
+    /// state between the removal and the reinstatement — the index may
+    /// transiently over-approximate a writer (conservative), never
+    /// under-approximate one.
+    fn replace(&self, p: PrincipalId, addr: Word, size: u64, residuals: &[(Word, Word)]) {
+        let mut interner = self.interner.lock().expect("interner lock");
+        self.for_segments(addr, size, |sh, lo, hi| {
+            sh.remove(&mut interner, p, lo, hi);
+            for &(rlo, rhi) in residuals {
+                let clo = rlo.max(lo);
+                let chi = rhi.min(hi);
+                if clo < chi {
+                    sh.add(&mut interner, p, clo, chi);
+                }
+            }
+        });
+    }
+
+    fn overlaps(&self, addr: Word, len: u64) -> bool {
+        let mut hit = false;
+        self.for_segments(addr, len, |sh, lo, hi| hit |= sh.overlaps(lo, hi));
+        hit
+    }
+
+    fn collect_writers(&self, addr: Word, len: u64, out: &mut Vec<PrincipalId>) {
+        let interner = self.interner.lock().expect("interner lock");
+        self.for_segments(addr, len, |sh, lo, hi| {
+            sh.collect_writers(&interner, lo, hi, out)
+        });
+    }
+
+    /// Principals present in the shards overlapping `[addr, addr+len)` —
+    /// the kfree hint (a superset of the range's actual writers).
+    fn present_over(&self, addr: Word, len: u64) -> Vec<PrincipalId> {
+        let mut out = Vec::new();
+        self.for_segments(addr, len, |sh, _lo, _hi| {
+            for p in sh.present_principals() {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Result of a `kfree`-style sweep
+/// ([`RuntimeCore::revoke_write_overlapping_everywhere`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KfreeSweep {
+    /// Per-principal epoch bumps the sweep caused.
+    pub epoch_bumps: u64,
+    /// Principals visited (present in the freed region's shards).
+    pub visited: u64,
+    /// Principals the presence hint let the sweep skip.
+    pub skipped: u64,
+}
+
+/// The shared, thread-safe half of the runtime. See the module docs for
+/// the state split and the locking discipline. All methods take
+/// `&self`; wrap it in an [`Arc`] and hand [`crate::GuardHandle`]s to
+/// worker threads.
+pub struct RuntimeCore {
+    meta: RwLock<Meta>,
+    slots: SlotTable,
+    sharding: RwLock<Sharding>,
+    writer_map: RwLock<WriterMap>,
+    names: RwLock<Names>,
+    fns: RwLock<HashMap<Word, FnMeta>>,
+    /// Merged per-thread handle stats (handles flush here on drop or via
+    /// `GuardHandle::flush_stats`); the single-threaded facade keeps its
+    /// own `GuardStats` field instead.
+    stats: Mutex<GuardStats>,
+}
+
+impl Default for RuntimeCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeCore {
+    /// Creates an empty, single-shard core.
+    pub fn new() -> Self {
+        Self::with_shard_boundaries(Vec::new())
+    }
+
+    /// Creates an empty core with the given writer-index shard split
+    /// points (the unit of both splice locality and lock granularity).
+    pub fn with_shard_boundaries(boundaries: Vec<Word>) -> Self {
+        RuntimeCore {
+            meta: RwLock::new(Meta::default()),
+            slots: SlotTable::new(),
+            sharding: RwLock::new(Sharding::new(boundaries, 0)),
+            writer_map: RwLock::new(WriterMap::new()),
+            names: RwLock::new(Names::default()),
+            fns: RwLock::new(HashMap::new()),
+            stats: Mutex::new(GuardStats::new()),
+        }
+    }
+
+    fn slot(&self, p: PrincipalId) -> &PrincipalSlot {
+        self.slots.get(p.0 as usize)
+    }
+
+    /// The current write-guard epoch of a principal. Guards read this
+    /// lock-free before consulting their private caches.
+    #[inline]
+    pub fn write_epoch(&self, p: PrincipalId) -> u64 {
+        self.slot(p).epoch.load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------------------ modules
+
+    /// Registers a module, creating its shared and global principals.
+    pub fn register_module(&self, name: &str) -> ModuleId {
+        let mut meta = self.meta.write().expect("meta lock");
+        let mid = ModuleId(meta.modules.len() as u32);
+        let shared = self.new_principal_locked(&mut meta, mid, PrincipalKind::Shared);
+        let global = self.new_principal_locked(&mut meta, mid, PrincipalKind::Global);
+        meta.modules
+            .push(ModuleInfo::new(name.to_string(), shared, global));
+        mid
+    }
+
+    fn new_principal_locked(
+        &self,
+        meta: &mut Meta,
+        module: ModuleId,
+        kind: PrincipalKind,
+    ) -> PrincipalId {
+        let id = PrincipalId(meta.principals.len() as u32);
+        self.slots.ensure(id.0 as usize);
+        meta.principals.push(PrincipalMeta { module, kind });
+        id
+    }
+
+    /// Number of registered modules.
+    pub fn module_count(&self) -> usize {
+        self.meta.read().expect("meta lock").modules.len()
+    }
+
+    /// Number of registered principals.
+    pub fn principal_count(&self) -> usize {
+        self.meta.read().expect("meta lock").principals.len()
+    }
+
+    /// The name a module was registered under.
+    pub fn module_name(&self, id: ModuleId) -> String {
+        self.meta.read().expect("meta lock").modules[id.0 as usize]
+            .name
+            .clone()
+    }
+
+    /// The module's shared principal.
+    pub fn shared_principal(&self, id: ModuleId) -> PrincipalId {
+        self.meta.read().expect("meta lock").modules[id.0 as usize].shared
+    }
+
+    /// The module's global principal.
+    pub fn global_principal(&self, id: ModuleId) -> PrincipalId {
+        self.meta.read().expect("meta lock").modules[id.0 as usize].global
+    }
+
+    /// The kind of a principal.
+    pub fn principal_kind(&self, p: PrincipalId) -> PrincipalKind {
+        self.meta.read().expect("meta lock").principals[p.0 as usize].kind
+    }
+
+    /// The module a principal belongs to.
+    pub fn principal_module(&self, p: PrincipalId) -> ModuleId {
+        self.meta.read().expect("meta lock").principals[p.0 as usize].module
+    }
+
+    // --------------------------------------------------- principal naming
+
+    /// Resolves the principal named by pointer `name`, creating a fresh
+    /// instance principal on first use (a module invocation with a
+    /// `principal(ptr)` annotation is the instance's birth).
+    pub fn principal_for_name(&self, module: ModuleId, name: Word) -> PrincipalId {
+        let mut meta = self.meta.write().expect("meta lock");
+        if let Some(p) = meta.modules[module.0 as usize].lookup_name(name) {
+            return p;
+        }
+        let p = self.new_principal_locked(&mut meta, module, PrincipalKind::Instance);
+        let m = &mut meta.modules[module.0 as usize];
+        m.instances.push(p);
+        m.names.insert(name, p);
+        p
+    }
+
+    /// `lxfi_princ_alias(existing, new)` (§3.3): binds `new_name` to the
+    /// principal already named `existing_name`. The module code must have
+    /// performed an adequate check before calling this (§3.4); the runtime
+    /// additionally refuses to alias names the module has never seen.
+    pub fn princ_alias(
+        &self,
+        module: ModuleId,
+        existing_name: Word,
+        new_name: Word,
+    ) -> Result<(), Violation> {
+        let mut meta = self.meta.write().expect("meta lock");
+        let m = &meta.modules[module.0 as usize];
+        let p = m
+            .lookup_name(existing_name)
+            .ok_or_else(|| Violation::PrincipalDenied {
+                why: format!("no principal named {existing_name:#x} in module {}", m.name),
+            })?;
+        let m = &mut meta.modules[module.0 as usize];
+        if let Some(prev) = m.names.get(&new_name) {
+            if *prev != p {
+                return Err(Violation::PrincipalDenied {
+                    why: format!("name {new_name:#x} already bound to a different principal"),
+                });
+            }
+            return Ok(());
+        }
+        m.names.insert(new_name, p);
+        Ok(())
+    }
+
+    // ------------------------------------------------------- capabilities
+
+    /// Grants a capability to a principal. WRITE grants mark the
+    /// writer-set map and enter the reverse writer index (§5) under the
+    /// principal's table mutex, so the index never lags the table once
+    /// the call returns. Grants never bump write epochs: added authority
+    /// cannot invalidate a cached positive guard decision.
+    pub fn grant(&self, p: PrincipalId, cap: RawCap) {
+        if cap.ctype == CapType::Write {
+            self.writer_map
+                .write()
+                .expect("writer map lock")
+                .mark(cap.addr, cap.size);
+            let mut caps = self.slot(p).caps.lock().expect("caps lock");
+            // Index before table: an indirect call racing this grant may
+            // see the writer early (conservative), never late.
+            self.sharding
+                .read()
+                .expect("sharding lock")
+                .add(p, cap.addr, cap.size);
+            caps.grant(cap);
+        } else {
+            self.slot(p).caps.lock().expect("caps lock").grant(cap);
+        }
+    }
+
+    /// Revokes a capability from one principal; returns whether it was
+    /// held and how many write epochs were bumped. A successful WRITE
+    /// revocation removes table coverage (and fixes the writer index)
+    /// **before** bumping the epochs of exactly the principals whose
+    /// observable coverage shrank; every other principal's guard cache
+    /// survives untouched.
+    pub fn revoke(&self, p: PrincipalId, cap: RawCap) -> (bool, u64) {
+        let removed = {
+            let mut caps = self.slot(p).caps.lock().expect("caps lock");
+            let removed = caps.revoke(cap);
+            if removed && cap.ctype == CapType::Write {
+                self.unindex_write_locked(p, cap.addr, cap.size, &caps);
+            }
+            removed
+        };
+        let bumps = if removed && cap.ctype == CapType::Write {
+            self.bump_write_epochs(p)
+        } else {
+            0
+        };
+        (removed, bumps)
+    }
+
+    /// Bumps the write epoch of `p` and of every principal whose
+    /// write-guard coverage can *observe* `p`'s WRITE table through the
+    /// §3.1 hierarchy fallbacks:
+    ///
+    /// - revoking from an **instance** also invalidates the module's
+    ///   global principal (it unions every instance);
+    /// - revoking from the **shared** principal invalidates every
+    ///   instance (they fall back to shared) and the global principal;
+    /// - revoking from the **global** principal invalidates only itself
+    ///   (nobody falls back to global).
+    ///
+    /// Runs under the `meta` read lock so instances created concurrently
+    /// (under the write lock) are either fully born and swept, or born
+    /// after the sweep — in which case their tables were probed only
+    /// after this revocation's table update.
+    fn bump_write_epochs(&self, p: PrincipalId) -> u64 {
+        let meta = self.meta.read().expect("meta lock");
+        let pm = meta.principals[p.0 as usize];
+        let mut bumps = 0u64;
+        let mut bump = |q: PrincipalId| {
+            self.slot(q).epoch.fetch_add(1, Ordering::AcqRel);
+            bumps += 1;
+        };
+        bump(p);
+        match pm.kind {
+            PrincipalKind::Global => {}
+            PrincipalKind::Instance => {
+                bump(meta.modules[pm.module.0 as usize].global);
+            }
+            PrincipalKind::Shared => {
+                let m = &meta.modules[pm.module.0 as usize];
+                bump(m.global);
+                for &q in &m.instances {
+                    bump(q);
+                }
+            }
+        }
+        bumps
+    }
+
+    /// Drops `p` from the writer index over `[addr, addr+size)` while
+    /// reinstating whatever coverage `p`'s *remaining* grants still have
+    /// there (the index stores merged coverage, so revoking one of two
+    /// overlapping grants must not erase the survivor). The caller holds
+    /// `p`'s caps mutex — `caps` is the post-removal table — which keeps
+    /// the index in lockstep with the table for each principal; the
+    /// removal and the reinstatement are applied per shard under one
+    /// hold of the shard's lock ([`Sharding::replace`]), so a racing
+    /// indirect-call lookup can never see the survivor's coverage
+    /// transiently absent.
+    fn unindex_write_locked(&self, p: PrincipalId, addr: Word, size: u64, caps: &CapSet) {
+        let end = addr.saturating_add(size);
+        // Clip the survivors to the removed window: coverage outside it
+        // never left. Small: a revocation rarely overlaps many grants.
+        let residuals: Vec<(Word, Word)> = caps
+            .write
+            .iter_overlapping(addr, size)
+            .map(|(a, s)| (a.max(addr), (a.saturating_add(s)).min(end)))
+            .filter(|&(lo, hi)| lo < hi)
+            .collect();
+        self.sharding
+            .read()
+            .expect("sharding lock")
+            .replace(p, addr, size, &residuals);
+    }
+
+    /// Revokes a capability from **every** principal in the system —
+    /// `transfer` semantics (§3.3): no stale copies survive. Returns the
+    /// total epoch bumps.
+    pub fn revoke_everywhere(&self, cap: RawCap) -> u64 {
+        let n = self.principal_count();
+        let mut bumps = 0;
+        for i in 0..n {
+            bumps += self.revoke(PrincipalId(i as u32), cap).1;
+        }
+        bumps
+    }
+
+    /// Revokes all WRITE capabilities overlapping `[addr, addr+size)` from
+    /// every principal that holds any (used by `kfree`: freed memory must
+    /// have no outstanding capabilities). The per-shard principal-presence
+    /// hint bounds the sweep to the freed region's writers instead of
+    /// walking every principal's table; callers in debug builds assert
+    /// the hint against the full walk (see `Runtime`).
+    pub fn revoke_write_overlapping_everywhere(&self, addr: Word, size: u64) -> KfreeSweep {
+        let total = self.principal_count() as u64;
+        let hint = self
+            .sharding
+            .read()
+            .expect("sharding lock")
+            .present_over(addr, size);
+        let mut sweep = KfreeSweep {
+            epoch_bumps: 0,
+            visited: hint.len() as u64,
+            skipped: total.saturating_sub(hint.len() as u64),
+        };
+        for &p in &hint {
+            let span = {
+                let mut caps = self.slot(p).caps.lock().expect("caps lock");
+                let (_, span) = caps.write.revoke_overlapping_span(addr, size);
+                // A partially intersected grant is revoked whole, so the
+                // lost coverage can reach beyond [addr, addr+size):
+                // un-index the actual extent of what was removed.
+                if let Some((lo, hi)) = span {
+                    self.unindex_write_locked(p, lo, hi - lo, &caps);
+                }
+                span
+            };
+            if span.is_some() {
+                sweep.epoch_bumps += self.bump_write_epochs(p);
+            }
+        }
+        sweep
+    }
+
+    /// Ownership test with the principal-hierarchy semantics of §3.1:
+    /// an instance principal falls back to the module's shared principal;
+    /// the global principal owns anything any principal of its module
+    /// owns. Locks one capability table at a time.
+    pub fn owns(&self, p: PrincipalId, cap: RawCap) -> bool {
+        let meta = self.meta.read().expect("meta lock");
+        let pm = meta.principals[p.0 as usize];
+        let probe = |q: PrincipalId| self.slot(q).caps.lock().expect("caps lock").owns(cap);
+        match pm.kind {
+            PrincipalKind::Shared => probe(p),
+            PrincipalKind::Instance => probe(p) || probe(meta.modules[pm.module.0 as usize].shared),
+            PrincipalKind::Global => meta.modules[pm.module.0 as usize]
+                .all_principals()
+                .any(probe),
+        }
+    }
+
+    /// Ownership test for an optional principal context (`None` = the
+    /// trusted core kernel, which owns everything).
+    pub fn ctx_owns(&self, ctx: PrincipalCtx, cap: RawCap) -> bool {
+        match ctx {
+            None => true,
+            Some((_, p)) => self.owns(p, cap),
+        }
+    }
+
+    /// The covering interval behind a successful WRITE ownership test,
+    /// with the principal-hierarchy fallbacks of [`RuntimeCore::owns`].
+    pub(crate) fn write_covering(
+        &self,
+        p: PrincipalId,
+        addr: Word,
+        len: u64,
+    ) -> Option<(Word, Word)> {
+        let meta = self.meta.read().expect("meta lock");
+        let pm = meta.principals[p.0 as usize];
+        let probe = |q: PrincipalId| {
+            self.slot(q)
+                .caps
+                .lock()
+                .expect("caps lock")
+                .write
+                .covering(addr, len)
+        };
+        match pm.kind {
+            PrincipalKind::Shared => probe(p),
+            PrincipalKind::Instance => {
+                probe(p).or_else(|| probe(meta.modules[pm.module.0 as usize].shared))
+            }
+            PrincipalKind::Global => meta.modules[pm.module.0 as usize]
+                .all_principals()
+                .find_map(probe),
+        }
+    }
+
+    /// True if `p`'s own table has a grant overlapping the range (debug
+    /// hook for the kfree hint assertion).
+    pub fn write_overlaps(&self, p: PrincipalId, addr: Word, len: u64) -> bool {
+        self.slot(p)
+            .caps
+            .lock()
+            .expect("caps lock")
+            .write
+            .overlaps(addr, len)
+    }
+
+    /// Number of capabilities a principal holds directly (diagnostics).
+    pub fn cap_count(&self, p: PrincipalId) -> usize {
+        self.slot(p).caps.lock().expect("caps lock").len()
+    }
+
+    // ---------------------------------------------------------- functions
+
+    /// Registers a function address with its annotation hash.
+    pub fn register_function(&self, addr: Word, meta: FnMeta) {
+        self.fns.write().expect("fns lock").insert(addr, meta);
+    }
+
+    /// Looks up a registered function (cloned out of the registry).
+    pub fn function_at(&self, addr: Word) -> Option<FnMeta> {
+        self.fns.read().expect("fns lock").get(&addr).cloned()
+    }
+
+    /// The annotation hash of a registered function (the indirect-call
+    /// hot path: no clone).
+    pub fn function_ahash(&self, addr: Word) -> Option<u64> {
+        self.fns
+            .read()
+            .expect("fns lock")
+            .get(&addr)
+            .map(|m| m.ahash)
+    }
+
+    /// Principals (from any module) holding WRITE coverage of any byte of
+    /// the 8-byte slot at `addr` — the indirect-call slow path, answered
+    /// by the reverse writer index in O(log intervals + writers) instead
+    /// of the paper's global principal-list traversal (§5). Appends the
+    /// deduplicated writers to `out`.
+    pub fn collect_writers(&self, addr: Word, len: u64, out: &mut Vec<PrincipalId>) {
+        self.sharding
+            .read()
+            .expect("sharding lock")
+            .collect_writers(addr, len, out);
+    }
+
+    /// True if any writer interval overlaps `[addr, addr+len)`.
+    pub fn index_overlaps(&self, addr: Word, len: u64) -> bool {
+        self.sharding
+            .read()
+            .expect("sharding lock")
+            .overlaps(addr, len)
+    }
+
+    /// The kfree presence hint for a range (diagnostics/tests).
+    pub fn present_over(&self, addr: Word, len: u64) -> Vec<PrincipalId> {
+        self.sharding
+            .read()
+            .expect("sharding lock")
+            .present_over(addr, len)
+    }
+
+    /// `lxfi_check_indcall(pptr, ahash)` (§4.1): validates a kernel
+    /// indirect call through the function-pointer slot at `slot` whose
+    /// declared pointer type hashes to `sig_hash`. `target` is the value
+    /// currently stored in the slot. `scratch` is the caller's reusable
+    /// writer buffer (handles and the facade keep one so the steady
+    /// state allocates nothing).
+    ///
+    /// Fast path: if the writer-set bitmap proves no module was ever
+    /// granted WRITE over the slot, the call is kernel-authored and needs
+    /// no capability check.
+    pub fn check_indcall(
+        &self,
+        env: &mut crate::handle::GuardEnv<'_>,
+        slot: Word,
+        target: Word,
+        sig_hash: u64,
+    ) -> Result<(), Violation> {
+        if env.fastpath
+            && !self
+                .writer_map
+                .read()
+                .expect("writer map lock")
+                .maybe_written(slot)
+        {
+            let c = env.costs.ind_call_fast;
+            env.stats.record(GuardKind::KernelIndCall, c);
+            return Ok(());
+        }
+        // Past the bitmap: the reverse-index lookup runs, so the
+        // slow-path cost applies even when it finds no writers (a benign
+        // bitmap false positive, §5).
+        let c = env.costs.ind_call_slow;
+        env.stats.record(GuardKind::KernelIndCall, c);
+        // First check (§4.1): every writer principal must hold a CALL
+        // capability for the target. This is what rejects user-space
+        // targets and un-imported kernel functions like `detach_pid`.
+        env.scratch.clear();
+        self.collect_writers(slot, 8, env.scratch);
+        for &w in env.scratch.iter() {
+            let module = self.principal_module(w);
+            env.stats.record_indcall_module(module, c);
+            if !self.owns(w, RawCap::call(target)) {
+                return Err(Violation::IndCallUnauthorized {
+                    slot,
+                    target,
+                    writer: w,
+                });
+            }
+        }
+        if env.scratch.is_empty() {
+            return Ok(());
+        }
+        // Second check (§4.1): the annotations of the stored function and
+        // of the function-pointer type must match, so a module cannot
+        // launder a function through a differently-annotated slot.
+        let fn_hash = self
+            .function_ahash(target)
+            .ok_or(Violation::NotAFunction { target })?;
+        if fn_hash != sig_hash {
+            return Err(Violation::AnnotationMismatch { sig_hash, fn_hash });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------ writer tracking
+
+    /// Notes that `[addr, addr+len)` was zeroed (allocator or kernel
+    /// `memset`): writer-set bits clear unless a principal still holds
+    /// WRITE coverage.
+    pub fn note_zeroed(&self, addr: Word, len: u64) {
+        // A granule stays marked while any principal holds WRITE coverage
+        // of any byte in it (clearing would be a false negative). The
+        // reverse index answers this in one window search instead of a
+        // per-granule walk of every principal.
+        let sharding = self.sharding.read().expect("sharding lock");
+        self.writer_map
+            .write()
+            .expect("writer map lock")
+            .clear_zeroed(addr, len, |granule| sharding.overlaps(granule, 64));
+    }
+
+    /// Direct writer-map marking (used when a module is loaded: its
+    /// writable sections may contain function pointers the kernel will
+    /// invoke, §5).
+    pub fn mark_written(&self, addr: Word, len: u64) {
+        self.writer_map
+            .write()
+            .expect("writer map lock")
+            .mark(addr, len);
+    }
+
+    /// True if the writer-set fast path would skip checks for `addr`.
+    pub fn writer_clean(&self, addr: Word) -> bool {
+        !self
+            .writer_map
+            .read()
+            .expect("writer map lock")
+            .maybe_written(addr)
+    }
+
+    // ---------------------------------------------------------- iterators
+
+    /// Interns a REF type name.
+    pub fn ref_type(&self, name: &str) -> RefTypeId {
+        let mut names = self.names.write().expect("names lock");
+        if let Some(&id) = names.ref_type_ids.get(name) {
+            return id;
+        }
+        let id = RefTypeId(names.ref_types.len() as u32);
+        names.ref_types.push(name.to_string());
+        names.ref_type_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name of an interned REF type.
+    pub fn ref_type_name(&self, id: RefTypeId) -> String {
+        self.names.read().expect("names lock").ref_types[id.0 as usize].clone()
+    }
+
+    /// Interns an iterator name, reserving an empty slot if the iterator
+    /// has not been registered yet (annotations may be compiled before
+    /// the module supplying the iterator loads).
+    pub fn iterator_id(&self, name: &str) -> IteratorId {
+        let mut names = self.names.write().expect("names lock");
+        if let Some(&id) = names.iterator_ids.get(name) {
+            return id;
+        }
+        let id = IteratorId(names.iterators.len() as u32);
+        names.iterators.push(None);
+        names.iterator_names.push(name.to_string());
+        names.iterator_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name an iterator id was interned under (diagnostics).
+    pub fn iterator_name(&self, id: IteratorId) -> String {
+        self.names.read().expect("names lock").iterator_names[id.0 as usize].clone()
+    }
+
+    /// Registers a capability iterator under `name`; returns the interned
+    /// id compiled annotations reference it by.
+    pub fn register_iterator(&self, name: &str, f: IteratorFn) -> IteratorId {
+        let id = self.iterator_id(name);
+        self.names.write().expect("names lock").iterators[id.0 as usize] = Some(Arc::new(f));
+        id
+    }
+
+    /// Runs a registered iterator by interned id (the enforcement path —
+    /// no name lookup). The iterator function is cloned out of the
+    /// registry (an `Arc` bump) so no lock is held while it walks memory.
+    pub fn run_iterator_id(
+        &self,
+        id: IteratorId,
+        mem: &AddressSpace,
+        arg: Word,
+    ) -> Result<Vec<EmittedCap>, Violation> {
+        let f = self.names.read().expect("names lock").iterators[id.0 as usize]
+            .clone()
+            .ok_or_else(|| Violation::UnknownIterator {
+                name: self.iterator_name(id),
+            })?;
+        let mut out = Vec::new();
+        f(mem, arg, &mut out).map_err(|why| Violation::IteratorFailed {
+            name: self.iterator_name(id),
+            why,
+        })?;
+        Ok(out)
+    }
+
+    /// Runs a registered iterator by name (registration-time / test API;
+    /// enforcement goes through [`RuntimeCore::run_iterator_id`]).
+    pub fn run_iterator(
+        &self,
+        name: &str,
+        mem: &AddressSpace,
+        arg: Word,
+    ) -> Result<Vec<EmittedCap>, Violation> {
+        let id = self
+            .names
+            .read()
+            .expect("names lock")
+            .iterator_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| Violation::UnknownIterator {
+                name: name.to_string(),
+            })?;
+        self.run_iterator_id(id, mem, arg)
+    }
+
+    /// Number of registered iterators (annotation census, §8.2).
+    /// Interned-but-unregistered slots do not count.
+    pub fn iterator_count(&self) -> usize {
+        self.names
+            .read()
+            .expect("names lock")
+            .iterators
+            .iter()
+            .filter(|f| f.is_some())
+            .count()
+    }
+
+    // ------------------------------------------------------------- consts
+
+    /// Interns a constant name, reserving an undefined slot if the
+    /// constant has not been defined yet (evaluating an undefined slot
+    /// reports an unknown identifier, matching by-name lookup).
+    pub fn const_id(&self, name: &str) -> ConstId {
+        let mut names = self.names.write().expect("names lock");
+        if let Some(&id) = names.const_ids.get(name) {
+            return id;
+        }
+        let id = ConstId(names.const_values.len() as u32);
+        names.const_values.push(None);
+        names.const_names.push(name.to_string());
+        names.const_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The value of an interned constant, if defined.
+    pub fn const_value(&self, id: ConstId) -> Option<i64> {
+        self.names.read().expect("names lock").const_values[id.0 as usize]
+    }
+
+    /// The name a constant id was interned under (diagnostics).
+    pub fn const_name(&self, id: ConstId) -> String {
+        self.names.read().expect("names lock").const_names[id.0 as usize].clone()
+    }
+
+    /// Defines a named kernel constant usable in annotation expressions.
+    pub fn define_const(&self, name: &str, value: i64) {
+        let id = self.const_id(name);
+        self.names.write().expect("names lock").const_values[id.0 as usize] = Some(value);
+    }
+
+    // ----------------------------------------------------- sharding admin
+
+    /// Reconfigures the reverse writer index's shard boundaries (address
+    /// split points — typically the kernel layout's region bases and
+    /// module windows) and rebuilds the index from every principal's
+    /// live WRITE grants. **Not** safe to run concurrently with
+    /// capability traffic; the simulated kernel does it once at boot,
+    /// before any module loads.
+    pub fn set_shard_boundaries(&self, boundaries: Vec<Word>) {
+        // Snapshot every principal's grants first: taking the sharding
+        // write lock while holding a caps mutex would invert the
+        // caps → sharding order the mutation paths use.
+        let n = self.principal_count();
+        let mut grants: Vec<(PrincipalId, Vec<(Word, u64)>)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = PrincipalId(i as u32);
+            let caps = self.slot(p).caps.lock().expect("caps lock");
+            grants.push((p, caps.write.iter().collect()));
+        }
+        // The allocation gauge is documented monotonic; fold the retired
+        // index's count in so a rebuild never steps it backwards.
+        let prior = self.index_sets_ever_interned();
+        let fresh = Sharding::new(boundaries, prior);
+        for (p, gs) in grants {
+            for (a, s) in gs {
+                fresh.add(p, a, s);
+            }
+        }
+        *self.sharding.write().expect("sharding lock") = fresh;
+    }
+
+    /// Number of writer-index shards.
+    pub fn index_shard_count(&self) -> usize {
+        self.sharding.read().expect("sharding lock").shards.len()
+    }
+
+    /// The configured shard split points.
+    pub fn index_boundaries(&self) -> Vec<Word> {
+        self.sharding
+            .read()
+            .expect("sharding lock")
+            .boundaries
+            .clone()
+    }
+
+    /// Live intervals across all shards (diagnostics).
+    pub fn index_interval_count(&self) -> usize {
+        let sharding = self.sharding.read().expect("sharding lock");
+        sharding
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").interval_count())
+            .sum()
+    }
+
+    /// Live interned writer sets, including the pinned empty set.
+    pub fn index_set_count(&self) -> usize {
+        let sharding = self.sharding.read().expect("sharding lock");
+        let live = sharding.interner.lock().expect("interner lock").live();
+        live
+    }
+
+    /// Writer-set slot allocations ever performed (monotonic across
+    /// rebuilds).
+    pub fn index_sets_ever_interned(&self) -> u64 {
+        let sharding = self.sharding.read().expect("sharding lock");
+        let ever = sharding.interner.lock().expect("interner lock").ever();
+        sharding.ever_carried + ever
+    }
+
+    /// Interner slot capacity (high-water mark of simultaneously live
+    /// sets).
+    pub fn index_set_slot_capacity(&self) -> usize {
+        let sharding = self.sharding.read().expect("sharding lock");
+        let cap = sharding.interner.lock().expect("interner lock").capacity();
+        cap
+    }
+
+    /// Currently recycled (free) interner slots.
+    pub fn index_free_set_slots(&self) -> usize {
+        let sharding = self.sharding.read().expect("sharding lock");
+        let free = sharding
+            .interner
+            .lock()
+            .expect("interner lock")
+            .free_slots();
+        free
+    }
+
+    /// Panics unless every shard's structural invariants hold and the
+    /// shared interner's refcounts match the interval references
+    /// (test/proptest hook).
+    #[doc(hidden)]
+    pub fn check_index_invariants(&self) {
+        let sharding = self.sharding.read().expect("sharding lock");
+        let interner = sharding.interner.lock().expect("interner lock");
+        let mut refs = vec![0u32; interner.capacity()];
+        for (si, sh) in sharding.shards.iter().enumerate() {
+            sh.lock().expect("shard lock").check_invariants(
+                &interner,
+                &mut refs,
+                shard_lo(&sharding.boundaries, si),
+                shard_hi(&sharding.boundaries, si),
+            );
+        }
+        interner.check_consistency(&refs);
+    }
+
+    // -------------------------------------------------------------- stats
+
+    /// Folds a handle's (or any) stats into the core's global stats.
+    pub fn merge_stats(&self, s: &GuardStats) {
+        self.stats.lock().expect("stats lock").merge(s);
+    }
+
+    /// A snapshot of the core's merged global stats.
+    pub fn global_stats(&self) -> GuardStats {
+        self.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Zeroes the core's merged global stats (benchmark phases).
+    pub fn reset_global_stats(&self) {
+        self.stats.lock().expect("stats lock").reset();
+    }
+}
+
+// ---------------------------------------------------------------- facade
+
+/// The single-threaded LXFI runtime facade: the historical `&mut self`
+/// API over an [`Arc<RuntimeCore>`], with one guard lane (shadow stack,
+/// kernel-stack window, private epoch cache) per registered
+/// [`ThreadId`] and a plain [`GuardStats`] field benches read and reset
+/// directly. [`Runtime::share`] exposes the core for spawning
+/// [`crate::GuardHandle`]s on real threads.
+pub struct Runtime {
+    core: Arc<RuntimeCore>,
+    lanes: HashMap<ThreadId, GuardState<DEFAULT_WAYS>>,
+    /// Reusable writer buffer for the indirect-call slow path.
+    scratch: Vec<PrincipalId>,
     /// Guard counters (public: benches read and reset them).
     pub stats: GuardStats,
     /// Deterministic guard costs.
@@ -134,25 +1173,24 @@ impl Default for Runtime {
 }
 
 impl Runtime {
-    /// Creates an empty runtime.
+    /// Creates an empty runtime over a fresh single-shard core.
     pub fn new() -> Self {
+        Self::with_shard_boundaries(Vec::new())
+    }
+
+    /// Creates an empty runtime whose core is sharded at the given split
+    /// points from the start (the simulated kernel passes its layout's
+    /// region bases here at boot).
+    pub fn with_shard_boundaries(boundaries: Vec<Word>) -> Self {
+        Self::from_core(Arc::new(RuntimeCore::with_shard_boundaries(boundaries)))
+    }
+
+    /// Wraps an existing shared core in a facade.
+    pub fn from_core(core: Arc<RuntimeCore>) -> Self {
         Runtime {
-            principals: Vec::new(),
-            modules: Vec::new(),
-            threads: HashMap::new(),
-            thread_stacks: HashMap::new(),
-            writer_map: WriterMap::new(),
-            writer_index: WriterIndex::new(),
-            ref_types: Vec::new(),
-            ref_type_ids: HashMap::new(),
-            iterators: Vec::new(),
-            iterator_ids: HashMap::new(),
-            iterator_names: Vec::new(),
-            fn_registry: HashMap::new(),
-            const_values: Vec::new(),
-            const_ids: HashMap::new(),
-            const_names: Vec::new(),
-            write_cache: WriteGuardCache::new(),
+            core,
+            lanes: HashMap::new(),
+            scratch: Vec::new(),
             stats: GuardStats::new(),
             costs: GuardCosts::default(),
             writer_fastpath: true,
@@ -160,22 +1198,20 @@ impl Runtime {
         }
     }
 
-    /// Reconfigures the reverse writer index's shard boundaries (address
-    /// split points — typically the kernel layout's region bases and
-    /// module windows) and rebuilds the index from every principal's
-    /// live WRITE grants. Callable at any time; the simulated kernel
-    /// does it once at boot, before any module loads.
+    /// The shared core, for spawning [`crate::GuardHandle`]s on other
+    /// threads.
+    pub fn share(&self) -> Arc<RuntimeCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// A borrowed view of the shared core.
+    pub fn core(&self) -> &RuntimeCore {
+        &self.core
+    }
+
+    /// See [`RuntimeCore::set_shard_boundaries`].
     pub fn set_shard_boundaries(&mut self, boundaries: Vec<Word>) {
-        let mut index = WriterIndex::with_boundaries(boundaries);
-        // The allocation gauge is documented monotonic; fold the retired
-        // index's count in so a rebuild never steps it backwards.
-        index.carry_allocation_count(self.writer_index.sets_ever_interned());
-        for (i, pr) in self.principals.iter().enumerate() {
-            for (a, s) in pr.caps.write.iter() {
-                index.add(PrincipalId(i as u32), a, s);
-            }
-        }
-        self.writer_index = index;
+        self.core.set_shard_boundaries(boundaries);
         self.update_writer_set_gauges();
     }
 
@@ -183,140 +1219,75 @@ impl Runtime {
 
     /// Registers a module, creating its shared and global principals.
     pub fn register_module(&mut self, name: &str) -> ModuleId {
-        let mid = ModuleId(self.modules.len() as u32);
-        let shared = self.new_principal(mid, PrincipalKind::Shared);
-        let global = self.new_principal(mid, PrincipalKind::Global);
-        self.modules
-            .push(ModuleInfo::new(name.to_string(), shared, global));
-        mid
-    }
-
-    fn new_principal(&mut self, module: ModuleId, kind: PrincipalKind) -> PrincipalId {
-        let id = PrincipalId(self.principals.len() as u32);
-        self.principals.push(Principal {
-            module,
-            kind,
-            caps: CapSet::new(),
-            write_epoch: 0,
-        });
-        id
-    }
-
-    /// Module bookkeeping (name map, principals).
-    pub fn module(&self, id: ModuleId) -> &ModuleInfo {
-        &self.modules[id.0 as usize]
+        self.core.register_module(name)
     }
 
     /// Number of registered modules.
     pub fn module_count(&self) -> usize {
-        self.modules.len()
+        self.core.module_count()
     }
 
     /// The module's shared principal.
     pub fn shared_principal(&self, id: ModuleId) -> PrincipalId {
-        self.modules[id.0 as usize].shared
+        self.core.shared_principal(id)
     }
 
     /// The module's global principal.
     pub fn global_principal(&self, id: ModuleId) -> PrincipalId {
-        self.modules[id.0 as usize].global
+        self.core.global_principal(id)
     }
 
     /// The kind of a principal.
     pub fn principal_kind(&self, p: PrincipalId) -> PrincipalKind {
-        self.principals[p.0 as usize].kind
+        self.core.principal_kind(p)
     }
 
     /// The module a principal belongs to.
     pub fn principal_module(&self, p: PrincipalId) -> ModuleId {
-        self.principals[p.0 as usize].module
+        self.core.principal_module(p)
     }
 
-    // --------------------------------------------------- principal naming
-
-    /// Resolves the principal named by pointer `name`, creating a fresh
-    /// instance principal on first use (a module invocation with a
-    /// `principal(ptr)` annotation is the instance's birth).
+    /// See [`RuntimeCore::principal_for_name`].
     pub fn principal_for_name(&mut self, module: ModuleId, name: Word) -> PrincipalId {
-        if let Some(p) = self.modules[module.0 as usize].lookup_name(name) {
-            return p;
-        }
-        let p = self.new_principal(module, PrincipalKind::Instance);
-        let m = &mut self.modules[module.0 as usize];
-        m.instances.push(p);
-        m.names.insert(name, p);
-        p
+        self.core.principal_for_name(module, name)
     }
 
-    /// `lxfi_princ_alias(existing, new)` (§3.3): binds `new_name` to the
-    /// principal already named `existing_name`. The module code must have
-    /// performed an adequate check before calling this (§3.4); the runtime
-    /// additionally refuses to alias names the module has never seen.
+    /// See [`RuntimeCore::princ_alias`].
     pub fn princ_alias(
         &mut self,
         module: ModuleId,
         existing_name: Word,
         new_name: Word,
     ) -> Result<(), Violation> {
-        let m = &self.modules[module.0 as usize];
-        let p = m
-            .lookup_name(existing_name)
-            .ok_or_else(|| Violation::PrincipalDenied {
-                why: format!("no principal named {existing_name:#x} in module {}", m.name),
-            })?;
-        let m = &mut self.modules[module.0 as usize];
-        if let Some(prev) = m.names.get(&new_name) {
-            if *prev != p {
-                return Err(Violation::PrincipalDenied {
-                    why: format!("name {new_name:#x} already bound to a different principal"),
-                });
-            }
-            return Ok(());
-        }
-        m.names.insert(new_name, p);
-        Ok(())
+        self.core.princ_alias(module, existing_name, new_name)
     }
 
     // ------------------------------------------------------- capabilities
 
     /// Interns a REF type name.
     pub fn ref_type(&mut self, name: &str) -> RefTypeId {
-        if let Some(&id) = self.ref_type_ids.get(name) {
-            return id;
-        }
-        let id = RefTypeId(self.ref_types.len() as u32);
-        self.ref_types.push(name.to_string());
-        self.ref_type_ids.insert(name.to_string(), id);
-        id
+        self.core.ref_type(name)
     }
 
     /// The name of an interned REF type.
-    pub fn ref_type_name(&self, id: RefTypeId) -> &str {
-        &self.ref_types[id.0 as usize]
+    pub fn ref_type_name(&self, id: RefTypeId) -> String {
+        self.core.ref_type_name(id)
     }
 
-    /// Grants a capability to a principal. WRITE grants mark the
-    /// writer-set map and enter the reverse writer index (§5). Grants
-    /// never bump write epochs: added authority cannot invalidate a
-    /// cached positive guard decision.
+    /// See [`RuntimeCore::grant`].
     pub fn grant(&mut self, p: PrincipalId, cap: RawCap) {
+        self.core.grant(p, cap);
         if cap.ctype == CapType::Write {
-            self.writer_map.mark(cap.addr, cap.size);
-            self.writer_index.add(p, cap.addr, cap.size);
             self.update_writer_set_gauges();
         }
-        self.principals[p.0 as usize].caps.grant(cap);
     }
 
-    /// Revokes a capability from one principal. A successful WRITE
-    /// revocation bumps the write epochs of exactly the principals whose
-    /// observable coverage shrank; every other principal's guard cache
-    /// survives untouched.
+    /// See [`RuntimeCore::revoke`]; epoch bumps are accounted into this
+    /// facade's [`GuardStats`].
     pub fn revoke(&mut self, p: PrincipalId, cap: RawCap) -> bool {
-        let removed = self.principals[p.0 as usize].caps.revoke(cap);
+        let (removed, bumps) = self.core.revoke(p, cap);
+        self.stats.epoch_bumps += bumps;
         if removed && cap.ctype == CapType::Write {
-            self.bump_write_epochs(p);
-            self.unindex_write(p, cap.addr, cap.size);
             self.update_writer_set_gauges();
         }
         removed
@@ -324,172 +1295,74 @@ impl Runtime {
 
     /// The current write-guard epoch of a principal (diagnostics/tests).
     pub fn write_epoch(&self, p: PrincipalId) -> u64 {
-        self.principals[p.0 as usize].write_epoch
-    }
-
-    /// Bumps the write epoch of `p` and of every principal whose
-    /// [`Runtime::check_write`] coverage can *observe* `p`'s WRITE table
-    /// through the §3.1 hierarchy fallbacks:
-    ///
-    /// - revoking from an **instance** also invalidates the module's
-    ///   global principal (it unions every instance);
-    /// - revoking from the **shared** principal invalidates every
-    ///   instance (they fall back to shared) and the global principal;
-    /// - revoking from the **global** principal invalidates only itself
-    ///   (nobody falls back to global).
-    fn bump_write_epochs(&mut self, p: PrincipalId) {
-        self.bump_one_epoch(p);
-        let pr = &self.principals[p.0 as usize];
-        let module = pr.module;
-        match pr.kind {
-            PrincipalKind::Global => {}
-            PrincipalKind::Instance => {
-                let g = self.modules[module.0 as usize].global;
-                self.bump_one_epoch(g);
-            }
-            PrincipalKind::Shared => {
-                let m = &self.modules[module.0 as usize];
-                let global = m.global;
-                let instances = m.instances.len();
-                self.bump_one_epoch(global);
-                // Index instead of iterating: the bump needs `&mut
-                // self.principals` while the instance list lives in
-                // `self.modules`, and this path must not allocate.
-                for k in 0..instances {
-                    let q = self.modules[module.0 as usize].instances[k];
-                    self.bump_one_epoch(q);
-                }
-            }
-        }
-    }
-
-    fn bump_one_epoch(&mut self, p: PrincipalId) {
-        self.principals[p.0 as usize].write_epoch += 1;
-        self.stats.epoch_bumps += 1;
+        self.core.write_epoch(p)
     }
 
     /// Refreshes the writer-set GC gauges in [`GuardStats`] from the
-    /// reverse index's interner (two loads; called after every index
-    /// mutation).
+    /// reverse index's interners (called after every index mutation).
     fn update_writer_set_gauges(&mut self) {
-        self.stats.writer_sets_live = self.writer_index.set_count() as u64;
-        self.stats.writer_sets_ever = self.writer_index.sets_ever_interned();
+        self.stats.writer_sets_live = self.core.index_set_count() as u64;
+        self.stats.writer_sets_ever = self.core.index_sets_ever_interned();
     }
 
-    /// Drops `p` from the writer index over `[addr, addr+size)`, then
-    /// reinstates whatever coverage `p`'s *remaining* grants still have
-    /// there (the index stores merged coverage, so revoking one of two
-    /// overlapping grants must not erase the survivor).
-    fn unindex_write(&mut self, p: PrincipalId, addr: Word, size: u64) {
-        let Runtime {
-            principals,
-            writer_index,
-            ..
-        } = self;
-        writer_index.remove(p, addr, size);
-        let end = addr.saturating_add(size);
-        for (a, s) in principals[p.0 as usize]
-            .caps
-            .write
-            .iter_overlapping(addr, size)
-        {
-            // Clip to the removed window: coverage outside it never left.
-            let lo = a.max(addr);
-            let hi = (a.saturating_add(s)).min(end);
-            if lo < hi {
-                writer_index.add(p, lo, hi - lo);
-            }
-        }
-    }
-
-    /// Revokes a capability from **every** principal in the system —
-    /// `transfer` semantics (§3.3): no stale copies survive. Bumps write
-    /// epochs only for the principals a removal actually touched.
+    /// See [`RuntimeCore::revoke_everywhere`].
     pub fn revoke_everywhere(&mut self, cap: RawCap) {
-        let mut touched = false;
-        for i in 0..self.principals.len() {
-            let removed = self.principals[i].caps.revoke(cap);
-            if removed && cap.ctype == CapType::Write {
-                let p = PrincipalId(i as u32);
-                self.bump_write_epochs(p);
-                self.unindex_write(p, cap.addr, cap.size);
-                touched = true;
-            }
-        }
-        if touched {
+        let bumps = self.core.revoke_everywhere(cap);
+        self.stats.epoch_bumps += bumps;
+        if bumps > 0 {
             self.update_writer_set_gauges();
         }
     }
 
-    /// Revokes all WRITE capabilities overlapping `[addr, addr+size)` from
-    /// every principal (used by `kfree`: freed memory must have no
-    /// outstanding capabilities). Bumps write epochs only for principals
-    /// that actually lost coverage.
+    /// See [`RuntimeCore::revoke_write_overlapping_everywhere`]. In debug
+    /// builds the per-shard presence hint is asserted against the full
+    /// walk: after the sweep no principal — hinted or not — may retain
+    /// an overlapping grant.
     pub fn revoke_write_overlapping_everywhere(&mut self, addr: Word, size: u64) {
-        let mut touched = false;
-        for i in 0..self.principals.len() {
-            let (_, span) = self.principals[i]
-                .caps
-                .write
-                .revoke_overlapping_span(addr, size);
-            // A partially intersected grant is revoked whole, so the lost
-            // coverage can reach beyond [addr, addr+size): un-index the
-            // actual extent of what was removed.
-            if let Some((lo, hi)) = span {
-                let p = PrincipalId(i as u32);
-                self.bump_write_epochs(p);
-                self.unindex_write(p, lo, hi - lo);
-                touched = true;
-            }
-        }
-        if touched {
+        let sweep = self.core.revoke_write_overlapping_everywhere(addr, size);
+        self.stats.epoch_bumps += sweep.epoch_bumps;
+        self.stats.kfree_hint_visited += sweep.visited;
+        self.stats.kfree_hint_skipped += sweep.skipped;
+        if sweep.epoch_bumps > 0 {
             self.update_writer_set_gauges();
         }
+        #[cfg(debug_assertions)]
+        if size > 0 {
+            for i in 0..self.core.principal_count() {
+                debug_assert!(
+                    !self.core.write_overlaps(PrincipalId(i as u32), addr, size),
+                    "kfree hint missed principal {i}: a grant overlapping \
+                     [{addr:#x}, +{size}) survived the sweep"
+                );
+            }
+        }
     }
 
-    /// Ownership test with the principal-hierarchy semantics of §3.1:
-    /// an instance principal falls back to the module's shared principal;
-    /// the global principal owns anything any principal of its module
-    /// owns.
+    /// Ownership test (§3.1 hierarchy semantics).
     pub fn owns(&self, p: PrincipalId, cap: RawCap) -> bool {
-        let pr = &self.principals[p.0 as usize];
-        match pr.kind {
-            PrincipalKind::Shared => pr.caps.owns(cap),
-            PrincipalKind::Instance => {
-                pr.caps.owns(cap) || {
-                    let shared = self.modules[pr.module.0 as usize].shared;
-                    self.principals[shared.0 as usize].caps.owns(cap)
-                }
-            }
-            PrincipalKind::Global => {
-                let m = &self.modules[pr.module.0 as usize];
-                m.all_principals()
-                    .any(|q| self.principals[q.0 as usize].caps.owns(cap))
-            }
-        }
+        self.core.owns(p, cap)
     }
 
-    /// Ownership test for an optional principal context (`None` = the
-    /// trusted core kernel, which owns everything).
+    /// Ownership test for an optional principal context.
     pub fn ctx_owns(&self, ctx: PrincipalCtx, cap: RawCap) -> bool {
-        match ctx {
-            None => true,
-            Some((_, p)) => self.owns(p, cap),
-        }
+        self.core.ctx_owns(ctx, cap)
     }
 
     /// Number of capabilities a principal holds directly (diagnostics).
     pub fn cap_count(&self, p: PrincipalId) -> usize {
-        self.principals[p.0 as usize].caps.len()
+        self.core.cap_count(p)
     }
 
     // ------------------------------------------------------------ threads
 
     /// Registers a kernel thread and its stack range (the module receives
-    /// implicit WRITE access to the current kernel stack, §3.2).
+    /// implicit WRITE access to the current kernel stack, §3.2). Each
+    /// thread gets its own guard lane: shadow stack plus a private
+    /// epoch-validated write-guard cache.
     pub fn register_thread(&mut self, t: ThreadId, stack_base: Word, stack_len: u64) {
-        self.threads.insert(t, ShadowStack::new());
-        self.thread_stacks.insert(t, (stack_base, stack_len));
+        let mut lane = GuardState::new();
+        lane.kstack = Some((stack_base, stack_len));
+        self.lanes.insert(t, lane);
     }
 
     /// The thread's shadow stack.
@@ -498,12 +1371,12 @@ impl Runtime {
     ///
     /// Panics if the thread was never registered.
     pub fn thread(&mut self, t: ThreadId) -> &mut ShadowStack {
-        self.threads.get_mut(&t).expect("thread registered")
+        &mut self.lanes.get_mut(&t).expect("thread registered").shadow
     }
 
     /// The current principal context of a thread.
     pub fn current(&self, t: ThreadId) -> PrincipalCtx {
-        self.threads.get(&t).and_then(|s| s.current())
+        self.lanes.get(&t).and_then(|l| l.shadow.current())
     }
 
     /// Wrapper entry: records the FunctionEntry guard, saves context on
@@ -529,75 +1402,29 @@ impl Runtime {
     /// current thread's kernel stack.
     ///
     /// This is the implementation behind `Env::guard_write`, executed for
-    /// every un-elided module store. The per-principal epoch-validated
+    /// every un-elided module store. The thread's private epoch-validated
     /// cache is consulted before the table walk: module code
     /// overwhelmingly issues runs of stores into the same few objects
     /// (packet payloads, private structs), so a recently established
     /// covering interval usually answers the next check in a few
-    /// compares — and because validity is an epoch compare, a revocation
-    /// affecting *other* principals does not evict it.
+    /// compares — and because validity is an epoch compare against the
+    /// core's atomic counter, a revocation affecting *other* principals
+    /// does not evict it.
     pub fn check_write(&mut self, t: ThreadId, addr: Word, len: u64) -> Result<(), Violation> {
-        let c = self.costs.mem_write;
-        self.stats.record(GuardKind::MemWrite, c);
-        let ctx = self.current(t);
-        let Some((_m, p)) = ctx else {
-            return Ok(()); // Kernel context: trusted.
+        let Some(lane) = self.lanes.get_mut(&t) else {
+            // Unregistered thread: kernel context, trusted (and charged).
+            self.stats.record(GuardKind::MemWrite, self.costs.mem_write);
+            return Ok(());
         };
-        if len == 0 {
-            return Ok(()); // Zero-length writes are vacuously permitted.
-        }
-        let end = addr.checked_add(len);
-        if let Some(&(base, slen)) = self.thread_stacks.get(&t) {
-            if addr >= base && end.is_some_and(|e| e <= base + slen) {
-                return Ok(());
-            }
-        }
-        if self.guard_cache_enabled {
-            // An overflowing end never consults the cache (the probe
-            // below denies it), so it counts as neither hit nor miss.
-            if let Some(e) = end {
-                let epoch = self.principals[p.0 as usize].write_epoch;
-                if self.write_cache.lookup(p, epoch, addr, e) {
-                    self.stats.write_cache_hits += 1;
-                    return Ok(());
-                }
-                self.stats.write_cache_misses += 1;
-            }
-        }
-        if let Some(interval) = self.write_covering(p, addr, len) {
-            if self.guard_cache_enabled {
-                let epoch = self.principals[p.0 as usize].write_epoch;
-                self.write_cache.insert(p, epoch, interval);
-            }
-            Ok(())
-        } else {
-            Err(Violation::MissingWrite {
-                principal: p,
-                addr,
-                len,
-            })
-        }
-    }
-
-    /// The covering interval behind a successful WRITE ownership test,
-    /// with the principal-hierarchy fallbacks of [`Runtime::owns`].
-    fn write_covering(&self, p: PrincipalId, addr: Word, len: u64) -> Option<(Word, Word)> {
-        let pr = &self.principals[p.0 as usize];
-        match pr.kind {
-            PrincipalKind::Shared => pr.caps.write.covering(addr, len),
-            PrincipalKind::Instance => pr.caps.write.covering(addr, len).or_else(|| {
-                let shared = self.modules[pr.module.0 as usize].shared;
-                self.principals[shared.0 as usize]
-                    .caps
-                    .write
-                    .covering(addr, len)
-            }),
-            PrincipalKind::Global => {
-                let m = &self.modules[pr.module.0 as usize];
-                m.all_principals()
-                    .find_map(|q| self.principals[q.0 as usize].caps.write.covering(addr, len))
-            }
-        }
+        check_write_in(
+            &self.core,
+            lane,
+            &mut self.stats,
+            &self.costs,
+            self.guard_cache_enabled,
+            addr,
+            len,
+        )
     }
 
     /// Module-level CALL guard: the current principal must hold a CALL
@@ -607,7 +1434,7 @@ impl Runtime {
         let Some((_m, p)) = ctx else {
             return Ok(());
         };
-        if self.owns(p, RawCap::call(target)) {
+        if self.core.owns(p, RawCap::call(target)) {
             Ok(())
         } else {
             Err(Violation::MissingCall {
@@ -617,27 +1444,45 @@ impl Runtime {
         }
     }
 
+    /// See [`RuntimeCore::check_indcall`].
+    pub fn check_indcall(
+        &mut self,
+        slot: Word,
+        target: Word,
+        sig_hash: u64,
+    ) -> Result<(), Violation> {
+        let mut env = crate::handle::GuardEnv {
+            stats: &mut self.stats,
+            costs: &self.costs,
+            fastpath: self.writer_fastpath,
+            scratch: &mut self.scratch,
+        };
+        self.core.check_indcall(&mut env, slot, target, sig_hash)
+    }
+
     // ---------------------------------------------------------- functions
 
     /// Registers a function address with its annotation hash.
     pub fn register_function(&mut self, addr: Word, meta: FnMeta) {
-        self.fn_registry.insert(addr, meta);
+        self.core.register_function(addr, meta);
     }
 
-    /// Looks up a registered function.
-    pub fn function_at(&self, addr: Word) -> Option<&FnMeta> {
-        self.fn_registry.get(&addr)
+    /// Looks up a registered function (cloned out of the registry).
+    pub fn function_at(&self, addr: Word) -> Option<FnMeta> {
+        self.core.function_at(addr)
+    }
+
+    /// The annotation hash of a registered function (hot path, no clone).
+    pub fn function_ahash(&self, addr: Word) -> Option<u64> {
+        self.core.function_ahash(addr)
     }
 
     /// Principals (from any module) holding WRITE coverage of any byte of
-    /// the 8-byte slot at `addr` — the indirect-call slow path, answered
-    /// by the reverse writer index in O(log intervals + writers) instead
-    /// of the paper's global principal-list traversal (§5).
-    ///
-    /// Allocates the result for diagnostic callers; the enforcement path
-    /// ([`Runtime::check_indcall`]) iterates the interned sets directly.
+    /// the 8-byte slot at `addr`, sorted (diagnostics; the enforcement
+    /// path reuses a scratch buffer instead).
     pub fn writers_of(&self, addr: Word) -> Vec<PrincipalId> {
-        let mut v: Vec<PrincipalId> = self.writer_index.writers_over(addr, 8).collect();
+        let mut v = Vec::new();
+        self.core.collect_writers(addr, 8, &mut v);
         v.sort_unstable();
         v
     }
@@ -646,210 +1491,136 @@ impl Runtime {
     /// for overlap with the slot. Kept as the in-tree reference the
     /// reverse index is property-tested and benchmarked against.
     pub fn writers_of_linear(&self, addr: Word) -> Vec<PrincipalId> {
-        self.principals
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.caps.write.overlaps(addr, 8))
-            .map(|(i, _)| PrincipalId(i as u32))
+        (0..self.core.principal_count())
+            .map(|i| PrincipalId(i as u32))
+            .filter(|&p| self.core.write_overlaps(p, addr, 8))
             .collect()
     }
 
-    /// Read access to the reverse writer index (diagnostics, tests).
-    pub fn writer_index(&self) -> &WriterIndex {
-        &self.writer_index
+    // --------------------------------------------------- index diagnostics
+
+    /// Panics unless the writer index's structural invariants hold.
+    #[doc(hidden)]
+    pub fn check_index_invariants(&self) {
+        self.core.check_index_invariants();
     }
 
-    /// `lxfi_check_indcall(pptr, ahash)` (§4.1): validates a kernel
-    /// indirect call through the function-pointer slot at `slot` whose
-    /// declared pointer type hashes to `sig_hash`. `target` is the value
-    /// currently stored in the slot.
-    ///
-    /// Fast path: if the writer-set bitmap proves no module was ever
-    /// granted WRITE over the slot, the call is kernel-authored and needs
-    /// no capability check.
-    pub fn check_indcall(
-        &mut self,
-        slot: Word,
-        target: Word,
-        sig_hash: u64,
-    ) -> Result<(), Violation> {
-        if self.writer_fastpath && !self.writer_map.maybe_written(slot) {
-            let c = self.costs.ind_call_fast;
-            self.stats.record(GuardKind::KernelIndCall, c);
-            return Ok(());
-        }
-        // Past the bitmap: the reverse-index lookup runs, so the
-        // slow-path cost applies even when it finds no writers (a benign
-        // bitmap false positive, §5).
-        let c = self.costs.ind_call_slow;
-        self.stats.record(GuardKind::KernelIndCall, c);
-        // First check (§4.1): every writer principal must hold a CALL
-        // capability for the target. This is what rejects user-space
-        // targets and un-imported kernel functions like `detach_pid`.
-        // The writer set comes straight out of the index's interned sets
-        // — no per-call allocation.
-        let mut any_writer = false;
-        for w in self.writer_index.writers_over(slot, 8) {
-            any_writer = true;
-            let module = self.principals[w.0 as usize].module;
-            self.stats.record_indcall_module(module, c);
-            if !self.owns(w, RawCap::call(target)) {
-                return Err(Violation::IndCallUnauthorized {
-                    slot,
-                    target,
-                    writer: w,
-                });
-            }
-        }
-        if !any_writer {
-            return Ok(());
-        }
-        // Second check (§4.1): the annotations of the stored function and
-        // of the function-pointer type must match, so a module cannot
-        // launder a function through a differently-annotated slot.
-        let fn_hash = self
-            .fn_registry
-            .get(&target)
-            .map(|m| m.ahash)
-            .ok_or(Violation::NotAFunction { target })?;
-        if fn_hash != sig_hash {
-            return Err(Violation::AnnotationMismatch { sig_hash, fn_hash });
-        }
-        Ok(())
+    /// Number of writer-index shards.
+    pub fn index_shard_count(&self) -> usize {
+        self.core.index_shard_count()
+    }
+
+    /// The configured shard split points.
+    pub fn index_boundaries(&self) -> Vec<Word> {
+        self.core.index_boundaries()
+    }
+
+    /// Live intervals across all shards.
+    pub fn index_interval_count(&self) -> usize {
+        self.core.index_interval_count()
+    }
+
+    /// Live interned writer sets, including the pinned empty set (one
+    /// interner is shared by every shard).
+    pub fn index_set_count(&self) -> usize {
+        self.core.index_set_count()
+    }
+
+    /// Writer-set slot allocations ever performed.
+    pub fn index_sets_ever_interned(&self) -> u64 {
+        self.core.index_sets_ever_interned()
+    }
+
+    /// Interner slot capacity (high-water mark of simultaneously live
+    /// sets in the shared interner).
+    pub fn index_set_slot_capacity(&self) -> usize {
+        self.core.index_set_slot_capacity()
+    }
+
+    /// Currently recycled (free) slots in the shared interner.
+    pub fn index_free_set_slots(&self) -> usize {
+        self.core.index_free_set_slots()
     }
 
     // ------------------------------------------------------ writer tracking
 
-    /// Notes that `[addr, addr+len)` was zeroed (allocator or kernel
-    /// `memset`): writer-set bits clear unless a principal still holds
-    /// WRITE coverage.
+    /// See [`RuntimeCore::note_zeroed`].
     pub fn note_zeroed(&mut self, addr: Word, len: u64) {
-        // A granule stays marked while any principal holds WRITE coverage
-        // of any byte in it (clearing would be a false negative). The
-        // reverse index answers this in one window search instead of a
-        // per-granule walk of every principal.
-        let index = &self.writer_index;
-        self.writer_map
-            .clear_zeroed(addr, len, |granule| index.overlaps(granule, 64));
+        self.core.note_zeroed(addr, len);
     }
 
-    /// Direct writer-map marking (used when a module is loaded: its
-    /// writable sections may contain function pointers the kernel will
-    /// invoke, §5).
+    /// See [`RuntimeCore::mark_written`].
     pub fn mark_written(&mut self, addr: Word, len: u64) {
-        self.writer_map.mark(addr, len);
+        self.core.mark_written(addr, len);
     }
 
     /// True if the writer-set fast path would skip checks for `addr`.
     pub fn writer_clean(&self, addr: Word) -> bool {
-        !self.writer_map.maybe_written(addr)
+        self.core.writer_clean(addr)
     }
 
     // ---------------------------------------------------------- iterators
 
-    /// Interns an iterator name, reserving an empty slot if the iterator
-    /// has not been registered yet (annotations may be compiled before
-    /// the module supplying the iterator loads).
+    /// See [`RuntimeCore::iterator_id`].
     pub fn iterator_id(&mut self, name: &str) -> IteratorId {
-        if let Some(&id) = self.iterator_ids.get(name) {
-            return id;
-        }
-        let id = IteratorId(self.iterators.len() as u32);
-        self.iterators.push(None);
-        self.iterator_names.push(name.to_string());
-        self.iterator_ids.insert(name.to_string(), id);
-        id
+        self.core.iterator_id(name)
     }
 
     /// The name an iterator id was interned under (diagnostics).
-    pub fn iterator_name(&self, id: IteratorId) -> &str {
-        &self.iterator_names[id.0 as usize]
+    pub fn iterator_name(&self, id: IteratorId) -> String {
+        self.core.iterator_name(id)
     }
 
-    /// Registers a capability iterator under `name`; returns the interned
-    /// id compiled annotations reference it by.
+    /// See [`RuntimeCore::register_iterator`].
     pub fn register_iterator(&mut self, name: &str, f: IteratorFn) -> IteratorId {
-        let id = self.iterator_id(name);
-        self.iterators[id.0 as usize] = Some(f);
-        id
+        self.core.register_iterator(name, f)
     }
 
-    /// Runs a registered iterator by interned id (the enforcement path —
-    /// no name lookup).
+    /// See [`RuntimeCore::run_iterator_id`].
     pub fn run_iterator_id(
         &self,
         id: IteratorId,
         mem: &AddressSpace,
         arg: Word,
     ) -> Result<Vec<EmittedCap>, Violation> {
-        let f =
-            self.iterators[id.0 as usize]
-                .as_ref()
-                .ok_or_else(|| Violation::UnknownIterator {
-                    name: self.iterator_name(id).to_string(),
-                })?;
-        let mut out = Vec::new();
-        f(mem, arg, &mut out).map_err(|why| Violation::IteratorFailed {
-            name: self.iterator_name(id).to_string(),
-            why,
-        })?;
-        Ok(out)
+        self.core.run_iterator_id(id, mem, arg)
     }
 
-    /// Runs a registered iterator by name (registration-time / test API;
-    /// enforcement goes through [`Runtime::run_iterator_id`]).
+    /// See [`RuntimeCore::run_iterator`].
     pub fn run_iterator(
         &self,
         name: &str,
         mem: &AddressSpace,
         arg: Word,
     ) -> Result<Vec<EmittedCap>, Violation> {
-        let id =
-            self.iterator_ids
-                .get(name)
-                .copied()
-                .ok_or_else(|| Violation::UnknownIterator {
-                    name: name.to_string(),
-                })?;
-        self.run_iterator_id(id, mem, arg)
+        self.core.run_iterator(name, mem, arg)
     }
 
     /// Number of registered iterators (annotation census, §8.2).
-    /// Interned-but-unregistered slots do not count.
     pub fn iterator_count(&self) -> usize {
-        self.iterators.iter().filter(|f| f.is_some()).count()
+        self.core.iterator_count()
     }
 
     // ------------------------------------------------------------- consts
 
-    /// Interns a constant name, reserving an undefined slot if the
-    /// constant has not been defined yet (evaluating an undefined slot
-    /// reports an unknown identifier, matching by-name lookup).
+    /// See [`RuntimeCore::const_id`].
     pub fn const_id(&mut self, name: &str) -> ConstId {
-        if let Some(&id) = self.const_ids.get(name) {
-            return id;
-        }
-        let id = ConstId(self.const_values.len() as u32);
-        self.const_values.push(None);
-        self.const_names.push(name.to_string());
-        self.const_ids.insert(name.to_string(), id);
-        id
+        self.core.const_id(name)
     }
 
     /// The value of an interned constant, if defined.
     pub fn const_value(&self, id: ConstId) -> Option<i64> {
-        self.const_values[id.0 as usize]
+        self.core.const_value(id)
     }
 
     /// The name a constant id was interned under (diagnostics).
-    pub fn const_name(&self, id: ConstId) -> &str {
-        &self.const_names[id.0 as usize]
+    pub fn const_name(&self, id: ConstId) -> String {
+        self.core.const_name(id)
     }
 
     /// Defines a named kernel constant usable in annotation expressions.
     pub fn define_const(&mut self, name: &str, value: i64) {
-        let id = self.const_id(name);
-        self.const_values[id.0 as usize] = Some(value);
+        self.core.define_const(name, value);
     }
 }
 
@@ -1073,12 +1844,36 @@ mod tests {
         // Re-sharding rebuilds the index from live grants; answers and
         // invariants must be unchanged.
         rt.set_shard_boundaries(vec![0x5080, 0x5100]);
-        rt.writer_index().check_invariants();
-        assert_eq!(rt.writer_index().shard_count(), 3);
+        rt.check_index_invariants();
+        assert_eq!(rt.index_shard_count(), 3);
         assert_eq!(rt.writers_of(0x5080), before_a);
         assert_eq!(rt.writers_of(0x5080), rt.writers_of_linear(0x5080));
         rt.revoke(b, RawCap::write(0x5080, 0x100));
         assert_eq!(rt.writers_of(0x5080), vec![a]);
+    }
+
+    #[test]
+    fn kfree_hint_bounds_the_sweep_to_present_principals() {
+        // Three principals in three different shards; freeing a region
+        // in shard 1 must visit only the principal present there, and
+        // the debug assertion cross-checks the full walk.
+        let mut rt = Runtime::with_shard_boundaries(vec![0x2000, 0x4000]);
+        let m = rt.register_module("kfree");
+        let a = rt.principal_for_name(m, 0x9000); // shard 0
+        let b = rt.principal_for_name(m, 0xa000); // shard 1
+        let c = rt.principal_for_name(m, 0xb000); // shard 2
+        rt.grant(a, RawCap::write(0x1000, 0x100));
+        rt.grant(b, RawCap::write(0x3000, 0x100));
+        rt.grant(c, RawCap::write(0x5000, 0x100));
+        rt.stats.reset();
+        rt.revoke_write_overlapping_everywhere(0x3000, 0x80);
+        assert!(!rt.owns(b, RawCap::write(0x3000, 8)), "b's grant revoked");
+        assert!(rt.owns(a, RawCap::write(0x1000, 8)), "a untouched");
+        assert!(rt.owns(c, RawCap::write(0x5000, 8)), "c untouched");
+        assert_eq!(rt.stats.kfree_hint_visited, 1, "only b visited");
+        // a, c, and the module's shared+global principals were skipped.
+        assert_eq!(rt.stats.kfree_hint_skipped, 4);
+        rt.check_index_invariants();
     }
 
     #[test]

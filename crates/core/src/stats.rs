@@ -98,7 +98,12 @@ impl Default for GuardCosts {
 /// Counters: number of guards executed and cycles spent, per kind, plus a
 /// per-module breakdown of kernel indirect calls (Figure 13 separates
 /// "Kernel ind-call all" from "Kernel ind-call e1000").
-#[derive(Debug, Default)]
+///
+/// In the thread-safe runtime each `GuardHandle` owns its own
+/// `GuardStats` written without synchronization on the guard hot path;
+/// [`GuardStats::merge`] folds per-thread counters into the shared
+/// core's global stats when a handle flushes or retires.
+#[derive(Debug, Default, Clone)]
 pub struct GuardStats {
     counts: [u64; 5],
     cycles: [u64; 5],
@@ -122,6 +127,13 @@ pub struct GuardStats {
     /// interner, including slot reuses after GC. `ever` growing while
     /// `live` stays flat is the set-GC working.
     pub writer_sets_ever: u64,
+    /// Principals a `kfree`-style sweep
+    /// (`revoke_write_overlapping_everywhere`) actually visited, driven
+    /// by the per-shard principal-presence hint.
+    pub kfree_hint_visited: u64,
+    /// Principals the presence hint let the sweep skip (the full walk
+    /// would have probed their tables for nothing).
+    pub kfree_hint_skipped: u64,
 }
 
 impl GuardStats {
@@ -189,6 +201,33 @@ impl GuardStats {
         *self = Self::default();
     }
 
+    /// Folds `other`'s counters into `self` (per-thread handle stats
+    /// merging into the shared core's global stats).
+    pub fn merge(&mut self, other: &GuardStats) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+            self.cycles[i] += other.cycles[i];
+        }
+        for (m, (c, cy)) in &other.indcall_by_module {
+            let e = self.indcall_by_module.entry(*m).or_insert((0, 0));
+            e.0 += c;
+            e.1 += cy;
+        }
+        self.write_cache_hits += other.write_cache_hits;
+        self.write_cache_misses += other.write_cache_misses;
+        self.epoch_bumps += other.epoch_bumps;
+        // Gauges are levels, not counters: take the pair from the newer
+        // snapshot, using the monotonic `ever` allocation counter as the
+        // logical clock (`live` may legitimately shrink after GC, so a
+        // plain max would pin it at a stale high-water mark).
+        if other.writer_sets_ever >= self.writer_sets_ever {
+            self.writer_sets_ever = other.writer_sets_ever;
+            self.writer_sets_live = other.writer_sets_live;
+        }
+        self.kfree_hint_visited += other.kfree_hint_visited;
+        self.kfree_hint_skipped += other.kfree_hint_skipped;
+    }
+
     /// Snapshot of `(kind, count, cycles)` rows.
     pub fn rows(&self) -> Vec<(GuardKind, u64, u64)> {
         ALL_GUARD_KINDS
@@ -242,6 +281,26 @@ mod tests {
         s.write_cache_hits = 3;
         s.write_cache_misses = 1;
         assert!((s.write_cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_counters_and_keeps_gauges_fresh() {
+        let mut a = GuardStats::new();
+        a.record(GuardKind::MemWrite, 51);
+        a.write_cache_hits = 10;
+        a.writer_sets_live = 3;
+        let mut b = GuardStats::new();
+        b.record(GuardKind::MemWrite, 51);
+        b.record_indcall_module(ModuleId(1), 86);
+        b.write_cache_hits = 5;
+        b.epoch_bumps = 2;
+        b.writer_sets_live = 7;
+        a.merge(&b);
+        assert_eq!(a.count(GuardKind::MemWrite), 2);
+        assert_eq!(a.write_cache_hits, 15);
+        assert_eq!(a.epoch_bumps, 2);
+        assert_eq!(a.indcall_for_module(ModuleId(1)), (1, 86));
+        assert_eq!(a.writer_sets_live, 7, "gauge takes the fresher level");
     }
 
     #[test]

@@ -21,30 +21,51 @@
 //! few dozen regions a kernel layout defines) before the O(log
 //! intervals-in-shard) window search, and — the actual point — the Vec
 //! splice a grant or revoke performs moves only the *shard's* tail, not
-//! the whole system's interval population. The shard is also the
-//! natural unit of concurrent mutation for a future multi-threaded
-//! kernel. A default-constructed index has a single shard covering the
-//! whole address space (the pre-sharding behavior).
+//! the whole system's interval population.
+//!
+//! Since the thread-safe runtime landed, the shard is also the unit of
+//! **lock granularity**: the shared `RuntimeCore` wraps every shard
+//! (its intervals plus its principal-presence map) in its own lock.
+//! Index *mutations* additionally serialize on the shared-interner
+//! mutex (held across the splice, which keeps a revocation's
+//! remove-and-reinstate atomic per shard — see `Sharding::replace`),
+//! so the per-shard locks buy mutation-vs-reader concurrency for the
+//! interner-free queries (`overlaps`, the presence hint) and bound the
+//! splice memmove, not mutation-vs-mutation parallelism; splitting the
+//! interner bookkeeping from the memmove phase is a ROADMAP item. A
+//! default-constructed index has a single shard covering the whole
+//! address space (the pre-sharding behavior).
 //!
 //! Intervals never span a shard boundary: a grant crossing one is split
 //! at the boundary, so two touching same-set intervals can exist across
 //! a boundary (they coalesce freely *within* a shard).
 //!
-//! # Writer-set interning and GC
+//! # Writer-set interning, GC, and presence
 //!
 //! Writer sets are interned like the runtime's REF-type names: a sorted,
 //! deduplicated `Vec<PrincipalId>` maps to a dense [`WriterSetId`], so
 //! the many intervals produced by overlapping grants from the same
 //! principals share one set allocation, and set identity is a `u32`
-//! compare (which is also what lets adjacent intervals coalesce).
-//! Interned sets are **refcounted by the interval entries referencing
-//! them** (across all shards): when the last referencing interval is
-//! spliced away, the set is freed and its slot recycled, so a
-//! long-running grant/revoke churn interns new combinations forever
+//! compare (which is also what lets adjacent intervals coalesce). The
+//! interner is **shared across shards** (the concurrent core guards it
+//! with its own mutex, held for the duration of a splice): sharing is
+//! what keeps a set resident when its references repeat across shards,
+//! so churn in one shard never re-allocates another's combinations. Interned sets are refcounted by the interval entries
+//! referencing them (across all shards): when the last referencing
+//! interval is spliced away, the set is freed and its slot recycled, so
+//! a long-running grant/revoke churn interns new combinations forever
 //! without growing memory. [`set_count`](WriterIndex::set_count) gauges
 //! live sets; [`sets_ever_interned`](WriterIndex::sets_ever_interned)
 //! counts allocations (including slot reuses) — `ever` growing while
 //! `live` stays flat is the GC working.
+//!
+//! Each shard additionally maintains a **principal-presence map**: for
+//! every principal, the number of the shard's intervals whose writer set
+//! contains it. `kfree`-style sweeps (`revoke_write_overlapping_
+//! everywhere`) use it to visit only the principals actually holding
+//! grants in the freed region's shards instead of walking every
+//! principal's table; debug builds assert the hint against the full
+//! walk.
 //!
 //! The paper's traversal survives as [`LinearWriterIndex`] — per-principal
 //! [`WriteTable`]s probed one by one — mirroring the `LinearWriteTable`
@@ -82,10 +103,12 @@ pub const EMPTY_WRITERS: WriterSetId = WriterSetId(0);
 
 /// Interns writer sets: identical sets share one id, so interval
 /// entries are a `u32` and set equality is an integer compare. Live
-/// sets are refcounted by the interval entries referencing them;
-/// slots whose refcount drops to zero are recycled.
+/// sets are refcounted by the interval entries referencing them
+/// (across all shards — sharing the interner is what lets a set whose
+/// intervals span shards, or repeat across them, stay resident under
+/// churn); slots whose refcount drops to zero are recycled.
 #[derive(Debug)]
-struct SetInterner {
+pub(crate) struct SetInterner {
     sets: Vec<Vec<PrincipalId>>,
     /// Number of interval entries (across all shards) holding each id.
     refs: Vec<u32>,
@@ -97,7 +120,7 @@ struct SetInterner {
 }
 
 impl SetInterner {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let mut it = SetInterner {
             sets: Vec::new(),
             refs: Vec::new(),
@@ -133,7 +156,7 @@ impl SetInterner {
         id
     }
 
-    fn get(&self, id: WriterSetId) -> &[PrincipalId] {
+    pub(crate) fn get(&self, id: WriterSetId) -> &[PrincipalId] {
         &self.sets[id.0 as usize]
     }
 
@@ -192,8 +215,53 @@ impl SetInterner {
     }
 
     /// Live distinct sets (including the pinned empty set).
-    fn live(&self) -> usize {
+    pub(crate) fn live(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Monotonic slot-allocation count (including reuses).
+    pub(crate) fn ever(&self) -> u64 {
+        self.ever
+    }
+
+    /// Slot capacity (high-water mark of simultaneously live sets).
+    pub(crate) fn capacity(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Currently recycled (free) slots.
+    pub(crate) fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Panics unless the interner agrees with `refs` — the per-set
+    /// interval reference counts an index walk accumulated — and its
+    /// free-list/id-map bookkeeping is self-consistent.
+    pub(crate) fn check_consistency(&self, refs: &[u32]) {
+        assert_eq!(refs.len(), self.sets.len());
+        for (i, &rc) in refs.iter().enumerate() {
+            assert_eq!(
+                self.refs[i], rc,
+                "set {i} refcount matches its interval references"
+            );
+            if rc > 0 {
+                let set = &self.sets[i];
+                assert_eq!(
+                    self.ids.get(set),
+                    Some(&WriterSetId(i as u32)),
+                    "live set {i} resolvable through the id map"
+                );
+            }
+        }
+        for &slot in &self.free {
+            assert_eq!(self.refs[slot as usize], 0, "free slot is dead");
+            assert!(self.sets[slot as usize].is_empty(), "free slot taken");
+        }
+        assert_eq!(
+            self.live() + self.free.len(),
+            self.sets.len(),
+            "every slot is live or free"
+        );
     }
 }
 
@@ -205,18 +273,50 @@ fn clamp_size(addr: Word, size: u64) -> u64 {
 }
 
 /// One address-region shard: disjoint, sorted `[start, end)` intervals,
-/// each mapped to a non-empty interned writer set. Touching intervals
-/// with the same set are coalesced on every mutation.
+/// each mapped to a non-empty interned writer set, plus a
+/// principal-presence map (interval refcount per principal — the kfree
+/// hint). Touching intervals with the same set are coalesced on every
+/// mutation.
+///
+/// The set interner is shared across shards and passed in by the owner
+/// (the single-threaded [`WriterIndex`] owns one directly; the
+/// concurrent runtime core guards one with its own mutex while each
+/// shard gets its own lock — the splice memmove, the expensive part, is
+/// what the per-shard locking bounds).
 #[derive(Debug, Default)]
-struct Shard {
+pub(crate) struct IndexShard {
     starts: Vec<Word>,
     /// Exclusive ends, parallel to `starts`. Disjointness makes this
     /// vector sorted too, which the window search relies on.
     ends: Vec<Word>,
     sets: Vec<WriterSetId>,
+    /// For each principal id, the number of this shard's intervals whose
+    /// writer set contains it (the kfree presence hint). Dense so the
+    /// per-splice maintenance is two array ops per set member; the slots
+    /// of principals never seen in this shard simply stay zero.
+    present: Vec<u32>,
 }
 
-impl Shard {
+impl IndexShard {
+    /// Creates an empty shard.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn present_inc(&mut self, p: PrincipalId) {
+        let i = p.0 as usize;
+        if i >= self.present.len() {
+            self.present.resize(i + 1, 0);
+        }
+        self.present[i] += 1;
+    }
+
+    #[inline]
+    fn present_dec(&mut self, p: PrincipalId) {
+        self.present[p.0 as usize] -= 1;
+    }
+
     /// Indices of the entries overlapping `[a, e)`: `lo..hi`.
     #[inline]
     fn window(&self, a: Word, e: Word) -> (usize, usize) {
@@ -226,9 +326,9 @@ impl Shard {
     }
 
     /// Replaces entries `lo..hi` with `repl`, coalescing touching
-    /// equal-set segments and maintaining the interner's refcounts
-    /// (new entries acquired before old ones release, so a set that
-    /// survives the splice is never transiently freed).
+    /// equal-set segments and maintaining the interner's refcounts and
+    /// the presence map (new entries acquired before old ones release,
+    /// so a set that survives the splice is never transiently freed).
     fn splice(
         &mut self,
         interner: &mut SetInterner,
@@ -249,8 +349,18 @@ impl Shard {
         }
         for seg in &merged {
             interner.acquire(seg.2);
+            for k in 0..interner.get(seg.2).len() {
+                let w = interner.get(seg.2)[k];
+                self.present_inc(w);
+            }
         }
         for j in lo..hi {
+            // Presence decrements read the set before releasing it (a
+            // release can free the slot).
+            for k in 0..interner.get(self.sets[j]).len() {
+                let w = interner.get(self.sets[j])[k];
+                self.present_dec(w);
+            }
             interner.release(self.sets[j]);
         }
         self.starts.splice(lo..hi, merged.iter().map(|s| s.0));
@@ -260,7 +370,7 @@ impl Shard {
 
     /// Unions `p` into `[addr, e)` within this shard (the caller has
     /// already clipped the range to the shard's bounds). Idempotent.
-    fn add(&mut self, interner: &mut SetInterner, p: PrincipalId, addr: Word, e: Word) {
+    pub(crate) fn add(&mut self, interner: &mut SetInterner, p: PrincipalId, addr: Word, e: Word) {
         let (wlo, whi) = self.window(addr, e);
         let mut lo = wlo;
         let mut hi = whi;
@@ -304,7 +414,13 @@ impl Shard {
     /// Removes `p` from the writer sets of `[addr, e)` within this shard
     /// (pre-clipped); intervals whose set empties are dropped. A no-op
     /// where `p` is not a writer.
-    fn remove(&mut self, interner: &mut SetInterner, p: PrincipalId, addr: Word, e: Word) {
+    pub(crate) fn remove(
+        &mut self,
+        interner: &mut SetInterner,
+        p: PrincipalId,
+        addr: Word,
+        e: Word,
+    ) {
         let (wlo, whi) = self.window(addr, e);
         let mut lo = wlo;
         let mut hi = whi;
@@ -334,17 +450,176 @@ impl Shard {
         }
         self.splice(interner, lo, hi, out);
     }
+
+    /// True if any writer interval overlaps `[a, e)` (pre-clipped).
+    pub(crate) fn overlaps(&self, a: Word, e: Word) -> bool {
+        let (lo, hi) = self.window(a, e);
+        lo < hi
+    }
+
+    /// Pushes the writers of `[a, e)` onto `out`, skipping principals
+    /// already present there (writer sets are tiny, so the containment
+    /// scan is a few compares).
+    pub(crate) fn collect_writers(
+        &self,
+        interner: &SetInterner,
+        a: Word,
+        e: Word,
+        out: &mut Vec<PrincipalId>,
+    ) {
+        let (lo, hi) = self.window(a, e);
+        for j in lo..hi {
+            for &w in interner.get(self.sets[j]) {
+                if !out.contains(&w) {
+                    out.push(w);
+                }
+            }
+        }
+    }
+
+    /// Principals with at least one interval in this shard — the kfree
+    /// presence hint.
+    pub(crate) fn present_principals(&self) -> impl Iterator<Item = PrincipalId> + '_ {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| PrincipalId(i as u32))
+    }
+
+    /// Live intervals in this shard.
+    pub(crate) fn interval_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Iterates `(start, end, writers)` in address order.
+    pub(crate) fn intervals<'a>(
+        &'a self,
+        interner: &'a SetInterner,
+    ) -> impl Iterator<Item = (Word, Word, &'a [PrincipalId])> + 'a {
+        (0..self.starts.len())
+            .map(move |i| (self.starts[i], self.ends[i], interner.get(self.sets[i])))
+    }
+
+    /// Panics unless the shard's structural invariants hold within the
+    /// bounds `[slo, shi)`, accumulating this shard's per-set interval
+    /// references into `refs` (the owner validates the total against
+    /// the shared interner); see [`WriterIndex::check_invariants`].
+    pub(crate) fn check_invariants(
+        &self,
+        interner: &SetInterner,
+        refs: &mut Vec<u32>,
+        slo: Word,
+        shi: Word,
+    ) {
+        assert_eq!(self.starts.len(), self.ends.len());
+        assert_eq!(self.starts.len(), self.sets.len());
+        refs.resize(interner.capacity(), 0);
+        let mut present: HashMap<PrincipalId, u32> = HashMap::new();
+        for i in 0..self.starts.len() {
+            assert!(self.starts[i] < self.ends[i], "interval {i} non-empty");
+            assert!(
+                self.starts[i] >= slo && self.ends[i] <= shi,
+                "interval {i} inside shard bounds"
+            );
+            assert_ne!(self.sets[i], EMPTY_WRITERS, "interval {i} has writers");
+            let set = interner.get(self.sets[i]);
+            assert!(!set.is_empty());
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "set sorted");
+            refs[self.sets[i].0 as usize] += 1;
+            for &w in set {
+                *present.entry(w).or_insert(0) += 1;
+            }
+            if i + 1 < self.starts.len() {
+                assert!(self.ends[i] <= self.starts[i + 1], "disjoint + sorted");
+                assert!(
+                    !(self.ends[i] == self.starts[i + 1] && self.sets[i] == self.sets[i + 1]),
+                    "touching equal-set intervals must coalesce"
+                );
+            }
+        }
+        for (i, &c) in self.present.iter().enumerate() {
+            let want = present.get(&PrincipalId(i as u32)).copied().unwrap_or(0);
+            assert_eq!(c, want, "presence count for principal {i}");
+        }
+        for (p, &c) in &present {
+            assert!(
+                (p.0 as usize) < self.present.len() && self.present[p.0 as usize] == c,
+                "presence entry for {p:?} recorded"
+            );
+        }
+    }
+}
+
+/// Resolves which shard of a boundary list holds `addr`.
+#[inline]
+pub(crate) fn shard_of(boundaries: &[Word], addr: Word) -> usize {
+    boundaries.partition_point(|&b| b <= addr)
+}
+
+/// Inclusive lower bound of shard `s`.
+#[inline]
+pub(crate) fn shard_lo(boundaries: &[Word], s: usize) -> Word {
+    if s == 0 {
+        0
+    } else {
+        boundaries[s - 1]
+    }
+}
+
+/// Exclusive upper bound of shard `s` (the top shard runs to MAX, which
+/// no saturated interval end can exceed).
+#[inline]
+pub(crate) fn shard_hi(boundaries: &[Word], s: usize) -> Word {
+    boundaries.get(s).copied().unwrap_or(Word::MAX)
+}
+
+/// Normalizes shard split points: deduplicated, sorted, zeros dropped.
+pub(crate) fn normalize_boundaries(mut boundaries: Vec<Word>) -> Vec<Word> {
+    boundaries.retain(|&b| b > 0);
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries
+}
+
+/// Runs `f(shard, lo, hi)` over the shard segments of
+/// `[addr, addr+size)`, with the range's end clamped at `Word::MAX` and
+/// each non-empty segment clipped to its shard's bounds. The one place
+/// the boundary-clipping walk lives: both the single-threaded
+/// [`WriterIndex`] and the runtime core's locked shard array iterate
+/// through it, so their clamping semantics cannot drift apart.
+#[inline]
+pub(crate) fn for_each_segment(
+    boundaries: &[Word],
+    addr: Word,
+    size: u64,
+    mut f: impl FnMut(usize, Word, Word),
+) {
+    let size = clamp_size(addr, size);
+    if size == 0 {
+        return;
+    }
+    let e = addr + size;
+    let (first, last) = (shard_of(boundaries, addr), shard_of(boundaries, e - 1));
+    for s in first..=last {
+        let lo = addr.max(shard_lo(boundaries, s));
+        let hi = e.min(shard_hi(boundaries, s));
+        debug_assert!(lo < hi, "clipped segment non-empty");
+        f(s, lo, hi);
+    }
 }
 
 /// The reverse writer index: address-region shards of disjoint sorted
-/// intervals over one refcounted set interner. See the module docs for
-/// the sharding and GC disciplines.
+/// intervals over one shared refcounted set interner. See the module
+/// docs for the sharding, GC, and presence disciplines. This is the
+/// single-threaded facade; the concurrent runtime core holds the same
+/// [`IndexShard`]s behind per-shard locks.
 #[derive(Debug)]
 pub struct WriterIndex {
     /// Sorted, distinct, non-zero shard split points; shard `i` covers
     /// `[boundaries[i-1], boundaries[i])` (first from 0, last to MAX).
     boundaries: Vec<Word>,
-    shards: Vec<Shard>,
+    shards: Vec<IndexShard>,
     interner: SetInterner,
 }
 
@@ -363,11 +638,9 @@ impl WriterIndex {
     /// Creates an empty index sharded at the given split points
     /// (deduplicated, sorted; zeros dropped). `n` boundaries make
     /// `n + 1` shards.
-    pub fn with_boundaries(mut boundaries: Vec<Word>) -> Self {
-        boundaries.retain(|&b| b > 0);
-        boundaries.sort_unstable();
-        boundaries.dedup();
-        let shards = (0..=boundaries.len()).map(|_| Shard::default()).collect();
+    pub fn with_boundaries(boundaries: Vec<Word>) -> Self {
+        let boundaries = normalize_boundaries(boundaries);
+        let shards = (0..=boundaries.len()).map(|_| IndexShard::new()).collect();
         WriterIndex {
             boundaries,
             shards,
@@ -388,24 +661,7 @@ impl WriterIndex {
     /// The shard holding `addr`.
     #[inline]
     fn shard_of(&self, addr: Word) -> usize {
-        self.boundaries.partition_point(|&b| b <= addr)
-    }
-
-    /// Inclusive lower bound of shard `s`.
-    #[inline]
-    fn shard_lo(&self, s: usize) -> Word {
-        if s == 0 {
-            0
-        } else {
-            self.boundaries[s - 1]
-        }
-    }
-
-    /// Exclusive upper bound of shard `s` (the top shard runs to MAX,
-    /// which no saturated interval end can exceed).
-    #[inline]
-    fn shard_hi(&self, s: usize) -> Word {
-        self.boundaries.get(s).copied().unwrap_or(Word::MAX)
+        shard_of(&self.boundaries, addr)
     }
 
     /// Records that `p` was granted WRITE over `[addr, addr+size)`:
@@ -413,18 +669,10 @@ impl WriterIndex {
     /// in; uncovered gaps become `{p}` intervals. Idempotent. A grant
     /// crossing a shard boundary is split there.
     pub fn add(&mut self, p: PrincipalId, addr: Word, size: u64) {
-        let size = clamp_size(addr, size);
-        if size == 0 {
-            return;
-        }
-        let e = addr + size;
-        let (first, last) = (self.shard_of(addr), self.shard_of(e - 1));
-        for s in first..=last {
-            let lo = addr.max(self.shard_lo(s));
-            let hi = e.min(self.shard_hi(s));
-            debug_assert!(lo < hi, "clipped segment non-empty");
-            self.shards[s].add(&mut self.interner, p, lo, hi);
-        }
+        let (shards, interner) = (&mut self.shards, &mut self.interner);
+        for_each_segment(&self.boundaries, addr, size, |s, lo, hi| {
+            shards[s].add(interner, p, lo, hi)
+        });
     }
 
     /// Removes `p` from the writer sets of `[addr, addr+size)`, splitting
@@ -435,31 +683,20 @@ impl WriterIndex {
     /// any of `p`'s *other* grants still overlapping the range — the
     /// index stores merged coverage, not individual grants.
     pub fn remove(&mut self, p: PrincipalId, addr: Word, size: u64) {
-        let size = clamp_size(addr, size);
-        if size == 0 {
-            return;
-        }
-        let e = addr + size;
-        let (first, last) = (self.shard_of(addr), self.shard_of(e - 1));
-        for s in first..=last {
-            let lo = addr.max(self.shard_lo(s));
-            let hi = e.min(self.shard_hi(s));
-            self.shards[s].remove(&mut self.interner, p, lo, hi);
-        }
+        let (shards, interner) = (&mut self.shards, &mut self.interner);
+        for_each_segment(&self.boundaries, addr, size, |s, lo, hi| {
+            shards[s].remove(interner, p, lo, hi)
+        });
     }
 
     /// True if any writer interval overlaps `[addr, addr+len)` (query end
     /// saturates at `Word::MAX`).
     pub fn overlaps(&self, addr: Word, len: u64) -> bool {
-        if len == 0 {
-            return false;
-        }
-        let e = addr.saturating_add(len);
-        let (first, last) = (self.shard_of(addr), self.shard_of(e - 1));
-        (first..=last).any(|s| {
-            let (lo, hi) = self.shards[s].window(addr, e);
-            lo < hi
-        })
+        let mut hit = false;
+        for_each_segment(&self.boundaries, addr, len, |s, lo, hi| {
+            hit |= self.shards[s].overlaps(lo, hi)
+        });
+        hit
     }
 
     /// Deduplicated writer principals of `[addr, addr+len)`, in interval
@@ -497,15 +734,26 @@ impl WriterIndex {
         }
     }
 
-    /// The interned set for an id (diagnostics / bench assertions).
-    pub fn set(&self, id: WriterSetId) -> &[PrincipalId] {
-        self.interner.get(id)
+    /// Principals present (holding any coverage) in the shards that
+    /// overlap `[addr, addr+len)` — a superset of the principals whose
+    /// grants overlap the range itself. This is the kfree hint.
+    pub fn present_over(&self, addr: Word, len: u64) -> Vec<PrincipalId> {
+        let mut out = Vec::new();
+        for_each_segment(&self.boundaries, addr, len, |s, _lo, _hi| {
+            for p in self.shards[s].present_principals() {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        });
+        out.sort_unstable();
+        out
     }
 
     /// Number of live intervals across all shards (diagnostics). A range
     /// spanning shard boundaries counts one interval per shard.
     pub fn interval_count(&self) -> usize {
-        self.shards.iter().map(|s| s.starts.len()).sum()
+        self.shards.iter().map(|s| s.interval_count()).sum()
     }
 
     /// Number of distinct **live** interned writer sets, including the
@@ -519,98 +767,48 @@ impl WriterIndex {
     /// recycled slots (monotonic; pairs with [`set_count`](Self::set_count)
     /// as the live-vs-interned GC gauge).
     pub fn sets_ever_interned(&self) -> u64 {
-        self.interner.ever
-    }
-
-    /// Folds a predecessor index's allocation count into this one's so
-    /// `sets_ever_interned` stays monotonic across a rebuild
-    /// (`Runtime::set_shard_boundaries` replaces the whole index).
-    pub(crate) fn carry_allocation_count(&mut self, prior: u64) {
-        self.interner.ever += prior;
+        self.interner.ever()
     }
 
     /// Interner slot capacity: high-water mark of simultaneously live
     /// sets (freed slots are recycled, so this stays bounded under
     /// churn).
     pub fn set_slot_capacity(&self) -> usize {
-        self.interner.sets.len()
+        self.interner.capacity()
     }
 
     /// Currently recycled (free) interner slots (diagnostics).
     pub fn free_set_slots(&self) -> usize {
-        self.interner.free.len()
+        self.interner.free_slots()
     }
 
     /// Iterates `(start, end, writers)` over all intervals in address
     /// order (diagnostics).
     pub fn intervals(&self) -> impl Iterator<Item = (Word, Word, &[PrincipalId])> + '_ {
         let interner = &self.interner;
-        self.shards.iter().flat_map(move |sh| {
-            (0..sh.starts.len()).map(move |i| (sh.starts[i], sh.ends[i], interner.get(sh.sets[i])))
-        })
+        self.shards
+            .iter()
+            .flat_map(move |sh| sh.intervals(interner))
     }
 
     /// Panics unless the structural invariants hold: sorted disjoint
     /// non-empty intervals inside their shard's bounds, non-empty sorted
     /// writer sets, no coalescible (touching, equal-set) neighbors
-    /// within a shard, and interner refcounts exactly matching the
-    /// interval entries referencing each set. Test/proptest hook.
+    /// within a shard, interner refcounts exactly matching the interval
+    /// entries referencing each set (across shards), and each shard's
+    /// presence map matching its interval membership. Test/proptest hook.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        let mut refs = vec![0u32; self.interner.sets.len()];
+        let mut refs = vec![0u32; self.interner.capacity()];
         for (si, sh) in self.shards.iter().enumerate() {
-            assert_eq!(sh.starts.len(), sh.ends.len());
-            assert_eq!(sh.starts.len(), sh.sets.len());
-            let (slo, shi) = (self.shard_lo(si), self.shard_hi(si));
-            for i in 0..sh.starts.len() {
-                assert!(
-                    sh.starts[i] < sh.ends[i],
-                    "shard {si} interval {i} non-empty"
-                );
-                assert!(
-                    sh.starts[i] >= slo && sh.ends[i] <= shi,
-                    "shard {si} interval {i} inside shard bounds"
-                );
-                assert_ne!(sh.sets[i], EMPTY_WRITERS, "interval {i} has writers");
-                let set = self.interner.get(sh.sets[i]);
-                assert!(!set.is_empty());
-                assert!(set.windows(2).all(|w| w[0] < w[1]), "set sorted");
-                refs[sh.sets[i].0 as usize] += 1;
-                if i + 1 < sh.starts.len() {
-                    assert!(sh.ends[i] <= sh.starts[i + 1], "disjoint + sorted");
-                    assert!(
-                        !(sh.ends[i] == sh.starts[i + 1] && sh.sets[i] == sh.sets[i + 1]),
-                        "touching equal-set intervals must coalesce"
-                    );
-                }
-            }
-        }
-        for (i, &rc) in refs.iter().enumerate() {
-            assert_eq!(
-                self.interner.refs[i], rc,
-                "set {i} refcount matches its interval references"
-            );
-            if rc > 0 {
-                let set = &self.interner.sets[i];
-                assert_eq!(
-                    self.interner.ids.get(set),
-                    Some(&WriterSetId(i as u32)),
-                    "live set {i} resolvable through the id map"
-                );
-            }
-        }
-        for &slot in &self.interner.free {
-            assert_eq!(self.interner.refs[slot as usize], 0, "free slot is dead");
-            assert!(
-                self.interner.sets[slot as usize].is_empty(),
-                "free slot taken"
+            sh.check_invariants(
+                &self.interner,
+                &mut refs,
+                shard_lo(&self.boundaries, si),
+                shard_hi(&self.boundaries, si),
             );
         }
-        assert_eq!(
-            self.interner.live() + self.interner.free.len(),
-            self.interner.sets.len(),
-            "every slot is live or free"
-        );
+        self.interner.check_consistency(&refs);
     }
 }
 
@@ -666,7 +864,8 @@ impl Iterator for WritersOver<'_> {
                 self.k = 0;
                 continue;
             }
-            let sid = self.index.shards[self.s].sets[self.j];
+            let sh = &self.index.shards[self.s];
+            let sid = sh.sets[self.j];
             let set = self.index.interner.get(sid);
             while self.k < set.len() {
                 let w = set[self.k];
@@ -899,6 +1098,34 @@ mod tests {
         assert!(ix.free_set_slots() > 0, "slots await recycling");
     }
 
+    #[test]
+    fn presence_tracks_interval_membership() {
+        let mut ix = WriterIndex::new();
+        assert!(ix.present_over(0x1000, 0x100).is_empty());
+        ix.add(P0, 0x1000, 0x100);
+        ix.add(P1, 0x1080, 0x10);
+        ix.check_invariants();
+        // Single shard: presence is shard-wide (a superset of the
+        // range's writers).
+        assert_eq!(ix.present_over(0x1000, 8), vec![P0, P1]);
+        ix.remove(P1, 0x1080, 0x10);
+        assert_eq!(ix.present_over(0x1000, 8), vec![P0]);
+        ix.remove(P0, 0x1000, 0x100);
+        assert!(ix.present_over(0x1000, 8).is_empty());
+    }
+
+    #[test]
+    fn presence_is_per_shard() {
+        let mut ix = WriterIndex::with_boundaries(vec![0x2000]);
+        ix.add(P0, 0x1000, 0x100); // shard 0
+        ix.add(P1, 0x3000, 0x100); // shard 1
+        ix.check_invariants();
+        assert_eq!(ix.present_over(0x1000, 8), vec![P0]);
+        assert_eq!(ix.present_over(0x3000, 8), vec![P1]);
+        // A range spanning the boundary unions both shards' presence.
+        assert_eq!(ix.present_over(0x1000, 0x3000), vec![P0, P1]);
+    }
+
     // ------------------------------------------------------------ shards
 
     #[test]
@@ -952,12 +1179,13 @@ mod tests {
         ix.add(P0, 0x1000, 0x100);
         ix.check_invariants();
         // One logical region, two per-shard intervals (no cross-shard
-        // coalescing), one live non-empty set.
+        // coalescing), one live non-empty set (the interner is shared).
         assert_eq!(ix.interval_count(), 2);
         assert_eq!(ix.set_count(), 2);
         assert_eq!(writers(&ix, 0x1078, 16), vec![P0], "probe across boundary");
         ix.remove(P0, 0x1000, 0x100);
         assert_eq!(ix.interval_count(), 0);
+        assert_eq!(ix.set_count(), 1, "only the pinned empty set stays");
     }
 
     #[test]

@@ -195,7 +195,7 @@ fn check_sequence_sharded(ops: &[Op], boundaries: Vec<u64>) {
                 }
             }
         }
-        rt.writer_index().check_invariants();
+        rt.check_index_invariants();
     }
 
     // The instance principals occupy ids 2.. (after shared + global);

@@ -32,36 +32,35 @@ fn churn(rt: &mut Runtime, sharded: bool) {
         for &p in &trio {
             rt.grant(p, RawCap::write(base, 0x100));
         }
-        rt.writer_index().check_invariants();
+        rt.check_index_invariants();
         for &p in &trio {
             rt.revoke(p, RawCap::write(base, 0x100));
         }
     }
-    rt.writer_index().check_invariants();
+    rt.check_index_invariants();
 }
 
 fn assert_bounded(rt: &Runtime) {
-    let ix = rt.writer_index();
     assert!(
-        ix.sets_ever_interned() > 2 * ROUNDS,
+        rt.index_sets_ever_interned() > 2 * ROUNDS,
         "churn should intern new combinations every round: only {}",
-        ix.sets_ever_interned()
+        rt.index_sets_ever_interned()
     );
     assert_eq!(
-        ix.set_count(),
+        rt.index_set_count(),
         1,
         "everything revoked: only the pinned empty set stays live"
     );
     assert!(
-        ix.set_slot_capacity() <= 64,
+        rt.index_set_slot_capacity() <= 64,
         "slot capacity is the high-water mark of simultaneously live \
          sets, not of allocations: {}",
-        ix.set_slot_capacity()
+        rt.index_set_slot_capacity()
     );
-    assert_eq!(ix.interval_count(), 0);
+    assert_eq!(rt.index_interval_count(), 0);
     // The stats gauges surface the same pair.
-    assert_eq!(rt.stats.writer_sets_live, ix.set_count() as u64);
-    assert_eq!(rt.stats.writer_sets_ever, ix.sets_ever_interned());
+    assert_eq!(rt.stats.writer_sets_live, rt.index_set_count() as u64);
+    assert_eq!(rt.stats.writer_sets_ever, rt.index_sets_ever_interned());
 }
 
 #[test]

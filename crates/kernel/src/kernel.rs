@@ -189,9 +189,13 @@ impl Kernel {
     pub fn boot(mode: IsolationMode) -> Self {
         let mut mem = AddressSpace::new();
         let procs = ProcessTable::new(&mut mem, KSTATIC_BASE);
+        // The shared runtime core is born sharded along the address-space
+        // regions (and the first module windows) before any capability
+        // traffic, so grant/revoke splices stay bounded by the region
+        // they touch — and, in the concurrent runtime, so do the locks.
         let mut k = Kernel {
             mem,
-            rt: Runtime::new(),
+            rt: Runtime::with_shard_boundaries(shard_boundaries()),
             layouts: TypeLayouts::new(),
             mode,
             exports: Vec::new(),
@@ -222,10 +226,6 @@ impl Kernel {
             snd: Default::default(),
             dm: Default::default(),
         };
-        // Shard the reverse writer index along the address-space regions
-        // (and the first module windows) before any capability traffic,
-        // so grant/revoke splices stay bounded by the region they touch.
-        k.rt.set_shard_boundaries(shard_boundaries());
         types::register_layouts(&mut k.layouts);
         {
             let mut d = (*k.unannotated_decl).clone();
@@ -244,6 +244,23 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------ threads
+
+    /// The shared runtime core backing this kernel's guards. Worker
+    /// threads outside the simulated kernel (benchmarks, stress tests)
+    /// guard against the same capability world through handles from
+    /// [`Kernel::guard_handle`].
+    pub fn runtime_core(&self) -> std::sync::Arc<lxfi_core::RuntimeCore> {
+        self.rt.share()
+    }
+
+    /// Hands out a fresh per-thread guard handle over this kernel's
+    /// shared core: its own shadow stack, private epoch cache, and
+    /// stats, suitable for moving to another OS thread. The simulated
+    /// kernel's own (simulated) threads get the same per-thread guard
+    /// state via the runtime facade's lanes.
+    pub fn guard_handle(&self) -> lxfi_core::GuardHandle {
+        lxfi_core::GuardHandle::new(self.rt.share())
+    }
 
     /// Creates a kernel thread with its own stack; returns its id.
     pub fn spawn_thread(&mut self) -> ThreadId {
@@ -1210,16 +1227,17 @@ impl Env for Kernel {
                 // The module may only call targets it holds CALL for.
                 self.rt.check_call(t, target)?;
                 // Annotation match between the call site's pointer type
-                // and the invoked function (§4.1, module side).
-                let meta = self
+                // and the invoked function (§4.1, module side). Hash-only
+                // lookup: no FnMeta clone on the call hot path.
+                let fn_hash = self
                     .rt
-                    .function_at(target)
+                    .function_ahash(target)
                     .ok_or(Violation::NotAFunction { target })
                     .map_err(Trap::from)?;
-                if meta.ahash != site_hash {
+                if fn_hash != site_hash {
                     return Err(Trap::from(Violation::AnnotationMismatch {
                         sig_hash: site_hash,
-                        fn_hash: meta.ahash,
+                        fn_hash,
                     }));
                 }
                 let caller = self.rt.current(t);

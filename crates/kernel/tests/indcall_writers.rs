@@ -68,7 +68,7 @@ fn boot_world() -> World {
     k.rt.grant(principals[0], RawCap::write(slot - 16, 32));
     k.rt.grant(principals[1], RawCap::write(slot, 8));
     k.rt.grant(principals[2], RawCap::write(slot + 4, 28));
-    k.rt.writer_index().check_invariants();
+    k.rt.check_index_invariants();
 
     World {
         k,
@@ -140,7 +140,7 @@ fn revocations_split_and_merge_through_the_grant_path() {
     // Revoke gamma's WRITE instead: gamma stops being a writer, so the
     // remaining writers (alpha, beta) all hold CALL and the call passes.
     assert!(w.k.rt.revoke(gamma, RawCap::write(slot + 4, 28)));
-    w.k.rt.writer_index().check_invariants();
+    w.k.rt.check_index_invariants();
     let mut writers = w.k.rt.writers_of(slot);
     writers.sort();
     let mut expect = vec![alpha, beta];
@@ -152,7 +152,7 @@ fn revocations_split_and_merge_through_the_grant_path() {
     // AND alpha's covering grant in one sweep (both intersect the slot),
     // leaving no writers: the slow path then passes vacuously.
     w.k.rt.revoke_write_overlapping_everywhere(slot, 8);
-    w.k.rt.writer_index().check_invariants();
+    w.k.rt.check_index_invariants();
     assert!(w.k.rt.writers_of(slot).is_empty());
     w.k.rt.check_indcall(slot, target, ahash).unwrap();
 
