@@ -17,7 +17,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use lxfi_core::{GuardHandle, GuardKind, RawCap, Runtime};
+use lxfi_core::{GuardHandle, GuardKind, RawCap, Replacement, Runtime};
 use lxfi_kernel::{IsolationMode, Kernel};
 use lxfi_rewriter::{rewrite_module, RewriteOptions};
 
@@ -127,13 +127,15 @@ pub const WAYS_ARENA: u64 = 0x60_0000;
 /// Byte stride between the rotated objects.
 pub const WAYS_OBJ_STRIDE: u64 = 0x1000;
 
-/// One `(ways, objects)` cell of the associativity ablation.
+/// One `(ways, objects, policy)` cell of the associativity ablation.
 #[derive(Debug, Clone, Copy)]
 pub struct WaysAblationRow {
     /// Cache associativity (covering intervals per principal).
     pub ways: usize,
     /// Distinct objects the store stream rotates across per packet.
     pub objects: usize,
+    /// Replacement policy under test.
+    pub policy: Replacement,
     /// Write-guard cache hit rate over the stream (deterministic).
     pub hit_rate: f64,
     /// Measured per-store latency (host ns).
@@ -144,7 +146,7 @@ pub struct WaysAblationRow {
 /// stream: each "packet" touches `objects` distinct granted objects in
 /// rotation (descriptor-then-payload-then-state style), `stores` stores
 /// total. Returns `(hit_rate, ns_per_store)`.
-fn run_ways<const W: usize>(objects: usize, stores: u64) -> (f64, f64) {
+fn run_ways<const W: usize>(objects: usize, stores: u64, policy: Replacement) -> (f64, f64) {
     let mut rt = Runtime::new();
     let m = rt.register_module("ways");
     let p = rt.principal_for_name(m, 0x9000);
@@ -152,6 +154,7 @@ fn run_ways<const W: usize>(objects: usize, stores: u64) -> (f64, f64) {
         rt.grant(p, RawCap::write(WAYS_ARENA + k * WAYS_OBJ_STRIDE, 0x200));
     }
     let mut h: GuardHandle<W> = GuardHandle::new(rt.share());
+    h.set_cache_policy(policy);
     h.set_current(Some((m, p)));
     let addr = |i: u64| {
         let k = i % objects as u64;
@@ -170,27 +173,37 @@ fn run_ways<const W: usize>(objects: usize, stores: u64) -> (f64, f64) {
     (h.stats.write_cache_hit_rate(), ns)
 }
 
-/// The full `ways × objects` grid. Round-robin replacement against a
-/// cyclic stream is the worst case: `objects ≤ ways` hits ~100%,
-/// `objects > ways` collapses to ~0% — the cliff the table in the
-/// README uses to justify (or indict) the default of 4 for workloads
-/// touching more objects per packet.
+fn run_ways_dyn(ways: usize, objects: usize, stores: u64, policy: Replacement) -> (f64, f64) {
+    match ways {
+        1 => run_ways::<1>(objects, stores, policy),
+        2 => run_ways::<2>(objects, stores, policy),
+        4 => run_ways::<4>(objects, stores, policy),
+        _ => run_ways::<8>(objects, stores, policy),
+    }
+}
+
+/// The full `ways × objects × policy` grid. Round-robin replacement
+/// against a cyclic stream is the worst case: `objects ≤ ways` hits
+/// ~100%, `objects > ways` collapses to ~0% — the cliff the table in
+/// the README uses to justify the default of 4. The victim-entry rows
+/// show the policy that softens the cliff: conflict misses churn only
+/// the victim way, so `W-1` residents keep hitting when the rotation is
+/// one-or-two objects too wide — which is why victim replacement is the
+/// default.
 pub fn epoch_ways_ablation(stores: u64) -> Vec<WaysAblationRow> {
     let mut rows = Vec::new();
-    for &objects in &[1usize, 2, 4, 6, 8] {
-        for &ways in &[1usize, 2, 4, 8] {
-            let (hit_rate, store_ns) = match ways {
-                1 => run_ways::<1>(objects, stores),
-                2 => run_ways::<2>(objects, stores),
-                4 => run_ways::<4>(objects, stores),
-                _ => run_ways::<8>(objects, stores),
-            };
-            rows.push(WaysAblationRow {
-                ways,
-                objects,
-                hit_rate,
-                store_ns,
-            });
+    for &policy in &[Replacement::RoundRobin, Replacement::Victim] {
+        for &objects in &[1usize, 2, 4, 6, 8] {
+            for &ways in &[1usize, 2, 4, 8] {
+                let (hit_rate, store_ns) = run_ways_dyn(ways, objects, stores, policy);
+                rows.push(WaysAblationRow {
+                    ways,
+                    objects,
+                    policy,
+                    hit_rate,
+                    store_ns,
+                });
+            }
         }
     }
     rows
@@ -203,22 +216,41 @@ mod tests {
     #[test]
     fn ways_ablation_shows_the_associativity_cliff() {
         let rows = epoch_ways_ablation(4_000);
-        let cell = |w: usize, o: usize| {
+        let cell = |w: usize, o: usize, p: Replacement| {
             rows.iter()
-                .find(|r| r.ways == w && r.objects == o)
+                .find(|r| r.ways == w && r.objects == o && r.policy == p)
                 .unwrap()
                 .hit_rate
         };
-        // Enough ways for the rotation: everything hits.
-        assert!(cell(4, 4) > 0.99, "4 objects fit 4 ways: {}", cell(4, 4));
-        assert!(cell(8, 6) > 0.99);
-        assert!(cell(1, 1) > 0.99);
+        let rr = |w, o| cell(w, o, Replacement::RoundRobin);
+        let vi = |w, o| cell(w, o, Replacement::Victim);
+        // Enough ways for the rotation: everything hits, either policy.
+        assert!(rr(4, 4) > 0.99, "4 objects fit 4 ways: {}", rr(4, 4));
+        assert!(rr(8, 6) > 0.99);
+        assert!(rr(1, 1) > 0.99);
+        assert!(vi(4, 4) > 0.99);
+        assert!(vi(1, 1) > 0.99);
         // One object too many + round-robin replacement: collapse.
-        assert!(cell(4, 6) < 0.05, "6 objects thrash 4 ways: {}", cell(4, 6));
-        assert!(cell(1, 2) < 0.05);
-        assert!(cell(2, 4) < 0.05);
+        assert!(rr(4, 6) < 0.05, "6 objects thrash 4 ways: {}", rr(4, 6));
+        assert!(rr(1, 2) < 0.05);
+        assert!(rr(2, 4) < 0.05);
+        // The victim policy softens exactly that cliff: W-1 residents
+        // keep hitting while conflict misses churn the victim way.
+        assert!(vi(4, 6) > 0.4, "victim softens the cliff: {}", vi(4, 6));
+        assert!(
+            vi(4, 8) > 0.3,
+            "even 2x-over rotation retains: {}",
+            vi(4, 8)
+        );
+        assert!(vi(2, 4) > 0.2);
+        assert!(
+            vi(4, 6) > rr(4, 6) + 0.3,
+            "policy beats rotation past the cliff: {} vs {}",
+            vi(4, 6),
+            rr(4, 6)
+        );
         // The default covers the netperf TX pattern (4 objects/packet).
-        assert!(cell(4, 2) > 0.99);
+        assert!(vi(4, 2) > 0.99);
     }
 
     #[test]

@@ -29,7 +29,13 @@
 //!   aware**: parallel speedup cannot exist on fewer than 4 CPUs, so on
 //!   such hosts (`mt_cpus` in the measured JSON) the row degrades to a
 //!   collapse guard (4 threads must keep ≥½ the single-thread
-//!   aggregate).
+//!   aggregate). The kernel-path rows (`kmt_*`, real interpreted module
+//!   code on `KernelCpu`s) mirror the guard-path ones with proportional
+//!   slack: contended per-packet ≤2x uncontended at 2 CPUs, churn
+//!   really landed, and 4-CPU aggregate ≥1.3x single-CPU (collapse
+//!   guard below 4 host CPUs — per-packet work shares the slab and
+//!   capability-transfer locks, so the bar is lower than the lock-free
+//!   store workload's).
 //!
 //! Exit status: 0 = pass, 1 = regression, 2 = bad input.
 
@@ -50,8 +56,15 @@ const POST_REVOKE_SLACK_NS: f64 = 2.0;
 /// machine that is, by construction, busy).
 const MT_CONTENTION_SLACK_NS: f64 = 5.0;
 
+/// Absolute tolerance (ns) added to the contended-vs-uncontended
+/// kernel-path per-packet floor. A packet is a microsecond-scale
+/// operation (interpretation + slab + capability transfers), and the
+/// churn CPU write-locks the module registry during its load/unload
+/// cycles, so the noise floor is proportionally larger.
+const KMT_CONTENTION_SLACK_NS: f64 = 2_000.0;
+
 /// `(label, optimized key, reference key)` — the ratio-gated structures.
-const GATED: [(&str, &str, &str); 13] = [
+const GATED: [(&str, &str, &str); 14] = [
     ("write-table hit", "interval_hit_ns", "linear_hit_ns"),
     ("write-table miss", "interval_miss_ns", "linear_miss_ns"),
     (
@@ -106,6 +119,13 @@ const GATED: [(&str, &str, &str); 13] = [
         "sound playback lxfi/stock cycles",
         "sound_lxfi_period_cycles",
         "sound_stock_period_cycles",
+    ),
+    (
+        // Same determinism argument for the device-mapper request round
+        // (crypt write + crypt read + snapshot COW write).
+        "dm request lxfi/stock cycles",
+        "dm_lxfi_round_cycles",
+        "dm_stock_round_cycles",
     ),
 ];
 
@@ -306,6 +326,48 @@ fn run(baseline_path: &str, current_path: &str) -> Result<bool, String> {
         floor(
             format!("floor: mt 4t no collapse ({cpus:.0} cpus: ratio ≤2)"),
             inv_scaling,
+            2.0,
+        );
+    }
+
+    // Kernel-path multi-CPU rows: real interpreted module code on
+    // KernelCpus (the SMP kernel redesign's acceptance bar).
+    let kcontended = get(&current, "kmt_pkt_2t_contended_ns", current_path)?;
+    let kuncontended = get(&current, "kmt_pkt_2t_uncontended_ns", current_path)?;
+    floor(
+        "floor: kernel contended ≤2x uncontended @2cpu".into(),
+        kcontended,
+        2.0 * kuncontended + KMT_CONTENTION_SLACK_NS,
+    );
+    // Churn must actually have landed for the row above to mean
+    // anything (expressed as an upper bound on the negated count).
+    let kchurn = get(&current, "kmt_contended_2t_churn_ops", current_path)?;
+    floor(
+        "floor: kernel churn ops ≥1 (neg ≤ -1)".into(),
+        -kchurn,
+        -1.0,
+    );
+    // CPU-count-aware kernel scaling. Per-packet work shares the slab,
+    // the writer map, and per-packet capability transfers (locked), so
+    // the bar is lower than the lock-free guard workload's: with ≥4
+    // CPUs the 4-CPU aggregate must reach ≥1.3x single-CPU; below
+    // that, adding CPUs must at least not collapse throughput.
+    let kinv = ratio(
+        &current,
+        "kmt_aggregate_1t_kpps",
+        "kmt_aggregate_4t_kpps",
+        current_path,
+    )?;
+    if cpus >= 4.0 {
+        floor(
+            "floor: kernel 4cpu aggregate ≥1.3x 1cpu (ratio ≤0.77)".into(),
+            kinv,
+            0.77,
+        );
+    } else {
+        floor(
+            format!("floor: kernel 4cpu no collapse ({cpus:.0} cpus: ratio ≤2)"),
+            kinv,
             2.0,
         );
     }

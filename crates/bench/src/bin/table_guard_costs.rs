@@ -12,7 +12,7 @@
 //! the CI perf gate (`perf_gate`) and the workflow artifact; the human
 //! tables are suppressed in that mode.
 
-use lxfi_bench::{guards, netperf_mt, render_table, sound, writer_index};
+use lxfi_bench::{dm, guards, kernel_mt, netperf_mt, render_table, sound, writer_index};
 
 /// Measured values, as `(key, value)` pairs with stable names.
 fn measurements(iters: u64) -> Vec<(String, f64)> {
@@ -81,11 +81,34 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
     out.push(("mt_aggregate_2t_mops".into(), m2u.aggregate_mops));
     out.push(("mt_contended_2t_hit_rate".into(), m2c.hit_rate));
     out.push(("mt_contended_2t_churn_ops".into(), m2c.churn_ops as f64));
+    // Multi-threaded *kernel* workload: real interpreted e1000 TX on N
+    // KernelCpus over one shared KernelCore, against grant/revoke +
+    // module-load churn. Scaling pair (1t vs 4t uncontended) plus the
+    // contention pair at 2 CPUs (CI's smoke thread count).
+    let pkts = (iters / 40).max(2_000);
+    let km1 = kernel_mt::run_kernel_mt(1, pkts, false);
+    out.push(("kmt_pkt_1t_ns".into(), km1.pkt_ns));
+    out.push(("kmt_aggregate_1t_kpps".into(), km1.aggregate_kpps));
+    let km4 = kernel_mt::run_kernel_mt(4, pkts, false);
+    out.push(("kmt_pkt_4t_ns".into(), km4.pkt_ns));
+    out.push(("kmt_aggregate_4t_kpps".into(), km4.aggregate_kpps));
+    let km2u = kernel_mt::run_kernel_mt(2, pkts, false);
+    let km2c = kernel_mt::run_kernel_mt(2, pkts, true);
+    out.push(("kmt_pkt_2t_uncontended_ns".into(), km2u.pkt_ns));
+    out.push(("kmt_pkt_2t_contended_ns".into(), km2c.pkt_ns));
+    out.push(("kmt_aggregate_2t_kpps".into(), km2u.aggregate_kpps));
+    out.push(("kmt_contended_2t_hit_rate".into(), km2c.hit_rate));
+    out.push(("kmt_contended_2t_churn_ops".into(), km2c.churn_ops as f64));
+    out.push(("kmt_contended_2t_loads".into(), km2c.churn_loads as f64));
     // Sound playback period: deterministic simulated cycles, so the
     // stock/LXFI ratio is machine-independent.
     let pb = sound::playback_comparison(200);
     out.push(("sound_stock_period_cycles".into(), pb.stock));
     out.push(("sound_lxfi_period_cycles".into(), pb.lxfi));
+    // Device-mapper request round: also deterministic simulated cycles.
+    let dmr = dm::dm_comparison(100);
+    out.push(("dm_stock_round_cycles".into(), dmr.stock));
+    out.push(("dm_lxfi_round_cycles".into(), dmr.lxfi));
     out
 }
 
@@ -258,12 +281,46 @@ fn main() {
     );
     println!("(full 1/2/4/8-thread sweep: `cargo run --bin netperf_mt`)");
 
+    println!("\nMulti-threaded kernel workload (2 KernelCpus, churn on/off):\n");
+    let km2u = kernel_mt::run_kernel_mt(2, 2_000, false);
+    let km2c = kernel_mt::run_kernel_mt(2, 2_000, true);
+    let rows: Vec<Vec<String>> = [&km2u, &km2c]
+        .iter()
+        .map(|m| {
+            vec![
+                if m.contended { "churn" } else { "idle" }.to_string(),
+                format!("{:.0}", m.pkt_ns),
+                format!("{:.1}", m.aggregate_kpps),
+                format!("{:.1}%", m.hit_rate * 100.0),
+                format!("{}", m.churn_loads),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Churn", "Pkt ns", "Aggregate Kpkt/s", "Hit rate", "Loads"],
+            &rows
+        )
+    );
+    println!("(full 1/2/4-CPU sweep: `cargo run --bin kernel_mt`)");
+
     let pb = sound::playback_comparison(200);
     println!(
         "\nSound playback period (deterministic cycles): stock {:.0},\n\
          LXFI {:.0} ({:.1}x) — a tiny operation, so fixed crossing costs\n\
-         dominate. Re-emit as JSON with `--json` (the CI perf gate\n\
-         consumes it; see bench/baseline.json).",
+         dominate.",
         pb.stock, pb.lxfi, pb.overhead
+    );
+    let dmr = dm::dm_comparison(100);
+    println!(
+        "\nDevice-mapper request round (deterministic cycles): stock {:.0},\n\
+         LXFI {:.0} ({:.1}x) — crypt write + crypt read + snapshot COW\n\
+         write over a {}-byte payload. Re-emit as JSON with `--json`\n\
+         (the CI perf gate consumes it; see bench/baseline.json).",
+        dmr.stock,
+        dmr.lxfi,
+        dmr.overhead,
+        dm::DM_REQ_BYTES
     );
 }

@@ -15,7 +15,9 @@
 pub mod ablations;
 pub mod api_churn;
 pub mod census;
+pub mod dm;
 pub mod guards;
+pub mod kernel_mt;
 pub mod loc;
 pub mod netperf;
 pub mod netperf_mt;

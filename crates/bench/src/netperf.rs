@@ -27,7 +27,7 @@ pub fn boot_e1000(mode: IsolationMode) -> (Kernel, u64) {
     k.pci_add_device(0x8086, 0x100e, 11);
     k.load_module(mods::e1000::spec()).unwrap();
     k.enter(|k| k.pci_probe_all()).unwrap();
-    let dev = *k.net.devices.last().unwrap();
+    let dev = *k.net().devices.last().unwrap();
     (k, dev)
 }
 

@@ -20,7 +20,7 @@ use lxfi_modules as mods;
 pub fn boot_sound(mode: IsolationMode) -> (Kernel, Word) {
     let mut k = Kernel::boot(mode);
     k.load_module(mods::snd_ens1370::spec()).unwrap();
-    let &(pcm, _ops) = k.snd.pcms.last().expect("ens1370 created a PCM");
+    let &(pcm, _ops) = k.snd().pcms.last().expect("ens1370 created a PCM");
     (k, pcm)
 }
 

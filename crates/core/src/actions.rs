@@ -235,7 +235,7 @@ mod tests {
         let mut rt = Runtime::new();
         let m = rt.register_module("e1000");
         rt.register_thread(ThreadId(0), 0xffff_9000_0000_0000, 0x4000);
-        let mut mem = AddressSpace::new();
+        let mem = AddressSpace::new();
         mem.map_range(0x5000, 0x2000);
         let mut layouts = TypeLayouts::new();
         layouts.define("spinlock_t", 8);
@@ -395,7 +395,7 @@ mod tests {
 
     #[test]
     fn iterator_expansion() {
-        let (mut rt, mut mem, layouts, m) = setup();
+        let (mut rt, mem, layouts, m) = setup();
         let p = rt.principal_for_name(m, 0x5000);
         // A two-field "sk_buff": data pointer at +0, length at +8.
         mem.map_range(0x8000, 0x1000);

@@ -59,6 +59,30 @@ pub const DEFAULT_WAYS: usize = 4;
 /// Backwards-compatible alias for the pre-parameterized constant.
 pub const WAYS: usize = DEFAULT_WAYS;
 
+/// Replacement policy for a full cache set.
+///
+/// Round-robin is optimal while the rotation fits the ways but falls
+/// off a cliff at `objects = ways + 1`: a cyclic stream always evicts
+/// the next-needed interval, so the hit rate collapses to ~0 (the WAYS
+/// ablation in `lxfi-bench` shows the cliff). The victim-entry scheme
+/// is scan-resistant: conflict misses replace only the **most recently
+/// inserted** way (the "victim" slot), protecting the resident
+/// intervals, so a rotation one-or-two objects too wide still hits on
+/// `W-1` of them. To stay adaptive across phase changes (a completely
+/// new working set), more than `2W` consecutive conflict misses without
+/// a single hit fall back to one round-robin step each, walking the
+/// stale residents out — the threshold is above `W` so a rotation up to
+/// `~3W` objects wide (hits on the `W-1` residents interleave the miss
+/// runs) never trips it. The ablation table justifies the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Evict ways in insertion order (the pre-redesign behavior).
+    RoundRobin,
+    /// Scan-resistant victim-entry replacement (the default).
+    #[default]
+    Victim,
+}
+
 /// One cached covering interval `[start, end)`.
 #[derive(Debug, Clone, Copy, Default)]
 struct WayEntry {
@@ -74,6 +98,9 @@ struct CacheSet<const W: usize> {
     epoch: u64,
     len: u8,
     cursor: u8,
+    /// Conflict misses since the set last hit (victim policy's
+    /// phase-change detector; saturates).
+    misses_since_hit: u8,
     ways: [WayEntry; W],
 }
 
@@ -83,6 +110,7 @@ impl<const W: usize> Default for CacheSet<W> {
             epoch: 0,
             len: 0,
             cursor: 0,
+            misses_since_hit: 0,
             ways: [WayEntry::default(); W],
         }
     }
@@ -93,6 +121,7 @@ impl<const W: usize> Default for CacheSet<W> {
 #[derive(Debug)]
 pub struct EpochCache<const W: usize> {
     sets: Vec<CacheSet<W>>,
+    policy: Replacement,
 }
 
 /// The runtime's write-guard cache ([`DEFAULT_WAYS`]-way).
@@ -100,14 +129,37 @@ pub type WriteGuardCache = EpochCache<DEFAULT_WAYS>;
 
 impl<const W: usize> Default for EpochCache<W> {
     fn default() -> Self {
-        EpochCache { sets: Vec::new() }
+        EpochCache {
+            sets: Vec::new(),
+            policy: Replacement::default(),
+        }
     }
 }
 
 impl<const W: usize> EpochCache<W> {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default replacement policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache with an explicit replacement policy (the
+    /// WAYS/policy ablation sweeps both).
+    pub fn with_policy(policy: Replacement) -> Self {
+        EpochCache {
+            sets: Vec::new(),
+            policy,
+        }
+    }
+
+    /// The replacement policy in force.
+    pub fn policy(&self) -> Replacement {
+        self.policy
+    }
+
+    /// Switches the replacement policy (ablation hook; takes effect on
+    /// subsequent conflict misses).
+    pub fn set_policy(&mut self, policy: Replacement) {
+        self.policy = policy;
     }
 
     /// The cache's associativity.
@@ -116,24 +168,29 @@ impl<const W: usize> EpochCache<W> {
     }
 
     /// True if a covering interval cached for `p` under the current
-    /// `epoch` covers `[addr, end)`.
+    /// `epoch` covers `[addr, end)`. Hits feed the victim policy's
+    /// phase-change detector, hence `&mut`.
     #[inline]
-    pub fn lookup(&self, p: PrincipalId, epoch: u64, addr: Word, end: Word) -> bool {
-        let Some(set) = self.sets.get(p.0 as usize) else {
+    pub fn lookup(&mut self, p: PrincipalId, epoch: u64, addr: Word, end: Word) -> bool {
+        let Some(set) = self.sets.get_mut(p.0 as usize) else {
             return false;
         };
         if set.epoch != epoch {
             return false;
         }
-        set.ways[..set.len as usize]
+        let hit = set.ways[..set.len as usize]
             .iter()
-            .any(|w| w.start <= addr && end <= w.end)
+            .any(|w| w.start <= addr && end <= w.end);
+        if hit {
+            set.misses_since_hit = 0;
+        }
+        hit
     }
 
     /// Records `interval` as a covering grant for `p` under `epoch`.
     /// If the set was filled under an older epoch it is reset first
     /// (the lazy half of epoch invalidation). Replacement within an
-    /// epoch is round-robin.
+    /// epoch follows [`Replacement`].
     pub fn insert(&mut self, p: PrincipalId, epoch: u64, interval: (Word, Word)) {
         let i = p.0 as usize;
         if i >= self.sets.len() {
@@ -143,14 +200,45 @@ impl<const W: usize> EpochCache<W> {
         if set.epoch != epoch {
             set.len = 0;
             set.cursor = 0;
+            set.misses_since_hit = 0;
             set.epoch = epoch;
         }
-        set.ways[set.cursor as usize] = WayEntry {
+        let slot = if (set.len as usize) < W {
+            // Fill empty ways first under either policy.
+            let s = set.len;
+            set.cursor = (s + 1) % W as u8;
+            s
+        } else {
+            match self.policy {
+                Replacement::RoundRobin => {
+                    let s = set.cursor;
+                    set.cursor = (s + 1) % W as u8;
+                    s
+                }
+                Replacement::Victim => {
+                    set.misses_since_hit = set.misses_since_hit.saturating_add(1);
+                    // Clamp below the u8 saturation point so the
+                    // fallback stays reachable at any W.
+                    if set.misses_since_hit as usize > (2 * W).min(200) {
+                        // No hit in over 2W conflict misses: the working
+                        // set moved — walk the stale residents out.
+                        let s = set.cursor;
+                        set.cursor = (s + 1) % W as u8;
+                        s
+                    } else {
+                        // Scan resistance: replace only the victim slot
+                        // (the most recently inserted way), keeping the
+                        // W-1 resident intervals hot.
+                        (W - 1) as u8
+                    }
+                }
+            }
+        };
+        set.ways[slot as usize] = WayEntry {
             start: interval.0,
             end: interval.1,
         };
-        set.len = set.len.max(set.cursor + 1);
-        set.cursor = (set.cursor + 1) % W as u8;
+        set.len = set.len.max(slot + 1);
     }
 
     /// Number of principals with an allocated cache set (diagnostics).
@@ -168,7 +256,7 @@ mod tests {
 
     #[test]
     fn miss_when_empty_or_unknown_principal() {
-        let c = WriteGuardCache::new();
+        let mut c = WriteGuardCache::new();
         assert!(!c.lookup(P0, 0, 0x1000, 0x1008));
         assert!(!c.lookup(PrincipalId(99), 0, 0x1000, 0x1008));
     }
@@ -197,7 +285,7 @@ mod tests {
 
     #[test]
     fn associative_ways_hold_multiple_objects() {
-        let mut c = WriteGuardCache::new();
+        let mut c: EpochCache<DEFAULT_WAYS> = EpochCache::with_policy(Replacement::RoundRobin);
         for i in 0..DEFAULT_WAYS as u64 {
             c.insert(P0, 0, (0x1000 * (i + 1), 0x1000 * (i + 1) + 0x100));
         }
@@ -209,6 +297,53 @@ mod tests {
         assert!(!c.lookup(P0, 0, 0x1000, 0x1008), "way 0 evicted");
         assert!(c.lookup(P0, 0, 0x9000, 0x9008));
         assert!(c.lookup(P0, 0, 0x2000, 0x2008), "younger ways survive");
+    }
+
+    #[test]
+    fn victim_policy_protects_residents_from_scans() {
+        // Default policy: a conflict miss replaces the victim way only.
+        let mut c = WriteGuardCache::new();
+        assert_eq!(c.policy(), Replacement::Victim);
+        for i in 0..DEFAULT_WAYS as u64 {
+            c.insert(P0, 0, (0x1000 * (i + 1), 0x1000 * (i + 1) + 0x100));
+        }
+        // Touch the residents so the set is "hitting".
+        for i in 0..DEFAULT_WAYS as u64 {
+            assert!(c.lookup(P0, 0, 0x1000 * (i + 1), 0x1000 * (i + 1) + 8));
+        }
+        // A scan of fresh objects churns only the victim slot.
+        c.insert(P0, 0, (0x9000, 0x9100));
+        c.insert(P0, 0, (0xa000, 0xa100));
+        assert!(c.lookup(P0, 0, 0x1000, 0x1008), "resident way survives");
+        assert!(c.lookup(P0, 0, 0x2000, 0x2008), "resident way survives");
+        assert!(c.lookup(P0, 0, 0x3000, 0x3008), "resident way survives");
+        assert!(!c.lookup(P0, 0, 0x9000, 0x9008), "victim churned out");
+        assert!(c.lookup(P0, 0, 0xa000, 0xa008), "latest insert resident");
+    }
+
+    #[test]
+    fn victim_policy_adapts_to_a_phase_change() {
+        // With no hits at all, consecutive conflict misses eventually
+        // fall back to round-robin and walk the stale residents out.
+        let mut c = WriteGuardCache::new();
+        for i in 0..DEFAULT_WAYS as u64 {
+            c.insert(P0, 0, (0x1000 * (i + 1), 0x1000 * (i + 1) + 0x100));
+        }
+        // New working set, never touching the old one.
+        let obj = |i: u64| (0x100_0000 + i * 0x1000, 0x100_0000 + i * 0x1000 + 0x100);
+        for round in 0..4u64 {
+            for i in 0..DEFAULT_WAYS as u64 {
+                let (s, e) = obj(i);
+                if !c.lookup(P0, 0, s, s + 8) {
+                    c.insert(P0, 0, (s, e));
+                }
+                let _ = round;
+            }
+        }
+        for i in 0..DEFAULT_WAYS as u64 {
+            let (s, _) = obj(i);
+            assert!(c.lookup(P0, 0, s, s + 8), "new set resident after churn");
+        }
     }
 
     #[test]

@@ -165,6 +165,12 @@ impl<const W: usize> GuardHandle<W> {
         self.lane.kstack = Some((base, len));
     }
 
+    /// Switches the private write-guard cache's replacement policy
+    /// (the rotation-vs-policy ablation sweeps both).
+    pub fn set_cache_policy(&mut self, policy: crate::epoch_cache::Replacement) {
+        self.lane.cache.set_policy(policy);
+    }
+
     /// This thread's shadow stack.
     pub fn shadow(&mut self) -> &mut ShadowStack {
         &mut self.lane.shadow

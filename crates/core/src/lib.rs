@@ -52,7 +52,7 @@ pub mod writer_set;
 
 pub use caps::{CapType, LinearWriteTable, RawCap, RefTypeId, WriteTable};
 pub use compiled::CompiledAnn;
-pub use epoch_cache::{EpochCache, WriteGuardCache, DEFAULT_WAYS};
+pub use epoch_cache::{EpochCache, Replacement, WriteGuardCache, DEFAULT_WAYS};
 pub use handle::GuardHandle;
 pub use iface::{FnDecl, Param, TypeLayouts};
 pub use principal::{ModuleId, PrincipalId, PrincipalKind};

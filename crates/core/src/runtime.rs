@@ -342,6 +342,14 @@ pub struct RuntimeCore {
     /// `GuardHandle::flush_stats`); the single-threaded facade keeps its
     /// own `GuardStats` field instead.
     stats: Mutex<GuardStats>,
+    /// Whether debug builds cross-check the kfree presence hint with a
+    /// full principal walk after each sweep. Only sound while one
+    /// thread mutates capabilities: a concurrent grant landing between
+    /// the sweep and the walk (e.g. another CPU transfer-granting a
+    /// freshly reallocated slab object at the same address) is
+    /// indistinguishable from a hint miss. The multi-CPU kernel turns
+    /// this off when its second CPU comes up.
+    kfree_cross_check: std::sync::atomic::AtomicBool,
 }
 
 impl Default for RuntimeCore {
@@ -367,7 +375,19 @@ impl RuntimeCore {
             names: RwLock::new(Names::default()),
             fns: RwLock::new(HashMap::new()),
             stats: Mutex::new(GuardStats::new()),
+            kfree_cross_check: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    /// Disables the debug-build kfree-hint cross-check (see the field
+    /// docs): call before concurrent capability mutators start.
+    pub fn disable_kfree_cross_check(&self) {
+        self.kfree_cross_check.store(false, Ordering::Release);
+    }
+
+    /// Whether the debug-build kfree-hint cross-check is active.
+    pub fn kfree_cross_check_enabled(&self) -> bool {
+        self.kfree_cross_check.load(Ordering::Acquire)
     }
 
     fn slot(&self, p: PrincipalId) -> &PrincipalSlot {
@@ -1327,7 +1347,7 @@ impl Runtime {
             self.update_writer_set_gauges();
         }
         #[cfg(debug_assertions)]
-        if size > 0 {
+        if size > 0 && self.core.kfree_cross_check_enabled() {
             for i in 0..self.core.principal_count() {
                 debug_assert!(
                     !self.core.write_overlaps(PrincipalId(i as u32), addr, size),

@@ -5,13 +5,13 @@
 //! pointer (Guideline 5) — compromising one encrypted volume must not
 //! grant access to the others.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lxfi_core::iface::Param;
 use lxfi_core::runtime::EmittedCap;
 use lxfi_machine::{Trap, Word};
 
-use crate::kernel::Kernel;
+use crate::kernel::KernelCpu;
 use crate::types::{bio, dm_target};
 
 /// Annotation for target constructors: per-device principal, WRITE over
@@ -36,7 +36,7 @@ pub struct DmState {
 }
 
 /// Registers device-mapper exports and interface annotations.
-pub fn register(k: &mut Kernel) {
+pub fn register(k: &mut KernelCpu) {
     k.rt.register_iterator(
         "bio_caps",
         Box::new(|mem, b, out| {
@@ -80,20 +80,20 @@ pub fn register(k: &mut Kernel) {
         "dm_register_target",
         vec![Param::scalar("type_id"), Param::scalar("ops")],
         Some(""),
-        Rc::new(|k, args| {
-            k.dm.target_types.push((args[0], args[1]));
+        Arc::new(|k, args| {
+            k.dm().target_types.push((args[0], args[1]));
             Ok(0)
         }),
     );
 }
 
-impl Kernel {
+impl KernelCpu {
     /// Creates a mapped device of the given registered type; dispatches
     /// the module's constructor (`ctr`, ops slot 0). Returns the
     /// `dm_target` address.
     pub fn dm_create(&mut self, type_id: u64, ctr_arg: u64) -> Result<Word, Trap> {
         let ops = self
-            .dm
+            .dm()
             .target_types
             .iter()
             .find(|&&(t, _)| t == type_id)
@@ -106,7 +106,7 @@ impl Kernel {
         if (ret as i64) < 0 {
             return Err(Trap::BadRef("dm ctr failed".into()));
         }
-        self.dm.targets.push((ti, ops));
+        self.dm().targets.push((ti, ops));
         Ok(ti)
     }
 
@@ -116,21 +116,21 @@ impl Kernel {
     /// transformed data.
     pub fn dm_submit(&mut self, ti: Word, write: bool, len: u64, fill: u8) -> Result<Word, Trap> {
         let ops = self
-            .dm
+            .dm()
             .targets
             .iter()
             .find(|&&(t, _)| t == ti)
             .map(|&(_, o)| o)
             .ok_or_else(|| Trap::BadRef("unknown dm target".into()))?;
         let b = self
-            .slab
-            .kmalloc(&mut self.mem, bio::SIZE)
+            .slab()
+            .kmalloc(&self.mem, bio::SIZE)
             .ok_or_else(|| Trap::BadRef("bio alloc".into()))?;
         self.mem.zero_range(b, bio::SIZE)?;
         self.rt.note_zeroed(b, bio::SIZE);
         let buf = self
-            .slab
-            .kmalloc(&mut self.mem, len)
+            .slab()
+            .kmalloc(&self.mem, len)
             .ok_or_else(|| Trap::BadRef("bio buf alloc".into()))?;
         for i in 0..len {
             self.mem

@@ -5,15 +5,18 @@
 //! function the developer forgot to annotate is *not callable* from
 //! isolated modules, the paper's safe default (§2.2).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lxfi_core::iface::FnDecl;
 use lxfi_machine::{Trap, Word};
 
-use crate::kernel::Kernel;
+use crate::kernel::KernelCpu;
 
-/// A native kernel function: operates directly on the kernel world.
-pub type NativeFn = Rc<dyn Fn(&mut Kernel, &[Word]) -> Result<Word, Trap>>;
+/// A native kernel function: operates on the kernel world through the
+/// calling CPU's execution context. `Send + Sync` so the export table
+/// lives in the shared [`crate::kernel::KernelCore`] and any CPU may
+/// dispatch it.
+pub type NativeFn = Arc<dyn Fn(&mut KernelCpu, &[Word]) -> Result<Word, Trap> + Send + Sync>;
 
 /// One exported kernel symbol.
 pub struct Export {
@@ -22,7 +25,7 @@ pub struct Export {
     /// Annotated prototype; `None` = unannotated (modules cannot call).
     /// Shared so the per-call wrapper path clones a reference count, not
     /// the declaration's strings.
-    pub decl: Option<Rc<FnDecl>>,
+    pub decl: Option<Arc<FnDecl>>,
     /// The implementation.
     pub imp: NativeFn,
     /// True for LXFI runtime entry points (`lxfi_princ_alias`,

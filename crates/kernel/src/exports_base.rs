@@ -13,12 +13,12 @@
 //! - `kfree` revokes every outstanding WRITE capability overlapping the
 //!   freed object, so no principal retains access to recycled memory.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lxfi_core::iface::Param;
 use lxfi_machine::{Trap, Width};
 
-use crate::kernel::Kernel;
+use crate::kernel::KernelCpu;
 use crate::layout::is_user_addr;
 
 /// Cycle cost charged per native kernel call (base kernel work).
@@ -29,21 +29,21 @@ pub const COPY_BYTE_COST_NUM: u64 = 1;
 /// Divisor for per-byte copy cost (1/4 cycle per byte).
 pub const COPY_BYTE_COST_DEN: u64 = 4;
 
-fn charge(k: &mut Kernel, bytes: u64) -> Result<(), Trap> {
+fn charge(k: &mut KernelCpu, bytes: u64) -> Result<(), Trap> {
     use lxfi_machine::Env;
     k.consume(NATIVE_CALL_COST + bytes * COPY_BYTE_COST_NUM / COPY_BYTE_COST_DEN)
 }
 
 /// Registers the base exports.
-pub fn register(k: &mut Kernel) {
+pub fn register(k: &mut KernelCpu) {
     k.export(
         "kmalloc",
         vec![Param::scalar("size")],
         Some("post(if (return != 0) transfer(write, return, size))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             charge(k, 0)?;
             let size = args.first().copied().unwrap_or(0);
-            Ok(k.slab.kmalloc(&mut k.mem, size).unwrap_or(0))
+            Ok(k.slab().kmalloc(&k.mem, size).unwrap_or(0))
         }),
     );
 
@@ -51,10 +51,11 @@ pub fn register(k: &mut Kernel) {
         "kzalloc",
         vec![Param::scalar("size")],
         Some("post(if (return != 0) transfer(write, return, size))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let size = args.first().copied().unwrap_or(0);
             charge(k, size)?;
-            match k.slab.kmalloc(&mut k.mem, size) {
+            let alloc = k.slab().kmalloc(&k.mem, size);
+            match alloc {
                 Some(addr) => {
                     k.mem.zero_range(addr, size)?;
                     k.rt.note_zeroed(addr, size);
@@ -69,19 +70,25 @@ pub fn register(k: &mut Kernel) {
         "kfree",
         vec![Param::scalar("ptr")],
         Some("pre(if (ptr != 0) check(write, ptr, 1))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             charge(k, 0)?;
             let ptr = args.first().copied().unwrap_or(0);
             if ptr == 0 {
                 return Ok(0);
             }
-            if let Some((_size, class)) = k.slab.kfree(ptr) {
+            // Two-phase free: the slot returns to the allocator only
+            // AFTER the capability sweep and zeroing, so a concurrent
+            // kmalloc on another CPU cannot be granted the recycled
+            // address and then have its fresh grant swept away.
+            let freed = k.slab().begin_free(ptr);
+            if let Some((_size, class)) = freed {
                 // No capability may outlive the allocation (§3.3): strip
                 // WRITE coverage from every principal, then mark the slot
                 // zeroed so the writer-set fast path recovers.
                 k.rt.revoke_write_overlapping_everywhere(ptr, class);
                 k.mem.zero_range(ptr, class)?;
                 k.rt.note_zeroed(ptr, class);
+                k.slab().finish_free(ptr, class);
             }
             Ok(0)
         }),
@@ -91,7 +98,7 @@ pub fn register(k: &mut Kernel) {
         "spin_lock_init",
         vec![Param::ptr("lock", "spinlock_t")],
         Some("pre(check(write, lock))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             charge(k, 0)?;
             // Writes zero through the pointer — the §1 attack surface.
             k.mem.write_word(args[0], 0)?;
@@ -103,7 +110,7 @@ pub fn register(k: &mut Kernel) {
         "spin_lock",
         vec![Param::ptr("lock", "spinlock_t")],
         Some("pre(check(write, lock))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             charge(k, 0)?;
             k.mem.write_word(args[0], 1)?;
             Ok(0)
@@ -114,7 +121,7 @@ pub fn register(k: &mut Kernel) {
         "spin_unlock",
         vec![Param::ptr("lock", "spinlock_t")],
         Some("pre(check(write, lock))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             charge(k, 0)?;
             k.mem.write_word(args[0], 0)?;
             Ok(0)
@@ -129,7 +136,7 @@ pub fn register(k: &mut Kernel) {
             Param::scalar("n"),
         ],
         Some("pre(check(write, ptr, n))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let (ptr, val, n) = (args[0], args[1] as u8, args[2]);
             charge(k, n)?;
             for i in 0..n {
@@ -150,7 +157,7 @@ pub fn register(k: &mut Kernel) {
             Param::scalar("n"),
         ],
         Some("pre(check(write, dst, n))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let (dst, src, n) = (args[0], args[1], args[2]);
             charge(k, n)?;
             let mut buf = vec![0u8; n as usize];
@@ -168,7 +175,7 @@ pub fn register(k: &mut Kernel) {
             Param::scalar("n"),
         ],
         Some("pre(check(write, dst, n))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let (dst, src, n) = (args[0], args[1], args[2]);
             charge(k, n)?;
             // The kernel-side check the RDS module *lacks* in its own
@@ -191,7 +198,7 @@ pub fn register(k: &mut Kernel) {
             Param::scalar("n"),
         ],
         Some(""),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let (dst, src, n) = (args[0], args[1], args[2]);
             charge(k, n)?;
             if !is_user_addr(dst) || !is_user_addr(dst + n) {
@@ -208,7 +215,7 @@ pub fn register(k: &mut Kernel) {
         "printk",
         vec![Param::scalar("msg")],
         Some(""),
-        Rc::new(|k, _args| {
+        Arc::new(|k, _args| {
             charge(k, 0)?;
             Ok(0)
         }),
@@ -218,7 +225,7 @@ pub fn register(k: &mut Kernel) {
         "bug",
         vec![],
         Some(""),
-        Rc::new(|_k, _args| Err(Trap::Bug(0))),
+        Arc::new(|_k, _args| Err(Trap::Bug(0))),
     );
 
     // `lxfi_princ_alias` / `lxfi_check`: the runtime's privileged entry
@@ -229,7 +236,7 @@ pub fn register(k: &mut Kernel) {
         "lxfi_princ_alias",
         vec![Param::scalar("existing"), Param::scalar("new_name")],
         "",
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             k.princ_alias_current(args[0], args[1])?;
             Ok(0)
         }),
@@ -243,7 +250,7 @@ pub fn register(k: &mut Kernel) {
         "lxfi_switch_global",
         vec![],
         "",
-        Rc::new(|k, _args| {
+        Arc::new(|k, _args| {
             let t = k.current_thread();
             match k.rt.current(t) {
                 Some((mid, _p)) => {
@@ -269,9 +276,9 @@ pub fn register(k: &mut Kernel) {
         "detach_pid",
         vec![Param::scalar("task")],
         None,
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let task = args[0];
-            k.procs.detach_pid(&k.mem, task);
+            k.procs().detach_pid(&k.mem, task);
             Ok(0)
         }),
     );

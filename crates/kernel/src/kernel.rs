@@ -1,36 +1,69 @@
 //! The kernel world: module loading, wrapper execution, indirect-call
 //! interposition, and the syscall surface exploits drive.
 //!
+//! # Execution model (multi-CPU)
+//!
+//! Since the SMP redesign the kernel is split in two, mirroring the
+//! `RuntimeCore`/`GuardHandle` split one layer down:
+//!
+//! - [`KernelCore`] is the **shared machine**: the interior-mutable
+//!   [`AddressSpace`], the shared `lxfi_core::RuntimeCore`, and every
+//!   registry (exports, sig declarations, loaded modules, kernel data
+//!   symbols, user shellcode) behind `RwLock`s, plus the slab,
+//!   process table and subsystem states (net/pci/socket/sound/dm)
+//!   behind `Mutex`es. It is `Send + Sync` and lives in an `Arc`.
+//! - [`KernelCpu`] is **one simulated CPU**: it owns what is genuinely
+//!   per-CPU — the per-thread guard lanes of its [`Runtime`] facade
+//!   (shadow stack, private epoch cache, stats), a kernel-stack window
+//!   and stack pointer, the interpreter's module execution stack, and
+//!   the fuel/cycle accounting. It implements [`Env`], so real
+//!   rewritten module code interprets concurrently on N OS threads,
+//!   one `KernelCpu` each (see `Kernel::new_cpu`).
+//! - [`Kernel`] is the thin single-threaded facade the existing tests,
+//!   examples, and exploit scenarios drive: CPU 0 plus the shared core,
+//!   `Deref`ing to [`KernelCpu`] so the historical API is unchanged.
+//!
+//! **Locking rules.** The guarded-store hot path takes no locks at all
+//! (private epoch cache + one atomic epoch load + atomic page-radix
+//! walk). Call dispatch takes short registry *read* locks; only module
+//! load/unload (serialized by one load mutex) takes write locks.
+//! Subsystem mutex guards are never held across a dispatch into module
+//! code — natives lock, mutate, and release within one statement.
+//! A module's `Arc<LoadedModule>` is cloned onto the CPU's execution
+//! stack before interpretation, so unloading races safely: in-flight
+//! CPUs keep the program alive, new dispatches no longer resolve it.
+//!
 //! Control-transfer interposition (§5, Figure 6):
 //!
-//! - **module → kernel** ([`Kernel::call_extern`] via the interpreter):
+//! - **module → kernel** ([`KernelCpu::call_extern`] via the interpreter):
 //!   CALL-capability check, wrapper entry (shadow stack, switch to kernel
 //!   context), `pre` actions, native call, `post` actions, wrapper exit.
-//! - **kernel → module** ([`Kernel::invoke_module_function`]): principal
+//! - **kernel → module** ([`KernelCpu::invoke_module_function`]): principal
 //!   selection from the `principal(...)` annotation, wrapper entry,
 //!   `pre` actions, interpretation of the module function, `post`
 //!   actions, wrapper exit.
-//! - **kernel indirect calls** ([`Kernel::indirect_call`] for native code,
-//!   `GuardIndCall` for rewritten kernel thunks): writer-set bitmap check,
-//!   then — on the slow path — the reverse writer index resolves the
-//!   slot's writer principals (sublinear in principals, §5), each of
+//! - **kernel indirect calls** ([`KernelCpu::indirect_call`] for native
+//!   code, `GuardIndCall` for rewritten kernel thunks): writer-set bitmap
+//!   check, then — on the slow path — the reverse writer index resolves
+//!   the slot's writer principals (sublinear in principals, §5), each of
 //!   which must hold CALL for the target, plus the annotation-hash match
 //!   — then dispatch.
 //!
-//! A policy violation anywhere escalates to a **kernel panic** (§3); a
-//! machine fault (NULL dereference) goes down the **oops** path, which
-//! runs `do_exit` — including its CVE-2010-4258 bug of zeroing the
-//! user-controlled `clear_child_tid` pointer.
+//! A policy violation anywhere escalates to a **kernel panic** (§3),
+//! shared by every CPU; a machine fault (NULL dereference) goes down the
+//! **oops** path, which runs `do_exit` — including its CVE-2010-4258 bug
+//! of zeroing the user-controlled `clear_child_tid` pointer.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use lxfi_annotations::parse_fn_annotations;
 use lxfi_core::actions::{apply_actions, CallSite, Dir};
 use lxfi_core::iface::{FnDecl, Param, TypeLayouts};
 use lxfi_core::runtime::FnMeta;
 use lxfi_core::shadow::PrincipalCtx;
-use lxfi_core::{PrincipalId, RawCap, Runtime, ThreadId, Violation};
+use lxfi_core::{PrincipalId, RawCap, Runtime, RuntimeCore, ThreadId, Violation};
 use lxfi_machine::program::ImportKind;
 use lxfi_machine::{
     run_function, AddressSpace, Env, FuncId, GlobalId, Program, SigId, SymbolId, Trap, Word,
@@ -77,27 +110,83 @@ pub struct ModuleSpec {
 /// User-space "shellcode": runs with full kernel access if the kernel is
 /// ever tricked into calling a user address (the payload of every exploit
 /// here typically sets `uid = 0`).
-pub type UserFn = Rc<dyn Fn(&mut Kernel)>;
+pub type UserFn = Arc<dyn Fn(&mut KernelCpu) + Send + Sync>;
 
-struct LoadedModule {
+/// One loaded module: immutable after load except the per-`SigId`
+/// annotation-hash array (refreshed when the sig registry grows) and the
+/// unload flag. Shared as an `Arc` so executing CPUs never hold a
+/// registry lock while interpreting.
+pub(crate) struct LoadedModule {
     name: String,
     mode: IsolationMode,
     /// `None` for the core-kernel thunk pseudo-module.
     mid: Option<lxfi_core::ModuleId>,
-    program: Rc<Program>,
+    program: Arc<Program>,
     global_addrs: Vec<Word>,
     fn_base: Word,
-    decls: HashMap<FuncId, Rc<FnDecl>>,
+    decls: HashMap<FuncId, Arc<FnDecl>>,
     import_addrs: Vec<Word>,
     /// Annotation hash per program `SigId`, resolved against the sig
     /// registry whenever it changes — so the indirect-call guard indexes
     /// an array instead of hashing a sig name per call.
-    sig_ahash: Vec<u64>,
+    sig_ahash: RwLock<Vec<u64>>,
+    /// CPUs currently executing this module (exec-stack occurrences).
+    /// `unload_module` waits for this to drain after unpublishing the
+    /// function addresses — the RCU-style grace period that keeps a
+    /// racing unload from revoking a running execution's capabilities
+    /// out from under it.
+    active: std::sync::atomic::AtomicUsize,
+    /// Set by `unload_module`; in-flight executions finish on their
+    /// cloned `Arc`, new dispatches no longer resolve the module.
+    unloaded: AtomicBool,
 }
 
-struct ThreadState {
-    base: Word,
-    sp: Word,
+/// An execution reference on a loaded module (the moral equivalent of
+/// `try_module_get`): holds the module's `active` count up for as long
+/// as the reference lives, which is what `unload_module`'s grace period
+/// waits on. Acquired under the module-registry read lock so it can
+/// never race the unload's unpublish.
+pub(crate) struct ModuleRef(Arc<LoadedModule>);
+
+impl ModuleRef {
+    fn acquire(m: &Arc<LoadedModule>) -> ModuleRef {
+        m.active.fetch_add(1, Ordering::AcqRel);
+        ModuleRef(Arc::clone(m))
+    }
+}
+
+impl std::ops::Deref for ModuleRef {
+    type Target = Arc<LoadedModule>;
+    fn deref(&self) -> &Arc<LoadedModule> {
+        &self.0
+    }
+}
+
+impl Drop for ModuleRef {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Resolves a program's per-`SigId` annotation hashes against the sig
+/// registry — the one definition shared by module load, thunk load, and
+/// the registry-growth refresh, so the load-time snapshot can never
+/// diverge from the refresh path.
+fn resolve_sig_hashes(
+    sig_decls: &HashMap<String, Arc<FnDecl>>,
+    program: &Program,
+    empty_ahash: u64,
+) -> Vec<u64> {
+    program
+        .sigs
+        .iter()
+        .map(|s| {
+            sig_decls
+                .get(&s.name)
+                .map(|d| d.ahash)
+                .unwrap_or(empty_ahash)
+        })
+        .collect()
 }
 
 /// Outcome classification for public kernel entry points.
@@ -123,116 +212,294 @@ impl std::fmt::Display for KernelError {
 
 impl std::error::Error for KernelError {}
 
-/// The simulated kernel.
-pub struct Kernel {
-    /// Simulated physical memory.
-    pub mem: AddressSpace,
-    /// The LXFI runtime.
-    pub rt: Runtime,
-    /// Struct layouts for `sizeof(*ptr)` defaults.
-    pub layouts: TypeLayouts,
+/// The exported-symbol registry (behind one `RwLock` in the core).
+#[derive(Default)]
+struct ExportTable {
+    exports: Vec<Arc<Export>>,
+    by_name: HashMap<String, usize>,
+}
+
+/// The loaded-module registry: the module vector, the name index, and
+/// the function-address map, mutated together under one write lock so a
+/// resolved `fn_addrs` entry always points at a present module.
+#[derive(Default)]
+struct ModuleTable {
+    modules: Vec<Arc<LoadedModule>>,
+    by_name: HashMap<String, usize>,
+    fn_addrs: HashMap<Word, (usize, FuncId)>,
+}
+
+/// The shared, `Send + Sync` half of the simulated kernel. See the
+/// module docs for the state split and locking rules. Construct via
+/// [`Kernel::boot`]; hand out execution contexts with
+/// [`Kernel::new_cpu`].
+pub struct KernelCore {
+    /// Simulated physical memory (interior-mutable; see
+    /// [`AddressSpace`]'s concurrency model).
+    pub mem: Arc<AddressSpace>,
+    rtc: Arc<RuntimeCore>,
     /// Global isolation mode (modules default to it).
     pub mode: IsolationMode,
-
-    exports: Vec<Export>,
-    export_idx: HashMap<String, usize>,
-    kdata: HashMap<String, (Word, u64)>,
-    kdata_next: Word,
-    sig_decls: HashMap<String, FnDecl>,
-    modules: Vec<LoadedModule>,
-    module_idx: HashMap<String, usize>,
-    fn_addrs: HashMap<Word, (usize, FuncId)>,
-    threads: Vec<ThreadState>,
-    cur_thread: usize,
-    exec_stack: Vec<usize>,
-
-    /// Slab allocator backing `kmalloc`.
-    pub slab: Slab,
-    /// Processes, credentials, pid hash.
-    pub procs: ProcessTable,
-
+    layouts: TypeLayouts,
     /// Hash of the empty annotation set (the default for unannotated
     /// functions and unknown sigs), computed once at boot.
     empty_ahash: u64,
     /// Shared declaration for unannotated module functions invoked
     /// directly by the kernel (e.g. `module_init`): empty annotations,
-    /// compiled once at boot so the per-call fallback is an Rc clone.
-    unannotated_decl: Rc<FnDecl>,
+    /// compiled once at boot so the per-call fallback is an Arc clone.
+    unannotated_decl: Arc<FnDecl>,
+
+    exports: RwLock<ExportTable>,
+    kdata: RwLock<HashMap<String, (Word, u64)>>,
+    sig_decls: RwLock<HashMap<String, Arc<FnDecl>>>,
+    modules: RwLock<ModuleTable>,
+    /// Serializes whole module load/unload transactions (loads are rare;
+    /// dispatch only takes the registries' read locks).
+    load_lock: Mutex<()>,
+
+    slab: Mutex<Slab>,
+    procs: Mutex<ProcessTable>,
+    panic: Mutex<Option<(String, Option<Violation>)>>,
+    user_fns: RwLock<HashMap<Word, UserFn>>,
+
+    kdata_next: AtomicU64,
+    user_next: AtomicU64,
+    kstatic_next: AtomicU64,
+    /// Stack base per simulated kernel thread; index = `ThreadId`.
+    threads: Mutex<Vec<Word>>,
+
+    net: Mutex<crate::net::NetState>,
+    pci: Mutex<crate::pci::PciState>,
+    sock: Mutex<crate::socket::SocketState>,
+    snd: Mutex<crate::snd::SndState>,
+    dm: Mutex<crate::dm::DmState>,
+}
+
+impl KernelCore {
+    /// The shared runtime core backing this kernel's guards.
+    pub fn runtime_core(&self) -> Arc<RuntimeCore> {
+        Arc::clone(&self.rtc)
+    }
+
+    /// Struct layouts for `sizeof(*ptr)` defaults (immutable after boot).
+    pub fn layouts(&self) -> &TypeLayouts {
+        &self.layouts
+    }
+
+    /// Locks the slab allocator.
+    pub fn slab(&self) -> MutexGuard<'_, Slab> {
+        self.slab.lock().expect("slab lock")
+    }
+
+    /// Locks the process table.
+    pub fn procs(&self) -> MutexGuard<'_, ProcessTable> {
+        self.procs.lock().expect("procs lock")
+    }
+
+    /// Locks the networking state.
+    pub fn net(&self) -> MutexGuard<'_, crate::net::NetState> {
+        self.net.lock().expect("net lock")
+    }
+
+    /// Locks the PCI state.
+    pub fn pci(&self) -> MutexGuard<'_, crate::pci::PciState> {
+        self.pci.lock().expect("pci lock")
+    }
+
+    /// Locks the socket-layer state.
+    pub fn sock(&self) -> MutexGuard<'_, crate::socket::SocketState> {
+        self.sock.lock().expect("sock lock")
+    }
+
+    /// Locks the sound state.
+    pub fn snd(&self) -> MutexGuard<'_, crate::snd::SndState> {
+        self.snd.lock().expect("snd lock")
+    }
+
+    /// Locks the device-mapper state.
+    pub fn dm(&self) -> MutexGuard<'_, crate::dm::DmState> {
+        self.dm.lock().expect("dm lock")
+    }
+
+    /// Allocates a simulated kernel thread: maps its stack, grants
+    /// already-loaded isolated modules WRITE to it (initial capability
+    /// (2) of §3.2), returns `(id, stack base)`. Serialized with module
+    /// loads (the load lock) so a concurrently loading module cannot
+    /// miss the new stack: the load either committed before this (the
+    /// module snapshot below includes it) or starts after (its
+    /// thread-stack snapshot includes the new base) — exactly one side
+    /// performs the grant.
+    fn alloc_thread(&self) -> (ThreadId, Word) {
+        let _load = self.load_lock.lock().expect("load lock");
+        let base = {
+            let mut th = self.threads.lock().expect("threads lock");
+            let idx = th.len();
+            if idx > 0 {
+                // Going SMP: the single-threaded kfree-hint debug
+                // cross-check is no longer race-free (see RuntimeCore).
+                self.rtc.disable_kfree_cross_check();
+            }
+            let base = STACK_BASE + idx as u64 * STACK_STRIDE;
+            th.push(base);
+            base
+        };
+        self.mem.map_range(base, STACK_SIZE);
+        let mids: Vec<_> = {
+            let mods = self.modules.read().expect("modules lock");
+            mods.modules
+                .iter()
+                // An unloaded module's principals must not regain
+                // authority: no stack grant for dead modules.
+                .filter(|m| !m.unloaded.load(Ordering::Acquire))
+                .filter_map(|m| m.mid)
+                .collect()
+        };
+        for mid in mids {
+            let shared = self.rtc.shared_principal(mid);
+            self.rtc.grant(shared, RawCap::write(base, STACK_SIZE));
+        }
+        let idx = ((base - STACK_BASE) / STACK_STRIDE) as u32;
+        (ThreadId(idx), base)
+    }
+
+    /// Re-resolves every loaded module's per-`SigId` annotation hashes
+    /// against the sig registry. Called whenever the registry gains an
+    /// entry, so the indirect-call guards stay array-indexed.
+    fn refresh_sig_hashes(&self) {
+        let sig_decls = self.sig_decls.read().expect("sig lock");
+        let mods = self.modules.read().expect("modules lock");
+        for m in &mods.modules {
+            *m.sig_ahash.write().expect("sig_ahash lock") =
+                resolve_sig_hashes(&sig_decls, &m.program, self.empty_ahash);
+        }
+    }
+
+    /// The export registered at `addr`, if any.
+    fn export_at(&self, addr: Word) -> Option<Arc<Export>> {
+        if addr < EXPORT_BASE {
+            return None;
+        }
+        let idx = ((addr - EXPORT_BASE) / FN_SPACING) as usize;
+        if addr != EXPORT_BASE + idx as u64 * FN_SPACING {
+            return None;
+        }
+        let tab = self.exports.read().expect("exports lock");
+        tab.exports.get(idx).cloned()
+    }
+
+    /// Resolves a function address to its module, taking an execution
+    /// reference (module "get") **under the registry read lock** — so
+    /// `unload_module`'s unpublish (under the write lock) strictly
+    /// orders with every resolution: after unpublish, every live
+    /// dispatcher is already counted in `active` and the grace period
+    /// waits it out.
+    fn module_of_fn(&self, addr: Word) -> Option<(ModuleRef, FuncId)> {
+        let tab = self.modules.read().expect("modules lock");
+        let &(midx, fid) = tab.fn_addrs.get(&addr)?;
+        Some((ModuleRef::acquire(&tab.modules[midx]), fid))
+    }
+}
+
+/// One simulated CPU: an [`Env`] implementation over the shared
+/// [`KernelCore`]. Owns the per-CPU state (guard lanes via its
+/// [`Runtime`] facade, kernel stack window, module execution stack,
+/// fuel and cycle accounting); everything else delegates to the core.
+/// `Send`, so workloads move CPUs onto OS threads.
+pub struct KernelCpu {
+    core: Arc<KernelCore>,
+    /// Simulated physical memory (shared with every other CPU).
+    pub mem: Arc<AddressSpace>,
+    /// This CPU's runtime facade over the shared `RuntimeCore`: guard
+    /// lanes (shadow stack + private epoch cache) for the simulated
+    /// threads this CPU runs, plus this CPU's guard stats and costs.
+    pub rt: Runtime,
+    /// Global isolation mode (modules default to it).
+    pub mode: IsolationMode,
+
+    thread: ThreadId,
+    stack_base: Word,
+    sp: Word,
+    exec_stack: Vec<Arc<LoadedModule>>,
 
     fuel: u64,
     /// Cycles consumed by interpreted instructions (monotonic).
     pub cycles: u64,
+}
 
-    panic: Option<String>,
-    last_violation: Option<Violation>,
+/// The simulated kernel: the single-threaded facade over the shared
+/// [`KernelCore`] — CPU 0 plus the boot surface. `Deref`s to
+/// [`KernelCpu`], so the historical `&mut Kernel` API (tests, examples,
+/// exploit scenarios) is unchanged; multi-threaded workloads peel off
+/// additional CPUs with [`Kernel::new_cpu`].
+pub struct Kernel {
+    cpu: KernelCpu,
+}
 
-    user_fns: HashMap<Word, UserFn>,
-    user_next: Word,
-    kstatic_next: Word,
+impl std::ops::Deref for Kernel {
+    type Target = KernelCpu;
+    fn deref(&self) -> &KernelCpu {
+        &self.cpu
+    }
+}
 
-    /// Networking subsystem state.
-    pub net: crate::net::NetState,
-    /// PCI subsystem state.
-    pub pci: crate::pci::PciState,
-    /// Socket layer state.
-    pub sock: crate::socket::SocketState,
-    /// Sound subsystem state.
-    pub snd: crate::snd::SndState,
-    /// Device-mapper state.
-    pub dm: crate::dm::DmState,
+impl std::ops::DerefMut for Kernel {
+    fn deref_mut(&mut self) -> &mut KernelCpu {
+        &mut self.cpu
+    }
 }
 
 impl Kernel {
     /// Boots a kernel in the given isolation mode: registers struct
     /// layouts, core exports, subsystems, kernel dispatch thunks, the
-    /// process table, and thread 0.
+    /// process table, and CPU 0 on thread 0.
     pub fn boot(mode: IsolationMode) -> Self {
-        let mut mem = AddressSpace::new();
-        let procs = ProcessTable::new(&mut mem, KSTATIC_BASE);
+        let mut layouts = TypeLayouts::new();
+        types::register_layouts(&mut layouts);
+
+        let mem = Arc::new(AddressSpace::new());
         // The shared runtime core is born sharded along the address-space
         // regions (and the first module windows) before any capability
         // traffic, so grant/revoke splices stay bounded by the region
-        // they touch — and, in the concurrent runtime, so do the locks.
-        let mut k = Kernel {
-            mem,
-            rt: Runtime::with_shard_boundaries(shard_boundaries()),
-            layouts: TypeLayouts::new(),
-            mode,
-            exports: Vec::new(),
-            export_idx: HashMap::new(),
-            kdata: HashMap::new(),
-            kdata_next: KDATA_BASE,
-            sig_decls: HashMap::new(),
-            modules: Vec::new(),
-            module_idx: HashMap::new(),
-            fn_addrs: HashMap::new(),
-            threads: Vec::new(),
-            cur_thread: 0,
-            exec_stack: Vec::new(),
-            slab: Slab::new(HEAP_BASE),
-            procs,
-            empty_ahash: lxfi_annotations::annotation_hash(&Default::default()),
-            unannotated_decl: Rc::new(FnDecl::new("<unannotated>", Vec::new(), Default::default())),
-            fuel: u64::MAX,
-            cycles: 0,
-            panic: None,
-            last_violation: None,
-            user_fns: HashMap::new(),
-            user_next: 0x0000_1000_0000,
-            kstatic_next: KSTATIC_BASE + 0x10_0000,
-            net: Default::default(),
-            pci: Default::default(),
-            sock: Default::default(),
-            snd: Default::default(),
-            dm: Default::default(),
+        // they touch — and so are the per-shard locks.
+        let rtc = Arc::new(RuntimeCore::with_shard_boundaries(shard_boundaries()));
+        let procs = ProcessTable::new(&mem, KSTATIC_BASE);
+
+        let unannotated_decl = {
+            let mut d = FnDecl::new("<unannotated>", Vec::new(), Default::default());
+            let mut rt = Runtime::from_core(Arc::clone(&rtc));
+            d.compile(&mut rt, &layouts);
+            Arc::new(d)
         };
-        types::register_layouts(&mut k.layouts);
-        {
-            let mut d = (*k.unannotated_decl).clone();
-            d.compile(&mut k.rt, &k.layouts);
-            k.unannotated_decl = Rc::new(d);
-        }
-        k.spawn_thread();
+
+        let core = Arc::new(KernelCore {
+            mem: Arc::clone(&mem),
+            rtc,
+            mode,
+            layouts,
+            empty_ahash: lxfi_annotations::annotation_hash(&Default::default()),
+            unannotated_decl,
+            exports: RwLock::new(ExportTable::default()),
+            kdata: RwLock::new(HashMap::new()),
+            sig_decls: RwLock::new(HashMap::new()),
+            modules: RwLock::new(ModuleTable::default()),
+            load_lock: Mutex::new(()),
+            slab: Mutex::new(Slab::new(HEAP_BASE)),
+            procs: Mutex::new(procs),
+            panic: Mutex::new(None),
+            user_fns: RwLock::new(HashMap::new()),
+            kdata_next: AtomicU64::new(KDATA_BASE),
+            user_next: AtomicU64::new(0x0000_1000_0000),
+            kstatic_next: AtomicU64::new(KSTATIC_BASE + 0x10_0000),
+            threads: Mutex::new(Vec::new()),
+            net: Mutex::new(Default::default()),
+            pci: Mutex::new(Default::default()),
+            sock: Mutex::new(Default::default()),
+            snd: Mutex::new(Default::default()),
+            dm: Mutex::new(Default::default()),
+        });
+
+        let cpu = KernelCpu::new(Arc::clone(&core));
+        let mut k = Kernel { cpu };
         crate::exports_base::register(&mut k);
         crate::pci::register(&mut k);
         crate::net::register(&mut k);
@@ -243,43 +510,71 @@ impl Kernel {
         k
     }
 
+    /// The shared kernel core.
+    pub fn core(&self) -> Arc<KernelCore> {
+        Arc::clone(&self.cpu.core)
+    }
+
+    /// Creates an additional simulated CPU over this kernel's shared
+    /// core, pinned to a fresh kernel thread with its own stack, guard
+    /// lane, and fuel budget. Move it to another OS thread to execute
+    /// module code concurrently with this kernel.
+    pub fn new_cpu(&self) -> KernelCpu {
+        KernelCpu::new(Arc::clone(&self.cpu.core))
+    }
+}
+
+impl KernelCpu {
+    /// Creates a CPU over a shared core, allocating its kernel thread.
+    pub fn new(core: Arc<KernelCore>) -> Self {
+        let (thread, stack_base) = core.alloc_thread();
+        let mut rt = Runtime::from_core(core.runtime_core());
+        rt.register_thread(thread, stack_base, STACK_SIZE);
+        KernelCpu {
+            mem: Arc::clone(&core.mem),
+            rt,
+            mode: core.mode,
+            thread,
+            stack_base,
+            sp: stack_base + STACK_SIZE,
+            exec_stack: Vec::new(),
+            fuel: u64::MAX,
+            cycles: 0,
+            core,
+        }
+    }
+
+    /// The shared kernel core.
+    pub fn kernel_core(&self) -> &Arc<KernelCore> {
+        &self.core
+    }
+
     // ------------------------------------------------------------ threads
 
     /// The shared runtime core backing this kernel's guards. Worker
     /// threads outside the simulated kernel (benchmarks, stress tests)
     /// guard against the same capability world through handles from
-    /// [`Kernel::guard_handle`].
-    pub fn runtime_core(&self) -> std::sync::Arc<lxfi_core::RuntimeCore> {
+    /// [`KernelCpu::guard_handle`].
+    pub fn runtime_core(&self) -> Arc<RuntimeCore> {
         self.rt.share()
     }
 
     /// Hands out a fresh per-thread guard handle over this kernel's
     /// shared core: its own shadow stack, private epoch cache, and
-    /// stats, suitable for moving to another OS thread. The simulated
-    /// kernel's own (simulated) threads get the same per-thread guard
-    /// state via the runtime facade's lanes.
+    /// stats, suitable for moving to another OS thread. Full kernel
+    /// execution contexts (interpreting module code) come from
+    /// [`Kernel::new_cpu`] instead.
     pub fn guard_handle(&self) -> lxfi_core::GuardHandle {
         lxfi_core::GuardHandle::new(self.rt.share())
     }
 
-    /// Creates a kernel thread with its own stack; returns its id.
+    /// Creates an additional simulated kernel thread *on this CPU* with
+    /// its own stack and guard lane; returns its id. (Distinct from
+    /// [`Kernel::new_cpu`], which creates an independently schedulable
+    /// execution context.)
     pub fn spawn_thread(&mut self) -> ThreadId {
-        let idx = self.threads.len();
-        let base = STACK_BASE + idx as u64 * STACK_STRIDE;
-        self.mem.map_range(base, STACK_SIZE);
-        self.threads.push(ThreadState {
-            base,
-            sp: base + STACK_SIZE,
-        });
-        let t = ThreadId(idx as u32);
+        let (t, base) = self.core.alloc_thread();
         self.rt.register_thread(t, base, STACK_SIZE);
-        // Already-loaded isolated modules get WRITE to the new stack too
-        // (initial capability (2) of §3.2).
-        let mids: Vec<_> = self.modules.iter().filter_map(|m| m.mid).collect();
-        for mid in mids {
-            let shared = self.rt.shared_principal(mid);
-            self.rt.grant(shared, RawCap::write(base, STACK_SIZE));
-        }
         t
     }
 
@@ -287,7 +582,7 @@ impl Kernel {
     /// on process death — the CVE-2010-4258 primitive the Econet exploit
     /// aims.
     pub fn sys_set_tid_address(&mut self, tidptr: Word) {
-        let task = self.procs.current_task();
+        let task = self.procs().current_task();
         self.mem
             .write_word(
                 (task as i64 + crate::process::task::CLEAR_CHILD_TID) as u64,
@@ -296,9 +591,51 @@ impl Kernel {
             .expect("task mapped");
     }
 
-    /// The current thread id.
+    /// The current thread id (the thread this CPU is pinned to).
     pub fn current_thread(&self) -> ThreadId {
-        ThreadId(self.cur_thread as u32)
+        self.thread
+    }
+
+    // ----------------------------------------------- shared-state access
+
+    /// Struct layouts for `sizeof(*ptr)` defaults.
+    pub fn layouts(&self) -> &TypeLayouts {
+        &self.core.layouts
+    }
+
+    /// Locks the slab allocator backing `kmalloc`.
+    pub fn slab(&self) -> MutexGuard<'_, Slab> {
+        self.core.slab()
+    }
+
+    /// Locks the process table (processes, credentials, pid hash).
+    pub fn procs(&self) -> MutexGuard<'_, ProcessTable> {
+        self.core.procs()
+    }
+
+    /// Locks the networking subsystem state.
+    pub fn net(&self) -> MutexGuard<'_, crate::net::NetState> {
+        self.core.net()
+    }
+
+    /// Locks the PCI subsystem state.
+    pub fn pci(&self) -> MutexGuard<'_, crate::pci::PciState> {
+        self.core.pci()
+    }
+
+    /// Locks the socket layer state.
+    pub fn sock(&self) -> MutexGuard<'_, crate::socket::SocketState> {
+        self.core.sock()
+    }
+
+    /// Locks the sound subsystem state.
+    pub fn snd(&self) -> MutexGuard<'_, crate::snd::SndState> {
+        self.core.snd()
+    }
+
+    /// Locks the device-mapper state.
+    pub fn dm(&self) -> MutexGuard<'_, crate::dm::DmState> {
+        self.core.dm()
     }
 
     // ----------------------------------------------------------- exports
@@ -330,16 +667,28 @@ impl Kernel {
                 parse_fn_annotations(src)
                     .unwrap_or_else(|e| panic!("bad annotation on {name}: {e}")),
             );
-            d.compile(&mut self.rt, &self.layouts);
-            Rc::new(d)
+            d.compile(&mut self.rt, &self.core.layouts);
+            Arc::new(d)
         });
-        let idx = self.exports.len();
-        assert!(
-            self.export_idx.insert(name.to_string(), idx).is_none(),
-            "duplicate export {name}"
-        );
-        let addr = EXPORT_BASE + idx as u64 * FN_SPACING;
-        let ahash = decl.as_ref().map(|d| d.ahash).unwrap_or(self.empty_ahash);
+        let ahash = decl
+            .as_ref()
+            .map(|d| d.ahash)
+            .unwrap_or(self.core.empty_ahash);
+        let addr = {
+            let mut tab = self.core.exports.write().expect("exports lock");
+            let idx = tab.exports.len();
+            assert!(
+                tab.by_name.insert(name.to_string(), idx).is_none(),
+                "duplicate export {name}"
+            );
+            tab.exports.push(Arc::new(Export {
+                name: name.to_string(),
+                decl,
+                imp,
+                runtime_call,
+            }));
+            EXPORT_BASE + idx as u64 * FN_SPACING
+        };
         self.rt.register_function(
             addr,
             FnMeta {
@@ -348,12 +697,6 @@ impl Kernel {
                 module: None,
             },
         );
-        self.exports.push(Export {
-            name: name.to_string(),
-            decl,
-            imp,
-            runtime_call,
-        });
     }
 
     /// Declares an annotated function-pointer type (interface annotation
@@ -364,64 +707,68 @@ impl Kernel {
             params,
             parse_fn_annotations(ann).unwrap_or_else(|e| panic!("bad annotation on {name}: {e}")),
         );
-        if let Some(prev) = self.sig_decls.get(name) {
-            assert_eq!(
-                prev.ann.canonical(),
-                decl.ann.canonical(),
-                "conflicting sig declaration for {name}"
-            );
-            return;
+        decl.compile(&mut self.rt, &self.core.layouts);
+        // Decide under the write lock: a concurrent define_sig (or a
+        // loading module merging the same name) must never let a
+        // conflicting declaration silently replace an existing one
+        // (§4.2 exact-match-on-collision).
+        {
+            let mut sig_decls = self.core.sig_decls.write().expect("sig lock");
+            if let Some(prev) = sig_decls.get(name) {
+                assert_eq!(
+                    prev.ann.canonical(),
+                    decl.ann.canonical(),
+                    "conflicting sig declaration for {name}"
+                );
+                return;
+            }
+            sig_decls.insert(name.to_string(), Arc::new(decl));
         }
-        decl.compile(&mut self.rt, &self.layouts);
-        self.sig_decls.insert(name.to_string(), decl);
-        self.refresh_sig_hashes();
-    }
-
-    /// Re-resolves every loaded module's per-`SigId` annotation hashes
-    /// against the sig registry. Called whenever the registry gains an
-    /// entry, so the indirect-call guards stay array-indexed.
-    fn refresh_sig_hashes(&mut self) {
-        for i in 0..self.modules.len() {
-            let prog = Rc::clone(&self.modules[i].program);
-            let hashes = prog
-                .sigs
-                .iter()
-                .map(|s| {
-                    self.sig_decls
-                        .get(&s.name)
-                        .map(|d| d.ahash)
-                        .unwrap_or(self.empty_ahash)
-                })
-                .collect();
-            self.modules[i].sig_ahash = hashes;
-        }
+        self.core.refresh_sig_hashes();
     }
 
     /// The annotated declaration of a function-pointer type.
-    pub fn sig_decl(&self, name: &str) -> Option<&FnDecl> {
-        self.sig_decls.get(name)
+    pub fn sig_decl(&self, name: &str) -> Option<Arc<FnDecl>> {
+        self.core
+            .sig_decls
+            .read()
+            .expect("sig lock")
+            .get(name)
+            .cloned()
     }
 
     /// Exports a kernel data symbol of `size` bytes; returns its address.
     pub fn export_data(&mut self, name: &str, size: u64) -> Word {
-        let addr = self.kdata_next;
-        self.kdata_next += (size + 0xfff) & !0xfff;
+        let addr = self
+            .core
+            .kdata_next
+            .fetch_add((size + 0xfff) & !0xfff, Ordering::Relaxed);
         self.mem.map_range(addr, size);
-        self.kdata.insert(name.to_string(), (addr, size));
+        self.core
+            .kdata
+            .write()
+            .expect("kdata lock")
+            .insert(name.to_string(), (addr, size));
         addr
     }
 
     /// Address of an exported kernel function.
     pub fn export_addr(&self, name: &str) -> Option<Word> {
-        self.export_idx
+        self.core
+            .exports
+            .read()
+            .expect("exports lock")
+            .by_name
             .get(name)
             .map(|&i| EXPORT_BASE + i as u64 * FN_SPACING)
     }
 
     /// Allocates zeroed kernel-static memory (ops tables, device structs).
     pub fn kstatic_alloc(&mut self, size: u64) -> Word {
-        let addr = self.kstatic_next;
-        self.kstatic_next += (size + 63) & !63;
+        let addr = self
+            .core
+            .kstatic_next
+            .fetch_add((size + 63) & !63, Ordering::Relaxed);
         self.mem.map_range(addr, size);
         addr
     }
@@ -440,8 +787,10 @@ impl Kernel {
 
     /// Allocates fresh user memory.
     pub fn user_alloc(&mut self, len: u64) -> Word {
-        let addr = self.user_next;
-        self.user_next += (len + 0xfff) & !0xfff;
+        let addr = self
+            .core
+            .user_next
+            .fetch_add((len + 0xfff) & !0xfff, Ordering::Relaxed);
         self.mem.map_range(addr, len);
         addr
     }
@@ -449,14 +798,25 @@ impl Kernel {
     /// Registers user "code" at a user address.
     pub fn register_user_fn(&mut self, addr: Word, f: UserFn) {
         assert!(is_user_addr(addr));
-        self.user_fns.insert(addr, f);
+        self.core
+            .user_fns
+            .write()
+            .expect("user_fns lock")
+            .insert(addr, f);
     }
 
     /// The kernel jumping to a user address: if shellcode is registered
     /// there it runs **with kernel privilege** (the exploit payoff);
     /// otherwise the machine faults.
     fn run_user_code(&mut self, addr: Word) -> Result<Word, Trap> {
-        match self.user_fns.get(&addr).cloned() {
+        let f = self
+            .core
+            .user_fns
+            .read()
+            .expect("user_fns lock")
+            .get(&addr)
+            .cloned();
+        match f {
             Some(f) => {
                 f(self);
                 Ok(0)
@@ -471,20 +831,30 @@ impl Kernel {
 
     // ----------------------------------------------------- panic plumbing
 
-    /// The recorded panic reason, if LXFI panicked the kernel.
-    pub fn panic_reason(&self) -> Option<&str> {
-        self.panic.as_deref()
+    /// The recorded panic reason, if LXFI panicked the kernel. Panics
+    /// are kernel-wide: any CPU's violation halts every CPU's `enter`.
+    pub fn panic_reason(&self) -> Option<String> {
+        self.core
+            .panic
+            .lock()
+            .expect("panic lock")
+            .as_ref()
+            .map(|(s, _)| s.clone())
     }
 
     /// The violation that caused the panic (for precise assertions).
-    pub fn last_violation(&self) -> Option<&Violation> {
-        self.last_violation.as_ref()
+    pub fn last_violation(&self) -> Option<Violation> {
+        self.core
+            .panic
+            .lock()
+            .expect("panic lock")
+            .as_ref()
+            .and_then(|(_, v)| v.clone())
     }
 
     /// Clears panic state (tests that probe multiple violations).
     pub fn clear_panic(&mut self) {
-        self.panic = None;
-        self.last_violation = None;
+        *self.core.panic.lock().expect("panic lock") = None;
     }
 
     /// Runs a kernel entry point (syscall), classifying traps: policy
@@ -494,17 +864,15 @@ impl Kernel {
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<R, Trap>,
     ) -> Result<R, KernelError> {
-        if let Some(p) = &self.panic {
+        if let Some((p, _)) = &*self.core.panic.lock().expect("panic lock") {
             return Err(KernelError::Panic(p.clone()));
         }
         match f(self) {
             Ok(r) => Ok(r),
             Err(Trap::Policy(e)) => {
                 let msg = e.to_string();
-                if let Some(v) = e.downcast_ref::<Violation>() {
-                    self.last_violation = Some(v.clone());
-                }
-                self.panic = Some(msg.clone());
+                let viol = e.downcast_ref::<Violation>().cloned();
+                *self.core.panic.lock().expect("panic lock") = Some((msg.clone(), viol));
                 Err(KernelError::Panic(msg))
             }
             Err(trap) => {
@@ -520,7 +888,7 @@ impl Kernel {
     /// user-supplied `clear_child_tid` pointer without resetting the
     /// "user access ok" context — an arbitrary kernel-memory zero-write.
     pub fn oops(&mut self) {
-        let task = self.procs.current_task();
+        let task = self.procs().current_task();
         let tid_ptr = self
             .mem
             .read_word((task as i64 + crate::process::task::CLEAR_CHILD_TID) as u64)
@@ -557,28 +925,38 @@ impl Kernel {
         self.load_module_with_mode(spec, self.mode)
     }
 
-    /// Loads a module with an explicit mode.
+    /// Loads a module with an explicit mode. Whole loads are serialized
+    /// by the core's load lock; dispatch on other CPUs proceeds
+    /// concurrently against the registries' read locks and observes the
+    /// module only after its commit point (name + function addresses
+    /// inserted together).
     pub fn load_module_with_mode(
         &mut self,
         spec: ModuleSpec,
         mode: IsolationMode,
     ) -> Result<LoadedModuleId, KernelError> {
+        let load_guard = self.core.load_lock.lock().expect("load lock");
+
         lxfi_machine::verify_program(&spec.program)
             .map_err(|e| KernelError::Fail(format!("verify {}: {}", spec.name, e[0])))?;
 
         // Merge the module's interface declarations into the kernel's sig
-        // registry (exact-match on collision, §4.2).
+        // registry (exact-match on collision, §4.2). The compile happens
+        // optimistically outside the lock; the collision decision and the
+        // insert happen together under the write lock so a concurrent
+        // define_sig cannot interleave between check and insert.
         for (name, d) in &spec.iface.sig_decls {
-            if let Some(prev) = self.sig_decls.get(name) {
+            let mut compiled = d.clone();
+            compiled.compile(&mut self.rt, &self.core.layouts);
+            let mut sig_decls = self.core.sig_decls.write().expect("sig lock");
+            if let Some(prev) = sig_decls.get(name) {
                 if prev.ann.canonical() != d.ann.canonical() {
                     return Err(KernelError::Fail(format!(
                         "sig `{name}` conflicts with an existing declaration"
                     )));
                 }
             } else {
-                let mut d = d.clone();
-                d.compile(&mut self.rt, &self.layouts);
-                self.sig_decls.insert(name.clone(), d);
+                sig_decls.insert(name.clone(), Arc::new(compiled));
             }
         }
 
@@ -592,15 +970,21 @@ impl Kernel {
             IsolationMode::Stock => (spec.program.clone(), HashMap::new(), Vec::new()),
         };
         // Compile the module declarations' enforcement IR once, at load.
-        let decls: HashMap<FuncId, Rc<FnDecl>> = decls
+        let decls: HashMap<FuncId, Arc<FnDecl>> = decls
             .into_iter()
             .map(|(fid, mut d)| {
-                d.compile(&mut self.rt, &self.layouts);
-                (fid, Rc::new(d))
+                d.compile(&mut self.rt, &self.core.layouts);
+                (fid, Arc::new(d))
             })
             .collect();
 
-        let midx = self.modules.len();
+        let midx = self
+            .core
+            .modules
+            .read()
+            .expect("modules lock")
+            .modules
+            .len();
         let window = MODULE_BASE + midx as u64 * MODULE_STRIDE;
         let mid = match mode {
             IsolationMode::Lxfi => Some(self.rt.register_module(&spec.name)),
@@ -637,12 +1021,14 @@ impl Kernel {
         for (i, _f) in program.funcs.iter().enumerate() {
             let fid = FuncId(i as u32);
             let addr = fn_base + i as u64 * FN_SPACING;
-            self.fn_addrs.insert(addr, (midx, fid));
             self.rt.register_function(
                 addr,
                 FnMeta {
                     name: format!("{}::{}", spec.name, program.funcs[i].name),
-                    ahash: decls.get(&fid).map(|d| d.ahash).unwrap_or(self.empty_ahash),
+                    ahash: decls
+                        .get(&fid)
+                        .map(|d| d.ahash)
+                        .unwrap_or(self.core.empty_ahash),
                     module: mid,
                 },
             );
@@ -656,7 +1042,10 @@ impl Kernel {
                     KernelError::Fail(format!("{}: unresolved import {}", spec.name, imp.name))
                 })?,
                 ImportKind::Data => {
-                    self.kdata
+                    self.core
+                        .kdata
+                        .read()
+                        .expect("kdata lock")
                         .get(&imp.name)
                         .ok_or_else(|| {
                             KernelError::Fail(format!(
@@ -684,8 +1073,8 @@ impl Kernel {
             // Initial capability (2) of §3.2: WRITE to the kernel stacks,
             // so modules can pass addresses of stack locals to kernel
             // routines that fill them in.
-            for (ti, _) in self.threads.iter().enumerate() {
-                let base = STACK_BASE + ti as u64 * STACK_STRIDE;
+            let stacks: Vec<Word> = self.core.threads.lock().expect("threads lock").clone();
+            for base in stacks {
                 self.rt.grant(shared, RawCap::write(base, STACK_SIZE));
             }
             for g in &init_grants {
@@ -695,7 +1084,7 @@ impl Kernel {
                         self.rt.grant(shared, RawCap::call(addr));
                     }
                     InitGrant::Write { name } => {
-                        let (addr, size) = self.kdata[name];
+                        let (addr, size) = self.core.kdata.read().expect("kdata lock")[name];
                         self.rt.grant(shared, RawCap::write(addr, size));
                     }
                 }
@@ -718,32 +1107,124 @@ impl Kernel {
             self.rt.register_iterator(&name, f);
         }
 
-        self.modules.push(LoadedModule {
-            name: spec.name.clone(),
-            mode,
-            mid,
-            program: Rc::new(program),
-            global_addrs,
-            fn_base,
-            decls,
-            import_addrs,
-            sig_ahash: Vec::new(),
-        });
-        self.module_idx.insert(spec.name.clone(), midx);
+        // Resolve the module's per-SigId annotation hashes BEFORE the
+        // commit: the module becomes dispatchable the moment the write
+        // lock below is released, and a concurrent indirect call must
+        // find the array populated.
+        let sig_ahash = resolve_sig_hashes(
+            &self.core.sig_decls.read().expect("sig lock"),
+            &program,
+            self.core.empty_ahash,
+        );
+        // Commit point: module vector, name index, and function-address
+        // map change together under one write lock, so a concurrent
+        // dispatch either sees the whole module or none of it.
+        {
+            let mut tab = self.core.modules.write().expect("modules lock");
+            debug_assert_eq!(tab.modules.len(), midx, "loads are serialized");
+            for (i, _f) in program.funcs.iter().enumerate() {
+                tab.fn_addrs
+                    .insert(fn_base + i as u64 * FN_SPACING, (midx, FuncId(i as u32)));
+            }
+            tab.modules.push(Arc::new(LoadedModule {
+                name: spec.name.clone(),
+                mode,
+                mid,
+                program: Arc::new(program),
+                global_addrs,
+                fn_base,
+                decls,
+                import_addrs,
+                sig_ahash: RwLock::new(sig_ahash),
+                active: std::sync::atomic::AtomicUsize::new(0),
+                unloaded: AtomicBool::new(false),
+            }));
+            tab.by_name.insert(spec.name.clone(), midx);
+        }
         // The merged sig declarations may concern earlier modules' call
         // sites too; refresh every module's per-SigId hash array (before
         // module_init runs and can take indirect calls).
-        self.refresh_sig_hashes();
+        self.core.refresh_sig_hashes();
 
+        drop(load_guard);
         if let Some(init) = &spec.init_fn {
-            let fid = self.modules[midx]
+            let m = self.core.modules.read().expect("modules lock").modules[midx].clone();
+            let fid = m
                 .program
                 .func_by_name(init)
                 .ok_or_else(|| KernelError::Fail(format!("no init function {init}")))?;
-            let addr = fn_base + fid.0 as u64 * FN_SPACING;
+            let addr = m.fn_base + fid.0 as u64 * FN_SPACING;
             self.enter(|k| k.invoke_module_function(addr, &[], None))?;
         }
         Ok(LoadedModuleId(midx))
+    }
+
+    /// Unloads a module: its name is freed, its function addresses stop
+    /// resolving, every principal's WRITE coverage of its window is
+    /// revoked, and CALL capabilities for its functions are revoked
+    /// everywhere. Executions already in flight on other CPUs finish on
+    /// their cloned `Arc` (like a real kernel waiting out an RCU grace
+    /// period); the module slot stays occupied so indices remain stable.
+    pub fn unload_module(&mut self, id: LoadedModuleId) -> Result<(), KernelError> {
+        // Refuse a self-unload: this CPU waiting out its own execution
+        // below would deadlock (the real kernel's "module busy").
+        if let Some(m) = self
+            .core
+            .modules
+            .read()
+            .expect("modules lock")
+            .modules
+            .get(id.0)
+        {
+            if self.exec_stack.iter().any(|e| Arc::ptr_eq(e, m)) {
+                return Err(KernelError::Fail(format!(
+                    "{} is executing on this CPU",
+                    m.name
+                )));
+            }
+        }
+        let _load = self.core.load_lock.lock().expect("load lock");
+        let (m, fn_addrs): (Arc<LoadedModule>, Vec<Word>) = {
+            let mut tab = self.core.modules.write().expect("modules lock");
+            let m = tab
+                .modules
+                .get(id.0)
+                .cloned()
+                .ok_or_else(|| KernelError::Fail(format!("no module #{}", id.0)))?;
+            if m.unloaded.swap(true, Ordering::AcqRel) {
+                return Err(KernelError::Fail(format!("{} already unloaded", m.name)));
+            }
+            if tab.by_name.get(&m.name) == Some(&id.0) {
+                tab.by_name.remove(&m.name);
+            }
+            let addrs: Vec<Word> = (0..m.program.funcs.len())
+                .map(|i| m.fn_base + i as u64 * FN_SPACING)
+                .collect();
+            for a in &addrs {
+                tab.fn_addrs.remove(a);
+            }
+            (m, addrs)
+        };
+        // Grace period: the function addresses are unpublished, so no
+        // NEW execution can enter; wait for in-flight executions on
+        // other CPUs to drain before revoking the capabilities they are
+        // actively using — otherwise a benign racing invocation would
+        // die MissingWrite and panic the shared kernel. In-flight CPUs
+        // never need the load lock held here to finish.
+        while m.active.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        // Strip capabilities: no principal may retain WRITE into the
+        // window or CALL to the dead functions (§3.3 transfer semantics
+        // applied to the whole module).
+        let window = MODULE_BASE + id.0 as u64 * MODULE_STRIDE;
+        self.rt
+            .revoke_write_overlapping_everywhere(window, MODULE_STRIDE);
+        for a in fn_addrs {
+            self.rt.revoke_everywhere(RawCap::call(a));
+        }
+        drop(m);
+        Ok(())
     }
 
     /// Loads the core kernel's KIR dispatch thunks, instrumented by the
@@ -763,45 +1244,76 @@ impl Kernel {
             IsolationMode::Stock => thunks,
         };
         lxfi_machine::verify_program(&program).expect("kernel thunks verify");
-        let midx = self.modules.len();
+        let _load = self.core.load_lock.lock().expect("load lock");
+        let midx = self
+            .core
+            .modules
+            .read()
+            .expect("modules lock")
+            .modules
+            .len();
         let window = MODULE_BASE + midx as u64 * MODULE_STRIDE;
         let fn_base = window + MODULE_FN_OFFSET;
-        for (i, _) in program.funcs.iter().enumerate() {
-            self.fn_addrs
-                .insert(fn_base + i as u64 * FN_SPACING, (midx, FuncId(i as u32)));
-        }
         let mut import_addrs = Vec::new();
         for imp in &program.imports {
             import_addrs.push(self.export_addr(&imp.name).expect("thunk import"));
         }
-        self.modules.push(LoadedModule {
-            name: "<kernel-thunks>".into(),
-            mode: IsolationMode::Stock, // kernel code is trusted
-            mid: None,
-            program: Rc::new(program),
-            global_addrs: Vec::new(),
-            fn_base,
-            decls: HashMap::new(),
-            import_addrs,
-            sig_ahash: Vec::new(),
-        });
-        self.module_idx.insert("<kernel-thunks>".into(), midx);
-        self.refresh_sig_hashes();
+        // As in load_module_with_mode: publish with the hash array
+        // already resolved (sigs declared so far; refresh below and on
+        // later define_sig calls keep it current).
+        let sig_ahash = resolve_sig_hashes(
+            &self.core.sig_decls.read().expect("sig lock"),
+            &program,
+            self.core.empty_ahash,
+        );
+        {
+            let mut tab = self.core.modules.write().expect("modules lock");
+            for (i, _) in program.funcs.iter().enumerate() {
+                tab.fn_addrs
+                    .insert(fn_base + i as u64 * FN_SPACING, (midx, FuncId(i as u32)));
+            }
+            tab.modules.push(Arc::new(LoadedModule {
+                name: "<kernel-thunks>".into(),
+                mode: IsolationMode::Stock, // kernel code is trusted
+                mid: None,
+                program: Arc::new(program),
+                global_addrs: Vec::new(),
+                fn_base,
+                decls: HashMap::new(),
+                import_addrs,
+                sig_ahash: RwLock::new(sig_ahash),
+                active: std::sync::atomic::AtomicUsize::new(0),
+                unloaded: AtomicBool::new(false),
+            }));
+            tab.by_name.insert("<kernel-thunks>".into(), midx);
+        }
+        self.core.refresh_sig_hashes();
     }
 
     /// Loaded-module lookup by name.
     pub fn module_id(&self, name: &str) -> Option<LoadedModuleId> {
-        self.module_idx.get(name).copied().map(LoadedModuleId)
+        self.core
+            .modules
+            .read()
+            .expect("modules lock")
+            .by_name
+            .get(name)
+            .copied()
+            .map(LoadedModuleId)
+    }
+
+    fn module_arc(&self, id: LoadedModuleId) -> Arc<LoadedModule> {
+        Arc::clone(&self.core.modules.read().expect("modules lock").modules[id.0])
     }
 
     /// The runtime module id (principal namespace) of a loaded module.
     pub fn runtime_module(&self, id: LoadedModuleId) -> Option<lxfi_core::ModuleId> {
-        self.modules[id.0].mid
+        self.module_arc(id).mid
     }
 
     /// Address of a module function by name.
     pub fn module_fn_addr(&self, id: LoadedModuleId, func: &str) -> Option<Word> {
-        let m = &self.modules[id.0];
+        let m = self.module_arc(id);
         m.program
             .func_by_name(func)
             .map(|f| m.fn_base + f.0 as u64 * FN_SPACING)
@@ -809,7 +1321,7 @@ impl Kernel {
 
     /// Address of a module global by name.
     pub fn module_global_addr(&self, id: LoadedModuleId, global: &str) -> Option<Word> {
-        let m = &self.modules[id.0];
+        let m = self.module_arc(id);
         m.program
             .global_by_name(global)
             .map(|g| m.global_addrs[g.0 as usize])
@@ -817,32 +1329,50 @@ impl Kernel {
 
     /// The isolation mode a module was loaded with.
     pub fn module_mode(&self, id: LoadedModuleId) -> IsolationMode {
-        self.modules[id.0].mode
+        self.module_arc(id).mode
     }
 
     /// The name a module was loaded under.
-    pub fn module_name(&self, id: LoadedModuleId) -> &str {
-        &self.modules[id.0].name
+    pub fn module_name(&self, id: LoadedModuleId) -> String {
+        self.module_arc(id).name.clone()
     }
 
     /// The program a module was loaded with (post-rewrite for LXFI).
-    pub fn module_program(&self, id: LoadedModuleId) -> &Program {
-        &self.modules[id.0].program
+    pub fn module_program(&self, id: LoadedModuleId) -> Arc<Program> {
+        Arc::clone(&self.module_arc(id).program)
     }
 
     // ------------------------------------------- kernel→module invocation
 
+    /// Enters a module execution: bumps the module's active-execution
+    /// count (the unload grace period waits on it) and pushes it on the
+    /// interpreter's execution stack. Always pair with [`Self::exec_exit`].
+    fn exec_enter(&mut self, m: Arc<LoadedModule>) {
+        m.active.fetch_add(1, Ordering::AcqRel);
+        self.exec_stack.push(m);
+    }
+
+    /// Leaves the innermost module execution.
+    fn exec_exit(&mut self) {
+        let m = self.exec_stack.pop().expect("balanced exec stack");
+        m.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
     /// Runs a kernel thunk function (trusted KIR, e.g. the netif dispatch
     /// path) by name.
     pub fn run_kernel_thunk(&mut self, func: &str, args: &[Word]) -> Result<Word, Trap> {
-        let midx = self.module_idx["<kernel-thunks>"];
-        let prog = self.modules[midx].program.clone();
+        let m = {
+            let tab = self.core.modules.read().expect("modules lock");
+            let midx = tab.by_name["<kernel-thunks>"];
+            Arc::clone(&tab.modules[midx])
+        };
+        let prog = Arc::clone(&m.program);
         let fid = prog
             .func_by_name(func)
             .ok_or_else(|| Trap::BadRef(format!("thunk {func}")))?;
-        self.exec_stack.push(midx);
+        self.exec_enter(m);
         let r = run_function(self, &prog, fid, args);
-        self.exec_stack.pop();
+        self.exec_exit();
         r
     }
 
@@ -856,11 +1386,28 @@ impl Kernel {
         args: &[Word],
         caller: Option<PrincipalCtx>,
     ) -> Result<Word, Trap> {
+        let resolved = self.core.module_of_fn(target);
+        self.invoke_resolved(resolved, target, args, caller)
+    }
+
+    /// [`Self::invoke_module_function`] with the module lookup already
+    /// done — call sites that had to probe the registry anyway (e.g.
+    /// `call_ptr`) pass their result through so the hot path takes the
+    /// registry read lock once, not twice.
+    fn invoke_resolved(
+        &mut self,
+        resolved: Option<(ModuleRef, FuncId)>,
+        target: Word,
+        args: &[Word],
+        caller: Option<PrincipalCtx>,
+    ) -> Result<Word, Trap> {
         let caller_ctx = caller.unwrap_or(None);
-        let Some(&(midx, fid)) = self.fn_addrs.get(&target) else {
+        // `mref` stays alive for the whole invocation, holding the
+        // module's active count up (the unload grace period).
+        let Some((mref, fid)) = resolved else {
             // Not module code: kernel export or user address.
-            if let Some(idx) = self.addr_to_export(target) {
-                let imp = self.exports[idx].imp.clone();
+            if let Some(export) = self.core.export_at(target) {
+                let imp = Arc::clone(&export.imp);
                 return imp(self, args);
             }
             if is_user_addr(target) {
@@ -868,13 +1415,13 @@ impl Kernel {
             }
             return Err(Trap::BadRef(format!("call target {target:#x}")));
         };
-        let m = &self.modules[midx];
-        let prog = m.program.clone();
+        let m: Arc<LoadedModule> = Arc::clone(&mref);
+        let prog = Arc::clone(&m.program);
         match m.mode {
             IsolationMode::Stock => {
-                self.exec_stack.push(midx);
+                self.exec_enter(m);
                 let r = run_function(self, &prog, fid, args);
-                self.exec_stack.pop();
+                self.exec_exit();
                 r
             }
             IsolationMode::Lxfi => {
@@ -886,7 +1433,7 @@ impl Kernel {
                     .decls
                     .get(&fid)
                     .cloned()
-                    .unwrap_or_else(|| Rc::clone(&self.unannotated_decl));
+                    .unwrap_or_else(|| Arc::clone(&self.core.unannotated_decl));
                 let callee_p = self.select_principal(mid, &decl, args)?;
                 let t = self.current_thread();
                 let token = self.rt.wrapper_enter(t, Some((mid, callee_p)));
@@ -898,10 +1445,10 @@ impl Kernel {
                         caller: caller_ctx,
                         callee: Some((mid, callee_p)),
                     };
-                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
-                    self.exec_stack.push(midx);
+                    apply_actions(&mut self.rt, &self.mem, &self.core.layouts, &site, Dir::Pre)?;
+                    self.exec_enter(m);
                     let r = run_function(self, &prog, fid, args);
-                    self.exec_stack.pop();
+                    self.exec_exit();
                     let ret = r?;
                     let site = CallSite {
                         decl: &decl,
@@ -910,7 +1457,13 @@ impl Kernel {
                         caller: caller_ctx,
                         callee: Some((mid, callee_p)),
                     };
-                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                    apply_actions(
+                        &mut self.rt,
+                        &self.mem,
+                        &self.core.layouts,
+                        &site,
+                        Dir::Post,
+                    )?;
                     Ok(ret)
                 })();
                 // Always rebalance the shadow stack; on the success path
@@ -991,10 +1544,13 @@ impl Kernel {
         }
         if self.mode == IsolationMode::Lxfi {
             let ahash = self
+                .core
                 .sig_decls
+                .read()
+                .expect("sig lock")
                 .get(sig_name)
                 .map(|d| d.ahash)
-                .unwrap_or(self.empty_ahash);
+                .unwrap_or(self.core.empty_ahash);
             self.rt.check_indcall(slot, target, ahash)?;
         }
         self.dispatch_checked_pointer(target, args)
@@ -1004,26 +1560,11 @@ impl Kernel {
     /// from) the indirect-call check. The slot's annotation needs no
     /// separate enforcement here: for module targets the ahash check
     /// guaranteed the function's own annotation equals the slot's, so the
-    /// function's declaration is used.
+    /// function's declaration is used. `invoke_module_function`'s own
+    /// fallback handles exports and user addresses identically, so this
+    /// is one registry lookup, not two.
     fn dispatch_checked_pointer(&mut self, target: Word, args: &[Word]) -> Result<Word, Trap> {
-        if self.fn_addrs.contains_key(&target) {
-            self.invoke_module_function(target, args, None)
-        } else if let Some(idx) = self.addr_to_export(target) {
-            let imp = self.exports[idx].imp.clone();
-            imp(self, args)
-        } else if is_user_addr(target) {
-            self.run_user_code(target)
-        } else {
-            Err(Trap::BadRef(format!("indirect target {target:#x}")))
-        }
-    }
-
-    fn addr_to_export(&self, addr: Word) -> Option<usize> {
-        if addr < EXPORT_BASE {
-            return None;
-        }
-        let idx = ((addr - EXPORT_BASE) / FN_SPACING) as usize;
-        (addr == EXPORT_BASE + idx as u64 * FN_SPACING && idx < self.exports.len()).then_some(idx)
+        self.invoke_module_function(target, args, None)
     }
 
     /// `lxfi_princ_alias` entry point for module code (§3.4): only callable
@@ -1048,9 +1589,9 @@ impl Kernel {
 
     /// True when the innermost executing program is a stock-mode module.
     pub fn executing_stock_module(&self) -> bool {
-        self.exec_stack.last().is_some_and(|&m| {
-            self.modules[m].mode == IsolationMode::Stock && self.modules[m].mid.is_none()
-        })
+        self.exec_stack
+            .last()
+            .is_some_and(|m| m.mode == IsolationMode::Stock && m.mid.is_none())
     }
 
     // -------------------------------------------------------------- fuel
@@ -1060,8 +1601,9 @@ impl Kernel {
         self.fuel = fuel;
     }
 
-    /// Total deterministic cost so far: interpreted cycles plus guard
-    /// cycles (the quantity the netperf cost model consumes).
+    /// Total deterministic cost so far on **this CPU**: interpreted
+    /// cycles plus this CPU's guard cycles (the quantity the netperf
+    /// cost model consumes).
     pub fn total_cycles(&self) -> u64 {
         self.cycles + self.rt.stats.total_cycles()
     }
@@ -1069,12 +1611,8 @@ impl Kernel {
 
 // ------------------------------------------------------------------ Env
 
-impl Env for Kernel {
-    fn mem(&mut self) -> &mut AddressSpace {
-        &mut self.mem
-    }
-
-    fn mem_ref(&self) -> &AddressSpace {
+impl Env for KernelCpu {
+    fn mem(&self) -> &AddressSpace {
         &self.mem
     }
 
@@ -1088,21 +1626,19 @@ impl Env for Kernel {
     }
 
     fn push_frame(&mut self, size: u32) -> Result<Word, Trap> {
-        let t = &mut self.threads[self.cur_thread];
         let size = (u64::from(size) + 15) & !15;
-        if t.sp < t.base + size {
+        if self.sp < self.stack_base + size {
             return Err(Trap::StackOverflow);
         }
-        t.sp -= size;
-        let sp = t.sp;
+        self.sp -= size;
+        let sp = self.sp;
         self.mem.zero_range(sp, size)?;
         Ok(sp)
     }
 
     fn pop_frame(&mut self, size: u32) {
-        let t = &mut self.threads[self.cur_thread];
-        t.sp += (u64::from(size) + 15) & !15;
-        debug_assert!(t.sp <= t.base + STACK_SIZE);
+        self.sp += (u64::from(size) + 15) & !15;
+        debug_assert!(self.sp <= self.stack_base + STACK_SIZE);
     }
 
     fn guard_write(&mut self, addr: Word, len: Word) -> Result<(), Trap> {
@@ -1113,34 +1649,30 @@ impl Env for Kernel {
 
     fn guard_indcall(&mut self, slot: Word, sig: SigId) -> Result<(), Trap> {
         // Hot path: the sig's annotation hash was resolved at load time
-        // (refresh_sig_hashes); a single array index replaces the former
-        // name clone + string-keyed registry lookup.
-        let midx = *self.exec_stack.last().expect("executing");
-        let ahash = self.modules[midx].sig_ahash[sig.0 as usize];
+        // (refresh_sig_hashes); one array index under the module's
+        // hash-array read lock replaces any name hashing.
+        let m = self.exec_stack.last().expect("executing");
+        let ahash = m.sig_ahash.read().expect("sig_ahash lock")[sig.0 as usize];
         let target = self.mem.read_word(slot)?;
         self.rt.check_indcall(slot, target, ahash)?;
         Ok(())
     }
 
     fn call_extern(&mut self, sym: SymbolId, args: &[Word]) -> Result<Word, Trap> {
-        let midx = *self.exec_stack.last().expect("executing");
-        let m = &self.modules[midx];
+        let m = Arc::clone(self.exec_stack.last().expect("executing"));
         let import = &m.program.imports[sym.0 as usize];
         if import.kind != ImportKind::Func {
             return Err(Trap::BadRef(format!("calling data import {}", import.name)));
         }
         let target = m.import_addrs[sym.0 as usize];
-        let mode = m.mode;
-        let idx = self.addr_to_export(target).ok_or_else(|| {
-            Trap::BadRef(format!(
-                "extern {}",
-                self.modules[midx].program.imports[sym.0 as usize].name
-            ))
-        })?;
+        let export = self
+            .core
+            .export_at(target)
+            .ok_or_else(|| Trap::BadRef(format!("extern {}", import.name)))?;
 
-        match mode {
+        match m.mode {
             IsolationMode::Stock => {
-                let imp = self.exports[idx].imp.clone();
+                let imp = Arc::clone(&export.imp);
                 imp(self, args)
             }
             IsolationMode::Lxfi => {
@@ -1149,15 +1681,15 @@ impl Env for Kernel {
                 // module init from the symbol table, §4.2).
                 self.rt.check_call(t, target)?;
                 // Success path is allocation-free: the declaration is an
-                // Rc clone; the import name is only cloned on error.
-                let decl = self.exports[idx].decl.clone().ok_or_else(|| {
+                // Arc clone; the export name is only cloned on error.
+                let decl = export.decl.clone().ok_or_else(|| {
                     Trap::from(Violation::UnannotatedFunction {
-                        name: self.exports[idx].name.clone(),
+                        name: export.name.clone(),
                     })
                 })?;
                 let caller = self.rt.current(t);
-                let imp = self.exports[idx].imp.clone();
-                if self.exports[idx].runtime_call {
+                let imp = Arc::clone(&export.imp);
+                if export.runtime_call {
                     // Runtime entry point: stays in the caller's principal
                     // context; still enforces the pre/post actions.
                     let site = CallSite {
@@ -1167,7 +1699,7 @@ impl Env for Kernel {
                         caller,
                         callee: None,
                     };
-                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
+                    apply_actions(&mut self.rt, &self.mem, &self.core.layouts, &site, Dir::Pre)?;
                     let ret = imp(self, args)?;
                     let site = CallSite {
                         decl: &decl,
@@ -1176,7 +1708,13 @@ impl Env for Kernel {
                         caller,
                         callee: None,
                     };
-                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                    apply_actions(
+                        &mut self.rt,
+                        &self.mem,
+                        &self.core.layouts,
+                        &site,
+                        Dir::Post,
+                    )?;
                     return Ok(ret);
                 }
                 let token = self.rt.wrapper_enter(t, None); // kernel context
@@ -1188,7 +1726,7 @@ impl Env for Kernel {
                         caller,
                         callee: None,
                     };
-                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
+                    apply_actions(&mut self.rt, &self.mem, &self.core.layouts, &site, Dir::Pre)?;
                     let ret = imp(self, args)?;
                     let site = CallSite {
                         decl: &decl,
@@ -1197,7 +1735,13 @@ impl Env for Kernel {
                         caller,
                         callee: None,
                     };
-                    apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                    apply_actions(
+                        &mut self.rt,
+                        &self.mem,
+                        &self.core.layouts,
+                        &site,
+                        Dir::Post,
+                    )?;
                     Ok(ret)
                 })();
                 let exit = self.rt.wrapper_exit(t, token);
@@ -1213,14 +1757,12 @@ impl Env for Kernel {
     }
 
     fn call_ptr(&mut self, target: Word, sig: SigId, args: &[Word]) -> Result<Word, Trap> {
-        let midx = *self.exec_stack.last().expect("executing");
-        let m = &self.modules[midx];
-        let mode = m.mode;
+        let m = Arc::clone(self.exec_stack.last().expect("executing"));
         // Load-time-resolved hash; the sig *name* plays no role at call
         // time (dispatch ignores it — the ahash check already pinned the
         // callee's annotations to the slot's).
-        let site_hash = m.sig_ahash[sig.0 as usize];
-        match mode {
+        let site_hash = m.sig_ahash.read().expect("sig_ahash lock")[sig.0 as usize];
+        match m.mode {
             IsolationMode::Stock => self.dispatch_checked_pointer(target, args),
             IsolationMode::Lxfi => {
                 let t = self.current_thread();
@@ -1241,16 +1783,17 @@ impl Env for Kernel {
                     }));
                 }
                 let caller = self.rt.current(t);
-                if self.fn_addrs.contains_key(&target) {
-                    self.invoke_module_function(target, args, Some(caller))
-                } else if let Some(idx) = self.addr_to_export(target) {
+                let resolved = self.core.module_of_fn(target);
+                if resolved.is_some() {
+                    self.invoke_resolved(resolved, target, args, Some(caller))
+                } else if let Some(export) = self.core.export_at(target) {
                     // Same wrapper path as a direct extern call.
-                    let decl = self.exports[idx].decl.clone().ok_or_else(|| {
+                    let decl = export.decl.clone().ok_or_else(|| {
                         Trap::from(Violation::UnannotatedFunction {
-                            name: self.exports[idx].name.clone(),
+                            name: export.name.clone(),
                         })
                     })?;
-                    let imp = self.exports[idx].imp.clone();
+                    let imp = Arc::clone(&export.imp);
                     let token = self.rt.wrapper_enter(t, None);
                     let result = (|| -> Result<Word, Trap> {
                         let site = CallSite {
@@ -1260,7 +1803,13 @@ impl Env for Kernel {
                             caller,
                             callee: None,
                         };
-                        apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Pre)?;
+                        apply_actions(
+                            &mut self.rt,
+                            &self.mem,
+                            &self.core.layouts,
+                            &site,
+                            Dir::Pre,
+                        )?;
                         let ret = imp(self, args)?;
                         let site = CallSite {
                             decl: &decl,
@@ -1269,7 +1818,13 @@ impl Env for Kernel {
                             caller,
                             callee: None,
                         };
-                        apply_actions(&mut self.rt, &self.mem, &self.layouts, &site, Dir::Post)?;
+                        apply_actions(
+                            &mut self.rt,
+                            &self.mem,
+                            &self.core.layouts,
+                            &site,
+                            Dir::Post,
+                        )?;
                         Ok(ret)
                     })();
                     let exit = self.rt.wrapper_exit(t, token);
@@ -1288,8 +1843,9 @@ impl Env for Kernel {
     }
 
     fn global_addr(&self, global: GlobalId) -> Result<Word, Trap> {
-        let midx = *self.exec_stack.last().expect("executing");
-        self.modules[midx]
+        self.exec_stack
+            .last()
+            .expect("executing")
             .global_addrs
             .get(global.0 as usize)
             .copied()
@@ -1297,8 +1853,9 @@ impl Env for Kernel {
     }
 
     fn sym_addr(&self, sym: SymbolId) -> Result<Word, Trap> {
-        let midx = *self.exec_stack.last().expect("executing");
-        self.modules[midx]
+        self.exec_stack
+            .last()
+            .expect("executing")
             .import_addrs
             .get(sym.0 as usize)
             .copied()
@@ -1306,7 +1863,6 @@ impl Env for Kernel {
     }
 
     fn func_addr(&self, func: FuncId) -> Result<Word, Trap> {
-        let midx = *self.exec_stack.last().expect("executing");
-        Ok(self.modules[midx].fn_base + u64::from(func.0) * FN_SPACING)
+        Ok(self.exec_stack.last().expect("executing").fn_base + u64::from(func.0) * FN_SPACING)
     }
 }

@@ -37,5 +37,7 @@ pub mod socket;
 pub mod types;
 
 pub use exports::{Export, NativeFn};
-pub use kernel::{IsolationMode, Kernel, KernelError, LoadedModuleId, ModuleSpec, UserFn};
+pub use kernel::{
+    IsolationMode, Kernel, KernelCore, KernelCpu, KernelError, LoadedModuleId, ModuleSpec, UserFn,
+};
 pub use layout::*;

@@ -15,14 +15,14 @@
 //!   `sk_buff` header and emits WRITE capabilities for the header and the
 //!   payload buffer.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lxfi_core::iface::Param;
 use lxfi_core::runtime::EmittedCap;
 use lxfi_machine::builder::regs::*;
 use lxfi_machine::{Program, ProgramBuilder, Trap, Word};
 
-use crate::kernel::Kernel;
+use crate::kernel::KernelCpu;
 use crate::types::{net_device, qdisc, sk_buff, sock};
 
 /// `NETDEV_BUSY` — drivers return `-NETDEV_BUSY` to push back.
@@ -61,7 +61,7 @@ pub struct NetState {
 }
 
 /// Registers network exports, sigs, constants, and the skb iterator.
-pub fn register(k: &mut Kernel) {
+pub fn register(k: &mut KernelCpu) {
     k.rt.define_const("NETDEV_BUSY", NETDEV_BUSY);
 
     // The paper's skb_caps iterator (Figure 4, lines 51-54): WRITE over
@@ -116,7 +116,7 @@ pub fn register(k: &mut Kernel) {
         // As in Linux, the driver-private area is appended to the
         // net_device allocation, so one WRITE capability covers both.
         Some("post(if (return != 0) transfer(write, return, 128 + priv_size))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let priv_size = args.first().copied().unwrap_or(0);
             let dev = k.kstatic_alloc(net_device::SIZE + priv_size);
             if priv_size > 0 {
@@ -133,8 +133,8 @@ pub fn register(k: &mut Kernel) {
         "register_netdev",
         vec![Param::ptr("dev", "net_device")],
         Some("pre(check(write, dev, 128))"),
-        Rc::new(|k, args| {
-            k.net.devices.push(args[0]);
+        Arc::new(|k, args| {
+            k.net().devices.push(args[0]);
             Ok(0)
         }),
     );
@@ -143,12 +143,12 @@ pub fn register(k: &mut Kernel) {
         "netif_napi_add",
         vec![Param::ptr("dev", "net_device"), Param::scalar("poll")],
         Some("pre(check(write, dev, 128)) pre(check(call, poll))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             // As with PCI probe: the checked pointer lands in a
             // kernel-written slot, so dispatch takes the fast path.
             let slot = k.kstatic_alloc(8);
             k.mem.write_word(slot, args[1])?;
-            k.net.napi.push((args[0], slot));
+            k.net().napi.push((args[0], slot));
             Ok(0)
         }),
     );
@@ -157,7 +157,7 @@ pub fn register(k: &mut Kernel) {
         "alloc_skb",
         vec![Param::scalar("len")],
         Some("post(if (return != 0) transfer(skb_caps(return)))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let len = args.first().copied().unwrap_or(0);
             match alloc_skb_raw(k, len) {
                 Some(skb) => Ok(skb),
@@ -170,7 +170,7 @@ pub fn register(k: &mut Kernel) {
         "kfree_skb",
         vec![Param::ptr("skb", "sk_buff")],
         Some("pre(if (skb != 0) check(write, skb, 1))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let skb = args[0];
             if skb != 0 {
                 free_skb_raw(k, skb)?;
@@ -183,11 +183,12 @@ pub fn register(k: &mut Kernel) {
         "netif_rx",
         vec![Param::ptr("skb", "sk_buff")],
         Some("pre(transfer(skb_caps(skb)))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             use lxfi_machine::Env;
             k.consume(NET_RX_BASE_COST)?;
-            k.net.rx_queue.push(args[0]);
-            k.net.rx_total += 1;
+            let mut net = k.net();
+            net.rx_queue.push(args[0]);
+            net.rx_total += 1;
             Ok(0)
         }),
     );
@@ -196,18 +197,18 @@ pub fn register(k: &mut Kernel) {
         "napi_complete",
         vec![Param::ptr("dev", "net_device")],
         Some(""),
-        Rc::new(|_k, _args| Ok(0)),
+        Arc::new(|_k, _args| Ok(0)),
     );
 }
 
 /// Allocates an sk_buff header + payload buffer from the slab.
-pub fn alloc_skb_raw(k: &mut Kernel, len: u64) -> Option<Word> {
-    let skb = k.slab.kmalloc(&mut k.mem, sk_buff::SIZE)?;
+pub fn alloc_skb_raw(k: &mut KernelCpu, len: u64) -> Option<Word> {
+    let skb = k.slab().kmalloc(&k.mem, sk_buff::SIZE)?;
     let data = if len > 0 {
-        match k.slab.kmalloc(&mut k.mem, len) {
+        match k.slab().kmalloc(&k.mem, len) {
             Some(d) => d,
             None => {
-                k.slab.kfree(skb);
+                k.slab().kfree(skb);
                 return None;
             }
         }
@@ -225,20 +226,27 @@ pub fn alloc_skb_raw(k: &mut Kernel, len: u64) -> Option<Word> {
     Some(skb)
 }
 
-/// Frees an sk_buff and its payload; strips all WRITE coverage.
-pub fn free_skb_raw(k: &mut Kernel, skb: Word) -> Result<(), Trap> {
+/// Frees an sk_buff and its payload; strips all WRITE coverage. Both
+/// frees are two-phase (sweep and zero before the slot re-enters the
+/// allocator) so a concurrent allocation on another CPU can never be
+/// granted a recycled address mid-sweep.
+pub fn free_skb_raw(k: &mut KernelCpu, skb: Word) -> Result<(), Trap> {
     let data = k.mem.read_word((skb as i64 + sk_buff::DATA) as u64)?;
     if data != 0 {
-        if let Some((_s, class)) = k.slab.kfree(data) {
+        let freed = k.slab().begin_free(data);
+        if let Some((_s, class)) = freed {
             k.rt.revoke_write_overlapping_everywhere(data, class);
             k.mem.zero_range(data, class)?;
             k.rt.note_zeroed(data, class);
+            k.slab().finish_free(data, class);
         }
     }
-    if let Some((_s, class)) = k.slab.kfree(skb) {
+    let freed = k.slab().begin_free(skb);
+    if let Some((_s, class)) = freed {
         k.rt.revoke_write_overlapping_everywhere(skb, class);
         k.mem.zero_range(skb, class)?;
         k.rt.note_zeroed(skb, class);
+        k.slab().finish_free(skb, class);
     }
     Ok(())
 }
@@ -307,7 +315,7 @@ pub fn kernel_thunks() -> Program {
     pb.finish()
 }
 
-impl Kernel {
+impl KernelCpu {
     /// Kernel-side packet transmission (what a socket write bottoms out
     /// in): allocates the packet, fills a trivial payload, and runs the
     /// `dev_queue_xmit` thunk. Returns the driver's status.
@@ -321,24 +329,25 @@ impl Kernel {
 
     /// Simulates `count` received frames: raises an interrupt and invokes
     /// the device's NAPI poll callback, which pulls frames from the
-    /// device and feeds them to `netif_rx`. Returns packets delivered.
+    /// device and feeds them to `netif_rx`. Returns packets delivered —
+    /// the poll callback's own return value, not a shared-counter delta,
+    /// so concurrent RX on other CPUs is never misattributed to this
+    /// call.
     pub fn net_deliver_rx(&mut self, dev: Word, count: u64) -> Result<u64, Trap> {
         let slot = self
-            .net
+            .net()
             .napi
             .iter()
             .find(|&&(d, _)| d == dev)
             .map(|&(_, s)| s)
             .ok_or_else(|| Trap::BadRef("no NAPI registration".into()))?;
-        let before = self.net.rx_total;
-        self.interrupt(|k| k.indirect_call(slot, "napi_poll", &[dev, count]))?;
-        Ok(self.net.rx_total - before)
+        self.interrupt(|k| k.indirect_call(slot, "napi_poll", &[dev, count]))
     }
 
     /// Drains and frees packets queued by `netif_rx` (the protocol layer
     /// consuming driver-delivered frames). Returns the number drained.
     pub fn net_drain_rx(&mut self) -> Result<u64, Trap> {
-        let skbs = std::mem::take(&mut self.net.rx_queue);
+        let skbs = std::mem::take(&mut self.net().rx_queue);
         let n = skbs.len() as u64;
         for skb in skbs {
             free_skb_raw(self, skb)?;

@@ -5,12 +5,12 @@
 //! named by the `pci_dev` pointer, a `REF(struct pci_dev)` capability is
 //! copied in, and transferred back if probing fails.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lxfi_core::iface::Param;
 use lxfi_machine::{Trap, Word};
 
-use crate::kernel::Kernel;
+use crate::kernel::KernelCpu;
 use crate::types::pci_dev;
 
 /// The Figure 4 annotation for `pci_driver.probe`.
@@ -30,7 +30,7 @@ pub struct PciState {
 }
 
 /// Registers PCI exports and interface annotations.
-pub fn register(k: &mut Kernel) {
+pub fn register(k: &mut KernelCpu) {
     k.define_sig(
         "pci_probe",
         vec![Param::ptr("pcidev", "struct pci_dev")],
@@ -41,13 +41,13 @@ pub fn register(k: &mut Kernel) {
         "pci_register_driver",
         vec![Param::scalar("probe")],
         Some("pre(check(call, probe))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             // The kernel stores the (capability-checked) probe pointer in
             // its own memory; the slot is kernel-written, so later
             // dispatches take the writer-set fast path.
             let slot = k.kstatic_alloc(8);
             k.mem.write_word(slot, args[0])?;
-            k.pci.driver_slots.push(slot);
+            k.pci().driver_slots.push(slot);
             Ok(0)
         }),
     );
@@ -56,7 +56,7 @@ pub fn register(k: &mut Kernel) {
         "pci_enable_device",
         vec![Param::ptr("pcidev", "struct pci_dev")],
         Some("pre(check(ref(struct pci_dev), pcidev))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let dev = args[0];
             let cur = k.mem.read_word((dev as i64 + pci_dev::ENABLED) as u64)?;
             k.mem
@@ -72,7 +72,7 @@ pub fn register(k: &mut Kernel) {
             "pre(check(ref(struct pci_dev), pcidev)) \
              post(if (return != 0) transfer(write, return, 4096))",
         ),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let dev = args[0];
             k.mem.read_word((dev as i64 + pci_dev::MMIO_BASE) as u64)
         }),
@@ -85,11 +85,11 @@ pub fn register(k: &mut Kernel) {
         "lxfi_check_pcidev",
         vec![Param::ptr("pcidev", "struct pci_dev")],
         "pre(check(ref(struct pci_dev), pcidev))",
-        Rc::new(|_k, _args| Ok(0)),
+        Arc::new(|_k, _args| Ok(0)),
     );
 }
 
-impl Kernel {
+impl KernelCpu {
     /// Creates a PCI device (platform discovery); allocates its struct
     /// and a 4 KiB simulated MMIO window.
     pub fn pci_add_device(&mut self, vendor: u32, device: u32, irq: u32) -> Word {
@@ -118,7 +118,7 @@ impl Kernel {
         self.mem
             .write_word((dev as i64 + pci_dev::MMIO_LEN) as u64, 4096)
             .unwrap();
-        self.pci.devices.push(dev);
+        self.pci().devices.push(dev);
         dev
     }
 
@@ -127,16 +127,16 @@ impl Kernel {
     /// dispatch). Returns the number of successful probes.
     pub fn pci_probe_all(&mut self) -> Result<u64, Trap> {
         let mut ok = 0;
-        let devices = self.pci.devices.clone();
-        let slots = self.pci.driver_slots.clone();
+        let devices = self.pci().devices.clone();
+        let slots = self.pci().driver_slots.clone();
         for dev in devices {
-            if self.pci.bound.iter().any(|&(d, _)| d == dev) {
+            if self.pci().bound.iter().any(|&(d, _)| d == dev) {
                 continue;
             }
             for slot in &slots {
                 let ret = self.indirect_call(*slot, "pci_probe", &[dev])?;
                 if (ret as i64) >= 0 {
-                    self.pci.bound.push((dev, *slot));
+                    self.pci().bound.push((dev, *slot));
                     ok += 1;
                     break;
                 }

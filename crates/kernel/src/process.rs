@@ -37,7 +37,7 @@ pub struct ProcessTable {
 impl ProcessTable {
     /// Creates the table at `base` with an initial root task (pid 1) and
     /// an unprivileged task (pid 1000, uid 1000) as `current`.
-    pub fn new(mem: &mut AddressSpace, base: Word) -> Self {
+    pub fn new(mem: &AddressSpace, base: Word) -> Self {
         let mut t = ProcessTable {
             base,
             tasks: Vec::new(),
@@ -55,7 +55,7 @@ impl ProcessTable {
 
     /// Creates a task with the given uid; returns its `task_struct`
     /// address. The task is linked into `pid_hash`.
-    pub fn spawn(&mut self, mem: &mut AddressSpace, uid: u64) -> Word {
+    pub fn spawn(&mut self, mem: &AddressSpace, uid: u64) -> Word {
         let addr = self.base + self.tasks.len() as u64 * task::SIZE;
         mem.map_range(addr, task::SIZE);
         let pid = self.next_pid;
@@ -123,8 +123,8 @@ mod tests {
     use super::*;
 
     fn setup() -> (ProcessTable, AddressSpace) {
-        let mut mem = AddressSpace::new();
-        let t = ProcessTable::new(&mut mem, crate::layout::KSTATIC_BASE);
+        let mem = AddressSpace::new();
+        let t = ProcessTable::new(&mem, crate::layout::KSTATIC_BASE);
         (t, mem)
     }
 
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn uid_field_is_a_real_memory_location() {
-        let (t, mut mem) = setup();
+        let (t, mem) = setup();
         let uid_addr = (t.current_task() as i64 + task::UID) as u64;
         // The spin_lock_init attack: zeroing this address grants root.
         mem.write_word(uid_addr, 0).unwrap();
@@ -146,8 +146,8 @@ mod tests {
 
     #[test]
     fn detach_pid_hides_a_running_process() {
-        let (mut t, mut mem) = setup();
-        let victim = t.spawn(&mut mem, 1000);
+        let (mut t, mem) = setup();
+        let victim = t.spawn(&mem, 1000);
         assert!(!t.has_hidden_process(&mem));
         t.detach_pid(&mem, victim);
         assert!(t.has_hidden_process(&mem));

@@ -52,7 +52,7 @@ impl Slab {
     ///
     /// Objects come from the slab page with the lowest free slot of the
     /// class, so consecutive allocations of one class are adjacent.
-    pub fn kmalloc(&mut self, mem: &mut AddressSpace, size: u64) -> Option<Word> {
+    pub fn kmalloc(&mut self, mem: &AddressSpace, size: u64) -> Option<Word> {
         if size == 0 {
             return None;
         }
@@ -87,16 +87,33 @@ impl Slab {
     /// Frees an object. Returns its `(requested size, class size)` or
     /// `None` for a bad pointer (double free / wild free).
     pub fn kfree(&mut self, addr: Word) -> Option<(u64, u64)> {
+        let r = self.begin_free(addr)?;
+        self.finish_free(addr, r.1);
+        Some(r)
+    }
+
+    /// First half of a two-phase free: validates the pointer and removes
+    /// it from the live set **without** returning the slot to the free
+    /// list, so a concurrent `kmalloc` cannot hand the address out while
+    /// the caller is still revoking capabilities / zeroing it (the kfree
+    /// path drops the slab lock across that work). A racing double free
+    /// sees `None` here, exactly like `kfree`.
+    pub fn begin_free(&mut self, addr: Word) -> Option<(u64, u64)> {
         let i = self.live.iter().position(|&(a, _, _)| a == addr)?;
         let (_, size, class) = self.live.swap_remove(i);
+        self.allocated -= size;
+        Some((size, class))
+    }
+
+    /// Second half of a two-phase free: returns the slot to its page's
+    /// free list. Call with the `(addr, class)` pair `begin_free` gave.
+    pub fn finish_free(&mut self, addr: Word, class: u64) {
         let page = self
             .pages
             .iter_mut()
             .find(|p| p.class == class && addr >= p.base && addr < p.base + PAGE_SIZE)
             .expect("live object belongs to a page");
         page.free.push(((addr - page.base) / class) as u32);
-        self.allocated -= size;
-        Some((size, class))
     }
 
     /// The requested size of a live allocation.
@@ -123,37 +140,37 @@ mod tests {
 
     #[test]
     fn same_class_allocations_are_adjacent() {
-        let (mut s, mut m) = setup();
-        let a = s.kmalloc(&mut m, 64).unwrap();
-        let b = s.kmalloc(&mut m, 64).unwrap();
-        let c = s.kmalloc(&mut m, 64).unwrap();
+        let (mut s, m) = setup();
+        let a = s.kmalloc(&m, 64).unwrap();
+        let b = s.kmalloc(&m, 64).unwrap();
+        let c = s.kmalloc(&m, 64).unwrap();
         assert_eq!(b, a + 64, "SLUB adjacency (CAN BCM groom relies on it)");
         assert_eq!(c, b + 64);
     }
 
     #[test]
     fn sizes_round_up_to_class() {
-        let (mut s, mut m) = setup();
-        let a = s.kmalloc(&mut m, 33).unwrap();
-        let b = s.kmalloc(&mut m, 50).unwrap();
+        let (mut s, m) = setup();
+        let a = s.kmalloc(&m, 33).unwrap();
+        let b = s.kmalloc(&m, 50).unwrap();
         assert_eq!(b, a + 64, "both land in the 64-byte class");
         assert_eq!(s.size_of(a), Some(33), "requested size remembered");
     }
 
     #[test]
     fn free_then_realloc_reuses_slot() {
-        let (mut s, mut m) = setup();
-        let a = s.kmalloc(&mut m, 128).unwrap();
-        let _b = s.kmalloc(&mut m, 128).unwrap();
+        let (mut s, m) = setup();
+        let a = s.kmalloc(&m, 128).unwrap();
+        let _b = s.kmalloc(&m, 128).unwrap();
         s.kfree(a).unwrap();
-        let c = s.kmalloc(&mut m, 128).unwrap();
+        let c = s.kmalloc(&m, 128).unwrap();
         assert_eq!(c, a, "freed slot is reused (heap grooming)");
     }
 
     #[test]
     fn double_free_rejected() {
-        let (mut s, mut m) = setup();
-        let a = s.kmalloc(&mut m, 64).unwrap();
+        let (mut s, m) = setup();
+        let a = s.kmalloc(&m, 64).unwrap();
         assert!(s.kfree(a).is_some());
         assert!(s.kfree(a).is_none());
         assert!(s.kfree(0xdead).is_none());
@@ -161,10 +178,10 @@ mod tests {
 
     #[test]
     fn live_objects_never_overlap() {
-        let (mut s, mut m) = setup();
+        let (mut s, m) = setup();
         let mut addrs: Vec<(Word, u64)> = Vec::new();
         for size in [32u64, 64, 64, 100, 128, 4096, 32, 2048, 512] {
-            let a = s.kmalloc(&mut m, size).unwrap();
+            let a = s.kmalloc(&m, size).unwrap();
             let class = Slab::class_for(size).unwrap();
             for &(b, bc) in &addrs {
                 assert!(a + class <= b || b + bc <= a, "overlap {a:#x} {b:#x}");
@@ -176,8 +193,8 @@ mod tests {
 
     #[test]
     fn allocations_are_mapped_memory() {
-        let (mut s, mut m) = setup();
-        let a = s.kmalloc(&mut m, 4096).unwrap();
+        let (mut s, m) = setup();
+        let a = s.kmalloc(&m, 4096).unwrap();
         m.write_word(a, 42).unwrap();
         m.write_word(a + 4088, 43).unwrap();
         assert_eq!(m.read_word(a).unwrap(), 42);
@@ -185,8 +202,8 @@ mod tests {
 
     #[test]
     fn oversized_and_zero_rejected() {
-        let (mut s, mut m) = setup();
-        assert!(s.kmalloc(&mut m, 0).is_none());
-        assert!(s.kmalloc(&mut m, 4097).is_none());
+        let (mut s, m) = setup();
+        assert!(s.kmalloc(&m, 0).is_none());
+        assert!(s.kmalloc(&m, 4097).is_none());
     }
 }

@@ -4,12 +4,12 @@
 //! trigger callback is dispatched through a slot in *module* memory (the
 //! ops table), so it goes down the checked indirect-call path.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lxfi_core::iface::Param;
 use lxfi_machine::{Trap, Word};
 
-use crate::kernel::Kernel;
+use crate::kernel::KernelCpu;
 use crate::types::snd_pcm;
 
 /// Annotation for the PCM trigger/pointer callbacks: per-stream principal.
@@ -25,7 +25,7 @@ pub struct SndState {
 }
 
 /// Registers sound exports and interface annotations.
-pub fn register(k: &mut Kernel) {
+pub fn register(k: &mut KernelCpu) {
     k.define_sig(
         "pcm_trigger",
         vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("cmd")],
@@ -41,9 +41,9 @@ pub fn register(k: &mut Kernel) {
         "snd_card_new",
         vec![],
         Some("post(if (return != 0) transfer(write, return, 64))"),
-        Rc::new(|k, _args| {
+        Arc::new(|k, _args| {
             let card = k.kstatic_alloc(64);
-            k.snd.cards.push(card);
+            k.snd().cards.push(card);
             Ok(card)
         }),
     );
@@ -52,11 +52,11 @@ pub fn register(k: &mut Kernel) {
         "snd_pcm_new",
         vec![Param::scalar("card"), Param::scalar("ops")],
         Some("post(if (return != 0) transfer(write, return, 64))"),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let pcm = k.kstatic_alloc(snd_pcm::SIZE);
             k.mem
                 .write_word((pcm as i64 + snd_pcm::OPS) as u64, args[1])?;
-            k.snd.pcms.push((pcm, args[1]));
+            k.snd().pcms.push((pcm, args[1]));
             Ok(pcm)
         }),
     );
@@ -68,7 +68,7 @@ pub fn register(k: &mut Kernel) {
             "pre(check(write, pcm, 64)) \
              post(if (return != 0) transfer(write, return, bytes))",
         ),
-        Rc::new(|k, args| {
+        Arc::new(|k, args| {
             let (pcm, bytes) = (args[0], args[1]);
             let buf = k.kstatic_alloc(bytes);
             k.mem
@@ -83,16 +83,16 @@ pub fn register(k: &mut Kernel) {
         "snd_card_register",
         vec![Param::scalar("card")],
         Some(""),
-        Rc::new(|_k, _args| Ok(0)),
+        Arc::new(|_k, _args| Ok(0)),
     );
 }
 
-impl Kernel {
+impl KernelCpu {
     /// Dispatches a PCM trigger through the stream's ops table (module
     /// memory, offset 0 = trigger).
     pub fn snd_trigger(&mut self, pcm: Word, cmd: u64) -> Result<Word, Trap> {
         let (_, ops) = *self
-            .snd
+            .snd()
             .pcms
             .iter()
             .find(|&&(p, _)| p == pcm)
@@ -103,7 +103,7 @@ impl Kernel {
     /// Dispatches a PCM pointer query (ops table offset 8).
     pub fn snd_pointer(&mut self, pcm: Word) -> Result<Word, Trap> {
         let (_, ops) = *self
-            .snd
+            .snd()
             .pcms
             .iter()
             .find(|&&(p, _)| p == pcm)

@@ -7,12 +7,12 @@
 //! slow path of the indirect-call check — exactly the paths the RDS and
 //! Econet exploits corrupt.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lxfi_core::iface::Param;
 use lxfi_machine::{Trap, Word};
 
-use crate::kernel::Kernel;
+use crate::kernel::KernelCpu;
 use crate::types::{shmid_kernel, sock};
 
 /// Annotation shared by the socket callbacks: the callee principal is the
@@ -31,7 +31,7 @@ pub struct SocketState {
 }
 
 /// Registers socket exports and interface annotations.
-pub fn register(k: &mut Kernel) {
+pub fn register(k: &mut KernelCpu) {
     for name in ["proto_ioctl", "proto_sendmsg", "proto_recvmsg"] {
         k.define_sig(
             name,
@@ -57,8 +57,8 @@ pub fn register(k: &mut Kernel) {
         "sock_register",
         vec![Param::scalar("family"), Param::scalar("ops")],
         Some(""),
-        Rc::new(|k, args| {
-            k.sock.families.push((args[0], args[1]));
+        Arc::new(|k, args| {
+            k.sock().families.push((args[0], args[1]));
             Ok(0)
         }),
     );
@@ -68,16 +68,16 @@ pub fn register(k: &mut Kernel) {
         "shm_default_ops",
         vec![Param::ptr("shp", "shmid_kernel")],
         Some(""),
-        Rc::new(|_k, _args| Ok(0)),
+        Arc::new(|_k, _args| Ok(0)),
     );
 }
 
-impl Kernel {
+impl KernelCpu {
     /// `socket(2)`: creates a socket of `family`. The `sock` struct lives
     /// in kernel memory; its `ops` field points at the module's table.
     pub fn sys_socket(&mut self, family: u64) -> Result<Word, Trap> {
         let ops = self
-            .sock
+            .sock()
             .families
             .iter()
             .find(|&&(f, _)| f == family)
@@ -87,7 +87,7 @@ impl Kernel {
         self.mem.write_word((s as i64 + sock::OPS) as u64, ops)?;
         self.mem
             .write_word((s as i64 + sock::FAMILY) as u64, family)?;
-        self.sock.sockets.push(s);
+        self.sock().sockets.push(s);
         Ok(s)
     }
 
@@ -116,8 +116,8 @@ impl Kernel {
     /// directly before this object).
     pub fn sys_shmget(&mut self, segsz: u64) -> Result<u64, Trap> {
         let shp = self
-            .slab
-            .kmalloc(&mut self.mem, shmid_kernel::SIZE)
+            .slab()
+            .kmalloc(&self.mem, shmid_kernel::SIZE)
             .ok_or_else(|| Trap::BadRef("shm alloc".into()))?;
         self.mem.zero_range(shp, shmid_kernel::SIZE)?;
         self.rt.note_zeroed(shp, shmid_kernel::SIZE);
@@ -129,15 +129,21 @@ impl Kernel {
             .write_word((shp as i64 + shmid_kernel::OPS) as u64, handler)?;
         self.mem
             .write_word((shp as i64 + shmid_kernel::SEGSZ) as u64, segsz)?;
-        self.sock.shm_segments.push(shp);
-        Ok(self.sock.shm_segments.len() as u64 - 1)
+        // Push and read the id under one guard: a concurrent shmget on
+        // another CPU must not shift the index between the two.
+        let id = {
+            let mut sock = self.sock();
+            sock.shm_segments.push(shp);
+            sock.shm_segments.len() as u64 - 1
+        };
+        Ok(id)
     }
 
     /// `shmctl(2)`-ish: invokes the segment's ops function pointer via the
     /// kernel thunk — the indirect call the CAN BCM exploit redirects.
     pub fn sys_shmctl(&mut self, id: u64) -> Result<Word, Trap> {
         let shp = *self
-            .sock
+            .sock()
             .shm_segments
             .get(id as usize)
             .ok_or_else(|| Trap::BadRef(format!("shm id {id}")))?;
@@ -147,6 +153,6 @@ impl Kernel {
     /// Address of a shm segment (the exploit reads this via a kernel
     /// info leak; we hand it out directly — leaks are out of scope, §2).
     pub fn shm_segment_addr(&self, id: u64) -> Option<Word> {
-        self.sock.shm_segments.get(id as usize).copied()
+        self.sock().shm_segments.get(id as usize).copied()
     }
 }

@@ -3,7 +3,7 @@
 //! §1 `spin_lock_init` attack, and the PCI probe/alias flow of Figure 4.
 
 use lxfi_core::Violation;
-use lxfi_kernel::{IsolationMode, Kernel, ModuleSpec};
+use lxfi_kernel::{IsolationMode, Kernel, KernelCpu, ModuleSpec};
 use lxfi_machine::builder::regs::*;
 use lxfi_machine::{ProgramBuilder, Trap, Word};
 use lxfi_rewriter::InterfaceSpec;
@@ -70,7 +70,7 @@ fn toy_spec() -> ModuleSpec {
     }
 }
 
-fn call(k: &mut Kernel, module: &str, func: &str, args: &[Word]) -> Result<Word, Trap> {
+fn call(k: &mut KernelCpu, module: &str, func: &str, args: &[Word]) -> Result<Word, Trap> {
     let id = k.module_id(module).unwrap();
     let addr = k.module_fn_addr(id, func).unwrap();
     k.invoke_module_function(addr, args, None)
@@ -135,20 +135,20 @@ fn section_one_spin_lock_init_attack() {
     // write 0 (root) there. Stock: escalation. LXFI: MissingWrite.
     let mut k = Kernel::boot(IsolationMode::Stock);
     k.load_module(toy_spec()).unwrap();
-    let uid_addr = (k.procs.current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
-    assert_eq!(k.procs.current_uid(&k.mem), 1000);
+    let uid_addr = (k.procs().current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
+    assert_eq!(k.procs().current_uid(&k.mem), 1000);
     call(&mut k, "toy", "attack_lock", &[uid_addr]).unwrap();
-    assert_eq!(k.procs.current_uid(&k.mem), 0, "stock kernel: root!");
+    assert_eq!(k.procs().current_uid(&k.mem), 0, "stock kernel: root!");
 
     let mut k = Kernel::boot(IsolationMode::Lxfi);
     k.load_module(toy_spec()).unwrap();
-    let uid_addr = (k.procs.current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
+    let uid_addr = (k.procs().current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
     let err = call(&mut k, "toy", "attack_lock", &[uid_addr]).unwrap_err();
     assert!(matches!(
         err.policy_as::<Violation>(),
         Some(Violation::MissingWrite { .. })
     ));
-    assert_eq!(k.procs.current_uid(&k.mem), 1000, "uid intact");
+    assert_eq!(k.procs().current_uid(&k.mem), 1000, "uid intact");
 }
 
 #[test]
@@ -200,7 +200,7 @@ fn unannotated_exports_are_uncallable() {
         "forgot_to_annotate",
         vec![],
         None,
-        std::rc::Rc::new(|_k, _a| Ok(7)),
+        std::sync::Arc::new(|_k, _a| Ok(7)),
     );
     let mut pb = ProgramBuilder::new("m");
     let sym = pb.import_func("forgot_to_annotate");
@@ -279,7 +279,7 @@ fn oops_path_zeroes_clear_child_tid() {
     k.load_module(toy_spec()).unwrap();
     let victim = k.kstatic_alloc(8);
     k.mem.write_word(victim, 0xffff_ffff_ffff_ffff).unwrap();
-    let task = k.procs.current_task();
+    let task = k.procs().current_task();
     k.mem
         .write_word(
             (task as i64 + lxfi_kernel::process::task::CLEAR_CHILD_TID) as u64,

@@ -149,7 +149,7 @@ fn deep_local_nesting_with_kernel_calls() {
             .enter(|k| k.invoke_module_function(addr, &[128], None))
             .unwrap();
         assert_ne!(r, 0, "allocation succeeded through 25 frames");
-        assert_eq!(k.slab.live_count(), 0, "freed on the way out");
+        assert_eq!(k.slab().live_count(), 0, "freed on the way out");
     }
 }
 
@@ -163,7 +163,7 @@ fn allocation_churn_leaves_no_capabilities_or_leaks() {
     let addr = k.module_fn_addr(id, "churn").unwrap();
     k.enter(|k| k.invoke_module_function(addr, &[200], None))
         .unwrap();
-    assert_eq!(k.slab.live_count(), 0, "no leaked allocations");
+    assert_eq!(k.slab().live_count(), 0, "no leaked allocations");
     assert_eq!(
         k.rt.cap_count(shared),
         caps_before,

@@ -25,11 +25,11 @@ use crate::{Trap, Word};
 /// Implemented by the simulated kernel (`lxfi-kernel`); tests implement
 /// lightweight versions.
 pub trait Env {
-    /// Simulated memory (mutable).
-    fn mem(&mut self) -> &mut AddressSpace;
-
-    /// Simulated memory (shared).
-    fn mem_ref(&self) -> &AddressSpace;
+    /// Simulated memory. Since the multi-CPU kernel split the address
+    /// space is interior-mutable (`&self` reads *and* writes), so one
+    /// accessor serves both; see [`AddressSpace`] for the concurrency
+    /// rules.
+    fn mem(&self) -> &AddressSpace;
 
     /// Accounts `cycles` of work; returns [`Trap::OutOfFuel`] when the
     /// execution budget is exhausted.
@@ -187,7 +187,7 @@ fn exec<E: Env + ?Sized>(
                 width,
             } => {
                 let addr = eval(&frames[depth].regs, *base).wrapping_add(*off as u64);
-                let v = env.mem_ref().read(addr, *width)?;
+                let v = env.mem().read(addr, *width)?;
                 frames[depth].regs[dst.0 as usize] = v;
             }
             Inst::Store {
@@ -202,7 +202,7 @@ fn exec<E: Env + ?Sized>(
             }
             Inst::LoadFrame { dst, off, width } => {
                 let addr = frames[depth].sp + *off as u64;
-                let v = env.mem_ref().read(addr, *width)?;
+                let v = env.mem().read(addr, *width)?;
                 frames[depth].regs[dst.0 as usize] = v;
             }
             Inst::StoreFrame { src, off, width } => {
@@ -302,7 +302,7 @@ mod tests {
     use crate::isa::{Cond, Width};
 
     /// An extern-call handler in the test environment.
-    pub type ExternFn = Box<dyn FnMut(&mut AddressSpace, &[Word]) -> Word>;
+    pub type ExternFn = Box<dyn FnMut(&AddressSpace, &[Word]) -> Word>;
 
     /// Minimal test environment: one stack, no isolation, extern calls
     /// dispatch to a table of closures.
@@ -317,7 +317,7 @@ mod tests {
 
     impl TestEnv {
         pub fn new() -> Self {
-            let mut mem = AddressSpace::new();
+            let mem = AddressSpace::new();
             let stack_top = 0xffff_9000_0001_0000u64;
             let stack_base = stack_top - 0x4000;
             mem.map_range(stack_base, 0x4000);
@@ -333,10 +333,7 @@ mod tests {
     }
 
     impl Env for TestEnv {
-        fn mem(&mut self) -> &mut AddressSpace {
-            &mut self.mem
-        }
-        fn mem_ref(&self) -> &AddressSpace {
+        fn mem(&self) -> &AddressSpace {
             &self.mem
         }
         fn consume(&mut self, cycles: u64) -> Result<(), Trap> {
@@ -366,16 +363,14 @@ mod tests {
             Ok(())
         }
         fn call_extern(&mut self, sym: SymbolId, args: &[Word]) -> Result<Word, Trap> {
+            let mem = &self.mem as *const AddressSpace;
             let f = self
                 .externs
                 .get_mut(sym.0 as usize)
                 .ok_or_else(|| Trap::BadRef(format!("extern {}", sym.0)))?;
-            // Temporarily move the closure out is awkward; call with a raw
-            // pointer split instead: closures only need memory.
-            let mut mem = std::mem::take(&mut self.mem);
-            let v = f(&mut mem, args);
-            self.mem = mem;
-            Ok(v)
+            // SAFETY: `mem` outlives the call; closures only touch memory,
+            // which is interior-mutable through `&AddressSpace`.
+            Ok(f(unsafe { &*mem }, args))
         }
         fn call_ptr(&mut self, _target: Word, _sig: SigId, _args: &[Word]) -> Result<Word, Trap> {
             Err(Trap::BadRef("indirect calls unsupported in TestEnv".into()))

@@ -1,11 +1,40 @@
-//! Simulated 64-bit flat address space with demand-mapped 4 KiB pages.
+//! Simulated 64-bit flat address space with demand-mapped 4 KiB pages,
+//! shareable across OS threads.
 //!
 //! The kernel substrate decides the layout (user space low, kernel high,
 //! module sections, thread stacks); this module only provides mapped-page
 //! storage with typed reads and writes. Access to an unmapped address is a
 //! [`Trap::MemFault`], which models a hardware page fault / kernel oops.
+//!
+//! # Concurrency model
+//!
+//! Since the multi-CPU kernel split, every access takes `&self` and the
+//! type is `Send + Sync`:
+//!
+//! - The page table is a 4-level radix tree of `AtomicPtr` slots (13 bits
+//!   per level over the 52-bit page number). Lookup on the data path is
+//!   four acquire loads — **no locks** — which is what keeps guarded
+//!   module stores lock-free end to end (guard = private epoch cache,
+//!   store = radix walk + atomic word write).
+//! - Pages are arrays of `AtomicU64`. Aligned word-sized accesses are
+//!   single atomic operations (never torn); sub-word and unaligned
+//!   accesses read-modify-write the containing word(s) with a CAS loop.
+//!   Like real SMP memory, *racing* writes to overlapping ranges may
+//!   interleave at word granularity — isolation never depends on payload
+//!   atomicity, only on the guard that precedes the store.
+//! - `map_range` inserts pages with CAS (the loser of a racing insert
+//!   frees its page); `unmap_range` detaches the page pointer and
+//!   *retires* the page to a side list freed on drop, so a racing reader
+//!   that already holds the pointer reads stale-but-valid memory instead
+//!   of freed memory. Unmapping concurrently with access to the same
+//!   range is a semantic race (the access may fault) but never unsound.
+//! - Byte-range operations validate `is_mapped` up front so a
+//!   single-threaded fault is atomic (no partial write); a concurrent
+//!   unmap can still interrupt a cross-page write midway, exactly like a
+//!   TLB shootdown racing a store on real hardware.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::isa::Width;
 use crate::{Trap, Word};
@@ -15,11 +44,151 @@ use crate::{Trap, Word};
 pub const PAGE_SIZE: u64 = 4096;
 
 const PAGE_SHIFT: u32 = 12;
+/// 64-bit words per page.
+const PAGE_WORDS: usize = (PAGE_SIZE / 8) as usize;
+/// Radix fan-out per level: 13 bits × 4 levels = the 52-bit page number.
+const FAN_BITS: u32 = 13;
+const FAN: usize = 1 << FAN_BITS;
+const FAN_MASK: u64 = (FAN as u64) - 1;
 
-/// A flat, sparse, page-granular simulated memory.
-#[derive(Default)]
+/// One mapped page: 512 atomic words.
+struct Page {
+    words: [AtomicU64; PAGE_WORDS],
+}
+
+impl Page {
+    fn new_zeroed() -> Box<Page> {
+        Box::new(Page {
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        })
+    }
+}
+
+/// A radix node: `FAN` atomic child pointers, lazily populated.
+struct Node<T> {
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Node<T> {
+    fn new() -> Box<Node<T>> {
+        Box::new(Node {
+            slots: (0..FAN)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        })
+    }
+
+    /// The child at `i`, if present (acquire load).
+    fn get(&self, i: usize) -> Option<&T> {
+        let p = self.slots[i].load(Ordering::Acquire);
+        // SAFETY: a non-null slot always points at a child installed by
+        // `install` below and kept alive until `Drop` (children detached
+        // by unmap are retired, not freed).
+        (!p.is_null()).then(|| unsafe { &*p })
+    }
+
+    /// Installs a child built by `make` at `i` unless one exists; either
+    /// way returns the resident child. The loser of a CAS race frees its
+    /// candidate.
+    fn install(&self, i: usize, make: impl FnOnce() -> Box<T>) -> (&T, bool) {
+        let p = self.slots[i].load(Ordering::Acquire);
+        if !p.is_null() {
+            // SAFETY: see `get`.
+            return (unsafe { &*p }, false);
+        }
+        let fresh = Box::into_raw(make());
+        match self.slots[i].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // SAFETY: we just installed `fresh`; it stays alive until Drop.
+            Ok(_) => (unsafe { &*fresh }, true),
+            Err(cur) => {
+                // SAFETY: `fresh` never escaped; reclaim it.
+                drop(unsafe { Box::from_raw(fresh) });
+                // SAFETY: see `get`.
+                (unsafe { &*cur }, false)
+            }
+        }
+    }
+}
+
+type L3 = Node<Page>;
+type L2 = Node<L3>;
+type L1 = Node<L2>;
+
+/// A page detached by `unmap_range`, kept alive until the address space
+/// drops so lock-free readers never dereference freed memory.
+struct Retired(*mut Page);
+// SAFETY: the raw pointer is only dereferenced for deallocation in Drop,
+// with exclusive access.
+unsafe impl Send for Retired {}
+
+/// A flat, sparse, page-granular simulated memory (`Send + Sync`; see
+/// the module docs for the concurrency model).
 pub struct AddressSpace {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    root: Node<L1>,
+    mapped: AtomicUsize,
+    retired: Mutex<Vec<Retired>>,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        AddressSpace {
+            root: Node {
+                slots: (0..FAN)
+                    .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                    .collect(),
+            },
+            mapped: AtomicUsize::new(0),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+fn free_tree(root: &Node<L1>) {
+    for s1 in root.slots.iter() {
+        let p1 = s1.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if p1.is_null() {
+            continue;
+        }
+        // SAFETY: Drop has exclusive access; every non-null slot was
+        // installed via Box::into_raw and never freed elsewhere.
+        let l1 = unsafe { Box::from_raw(p1) };
+        for s2 in l1.slots.iter() {
+            let p2 = s2.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if p2.is_null() {
+                continue;
+            }
+            let l2 = unsafe { Box::from_raw(p2) };
+            for s3 in l2.slots.iter() {
+                let p3 = s3.swap(std::ptr::null_mut(), Ordering::AcqRel);
+                if p3.is_null() {
+                    continue;
+                }
+                let l3 = unsafe { Box::from_raw(p3) };
+                for sp in l3.slots.iter() {
+                    let pp = sp.swap(std::ptr::null_mut(), Ordering::AcqRel);
+                    if !pp.is_null() {
+                        drop(unsafe { Box::from_raw(pp) });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for AddressSpace {
+    fn drop(&mut self) {
+        free_tree(&self.root);
+        for Retired(p) in self.retired.lock().expect("retired lock").drain(..) {
+            // SAFETY: retired pages were detached from the tree and are
+            // only freed here, with exclusive access.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
 }
 
 impl AddressSpace {
@@ -32,30 +201,72 @@ impl AddressSpace {
         addr >> PAGE_SHIFT
     }
 
+    fn indices(page: u64) -> [usize; 4] {
+        [
+            ((page >> (3 * FAN_BITS)) & FAN_MASK) as usize,
+            ((page >> (2 * FAN_BITS)) & FAN_MASK) as usize,
+            ((page >> FAN_BITS) & FAN_MASK) as usize,
+            (page & FAN_MASK) as usize,
+        ]
+    }
+
+    /// The mapped page holding `page`, if any (four acquire loads).
+    #[inline]
+    fn page(&self, page: u64) -> Option<&Page> {
+        let [i1, i2, i3, i4] = Self::indices(page);
+        self.root.get(i1)?.get(i2)?.get(i3)?.get(i4)
+    }
+
+    /// The leaf node for `page`, creating intermediate nodes as needed.
+    fn leaf_for(&self, page: u64) -> &L3 {
+        let [i1, i2, i3, _] = Self::indices(page);
+        let l1 = self.root.install(i1, Node::new).0;
+        let l2 = l1.install(i2, Node::new).0;
+        l2.install(i3, Node::new).0
+    }
+
     /// Maps (zero-filled) every page overlapping `[addr, addr+len)`.
     /// Already-mapped pages are left untouched.
-    pub fn map_range(&mut self, addr: Word, len: u64) {
+    pub fn map_range(&self, addr: Word, len: u64) {
         if len == 0 {
             return;
         }
         let first = Self::page_of(addr);
         let last = Self::page_of(addr + (len - 1));
         for p in first..=last {
-            self.pages
-                .entry(p)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            let leaf = self.leaf_for(p);
+            let (_, fresh) = leaf.install((p & FAN_MASK) as usize, Page::new_zeroed);
+            if fresh {
+                self.mapped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
-    /// Unmaps every page fully contained in `[addr, addr+len)`.
-    pub fn unmap_range(&mut self, addr: Word, len: u64) {
+    /// Unmaps every page fully contained in `[addr, addr+len)`. The page
+    /// memory is retired (freed when the address space drops) so
+    /// concurrent readers never touch freed memory; see the module docs.
+    pub fn unmap_range(&self, addr: Word, len: u64) {
         if len == 0 {
             return;
         }
         let first = Self::page_of(addr);
         let last = Self::page_of(addr + (len - 1));
+        let mut retired = self.retired.lock().expect("retired lock");
         for p in first..=last {
-            self.pages.remove(&p);
+            let [i1, i2, i3, i4] = Self::indices(p);
+            let Some(leaf) = self
+                .root
+                .get(i1)
+                .and_then(|l1| l1.get(i2))
+                .and_then(|l2| l2.get(i3))
+            else {
+                continue;
+            };
+            let old = leaf.slots[i4].swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !old.is_null() {
+                self.mapped.fetch_sub(1, Ordering::Relaxed);
+                retired.push(Retired(old));
+            }
         }
     }
 
@@ -66,32 +277,30 @@ impl AddressSpace {
         }
         let first = Self::page_of(addr);
         let last = Self::page_of(addr + (len - 1));
-        (first..=last).all(|p| self.pages.contains_key(&p))
+        (first..=last).all(|p| self.page(p).is_some())
     }
 
     /// Number of mapped pages (diagnostics).
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.mapped.load(Ordering::Relaxed)
     }
 
     /// Reads `len` bytes into `buf[..len]`.
     pub fn read_bytes(&self, addr: Word, buf: &mut [u8]) -> Result<(), Trap> {
-        let len = buf.len() as u64;
-        if len == 0 {
+        if buf.is_empty() {
             return Ok(());
         }
         let mut done = 0usize;
         let mut cur = addr;
         while done < buf.len() {
-            let page = Self::page_of(cur);
             let off = (cur & (PAGE_SIZE - 1)) as usize;
             let avail = (PAGE_SIZE as usize - off).min(buf.len() - done);
-            let pg = self.pages.get(&page).ok_or(Trap::MemFault {
+            let pg = self.page(Self::page_of(cur)).ok_or(Trap::MemFault {
                 addr: cur,
                 len: (buf.len() - done) as u64,
                 write: false,
             })?;
-            buf[done..done + avail].copy_from_slice(&pg[off..off + avail]);
+            page_read(pg, off, &mut buf[done..done + avail]);
             done += avail;
             cur += avail as u64;
         }
@@ -99,11 +308,12 @@ impl AddressSpace {
     }
 
     /// Writes all of `buf` at `addr`.
-    pub fn write_bytes(&mut self, addr: Word, buf: &[u8]) -> Result<(), Trap> {
+    pub fn write_bytes(&self, addr: Word, buf: &[u8]) -> Result<(), Trap> {
         if buf.is_empty() {
             return Ok(());
         }
-        // Fail before any partial write so faults are atomic.
+        // Fail before any partial write so (single-threaded) faults are
+        // atomic.
         if !self.is_mapped(addr, buf.len() as u64) {
             return Err(Trap::MemFault {
                 addr,
@@ -114,11 +324,14 @@ impl AddressSpace {
         let mut done = 0usize;
         let mut cur = addr;
         while done < buf.len() {
-            let page = Self::page_of(cur);
             let off = (cur & (PAGE_SIZE - 1)) as usize;
             let avail = (PAGE_SIZE as usize - off).min(buf.len() - done);
-            let pg = self.pages.get_mut(&page).expect("checked above");
-            pg[off..off + avail].copy_from_slice(&buf[done..done + avail]);
+            let pg = self.page(Self::page_of(cur)).ok_or(Trap::MemFault {
+                addr: cur,
+                len: (buf.len() - done) as u64,
+                write: true,
+            })?;
+            page_write(pg, off, &buf[done..done + avail]);
             done += avail;
             cur += avail as u64;
         }
@@ -127,16 +340,44 @@ impl AddressSpace {
 
     /// Reads a zero-extended value of the given width.
     pub fn read(&self, addr: Word, width: Width) -> Result<Word, Trap> {
-        let mut buf = [0u8; 8];
         let n = width.bytes() as usize;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        // Fast path: the access sits inside one aligned word of one page.
+        if off + n <= PAGE_SIZE as usize && (off % 8) + n <= 8 {
+            let pg = self.page(Self::page_of(addr)).ok_or(Trap::MemFault {
+                addr,
+                len: n as u64,
+                write: false,
+            })?;
+            let w = pg.words[off / 8].load(Ordering::Relaxed);
+            let shift = (off % 8) * 8;
+            let mask = if n == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (n * 8)) - 1
+            };
+            return Ok((w >> shift) & mask);
+        }
+        let mut buf = [0u8; 8];
         self.read_bytes(addr, &mut buf[..n])?;
         Ok(u64::from_le_bytes(buf))
     }
 
     /// Writes a value truncated to the given width.
-    pub fn write(&mut self, addr: Word, val: Word, width: Width) -> Result<(), Trap> {
-        let bytes = val.to_le_bytes();
+    pub fn write(&self, addr: Word, val: Word, width: Width) -> Result<(), Trap> {
         let n = width.bytes() as usize;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        // Fast path: an aligned full-word store is a single atomic store.
+        if n == 8 && off.is_multiple_of(8) {
+            let pg = self.page(Self::page_of(addr)).ok_or(Trap::MemFault {
+                addr,
+                len: 8,
+                write: true,
+            })?;
+            pg.words[off / 8].store(val, Ordering::Relaxed);
+            return Ok(());
+        }
+        let bytes = val.to_le_bytes();
         self.write_bytes(addr, &bytes[..n])
     }
 
@@ -146,12 +387,12 @@ impl AddressSpace {
     }
 
     /// Writes a full 64-bit word.
-    pub fn write_word(&mut self, addr: Word, val: Word) -> Result<(), Trap> {
+    pub fn write_word(&self, addr: Word, val: Word) -> Result<(), Trap> {
         self.write(addr, val, Width::B8)
     }
 
     /// Zero-fills `[addr, addr+len)`.
-    pub fn zero_range(&mut self, addr: Word, len: u64) -> Result<(), Trap> {
+    pub fn zero_range(&self, addr: Word, len: u64) -> Result<(), Trap> {
         const ZEROS: [u8; 256] = [0u8; 256];
         let mut cur = addr;
         let mut remaining = len;
@@ -165,6 +406,53 @@ impl AddressSpace {
     }
 }
 
+/// Copies `buf.len()` bytes out of a page starting at byte offset `off`.
+fn page_read(pg: &Page, mut off: usize, buf: &mut [u8]) {
+    let mut done = 0usize;
+    while done < buf.len() {
+        let w = pg.words[off / 8].load(Ordering::Relaxed).to_le_bytes();
+        let in_word = off % 8;
+        let take = (8 - in_word).min(buf.len() - done);
+        buf[done..done + take].copy_from_slice(&w[in_word..in_word + take]);
+        done += take;
+        off += take;
+    }
+}
+
+/// Writes `buf` into a page starting at byte offset `off`. Full aligned
+/// words are plain atomic stores; partial words merge via a CAS loop.
+fn page_write(pg: &Page, mut off: usize, buf: &[u8]) {
+    let mut done = 0usize;
+    while done < buf.len() {
+        let in_word = off % 8;
+        let take = (8 - in_word).min(buf.len() - done);
+        let word = &pg.words[off / 8];
+        if take == 8 {
+            word.store(
+                u64::from_le_bytes(buf[done..done + 8].try_into().expect("8 bytes")),
+                Ordering::Relaxed,
+            );
+        } else {
+            let mut cur = word.load(Ordering::Relaxed);
+            loop {
+                let mut bytes = cur.to_le_bytes();
+                bytes[in_word..in_word + take].copy_from_slice(&buf[done..done + take]);
+                match word.compare_exchange_weak(
+                    cur,
+                    u64::from_le_bytes(bytes),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) => cur = now,
+                }
+            }
+        }
+        done += take;
+        off += take;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,14 +462,14 @@ mod tests {
         let a = AddressSpace::new();
         let err = a.read_word(0x1000).unwrap_err();
         assert!(matches!(err, Trap::MemFault { write: false, .. }));
-        let mut a = AddressSpace::new();
+        let a = AddressSpace::new();
         let err = a.write_word(0x1000, 7).unwrap_err();
         assert!(matches!(err, Trap::MemFault { write: true, .. }));
     }
 
     #[test]
     fn map_read_write_roundtrip() {
-        let mut a = AddressSpace::new();
+        let a = AddressSpace::new();
         a.map_range(0x4000, 64);
         a.write_word(0x4000, 0xdead_beef_cafe_f00d).unwrap();
         assert_eq!(a.read_word(0x4000).unwrap(), 0xdead_beef_cafe_f00d);
@@ -193,7 +481,7 @@ mod tests {
 
     #[test]
     fn cross_page_access() {
-        let mut a = AddressSpace::new();
+        let a = AddressSpace::new();
         a.map_range(0x1000, 2 * PAGE_SIZE);
         let addr = 0x1000 + PAGE_SIZE - 3;
         a.write_word(addr, 0x0102_0304_0506_0708).unwrap();
@@ -201,8 +489,19 @@ mod tests {
     }
 
     #[test]
+    fn unaligned_word_within_page_roundtrips() {
+        let a = AddressSpace::new();
+        a.map_range(0x2000, 64);
+        a.write_word(0x2003, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(a.read_word(0x2003).unwrap(), 0x1122_3344_5566_7788);
+        // Neighbouring bytes survive the partial-word merges.
+        assert_eq!(a.read(0x2000, Width::B1).unwrap(), 0);
+        assert_eq!(a.read(0x200b, Width::B1).unwrap(), 0);
+    }
+
+    #[test]
     fn cross_page_fault_when_second_page_unmapped() {
-        let mut a = AddressSpace::new();
+        let a = AddressSpace::new();
         a.map_range(0x1000, PAGE_SIZE);
         let addr = 0x1000 + PAGE_SIZE - 4;
         assert!(a.write_word(addr, 1).is_err());
@@ -212,7 +511,7 @@ mod tests {
 
     #[test]
     fn zeroing() {
-        let mut a = AddressSpace::new();
+        let a = AddressSpace::new();
         a.map_range(0x2000, 1024);
         for i in 0..1024u64 {
             a.write(0x2000 + i, 0xff, Width::B1).unwrap();
@@ -226,7 +525,7 @@ mod tests {
 
     #[test]
     fn unmap_releases_pages() {
-        let mut a = AddressSpace::new();
+        let a = AddressSpace::new();
         a.map_range(0x1000, 3 * PAGE_SIZE);
         assert_eq!(a.mapped_pages(), 3);
         a.unmap_range(0x1000, 3 * PAGE_SIZE);
@@ -236,10 +535,68 @@ mod tests {
 
     #[test]
     fn map_is_idempotent_and_preserves_content() {
-        let mut a = AddressSpace::new();
+        let a = AddressSpace::new();
         a.map_range(0x1000, 8);
         a.write_word(0x1000, 42).unwrap();
         a.map_range(0x1000, PAGE_SIZE);
         assert_eq!(a.read_word(0x1000).unwrap(), 42);
+    }
+
+    #[test]
+    fn distant_regions_coexist() {
+        // Regions in different radix subtrees (user low, kernel high).
+        let a = AddressSpace::new();
+        a.map_range(0x1000, 64);
+        a.map_range(0xffff_9000_0000_0000, 64);
+        a.write_word(0x1000, 1).unwrap();
+        a.write_word(0xffff_9000_0000_0000, 2).unwrap();
+        assert_eq!(a.read_word(0x1000).unwrap(), 1);
+        assert_eq!(a.read_word(0xffff_9000_0000_0000).unwrap(), 2);
+        assert_eq!(a.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_land() {
+        use std::sync::Arc;
+        let a = Arc::new(AddressSpace::new());
+        a.map_range(0x8000, 4 * PAGE_SIZE);
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let base = 0x8000 + t * PAGE_SIZE;
+                    for i in 0..512u64 {
+                        a.write_word(base + i * 8, t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            let base = 0x8000 + t * PAGE_SIZE;
+            for i in 0..512u64 {
+                assert_eq!(a.read_word(base + i * 8).unwrap(), t * 1000 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_map_of_same_page_is_safe() {
+        use std::sync::Arc;
+        let a = Arc::new(AddressSpace::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || a.map_range(0x4000, 8 * PAGE_SIZE))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.mapped_pages(), 8);
+        a.write_word(0x4000, 7).unwrap();
+        assert_eq!(a.read_word(0x4000).unwrap(), 7);
     }
 }

@@ -20,7 +20,7 @@ proptest! {
     fn mem_write_read_roundtrip(off in 0u64..8192, val: u64, w in 0usize..4) {
         let widths = [Width::B1, Width::B2, Width::B4, Width::B8];
         let width = widths[w];
-        let mut m = AddressSpace::new();
+        let m = AddressSpace::new();
         let base = 0x10_0000;
         m.map_range(base, 3 * lxfi_machine::PAGE_SIZE);
         let addr = base + off;
@@ -33,7 +33,7 @@ proptest! {
     fn mem_write_is_contained(off in 8u64..4096, val: u64, w in 0usize..4) {
         let widths = [Width::B1, Width::B2, Width::B4, Width::B8];
         let width = widths[w];
-        let mut m = AddressSpace::new();
+        let m = AddressSpace::new();
         let base = 0x10_0000;
         m.map_range(base, 2 * lxfi_machine::PAGE_SIZE);
         let addr = base + off;
@@ -48,7 +48,7 @@ proptest! {
     /// Zeroing clears exactly the requested range.
     #[test]
     fn mem_zero_range_exact(start in 0u64..2048, len in 0u64..2048) {
-        let mut m = AddressSpace::new();
+        let m = AddressSpace::new();
         let base = 0x20_0000;
         m.map_range(base, 4096 + 4096);
         for i in 0..4096u64 {
@@ -134,7 +134,7 @@ struct PlainEnv {
 
 impl PlainEnv {
     fn new() -> Self {
-        let mut mem = AddressSpace::new();
+        let mem = AddressSpace::new();
         let top = 0xffff_9000_0010_0000u64;
         let base = top - 0x8000;
         mem.map_range(base, 0x8000);
@@ -148,10 +148,7 @@ impl PlainEnv {
 }
 
 impl Env for PlainEnv {
-    fn mem(&mut self) -> &mut AddressSpace {
-        &mut self.mem
-    }
-    fn mem_ref(&self) -> &AddressSpace {
+    fn mem(&self) -> &AddressSpace {
         &self.mem
     }
     fn consume(&mut self, cycles: u64) -> Result<(), Trap> {

@@ -2,7 +2,7 @@
 //! data paths: the e1000 TX/RX cycle, socket protocol traffic, PCM
 //! triggers, and device-mapper I/O.
 
-use lxfi_kernel::{IsolationMode, Kernel};
+use lxfi_kernel::{IsolationMode, Kernel, KernelCpu};
 use lxfi_modules as mods;
 
 fn boot_with_all(mode: IsolationMode) -> Kernel {
@@ -35,10 +35,10 @@ fn all_modules_load_in_both_modes() {
     }
 }
 
-fn e1000_up(k: &mut Kernel) -> u64 {
+fn e1000_up(k: &mut KernelCpu) -> u64 {
     let n = k.enter(|k| k.pci_probe_all()).unwrap();
     assert_eq!(n, 1, "e1000 bound to the NIC");
-    *k.net.devices.last().unwrap()
+    *k.net().devices.last().unwrap()
 }
 
 #[test]
@@ -129,8 +129,8 @@ fn socket_protocols_speak() {
 fn sound_triggers_both_modes() {
     for mode in [IsolationMode::Stock, IsolationMode::Lxfi] {
         let mut k = boot_with_all(mode);
-        assert_eq!(k.snd.pcms.len(), 2, "both sound drivers created PCMs");
-        let pcms: Vec<_> = k.snd.pcms.iter().map(|&(p, _)| p).collect();
+        assert_eq!(k.snd().pcms.len(), 2, "both sound drivers created PCMs");
+        let pcms: Vec<_> = k.snd().pcms.iter().map(|&(p, _)| p).collect();
         for pcm in pcms {
             let r = k.enter(|k| k.snd_trigger(pcm, 1)).unwrap();
             assert_eq!(r, 0, "trigger start under {mode:?}");

@@ -18,7 +18,7 @@ fn main() {
     // the same principal (Figure 4 lines 69-78).
     let bound = k.enter(|k| k.pci_probe_all()).unwrap();
     println!("pci_probe_all: {bound} device bound");
-    let dev = *k.net.devices.last().unwrap();
+    let dev = *k.net().devices.last().unwrap();
 
     // Transmit through the (rewritten) dev_queue_xmit thunk: the skb's
     // capabilities transfer to the driver, which writes the MMIO ring.

@@ -21,7 +21,7 @@ fn boot_full(mode: IsolationMode) -> Kernel {
 fn full_system_mixed_workload_stays_clean_under_lxfi() {
     let mut k = boot_full(IsolationMode::Lxfi);
     k.enter(|k| k.pci_probe_all()).unwrap();
-    let dev = *k.net.devices.last().unwrap();
+    let dev = *k.net().devices.last().unwrap();
     let buf = k.user_alloc(64);
     k.mem.write_word(buf, 3).unwrap();
 
@@ -96,7 +96,7 @@ fn wrong_annotation_admits_attack_limitation() {
         // The "mistake": grants WRITE over an arbitrary caller-chosen
         // range (a correct annotation would check ownership instead).
         Some("post(transfer(write, p, n))"),
-        std::rc::Rc::new(|_k, _a| Ok(0)),
+        std::sync::Arc::new(|_k, _a| Ok(0)),
     );
     let mut pb = ProgramBuilder::new("evil");
     let bd = pb.import_func("backdoor_grant");
@@ -114,12 +114,12 @@ fn wrong_annotation_admits_attack_limitation() {
             init_fn: None,
         })
         .unwrap();
-    let uid_addr = (k.procs.current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
+    let uid_addr = (k.procs().current_task() as i64 + lxfi_kernel::process::task::UID) as u64;
     let pwn = k.module_fn_addr(id, "pwn").unwrap();
     k.enter(|k| k.invoke_module_function(pwn, &[uid_addr], None))
         .unwrap();
     assert_eq!(
-        k.procs.current_uid(&k.mem),
+        k.procs().current_uid(&k.mem),
         0,
         "the mistaken annotation let the module zero the uid — LXFI \
          enforces the specified policy, not the intended one (§2.2)"
@@ -177,8 +177,8 @@ fn figure4_alias_gives_one_principal_two_names() {
     k.pci_add_device(0x8086, 0x100e, 11);
     k.load_module(lxfi_modules::e1000::spec()).unwrap();
     k.enter(|k| k.pci_probe_all()).unwrap();
-    let pcidev = k.pci.devices[0];
-    let ndev = *k.net.devices.last().unwrap();
+    let pcidev = k.pci().devices[0];
+    let ndev = *k.net().devices.last().unwrap();
     let mid = k.runtime_module(k.module_id("e1000").unwrap()).unwrap();
     let p_pci = k.rt.principal_for_name(mid, pcidev);
     let p_net = k.rt.principal_for_name(mid, ndev);
@@ -203,8 +203,8 @@ fn two_nics_are_two_principals() {
     k.load_module(lxfi_modules::e1000::spec()).unwrap();
     assert_eq!(k.enter(|k| k.pci_probe_all()).unwrap(), 2);
     let mid = k.runtime_module(k.module_id("e1000").unwrap()).unwrap();
-    let d0 = k.pci.devices[0];
-    let d1 = k.pci.devices[1];
+    let d0 = k.pci().devices[0];
+    let d1 = k.pci().devices[1];
     let p0 = k.rt.principal_for_name(mid, d0);
     let p1 = k.rt.principal_for_name(mid, d1);
     assert_ne!(p0, p1);
@@ -212,7 +212,7 @@ fn two_nics_are_two_principals() {
     assert!(k.rt.owns(p0, RawCap::reference(rt_ty, d0)));
     assert!(!k.rt.owns(p0, RawCap::reference(rt_ty, d1)));
     // Both devices still transmit independently.
-    let devs = k.net.devices.clone();
+    let devs = k.net().devices.clone();
     for dev in devs {
         k.enter(|k| k.net_send_packet(dev, 64)).unwrap();
         assert_eq!(k.net_tx_packets(dev), 1);
@@ -226,7 +226,7 @@ fn stock_and_lxfi_agree_on_benign_behaviour() {
     let run = |mode: IsolationMode| -> (u64, u64, Vec<u8>) {
         let mut k = boot_full(mode);
         k.enter(|k| k.pci_probe_all()).unwrap();
-        let dev = *k.net.devices.last().unwrap();
+        let dev = *k.net().devices.last().unwrap();
         for _ in 0..5 {
             k.enter(|k| k.net_send_packet(dev, 100)).unwrap();
         }
@@ -283,7 +283,7 @@ fn violations_identify_the_offending_principal() {
     let _ = k.enter(|k| k.sys_recvmsg(sock, 0, 0));
     let Some(Violation::MissingWrite {
         principal, addr, ..
-    }) = k.last_violation().cloned()
+    }) = k.last_violation()
     else {
         panic!("expected MissingWrite");
     };
@@ -304,7 +304,7 @@ fn dm_crypt_xor_is_an_involution() {
     let once = k.bio_payload(b1).unwrap();
     assert!(once.iter().any(|&x| x != 0x55), "encrypted");
     // Feed the ciphertext back through: XOR with the same key schedule.
-    let ops = k.dm.targets[0].1;
+    let ops = k.dm().targets[0].1;
     k.enter(|k| k.indirect_call(ops + 8, "dm_map", &[ti, b1]))
         .unwrap();
     let twice = k.bio_payload(b1).unwrap();

@@ -62,7 +62,7 @@ proptest! {
             k.pci_add_device(0x8086, 0x100e, 11);
             k.load_module(lxfi_modules::e1000::spec()).unwrap();
             k.enter(|k| k.pci_probe_all()).unwrap();
-            let dev = *k.net.devices.last().unwrap();
+            let dev = *k.net().devices.last().unwrap();
             for &(op, len) in &ops {
                 match op {
                     0 => {
@@ -77,7 +77,8 @@ proptest! {
                 }
             }
             assert!(k.panic_reason().is_none());
-            (k.net_tx_packets(dev), k.net.rx_total)
+            let rx_total = k.net().rx_total;
+            (k.net_tx_packets(dev), rx_total)
         };
         prop_assert_eq!(run(IsolationMode::Stock), run(IsolationMode::Lxfi));
     }
