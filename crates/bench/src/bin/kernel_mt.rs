@@ -5,12 +5,14 @@
 //! the rewritten e1000 module on its own `KernelCpu`.
 //!
 //! `--threads N` runs a single N-CPU smoke pair (CI's bench-smoke step
-//! uses `--threads 2`); the full sweep runs otherwise. The perf-gated
-//! rows come from `table_guard_costs --json`, which measures the same
-//! workload.
+//! uses `--threads 2`); the full sweep runs otherwise. `--backend
+//! {interp,compiled}` selects the execution backend (CI smokes both).
+//! The perf-gated rows come from `table_guard_costs --json`, which
+//! measures the same workload.
 
-use lxfi_bench::kernel_mt::{kmt_rows, run_kernel_mt, KernelMtMeasurement};
+use lxfi_bench::kernel_mt::{kmt_rows_backend, run_kernel_mt_backend, KernelMtMeasurement};
 use lxfi_bench::render_table;
+use lxfi_kernel::Backend;
 
 fn row(m: &KernelMtMeasurement) -> Vec<String> {
     vec![
@@ -31,19 +33,25 @@ fn main() {
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse::<usize>().expect("--threads N"));
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<Backend>().expect("--backend {interp,compiled}"))
+        .unwrap_or_default();
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("kernel_mt: interpreted e1000 TX on N KernelCpus over one KernelCore");
-    println!("host CPUs: {cpus}\n");
+    println!("kernel_mt: e1000 TX on N KernelCpus over one KernelCore");
+    println!("host CPUs: {cpus}, backend: {backend}\n");
 
     let rows: Vec<KernelMtMeasurement> = match threads {
         Some(t) => vec![
-            run_kernel_mt(t, 3_000, false),
-            run_kernel_mt(t, 3_000, true),
+            run_kernel_mt_backend(t, 3_000, false, backend),
+            run_kernel_mt_backend(t, 3_000, true, backend),
         ],
-        None => kmt_rows(3_000),
+        None => kmt_rows_backend(3_000, backend),
     };
     let table: Vec<Vec<String>> = rows.iter().map(row).collect();
     println!(

@@ -33,7 +33,14 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("netperf_mt: e1000-style TX rings through per-thread GuardHandles");
-    println!("host CPUs: {cpus}\n");
+    println!("host CPUs: {cpus}");
+    if args.iter().any(|a| a == "--backend") {
+        // Accepted for bench-driver symmetry with kernel_mt: this
+        // workload calls the guard layer directly and executes no
+        // module code, so the backend cannot change its numbers.
+        println!("note: --backend has no effect here (no module code runs)");
+    }
+    println!();
 
     let rows: Vec<MtMeasurement> = match threads {
         Some(t) => vec![

@@ -12,7 +12,8 @@
 //! the CI perf gate (`perf_gate`) and the workflow artifact; the human
 //! tables are suppressed in that mode.
 
-use lxfi_bench::{dm, guards, kernel_mt, netperf_mt, render_table, sound, writer_index};
+use lxfi_bench::{dm, guards, kernel_mt, netperf, netperf_mt, render_table, sound, writer_index};
+use lxfi_kernel::{Backend, IsolationMode};
 
 /// Measured values, as `(key, value)` pairs with stable names.
 fn measurements(iters: u64) -> Vec<(String, f64)> {
@@ -109,6 +110,40 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
     let dmr = dm::dm_comparison(100);
     out.push(("dm_stock_round_cycles".into(), dmr.stock));
     out.push(("dm_lxfi_round_cycles".into(), dmr.lxfi));
+    // Execution-backend comparison: wall-clock time per operation under
+    // the interpreter vs the compiled backend on the same workloads
+    // (simulated cycles are backend-invariant by design — host time is
+    // what compilation buys). The gate checks the compiled/interp ratio,
+    // which is hostname-tolerant like every other ratio row.
+    let pkts = (iters / 40).max(2_000);
+    for (key, backend) in [
+        ("netperf_pkt_interp_ns", Backend::Interp),
+        ("netperf_pkt_compiled_ns", Backend::Compiled),
+    ] {
+        let ns = netperf::measure_packet_wall_ns(IsolationMode::Lxfi, backend, 1448, pkts);
+        out.push((key.into(), ns));
+    }
+    let kmc = kernel_mt::run_kernel_mt_backend(1, pkts, false, Backend::Compiled);
+    out.push(("kmt_pkt_1t_compiled_ns".into(), kmc.pkt_ns));
+    for (key, backend) in [
+        ("sound_period_interp_ns", Backend::Interp),
+        ("sound_period_compiled_ns", Backend::Compiled),
+    ] {
+        let ns = sound::measure_playback_wall_ns(IsolationMode::Lxfi, backend, pkts.min(4_000));
+        out.push((key.into(), ns));
+    }
+    // Compiled-program counters (deterministic): every module function
+    // must compile — a fallback would silently re-route hot paths back
+    // through the interpreter.
+    let (k, _dev) = netperf::boot_e1000_backend(IsolationMode::Lxfi, Backend::Compiled);
+    let cs = k.core().compile_stats();
+    out.push(("compiled_funcs".into(), cs.funcs_compiled as f64));
+    out.push(("compiled_blocks".into(), cs.blocks_compiled as f64));
+    out.push((
+        "compiled_fused_guard_sites".into(),
+        cs.fused_guard_sites as f64,
+    ));
+    out.push(("compiled_fallback_funcs".into(), cs.fallback_funcs as f64));
     out
 }
 
@@ -316,11 +351,42 @@ fn main() {
     println!(
         "\nDevice-mapper request round (deterministic cycles): stock {:.0},\n\
          LXFI {:.0} ({:.1}x) — crypt write + crypt read + snapshot COW\n\
-         write over a {}-byte payload. Re-emit as JSON with `--json`\n\
-         (the CI perf gate consumes it; see bench/baseline.json).",
+         write over a {}-byte payload.",
         dmr.stock,
         dmr.lxfi,
         dmr.overhead,
         dm::DM_REQ_BYTES
+    );
+
+    println!("\nExecution backends (LXFI mode, wall-clock per operation):\n");
+    let np_i = netperf::measure_packet_wall_ns(IsolationMode::Lxfi, Backend::Interp, 1448, 4_000);
+    let np_c = netperf::measure_packet_wall_ns(IsolationMode::Lxfi, Backend::Compiled, 1448, 4_000);
+    let sp_i = sound::measure_playback_wall_ns(IsolationMode::Lxfi, Backend::Interp, 2_000);
+    let sp_c = sound::measure_playback_wall_ns(IsolationMode::Lxfi, Backend::Compiled, 2_000);
+    let rows = vec![
+        vec![
+            "netperf TX 1448B (pkt ns)".to_string(),
+            format!("{np_i:.0}"),
+            format!("{np_c:.0}"),
+            format!("{:.2}x", np_i / np_c),
+        ],
+        vec![
+            "sound playback (period ns)".to_string(),
+            format!("{sp_i:.0}"),
+            format!("{sp_c:.0}"),
+            format!("{:.2}x", sp_i / sp_c),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["Workload", "Interp ns", "Compiled ns", "Speedup"], &rows)
+    );
+    let (k, _dev) = netperf::boot_e1000_backend(IsolationMode::Lxfi, Backend::Compiled);
+    let cs = k.core().compile_stats();
+    println!(
+        "\nCompiled e1000 kernel: {} funcs / {} blocks, {} fused guard\n\
+         sites, {} interpreter fallbacks. Re-emit as JSON with `--json`\n\
+         (the CI perf gate consumes it; see bench/baseline.json).",
+        cs.funcs_compiled, cs.blocks_compiled, cs.fused_guard_sites, cs.fallback_funcs
     );
 }

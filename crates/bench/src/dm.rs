@@ -15,7 +15,7 @@
 //! Costs are deterministic simulated cycles, so the stock-vs-LXFI ratio
 //! is machine-independent and CI-gateable.
 
-use lxfi_kernel::{IsolationMode, Kernel};
+use lxfi_kernel::{Backend, IsolationMode, Kernel};
 use lxfi_machine::Word;
 use lxfi_modules as mods;
 
@@ -31,7 +31,12 @@ pub const SNAP_CHUNKS: u64 = 56;
 /// Boots a kernel with dm-crypt and dm-snapshot loaded and one device
 /// of each created; returns `(kernel, crypt target, snapshot target)`.
 pub fn boot_dm(mode: IsolationMode) -> (Kernel, Word, Word) {
-    let mut k = Kernel::boot(mode);
+    boot_dm_backend(mode, Backend::Interp)
+}
+
+/// [`boot_dm`] with an explicit execution backend.
+pub fn boot_dm_backend(mode: IsolationMode, backend: Backend) -> (Kernel, Word, Word) {
+    let mut k = Kernel::boot_with_backend(mode, backend);
     k.load_module(mods::dm_crypt::spec()).unwrap();
     k.load_module(mods::dm_snapshot::spec()).unwrap();
     let crypt = k

@@ -35,7 +35,7 @@ use std::thread;
 use std::time::Instant;
 
 use lxfi_core::RawCap;
-use lxfi_kernel::{IsolationMode, Kernel, ModuleSpec};
+use lxfi_kernel::{Backend, IsolationMode, Kernel, ModuleSpec};
 use lxfi_machine::builder::regs::*;
 use lxfi_machine::{ProgramBuilder, Word};
 use lxfi_modules as mods;
@@ -100,9 +100,22 @@ pub struct KernelMtMeasurement {
 
 /// Runs `threads` worker CPUs for `packets_per_cpu` packets each,
 /// optionally against a churn CPU revoking spares and load/unloading
-/// modules.
+/// modules. Module code runs through the interpreter; see
+/// [`run_kernel_mt_backend`].
 pub fn run_kernel_mt(threads: usize, packets_per_cpu: u64, contended: bool) -> KernelMtMeasurement {
-    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    run_kernel_mt_backend(threads, packets_per_cpu, contended, Backend::Interp)
+}
+
+/// [`run_kernel_mt`] with an explicit execution backend: every worker
+/// CPU dispatches the rewritten e1000 (and the kernel thunks, and the
+/// churn CPU's load/unload modules) through the chosen backend.
+pub fn run_kernel_mt_backend(
+    threads: usize,
+    packets_per_cpu: u64,
+    contended: bool,
+    backend: Backend,
+) -> KernelMtMeasurement {
+    let mut k = Kernel::boot_with_backend(IsolationMode::Lxfi, backend);
     for _ in 0..threads {
         k.pci_add_device(0x8086, 0x100e, 11);
     }
@@ -233,10 +246,15 @@ pub const KMT_THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// One uncontended and one contended row per thread count.
 pub fn kmt_rows(packets_per_cpu: u64) -> Vec<KernelMtMeasurement> {
+    kmt_rows_backend(packets_per_cpu, Backend::Interp)
+}
+
+/// [`kmt_rows`] with an explicit execution backend.
+pub fn kmt_rows_backend(packets_per_cpu: u64, backend: Backend) -> Vec<KernelMtMeasurement> {
     let mut rows = Vec::new();
     for &t in &KMT_THREAD_COUNTS {
-        rows.push(run_kernel_mt(t, packets_per_cpu, false));
-        rows.push(run_kernel_mt(t, packets_per_cpu, true));
+        rows.push(run_kernel_mt_backend(t, packets_per_cpu, false, backend));
+        rows.push(run_kernel_mt_backend(t, packets_per_cpu, true, backend));
     }
     rows
 }

@@ -9,7 +9,7 @@
 //! entirely from measurement.
 
 use lxfi_kernel::netsim::NetSimConfig;
-use lxfi_kernel::{IsolationMode, Kernel};
+use lxfi_kernel::{Backend, IsolationMode, Kernel};
 use lxfi_modules as mods;
 
 /// Measured per-packet costs, in simulated cycles.
@@ -23,12 +23,43 @@ pub struct PacketCosts {
 
 /// Boots a kernel with the e1000 bound to a NIC.
 pub fn boot_e1000(mode: IsolationMode) -> (Kernel, u64) {
-    let mut k = Kernel::boot(mode);
+    boot_e1000_backend(mode, Backend::Interp)
+}
+
+/// [`boot_e1000`] with an explicit execution backend.
+pub fn boot_e1000_backend(mode: IsolationMode, backend: Backend) -> (Kernel, u64) {
+    let mut k = Kernel::boot_with_backend(mode, backend);
     k.pci_add_device(0x8086, 0x100e, 11);
     k.load_module(mods::e1000::spec()).unwrap();
     k.enter(|k| k.pci_probe_all()).unwrap();
     let dev = *k.net().devices.last().unwrap();
     (k, dev)
+}
+
+/// Wall-clock nanoseconds per transmitted packet on a single CPU —
+/// the host-time counterpart of [`measure_packet_costs`] (simulated
+/// cycles are backend-invariant by design; host time is what the
+/// compiled backend improves). Median of per-batch means, like the
+/// multi-threaded harnesses.
+pub fn measure_packet_wall_ns(mode: IsolationMode, backend: Backend, len: u64, n: u64) -> f64 {
+    let (mut k, dev) = boot_e1000_backend(mode, backend);
+    for _ in 0..32 {
+        k.enter(|k| k.net_send_packet(dev, len)).unwrap();
+    }
+    const BATCH: u64 = 64;
+    let mut batch_means = Vec::new();
+    let mut sent = 0u64;
+    while sent < n {
+        let b = BATCH.min(n - sent);
+        let t0 = std::time::Instant::now();
+        for _ in 0..b {
+            k.enter(|k| k.net_send_packet(dev, len)).unwrap();
+        }
+        batch_means.push(t0.elapsed().as_nanos() as f64 / b as f64);
+        sent += b;
+    }
+    batch_means.sort_by(|a, b| a.total_cmp(b));
+    batch_means[batch_means.len() / 2]
 }
 
 /// Measures per-packet TX and RX cycles over `n` packets of `len` bytes.

@@ -11,17 +11,51 @@
 //! stream. Costs are deterministic simulated cycles, so the
 //! stock-vs-LXFI ratio is machine-independent and CI-gateable.
 
-use lxfi_kernel::{IsolationMode, Kernel};
+use lxfi_kernel::{Backend, IsolationMode, Kernel};
 use lxfi_machine::Word;
 use lxfi_modules as mods;
 
 /// Boots a kernel with the ens1370 sound driver loaded and its PCM
 /// stream created.
 pub fn boot_sound(mode: IsolationMode) -> (Kernel, Word) {
-    let mut k = Kernel::boot(mode);
+    boot_sound_backend(mode, Backend::Interp)
+}
+
+/// [`boot_sound`] with an explicit execution backend.
+pub fn boot_sound_backend(mode: IsolationMode, backend: Backend) -> (Kernel, Word) {
+    let mut k = Kernel::boot_with_backend(mode, backend);
     k.load_module(mods::snd_ens1370::spec()).unwrap();
     let &(pcm, _ops) = k.snd().pcms.last().expect("ens1370 created a PCM");
     (k, pcm)
+}
+
+/// Wall-clock nanoseconds per playback period (the host-time
+/// counterpart of [`measure_playback_costs`]; simulated cycles are
+/// backend-invariant, host time is what the compiled backend buys).
+pub fn measure_playback_wall_ns(mode: IsolationMode, backend: Backend, n: u64) -> f64 {
+    let (mut k, pcm) = boot_sound_backend(mode, backend);
+    for _ in 0..8 {
+        k.enter(|k| k.snd_trigger(pcm, 1)).unwrap();
+        k.enter(|k| k.snd_pointer(pcm)).unwrap();
+        k.enter(|k| k.snd_trigger(pcm, 0)).unwrap();
+    }
+    const BATCH: u64 = 16;
+    let mut batch_means = Vec::new();
+    let mut done = 0u64;
+    while done < n {
+        let b = BATCH.min(n - done);
+        let t0 = std::time::Instant::now();
+        for _ in 0..b {
+            k.enter(|k| k.snd_trigger(pcm, 1)).unwrap();
+            k.enter(|k| k.snd_pointer(pcm)).unwrap();
+            k.enter(|k| k.snd_pointer(pcm)).unwrap();
+            k.enter(|k| k.snd_trigger(pcm, 0)).unwrap();
+        }
+        batch_means.push(t0.elapsed().as_nanos() as f64 / b as f64);
+        done += b;
+    }
+    batch_means.sort_by(|a, b| a.total_cmp(b));
+    batch_means[batch_means.len() / 2]
 }
 
 /// Measured playback costs, in simulated cycles.

@@ -1,0 +1,117 @@
+//! Backend matrix: every module workload must produce identical
+//! *functional* results under the interpreter and the compiled backend,
+//! in both isolation modes. Simulated cycles are backend-invariant by
+//! construction (the compiled backend refunds exactly what it
+//! over-consumes), so the matrix also pins `total_cycles` — any drift
+//! there means a fuel-accounting bug, not just a perf difference.
+
+use lxfi_bench::{dm, netperf, sound};
+use lxfi_kernel::{Backend, IsolationMode};
+
+const MODES: [IsolationMode; 2] = [IsolationMode::Stock, IsolationMode::Lxfi];
+
+/// netperf: packet TX + RX deliver identical skb handles, rx counts,
+/// device counters, and simulated cycles under both backends.
+#[test]
+fn netperf_matrix() {
+    for mode in MODES {
+        let mut obs = Vec::new();
+        for backend in [Backend::Interp, Backend::Compiled] {
+            let (mut k, dev) = netperf::boot_e1000_backend(mode, backend);
+            let mut log = Vec::new();
+            for len in [60u64, 256, 1448] {
+                log.push(k.enter(|k| k.net_send_packet(dev, len)).unwrap());
+            }
+            log.push(k.enter(|k| k.net_deliver_rx(dev, 8)).unwrap());
+            log.push(k.enter(|k| k.net_send_packet(dev, 1448)).unwrap());
+            assert!(k.panic_reason().is_none(), "{mode:?}/{backend:?} panicked");
+            obs.push((log, k.total_cycles()));
+        }
+        assert_eq!(
+            obs[0], obs[1],
+            "netperf diverged across backends ({mode:?})"
+        );
+    }
+}
+
+/// Sound playback: trigger/pointer results and cycles match.
+#[test]
+fn sound_matrix() {
+    for mode in MODES {
+        let mut obs = Vec::new();
+        for backend in [Backend::Interp, Backend::Compiled] {
+            let (mut k, pcm) = sound::boot_sound_backend(mode, backend);
+            let mut log = Vec::new();
+            for _ in 0..4 {
+                log.push(k.enter(|k| k.snd_trigger(pcm, 1)).unwrap());
+                log.push(k.enter(|k| k.snd_pointer(pcm)).unwrap());
+                log.push(k.enter(|k| k.snd_pointer(pcm)).unwrap());
+                log.push(k.enter(|k| k.snd_trigger(pcm, 0)).unwrap());
+            }
+            assert!(k.panic_reason().is_none(), "{mode:?}/{backend:?} panicked");
+            obs.push((log, k.total_cycles()));
+        }
+        assert_eq!(obs[0], obs[1], "sound diverged across backends ({mode:?})");
+    }
+}
+
+/// Device-mapper: crypt transforms and snapshot COW writes produce
+/// byte-identical payloads and cycles.
+#[test]
+fn dm_matrix() {
+    for mode in MODES {
+        let mut obs = Vec::new();
+        for backend in [Backend::Interp, Backend::Compiled] {
+            let (mut k, crypt, snap) = dm::boot_dm_backend(mode, backend);
+            let mut payloads = Vec::new();
+            for i in 0..6u64 {
+                let b = k
+                    .enter(|k| k.dm_submit(crypt, true, dm::DM_REQ_BYTES, i as u8))
+                    .unwrap();
+                payloads.push(k.bio_payload(b).unwrap());
+                let b = k
+                    .enter(|k| k.dm_submit(crypt, false, dm::DM_REQ_BYTES, i as u8))
+                    .unwrap();
+                payloads.push(k.bio_payload(b).unwrap());
+                let b = k
+                    .enter(|k| k.dm_submit(snap, true, dm::DM_REQ_BYTES, i as u8))
+                    .unwrap();
+                payloads.push(k.bio_payload(b).unwrap());
+            }
+            assert!(k.panic_reason().is_none(), "{mode:?}/{backend:?} panicked");
+            obs.push((payloads, k.total_cycles()));
+        }
+        assert_eq!(obs[0], obs[1], "dm diverged across backends ({mode:?})");
+    }
+}
+
+/// The exploit suite: every attack must succeed (Stock) or be blocked
+/// with the *same violation* (LXFI) regardless of backend — compilation
+/// must not change the security outcome.
+#[test]
+fn exploits_matrix() {
+    for mode in MODES {
+        let a = lxfi_exploits::run_all_backend(mode, Backend::Interp);
+        let b = lxfi_exploits::run_all_backend(mode, Backend::Compiled);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(
+                x.succeeded, y.succeeded,
+                "{} outcome diverged across backends ({mode:?})",
+                x.name
+            );
+            assert_eq!(
+                format!("{:?}", x.blocked_by),
+                format!("{:?}", y.blocked_by),
+                "{} violation diverged across backends ({mode:?})",
+                x.name
+            );
+            assert_eq!(
+                x.detail, y.detail,
+                "{} detail diverged across backends ({mode:?})",
+                x.name
+            );
+        }
+    }
+}

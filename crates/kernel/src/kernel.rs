@@ -66,7 +66,8 @@ use lxfi_core::shadow::PrincipalCtx;
 use lxfi_core::{PrincipalId, RawCap, Runtime, RuntimeCore, ThreadId, Violation};
 use lxfi_machine::program::ImportKind;
 use lxfi_machine::{
-    run_function, AddressSpace, Env, FuncId, GlobalId, Program, SigId, SymbolId, Trap, Word,
+    run_compiled, run_function, AddressSpace, Backend, CompileStats, CompiledProgram, Env, FuncId,
+    GlobalId, Program, SigId, SymbolId, Trap, Word,
 };
 use lxfi_rewriter::{
     propagate, rewrite_kernel_thunks, rewrite_module, InitGrant, InterfaceSpec, RewriteOptions,
@@ -122,6 +123,11 @@ pub(crate) struct LoadedModule {
     /// `None` for the core-kernel thunk pseudo-module.
     mid: Option<lxfi_core::ModuleId>,
     program: Arc<Program>,
+    /// The program lowered for the compiled backend — populated once at
+    /// load when the kernel booted with [`Backend::Compiled`], `None`
+    /// under the interpreter. Dispatch picks the backend per call from
+    /// this field, so a kernel never pays compilation it won't use.
+    compiled: Option<Arc<CompiledProgram>>,
     global_addrs: Vec<Word>,
     fn_base: Word,
     decls: HashMap<FuncId, Arc<FnDecl>>,
@@ -240,6 +246,10 @@ pub struct KernelCore {
     rtc: Arc<RuntimeCore>,
     /// Global isolation mode (modules default to it).
     pub mode: IsolationMode,
+    /// Execution backend every module (and the kernel thunks) is loaded
+    /// for. Fixed at boot; `load_module` compiles once, every
+    /// [`KernelCpu`] dispatches through the compiled form.
+    pub backend: Backend,
     layouts: TypeLayouts,
     /// Hash of the empty annotation set (the default for unannotated
     /// functions and unknown sigs), computed once at boot.
@@ -253,6 +263,11 @@ pub struct KernelCore {
     kdata: RwLock<HashMap<String, (Word, u64)>>,
     sig_decls: RwLock<HashMap<String, Arc<FnDecl>>>,
     modules: RwLock<ModuleTable>,
+    /// Set once by `load_kernel_thunks`: the thunk pseudo-module and its
+    /// name → function-id map, so per-packet thunk dispatch costs one
+    /// `Arc` clone and one hash lookup instead of a registry read lock
+    /// plus a linear name scan.
+    thunks: std::sync::OnceLock<(Arc<LoadedModule>, HashMap<String, FuncId>)>,
     /// Serializes whole module load/unload transactions (loads are rare;
     /// dispatch only takes the registries' read locks).
     load_lock: Mutex<()>,
@@ -319,6 +334,25 @@ impl KernelCore {
     /// Locks the device-mapper state.
     pub fn dm(&self) -> MutexGuard<'_, crate::dm::DmState> {
         self.dm.lock().expect("dm lock")
+    }
+
+    /// Aggregated compiled-backend statistics across every loaded
+    /// module (including the kernel-thunk pseudo-module): blocks
+    /// compiled, fused guard sites, functions that fell back to the
+    /// interpreter. All-zero under [`Backend::Interp`].
+    pub fn compile_stats(&self) -> CompileStats {
+        let mods = self.modules.read().expect("modules lock");
+        let mut total = CompileStats::default();
+        for m in &mods.modules {
+            if let Some(cp) = &m.compiled {
+                let s = cp.stats();
+                total.funcs_compiled += s.funcs_compiled;
+                total.blocks_compiled += s.blocks_compiled;
+                total.fused_guard_sites += s.fused_guard_sites;
+                total.fallback_funcs += s.fallback_funcs;
+            }
+        }
+        total
     }
 
     /// Allocates a simulated kernel thread: maps its stack, grants
@@ -451,8 +485,20 @@ impl std::ops::DerefMut for Kernel {
 impl Kernel {
     /// Boots a kernel in the given isolation mode: registers struct
     /// layouts, core exports, subsystems, kernel dispatch thunks, the
-    /// process table, and CPU 0 on thread 0.
+    /// process table, and CPU 0 on thread 0. Runs module code through
+    /// the interpreter; use [`Kernel::boot_with_backend`] to pick the
+    /// compiled backend.
     pub fn boot(mode: IsolationMode) -> Self {
+        Self::boot_with_backend(mode, Backend::Interp)
+    }
+
+    /// [`Kernel::boot`] with an explicit execution backend. Under
+    /// [`Backend::Compiled`] every `load_module` (and the kernel thunk
+    /// pseudo-module) is translated once into direct-threaded block
+    /// closures, and all CPUs dispatch through the compiled form; the
+    /// interpreter remains available as the differential-testing oracle
+    /// via [`Backend::Interp`].
+    pub fn boot_with_backend(mode: IsolationMode, backend: Backend) -> Self {
         let mut layouts = TypeLayouts::new();
         types::register_layouts(&mut layouts);
 
@@ -475,6 +521,7 @@ impl Kernel {
             mem: Arc::clone(&mem),
             rtc,
             mode,
+            backend,
             layouts,
             empty_ahash: lxfi_annotations::annotation_hash(&Default::default()),
             unannotated_decl,
@@ -482,6 +529,7 @@ impl Kernel {
             kdata: RwLock::new(HashMap::new()),
             sig_decls: RwLock::new(HashMap::new()),
             modules: RwLock::new(ModuleTable::default()),
+            thunks: std::sync::OnceLock::new(),
             load_lock: Mutex::new(()),
             slab: Mutex::new(Slab::new(HEAP_BASE)),
             procs: Mutex::new(procs),
@@ -1126,11 +1174,15 @@ impl KernelCpu {
                 tab.fn_addrs
                     .insert(fn_base + i as u64 * FN_SPACING, (midx, FuncId(i as u32)));
             }
+            let program = Arc::new(program);
+            let compiled = (self.core.backend == Backend::Compiled)
+                .then(|| Arc::new(CompiledProgram::compile(Arc::clone(&program))));
             tab.modules.push(Arc::new(LoadedModule {
                 name: spec.name.clone(),
                 mode,
                 mid,
-                program: Arc::new(program),
+                program,
+                compiled,
                 global_addrs,
                 fn_base,
                 decls,
@@ -1272,11 +1324,15 @@ impl KernelCpu {
                 tab.fn_addrs
                     .insert(fn_base + i as u64 * FN_SPACING, (midx, FuncId(i as u32)));
             }
+            let program = Arc::new(program);
+            let compiled = (self.core.backend == Backend::Compiled)
+                .then(|| Arc::new(CompiledProgram::compile(Arc::clone(&program))));
             tab.modules.push(Arc::new(LoadedModule {
                 name: "<kernel-thunks>".into(),
                 mode: IsolationMode::Stock, // kernel code is trusted
                 mid: None,
-                program: Arc::new(program),
+                program,
+                compiled,
                 global_addrs: Vec::new(),
                 fn_base,
                 decls: HashMap::new(),
@@ -1286,6 +1342,18 @@ impl KernelCpu {
                 unloaded: AtomicBool::new(false),
             }));
             tab.by_name.insert("<kernel-thunks>".into(), midx);
+            // Pre-resolve the per-packet thunk dispatch path: cache the
+            // module handle and its name → id map so run_kernel_thunk
+            // never takes the registry lock or scans names again.
+            let m = tab.modules[midx].clone();
+            let by_name: HashMap<String, FuncId> = m
+                .program
+                .funcs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+                .collect();
+            let _ = self.core.thunks.set((m, by_name));
         }
         self.core.refresh_sig_hashes();
     }
@@ -1358,22 +1426,41 @@ impl KernelCpu {
         m.active.fetch_sub(1, Ordering::AcqRel);
     }
 
+    /// Runs a module function through whichever backend the module was
+    /// loaded for, with the exec-stack/active-count bracket every
+    /// dispatch site needs. The compiled form is per-module state set at
+    /// load, so a kernel booted with [`Backend::Interp`] pays nothing.
+    fn exec_module(
+        &mut self,
+        m: Arc<LoadedModule>,
+        fid: FuncId,
+        args: &[Word],
+    ) -> Result<Word, Trap> {
+        let compiled = m.compiled.clone();
+        let prog = Arc::clone(&m.program);
+        self.exec_enter(m);
+        let r = match &compiled {
+            Some(cp) => run_compiled(self, cp, fid, args),
+            None => run_function(self, &prog, fid, args),
+        };
+        self.exec_exit();
+        r
+    }
+
     /// Runs a kernel thunk function (trusted KIR, e.g. the netif dispatch
     /// path) by name.
     pub fn run_kernel_thunk(&mut self, func: &str, args: &[Word]) -> Result<Word, Trap> {
-        let m = {
-            let tab = self.core.modules.read().expect("modules lock");
-            let midx = tab.by_name["<kernel-thunks>"];
-            Arc::clone(&tab.modules[midx])
+        // Thunk dispatch is per-packet on the netperf path; the cache set
+        // at boot replaces a registry read lock plus a linear name scan
+        // with one Arc clone and one hash lookup.
+        let (m, fid) = {
+            let (m, by_name) = self.core.thunks.get().expect("thunks loaded at boot");
+            let fid = *by_name
+                .get(func)
+                .ok_or_else(|| Trap::BadRef(format!("thunk {func}")))?;
+            (Arc::clone(m), fid)
         };
-        let prog = Arc::clone(&m.program);
-        let fid = prog
-            .func_by_name(func)
-            .ok_or_else(|| Trap::BadRef(format!("thunk {func}")))?;
-        self.exec_enter(m);
-        let r = run_function(self, &prog, fid, args);
-        self.exec_exit();
-        r
+        self.exec_module(m, fid, args)
     }
 
     /// Invokes a function address on behalf of the kernel (or, when
@@ -1416,14 +1503,8 @@ impl KernelCpu {
             return Err(Trap::BadRef(format!("call target {target:#x}")));
         };
         let m: Arc<LoadedModule> = Arc::clone(&mref);
-        let prog = Arc::clone(&m.program);
         match m.mode {
-            IsolationMode::Stock => {
-                self.exec_enter(m);
-                let r = run_function(self, &prog, fid, args);
-                self.exec_exit();
-                r
-            }
+            IsolationMode::Stock => self.exec_module(m, fid, args),
             IsolationMode::Lxfi => {
                 let mid = m.mid.expect("isolated module has runtime id");
                 // Unannotated module functions (e.g. module_init) run as
@@ -1446,10 +1527,7 @@ impl KernelCpu {
                         callee: Some((mid, callee_p)),
                     };
                     apply_actions(&mut self.rt, &self.mem, &self.core.layouts, &site, Dir::Pre)?;
-                    self.exec_enter(m);
-                    let r = run_function(self, &prog, fid, args);
-                    self.exec_exit();
-                    let ret = r?;
+                    let ret = self.exec_module(m, fid, args)?;
                     let site = CallSite {
                         decl: &decl,
                         args,
@@ -1623,6 +1701,13 @@ impl Env for KernelCpu {
         self.fuel -= cycles;
         self.cycles += cycles;
         Ok(())
+    }
+
+    fn refund(&mut self, cycles: u64) {
+        // Only the compiled backend refunds, and never more than it
+        // consumed for the current block, so neither counter can wrap.
+        self.fuel += cycles;
+        self.cycles -= cycles;
     }
 
     fn push_frame(&mut self, size: u32) -> Result<Word, Trap> {

@@ -41,3 +41,4 @@ pub use kernel::{
     IsolationMode, Kernel, KernelCore, KernelCpu, KernelError, LoadedModuleId, ModuleSpec, UserFn,
 };
 pub use layout::*;
+pub use lxfi_machine::{Backend, CompileStats};

@@ -35,6 +35,17 @@ pub trait Env {
     /// execution budget is exhausted.
     fn consume(&mut self, cycles: u64) -> Result<(), Trap>;
 
+    /// Returns `cycles` of previously [`consume`](Env::consume)d budget.
+    ///
+    /// The compiled backend charges a whole basic block's cost up front
+    /// and calls this to hand back the unearned suffix when the block
+    /// exits early (a trap mid-block, or an extern call that must observe
+    /// the exact per-instruction fuel state). Environments that want
+    /// cycle-exact accounting across both backends implement it as the
+    /// inverse of `consume`; the default no-op is fine for environments
+    /// that only run the interpreter or treat fuel as a coarse limit.
+    fn refund(&mut self, _cycles: u64) {}
+
     /// Reserves a `size`-byte frame on the current kernel thread stack and
     /// returns the new stack pointer (frame base).
     fn push_frame(&mut self, size: u32) -> Result<Word, Trap>;
@@ -132,7 +143,8 @@ fn eval(regs: &[Word; NUM_REGS], op: Operand) -> Word {
     }
 }
 
-fn binop(op: BinOp, l: Word, r: Word) -> Result<Word, Trap> {
+#[inline(always)]
+pub(crate) fn binop(op: BinOp, l: Word, r: Word) -> Result<Word, Trap> {
     Ok(match op {
         BinOp::Add => l.wrapping_add(r),
         BinOp::Sub => l.wrapping_sub(r),
@@ -156,6 +168,10 @@ fn exec<E: Env + ?Sized>(
     frames: &mut Vec<Frame>,
 ) -> Result<Word, Trap> {
     frames.push(new_frame(env, program, func, args, None)?);
+
+    // Call-argument staging buffer, reused across every call in this
+    // activation so the hot path never allocates per call.
+    let mut scratch: Vec<Word> = Vec::with_capacity(NUM_ARG_REGS);
 
     loop {
         let depth = frames.len() - 1;
@@ -238,13 +254,15 @@ fn exec<E: Env + ?Sized>(
                 }
             }
             Inst::CallLocal { func, args, ret } => {
-                let vals: Vec<Word> = args.iter().map(|a| eval(&frames[depth].regs, *a)).collect();
-                let fr = new_frame(env, program, *func, &vals, *ret)?;
+                scratch.clear();
+                scratch.extend(args.iter().map(|a| eval(&frames[depth].regs, *a)));
+                let fr = new_frame(env, program, *func, &scratch, *ret)?;
                 frames.push(fr);
             }
             Inst::CallExtern { sym, args, ret } => {
-                let vals: Vec<Word> = args.iter().map(|a| eval(&frames[depth].regs, *a)).collect();
-                let v = env.call_extern(*sym, &vals)?;
+                scratch.clear();
+                scratch.extend(args.iter().map(|a| eval(&frames[depth].regs, *a)));
+                let v = env.call_extern(*sym, &scratch)?;
                 if let Some(r) = ret {
                     frames[depth].regs[r.0 as usize] = v;
                 }
@@ -256,8 +274,9 @@ fn exec<E: Env + ?Sized>(
                 ret,
             } => {
                 let target = eval(&frames[depth].regs, *ptr);
-                let vals: Vec<Word> = args.iter().map(|a| eval(&frames[depth].regs, *a)).collect();
-                let v = env.call_ptr(target, *sig, &vals)?;
+                scratch.clear();
+                scratch.extend(args.iter().map(|a| eval(&frames[depth].regs, *a)));
+                let v = env.call_ptr(target, *sig, &scratch)?;
                 if let Some(r) = ret {
                     frames[depth].regs[r.0 as usize] = v;
                 }

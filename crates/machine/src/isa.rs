@@ -164,6 +164,7 @@ pub enum Cond {
 
 impl Cond {
     /// Evaluates the condition on two words.
+    #[inline(always)]
     pub fn eval(self, l: u64, r: u64) -> bool {
         match self {
             Cond::Eq => l == r,

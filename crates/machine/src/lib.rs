@@ -25,6 +25,7 @@
 
 pub mod asm;
 pub mod builder;
+pub mod compile;
 pub mod costs;
 pub mod disasm;
 pub mod interp;
@@ -34,9 +35,10 @@ pub mod program;
 pub mod verify;
 
 pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use compile::{run_compiled, Backend, CompileStats, CompiledProgram};
 pub use interp::{run_function, Env};
 pub use isa::{BinOp, Cond, Inst, Operand, Reg, Width};
-pub use mem::{AddressSpace, PAGE_SIZE};
+pub use mem::{AddressSpace, PageHandle, PAGE_SIZE};
 pub use program::{
     FuncId, Function, GlobalDef, GlobalId, Import, ImportKind, Program, SigId, SymbolId,
 };

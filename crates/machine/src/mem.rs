@@ -338,6 +338,23 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Returns a raw handle to the mapped page containing `addr`, for use
+    /// as a software TLB entry by the compiled backend.
+    ///
+    /// The handle stays valid for the life of this `AddressSpace`
+    /// *allocation* (pages are retired on unmap, never freed early), so a
+    /// cached handle never dangles — but after an `unmap_range` of the
+    /// page it reads and writes retired memory instead of faulting, the
+    /// same stale-but-valid window a racing lock-free reader already has
+    /// (see the module docs). Callers bound that window by dropping
+    /// cached handles at every point the environment could unmap.
+    #[inline]
+    pub fn page_handle(&self, addr: Word) -> Option<PageHandle> {
+        self.page(Self::page_of(addr)).map(|pg| PageHandle {
+            pg: pg as *const Page,
+        })
+    }
+
     /// Reads a zero-extended value of the given width.
     pub fn read(&self, addr: Word, width: Width) -> Result<Word, Trap> {
         let n = width.bytes() as usize;
@@ -403,6 +420,85 @@ impl AddressSpace {
             remaining -= chunk as u64;
         }
         Ok(())
+    }
+}
+
+/// A raw reference to one mapped page: the compiled backend's one-entry
+/// software TLB. Obtained from [`AddressSpace::page_handle`]; see there
+/// for the validity rules.
+///
+/// The accessors are `unsafe` because the handle does not borrow the
+/// address space: the caller must guarantee the originating
+/// `AddressSpace` allocation is still alive, **and** that the
+/// `AddressSpace` is not reachable only through an `&mut` reference the
+/// caller re-asserts between caching and use (environments that own
+/// their address space behind a shared allocation — `Arc`, or a field of
+/// a shared core — satisfy this trivially).
+#[derive(Clone, Copy)]
+pub struct PageHandle {
+    pg: *const Page,
+}
+
+// SAFETY: the handle is a shared reference in disguise; all access goes
+// through the page's atomics.
+unsafe impl Send for PageHandle {}
+unsafe impl Sync for PageHandle {}
+
+impl PageHandle {
+    /// Reads a zero-extended `width`-sized value at byte offset `off`,
+    /// which must lie within one aligned word: `(off % 8) + width.bytes()
+    /// <= 8` and `off < PAGE_SIZE`.
+    ///
+    /// # Safety
+    ///
+    /// The originating `AddressSpace` must still be alive (see the type
+    /// docs).
+    #[inline]
+    pub unsafe fn read_in_word(&self, off: usize, width: Width) -> Word {
+        debug_assert!(off % 8 + width.bytes() as usize <= 8 && off < PAGE_SIZE as usize);
+        // SAFETY: caller keeps the address space alive; retired pages
+        // remain valid allocations until it drops.
+        let pg = unsafe { &*self.pg };
+        let w = pg.words[off / 8].load(Ordering::Relaxed);
+        let n = width.bytes() as usize;
+        let shift = (off % 8) * 8;
+        if n == 8 {
+            w
+        } else {
+            (w >> shift) & ((1u64 << (n * 8)) - 1)
+        }
+    }
+
+    /// Writes a `width`-sized value at byte offset `off` (same in-word
+    /// bounds as [`read_in_word`](Self::read_in_word)). Full-word stores
+    /// are single atomic stores; sub-word stores merge with a CAS loop,
+    /// exactly like [`AddressSpace::write`].
+    ///
+    /// # Safety
+    ///
+    /// The originating `AddressSpace` must still be alive (see the type
+    /// docs).
+    #[inline]
+    pub unsafe fn write_in_word(&self, off: usize, val: Word, width: Width) {
+        debug_assert!(off % 8 + width.bytes() as usize <= 8 && off < PAGE_SIZE as usize);
+        // SAFETY: see `read_in_word`.
+        let pg = unsafe { &*self.pg };
+        let word = &pg.words[off / 8];
+        let n = width.bytes() as usize;
+        if n == 8 {
+            word.store(val, Ordering::Relaxed);
+            return;
+        }
+        let shift = (off % 8) * 8;
+        let mask = (1u64 << (n * 8)) - 1;
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            let merged = (cur & !(mask << shift)) | ((val & mask) << shift);
+            match word.compare_exchange_weak(cur, merged, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
     }
 }
 

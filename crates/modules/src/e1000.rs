@@ -14,7 +14,8 @@
 //! 3. `e1000_xmit(skb, dev)` runs as the principal named `dev` — the
 //!    *same* principal thanks to the alias — consumes the packet's
 //!    capabilities (transferred by the `ndo_start_xmit` annotation),
-//!    writes a TX descriptor into the MMIO ring, and frees the skb.
+//!    copies the payload into the adapter's TX FIFO, writes a TX
+//!    descriptor into the MMIO ring, and frees the skb.
 //! 4. `e1000_poll(dev, budget)` allocates skbs, fills them with received
 //!    bytes, and hands each to `netif_rx`, which transfers the
 //!    capabilities away again.
@@ -37,6 +38,13 @@ const PRIV_RING_IDX: i64 = 8;
 /// TX descriptor ring: 16-byte descriptors starting at MMIO+256.
 const RING_OFFSET: i64 = 256;
 const RING_SLOTS: i64 = 64;
+/// TX FIFO staging area at MMIO+1280 (after the ring): `e1000_xmit`
+/// copies the payload here 8 bytes at a time before posting the
+/// descriptor, like the hardware's copybreak path. The copy is the
+/// packet-size-proportional part of transmit — a run of guarded stores
+/// into device memory — so per-packet cost tracks execution speed, not
+/// just fixed crossing overhead.
+const FIFO_OFFSET: i64 = 1280;
 
 /// Builds the e1000 module.
 pub fn spec() -> ModuleSpec {
@@ -116,6 +124,20 @@ pub fn spec() -> ModuleSpec {
         f.load8(R4, R1, net_device::PRIV);
         f.load8(R5, R4, PRIV_MMIO);
         f.load8(R6, R4, PRIV_RING_IDX);
+        // Stage the payload through the adapter TX FIFO (copybreak):
+        // copy len bytes, 8 at a time, from skb data into device memory.
+        let fifo_top = f.label();
+        let fifo_done = f.label();
+        f.mov(R9, 0i64);
+        f.br(Cond::Eq, R3, 0i64, fifo_done);
+        f.bind(fifo_top);
+        f.bin(lxfi_machine::BinOp::Add, R10, R2, R9);
+        f.load8(R11, R10, 0);
+        f.bin(lxfi_machine::BinOp::Add, R12, R5, R9);
+        f.store8(R11, R12, FIFO_OFFSET);
+        f.add(R9, R9, 8i64);
+        f.br(Cond::Lt, R9, R3, fifo_top);
+        f.bind(fifo_done);
         // slot = mmio + RING_OFFSET + (idx % RING_SLOTS) * 16.
         f.bin(lxfi_machine::BinOp::Rem, R7, R6, RING_SLOTS);
         f.bin(lxfi_machine::BinOp::Mul, R7, R7, 16i64);
@@ -144,12 +166,26 @@ pub fn spec() -> ModuleSpec {
         f.mov(R10, R1); // budget
         f.mov(R11, 0i64); // delivered
         f.mov(R12, R0); // dev
+                        // mmio = dev->priv[PRIV_MMIO], for the RX copybreak below.
+        f.load8(R14, R0, net_device::PRIV);
+        f.load8(R14, R14, PRIV_MMIO);
         f.bind(top);
         f.br(Cond::Ule, R10, R11, done);
         f.call_extern(alloc_skb, &[60i64.into()], Some(R2));
         f.br(Cond::Eq, R2, 0i64, done);
-        // Fill a minimal Ethernet header into the payload we now own.
         f.load8(R3, R2, sk_buff::DATA);
+        // RX copybreak: pull the frame body out of the adapter FIFO into
+        // the skb payload we now own, 8 bytes at a time.
+        let rx_top = f.label();
+        f.mov(R5, 0i64);
+        f.bind(rx_top);
+        f.bin(lxfi_machine::BinOp::Add, R6, R14, R5);
+        f.load8(R7, R6, FIFO_OFFSET);
+        f.bin(lxfi_machine::BinOp::Add, R8, R3, R5);
+        f.store8(R7, R8, 0);
+        f.add(R5, R5, 8i64);
+        f.br(Cond::Lt, R5, 32i64, rx_top);
+        // Overwrite the front with a minimal Ethernet header.
         f.store8(0x00ff_ffffi64, R3, 0);
         f.store8(R11, R3, 8); // sequence number
         f.store(0x0800i64, R2, sk_buff::PROTOCOL, Width::B8);
