@@ -84,12 +84,14 @@ pub fn merge_ablation() -> MergeAblation {
         &spec.program,
         RewriteOptions {
             merge_write_guards: true,
+            ..Default::default()
         },
     );
     let off = rewrite_module(
         &spec.program,
         RewriteOptions {
             merge_write_guards: false,
+            ..Default::default()
         },
     );
 

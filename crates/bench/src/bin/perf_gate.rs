@@ -38,7 +38,12 @@
 //!   store workload's). The execution-backend rows hold the compiled
 //!   backend's edge: compiled netperf per-packet wall time stays ≤0.95x
 //!   the interpreter's, the compiled e1000 kernel reports ≥1 fused
-//!   guard site, and no function falls back to interpretation.
+//!   guard site, and no function falls back to interpretation. The
+//!   guard-soundness rows gate exactly (deterministic counters): the
+//!   verifier proves every shipped module plus the kernel thunks
+//!   (rejects = 0), catches every canary mutant, and the
+//!   verifier-gated loop-guard hoisting pass hoists ≥1 static site and
+//!   strictly lowers dynamic mem-write guards per TX packet.
 //!
 //! Exit status: 0 = pass, 1 = regression, 2 = bad input.
 
@@ -421,6 +426,33 @@ fn run(baseline_path: &str, current_path: &str) -> Result<bool, String> {
     );
     let fallback = get(&current, "compiled_fallback_funcs", current_path)?;
     floor("floor: compiled fallback funcs = 0".into(), fallback, 0.0);
+
+    // Guard-soundness rows (deterministic counters, exact gates): the
+    // verifier must prove every shipped module and the kernel thunks,
+    // catch every canary mutant, and the verifier-gated hoisting pass
+    // must both fire (≥1 static site) and pay off (strictly fewer
+    // dynamic mem-write guards per packet than the unhoisted rewrite).
+    let rejects = get(&current, "soundness_rejects", current_path)?;
+    floor("floor: soundness rejects = 0".into(), rejects, 0.0);
+    let missed = get(&current, "soundness_canaries_missed", current_path)?;
+    floor("floor: soundness canaries missed = 0".into(), missed, 0.0);
+    let hoisted = get(&current, "rewrite_guards_hoisted", current_path)?;
+    floor(
+        "floor: hoisted guard sites ≥1 (neg ≤ -1)".into(),
+        -hoisted,
+        -1.0,
+    );
+    let memw_hoist_ratio = ratio(
+        &current,
+        "netperf_memw_per_pkt_hoisted",
+        "netperf_memw_per_pkt_unhoisted",
+        current_path,
+    )?;
+    floor(
+        "floor: hoisting cuts mem-write guards/pkt".into(),
+        memw_hoist_ratio,
+        0.999,
+    );
 
     // Report: one row per check, no first-failure bailout.
     println!(

@@ -1,0 +1,68 @@
+//! `verify_guards` — the guard-soundness audit CLI run by CI.
+//!
+//! Rewrites every shipped module exactly the way `load_module` does,
+//! proves the guard-soundness invariant on the *output* (module policy:
+//! every reachable store guard-dominated; §8.3 frame elision in
+//! bounds), proves the kernel thunks ind-call-sound, and rejects the
+//! canary mutants. Exits non-zero on any failure, so a rewriter
+//! regression fails the build even if no test happens to execute the
+//! broken path.
+
+use lxfi_bench::soundness_audit::{audit_kernel_thunks, audit_modules, canary_outcome};
+use lxfi_rewriter::RewriteOptions;
+
+fn main() {
+    let mut failed = false;
+
+    println!("Guard-soundness audit (module policy: stores guard-dominated)");
+    println!();
+    println!(
+        "{:<14} {:>5} {:>7} {:>7} {:>6} {:>8}  verdict",
+        "module", "funcs", "blocks", "stores", "frame", "hoisted"
+    );
+    let rows = audit_modules(RewriteOptions::default());
+    for r in &rows {
+        println!(
+            "{:<14} {:>5} {:>7} {:>7} {:>6} {:>8}  {}",
+            r.name,
+            r.funcs,
+            r.blocks,
+            r.stores_proven,
+            r.frame_stores_proven,
+            r.guards_hoisted,
+            if r.ok() { "proven" } else { "REJECTED" }
+        );
+        for e in &r.errors {
+            println!("    {e}");
+            failed = true;
+        }
+    }
+
+    let thunks = audit_kernel_thunks();
+    println!();
+    println!(
+        "kernel-thunks (ind-call policy): {} funcs, {} ind-calls proven — {}",
+        thunks.funcs,
+        thunks.indcalls_proven,
+        if thunks.ok() { "proven" } else { "REJECTED" }
+    );
+    for e in &thunks.errors {
+        println!("    {e}");
+        failed = true;
+    }
+
+    let (mutants, rejected) = canary_outcome();
+    println!();
+    println!("canary mutants rejected: {rejected}/{mutants}");
+    if rejected != mutants {
+        println!("    VERIFIER ACCEPTED A BROKEN PROGRAM");
+        failed = true;
+    }
+
+    let hoisted: usize = rows.iter().map(|r| r.guards_hoisted).sum();
+    println!("total loop-invariant guards hoisted: {hoisted}");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

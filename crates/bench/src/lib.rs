@@ -23,6 +23,7 @@ pub mod netperf;
 pub mod netperf_mt;
 pub mod sfi;
 pub mod sound;
+pub mod soundness_audit;
 pub mod writer_index;
 
 /// Renders an aligned text table.

@@ -28,7 +28,18 @@ pub fn boot_e1000(mode: IsolationMode) -> (Kernel, u64) {
 
 /// [`boot_e1000`] with an explicit execution backend.
 pub fn boot_e1000_backend(mode: IsolationMode, backend: Backend) -> (Kernel, u64) {
-    let mut k = Kernel::boot_with_backend(mode, backend);
+    boot_e1000_opts(mode, backend, lxfi_rewriter::RewriteOptions::default())
+}
+
+/// [`boot_e1000_backend`] with explicit rewriter options, used by the
+/// guard-cost harness to compare rewrite strategies (e.g. loop-guard
+/// hoisting on vs off) on identical dynamic workloads.
+pub fn boot_e1000_opts(
+    mode: IsolationMode,
+    backend: Backend,
+    opts: lxfi_rewriter::RewriteOptions,
+) -> (Kernel, u64) {
+    let mut k = Kernel::boot_with_options(mode, backend, opts);
     k.pci_add_device(0x8086, 0x100e, 11);
     k.load_module(mods::e1000::spec()).unwrap();
     k.enter(|k| k.pci_probe_all()).unwrap();

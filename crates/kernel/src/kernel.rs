@@ -66,8 +66,8 @@ use lxfi_core::shadow::PrincipalCtx;
 use lxfi_core::{PrincipalId, RawCap, Runtime, RuntimeCore, ThreadId, Violation};
 use lxfi_machine::program::ImportKind;
 use lxfi_machine::{
-    run_compiled, run_function, AddressSpace, Backend, CompileStats, CompiledProgram, Env, FuncId,
-    GlobalId, Program, SigId, SymbolId, Trap, Word,
+    run_compiled, run_function, verify_soundness, AddressSpace, Backend, CompileStats,
+    CompiledProgram, Env, FuncId, GlobalId, Program, SigId, SoundnessPolicy, SymbolId, Trap, Word,
 };
 use lxfi_rewriter::{
     propagate, rewrite_kernel_thunks, rewrite_module, InitGrant, InterfaceSpec, RewriteOptions,
@@ -250,6 +250,10 @@ pub struct KernelCore {
     /// for. Fixed at boot; `load_module` compiles once, every
     /// [`KernelCpu`] dispatches through the compiled form.
     pub backend: Backend,
+    /// Rewriter options every LXFI `load_module` uses. Fixed at boot so
+    /// benchmarks can compare rewrite strategies (e.g. guard hoisting
+    /// on/off) across otherwise identical kernels.
+    pub rewrite_opts: RewriteOptions,
     layouts: TypeLayouts,
     /// Hash of the empty annotation set (the default for unannotated
     /// functions and unknown sigs), computed once at boot.
@@ -499,6 +503,17 @@ impl Kernel {
     /// interpreter remains available as the differential-testing oracle
     /// via [`Backend::Interp`].
     pub fn boot_with_backend(mode: IsolationMode, backend: Backend) -> Self {
+        Self::boot_with_options(mode, backend, RewriteOptions::default())
+    }
+
+    /// [`Kernel::boot_with_backend`] with explicit rewriter options,
+    /// used by benchmarks to measure a rewrite strategy (e.g. guard
+    /// hoisting off) against the default.
+    pub fn boot_with_options(
+        mode: IsolationMode,
+        backend: Backend,
+        rewrite_opts: RewriteOptions,
+    ) -> Self {
         let mut layouts = TypeLayouts::new();
         types::register_layouts(&mut layouts);
 
@@ -528,6 +543,7 @@ impl Kernel {
             exports: RwLock::new(ExportTable::default()),
             kdata: RwLock::new(HashMap::new()),
             sig_decls: RwLock::new(HashMap::new()),
+            rewrite_opts,
             modules: RwLock::new(ModuleTable::default()),
             thunks: std::sync::OnceLock::new(),
             load_lock: Mutex::new(()),
@@ -1010,7 +1026,12 @@ impl KernelCpu {
 
         let (program, decls, init_grants) = match mode {
             IsolationMode::Lxfi => {
-                let rw = rewrite_module(&spec.program, RewriteOptions::default());
+                let rw = rewrite_module(&spec.program, self.core.rewrite_opts);
+                // Don't trust the rewriter: prove on the *output* that
+                // every reachable store is guard-dominated before the
+                // program can reach either execution backend.
+                verify_soundness(&rw.program, SoundnessPolicy::module())
+                    .map_err(|e| KernelError::Fail(format!("soundness {}: {}", spec.name, e[0])))?;
                 let decls = propagate(&rw.program, &spec.iface)
                     .map_err(|e| KernelError::Fail(format!("propagate {}: {e}", spec.name)))?;
                 (rw.program, decls, rw.init_grants)
@@ -1291,6 +1312,11 @@ impl KernelCpu {
                     "kernel thunks must be fully traceable: {:?}",
                     rep.untraceable
                 );
+                // Thunks run trusted (Stock mode), so the inserted
+                // GuardIndCall is the only protection for the pointers
+                // they dereference: prove each call is guard-dominated.
+                verify_soundness(&rep.program, SoundnessPolicy::kernel_thunks())
+                    .expect("kernel thunks must be guard-sound");
                 rep.program
             }
             IsolationMode::Stock => thunks,

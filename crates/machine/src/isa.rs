@@ -199,93 +199,169 @@ impl std::fmt::Display for Cond {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Inst {
     /// `dst = src`.
-    Mov { dst: Reg, src: Operand },
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register or immediate.
+        src: Operand,
+    },
     /// `dst = lhs op rhs`.
     Bin {
+        /// Arithmetic/logic operation.
         op: BinOp,
+        /// Destination register.
         dst: Reg,
+        /// Left operand.
         lhs: Operand,
+        /// Right operand.
         rhs: Operand,
     },
     /// `dst = zero_extend(mem[base + off], width)`.
     Load {
+        /// Destination register.
         dst: Reg,
+        /// Base address.
         base: Operand,
+        /// Constant byte offset added to `base`.
         off: i64,
+        /// Access width.
         width: Width,
     },
     /// `mem[base + off] = truncate(src, width)`.
     Store {
+        /// Value stored.
         src: Operand,
+        /// Base address.
         base: Operand,
+        /// Constant byte offset added to `base`.
         off: i64,
+        /// Access width.
         width: Width,
     },
     /// `dst = mem[sp + off]` — frame-local load, statically bounds-checked.
-    LoadFrame { dst: Reg, off: u32, width: Width },
+    LoadFrame {
+        /// Destination register.
+        dst: Reg,
+        /// Byte offset into the current frame.
+        off: u32,
+        /// Access width.
+        width: Width,
+    },
     /// `mem[sp + off] = src` — frame-local store, statically bounds-checked.
     StoreFrame {
+        /// Value stored.
         src: Operand,
+        /// Byte offset into the current frame.
         off: u32,
+        /// Access width.
         width: Width,
     },
     /// `dst = sp + off` — materialize the address of a frame local.
-    FrameAddr { dst: Reg, off: u32 },
+    FrameAddr {
+        /// Destination register.
+        dst: Reg,
+        /// Byte offset into the current frame.
+        off: u32,
+    },
     /// `dst = address of module global`.
-    GlobalAddr { dst: Reg, global: GlobalId },
+    GlobalAddr {
+        /// Destination register.
+        dst: Reg,
+        /// The global whose address is taken.
+        global: GlobalId,
+    },
     /// `dst = address of an imported kernel symbol` (data or function).
-    SymAddr { dst: Reg, sym: SymbolId },
+    SymAddr {
+        /// Destination register.
+        dst: Reg,
+        /// The imported symbol whose address is taken.
+        sym: SymbolId,
+    },
     /// `dst = address of a module-local function`.
-    FuncAddr { dst: Reg, func: FuncId },
+    FuncAddr {
+        /// Destination register.
+        dst: Reg,
+        /// The function whose address is taken.
+        func: FuncId,
+    },
     /// Unconditional jump to an instruction index.
-    Jmp { target: usize },
+    Jmp {
+        /// Absolute instruction index within the function.
+        target: usize,
+    },
     /// Conditional branch to an instruction index.
     Br {
+        /// Branch condition.
         cond: Cond,
+        /// Left comparison operand.
         lhs: Operand,
+        /// Right comparison operand.
         rhs: Operand,
+        /// Absolute instruction index taken when the condition holds.
         target: usize,
     },
     /// Direct call to a module-local function.
     CallLocal {
+        /// Callee.
         func: FuncId,
+        /// Argument values, one per callee parameter.
         args: Vec<Operand>,
+        /// Register receiving the return value, if any.
         ret: Option<Reg>,
     },
     /// Call to an imported kernel symbol (through its LXFI wrapper when
     /// the module is isolated).
     CallExtern {
+        /// Imported callee symbol.
         sym: SymbolId,
+        /// Argument values, one per callee parameter.
         args: Vec<Operand>,
+        /// Register receiving the return value, if any.
         ret: Option<Reg>,
     },
     /// Indirect call through a function pointer value, with the declared
     /// function-pointer type (`sig`) of the call site.
     CallPtr {
+        /// The function-pointer value called through.
         ptr: Operand,
+        /// Declared function-pointer type of the call site.
         sig: SigId,
+        /// Argument values, one per callee parameter.
         args: Vec<Operand>,
+        /// Register receiving the return value, if any.
         ret: Option<Reg>,
     },
     /// Return, optionally with a value.
-    Ret { val: Option<Operand> },
+    Ret {
+        /// Returned value, if the function returns one.
+        val: Option<Operand>,
+    },
     /// `BUG()` — unconditional trap.
-    Trap { code: u64 },
+    Trap {
+        /// Diagnostic code reported with the trap.
+        code: u64,
+    },
     /// No operation.
     Nop,
     /// LXFI guard: check the current principal may write
     /// `[base+off, base+off+len)`. Emitted only by the rewriter.
     GuardWrite {
+        /// Base address of the checked range.
         base: Operand,
+        /// Constant byte offset added to `base`.
         off: i64,
+        /// Length in bytes of the checked range.
         len: Operand,
     },
     /// LXFI guard: before an indirect call through the function-pointer
     /// slot at `slot_base + slot_off`, validate the writer set and CALL
     /// capability. Emitted only by the kernel rewriter.
     GuardIndCall {
+        /// Base address of the function-pointer slot.
         slot_base: Operand,
+        /// Constant byte offset added to `slot_base`.
         slot_off: i64,
+        /// Declared function-pointer type of the guarded call site.
         sig: SigId,
     },
 }

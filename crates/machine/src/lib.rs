@@ -23,6 +23,8 @@
 //! - A disassembler/assembler pair used by property tests to check
 //!   round-tripping, and by humans to debug module programs.
 
+#![warn(missing_docs)]
+
 pub mod asm;
 pub mod builder;
 pub mod compile;
@@ -32,6 +34,7 @@ pub mod interp;
 pub mod isa;
 pub mod mem;
 pub mod program;
+pub mod soundness;
 pub mod verify;
 
 pub use builder::{FunctionBuilder, ProgramBuilder};
@@ -42,6 +45,7 @@ pub use mem::{AddressSpace, PageHandle, PAGE_SIZE};
 pub use program::{
     FuncId, Function, GlobalDef, GlobalId, Import, ImportKind, Program, SigId, SymbolId,
 };
+pub use soundness::{verify_soundness, SoundnessPolicy, SoundnessReport};
 pub use verify::verify_program;
 
 /// Machine word: all registers and addresses are 64-bit.
@@ -55,7 +59,14 @@ pub type Word = u64;
 #[derive(Debug)]
 pub enum Trap {
     /// Access to an unmapped simulated address.
-    MemFault { addr: Word, len: u64, write: bool },
+    MemFault {
+        /// Faulting simulated address.
+        addr: Word,
+        /// Access length in bytes.
+        len: u64,
+        /// True for a write access, false for a read.
+        write: bool,
+    },
     /// The kernel thread stack cannot hold another frame.
     StackOverflow,
     /// Division or remainder by zero.

@@ -45,6 +45,12 @@ const RING_SLOTS: i64 = 64;
 /// into device memory — so per-packet cost tracks execution speed, not
 /// just fixed crossing overhead.
 const FIFO_OFFSET: i64 = 1280;
+/// FIFO write-pointer doorbell in the MMIO register file (below the
+/// ring): the copy loop publishes its progress here each chunk, like
+/// hardware tail-pointer doorbells. Its base (the MMIO window) and span
+/// are loop-invariant, so this is the store whose guard the rewriter's
+/// loop-invariant hoisting pass lifts out of the copy loop.
+const FIFO_WPTR: i64 = 16;
 
 /// Builds the e1000 module.
 pub fn spec() -> ModuleSpec {
@@ -135,6 +141,9 @@ pub fn spec() -> ModuleSpec {
         f.load8(R11, R10, 0);
         f.bin(lxfi_machine::BinOp::Add, R12, R5, R9);
         f.store8(R11, R12, FIFO_OFFSET);
+        // Publish the copy progress to the doorbell register (mmio is
+        // loop-invariant: this guard hoists to the loop header).
+        f.store8(R9, R5, FIFO_WPTR);
         f.add(R9, R9, 8i64);
         f.br(Cond::Lt, R9, R3, fifo_top);
         f.bind(fifo_done);

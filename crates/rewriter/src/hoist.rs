@@ -1,0 +1,474 @@
+//! Loop-invariant write-guard hoisting.
+//!
+//! A `GuardWrite` that a loop executes every iteration with the same
+//! base register and span re-proves the same capability over and over;
+//! with the compiled backend having removed dispatch overhead (PR 6),
+//! those repeated table probes are the remaining per-iteration guard
+//! cost. This pass moves such a guard to the loop header — executed
+//! once per loop *entry* — and deletes the per-iteration copy.
+//!
+//! A guard is hoistable out of a natural loop when:
+//!
+//! - its span is an immediate and its base operand is **loop-invariant**
+//!   (an immediate, or a register no instruction in the loop defines),
+//!   so the guard checks the same byte range every iteration;
+//! - the loop contains **no calls** — a call can revoke the WRITE
+//!   capability, so a once-on-entry check would not be equivalent;
+//! - the guard's block **dominates every latch and every exiting
+//!   block**, i.e. the original guard already ran on every complete
+//!   iteration and every normal exit — hoisting then never checks a
+//!   range the original program would not have checked (it may trap
+//!   *earlier* on a doomed iteration, which is more restrictive, never
+//!   less);
+//! - every backedge reaches the header through an explicit `Jmp`/`Br`
+//!   (so it can be retargeted past the hoisted guard).
+//!
+//! The transformation inserts the guard at the header index — entry
+//! edges (jumps and fall-through) land on it, exactly like
+//! [`crate::edit::insert_before`]'s cannot-jump-over-a-guard rule —
+//! and retargets only the backedges to the instruction after it. The
+//! caller ([`crate::module_pass::rewrite_module`]) re-runs the
+//! soundness verifier on the hoisted program and reverts wholesale if
+//! the proof fails, so this pass never needs to be trusted.
+
+use std::collections::BTreeSet;
+
+use lxfi_machine::isa::{Inst, Operand, Reg};
+use lxfi_machine::program::Function;
+use lxfi_machine::soundness::{block_starts, block_succs};
+
+/// Hoists loop-invariant write guards in one function until none are
+/// left, returning the number of guards moved. Each application
+/// re-derives the CFG, so nested loops migrate a guard outward one
+/// level per round.
+pub(crate) fn hoist_function(f: &mut Function) -> usize {
+    let mut hoisted = 0;
+    // Each round deletes one in-loop guard, so this terminates; the
+    // bound is a safety net only.
+    while hoisted < 1024 {
+        if !hoist_one(f) {
+            break;
+        }
+        hoisted += 1;
+    }
+    hoisted
+}
+
+/// Finds one hoistable guard and applies the move. Returns false when
+/// no candidate exists.
+fn hoist_one(f: &mut Function) -> bool {
+    let insts = &f.insts;
+    let starts = block_starts(insts);
+    let n = starts.len();
+    if n == 0 {
+        return false;
+    }
+    let block_end = |b: usize| {
+        if b + 1 < n {
+            starts[b + 1]
+        } else {
+            insts.len()
+        }
+    };
+    let succs: Vec<Vec<usize>> = (0..n).map(|b| block_succs(insts, &starts, b)).collect();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            preds[s].push(b);
+        }
+    }
+
+    // Blocks reachable from the function entry.
+    let mut reach = vec![false; n];
+    reach[0] = true;
+    let mut stack = vec![0];
+    while let Some(b) = stack.pop() {
+        for &s in &succs[b] {
+            if !reach[s] {
+                reach[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+
+    // Iterative dominators over the reachable subgraph.
+    let mut dom: Vec<Vec<bool>> = vec![vec![true; n]; n];
+    dom[0] = (0..n).map(|i| i == 0).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if !reach[b] {
+                continue;
+            }
+            let mut new = vec![true; n];
+            for &p in preds[b].iter().filter(|&&p| reach[p]) {
+                for (slot, &d) in new.iter_mut().zip(&dom[p]) {
+                    *slot = *slot && d;
+                }
+            }
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+
+    // Natural loops: backedge b -> h where h dominates b. Loops sharing
+    // a header are merged (union of bodies, all latches together).
+    let mut headers: BTreeSet<usize> = BTreeSet::new();
+    for b in (0..n).filter(|&b| reach[b]) {
+        for &h in succs[b].iter().filter(|&&h| dom[b][h]) {
+            headers.insert(h);
+        }
+    }
+    for &h in &headers {
+        let latches: Vec<usize> = (0..n)
+            .filter(|&b| reach[b] && succs[b].contains(&h) && dom[b][h])
+            .collect();
+        // Loop body: everything reaching a latch without passing h.
+        let mut in_loop = vec![false; n];
+        in_loop[h] = true;
+        let mut stack: Vec<usize> = Vec::new();
+        for &l in &latches {
+            if !in_loop[l] {
+                in_loop[l] = true;
+                stack.push(l);
+            }
+        }
+        while let Some(b) = stack.pop() {
+            for &p in preds[b].iter().filter(|&&p| reach[p]) {
+                if !in_loop[p] {
+                    in_loop[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let body: Vec<usize> = (0..n).filter(|&b| in_loop[b]).collect();
+
+        // Every backedge must be an explicit jump so it can skip the
+        // hoisted guard; a latch falling through into the header cannot
+        // be retargeted.
+        let h_start = starts[h];
+        if latches.iter().any(|&l| {
+            let last = &insts[block_end(l) - 1];
+            last.jump_target() != Some(h_start) && !last.is_terminator() && block_end(l) == h_start
+        }) {
+            continue;
+        }
+        let latch_terms: BTreeSet<usize> = latches
+            .iter()
+            .filter(|&&l| insts[block_end(l) - 1].jump_target() == Some(h_start))
+            .map(|&l| block_end(l) - 1)
+            .collect();
+        // If some latch reaches the header neither by jump nor by
+        // fall-through adjacency we mis-modelled the CFG; be safe.
+        if latch_terms.len() + latches.iter().filter(|&&l| block_end(l) == h_start).count()
+            < latches.len()
+        {
+            continue;
+        }
+
+        // A call anywhere in the loop can revoke write capabilities:
+        // once-on-entry is then not equivalent to once-per-iteration.
+        let has_call = body.iter().any(|&b| {
+            insts[starts[b]..block_end(b)].iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::CallLocal { .. } | Inst::CallExtern { .. } | Inst::CallPtr { .. }
+                )
+            })
+        });
+        if has_call {
+            continue;
+        }
+        let defined: BTreeSet<Reg> = body
+            .iter()
+            .flat_map(|&b| insts[starts[b]..block_end(b)].iter())
+            .filter_map(|i| i.def_reg())
+            .collect();
+        let exiting: Vec<usize> = body
+            .iter()
+            .copied()
+            .filter(|&b| succs[b].iter().any(|s| !in_loop[*s]))
+            .collect();
+
+        for &gb in &body {
+            for (g, inst) in insts
+                .iter()
+                .enumerate()
+                .take(block_end(gb))
+                .skip(starts[gb])
+            {
+                let Inst::GuardWrite { base, len, .. } = inst else {
+                    continue;
+                };
+                let invariant_base = match base {
+                    Operand::Imm(_) => true,
+                    Operand::Reg(r) => !defined.contains(r),
+                };
+                let imm_len = matches!(len, Operand::Imm(l) if *l > 0);
+                // The guard must sit at or after the header physically
+                // (our builder layouts always do) so the rebuild below
+                // stays a simple insert+delete.
+                let guaranteed =
+                    exiting.iter().all(|&e| dom[e][gb]) && latches.iter().all(|&l| dom[l][gb]);
+                if invariant_base && imm_len && g >= h_start && guaranteed {
+                    apply_hoist(f, h_start, g, &latch_terms);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Moves the guard at `g` to the header index `h_start`: entry edges
+/// (and fall-through) execute it, backedge jumps in `latch_terms` are
+/// retargeted past it, and the in-loop copy is deleted.
+fn apply_hoist(f: &mut Function, h_start: usize, g: usize, latch_terms: &BTreeSet<usize>) {
+    let old = &f.insts;
+    let guard = old[g].clone();
+    // New layout: old[0..h_start], guard, old[h_start..] minus old[g].
+    // Old index i maps to: i (i < h_start), i+1 (h_start <= i < g),
+    // i (i > g); a target of exactly g follows to the next survivor.
+    let map = |t: usize, from_latch: bool| -> usize {
+        if t == h_start {
+            return if from_latch { h_start + 1 } else { h_start };
+        }
+        if t < h_start {
+            t
+        } else if t <= g {
+            t + 1
+        } else {
+            t
+        }
+    };
+    let remapped = |i: usize| {
+        let mut inst = old[i].clone();
+        inst.map_target(|t| map(t, latch_terms.contains(&i)));
+        inst
+    };
+    let mut out: Vec<Inst> = Vec::with_capacity(old.len() + 1);
+    out.extend((0..h_start).map(remapped));
+    out.push(guard);
+    out.extend((h_start..old.len()).filter(|&i| i != g).map(remapped));
+    f.insts = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lxfi_machine::builder::regs::*;
+    use lxfi_machine::builder::ProgramBuilder;
+    use lxfi_machine::isa::Cond;
+    use lxfi_machine::soundness::{verify_soundness, SoundnessPolicy};
+    use lxfi_machine::verify_program;
+
+    fn count_guards(f: &Function) -> usize {
+        f.insts.iter().filter(|i| i.is_guard()).count()
+    }
+
+    /// A bottom-tested loop storing through an invariant base: the
+    /// canonical hoist shape (guard + store + bump + backedge).
+    fn invariant_loop() -> lxfi_machine::Program {
+        let mut pb = ProgramBuilder::new("t");
+        pb.define("f", 2, 0, |f| {
+            let top = f.label();
+            f.mov(R2, 0i64);
+            f.bind(top);
+            f.guard_write(R1, 0, 8i64);
+            f.store8(R2, R1, 0);
+            f.add(R2, R2, 1i64);
+            f.br(Cond::Lt, R2, R0, top);
+            f.ret_void();
+        });
+        pb.finish()
+    }
+
+    #[test]
+    fn hoists_invariant_guard_out_of_loop() {
+        let mut p = invariant_loop();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 1);
+        let f = &p.funcs[0];
+        // Still exactly one guard, now before the loop: the backedge
+        // targets the store, the entry path runs the guard.
+        assert_eq!(count_guards(f), 1);
+        assert!(f.insts[1].is_guard(), "guard sits at the old header");
+        let backedge = f
+            .insts
+            .iter()
+            .rev()
+            .find_map(|i| i.jump_target())
+            .expect("loop backedge");
+        assert!(
+            !f.insts[backedge].is_guard(),
+            "backedge must skip the hoisted guard"
+        );
+        verify_program(&p).unwrap();
+        verify_soundness(&p, SoundnessPolicy::module()).unwrap();
+    }
+
+    #[test]
+    fn hoist_is_idempotent() {
+        let mut p = invariant_loop();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 1);
+        let once = p.funcs[0].insts.clone();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 0);
+        assert_eq!(p.funcs[0].insts, once);
+    }
+
+    #[test]
+    fn varying_base_is_not_hoisted() {
+        let mut pb = ProgramBuilder::new("t");
+        pb.define("f", 2, 0, |f| {
+            let top = f.label();
+            f.mov(R2, 0i64);
+            f.bind(top);
+            f.add(R3, R1, R2); // base recomputed every iteration
+            f.guard_write(R3, 0, 8i64);
+            f.store8(R2, R3, 0);
+            f.add(R2, R2, 8i64);
+            f.br(Cond::Lt, R2, R0, top);
+            f.ret_void();
+        });
+        let mut p = pb.finish();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 0);
+    }
+
+    #[test]
+    fn loop_with_call_is_not_hoisted() {
+        let mut pb = ProgramBuilder::new("t");
+        let ext = pb.import_func("may_revoke");
+        pb.define("f", 2, 0, |f| {
+            let top = f.label();
+            f.mov(R2, 0i64);
+            f.bind(top);
+            f.guard_write(R1, 0, 8i64);
+            f.store8(R2, R1, 0);
+            f.call_extern(ext, &[], None);
+            f.add(R2, R2, 1i64);
+            f.br(Cond::Lt, R2, R0, top);
+            f.ret_void();
+        });
+        let mut p = pb.finish();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 0);
+    }
+
+    #[test]
+    fn conditional_guard_in_loop_is_not_hoisted() {
+        // The guard sits on one arm of a diamond inside the loop: it
+        // does not dominate the latch, so hoisting would check a range
+        // some iterations never check.
+        let mut pb = ProgramBuilder::new("t");
+        pb.define("f", 2, 0, |f| {
+            let top = f.label();
+            let skip = f.label();
+            f.mov(R2, 0i64);
+            f.bind(top);
+            f.br(Cond::Eq, R2, 7i64, skip);
+            f.guard_write(R1, 0, 8i64);
+            f.store8(R2, R1, 0);
+            f.bind(skip);
+            f.add(R2, R2, 1i64);
+            f.br(Cond::Lt, R2, R0, top);
+            f.ret_void();
+        });
+        let mut p = pb.finish();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 0);
+    }
+
+    #[test]
+    fn rotated_loop_guard_not_dominating_exit_stays_put() {
+        // Top-tested loop: the exit test is the header, which the
+        // guard's block does not dominate.
+        let mut pb = ProgramBuilder::new("t");
+        pb.define("f", 2, 0, |f| {
+            let top = f.label();
+            let out = f.label();
+            f.mov(R2, 0i64);
+            f.bind(top);
+            f.br(Cond::Ge, R2, R0, out);
+            f.guard_write(R1, 0, 8i64);
+            f.store8(R2, R1, 0);
+            f.add(R2, R2, 1i64);
+            f.jmp(top);
+            f.bind(out);
+            f.ret_void();
+        });
+        let mut p = pb.finish();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 0);
+    }
+
+    #[test]
+    fn hoisted_loop_still_executes_correctly() {
+        use lxfi_machine::program::{FuncId, GlobalId, SigId, SymbolId};
+        use lxfi_machine::{run_function, AddressSpace, Env, Trap, Word};
+
+        /// Bare-minimum Env: counts write guards, permits everything.
+        struct CountEnv {
+            mem: AddressSpace,
+            sp: Word,
+            guard_writes: u64,
+        }
+        impl Env for CountEnv {
+            fn mem(&self) -> &AddressSpace {
+                &self.mem
+            }
+            fn consume(&mut self, _cycles: u64) -> Result<(), Trap> {
+                Ok(())
+            }
+            fn push_frame(&mut self, size: u32) -> Result<Word, Trap> {
+                self.sp -= u64::from(size);
+                Ok(self.sp)
+            }
+            fn pop_frame(&mut self, size: u32) {
+                self.sp += u64::from(size);
+            }
+            fn guard_write(&mut self, _addr: Word, _len: Word) -> Result<(), Trap> {
+                self.guard_writes += 1;
+                Ok(())
+            }
+            fn guard_indcall(&mut self, _slot: Word, _sig: SigId) -> Result<(), Trap> {
+                Ok(())
+            }
+            fn call_extern(&mut self, _sym: SymbolId, _args: &[Word]) -> Result<Word, Trap> {
+                Ok(0)
+            }
+            fn call_ptr(&mut self, _t: Word, _s: SigId, _a: &[Word]) -> Result<Word, Trap> {
+                Ok(0)
+            }
+            fn global_addr(&self, _g: GlobalId) -> Result<Word, Trap> {
+                Ok(0)
+            }
+            fn sym_addr(&self, _s: SymbolId) -> Result<Word, Trap> {
+                Ok(0)
+            }
+            fn func_addr(&self, _f: FuncId) -> Result<Word, Trap> {
+                Ok(0)
+            }
+        }
+
+        // Run the hoisted program and check the loop still stores every
+        // word while the guard fires once per entry, not per iteration.
+        let mut p = invariant_loop();
+        assert_eq!(hoist_function(&mut p.funcs[0]), 1);
+        verify_soundness(&p, SoundnessPolicy::module()).unwrap();
+        let mem = AddressSpace::new();
+        let base = 0x1000u64;
+        mem.map_range(base, 0x1000);
+        let mut env = CountEnv {
+            mem,
+            sp: base + 0x1000,
+            guard_writes: 0,
+        };
+        run_function(&mut env, &p, FuncId(0), &[4, base]).unwrap();
+        assert_eq!(env.guard_writes, 1, "one guard per loop entry");
+        let last = env
+            .mem
+            .read(base, lxfi_machine::Width::B8)
+            .expect("loop stored through base");
+        assert_eq!(last, 3, "final iteration stored counter value 3");
+    }
+}

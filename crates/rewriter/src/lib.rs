@@ -18,11 +18,14 @@
 //!   reached from several sources gets *exactly the same* annotation
 //!   (§4.2).
 
+#![warn(missing_docs)]
+
 pub mod kernel_pass;
 pub mod module_pass;
 pub mod propagate;
 
 mod edit;
+mod hoist;
 
 pub use kernel_pass::{rewrite_kernel_thunks, KernelRewriteReport};
 pub use module_pass::{rewrite_module, InitGrant, ModuleRewrite, RewriteOptions};

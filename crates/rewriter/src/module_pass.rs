@@ -29,8 +29,10 @@
 
 use lxfi_machine::isa::{Inst, Operand, Reg};
 use lxfi_machine::program::{ImportKind, Program};
+use lxfi_machine::soundness::{verify_soundness, SoundnessPolicy};
 
 use crate::edit::insert_before;
+use crate::hoist::hoist_function;
 
 /// Options controlling the module pass.
 #[derive(Debug, Clone, Copy)]
@@ -39,12 +41,18 @@ pub struct RewriteOptions {
     /// Merging is strictly *more* restrictive (the principal must own the
     /// whole spanned range), never less.
     pub merge_write_guards: bool,
+    /// Hoist loop-invariant write guards to the loop header (see
+    /// [`crate::hoist`]), turning a per-iteration table probe into a
+    /// per-entry one. The hoisted program must re-pass the soundness
+    /// verifier or the whole hoist is reverted.
+    pub hoist_loop_guards: bool,
 }
 
 impl Default for RewriteOptions {
     fn default() -> Self {
         RewriteOptions {
             merge_write_guards: true,
+            hoist_loop_guards: true,
         }
     }
 }
@@ -75,6 +83,14 @@ pub struct MergeStats {
     /// guarded separately, so this counts the elisions the gap
     /// tolerance bought beyond strict-adjacency merging.
     pub gap_insts_tolerated: usize,
+    /// Loop-invariant guards moved from a loop body to its header —
+    /// each one turns a per-iteration guard execution into a per-entry
+    /// one.
+    pub guards_hoisted: usize,
+    /// Hoists undone because the hoisted program failed the soundness
+    /// verifier (always 0 in practice; the gate exists so the hoisting
+    /// pass never needs to be trusted).
+    pub hoists_reverted: usize,
 }
 
 /// Result of rewriting one module.
@@ -156,6 +172,27 @@ pub fn rewrite_module(input: &Program, opts: RewriteOptions) -> ModuleRewrite {
             }
         }
         f.insts = insert_before(&f.insts, inserts);
+    }
+
+    // Loop-invariant guard hoisting, gated on the soundness verifier:
+    // if the hoisted program no longer proves every store
+    // guard-dominated, throw the whole hoist away and ship the
+    // straightforwardly-guarded version.
+    if opts.hoist_loop_guards {
+        let unhoisted = program.clone();
+        let mut hoisted = 0;
+        for f in &mut program.funcs {
+            hoisted += hoist_function(f);
+        }
+        if hoisted > 0 {
+            match verify_soundness(&program, SoundnessPolicy::module()) {
+                Ok(_) => merge.guards_hoisted = hoisted,
+                Err(_) => {
+                    program = unhoisted;
+                    merge.hoists_reverted = hoisted;
+                }
+            }
+        }
     }
 
     let init_grants = input
@@ -333,6 +370,7 @@ mod tests {
             &pb.finish(),
             RewriteOptions {
                 merge_write_guards: false,
+                ..Default::default()
             },
         );
         assert_eq!(rw.guards_inserted, 2);
