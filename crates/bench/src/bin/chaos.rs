@@ -1,0 +1,86 @@
+//! The chaos report: netperf-style traffic on a healthy e1000 module
+//! while a fault-injected sibling crash-loops through quarantine and
+//! supervised recovery, and a hopeless sibling is detected and left
+//! dead. Prints recovery, isolation-overhead, and leak-gauge rows.
+//!
+//! `--recoveries N` sets the recovery target (default 120, the
+//! acceptance bar is >= 100; CI's bench-smoke uses a smaller N).
+//! Every row is deterministic — seeded faults, tick time, simulated
+//! guard cycles — so repeated runs print identical numbers.
+
+use lxfi_bench::chaos::run_chaos;
+use lxfi_bench::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let target = args
+        .iter()
+        .position(|a| a == "--recoveries")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<u64>().expect("--recoveries N"))
+        .unwrap_or(120);
+
+    let m = run_chaos(target);
+
+    println!("Chaos: supervised recovery under fault injection\n");
+    let table = render_table(
+        &["metric", "value"],
+        &[
+            vec!["flaky recoveries".into(), format!("{}", m.recoveries)],
+            vec!["faults contained".into(), format!("{}", m.faults)],
+            vec![
+                "crash loop detected".into(),
+                format!("{}", m.crash_loop_detected),
+            ],
+            vec![
+                "hopeless restarts before giving up".into(),
+                format!("{}", m.hopeless_restarts),
+            ],
+            vec![
+                "worst recovery latency (ticks)".into(),
+                format!("{}", m.recovery_ticks_max),
+            ],
+            vec![
+                "healthy pkt cycles (baseline)".into(),
+                format!("{:.1}", m.healthy_pkt_cycles_baseline),
+            ],
+            vec![
+                "healthy pkt cycles (under chaos)".into(),
+                format!("{:.1}", m.healthy_pkt_cycles_chaos),
+            ],
+            vec![
+                "isolation overhead ratio".into(),
+                format!("{:.3}", m.overhead_ratio()),
+            ],
+            vec![
+                "leaks (principals/slab/writer-sets/intervals)".into(),
+                format!(
+                    "{}/{}/{}/{}",
+                    m.leak_principals, m.leak_slab, m.leak_writer_sets, m.leak_intervals
+                ),
+            ],
+            vec!["kernel panics".into(), format!("{}", m.panics)],
+        ],
+    );
+    println!("{table}");
+
+    assert_eq!(m.panics, 0, "module chaos must never panic the kernel");
+    assert!(
+        m.crash_loop_detected,
+        "the supervisor must detect the hopeless crash loop"
+    );
+    assert_eq!(
+        (
+            m.leak_principals,
+            m.leak_slab,
+            m.leak_writer_sets,
+            m.leak_intervals
+        ),
+        (0, 0, 0, 0),
+        "crash/recover churn must leak nothing"
+    );
+    println!(
+        "\nok: {} recoveries, zero leaks, kernel never panicked",
+        m.recoveries
+    );
+}

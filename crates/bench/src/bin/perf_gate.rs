@@ -454,6 +454,49 @@ fn run(baseline_path: &str, current_path: &str) -> Result<bool, String> {
         0.999,
     );
 
+    // Fault-containment rows (deterministic: seeded faults, tick time,
+    // simulated cycles). After ≥100 supervised crash/recover cycles of
+    // one module under concurrent healthy traffic: every resource gauge
+    // back at steady state, the healthy path within 0.7x throughput
+    // (cycles ≤ 1/0.7 ≈ 1.43x), recovery bounded, the crash loop
+    // detected, and the kernel-wide panic flag never set.
+    let recov = get(&current, "chaos_recoveries", current_path)?;
+    floor(
+        "floor: chaos recoveries ≥100 (neg ≤ -100)".into(),
+        -recov,
+        -100.0,
+    );
+    let looped = get(&current, "chaos_crash_loop_detected", current_path)?;
+    floor(
+        "floor: chaos crash loop detected ≥1 (neg ≤ -1)".into(),
+        -looped,
+        -1.0,
+    );
+    let recov_ticks = get(&current, "chaos_recovery_ticks_max", current_path)?;
+    floor("floor: chaos recovery ≤16 ticks".into(), recov_ticks, 16.0);
+    let overhead = get(&current, "chaos_overhead_ratio", current_path)?;
+    floor(
+        "floor: chaos healthy path ≤1.43x baseline".into(),
+        overhead,
+        1.43,
+    );
+    for key in [
+        "chaos_leak_principals",
+        "chaos_leak_slab",
+        "chaos_leak_writer_sets",
+        "chaos_leak_intervals",
+    ] {
+        let leak = get(&current, key, current_path)?;
+        // abs(): a gauge drifting negative is as broken as a leak.
+        floor(
+            format!("floor: {} = 0", key.replace('_', " ")),
+            leak.abs(),
+            0.0,
+        );
+    }
+    let panics = get(&current, "chaos_panics", current_path)?;
+    floor("floor: chaos kernel panics = 0".into(), panics, 0.0);
+
     // Report: one row per check, no first-failure bailout.
     println!(
         "perf gate: {current_path} vs {baseline_path} \

@@ -4,7 +4,9 @@
 //! guard cache under revoke-heavy churn, grant/revoke splice latency at
 //! 1/4/16 writer-index shards, the reverse writer index vs the global
 //! principal walk, the multi-threaded netperf TX workload (contended
-//! and not), and the sound playback period (deterministic cycles).
+//! and not), the sound playback period (deterministic cycles), and the
+//! chaos workload (supervised crash/recover churn: recovery counts,
+//! healthy-path isolation overhead, and post-churn leak gauges).
 //!
 //! `--json` emits the measurements as a flat JSON object (stable keys;
 //! `*_ns` latencies, `*_rate` fractions, `*_cycles` deterministic
@@ -13,7 +15,8 @@
 //! tables are suppressed in that mode.
 
 use lxfi_bench::{
-    dm, guards, kernel_mt, netperf, netperf_mt, render_table, sound, soundness_audit, writer_index,
+    chaos, dm, guards, kernel_mt, netperf, netperf_mt, render_table, sound, soundness_audit,
+    writer_index,
 };
 use lxfi_kernel::{Backend, IsolationMode};
 
@@ -177,6 +180,31 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
         "netperf_memw_per_pkt_unhoisted".into(),
         hc.unhoisted_per_pkt,
     ));
+    let ch = chaos::run_chaos(120);
+    out.push(("chaos_recoveries".into(), ch.recoveries as f64));
+    out.push(("chaos_faults".into(), ch.faults as f64));
+    out.push((
+        "chaos_crash_loop_detected".into(),
+        ch.crash_loop_detected as u64 as f64,
+    ));
+    out.push((
+        "chaos_recovery_ticks_max".into(),
+        ch.recovery_ticks_max as f64,
+    ));
+    out.push((
+        "chaos_healthy_pkt_cycles_baseline".into(),
+        ch.healthy_pkt_cycles_baseline,
+    ));
+    out.push((
+        "chaos_healthy_pkt_cycles_chaos".into(),
+        ch.healthy_pkt_cycles_chaos,
+    ));
+    out.push(("chaos_overhead_ratio".into(), ch.overhead_ratio()));
+    out.push(("chaos_leak_principals".into(), ch.leak_principals as f64));
+    out.push(("chaos_leak_slab".into(), ch.leak_slab as f64));
+    out.push(("chaos_leak_writer_sets".into(), ch.leak_writer_sets as f64));
+    out.push(("chaos_leak_intervals".into(), ch.leak_intervals as f64));
+    out.push(("chaos_panics".into(), ch.panics as f64));
     out
 }
 

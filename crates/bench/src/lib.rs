@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod api_churn;
 pub mod census;
+pub mod chaos;
 pub mod dm;
 pub mod guards;
 pub mod kernel_mt;

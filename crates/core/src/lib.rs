@@ -56,7 +56,9 @@ pub use epoch_cache::{EpochCache, Replacement, WriteGuardCache, DEFAULT_WAYS};
 pub use handle::GuardHandle;
 pub use iface::{FnDecl, Param, TypeLayouts};
 pub use principal::{ModuleId, PrincipalId, PrincipalKind};
-pub use runtime::{ConstId, IteratorFn, IteratorId, KfreeSweep, Runtime, RuntimeCore, ThreadId};
+pub use runtime::{
+    ConstId, IteratorFn, IteratorId, KfreeSweep, RetireSweep, Runtime, RuntimeCore, ThreadId,
+};
 pub use stats::{GuardCosts, GuardKind, GuardStats, ALL_GUARD_KINDS};
 pub use writer_index::{LinearWriterIndex, WriterIndex, WriterSetId};
 
@@ -153,6 +155,28 @@ pub enum Violation {
         /// Explanation.
         why: String,
     },
+}
+
+impl Violation {
+    /// The principal whose (lacking or abused) authority this violation
+    /// is attributable to, when the record names one. This is what lets
+    /// the kernel's fault-containment layer quarantine the *culprit
+    /// module* instead of panicking: a policy violation raised in kernel
+    /// context (e.g. an indirect call through a module-written slot)
+    /// carries the module principal that planted the bad state.
+    ///
+    /// Violations with no principal in them (shadow-stack corruption,
+    /// annotation-hash mismatches, iterator failures, ...) return `None`
+    /// and are the caller's problem to classify by execution context.
+    pub fn culprit(&self) -> Option<PrincipalId> {
+        match self {
+            Violation::MissingWrite { principal, .. }
+            | Violation::MissingCall { principal, .. }
+            | Violation::MissingRef { principal, .. } => Some(*principal),
+            Violation::IndCallUnauthorized { writer, .. } => Some(*writer),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Violation {

@@ -135,6 +135,11 @@ pub struct FnMeta {
 struct PrincipalMeta {
     module: ModuleId,
     kind: PrincipalKind,
+    /// Retired principals (their module was quarantined or unloaded)
+    /// hold no capabilities, are skipped by global revocation walks, and
+    /// are never current again. Ids are stable — slots are not reused —
+    /// so a retired id in an old writer set stays meaningful.
+    retired: bool,
 }
 
 /// Registry state behind the `meta` lock: who the principals and
@@ -143,6 +148,10 @@ struct PrincipalMeta {
 struct Meta {
     principals: Vec<PrincipalMeta>,
     modules: Vec<ModuleInfo>,
+    /// The quarantine tombstone (see [`RuntimeCore::ensure_tombstone`]),
+    /// created lazily so runtimes that never retire anything keep their
+    /// principal numbering.
+    tombstone: Option<PrincipalId>,
 }
 
 /// Interned-name tables behind the `names` lock.
@@ -327,6 +336,21 @@ pub struct KfreeSweep {
     pub skipped: u64,
 }
 
+/// Result of a module-retirement pass ([`RuntimeCore::retire_module`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetireSweep {
+    /// Principals marked retired by this pass.
+    pub principals_retired: u64,
+    /// WRITE grants moved to the tombstone.
+    pub write_caps_moved: u64,
+    /// CALL capabilities discarded.
+    pub call_caps_dropped: u64,
+    /// REF capabilities discarded.
+    pub ref_caps_dropped: u64,
+    /// Per-principal epoch bumps the transfer caused.
+    pub epoch_bumps: u64,
+}
+
 /// The shared, thread-safe half of the runtime. See the module docs for
 /// the state split and the locking discipline. All methods take
 /// `&self`; wrap it in an [`Arc`] and hand [`crate::GuardHandle`]s to
@@ -422,7 +446,11 @@ impl RuntimeCore {
     ) -> PrincipalId {
         let id = PrincipalId(meta.principals.len() as u32);
         self.slots.ensure(id.0 as usize);
-        meta.principals.push(PrincipalMeta { module, kind });
+        meta.principals.push(PrincipalMeta {
+            module,
+            kind,
+            retired: false,
+        });
         id
     }
 
@@ -456,6 +484,16 @@ impl RuntimeCore {
     /// The kind of a principal.
     pub fn principal_kind(&self, p: PrincipalId) -> PrincipalKind {
         self.meta.read().expect("meta lock").principals[p.0 as usize].kind
+    }
+
+    /// Every non-retired principal of a module: shared and global first,
+    /// then the live instances (module-teardown enumeration).
+    pub fn module_principals(&self, mid: ModuleId) -> Vec<PrincipalId> {
+        let meta = self.meta.read().expect("meta lock");
+        meta.modules[mid.0 as usize]
+            .all_principals()
+            .filter(|&p| !meta.principals[p.0 as usize].retired)
+            .collect()
     }
 
     /// The module a principal belongs to.
@@ -508,6 +546,122 @@ impl RuntimeCore {
         }
         m.names.insert(new_name, p);
         Ok(())
+    }
+
+    // ---------------------------------------------------------- retirement
+
+    /// The quarantine tombstone principal, created on first use: a
+    /// permanent principal that never executes and is never granted a
+    /// CALL capability. Retirement *transfers* a dead module's WRITE
+    /// coverage here instead of dropping it, so a function-pointer slot
+    /// the dead module poisoned keeps a writer on record — the
+    /// indirect-call check then fails `IndCallUnauthorized` forever
+    /// (tombstone holds no CALLs) instead of falling through the
+    /// empty-writer-set fast exit and dispatching the planted pointer
+    /// with kernel privilege. Tombstone coverage drains through the same
+    /// legitimate channels as any writer's: `kfree` sweeps, zeroing
+    /// (`note_zeroed`), and transfer-grants over reused memory.
+    ///
+    /// Lazy creation keeps principal numbering untouched for runtimes
+    /// that never retire anything; callers that need deterministic ids
+    /// across runs (the kernel) call this once at boot.
+    pub fn ensure_tombstone(&self) -> PrincipalId {
+        if let Some(t) = self.meta.read().expect("meta lock").tombstone {
+            return t;
+        }
+        let mut meta = self.meta.write().expect("meta lock");
+        if let Some(t) = meta.tombstone {
+            return t;
+        }
+        let mid = ModuleId(meta.modules.len() as u32);
+        let shared = self.new_principal_locked(&mut meta, mid, PrincipalKind::Shared);
+        let global = self.new_principal_locked(&mut meta, mid, PrincipalKind::Global);
+        meta.modules
+            .push(ModuleInfo::new("<tombstone>".to_string(), shared, global));
+        meta.tombstone = Some(shared);
+        shared
+    }
+
+    /// The tombstone principal, if one has been created.
+    pub fn tombstone(&self) -> Option<PrincipalId> {
+        self.meta.read().expect("meta lock").tombstone
+    }
+
+    /// Whether a principal has been retired.
+    pub fn is_retired(&self, p: PrincipalId) -> bool {
+        self.meta.read().expect("meta lock").principals[p.0 as usize].retired
+    }
+
+    /// `(live, retired)` principal counts — the leak gauges module churn
+    /// is regression-tested against.
+    pub fn principal_gauges(&self) -> (u64, u64) {
+        let meta = self.meta.read().expect("meta lock");
+        let retired = meta.principals.iter().filter(|p| p.retired).count() as u64;
+        (meta.principals.len() as u64 - retired, retired)
+    }
+
+    /// Retires every principal of a module: WRITE coverage is moved to
+    /// the tombstone (never dropped — see [`RuntimeCore::ensure_tombstone`]
+    /// for why dropping would reopen the indirect-call hole), CALL and
+    /// REF capabilities are discarded, the module's instance registry and
+    /// pointer names are cleared, and each principal is marked retired.
+    /// Epochs bump per the §3.1 hierarchy as each range is revoked, so
+    /// no stale cached grant of a dead principal survives.
+    ///
+    /// The caller must guarantee no code runs under these principals any
+    /// more (the kernel's quarantine path drains in-flight executions
+    /// through its RCU grace period first). A `kfree` sweep racing the
+    /// transfer can at worst leave the tombstone holding coverage over a
+    /// freed range — a conservative deny that the next sweep, zeroing,
+    /// or transfer-grant over that range clears.
+    pub fn retire_module(&self, mid: ModuleId) -> RetireSweep {
+        let ts = self.ensure_tombstone();
+        let mut sweep = RetireSweep::default();
+        let victims: Vec<PrincipalId> = {
+            let meta = self.meta.read().expect("meta lock");
+            if meta.tombstone == Some(ts) && meta.principals[ts.0 as usize].module == mid {
+                return sweep; // the tombstone module itself is immortal
+            }
+            meta.modules[mid.0 as usize]
+                .all_principals()
+                .filter(|&p| !meta.principals[p.0 as usize].retired)
+                .collect()
+        };
+        for &p in &victims {
+            let writes: Vec<(Word, u64)> = {
+                let mut caps = self.slot(p).caps.lock().expect("caps lock");
+                sweep.call_caps_dropped += caps.call.len() as u64;
+                sweep.ref_caps_dropped += caps.refs.len() as u64;
+                caps.call.clear();
+                caps.refs.clear();
+                caps.write.iter().collect()
+            };
+            for (addr, size) in writes {
+                // Grant to the tombstone *before* revoking from the dead
+                // principal: a racing indirect-call lookup may see both
+                // writers (conservative) but never an uncovered window.
+                self.grant(ts, RawCap::write(addr, size));
+                let (moved, bumps) = self.revoke(p, RawCap::write(addr, size));
+                sweep.epoch_bumps += bumps;
+                if moved {
+                    sweep.write_caps_moved += 1;
+                }
+            }
+            debug_assert_eq!(
+                self.cap_count(p),
+                0,
+                "retired principal {p:?} still holds capabilities"
+            );
+        }
+        let mut meta = self.meta.write().expect("meta lock");
+        for &p in &victims {
+            meta.principals[p.0 as usize].retired = true;
+            sweep.principals_retired += 1;
+        }
+        let m = &mut meta.modules[mid.0 as usize];
+        m.instances.clear();
+        m.names.clear();
+        sweep
     }
 
     // ------------------------------------------------------- capabilities
@@ -626,13 +780,22 @@ impl RuntimeCore {
     }
 
     /// Revokes a capability from **every** principal in the system —
-    /// `transfer` semantics (§3.3): no stale copies survive. Returns the
-    /// total epoch bumps.
+    /// `transfer` semantics (§3.3): no stale copies survive. Retired
+    /// principals hold nothing and are skipped; the tombstone is *not*
+    /// retired and is visited like any writer (this is one of the
+    /// channels that drains stale tombstone coverage). Returns the total
+    /// epoch bumps.
     pub fn revoke_everywhere(&self, cap: RawCap) -> u64 {
-        let n = self.principal_count();
+        let live: Vec<PrincipalId> = {
+            let meta = self.meta.read().expect("meta lock");
+            (0..meta.principals.len() as u32)
+                .map(PrincipalId)
+                .filter(|p| !meta.principals[p.0 as usize].retired)
+                .collect()
+        };
         let mut bumps = 0;
-        for i in 0..n {
-            bumps += self.revoke(PrincipalId(i as u32), cap).1;
+        for p in live {
+            bumps += self.revoke(p, cap).1;
         }
         bumps
     }
@@ -672,6 +835,29 @@ impl RuntimeCore {
             }
         }
         sweep
+    }
+
+    /// Revokes all of **one** principal's WRITE coverage overlapping
+    /// `[addr, addr+size)`, partially intersected grants whole (the
+    /// [`RuntimeCore::revoke_write_overlapping_everywhere`] semantics
+    /// applied to a single table). Module teardown uses this to return
+    /// the kernel-stack grants of §3.2 before retirement moves the rest
+    /// of a dead module's coverage to the tombstone: stacks outlive the
+    /// module and must not stay poisoned. Returns the epoch bumps.
+    pub fn revoke_write_overlapping(&self, p: PrincipalId, addr: Word, size: u64) -> u64 {
+        let span = {
+            let mut caps = self.slot(p).caps.lock().expect("caps lock");
+            let (_, span) = caps.write.revoke_overlapping_span(addr, size);
+            if let Some((lo, hi)) = span {
+                self.unindex_write_locked(p, lo, hi - lo, &caps);
+            }
+            span
+        };
+        if span.is_some() {
+            self.bump_write_epochs(p)
+        } else {
+            0
+        }
     }
 
     /// Ownership test with the principal-hierarchy semantics of §3.1:
@@ -750,6 +936,13 @@ impl RuntimeCore {
     /// Registers a function address with its annotation hash.
     pub fn register_function(&self, addr: Word, meta: FnMeta) {
         self.fns.write().expect("fns lock").insert(addr, meta);
+    }
+
+    /// Unregisters a function address (module-window reuse: the dead
+    /// tenant's annotation hashes must not answer for the new one's
+    /// addresses).
+    pub fn unregister_function(&self, addr: Word) {
+        self.fns.write().expect("fns lock").remove(&addr);
     }
 
     /// Looks up a registered function (cloned out of the registry).
@@ -1239,7 +1432,11 @@ impl Runtime {
 
     /// Registers a module, creating its shared and global principals.
     pub fn register_module(&mut self, name: &str) -> ModuleId {
-        self.core.register_module(name)
+        let mid = self.core.register_module(name);
+        let (live, retired) = self.core.principal_gauges();
+        self.stats.principals_live = live;
+        self.stats.principals_retired = retired;
+        mid
     }
 
     /// Number of registered modules.
@@ -1269,7 +1466,11 @@ impl Runtime {
 
     /// See [`RuntimeCore::principal_for_name`].
     pub fn principal_for_name(&mut self, module: ModuleId, name: Word) -> PrincipalId {
-        self.core.principal_for_name(module, name)
+        let p = self.core.principal_for_name(module, name);
+        let (live, retired) = self.core.principal_gauges();
+        self.stats.principals_live = live;
+        self.stats.principals_retired = retired;
+        p
     }
 
     /// See [`RuntimeCore::princ_alias`].
@@ -1319,10 +1520,30 @@ impl Runtime {
     }
 
     /// Refreshes the writer-set GC gauges in [`GuardStats`] from the
-    /// reverse index's interners (called after every index mutation).
+    /// reverse index's interners (called after every index mutation),
+    /// and the principal-population gauges from the registry.
     fn update_writer_set_gauges(&mut self) {
         self.stats.writer_sets_live = self.core.index_set_count() as u64;
         self.stats.writer_sets_ever = self.core.index_sets_ever_interned();
+        let (live, retired) = self.core.principal_gauges();
+        self.stats.principals_live = live;
+        self.stats.principals_retired = retired;
+    }
+
+    /// See [`RuntimeCore::retire_module`]; epoch bumps are accounted into
+    /// this facade's [`GuardStats`] and the gauges refreshed.
+    pub fn retire_module(&mut self, mid: ModuleId) -> RetireSweep {
+        let sweep = self.core.retire_module(mid);
+        self.stats.epoch_bumps += sweep.epoch_bumps;
+        self.update_writer_set_gauges();
+        sweep
+    }
+
+    /// See [`RuntimeCore::ensure_tombstone`].
+    pub fn ensure_tombstone(&mut self) -> PrincipalId {
+        let t = self.core.ensure_tombstone();
+        self.update_writer_set_gauges();
+        t
     }
 
     /// See [`RuntimeCore::revoke_everywhere`].
@@ -1355,6 +1576,15 @@ impl Runtime {
                      [{addr:#x}, +{size}) survived the sweep"
                 );
             }
+        }
+    }
+
+    /// See [`RuntimeCore::revoke_write_overlapping`].
+    pub fn revoke_write_overlapping(&mut self, p: PrincipalId, addr: Word, size: u64) {
+        let bumps = self.core.revoke_write_overlapping(p, addr, size);
+        self.stats.epoch_bumps += bumps;
+        if bumps > 0 {
+            self.update_writer_set_gauges();
         }
     }
 
@@ -1713,6 +1943,72 @@ mod tests {
         let _b = rt.principal_for_name(m, 0xcafe);
         let err = rt.princ_alias(m, 0xcafe, 0x9000).unwrap_err();
         assert!(matches!(err, Violation::PrincipalDenied { .. }));
+    }
+
+    #[test]
+    fn retirement_moves_write_coverage_to_tombstone() {
+        let (mut rt, m) = rt_with_module();
+        let slot = 0x5000u64;
+        let inst = rt.principal_for_name(m, 0x9000);
+        rt.grant(inst, RawCap::write(slot, 8));
+        rt.grant(inst, RawCap::call(0xf000));
+        assert_eq!(rt.writers_of(slot), vec![inst]);
+
+        let sweep = rt.retire_module(m);
+        assert_eq!(sweep.principals_retired, 3, "shared + global + instance");
+        assert_eq!(sweep.write_caps_moved, 1);
+        assert_eq!(sweep.call_caps_dropped, 1);
+
+        // The slot the dead module wrote keeps a writer on record: the
+        // tombstone, which holds no CALL capability, so the indirect
+        // call is refused instead of falling through the empty-writer
+        // fast exit (the unsound outcome naive revocation would give).
+        let ts = rt.core().tombstone().expect("tombstone created");
+        assert_eq!(rt.writers_of(slot), vec![ts]);
+        let err = rt.check_indcall(slot, 0xf000, 0).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::IndCallUnauthorized {
+                slot,
+                target: 0xf000,
+                writer: ts,
+            }
+        );
+        assert_eq!(err.culprit(), Some(ts));
+
+        // Retired principals hold nothing and read as retired.
+        for p in [inst, rt.shared_principal(m), rt.global_principal(m)] {
+            assert!(rt.core().is_retired(p));
+            assert_eq!(rt.cap_count(p), 0);
+        }
+        assert!(!rt.core().is_retired(ts), "the tombstone is immortal");
+        let (live, retired) = rt.core().principal_gauges();
+        assert_eq!(retired, 3);
+        assert_eq!(live as usize, rt.core().principal_count() - 3);
+        assert_eq!(rt.stats.principals_retired, 3);
+
+        // Retiring again is a no-op (idempotent quarantine).
+        let again = rt.retire_module(m);
+        assert_eq!(again.principals_retired, 0);
+        assert_eq!(again.write_caps_moved, 0);
+    }
+
+    #[test]
+    fn tombstone_coverage_drains_through_legitimate_channels() {
+        let (mut rt, m) = rt_with_module();
+        let slot = 0x5000u64;
+        let inst = rt.principal_for_name(m, 0x9000);
+        rt.grant(inst, RawCap::write(slot, 8));
+        rt.retire_module(m);
+        let ts = rt.core().tombstone().unwrap();
+        assert_eq!(rt.writers_of(slot), vec![ts]);
+
+        // Freeing the memory (kfree sweep) removes the tombstone's
+        // coverage like any writer's — the slot is clean again, which is
+        // sound because the poisoned value is gone with the memory.
+        rt.revoke_write_overlapping_everywhere(slot, 8);
+        assert!(rt.writers_of(slot).is_empty());
+        assert!(rt.check_indcall(slot, 0xf000, 0).is_ok());
     }
 
     #[test]

@@ -127,6 +127,15 @@ pub struct GuardStats {
     /// interner, including slot reuses after GC. `ever` growing while
     /// `live` stays flat is the set-GC working.
     pub writer_sets_ever: u64,
+    /// Gauge: principals registered and not retired. Together with
+    /// `principals_retired` this is the leak meter module churn is
+    /// gated on: load → crash → reclaim cycles must return it to the
+    /// pre-load level.
+    pub principals_live: u64,
+    /// Gauge: principals retired by module quarantine or unload.
+    /// Monotonic (retirement is permanent), which makes it the logical
+    /// clock for the principal gauge pair in [`GuardStats::merge`].
+    pub principals_retired: u64,
     /// Principals a `kfree`-style sweep
     /// (`revoke_write_overlapping_everywhere`) actually visited, driven
     /// by the per-shard principal-presence hint.
@@ -223,6 +232,16 @@ impl GuardStats {
         if other.writer_sets_ever >= self.writer_sets_ever {
             self.writer_sets_ever = other.writer_sets_ever;
             self.writer_sets_live = other.writer_sets_live;
+        }
+        // Same discipline for the principal gauge pair, clocked by the
+        // monotonic retirement counter (ties broken toward the larger
+        // live count: between retirements, registration only grows it).
+        if other.principals_retired > self.principals_retired
+            || (other.principals_retired == self.principals_retired
+                && other.principals_live >= self.principals_live)
+        {
+            self.principals_retired = other.principals_retired;
+            self.principals_live = other.principals_live;
         }
         self.kfree_hint_visited += other.kfree_hint_visited;
         self.kfree_hint_skipped += other.kfree_hint_skipped;

@@ -42,6 +42,9 @@ pub fn register(k: &mut KernelCpu) {
         Some("post(if (return != 0) transfer(write, return, size))"),
         Arc::new(|k, args| {
             charge(k, 0)?;
+            if k.fault_fires(crate::fault_inject::FaultSite::Alloc) {
+                return Ok(0);
+            }
             let size = args.first().copied().unwrap_or(0);
             Ok(k.slab().kmalloc(&k.mem, size).unwrap_or(0))
         }),
@@ -54,6 +57,9 @@ pub fn register(k: &mut KernelCpu) {
         Arc::new(|k, args| {
             let size = args.first().copied().unwrap_or(0);
             charge(k, size)?;
+            if k.fault_fires(crate::fault_inject::FaultSite::Alloc) {
+                return Ok(0);
+            }
             let alloc = k.slab().kmalloc(&k.mem, size);
             match alloc {
                 Some(addr) => {

@@ -1,0 +1,140 @@
+//! Deterministic seeded fault injection — the chaos harness's hammer.
+//!
+//! A [`FaultPlan`] names modules, sites, and rates; each CPU armed with
+//! the plan ([`crate::KernelCpu::set_fault_plan`]) draws from its own
+//! xorshift64* stream (seeded by `plan.seed` and the CPU's thread id),
+//! so a chaos run is reproducible bit-for-bit: no wall clock, no OS
+//! randomness. Injection only fires while an **isolated** module
+//! executes — a stock module has no guards to fail — and the injected
+//! traps flow through the ordinary classification in `Kernel::enter`,
+//! so they exercise the exact quarantine/recovery machinery a genuine
+//! module bug would.
+
+use std::sync::Arc;
+
+/// Where a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The write guard reports a synthetic policy violation for the
+    /// real access (a "guard failure").
+    GuardWrite,
+    /// The guarded store is redirected at protected kernel data, so the
+    /// *real* guard machinery raises the violation (a "rogue store").
+    RogueStore,
+    /// The fuel meter reports exhaustion (a runaway loop).
+    Fuel,
+    /// `kmalloc`/`kzalloc` return NULL (allocation failure — exercises
+    /// the module's error paths, which may themselves then trap).
+    Alloc,
+}
+
+/// One injection rule: while `module` executes, fire at `site` once
+/// every `one_in` opportunities on average (deterministically, from
+/// the seeded stream).
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Name of the (isolated) module to target.
+    pub module: String,
+    /// Where to inject.
+    pub site: FaultSite,
+    /// Fire when a draw lands on 0 mod `one_in` (1 = every time).
+    pub one_in: u64,
+}
+
+/// A complete injection plan, shared read-only across CPUs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Base seed for every CPU's stream.
+    pub seed: u64,
+    /// The rules; all are consulted per opportunity.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan with one rule.
+    pub fn single(seed: u64, module: &str, site: FaultSite, one_in: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: vec![FaultRule {
+                module: module.to_string(),
+                site,
+                one_in,
+            }],
+        }
+    }
+}
+
+/// Per-CPU injector state: the shared plan plus this CPU's stream.
+pub struct FaultInjector {
+    plan: Arc<FaultPlan>,
+    state: u64,
+}
+
+impl FaultInjector {
+    /// Builds the injector for one CPU lane; distinct lanes get
+    /// decorrelated (but deterministic) streams.
+    pub(crate) fn new(plan: Arc<FaultPlan>, lane: u64) -> Self {
+        // Never zero (xorshift's absorbing state); splitmix-style lane
+        // decorrelation keeps CPU 0 and CPU 1 from injecting in lockstep.
+        let state = (plan.seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        FaultInjector { plan, state }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64* — small, fast, and entirely ours (no dependency).
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Whether a rule fires for (module, site) at this opportunity. One
+    /// draw is consumed per *matching* rule, so unrelated sites do not
+    /// perturb each other's streams.
+    pub(crate) fn fires(&mut self, module: &str, site: FaultSite) -> bool {
+        let mut hit = false;
+        for i in 0..self.plan.rules.len() {
+            let matches = {
+                let r = &self.plan.rules[i];
+                r.site == site && r.module == module
+            };
+            if matches {
+                let one_in = self.plan.rules[i].one_in.max(1);
+                hit |= self.next().is_multiple_of(one_in);
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_lane_decorrelated() {
+        let plan = Arc::new(FaultPlan::single(42, "m", FaultSite::Fuel, 3));
+        let draw = |lane: u64| -> Vec<bool> {
+            let mut inj = FaultInjector::new(Arc::clone(&plan), lane);
+            (0..64).map(|_| inj.fires("m", FaultSite::Fuel)).collect()
+        };
+        assert_eq!(draw(0), draw(0), "same lane, same stream");
+        assert_ne!(draw(0), draw(1), "lanes decorrelate");
+        let hits = draw(0).iter().filter(|&&h| h).count();
+        assert!(hits > 0, "a 1-in-3 rule fires within 64 draws");
+    }
+
+    #[test]
+    fn unmatched_rules_do_not_fire_or_advance() {
+        let plan = Arc::new(FaultPlan::single(7, "target", FaultSite::Alloc, 1));
+        let mut inj = FaultInjector::new(Arc::clone(&plan), 0);
+        assert!(!inj.fires("other", FaultSite::Alloc), "wrong module");
+        assert!(!inj.fires("target", FaultSite::Fuel), "wrong site");
+        let before = inj.state;
+        assert!(!inj.fires("other", FaultSite::Alloc));
+        assert_eq!(inj.state, before, "non-matching rules consume no draw");
+        assert!(inj.fires("target", FaultSite::Alloc), "1-in-1 always fires");
+    }
+}

@@ -49,10 +49,20 @@
 //!   which must hold CALL for the target, plus the annotation-hash match
 //!   — then dispatch.
 //!
-//! A policy violation anywhere escalates to a **kernel panic** (§3),
-//! shared by every CPU; a machine fault (NULL dereference) goes down the
+//! Trap classification (fault containment — see `docs/fault-model.md`):
+//! a trap raised while an **isolated module** executes (or a policy
+//! violation whose culprit principal belongs to one) **quarantines that
+//! module only** — name and function addresses unpublished, in-flight
+//! executions drained through the RCU grace period, resources reclaimed,
+//! principals retired with their WRITE coverage moved to the tombstone —
+//! and the kernel keeps serving every other module. A policy violation
+//! that cannot be attributed to any module is a violation of the
+//! kernel's *own* invariants and still escalates to a **kernel panic**
+//! shared by every CPU. A machine fault (NULL dereference) goes down the
 //! **oops** path, which runs `do_exit` — including its CVE-2010-4258 bug
-//! of zeroing the user-controlled `clear_child_tid` pointer.
+//! of zeroing the user-controlled `clear_child_tid` pointer; module
+//! machine faults oops *and* quarantine (the interrupted process dies
+//! either way).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,6 +130,10 @@ pub type UserFn = Arc<dyn Fn(&mut KernelCpu) + Send + Sync>;
 pub(crate) struct LoadedModule {
     name: String,
     mode: IsolationMode,
+    /// Index of this module in the registry vector (its window slot).
+    /// Quarantine needs it to unpublish without a reverse scan, and
+    /// teardown pushes it onto the free-slot list for window reuse.
+    slot: usize,
     /// `None` for the core-kernel thunk pseudo-module.
     mid: Option<lxfi_core::ModuleId>,
     program: Arc<Program>,
@@ -195,13 +209,44 @@ fn resolve_sig_hashes(
         .collect()
 }
 
+/// A fault attributed to one module and contained there: the structured
+/// record the supervisor and tests consume instead of string-matching a
+/// panic message. Appended to the kernel-wide fault log (see
+/// [`KernelCpu::last_fault`]) by the quarantine path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleFault {
+    /// Registry slot of the quarantined module — `None` when the fault
+    /// was attributed to state planted by a module that is already dead
+    /// and reclaimed (its slot may have been reused).
+    pub id: Option<LoadedModuleId>,
+    /// Module name at fault time.
+    pub module: String,
+    /// The module's runtime principal namespace.
+    pub mid: Option<lxfi_core::ModuleId>,
+    /// The culprit principal, when the violation (or execution context)
+    /// named one.
+    pub principal: Option<PrincipalId>,
+    /// The policy violation, when the trap was one.
+    pub violation: Option<Violation>,
+    /// Human-readable trap description.
+    pub reason: String,
+    /// Whether the trap was a machine fault, so the oops path (and its
+    /// CVE-2010-4258 zero-write) also ran.
+    pub oopsed: bool,
+}
+
 /// Outcome classification for public kernel entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelError {
-    /// LXFI detected a policy violation and panicked the kernel.
+    /// LXFI detected a violation of the kernel's own invariants and
+    /// panicked the kernel.
     Panic(String),
     /// A machine fault (oops) killed the current process.
     Oops(String),
+    /// A trap was attributed to one isolated module, which has been
+    /// quarantined; the kernel keeps running. (Boxed: the fault record
+    /// carries strings and must not fatten every `Result` in the API.)
+    ModuleFault(Box<ModuleFault>),
     /// Plain failure (bad arguments etc.).
     Fail(String),
 }
@@ -211,6 +256,9 @@ impl std::fmt::Display for KernelError {
         match self {
             KernelError::Panic(s) => write!(f, "kernel panic: {s}"),
             KernelError::Oops(s) => write!(f, "kernel oops: {s}"),
+            KernelError::ModuleFault(m) => {
+                write!(f, "module fault: {} quarantined: {}", m.module, m.reason)
+            }
             KernelError::Fail(s) => write!(f, "error: {s}"),
         }
     }
@@ -233,6 +281,12 @@ struct ModuleTable {
     modules: Vec<Arc<LoadedModule>>,
     by_name: HashMap<String, usize>,
     fn_addrs: HashMap<Word, (usize, FuncId)>,
+    /// Slots of torn-down modules, reusable by the next load (lowest
+    /// first). The dead `Arc` stays in `modules` until then so indices
+    /// remain stable; the window is scrubbed at reuse, not teardown —
+    /// tombstone coverage must poison dead slots *until* the memory is
+    /// re-initialized by a new tenant.
+    free_slots: Vec<usize>,
 }
 
 /// The shared, `Send + Sync` half of the simulated kernel. See the
@@ -279,6 +333,9 @@ pub struct KernelCore {
     slab: Mutex<Slab>,
     procs: Mutex<ProcessTable>,
     panic: Mutex<Option<(String, Option<Violation>)>>,
+    /// Contained module faults, oldest first (the supervisor's and the
+    /// tests' event source). Kernel-wide: any CPU's quarantine appends.
+    faults: Mutex<Vec<ModuleFault>>,
     user_fns: RwLock<HashMap<Word, UserFn>>,
 
     kdata_next: AtomicU64,
@@ -458,6 +515,14 @@ pub struct KernelCpu {
     stack_base: Word,
     sp: Word,
     exec_stack: Vec<Arc<LoadedModule>>,
+    /// The innermost module executing when the trap now unwinding was
+    /// raised — captured by the first `exec_module` frame to observe the
+    /// `Err` (the exec stack has fully popped by the time `enter`
+    /// classifies), consumed by fault classification.
+    pending_fault: Option<Arc<LoadedModule>>,
+    /// Deterministic seeded fault injection (`None` = off; see
+    /// [`crate::fault_inject`]).
+    fault_inject: Option<crate::fault_inject::FaultInjector>,
 
     fuel: u64,
     /// Cycles consumed by interpreted instructions (monotonic).
@@ -523,6 +588,10 @@ impl Kernel {
         // traffic, so grant/revoke splices stay bounded by the region
         // they touch — and so are the per-shard locks.
         let rtc = Arc::new(RuntimeCore::with_shard_boundaries(shard_boundaries()));
+        // The tombstone principal exists from boot, so principal
+        // numbering is deterministic whether or not a module ever
+        // faults (quarantine would otherwise create it lazily).
+        rtc.ensure_tombstone();
         let procs = ProcessTable::new(&mem, KSTATIC_BASE);
 
         let unannotated_decl = {
@@ -550,6 +619,7 @@ impl Kernel {
             slab: Mutex::new(Slab::new(HEAP_BASE)),
             procs: Mutex::new(procs),
             panic: Mutex::new(None),
+            faults: Mutex::new(Vec::new()),
             user_fns: RwLock::new(HashMap::new()),
             kdata_next: AtomicU64::new(KDATA_BASE),
             user_next: AtomicU64::new(0x0000_1000_0000),
@@ -602,6 +672,8 @@ impl KernelCpu {
             stack_base,
             sp: stack_base + STACK_SIZE,
             exec_stack: Vec::new(),
+            pending_fault: None,
+            fault_inject: None,
             fuel: u64::MAX,
             cycles: 0,
             core,
@@ -895,8 +967,10 @@ impl KernelCpu {
 
     // ----------------------------------------------------- panic plumbing
 
-    /// The recorded panic reason, if LXFI panicked the kernel. Panics
-    /// are kernel-wide: any CPU's violation halts every CPU's `enter`.
+    /// The recorded panic reason, if the kernel's *own* invariants were
+    /// violated. Panics are kernel-wide: any CPU's panic halts every
+    /// CPU's `enter`. Contained module faults do **not** set this —
+    /// they are recorded in the fault log (see [`KernelCpu::last_fault`]).
     pub fn panic_reason(&self) -> Option<String> {
         self.core
             .panic
@@ -906,14 +980,19 @@ impl KernelCpu {
             .map(|(s, _)| s.clone())
     }
 
-    /// The violation that caused the panic (for precise assertions).
+    /// The violation behind the most recent containment event: the
+    /// kernel panic if one is recorded, else the latest module fault
+    /// (for precise assertions).
     pub fn last_violation(&self) -> Option<Violation> {
+        if let Some((_, v)) = &*self.core.panic.lock().expect("panic lock") {
+            return v.clone();
+        }
         self.core
-            .panic
+            .faults
             .lock()
-            .expect("panic lock")
-            .as_ref()
-            .and_then(|(_, v)| v.clone())
+            .expect("faults lock")
+            .last()
+            .and_then(|f| f.violation.clone())
     }
 
     /// Clears panic state (tests that probe multiple violations).
@@ -921,9 +1000,61 @@ impl KernelCpu {
         *self.core.panic.lock().expect("panic lock") = None;
     }
 
-    /// Runs a kernel entry point (syscall), classifying traps: policy
-    /// violations panic the kernel; machine faults go down the oops path
-    /// (which runs `do_exit`, §8.1 Econet).
+    // ------------------------------------------------------ fault domain
+
+    /// The most recent contained module fault, if any.
+    pub fn last_fault(&self) -> Option<ModuleFault> {
+        self.core
+            .faults
+            .lock()
+            .expect("faults lock")
+            .last()
+            .cloned()
+    }
+
+    /// Number of contained module faults so far (cheap; the supervisor
+    /// polls this between ticks).
+    pub fn fault_count(&self) -> usize {
+        self.core.faults.lock().expect("faults lock").len()
+    }
+
+    /// The contained module faults recorded at index `from` onward
+    /// (oldest first) — incremental consumption for the supervisor.
+    pub fn faults_since(&self, from: usize) -> Vec<ModuleFault> {
+        let log = self.core.faults.lock().expect("faults lock");
+        log.get(from..).unwrap_or(&[]).to_vec()
+    }
+
+    /// Clears the fault log (tests probing multiple fault sequences).
+    pub fn clear_faults(&mut self) {
+        self.core.faults.lock().expect("faults lock").clear();
+    }
+
+    /// Whether a module registry slot currently holds a live (not torn
+    /// down) module.
+    pub fn module_is_live(&self, id: LoadedModuleId) -> bool {
+        self.core
+            .modules
+            .read()
+            .expect("modules lock")
+            .modules
+            .get(id.0)
+            .is_some_and(|m| !m.unloaded.load(Ordering::Acquire))
+    }
+
+    /// Runs a kernel entry point (syscall), classifying escaped traps by
+    /// fault domain (`docs/fault-model.md`):
+    ///
+    /// - a trap raised while an **isolated module** executes — or a
+    ///   policy violation whose culprit principal belongs to one —
+    ///   quarantines that module only ([`KernelError::ModuleFault`]);
+    ///   the kernel keeps running;
+    /// - machine faults in kernel (or stock-module) context go down the
+    ///   oops path, which runs `do_exit` (§8.1 Econet); module machine
+    ///   faults oops *and* quarantine — the interrupted process dies
+    ///   either way;
+    /// - policy violations attributable to no module are violations of
+    ///   the kernel's own invariants and panic the kernel.
     pub fn enter<R>(
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<R, Trap>,
@@ -931,18 +1062,227 @@ impl KernelCpu {
         if let Some((p, _)) = &*self.core.panic.lock().expect("panic lock") {
             return Err(KernelError::Panic(p.clone()));
         }
+        self.pending_fault = None;
         match f(self) {
-            Ok(r) => Ok(r),
-            Err(Trap::Policy(e)) => {
-                let msg = e.to_string();
-                let viol = e.downcast_ref::<Violation>().cloned();
-                *self.core.panic.lock().expect("panic lock") = Some((msg.clone(), viol));
-                Err(KernelError::Panic(msg))
+            Ok(r) => {
+                // A trap may have been raised and swallowed mid-entry;
+                // stale attribution must not outlive the entry.
+                self.pending_fault = None;
+                Ok(r)
             }
             Err(trap) => {
-                let msg = trap.to_string();
+                let executing = self.pending_fault.take();
+                Err(self.contain_trap(trap, executing))
+            }
+        }
+    }
+
+    /// Classifies an escaped trap (see [`KernelCpu::enter`]) into a
+    /// contained module fault, an oops, or a kernel panic.
+    fn contain_trap(&mut self, trap: Trap, executing: Option<Arc<LoadedModule>>) -> KernelError {
+        let violation = match &trap {
+            Trap::Policy(e) => e.downcast_ref::<Violation>().cloned(),
+            _ => None,
+        };
+        let is_policy = matches!(trap, Trap::Policy(_));
+        let msg = trap.to_string();
+        let culprit = violation.as_ref().and_then(|v| v.culprit());
+
+        // Attribution 1: the innermost isolated module executing when
+        // the trap was raised. Attribution 2: a policy violation raised
+        // in *kernel* context can still name a module principal — e.g.
+        // an indirect call through a slot a module planted (§4.1); the
+        // module that put the kernel in this position is the culprit.
+        let attributed = executing
+            .filter(|m| m.mode == IsolationMode::Lxfi && m.mid.is_some())
+            .or_else(|| {
+                let mid = self.rt.principal_module(culprit?);
+                self.loaded_module_of(mid)
+            });
+
+        if let Some(m) = attributed {
+            let principal = culprit.or_else(|| m.mid.map(|mid| self.rt.shared_principal(mid)));
+            // A machine fault still kills the interrupted process: the
+            // oops path (and its CVE-2010-4258 zero-write) runs exactly
+            // as it would have without LXFI. Policy violations and fuel
+            // exhaustion are LXFI's own verdicts — no process dies.
+            let oopsed = !is_policy && !matches!(trap, Trap::OutOfFuel);
+            if oopsed {
                 self.oops();
-                Err(KernelError::Oops(msg))
+            }
+            return KernelError::ModuleFault(Box::new(
+                self.quarantine(&m, principal, violation, msg, oopsed),
+            ));
+        }
+
+        // A violation naming a retired principal (or the tombstone) is
+        // planted state from a module that is already dead and
+        // reclaimed: record the fault, keep the kernel running.
+        if let Some(p) = culprit {
+            let rtc = self.core.runtime_core();
+            if rtc.is_retired(p) || rtc.tombstone() == Some(p) {
+                let mid = rtc.principal_module(p);
+                let fault = ModuleFault {
+                    id: None,
+                    module: rtc.module_name(mid),
+                    mid: Some(mid),
+                    principal: Some(p),
+                    violation,
+                    reason: msg,
+                    oopsed: false,
+                };
+                self.core
+                    .faults
+                    .lock()
+                    .expect("faults lock")
+                    .push(fault.clone());
+                return KernelError::ModuleFault(Box::new(fault));
+            }
+        }
+
+        // No module to blame: the kernel's own invariants are at stake.
+        if is_policy {
+            *self.core.panic.lock().expect("panic lock") = Some((msg.clone(), violation));
+            KernelError::Panic(msg)
+        } else {
+            self.oops();
+            KernelError::Oops(msg)
+        }
+    }
+
+    /// The live registry entry backed by runtime module `mid`, if any.
+    /// (After slot reuse a dead module's principals resolve to no entry;
+    /// the retired-principal branch of [`KernelCpu::contain_trap`]
+    /// handles them.)
+    fn loaded_module_of(&self, mid: lxfi_core::ModuleId) -> Option<Arc<LoadedModule>> {
+        let tab = self.core.modules.read().expect("modules lock");
+        tab.modules.iter().find(|m| m.mid == Some(mid)).cloned()
+    }
+
+    /// Quarantines a faulted module: records the structured fault, then
+    /// runs the shared teardown (unpublish → grace period → reclaim →
+    /// retire). Idempotent — a second fault attributed to an
+    /// already-dead module only appends its fault record.
+    fn quarantine(
+        &mut self,
+        m: &Arc<LoadedModule>,
+        principal: Option<PrincipalId>,
+        violation: Option<Violation>,
+        reason: String,
+        oopsed: bool,
+    ) -> ModuleFault {
+        let fault = ModuleFault {
+            id: Some(LoadedModuleId(m.slot)),
+            module: m.name.clone(),
+            mid: m.mid,
+            principal,
+            violation,
+            reason,
+            oopsed,
+        };
+        self.core
+            .faults
+            .lock()
+            .expect("faults lock")
+            .push(fault.clone());
+        self.teardown_module(m);
+        fault
+    }
+
+    /// The shared teardown quarantine and [`KernelCpu::unload_module`]
+    /// both run: unpublish the module's name and function addresses,
+    /// wait out the RCU grace period, then reclaim every resource the
+    /// module pinned — CALL capabilities to its functions, the
+    /// kernel-stack WRITE grants of §3.2, slab objects only its
+    /// principals could still free — and retire its principals, moving
+    /// their remaining WRITE coverage to the tombstone so slots the
+    /// module wrote stay poisoned (the window itself is scrubbed at
+    /// slot *reuse*, not here). Returns `false` if the module was
+    /// already torn down.
+    fn teardown_module(&mut self, m: &Arc<LoadedModule>) -> bool {
+        let core = Arc::clone(&self.core);
+        let _load = core.load_lock.lock().expect("load lock");
+        {
+            let mut tab = self.core.modules.write().expect("modules lock");
+            if m.unloaded.swap(true, Ordering::AcqRel) {
+                return false; // already torn down
+            }
+            if tab.by_name.get(&m.name) == Some(&m.slot) {
+                tab.by_name.remove(&m.name);
+            }
+            for i in 0..m.program.funcs.len() {
+                tab.fn_addrs.remove(&(m.fn_base + i as u64 * FN_SPACING));
+            }
+            tab.free_slots.push(m.slot);
+        }
+        // Grace period: the function addresses are unpublished, so no
+        // NEW execution can enter; wait for in-flight executions on
+        // other CPUs to drain before revoking the capabilities they are
+        // actively using — otherwise a benign racing invocation would
+        // die MissingWrite through no fault of its own. References held
+        // by THIS CPU are already unwound on the normal quarantine path
+        // (the exec stack pops before `enter` classifies); a nested
+        // entry tolerates its own — waiting on ourselves would deadlock.
+        let own = self.exec_stack.iter().filter(|e| Arc::ptr_eq(e, m)).count();
+        while m.active.load(Ordering::Acquire) > own {
+            std::thread::yield_now();
+        }
+        let Some(mid) = m.mid else {
+            return true; // stock module: no principals, nothing to reclaim
+        };
+        // CALL capabilities to the dead functions die everywhere (§3.3
+        // transfer semantics applied to the whole module).
+        for i in 0..m.program.funcs.len() {
+            self.rt
+                .revoke_everywhere(RawCap::call(m.fn_base + i as u64 * FN_SPACING));
+        }
+        // Kernel-stack grants (§3.2 initial capability (2)) are
+        // *returned*, not tombstoned: stacks outlive the module and are
+        // legitimately rewritten by every later tenant.
+        let rtc = self.core.runtime_core();
+        let victims = rtc.module_principals(mid);
+        let stacks: Vec<Word> = self.core.threads.lock().expect("threads lock").clone();
+        for &p in &victims {
+            for &base in &stacks {
+                self.rt.revoke_write_overlapping(p, base, STACK_SIZE);
+            }
+        }
+        // Slab objects only this module's principals cover are leaks the
+        // module can no longer free itself (kfree demands WRITE on the
+        // pointer): sweep them. Jointly-covered objects stay — the
+        // surviving owner still frees them through the normal path.
+        self.sweep_module_slab(&victims);
+        // Everything left (window globals, kernel slots it was granted)
+        // moves to the tombstone; the principals retire.
+        self.rt.retire_module(mid);
+        true
+    }
+
+    /// Frees live slab objects whose WRITE coverage belongs only to the
+    /// dying module's principals (two-phase, mirroring the `kfree`
+    /// native).
+    fn sweep_module_slab(&mut self, victims: &[PrincipalId]) {
+        let rtc = self.core.runtime_core();
+        let ts = rtc.tombstone();
+        let objects = self.slab().live_objects();
+        for (addr, _size, class) in objects {
+            let holders: Vec<PrincipalId> = rtc
+                .present_over(addr, class)
+                .into_iter()
+                .filter(|&p| rtc.write_overlaps(p, addr, class))
+                .collect();
+            let dead_holds = holders.iter().any(|p| victims.contains(p));
+            let live_holds = holders
+                .iter()
+                .any(|&p| !victims.contains(&p) && Some(p) != ts && !rtc.is_retired(p));
+            if !dead_holds || live_holds {
+                continue;
+            }
+            if self.slab().begin_free(addr).is_some() {
+                self.rt.revoke_write_overlapping_everywhere(addr, class);
+                let _ = self.mem.zero_range(addr, class);
+                self.rt.note_zeroed(addr, class);
+                self.slab().finish_free(addr, class);
             }
         }
     }
@@ -999,7 +1339,8 @@ impl KernelCpu {
         spec: ModuleSpec,
         mode: IsolationMode,
     ) -> Result<LoadedModuleId, KernelError> {
-        let load_guard = self.core.load_lock.lock().expect("load lock");
+        let core = Arc::clone(&self.core);
+        let load_guard = core.load_lock.lock().expect("load lock");
 
         lxfi_machine::verify_program(&spec.program)
             .map_err(|e| KernelError::Fail(format!("verify {}: {}", spec.name, e[0])))?;
@@ -1047,14 +1388,20 @@ impl KernelCpu {
             })
             .collect();
 
-        let midx = self
-            .core
-            .modules
-            .read()
-            .expect("modules lock")
-            .modules
-            .len();
+        // Reuse the lowest torn-down slot if one is free (loads are
+        // serialized by the load lock, so peeking without popping is
+        // safe; the slot leaves the free list only at the commit point).
+        let (midx, reused) = {
+            let tab = self.core.modules.read().expect("modules lock");
+            match tab.free_slots.iter().copied().min() {
+                Some(s) => (s, true),
+                None => (tab.modules.len(), false),
+            }
+        };
         let window = MODULE_BASE + midx as u64 * MODULE_STRIDE;
+        if reused {
+            self.scrub_window(midx, window);
+        }
         let mid = match mode {
             IsolationMode::Lxfi => Some(self.rt.register_module(&spec.name)),
             IsolationMode::Stock => None,
@@ -1190,7 +1537,11 @@ impl KernelCpu {
         // dispatch either sees the whole module or none of it.
         {
             let mut tab = self.core.modules.write().expect("modules lock");
-            debug_assert_eq!(tab.modules.len(), midx, "loads are serialized");
+            if reused {
+                tab.free_slots.retain(|&s| s != midx);
+            } else {
+                debug_assert_eq!(tab.modules.len(), midx, "loads are serialized");
+            }
             for (i, _f) in program.funcs.iter().enumerate() {
                 tab.fn_addrs
                     .insert(fn_base + i as u64 * FN_SPACING, (midx, FuncId(i as u32)));
@@ -1198,9 +1549,10 @@ impl KernelCpu {
             let program = Arc::new(program);
             let compiled = (self.core.backend == Backend::Compiled)
                 .then(|| Arc::new(CompiledProgram::compile(Arc::clone(&program))));
-            tab.modules.push(Arc::new(LoadedModule {
+            let module = Arc::new(LoadedModule {
                 name: spec.name.clone(),
                 mode,
+                slot: midx,
                 mid,
                 program,
                 compiled,
@@ -1211,7 +1563,12 @@ impl KernelCpu {
                 sig_ahash: RwLock::new(sig_ahash),
                 active: std::sync::atomic::AtomicUsize::new(0),
                 unloaded: AtomicBool::new(false),
-            }));
+            });
+            if reused {
+                tab.modules[midx] = module;
+            } else {
+                tab.modules.push(module);
+            }
             tab.by_name.insert(spec.name.clone(), midx);
         }
         // The merged sig declarations may concern earlier modules' call
@@ -1233,71 +1590,62 @@ impl KernelCpu {
     }
 
     /// Unloads a module: its name is freed, its function addresses stop
-    /// resolving, every principal's WRITE coverage of its window is
-    /// revoked, and CALL capabilities for its functions are revoked
-    /// everywhere. Executions already in flight on other CPUs finish on
-    /// their cloned `Arc` (like a real kernel waiting out an RCU grace
-    /// period); the module slot stays occupied so indices remain stable.
+    /// resolving, its resources are reclaimed, and its principals retire
+    /// — their remaining WRITE coverage moves to the tombstone so slots
+    /// the module wrote stay poisoned (the quarantine teardown, minus
+    /// the fault record). Executions already in flight on other CPUs
+    /// finish on their cloned `Arc` (like a real kernel waiting out an
+    /// RCU grace period); the slot is scrubbed and reused by a later
+    /// load.
     pub fn unload_module(&mut self, id: LoadedModuleId) -> Result<(), KernelError> {
-        // Refuse a self-unload: this CPU waiting out its own execution
-        // below would deadlock (the real kernel's "module busy").
-        if let Some(m) = self
+        let m = self
             .core
             .modules
             .read()
             .expect("modules lock")
             .modules
             .get(id.0)
-        {
-            if self.exec_stack.iter().any(|e| Arc::ptr_eq(e, m)) {
-                return Err(KernelError::Fail(format!(
-                    "{} is executing on this CPU",
-                    m.name
-                )));
-            }
+            .cloned()
+            .ok_or_else(|| KernelError::Fail(format!("no module #{}", id.0)))?;
+        // Refuse a self-unload: this CPU waiting out its own execution
+        // would deadlock (the real kernel's "module busy").
+        if self.exec_stack.iter().any(|e| Arc::ptr_eq(e, &m)) {
+            return Err(KernelError::Fail(format!(
+                "{} is executing on this CPU",
+                m.name
+            )));
         }
-        let _load = self.core.load_lock.lock().expect("load lock");
-        let (m, fn_addrs): (Arc<LoadedModule>, Vec<Word>) = {
-            let mut tab = self.core.modules.write().expect("modules lock");
-            let m = tab
-                .modules
-                .get(id.0)
-                .cloned()
-                .ok_or_else(|| KernelError::Fail(format!("no module #{}", id.0)))?;
-            if m.unloaded.swap(true, Ordering::AcqRel) {
-                return Err(KernelError::Fail(format!("{} already unloaded", m.name)));
-            }
-            if tab.by_name.get(&m.name) == Some(&id.0) {
-                tab.by_name.remove(&m.name);
-            }
-            let addrs: Vec<Word> = (0..m.program.funcs.len())
-                .map(|i| m.fn_base + i as u64 * FN_SPACING)
-                .collect();
-            for a in &addrs {
-                tab.fn_addrs.remove(a);
-            }
-            (m, addrs)
-        };
-        // Grace period: the function addresses are unpublished, so no
-        // NEW execution can enter; wait for in-flight executions on
-        // other CPUs to drain before revoking the capabilities they are
-        // actively using — otherwise a benign racing invocation would
-        // die MissingWrite and panic the shared kernel. In-flight CPUs
-        // never need the load lock held here to finish.
-        while m.active.load(Ordering::Acquire) > 0 {
-            std::thread::yield_now();
+        if !self.teardown_module(&m) {
+            return Err(KernelError::Fail(format!("{} already unloaded", m.name)));
         }
-        // Strip capabilities: no principal may retain WRITE into the
-        // window or CALL to the dead functions (§3.3 transfer semantics
-        // applied to the whole module).
-        let window = MODULE_BASE + id.0 as u64 * MODULE_STRIDE;
+        Ok(())
+    }
+
+    /// Scrubs a dead module's window before a new tenant moves in: the
+    /// tombstone's (and anyone's) residual WRITE coverage over the
+    /// window is dropped — safe only now, because the new tenant
+    /// re-initializes every byte it will expose — the old globals are
+    /// zeroed, their writer-map marks cleared, and the old function
+    /// registrations removed. This is the deferred half of teardown:
+    /// tombstone coverage must poison a dead module's slots exactly
+    /// until the memory is legitimately reused.
+    fn scrub_window(&mut self, slot: usize, window: Word) {
+        let old = Arc::clone(&self.core.modules.read().expect("modules lock").modules[slot]);
+        debug_assert!(
+            old.unloaded.load(Ordering::Acquire),
+            "scrubbing a live slot"
+        );
         self.rt
             .revoke_write_overlapping_everywhere(window, MODULE_STRIDE);
-        for a in fn_addrs {
-            self.rt.revoke_everywhere(RawCap::call(a));
+        for (gi, g) in old.program.globals.iter().enumerate() {
+            let addr = old.global_addrs[gi];
+            let _ = self.mem.zero_range(addr, g.size);
+            self.rt.note_zeroed(addr, g.size);
         }
-        drop(m);
-        Ok(())
+        let rtc = self.core.runtime_core();
+        for i in 0..old.program.funcs.len() {
+            rtc.unregister_function(old.fn_base + i as u64 * FN_SPACING);
+        }
     }
 
     /// Loads the core kernel's KIR dispatch thunks, instrumented by the
@@ -1356,6 +1704,7 @@ impl KernelCpu {
             tab.modules.push(Arc::new(LoadedModule {
                 name: "<kernel-thunks>".into(),
                 mode: IsolationMode::Stock, // kernel code is trusted
+                slot: midx,
                 mid: None,
                 program,
                 compiled,
@@ -1469,6 +1818,14 @@ impl KernelCpu {
             Some(cp) => run_compiled(self, cp, fid, args),
             None => run_function(self, &prog, fid, args),
         };
+        if r.is_err() && self.pending_fault.is_none() {
+            // Fault attribution: the first frame to observe the trap
+            // during unwind is the innermost one — the module that was
+            // executing when the trap was raised. `enter` consumes this
+            // after the exec stack has fully popped.
+            let m = self.exec_stack.last().expect("balanced exec stack");
+            self.pending_fault = Some(Arc::clone(m));
+        }
         self.exec_exit();
         r
     }
@@ -1698,6 +2055,40 @@ impl KernelCpu {
             .is_some_and(|m| m.mode == IsolationMode::Stock && m.mid.is_none())
     }
 
+    // ----------------------------------------------------- fault injection
+
+    /// Arms deterministic seeded fault injection on **this CPU** (see
+    /// [`crate::fault_inject`]): rules fire while the named modules
+    /// execute, at the configured sites and rates, from a per-CPU
+    /// xorshift stream seeded by `plan.seed` and this CPU's thread id.
+    pub fn set_fault_plan(&mut self, plan: Arc<crate::fault_inject::FaultPlan>) {
+        self.fault_inject = Some(crate::fault_inject::FaultInjector::new(
+            plan,
+            self.thread.0 as u64,
+        ));
+    }
+
+    /// Disarms fault injection on this CPU.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_inject = None;
+    }
+
+    /// True when an injection rule fires at `site` for the innermost
+    /// executing isolated module. Allocation-free, and a single `None`
+    /// check when no plan is armed.
+    pub(crate) fn fault_fires(&mut self, site: crate::fault_inject::FaultSite) -> bool {
+        let Some(inj) = self.fault_inject.as_mut() else {
+            return false;
+        };
+        let Some(m) = self.exec_stack.last() else {
+            return false;
+        };
+        if m.mode != IsolationMode::Lxfi || m.mid.is_none() {
+            return false;
+        }
+        inj.fires(&m.name, site)
+    }
+
     // -------------------------------------------------------------- fuel
 
     /// Caps interpreted-instruction budget (tests against runaway loops).
@@ -1721,6 +2112,9 @@ impl Env for KernelCpu {
     }
 
     fn consume(&mut self, cycles: u64) -> Result<(), Trap> {
+        if self.fault_inject.is_some() && self.fault_fires(crate::fault_inject::FaultSite::Fuel) {
+            return Err(Trap::OutOfFuel);
+        }
         if self.fuel < cycles {
             return Err(Trap::OutOfFuel);
         }
@@ -1754,6 +2148,25 @@ impl Env for KernelCpu {
 
     fn guard_write(&mut self, addr: Word, len: Word) -> Result<(), Trap> {
         let t = self.current_thread();
+        if self.fault_inject.is_some() {
+            use crate::fault_inject::FaultSite;
+            if self.fault_fires(FaultSite::RogueStore) {
+                // Aim the store at protected kernel data instead: the
+                // *real* guard machinery raises (and attributes) the
+                // violation, exactly as for a genuine rogue store.
+                self.rt.check_write(t, KDATA_BASE, 8)?;
+            }
+            if self.fault_fires(FaultSite::GuardWrite) {
+                // Synthesize a guard failure for the real access.
+                if let Some((_, p)) = self.rt.current(t) {
+                    return Err(Trap::from(Violation::MissingWrite {
+                        principal: p,
+                        addr,
+                        len,
+                    }));
+                }
+            }
+        }
         self.rt.check_write(t, addr, len)?;
         Ok(())
     }

@@ -16,7 +16,12 @@
 //!   ([`exports`]);
 //! - the [`Kernel`] world: module loading (stock or LXFI-rewritten),
 //!   wrapper execution at every kernel/module crossing, indirect-call
-//!   interposition, panic-on-violation semantics ([`kernel`]);
+//!   interposition, per-module fault containment (quarantine on trap;
+//!   the panic flag is reserved for the kernel's own invariants —
+//!   `docs/fault-model.md`) ([`kernel`]);
+//! - supervised recovery with backoff and crash-loop detection
+//!   ([`supervisor`]) over deterministic seeded fault injection
+//!   ([`fault_inject`]);
 //! - subsystems: PCI ([`pci`]), networking ([`net`]), sockets
 //!   ([`socket`]), sound ([`snd`]), device mapper ([`dm`]);
 //! - the netperf-style cost model used to regenerate Figure 12
@@ -25,6 +30,7 @@
 pub mod dm;
 pub mod exports;
 pub mod exports_base;
+pub mod fault_inject;
 pub mod kernel;
 pub mod layout;
 pub mod net;
@@ -34,11 +40,15 @@ pub mod process;
 pub mod slab;
 pub mod snd;
 pub mod socket;
+pub mod supervisor;
 pub mod types;
 
 pub use exports::{Export, NativeFn};
+pub use fault_inject::{FaultPlan, FaultRule, FaultSite};
 pub use kernel::{
-    IsolationMode, Kernel, KernelCore, KernelCpu, KernelError, LoadedModuleId, ModuleSpec, UserFn,
+    IsolationMode, Kernel, KernelCore, KernelCpu, KernelError, LoadedModuleId, ModuleFault,
+    ModuleSpec, UserFn,
 };
 pub use layout::*;
 pub use lxfi_machine::{Backend, CompileStats};
+pub use supervisor::{RestartPolicy, SupervisedState, Supervisor, SupervisorEvent};

@@ -128,6 +128,13 @@ impl Slab {
     pub fn live_count(&self) -> usize {
         self.live.len()
     }
+
+    /// Snapshot of the live allocations as `(addr, requested size,
+    /// class)` — module teardown scans it for objects only the dead
+    /// module's principals could still free.
+    pub fn live_objects(&self) -> Vec<(Word, u64, u64)> {
+        self.live.clone()
+    }
 }
 
 #[cfg(test)]

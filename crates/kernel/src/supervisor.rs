@@ -1,0 +1,271 @@
+//! Supervised module recovery: restart quarantined modules with bounded
+//! exponential backoff and crash-loop detection.
+//!
+//! The supervisor is deliberately *outside* the kernel's trusted
+//! containment path: quarantine is complete without it (the module is
+//! dead and its resources reclaimed). What the supervisor adds is
+//! availability — reload the module from its pristine spec, back off
+//! exponentially while it keeps dying, and after
+//! [`RestartPolicy::max_consecutive_failures`] declare it crash-looping
+//! and leave it dead so the kernel degrades gracefully, serving the
+//! remaining modules.
+//!
+//! Time is a caller-driven tick counter ([`Supervisor::tick`]), never a
+//! wall clock, so supervised chaos runs are deterministic. Faults are
+//! consumed from the kernel's structured fault log
+//! ([`crate::KernelCpu::faults_since`]) and matched by module *name* —
+//! no string-parsing of panic messages.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::{IsolationMode, KernelCpu, LoadedModuleId, ModuleSpec};
+
+/// Restart policy knobs (all in supervisor ticks).
+#[derive(Debug, Clone, Copy)]
+pub struct RestartPolicy {
+    /// Consecutive failures after which the module stays dead.
+    pub max_consecutive_failures: u32,
+    /// Backoff before the first restart; doubles per consecutive
+    /// failure.
+    pub base_backoff: u64,
+    /// Backoff ceiling.
+    pub max_backoff: u64,
+    /// Ticks a restarted module must run fault-free before its failure
+    /// streak resets (so a module that dies every N calls still trips
+    /// crash-loop detection).
+    pub probation: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_consecutive_failures: 5,
+            base_backoff: 1,
+            max_backoff: 64,
+            probation: 8,
+        }
+    }
+}
+
+/// What a supervised module is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisedState {
+    /// Loaded and serving.
+    Running(LoadedModuleId),
+    /// Quarantined; restart scheduled.
+    Backoff {
+        /// Tick at which the next restart attempt is due.
+        until_tick: u64,
+    },
+    /// Crash-looping; the supervisor gave up on it.
+    Dead,
+}
+
+/// One thing the supervisor did during a tick (logs and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorEvent {
+    /// A new fault was attributed to a supervised module.
+    Faulted {
+        /// The module.
+        module: String,
+        /// Its consecutive-failure streak after this fault.
+        consecutive: u32,
+    },
+    /// A quarantined module was reloaded.
+    Restarted {
+        /// The module.
+        module: String,
+        /// Its fresh registry id.
+        id: LoadedModuleId,
+        /// The backoff it waited out.
+        after_backoff: u64,
+    },
+    /// A reload attempt itself failed (counts toward the streak).
+    RestartFailed {
+        /// The module.
+        module: String,
+        /// The loader's error.
+        why: String,
+    },
+    /// The streak reached the policy limit; the module stays dead.
+    CrashLooping {
+        /// The module.
+        module: String,
+    },
+}
+
+type SpecBuilder = Box<dyn Fn() -> ModuleSpec + Send>;
+
+struct Entry {
+    builder: SpecBuilder,
+    mode: IsolationMode,
+    state: SupervisedState,
+    consecutive_failures: u32,
+    backoff: u64,
+    healthy_since: u64,
+    restarts: u64,
+}
+
+/// The supervisor: a registry of restartable modules driven by
+/// [`Supervisor::tick`].
+pub struct Supervisor {
+    policy: RestartPolicy,
+    /// Keyed and ordered by module name, so a tick's restart order is
+    /// deterministic.
+    entries: BTreeMap<String, Entry>,
+    tick: u64,
+    faults_seen: usize,
+}
+
+impl Supervisor {
+    /// An empty supervisor with the given policy.
+    pub fn new(policy: RestartPolicy) -> Self {
+        Supervisor {
+            policy,
+            entries: BTreeMap::new(),
+            tick: 0,
+            faults_seen: 0,
+        }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Loads a module and registers it for supervised restart. `builder`
+    /// must produce a pristine [`ModuleSpec`] on every call (specs are
+    /// consumed by loading).
+    pub fn supervise(
+        &mut self,
+        k: &mut KernelCpu,
+        name: &str,
+        mode: IsolationMode,
+        builder: SpecBuilder,
+    ) -> Result<LoadedModuleId, crate::kernel::KernelError> {
+        // Faults already in the log predate supervision.
+        self.faults_seen = self.faults_seen.max(k.fault_count());
+        let id = k.load_module_with_mode(builder(), mode)?;
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                builder,
+                mode,
+                state: SupervisedState::Running(id),
+                consecutive_failures: 0,
+                backoff: 0,
+                healthy_since: self.tick,
+                restarts: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The supervised state of a module.
+    pub fn state(&self, name: &str) -> Option<SupervisedState> {
+        self.entries.get(name).map(|e| e.state)
+    }
+
+    /// How many times a module has been restarted.
+    pub fn restarts(&self, name: &str) -> u64 {
+        self.entries.get(name).map(|e| e.restarts).unwrap_or(0)
+    }
+
+    /// Advances supervision by one tick: consume new faults from the
+    /// kernel's fault log, reset streaks that survived probation, and
+    /// restart quarantined modules whose backoff expired.
+    pub fn tick(&mut self, k: &mut KernelCpu) -> Vec<SupervisorEvent> {
+        self.tick += 1;
+        let mut events = Vec::new();
+
+        // 1. Attribute new faults. A fault for a module already declared
+        // dead (or one we do not supervise) is recorded by the kernel
+        // but changes nothing here.
+        let fresh = k.faults_since(self.faults_seen);
+        self.faults_seen += fresh.len();
+        for f in &fresh {
+            let Some(e) = self.entries.get_mut(&f.module) else {
+                continue;
+            };
+            if e.state == SupervisedState::Dead {
+                continue;
+            }
+            e.consecutive_failures += 1;
+            events.push(SupervisorEvent::Faulted {
+                module: f.module.clone(),
+                consecutive: e.consecutive_failures,
+            });
+            if e.consecutive_failures >= self.policy.max_consecutive_failures {
+                e.state = SupervisedState::Dead;
+                events.push(SupervisorEvent::CrashLooping {
+                    module: f.module.clone(),
+                });
+            } else {
+                e.backoff = self
+                    .policy
+                    .base_backoff
+                    .saturating_mul(1 << (e.consecutive_failures - 1).min(32))
+                    .min(self.policy.max_backoff);
+                e.state = SupervisedState::Backoff {
+                    until_tick: self.tick + e.backoff,
+                };
+            }
+        }
+
+        // 2. Probation: a module that ran fault-free long enough earns
+        // a clean slate.
+        for e in self.entries.values_mut() {
+            if matches!(e.state, SupervisedState::Running(_))
+                && e.consecutive_failures > 0
+                && self.tick.saturating_sub(e.healthy_since) >= self.policy.probation
+            {
+                e.consecutive_failures = 0;
+            }
+        }
+
+        // 3. Restarts due this tick.
+        for (name, e) in self.entries.iter_mut() {
+            let SupervisedState::Backoff { until_tick } = e.state else {
+                continue;
+            };
+            if self.tick < until_tick {
+                continue;
+            }
+            match k.load_module_with_mode((e.builder)(), e.mode) {
+                Ok(id) => {
+                    e.state = SupervisedState::Running(id);
+                    e.restarts += 1;
+                    e.healthy_since = self.tick;
+                    events.push(SupervisorEvent::Restarted {
+                        module: name.clone(),
+                        id,
+                        after_backoff: e.backoff,
+                    });
+                }
+                Err(err) => {
+                    e.consecutive_failures += 1;
+                    events.push(SupervisorEvent::RestartFailed {
+                        module: name.clone(),
+                        why: err.to_string(),
+                    });
+                    if e.consecutive_failures >= self.policy.max_consecutive_failures {
+                        e.state = SupervisedState::Dead;
+                        events.push(SupervisorEvent::CrashLooping {
+                            module: name.clone(),
+                        });
+                    } else {
+                        e.backoff = self
+                            .policy
+                            .base_backoff
+                            .saturating_mul(1 << (e.consecutive_failures - 1).min(32))
+                            .min(self.policy.max_backoff);
+                        e.state = SupervisedState::Backoff {
+                            until_tick: self.tick + e.backoff,
+                        };
+                    }
+                }
+            }
+        }
+        events
+    }
+}

@@ -258,17 +258,33 @@ fn module_cannot_call_unimported_exports() {
 }
 
 #[test]
-fn enter_classifies_violations_as_panic() {
+fn enter_quarantines_module_violations_without_panicking() {
+    // A policy violation raised while a module executes is the MODULE's
+    // fault: the kernel quarantines it and keeps serving — the kernel
+    // panic flag is reserved for the kernel's own invariants.
     let mut k = Kernel::boot(IsolationMode::Lxfi);
-    k.load_module(toy_spec()).unwrap();
+    let id = k.load_module(toy_spec()).unwrap();
     let r = k.enter(|k| call(k, "toy", "overflow", &[64]));
-    assert!(matches!(r, Err(lxfi_kernel::KernelError::Panic(_))));
-    assert!(k.panic_reason().is_some());
-    assert!(k.last_violation().is_some());
-    // Subsequent syscalls fail fast until the panic is cleared.
-    let r2 = k.enter(|k| call(k, "toy", "alloc_and_fill", &[8]));
-    assert!(matches!(r2, Err(lxfi_kernel::KernelError::Panic(_))));
-    k.clear_panic();
+    let fault = match r {
+        Err(lxfi_kernel::KernelError::ModuleFault(f)) => *f,
+        other => panic!("expected ModuleFault, got {other:?}"),
+    };
+    assert_eq!(fault.module, "toy");
+    assert_eq!(fault.id, Some(id));
+    assert!(!fault.oopsed, "policy violations do not oops");
+    assert!(
+        matches!(fault.violation, Some(Violation::MissingWrite { .. })),
+        "structured violation travels in the fault record: {:?}",
+        fault.violation
+    );
+    assert!(k.panic_reason().is_none(), "kernel did not panic");
+    assert!(k.last_violation().is_some(), "violation still reportable");
+    assert!(!k.module_is_live(id), "the faulting module is quarantined");
+    // The kernel keeps serving: the quarantined module's name is gone,
+    // and a fresh instance can be loaded and used immediately.
+    assert!(k.module_id("toy").is_none(), "name unpublished");
+    let id2 = k.load_module(toy_spec()).unwrap();
+    assert_eq!(id2, id, "the quarantined slot is scrubbed and reused");
     assert!(k.enter(|k| call(k, "toy", "alloc_and_fill", &[8])).is_ok());
 }
 

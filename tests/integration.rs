@@ -280,6 +280,12 @@ fn violations_identify_the_offending_principal() {
     k.mem.write_word(buf, victim).unwrap();
     k.mem.write_word(buf + 8, 1).unwrap();
     k.enter(|k| k.sys_sendmsg(sock, buf, 16)).unwrap();
+    // Resolve the expected principal BEFORE the violation: the fault
+    // quarantines the module, unpublishing its name and retiring its
+    // principals.
+    let rds = k.module_id("rds").unwrap();
+    let mid = k.runtime_module(rds).unwrap();
+    let expected = k.rt.principal_for_name(mid, sock);
     let _ = k.enter(|k| k.sys_recvmsg(sock, 0, 0));
     let Some(Violation::MissingWrite {
         principal, addr, ..
@@ -288,8 +294,14 @@ fn violations_identify_the_offending_principal() {
         panic!("expected MissingWrite");
     };
     assert_eq!(addr, victim);
-    let mid = k.runtime_module(k.module_id("rds").unwrap()).unwrap();
-    assert_eq!(k.rt.principal_for_name(mid, sock), principal);
+    assert_eq!(expected, principal);
+    // The structured fault record carries the same attribution — no
+    // string-matching needed to learn who died.
+    let fault = k.last_fault().unwrap();
+    assert_eq!(fault.module, "rds");
+    assert_eq!(fault.mid, Some(mid));
+    assert_eq!(fault.principal, Some(principal));
+    assert!(k.panic_reason().is_none(), "module fault, not kernel panic");
 }
 
 #[test]
