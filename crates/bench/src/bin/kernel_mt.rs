@@ -21,6 +21,8 @@ fn row(m: &KernelMtMeasurement) -> Vec<String> {
         format!("{:.0}", m.pkt_ns),
         format!("{:.1}", m.aggregate_kpps),
         format!("{:.1}%", m.hit_rate * 100.0),
+        format!("{:.1}%", m.magazine_hit_rate * 100.0),
+        format!("{}/{}", m.transfer_fast, m.transfer_slow),
         format!("{}", m.churn_ops),
         format!("{}", m.churn_loads),
     ]
@@ -63,6 +65,8 @@ fn main() {
                 "Pkt ns (median batch)",
                 "Aggregate Kpkt/s",
                 "Hit rate",
+                "Mag hit",
+                "Xfer f/s",
                 "Churn ops",
                 "Loads"
             ],
@@ -76,7 +80,10 @@ fn main() {
          a module under the workers. The per-packet kfree sweep bumps the\n\
          owning principal's epoch, so the hit rate reflects within-packet\n\
          re-references (~1/3), not the bare-guard netperf_mt steady state.\n\
-         The perf gate bounds contended/uncontended per-packet latency and\n\
-         CPU-count-aware scaling."
+         Mag hit = per-CPU slab magazine hit rate; Xfer f/s = grant\n\
+         transfers via the single-holder splice fast path vs the revoke\n\
+         sweep. The perf gate bounds contended/uncontended per-packet\n\
+         latency, CPU-count-aware scaling, magazine hit rate, and the\n\
+         transfer fast path."
     );
 }

@@ -106,6 +106,18 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
     out.push(("kmt_contended_2t_hit_rate".into(), km2c.hit_rate));
     out.push(("kmt_contended_2t_churn_ops".into(), km2c.churn_ops as f64));
     out.push(("kmt_contended_2t_loads".into(), km2c.churn_loads as f64));
+    // Data-plane counters from the uncontended 2-CPU run: per-CPU slab
+    // magazine hit rate, single-holder grant-transfer fast/slow split,
+    // and the note_zeroed clean-stripe fast skips. All deterministic
+    // enough to gate on as floors (LIFO reuse keeps the hit rate high;
+    // every TX packet's skb transfer has one holder).
+    out.push(("kmt_magazine_hit_rate".into(), km2u.magazine_hit_rate));
+    out.push(("kmt_transfer_fast".into(), km2u.transfer_fast as f64));
+    out.push(("kmt_transfer_slow".into(), km2u.transfer_slow as f64));
+    out.push((
+        "kmt_note_zeroed_fast_skips".into(),
+        km2u.note_zeroed_fast_skips as f64,
+    ));
     // Sound playback period: deterministic simulated cycles, so the
     // stock/LXFI ratio is machine-independent.
     let pb = sound::playback_comparison(200);
@@ -400,6 +412,14 @@ fn main() {
         )
     );
     println!("(full 1/2/4-CPU sweep: `cargo run --bin kernel_mt`)");
+    println!(
+        "\nData plane (idle run): magazine hit rate {:.1}%, grant\n\
+         transfers fast/slow {}/{}, note_zeroed clean-stripe skips {}.",
+        km2u.magazine_hit_rate * 100.0,
+        km2u.transfer_fast,
+        km2u.transfer_slow,
+        km2u.note_zeroed_fast_skips
+    );
 
     let pb = sound::playback_comparison(200);
     println!(

@@ -92,6 +92,17 @@ pub struct KernelMtMeasurement {
     pub aggregate_kpps: f64,
     /// Write-guard cache hit rate merged over all workers.
     pub hit_rate: f64,
+    /// Slab magazine hit rate merged over all workers (allocations
+    /// served without touching the backing shard's free lists).
+    pub magazine_hit_rate: f64,
+    /// Single-holder grant transfers that took the one-splice fast path,
+    /// summed over workers.
+    pub transfer_fast: u64,
+    /// Grant transfers that fell back to the full revoke sweep.
+    pub transfer_slow: u64,
+    /// `note_zeroed` calls answered by the lock-free clean-stripe
+    /// pre-check, summed over workers.
+    pub note_zeroed_fast_skips: u64,
     /// Grant/revoke pairs the churn CPU completed (0 uncontended).
     pub churn_ops: u64,
     /// Module load/unload cycles the churn CPU completed.
@@ -209,13 +220,20 @@ pub fn run_kernel_mt_backend(
                 let median = batch_means[batch_means.len() / 2];
                 let hits = cpu.rt.stats.write_cache_hits;
                 let misses = cpu.rt.stats.write_cache_misses;
-                (median, elapsed, hits, misses)
+                let lockfree = DataPlaneCounters {
+                    mag_hits: cpu.mags.hits,
+                    mag_misses: cpu.mags.misses,
+                    transfer_fast: cpu.rt.stats.transfer_fast,
+                    transfer_slow: cpu.rt.stats.transfer_slow,
+                    note_zeroed_fast_skips: cpu.rt.stats.note_zeroed_fast_skips,
+                };
+                (median, elapsed, hits, misses, lockfree)
             })
         })
         .collect();
 
     start_barrier.wait();
-    let results: Vec<(f64, f64, u64, u64)> =
+    let results: Vec<(f64, f64, u64, u64, DataPlaneCounters)> =
         handles.into_iter().map(|h| h.join().unwrap()).collect();
     stop.store(true, Ordering::Relaxed);
     if let Some(c) = churner {
@@ -230,15 +248,31 @@ pub fn run_kernel_mt_backend(
     let slowest = results.iter().map(|r| r.1).fold(0.0f64, f64::max);
     let hits: u64 = results.iter().map(|r| r.2).sum();
     let misses: u64 = results.iter().map(|r| r.3).sum();
+    let mag_hits: u64 = results.iter().map(|r| r.4.mag_hits).sum();
+    let mag_misses: u64 = results.iter().map(|r| r.4.mag_misses).sum();
     KernelMtMeasurement {
         threads,
         contended,
         pkt_ns: results.iter().map(|r| r.0).sum::<f64>() / threads as f64,
         aggregate_kpps: (threads as u64 * packets_per_cpu) as f64 / slowest / 1e3,
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        magazine_hit_rate: mag_hits as f64 / (mag_hits + mag_misses).max(1) as f64,
+        transfer_fast: results.iter().map(|r| r.4.transfer_fast).sum(),
+        transfer_slow: results.iter().map(|r| r.4.transfer_slow).sum(),
+        note_zeroed_fast_skips: results.iter().map(|r| r.4.note_zeroed_fast_skips).sum(),
         churn_ops: churn_ops.load(Ordering::Relaxed),
         churn_loads: churn_loads.load(Ordering::Relaxed),
     }
+}
+
+/// Per-worker lock-avoidance counters folded into the measurement.
+#[derive(Debug, Clone, Copy)]
+struct DataPlaneCounters {
+    mag_hits: u64,
+    mag_misses: u64,
+    transfer_fast: u64,
+    transfer_slow: u64,
+    note_zeroed_fast_skips: u64,
 }
 
 /// The thread counts the human table reports.
@@ -287,6 +321,16 @@ mod tests {
             "within-packet stores should still hit: {m:?}"
         );
         assert_eq!(m.churn_ops, 0);
+        // The lock-free data plane did its job: allocations came out of
+        // the per-CPU magazines, skb grant transfers took the
+        // single-holder splice, and at least the first zero-note per
+        // worker was answered without a lock.
+        assert!(
+            m.magazine_hit_rate > 0.9,
+            "steady-state allocs must hit the magazines: {m:?}"
+        );
+        assert!(m.transfer_fast > 0, "skb transfers must go fast: {m:?}");
+        assert!(m.note_zeroed_fast_skips > 0, "clean-stripe skip: {m:?}");
     }
 
     #[test]

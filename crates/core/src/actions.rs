@@ -124,11 +124,9 @@ fn apply_one(
                 record_action(rt);
                 require_owned(rt, src, cap)?;
                 // Transfer revokes the capability from ALL principals so no
-                // copies survive (§3.3), then grants the destination.
-                rt.revoke_everywhere(cap);
-                if let Some((_, p)) = dst {
-                    rt.grant(p, cap);
-                }
+                // copies survive (§3.3), then grants the destination. WRITE
+                // caps with a single holder take the one-splice fast path.
+                rt.transfer_cap(cap, dst.map(|(_, p)| p));
             }
             Ok(())
         }

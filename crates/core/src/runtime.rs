@@ -32,11 +32,21 @@
 //! # Locking and soundness discipline
 //!
 //! Lock order (outer → inner): `meta` → per-principal `caps` mutex →
-//! `sharding` (read) → per-shard mutex; `writer_map` only ever nests
-//! *inside* `sharding` (note_zeroed holds the sharding read lock while
-//! writing the map) or stands alone. No path takes two
-//! `caps` mutexes at once; fallback probes (instance → shared, global →
-//! union) lock one table at a time.
+//! `sharding` (read) → per-shard mutex → interner mutex. The interner is
+//! a strict leaf: shard splices are phase-split (see
+//! [`crate::writer_index`]), taking the interner only for the
+//! id/refcount phase while the memmove runs under the shard lock alone,
+//! and nothing acquires a shard while holding the interner. The
+//! writer-set bitmap is **striped** by address region
+//! ([`crate::writer_set::StripedWriterMap`]): each stripe has its own
+//! lock plus a lock-free marked-granule counter, so `maybe_written` /
+//! `note_zeroed` on a provably-clean stripe touch no lock, and dirty
+//! probes lock only their stripe. A stripe lock nests *inside*
+//! `sharding` (an immediate `note_zeroed` holds the sharding read lock
+//! while clearing; a grant's `mark` takes the stripe lock alone and
+//! releases it before touching the index) — never the other way around.
+//! No path takes two `caps` mutexes at once; fallback probes (instance →
+//! shared, global → union) lock one table at a time.
 //!
 //! The write-guard soundness invariant under races — *after a revoke
 //! returns, no stale cached grant can authorize a write* — follows from
@@ -68,7 +78,7 @@ use crate::stats::{GuardCosts, GuardKind, GuardStats};
 use crate::writer_index::{
     for_each_segment, normalize_boundaries, shard_hi, shard_lo, IndexShard, SetInterner,
 };
-use crate::writer_set::WriterMap;
+use crate::writer_set::{StripedWriterMap, ZeroNoteToken};
 use crate::Violation;
 
 /// Identifies a kernel thread.
@@ -228,14 +238,17 @@ impl SlotTable {
 /// independently locked [`IndexShard`] per region, over one shared
 /// (mutexed) set interner. Grant/revoke splices and indirect-call
 /// lookups lock only the shards their address range touches, one at a
-/// time, under the interner mutex (taken before any shard lock). The
-/// interner mutex therefore serializes index *mutations* with each
-/// other and with writer lookups — which is also what makes a
-/// revocation's remove-and-reinstate atomic per shard — while the
-/// interner-free queries (`overlaps`, the presence hint) only contend
-/// on the shards they touch, and the guard-store hot path touches none
-/// of this. Narrowing the interner hold to the id/refcount phase (so
-/// splice memmoves in different shards can overlap) is a ROADMAP item.
+/// time. Splices are **phase-split**: the interner mutex is taken only
+/// for the id/refcount phase of each splice, then released before the
+/// interval memmove runs under the shard lock alone — so mutations in
+/// different shards overlap except for their brief interner sections,
+/// and the lock order is strictly shard → interner (the interner is a
+/// leaf). Atomicity per shard comes from the shard lock, which the
+/// caller holds across a whole remove-and-reinstate
+/// ([`Sharding::replace`]) or holder substitution
+/// ([`Sharding::substitute`]); the interner-free queries (`overlaps`,
+/// the presence hint) only contend on the shards they touch, and the
+/// guard-store hot path touches none of this.
 struct Sharding {
     boundaries: Vec<Word>,
     shards: Vec<Mutex<IndexShard>>,
@@ -269,8 +282,9 @@ impl Sharding {
     }
 
     fn add(&self, p: PrincipalId, addr: Word, size: u64) {
-        let mut interner = self.interner.lock().expect("interner lock");
-        self.for_segments(addr, size, |sh, lo, hi| sh.add(&mut interner, p, lo, hi));
+        self.for_segments(addr, size, |sh, lo, hi| {
+            sh.add_split(&self.interner, p, lo, hi)
+        });
     }
 
     /// Replaces `p`'s index coverage over `[addr, addr+size)` with the
@@ -282,15 +296,43 @@ impl Sharding {
     /// transiently over-approximate a writer (conservative), never
     /// under-approximate one.
     fn replace(&self, p: PrincipalId, addr: Word, size: u64, residuals: &[(Word, Word)]) {
-        let mut interner = self.interner.lock().expect("interner lock");
         self.for_segments(addr, size, |sh, lo, hi| {
-            sh.remove(&mut interner, p, lo, hi);
+            sh.remove_split(&self.interner, p, lo, hi);
             for &(rlo, rhi) in residuals {
                 let clo = rlo.max(lo);
                 let chi = rhi.min(hi);
                 if clo < chi {
-                    sh.add(&mut interner, p, clo, chi);
+                    sh.add_split(&self.interner, p, clo, chi);
                 }
+            }
+        });
+    }
+
+    /// The single-holder transfer splice: swaps `src`'s coverage of
+    /// `[addr, addr+size)` for `dst`'s, reinstating `src`'s residual
+    /// coverage, with each shard's whole substitution under **one** hold
+    /// of that shard's lock. A racing lookup sees either the old holder
+    /// or the new one (plus residuals) — never a transiently uncovered
+    /// range.
+    fn substitute(
+        &self,
+        src: PrincipalId,
+        dst: Option<PrincipalId>,
+        addr: Word,
+        size: u64,
+        residuals: &[(Word, Word)],
+    ) {
+        self.for_segments(addr, size, |sh, lo, hi| {
+            sh.remove_split(&self.interner, src, lo, hi);
+            for &(rlo, rhi) in residuals {
+                let clo = rlo.max(lo);
+                let chi = rhi.min(hi);
+                if clo < chi {
+                    sh.add_split(&self.interner, src, clo, chi);
+                }
+            }
+            if let Some(d) = dst {
+                sh.add_split(&self.interner, d, lo, hi);
             }
         });
     }
@@ -302,9 +344,10 @@ impl Sharding {
     }
 
     fn collect_writers(&self, addr: Word, len: u64, out: &mut Vec<PrincipalId>) {
-        let interner = self.interner.lock().expect("interner lock");
         self.for_segments(addr, len, |sh, lo, hi| {
-            sh.collect_writers(&interner, lo, hi, out)
+            // Shard lock first, interner second (leaf) — the splice order.
+            let interner = self.interner.lock().expect("interner lock");
+            sh.collect_writers(&interner, lo, hi, out);
         });
     }
 
@@ -359,7 +402,10 @@ pub struct RuntimeCore {
     meta: RwLock<Meta>,
     slots: SlotTable,
     sharding: RwLock<Sharding>,
-    writer_map: RwLock<WriterMap>,
+    /// Striped by the same region boundaries as the writer index (fixed
+    /// at construction: a later `set_shard_boundaries` re-shards the
+    /// index only — stripe layout is a perf detail, not semantics).
+    writer_map: StripedWriterMap,
     names: RwLock<Names>,
     fns: RwLock<HashMap<Word, FnMeta>>,
     /// Merged per-thread handle stats (handles flush here on drop or via
@@ -394,8 +440,8 @@ impl RuntimeCore {
         RuntimeCore {
             meta: RwLock::new(Meta::default()),
             slots: SlotTable::new(),
+            writer_map: StripedWriterMap::with_boundaries(&boundaries),
             sharding: RwLock::new(Sharding::new(boundaries, 0)),
-            writer_map: RwLock::new(WriterMap::new()),
             names: RwLock::new(Names::default()),
             fns: RwLock::new(HashMap::new()),
             stats: Mutex::new(GuardStats::new()),
@@ -673,10 +719,7 @@ impl RuntimeCore {
     /// cannot invalidate a cached positive guard decision.
     pub fn grant(&self, p: PrincipalId, cap: RawCap) {
         if cap.ctype == CapType::Write {
-            self.writer_map
-                .write()
-                .expect("writer map lock")
-                .mark(cap.addr, cap.size);
+            self.writer_map.mark(cap.addr, cap.size);
             let mut caps = self.slot(p).caps.lock().expect("caps lock");
             // Index before table: an indirect call racing this grant may
             // see the writer early (conservative), never late.
@@ -764,6 +807,10 @@ impl RuntimeCore {
     /// indirect-call lookup can never see the survivor's coverage
     /// transiently absent.
     fn unindex_write_locked(&self, p: PrincipalId, addr: Word, size: u64, caps: &CapSet) {
+        // Invalidate deferred zero-notes overlapping the removed window
+        // *before* the splice: a drain that observes the post-splice
+        // index must also observe this bump (see `StripedWriterMap`).
+        self.writer_map.note_revoked(addr, size);
         let end = addr.saturating_add(size);
         // Clip the survivors to the removed window: coverage outside it
         // never left. Small: a revocation rarely overlaps many grants.
@@ -798,6 +845,79 @@ impl RuntimeCore {
             bumps += self.revoke(p, cap).1;
         }
         bumps
+    }
+
+    /// `transfer` semantics for a WRITE capability: revoke `cap` from
+    /// everyone, then grant it to `dst` (if any). When the reverse
+    /// writer index shows **at most one** holder over the range — the
+    /// per-packet skb case — the grant moves principal-to-principal
+    /// with one shard substitution splice and one epoch-bump set,
+    /// instead of walking every live principal's table
+    /// ([`RuntimeCore::revoke_everywhere`]). Returns
+    /// `(fast_path_taken, epoch_bumps)`.
+    ///
+    /// Equivalence with the sweep: holding the exact grant implies
+    /// overlapping index coverage, so a principal absent from
+    /// `collect_writers` cannot hold `cap` — revoking from the one
+    /// indexed holder revokes everything the full walk would have. A
+    /// grant racing in after the holder scan survives either path (the
+    /// sweep visits principals one at a time and can equally miss it);
+    /// the substitution itself runs under the source's caps mutex with
+    /// each shard's remove-and-reinstate atomic per shard, and the
+    /// destination enters the index *before* its table grant (the same
+    /// conservative index-before-table order as [`RuntimeCore::grant`]).
+    pub fn transfer_write(&self, cap: RawCap, dst: Option<PrincipalId>) -> (bool, u64) {
+        debug_assert_eq!(cap.ctype, CapType::Write);
+        let mut holders = Vec::new();
+        self.collect_writers(cap.addr, cap.size, &mut holders);
+        if holders.len() > 1 {
+            let bumps = self.revoke_everywhere(cap);
+            if let Some(d) = dst {
+                self.grant(d, cap);
+            }
+            return (false, bumps);
+        }
+        let mut bumps = 0;
+        let mut dst_indexed = false;
+        if let Some(&h) = holders.first() {
+            let removed = {
+                let mut caps = self.slot(h).caps.lock().expect("caps lock");
+                let removed = caps.revoke(cap);
+                if removed {
+                    // One splice: src out (residuals back), dst in. The
+                    // range's granules stay marked throughout — the
+                    // original grant marked them and `clear_zeroed`
+                    // keeps covered granules — so no re-mark is needed.
+                    self.writer_map.note_revoked(cap.addr, cap.size);
+                    let end = cap.addr.saturating_add(cap.size);
+                    let residuals: Vec<(Word, Word)> = caps
+                        .write
+                        .iter_overlapping(cap.addr, cap.size)
+                        .map(|(a, s)| (a.max(cap.addr), (a.saturating_add(s)).min(end)))
+                        .filter(|&(lo, hi)| lo < hi)
+                        .collect();
+                    self.sharding
+                        .read()
+                        .expect("sharding lock")
+                        .substitute(h, dst, cap.addr, cap.size, &residuals);
+                    dst_indexed = true;
+                }
+                removed
+            };
+            if removed {
+                bumps = self.bump_write_epochs(h);
+            }
+        }
+        if let Some(d) = dst {
+            if dst_indexed {
+                // Already indexed (and marked) by the substitution: only
+                // the table grant remains. Index-before-table holds.
+                self.slot(d).caps.lock().expect("caps lock").grant(cap);
+            } else {
+                self.grant(d, cap);
+            }
+        }
+        (true, bumps)
     }
 
     /// Revokes all WRITE capabilities overlapping `[addr, addr+size)` from
@@ -1005,13 +1125,7 @@ impl RuntimeCore {
         target: Word,
         sig_hash: u64,
     ) -> Result<(), Violation> {
-        if env.fastpath
-            && !self
-                .writer_map
-                .read()
-                .expect("writer map lock")
-                .maybe_written(slot)
-        {
+        if env.fastpath && !self.writer_map.maybe_written(slot) {
             let c = env.costs.ind_call_fast;
             env.stats.record(GuardKind::KernelIndCall, c);
             return Ok(());
@@ -1056,36 +1170,58 @@ impl RuntimeCore {
 
     /// Notes that `[addr, addr+len)` was zeroed (allocator or kernel
     /// `memset`): writer-set bits clear unless a principal still holds
-    /// WRITE coverage.
-    pub fn note_zeroed(&self, addr: Word, len: u64) {
+    /// WRITE coverage. Returns `false` when the lock-free maybe-marked
+    /// pre-check proved every touched stripe clean and the call did no
+    /// locked work at all (the all-clean fast skip).
+    pub fn note_zeroed(&self, addr: Word, len: u64) -> bool {
+        if !self.writer_map.maybe_marked_over(addr, len) {
+            return false;
+        }
         // A granule stays marked while any principal holds WRITE coverage
         // of any byte in it (clearing would be a false negative). The
         // reverse index answers this in one window search instead of a
         // per-granule walk of every principal.
         let sharding = self.sharding.read().expect("sharding lock");
         self.writer_map
-            .write()
-            .expect("writer map lock")
             .clear_zeroed(addr, len, |granule| sharding.overlaps(granule, 64));
+        true
+    }
+
+    /// Samples a deferral token for a zero-note over the range, if it
+    /// fits in one writer-map stripe (see
+    /// [`StripedWriterMap::defer_token`]). Lock-free.
+    pub(crate) fn zero_note_token(&self, addr: Word, len: u64) -> Option<ZeroNoteToken> {
+        self.writer_map.defer_token(addr, len)
+    }
+
+    /// Applies a deferred zero-note; `None` means it was dropped as
+    /// stale (bits conservatively stay set).
+    pub(crate) fn drain_zero_note(
+        &self,
+        addr: Word,
+        len: u64,
+        token: ZeroNoteToken,
+    ) -> Option<u64> {
+        let sharding = self.sharding.read().expect("sharding lock");
+        self.writer_map
+            .try_drain_note(addr, len, token, |granule| sharding.overlaps(granule, 64))
     }
 
     /// Direct writer-map marking (used when a module is loaded: its
     /// writable sections may contain function pointers the kernel will
     /// invoke, §5).
     pub fn mark_written(&self, addr: Word, len: u64) {
-        self.writer_map
-            .write()
-            .expect("writer map lock")
-            .mark(addr, len);
+        self.writer_map.mark(addr, len);
     }
 
     /// True if the writer-set fast path would skip checks for `addr`.
     pub fn writer_clean(&self, addr: Word) -> bool {
-        !self
-            .writer_map
-            .read()
-            .expect("writer map lock")
-            .maybe_written(addr)
+        !self.writer_map.maybe_written(addr)
+    }
+
+    /// Gauge: total marked writer-map granules (lock-free stripe census).
+    pub fn marked_granules(&self) -> u64 {
+        self.writer_map.marked_granules()
     }
 
     // ---------------------------------------------------------- iterators
@@ -1318,10 +1454,18 @@ impl RuntimeCore {
     #[doc(hidden)]
     pub fn check_index_invariants(&self) {
         let sharding = self.sharding.read().expect("sharding lock");
+        // Shards before interner, matching the splice lock order (the
+        // interner is a leaf — taking it first could deadlock against a
+        // concurrent phase-split mutation holding a shard).
+        let shards: Vec<_> = sharding
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock"))
+            .collect();
         let interner = sharding.interner.lock().expect("interner lock");
         let mut refs = vec![0u32; interner.capacity()];
-        for (si, sh) in sharding.shards.iter().enumerate() {
-            sh.lock().expect("shard lock").check_invariants(
+        for (si, sh) in shards.iter().enumerate() {
+            sh.check_invariants(
                 &interner,
                 &mut refs,
                 shard_lo(&sharding.boundaries, si),
@@ -1377,7 +1521,20 @@ pub struct Runtime {
     /// and an uncached runtime through identical traffic and asserts
     /// identical decisions; benches use it to price the uncached probe.
     pub guard_cache_enabled: bool,
+    /// Deferred zero-notes: ranges the caller has zeroed whose bitmap
+    /// clear is postponed until a quiescent point ([`Runtime::writer_clean`],
+    /// [`Runtime::mark_written`], buffer overflow, or an explicit
+    /// [`Runtime::flush_zero_notes`]). Each entry carries the generation
+    /// token that proves the clear is still equivalent to an immediate
+    /// [`RuntimeCore::note_zeroed`]; stale tokens are dropped, never
+    /// applied. Entries are deduplicated by exact `(addr, len)` so the
+    /// steady-state allocator pattern (same buffer freed and reused)
+    /// keeps one fresh token per range.
+    zero_notes: Vec<(Word, u64, ZeroNoteToken)>,
 }
+
+/// Deferred zero-notes per facade before a forced drain.
+const ZERO_NOTE_BUFFER: usize = 32;
 
 impl Default for Runtime {
     fn default() -> Self {
@@ -1408,6 +1565,7 @@ impl Runtime {
             costs: GuardCosts::default(),
             writer_fastpath: true,
             guard_cache_enabled: true,
+            zero_notes: Vec::new(),
         }
     }
 
@@ -1552,6 +1710,36 @@ impl Runtime {
         self.stats.epoch_bumps += bumps;
         if bumps > 0 {
             self.update_writer_set_gauges();
+        }
+    }
+
+    /// Moves `cap` from whoever holds it to `dst` (annotation `transfer`
+    /// semantics: revoke everywhere, then grant to the destination).
+    ///
+    /// WRITE capabilities take [`RuntimeCore::transfer_write`], which
+    /// splices the single holder's index coverage to the destination in
+    /// one shard pass when the reverse index shows at most one holder —
+    /// the common per-packet case (counted in
+    /// [`GuardStats::transfer_fast`]). Multi-holder WRITE caps and every
+    /// non-WRITE cap fall back to the full revoke-then-grant sweep
+    /// (counted in [`GuardStats::transfer_slow`]).
+    pub fn transfer_cap(&mut self, cap: RawCap, dst: Option<PrincipalId>) {
+        if cap.ctype == CapType::Write {
+            let (fast, bumps) = self.core.transfer_write(cap, dst);
+            self.stats.epoch_bumps += bumps;
+            if fast {
+                self.stats.transfer_fast += 1;
+            } else {
+                self.stats.transfer_slow += 1;
+            }
+            self.update_writer_set_gauges();
+        } else {
+            self.stats.transfer_slow += 1;
+            let bumps = self.core.revoke_everywhere(cap);
+            self.stats.epoch_bumps += bumps;
+            if let Some(d) = dst {
+                self.core.grant(d, cap);
+            }
         }
     }
 
@@ -1794,19 +1982,81 @@ impl Runtime {
 
     // ------------------------------------------------------ writer tracking
 
-    /// See [`RuntimeCore::note_zeroed`].
+    /// Records that `[addr, addr+len)` was zeroed, clearing writer-set
+    /// bits where no live WRITE grant still covers them.
+    ///
+    /// Hot-path shape: if the range's stripes hold no marked granules at
+    /// all the call returns after two atomic loads and touches no lock
+    /// (counted in [`GuardStats::note_zeroed_fast_skips`]). Otherwise a
+    /// generation token for the range is captured and the actual bitmap
+    /// clear is *deferred* into a small per-facade buffer drained at
+    /// quiescent points — so a free-heavy burst pays one stripe write
+    /// lock per drained range instead of one per free. Ranges spanning
+    /// a stripe boundary take the immediate path.
     pub fn note_zeroed(&mut self, addr: Word, len: u64) {
-        self.core.note_zeroed(addr, len);
+        if !self.core.writer_map.maybe_marked_over(addr, len) {
+            self.stats.note_zeroed_fast_skips += 1;
+            return;
+        }
+        match self.core.zero_note_token(addr, len) {
+            Some(token) => {
+                self.stats.zero_notes_deferred += 1;
+                if let Some(slot) = self
+                    .zero_notes
+                    .iter_mut()
+                    .find(|(a, l, _)| *a == addr && *l == len)
+                {
+                    // Same range re-zeroed: keep only the freshest token.
+                    slot.2 = token;
+                } else {
+                    self.zero_notes.push((addr, len, token));
+                    if self.zero_notes.len() >= ZERO_NOTE_BUFFER {
+                        self.drain_zero_notes();
+                    }
+                }
+            }
+            None => {
+                self.core.note_zeroed(addr, len);
+            }
+        }
     }
 
-    /// See [`RuntimeCore::mark_written`].
+    /// Applies every buffered zero-note whose generation token is still
+    /// valid; stale tokens (a mark or revoke touched the stripe since
+    /// enqueue) are discarded and counted, never applied.
+    fn drain_zero_notes(&mut self) {
+        for (addr, len, token) in self.zero_notes.drain(..) {
+            if self.core.drain_zero_note(addr, len, token).is_none() {
+                self.stats.zero_notes_stale += 1;
+            }
+        }
+    }
+
+    /// Drains the deferred zero-note buffer now (quiescent point). The
+    /// kernel calls this at natural batch boundaries; tests call it
+    /// before asserting on bitmap state.
+    pub fn flush_zero_notes(&mut self) {
+        self.drain_zero_notes();
+    }
+
+    /// See [`RuntimeCore::mark_written`]. Pending zero-notes are drained
+    /// first so a deferred clear can never race ahead of this mark.
     pub fn mark_written(&mut self, addr: Word, len: u64) {
+        self.drain_zero_notes();
         self.core.mark_written(addr, len);
     }
 
     /// True if the writer-set fast path would skip checks for `addr`.
-    pub fn writer_clean(&self, addr: Word) -> bool {
+    /// Drains pending zero-notes first so the answer reflects every
+    /// zeroing the caller has already reported.
+    pub fn writer_clean(&mut self, addr: Word) -> bool {
+        self.drain_zero_notes();
         self.core.writer_clean(addr)
+    }
+
+    /// Writer-set granules currently marked across all stripes (gauge).
+    pub fn marked_granules(&self) -> u64 {
+        self.core.marked_granules()
     }
 
     // ---------------------------------------------------------- iterators

@@ -143,6 +143,25 @@ pub struct GuardStats {
     /// Principals the presence hint let the sweep skip (the full walk
     /// would have probed their tables for nothing).
     pub kfree_hint_skipped: u64,
+    /// `transfer` actions resolved by the single-holder fast path: the
+    /// reverse writer index showed at most one holder, so the grant moved
+    /// principal-to-principal with one shard splice and one epoch-bump
+    /// set instead of a `revoke_everywhere` sweep.
+    pub transfer_fast: u64,
+    /// `transfer` actions that fell back to the full
+    /// `revoke_everywhere` sweep (multiple holders, or a non-WRITE cap).
+    pub transfer_slow: u64,
+    /// `note_zeroed` calls whose range hit only provably-clean writer-map
+    /// stripes: the lock-free marked-granule pre-check answered and the
+    /// call touched no lock at all.
+    pub note_zeroed_fast_skips: u64,
+    /// `note_zeroed` calls deferred into the per-handle zero-note buffer
+    /// instead of clearing on the packet path.
+    pub zero_notes_deferred: u64,
+    /// Deferred zero-notes dropped as stale at drain time (a mark or a
+    /// coverage revocation touched the stripe after the note was taken;
+    /// the bits conservatively stay set).
+    pub zero_notes_stale: u64,
 }
 
 impl GuardStats {
@@ -245,6 +264,11 @@ impl GuardStats {
         }
         self.kfree_hint_visited += other.kfree_hint_visited;
         self.kfree_hint_skipped += other.kfree_hint_skipped;
+        self.transfer_fast += other.transfer_fast;
+        self.transfer_slow += other.transfer_slow;
+        self.note_zeroed_fast_skips += other.note_zeroed_fast_skips;
+        self.zero_notes_deferred += other.zero_notes_deferred;
+        self.zero_notes_stale += other.zero_notes_stale;
     }
 
     /// Snapshot of `(kind, count, cycles)` rows.

@@ -26,13 +26,16 @@
 //! Since the thread-safe runtime landed, the shard is also the unit of
 //! **lock granularity**: the shared `RuntimeCore` wraps every shard
 //! (its intervals plus its principal-presence map) in its own lock.
-//! Index *mutations* additionally serialize on the shared-interner
-//! mutex (held across the splice, which keeps a revocation's
-//! remove-and-reinstate atomic per shard — see `Sharding::replace`),
-//! so the per-shard locks buy mutation-vs-reader concurrency for the
-//! interner-free queries (`overlaps`, the presence hint) and bound the
-//! splice memmove, not mutation-vs-mutation parallelism; splitting the
-//! interner bookkeeping from the memmove phase is a ROADMAP item. A
+//! Mutations are **phase-split** ([`IndexShard::add_split`] /
+//! [`IndexShard::remove_split`]): the shard lock is held for the whole
+//! operation (which keeps a revocation's remove-and-reinstate atomic
+//! per shard — see `Sharding::replace`), while the shared-interner
+//! mutex is taken only for the id/refcount phase (interning the new
+//! sets, moving refcounts, computing presence deltas); the interval
+//! memmove then runs under the shard lock alone. Splices in different
+//! shards therefore overlap except for their brief interner sections,
+//! and the lock order is strictly shard → interner (the interner is a
+//! leaf — nothing acquires a shard while holding it). A
 //! default-constructed index has a single shard covering the whole
 //! address space (the pre-sharding behavior).
 //!
@@ -88,11 +91,23 @@
 //! saturate rather than wrap.
 
 use std::collections::HashMap;
+use std::sync::Mutex as StdMutex;
 
 use lxfi_machine::Word;
 
 use crate::caps::WriteTable;
 use crate::principal::PrincipalId;
+
+/// The output of a splice's id/refcount phase: the coalesced replacement
+/// segments (sets already acquired) plus the presence-map deltas, ready
+/// to apply to the interval vectors without touching the interner.
+struct SplicePlan {
+    lo: usize,
+    hi: usize,
+    merged: Vec<(Word, Word, WriterSetId)>,
+    inc: Vec<PrincipalId>,
+    dec: Vec<PrincipalId>,
+}
 
 /// Interned id of a sorted, deduplicated set of writer principals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -325,17 +340,20 @@ impl IndexShard {
         (lo, hi.max(lo))
     }
 
-    /// Replaces entries `lo..hi` with `repl`, coalescing touching
-    /// equal-set segments and maintaining the interner's refcounts and
-    /// the presence map (new entries acquired before old ones release,
-    /// so a set that survives the splice is never transiently freed).
-    fn splice(
-        &mut self,
+    /// Completes the id/refcount phase of a splice: coalesces `repl`,
+    /// acquires the new segments' sets, releases the replaced entries'
+    /// sets (new acquired before old release, so a set that survives the
+    /// splice is never transiently freed), and records the presence-map
+    /// deltas. Everything that needs the interner happens here; the
+    /// returned plan is applied by [`IndexShard::apply_splice`] with no
+    /// interner access at all.
+    fn plan_splice(
+        &self,
         interner: &mut SetInterner,
         lo: usize,
         hi: usize,
         repl: Vec<(Word, Word, WriterSetId)>,
-    ) {
+    ) -> SplicePlan {
         let mut merged: Vec<(Word, Word, WriterSetId)> = Vec::with_capacity(repl.len());
         for seg in repl {
             debug_assert!(seg.0 < seg.1, "non-empty segment");
@@ -347,30 +365,68 @@ impl IndexShard {
             }
             merged.push(seg);
         }
+        let mut inc = Vec::new();
+        let mut dec = Vec::new();
         for seg in &merged {
             interner.acquire(seg.2);
-            for k in 0..interner.get(seg.2).len() {
-                let w = interner.get(seg.2)[k];
-                self.present_inc(w);
-            }
+            inc.extend_from_slice(interner.get(seg.2));
         }
         for j in lo..hi {
             // Presence decrements read the set before releasing it (a
             // release can free the slot).
-            for k in 0..interner.get(self.sets[j]).len() {
-                let w = interner.get(self.sets[j])[k];
-                self.present_dec(w);
-            }
+            dec.extend_from_slice(interner.get(self.sets[j]));
             interner.release(self.sets[j]);
         }
-        self.starts.splice(lo..hi, merged.iter().map(|s| s.0));
-        self.ends.splice(lo..hi, merged.iter().map(|s| s.1));
-        self.sets.splice(lo..hi, merged.iter().map(|s| s.2));
+        SplicePlan {
+            lo,
+            hi,
+            merged,
+            inc,
+            dec,
+        }
     }
 
-    /// Unions `p` into `[addr, e)` within this shard (the caller has
-    /// already clipped the range to the shard's bounds). Idempotent.
-    pub(crate) fn add(&mut self, interner: &mut SetInterner, p: PrincipalId, addr: Word, e: Word) {
+    /// Applies a planned splice: presence-map deltas plus the interval
+    /// memmove. Pure shard-local state — runs under the shard lock alone,
+    /// never the interner's.
+    fn apply_splice(&mut self, plan: SplicePlan) {
+        for &w in &plan.inc {
+            self.present_inc(w);
+        }
+        for &w in &plan.dec {
+            self.present_dec(w);
+        }
+        self.starts
+            .splice(plan.lo..plan.hi, plan.merged.iter().map(|s| s.0));
+        self.ends
+            .splice(plan.lo..plan.hi, plan.merged.iter().map(|s| s.1));
+        self.sets
+            .splice(plan.lo..plan.hi, plan.merged.iter().map(|s| s.2));
+    }
+
+    /// Replaces entries `lo..hi` with `repl` (single-threaded owner path:
+    /// both phases back to back).
+    fn splice(
+        &mut self,
+        interner: &mut SetInterner,
+        lo: usize,
+        hi: usize,
+        repl: Vec<(Word, Word, WriterSetId)>,
+    ) {
+        let plan = self.plan_splice(interner, lo, hi, repl);
+        self.apply_splice(plan);
+    }
+
+    /// Builds the replacement list for unioning `p` into `[addr, e)`
+    /// (pre-clipped): the id phase of [`IndexShard::add`], reading shard
+    /// state and interning the new sets but mutating no intervals.
+    fn plan_add(
+        &self,
+        interner: &mut SetInterner,
+        p: PrincipalId,
+        addr: Word,
+        e: Word,
+    ) -> (usize, usize, Vec<(Word, Word, WriterSetId)>) {
         let (wlo, whi) = self.window(addr, e);
         let mut lo = wlo;
         let mut hi = whi;
@@ -408,19 +464,44 @@ impl IndexShard {
             out.push((self.starts[whi], self.ends[whi], self.sets[whi]));
             hi = whi + 1;
         }
+        (lo, hi, out)
+    }
+
+    /// Unions `p` into `[addr, e)` within this shard (the caller has
+    /// already clipped the range to the shard's bounds). Idempotent.
+    pub(crate) fn add(&mut self, interner: &mut SetInterner, p: PrincipalId, addr: Word, e: Word) {
+        let (lo, hi, out) = self.plan_add(interner, p, addr, e);
         self.splice(interner, lo, hi, out);
     }
 
-    /// Removes `p` from the writer sets of `[addr, e)` within this shard
-    /// (pre-clipped); intervals whose set empties are dropped. A no-op
-    /// where `p` is not a writer.
-    pub(crate) fn remove(
+    /// Concurrent-path `add`: the shard lock is held by the caller for
+    /// the whole call; the shared interner mutex is taken only for the
+    /// id/refcount phase, and the memmove runs under the shard lock
+    /// alone. Lock order is shard → interner (the interner is a leaf).
+    pub(crate) fn add_split(
         &mut self,
-        interner: &mut SetInterner,
+        interner: &StdMutex<SetInterner>,
         p: PrincipalId,
         addr: Word,
         e: Word,
     ) {
+        let plan = {
+            let mut it = interner.lock().expect("interner lock");
+            let (lo, hi, out) = self.plan_add(&mut it, p, addr, e);
+            self.plan_splice(&mut it, lo, hi, out)
+        };
+        self.apply_splice(plan);
+    }
+
+    /// Builds the replacement list for removing `p` from `[addr, e)`
+    /// (pre-clipped): the id phase of [`IndexShard::remove`].
+    fn plan_remove(
+        &self,
+        interner: &mut SetInterner,
+        p: PrincipalId,
+        addr: Word,
+        e: Word,
+    ) -> (usize, usize, Vec<(Word, Word, WriterSetId)>) {
         let (wlo, whi) = self.window(addr, e);
         let mut lo = wlo;
         let mut hi = whi;
@@ -448,7 +529,38 @@ impl IndexShard {
             out.push((self.starts[whi], self.ends[whi], self.sets[whi]));
             hi = whi + 1;
         }
+        (lo, hi, out)
+    }
+
+    /// Removes `p` from the writer sets of `[addr, e)` within this shard
+    /// (pre-clipped); intervals whose set empties are dropped. A no-op
+    /// where `p` is not a writer.
+    pub(crate) fn remove(
+        &mut self,
+        interner: &mut SetInterner,
+        p: PrincipalId,
+        addr: Word,
+        e: Word,
+    ) {
+        let (lo, hi, out) = self.plan_remove(interner, p, addr, e);
         self.splice(interner, lo, hi, out);
+    }
+
+    /// Concurrent-path `remove`: same locking discipline as
+    /// [`IndexShard::add_split`].
+    pub(crate) fn remove_split(
+        &mut self,
+        interner: &StdMutex<SetInterner>,
+        p: PrincipalId,
+        addr: Word,
+        e: Word,
+    ) {
+        let plan = {
+            let mut it = interner.lock().expect("interner lock");
+            let (lo, hi, out) = self.plan_remove(&mut it, p, addr, e);
+            self.plan_splice(&mut it, lo, hi, out)
+        };
+        self.apply_splice(plan);
     }
 
     /// True if any writer interval overlaps `[a, e)` (pre-clipped).

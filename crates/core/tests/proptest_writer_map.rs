@@ -1,0 +1,153 @@
+//! Differential property tests for the striped writer-set bitmap.
+//!
+//! A [`StripedWriterMap`] (per-address-region stripes, atomic clean
+//! census, generation-tokened deferred clears) and the retired single
+//! global [`WriterMap`] are driven through identical mark/clear
+//! sequences and must expose identical granule state at every probe —
+//! across proptest-chosen stripe boundaries, so no boundary placement
+//! may ever change an answer.
+//!
+//! Deferred clears are exercised against their soundness contract:
+//!
+//! - a token drained with **no intervening mark or revoke** on its
+//!   stripe must always apply, and must clear exactly the granules an
+//!   immediate `clear_zeroed` would have cleared (the oracle applies
+//!   the same clear to the global map only when the drain applied);
+//! - a token whose stripe saw an intervening mark must be reported
+//!   stale and clear **nothing** (write evidence survives).
+
+use proptest::prelude::*;
+
+use lxfi_core::writer_set::{StripedWriterMap, WriterMap};
+
+/// Probe universe: four pages spanning up to three stripe boundaries.
+const UNIVERSE: u64 = 0x4000;
+const GRANULE: u64 = 64;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mark(u64, u64),
+    /// Immediate clear; `keep_mod` parameterizes the still-covered
+    /// predicate (keep granules whose index is ≡ 0 mod keep_mod).
+    Clear(u64, u64, u64),
+    /// Deferred clear; `interfere` optionally marks a range between
+    /// token capture and drain.
+    ClearDeferred(u64, u64, u64, Option<(u64, u64)>),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = 0u64..UNIVERSE;
+    let len = prop_oneof![1u64..GRANULE, GRANULE..0x1000, Just(0x2000u64)];
+    let keep = 1u64..5;
+    prop_oneof![
+        (addr.clone(), len.clone()).prop_map(|(a, l)| Op::Mark(a, l)),
+        (addr.clone(), len.clone(), keep.clone()).prop_map(|(a, l, k)| Op::Clear(a, l, k)),
+        (
+            addr.clone(),
+            len.clone(),
+            keep,
+            proptest::option::of((addr, len))
+        )
+            .prop_map(|(a, l, k, i)| Op::ClearDeferred(a, l, k, i)),
+    ]
+}
+
+/// Keep-predicate shared by both maps: deterministic in the granule
+/// base, so immediate and deferred evaluation see the same coverage.
+fn keep(granule: u64, keep_mod: u64) -> bool {
+    (granule / GRANULE).is_multiple_of(keep_mod)
+}
+
+fn probe_grid(striped: &StripedWriterMap, global: &WriterMap) {
+    for g in (0..UNIVERSE).step_by(GRANULE as usize) {
+        assert_eq!(
+            striped.maybe_written(g),
+            global.maybe_written(g),
+            "granule {g:#x} diverged"
+        );
+    }
+    assert_eq!(striped.marked_granules(), global.marked_granules());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn striped_map_matches_global_under_any_boundaries(
+        boundaries in proptest::collection::vec(0u64..UNIVERSE, 0..4),
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let striped = StripedWriterMap::with_boundaries(&boundaries);
+        let mut global = WriterMap::new();
+        for op in ops {
+            match op {
+                Op::Mark(a, l) => {
+                    striped.mark(a, l);
+                    global.mark(a, l);
+                }
+                Op::Clear(a, l, k) => {
+                    let sc = striped.clear_zeroed(a, l, |g| keep(g, k));
+                    let gc = global.clear_zeroed(a, l, |g| keep(g, k));
+                    prop_assert_eq!(sc, gc, "immediate clear counts diverged");
+                }
+                Op::ClearDeferred(a, l, k, interfere) => {
+                    let Some(token) = striped.defer_token(a, l) else {
+                        // Multi-stripe range: caller must take the
+                        // immediate path; mirror it on both maps.
+                        let sc = striped.clear_zeroed(a, l, |g| keep(g, k));
+                        let gc = global.clear_zeroed(a, l, |g| keep(g, k));
+                        prop_assert_eq!(sc, gc);
+                        probe_grid(&striped, &global);
+                        continue;
+                    };
+                    if let Some((ia, il)) = interfere {
+                        striped.mark(ia, il);
+                        global.mark(ia, il);
+                    }
+                    match striped.try_drain_note(a, l, token, |g| keep(g, k)) {
+                        Some(sc) => {
+                            // The drain applied: it must equal a clear
+                            // performed right now.
+                            let gc = global.clear_zeroed(a, l, |g| keep(g, k));
+                            prop_assert_eq!(sc, gc, "drained clear diverged");
+                        }
+                        None => {
+                            // Stale: only legal if something interfered.
+                            prop_assert!(
+                                interfere.is_some(),
+                                "token went stale with no intervening mark"
+                            );
+                        }
+                    }
+                }
+            }
+            probe_grid(&striped, &global);
+        }
+    }
+
+    #[test]
+    fn quiet_tokens_always_drain(
+        boundaries in proptest::collection::vec(0u64..UNIVERSE, 0..4),
+        marks in proptest::collection::vec((0u64..UNIVERSE, 1u64..0x800), 1..10),
+        clear in (0u64..UNIVERSE, 1u64..0x800),
+    ) {
+        let striped = StripedWriterMap::with_boundaries(&boundaries);
+        for &(a, l) in &marks {
+            striped.mark(a, l);
+        }
+        let (ca, cl) = clear;
+        if let Some(token) = striped.defer_token(ca, cl) {
+            prop_assert!(
+                striped.try_drain_note(ca, cl, token, |_| false).is_some(),
+                "quiescent token must apply"
+            );
+            // Every *fully covered* granule cleared (keep-predicate
+            // all-false); partially-zeroed edge granules stay marked.
+            let mut g = ca.div_ceil(GRANULE) * GRANULE;
+            while g + GRANULE <= ca + cl {
+                prop_assert!(!striped.maybe_written(g), "granule {g:#x} still marked");
+                g += GRANULE;
+            }
+        }
+    }
+}

@@ -123,14 +123,12 @@ impl KernelCpu {
             .map(|&(_, o)| o)
             .ok_or_else(|| Trap::BadRef("unknown dm target".into()))?;
         let b = self
-            .slab()
-            .kmalloc(&self.mem, bio::SIZE)
+            .kmalloc_cpu(bio::SIZE)
             .ok_or_else(|| Trap::BadRef("bio alloc".into()))?;
         self.mem.zero_range(b, bio::SIZE)?;
         self.rt.note_zeroed(b, bio::SIZE);
         let buf = self
-            .slab()
-            .kmalloc(&self.mem, len)
+            .kmalloc_cpu(len)
             .ok_or_else(|| Trap::BadRef("bio buf alloc".into()))?;
         for i in 0..len {
             self.mem

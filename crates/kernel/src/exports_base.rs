@@ -46,7 +46,7 @@ pub fn register(k: &mut KernelCpu) {
                 return Ok(0);
             }
             let size = args.first().copied().unwrap_or(0);
-            Ok(k.slab().kmalloc(&k.mem, size).unwrap_or(0))
+            Ok(k.kmalloc_cpu(size).unwrap_or(0))
         }),
     );
 
@@ -60,7 +60,7 @@ pub fn register(k: &mut KernelCpu) {
             if k.fault_fires(crate::fault_inject::FaultSite::Alloc) {
                 return Ok(0);
             }
-            let alloc = k.slab().kmalloc(&k.mem, size);
+            let alloc = k.kmalloc_cpu(size);
             match alloc {
                 Some(addr) => {
                     k.mem.zero_range(addr, size)?;
@@ -82,10 +82,10 @@ pub fn register(k: &mut KernelCpu) {
             if ptr == 0 {
                 return Ok(0);
             }
-            // Two-phase free: the slot returns to the allocator only
-            // AFTER the capability sweep and zeroing, so a concurrent
-            // kmalloc on another CPU cannot be granted the recycled
-            // address and then have its fresh grant swept away.
+            // Two-phase free: the slot becomes allocatable only AFTER
+            // the capability sweep and zeroing, so a concurrent kmalloc
+            // on another CPU cannot be granted the recycled address and
+            // then have its fresh grant swept away.
             let freed = k.slab().begin_free(ptr);
             if let Some((_size, class)) = freed {
                 // No capability may outlive the allocation (§3.3): strip
@@ -94,7 +94,7 @@ pub fn register(k: &mut KernelCpu) {
                 k.rt.revoke_write_overlapping_everywhere(ptr, class);
                 k.mem.zero_range(ptr, class)?;
                 k.rt.note_zeroed(ptr, class);
-                k.slab().finish_free(ptr, class);
+                k.kfree_cpu(ptr, class);
             }
             Ok(0)
         }),

@@ -85,8 +85,8 @@ use lxfi_rewriter::{
 
 use crate::exports::{Export, NativeFn};
 use crate::layout::*;
+use crate::magazine::{Magazines, ShardedSlab};
 use crate::process::ProcessTable;
-use crate::slab::Slab;
 use crate::types;
 
 /// Whether a module is loaded with LXFI enforcement or bare (stock).
@@ -330,7 +330,7 @@ pub struct KernelCore {
     /// dispatch only takes the registries' read locks).
     load_lock: Mutex<()>,
 
-    slab: Mutex<Slab>,
+    slab: ShardedSlab,
     procs: Mutex<ProcessTable>,
     panic: Mutex<Option<(String, Option<Violation>)>>,
     /// Contained module faults, oldest first (the supervisor's and the
@@ -362,9 +362,10 @@ impl KernelCore {
         &self.layouts
     }
 
-    /// Locks the slab allocator.
-    pub fn slab(&self) -> MutexGuard<'_, Slab> {
-        self.slab.lock().expect("slab lock")
+    /// The sharded slab allocator (each call locks only the shard it
+    /// touches).
+    pub fn slab(&self) -> &ShardedSlab {
+        &self.slab
     }
 
     /// Locks the process table.
@@ -511,6 +512,11 @@ pub struct KernelCpu {
     /// Global isolation mode (modules default to it).
     pub mode: IsolationMode,
 
+    /// This CPU's private slab magazines (per-size-class caches refilled
+    /// from the CPU's preferred heap shard). Public so benches and tests
+    /// read the hit/miss counters.
+    pub mags: Magazines,
+
     thread: ThreadId,
     stack_base: Word,
     sp: Word,
@@ -616,7 +622,7 @@ impl Kernel {
             modules: RwLock::new(ModuleTable::default()),
             thunks: std::sync::OnceLock::new(),
             load_lock: Mutex::new(()),
-            slab: Mutex::new(Slab::new(HEAP_BASE)),
+            slab: ShardedSlab::new(),
             procs: Mutex::new(procs),
             panic: Mutex::new(None),
             faults: Mutex::new(Vec::new()),
@@ -668,6 +674,7 @@ impl KernelCpu {
             mem: Arc::clone(&core.mem),
             rt,
             mode: core.mode,
+            mags: Magazines::new(thread.0 as usize),
             thread,
             stack_base,
             sp: stack_base + STACK_SIZE,
@@ -739,9 +746,24 @@ impl KernelCpu {
         &self.core.layouts
     }
 
-    /// Locks the slab allocator backing `kmalloc`.
-    pub fn slab(&self) -> MutexGuard<'_, Slab> {
+    /// The sharded slab allocator backing `kmalloc` (per-shard locking).
+    pub fn slab(&self) -> &ShardedSlab {
         self.core.slab()
+    }
+
+    /// Per-packet `kmalloc`: serves from this CPU's magazine, refilling
+    /// from the CPU's preferred heap shard on a miss. Falls back to the
+    /// same `None` contract as the direct allocator for bad sizes.
+    pub fn kmalloc_cpu(&mut self, size: u64) -> Option<Word> {
+        self.mags.kmalloc(&self.core.slab, &self.mem, size)
+    }
+
+    /// Per-packet `kfree` epilogue: accepts a slot whose two-phase free
+    /// prologue (`begin_free`, capability sweep, zeroing, `note_zeroed`)
+    /// already ran, caching it in this CPU's magazine instead of
+    /// returning it to the shard free list.
+    pub fn kfree_cpu(&mut self, addr: Word, class: u64) {
+        self.mags.release(&self.core.slab, addr, class);
     }
 
     /// Locks the process table (processes, credentials, pid hash).

@@ -47,12 +47,38 @@ pub const KDATA_BASE: Word = 0xffff_8900_0000_0000;
 /// Base of the kernel's own static objects (process table, ops tables).
 pub const KSTATIC_BASE: Word = 0xffff_8a00_0000_0000;
 
+/// Number of slab heap shards: the kmalloc heap is carved into this many
+/// disjoint sub-regions, each backed by its own [`crate::slab::Slab`]
+/// behind its own lock, and each given its own writer-index shard and
+/// writer-map stripe. A CPU refills its magazines from "its" shard
+/// (`cpu % SLAB_SHARDS`), so per-packet alloc/free traffic on different
+/// CPUs touches disjoint locks end to end.
+pub const SLAB_SHARDS: u64 = 8;
+
+/// Byte span of one slab heap shard ([`HEAP_BASE`]..[`KDATA_BASE`] is
+/// 1 TiB; eight shards of 128 GiB each).
+pub const SLAB_SHARD_SPAN: u64 = (KDATA_BASE - HEAP_BASE) / SLAB_SHARDS;
+
+/// Base address of slab heap shard `i`.
+pub fn slab_shard_base(i: u64) -> Word {
+    HEAP_BASE + i * SLAB_SHARD_SPAN
+}
+
+/// The slab heap shard an address belongs to (callers guarantee the
+/// address is inside the heap region).
+pub fn slab_shard_of(addr: Word) -> usize {
+    debug_assert!((HEAP_BASE..KDATA_BASE).contains(&addr));
+    ((addr - HEAP_BASE) / SLAB_SHARD_SPAN) as usize
+}
+
 /// Shard split points for the runtime's reverse writer index: one shard
 /// per address region (user space, heap, kernel data, kernel statics,
 /// stacks, module area, exports), plus a shard per module window for the
-/// first [`SHARDED_MODULE_WINDOWS`] modules — the regions whose
-/// capability traffic is independent, so grant/revoke splices in one
-/// never move another's intervals.
+/// first [`SHARDED_MODULE_WINDOWS`] modules, plus one per slab heap
+/// shard — the regions whose capability traffic is independent, so
+/// grant/revoke splices in one never move another's intervals. The same
+/// split points stripe the runtime's writer-set bitmap, so per-CPU slab
+/// zeroing never contends on another CPU's stripe lock.
 pub fn shard_boundaries() -> Vec<Word> {
     let mut b = vec![
         HEAP_BASE,
@@ -64,6 +90,9 @@ pub fn shard_boundaries() -> Vec<Word> {
     ];
     for i in 1..=SHARDED_MODULE_WINDOWS {
         b.push(MODULE_BASE + i * MODULE_STRIDE);
+    }
+    for i in 1..SLAB_SHARDS {
+        b.push(slab_shard_base(i));
     }
     b.sort_unstable();
     b

@@ -33,6 +33,7 @@ pub mod exports_base;
 pub mod fault_inject;
 pub mod kernel;
 pub mod layout;
+pub mod magazine;
 pub mod net;
 pub mod netsim;
 pub mod pci;

@@ -201,11 +201,13 @@ pub fn register(k: &mut KernelCpu) {
     );
 }
 
-/// Allocates an sk_buff header + payload buffer from the slab.
+/// Allocates an sk_buff header + payload buffer through this CPU's slab
+/// magazines (the per-packet hot path: no lock on a magazine hit beyond
+/// the owning shard's adopt).
 pub fn alloc_skb_raw(k: &mut KernelCpu, len: u64) -> Option<Word> {
-    let skb = k.slab().kmalloc(&k.mem, sk_buff::SIZE)?;
+    let skb = k.kmalloc_cpu(sk_buff::SIZE)?;
     let data = if len > 0 {
-        match k.slab().kmalloc(&k.mem, len) {
+        match k.kmalloc_cpu(len) {
             Some(d) => d,
             None => {
                 k.slab().kfree(skb);
@@ -238,7 +240,7 @@ pub fn free_skb_raw(k: &mut KernelCpu, skb: Word) -> Result<(), Trap> {
             k.rt.revoke_write_overlapping_everywhere(data, class);
             k.mem.zero_range(data, class)?;
             k.rt.note_zeroed(data, class);
-            k.slab().finish_free(data, class);
+            k.kfree_cpu(data, class);
         }
     }
     let freed = k.slab().begin_free(skb);
@@ -246,7 +248,7 @@ pub fn free_skb_raw(k: &mut KernelCpu, skb: Word) -> Result<(), Trap> {
         k.rt.revoke_write_overlapping_everywhere(skb, class);
         k.mem.zero_range(skb, class)?;
         k.rt.note_zeroed(skb, class);
-        k.slab().finish_free(skb, class);
+        k.kfree_cpu(skb, class);
     }
     Ok(())
 }

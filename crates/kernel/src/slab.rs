@@ -8,6 +8,7 @@
 //! BCM buffer and overflows into it.
 
 use lxfi_machine::{AddressSpace, Word, PAGE_SIZE};
+use std::collections::BTreeMap;
 
 /// Size classes, ascending.
 pub const SIZE_CLASSES: [u64; 8] = [32, 64, 128, 256, 512, 1024, 2048, 4096];
@@ -26,8 +27,10 @@ struct SlabPage {
 pub struct Slab {
     next_page: Word,
     pages: Vec<SlabPage>,
-    /// Live allocations: (addr, requested size, class).
-    live: Vec<(Word, u64, u64)>,
+    /// Live allocations, indexed by address: `addr -> (requested size,
+    /// class)`. A map (not a scan list) so `kfree` of one object among
+    /// tens of thousands is a lookup, not a walk.
+    live: BTreeMap<Word, (u64, u64)>,
     /// Total bytes handed out (diagnostics).
     pub allocated: u64,
 }
@@ -38,12 +41,13 @@ impl Slab {
         Slab {
             next_page: base,
             pages: Vec::new(),
-            live: Vec::new(),
+            live: BTreeMap::new(),
             allocated: 0,
         }
     }
 
-    fn class_for(size: u64) -> Option<u64> {
+    /// The size class `size` rounds up to, or `None` if unsupported.
+    pub fn class_for(size: u64) -> Option<u64> {
         SIZE_CLASSES.iter().copied().find(|&c| c >= size)
     }
 
@@ -79,9 +83,56 @@ impl Slab {
         };
         let idx = page.free.pop().unwrap();
         let addr = page.base + u64::from(idx) * class;
-        self.live.push((addr, size, class));
+        self.live.insert(addr, (size, class));
         self.allocated += size;
         Some(addr)
+    }
+
+    /// Carves `n` slots of exact size-class `class` out of the page free
+    /// lists **without** registering them live — the slots belong to a
+    /// per-CPU magazine until [`Slab::adopt`] (handed out) or
+    /// [`Slab::finish_free`] (flushed back) claims them. Returned
+    /// ascending so a magazine serving them in order preserves SLUB
+    /// adjacency for back-to-back allocations.
+    pub fn reserve_batch(&mut self, mem: &AddressSpace, class: u64, n: usize, out: &mut Vec<Word>) {
+        debug_assert!(SIZE_CLASSES.contains(&class));
+        let start = out.len();
+        for _ in 0..n {
+            let page = match self
+                .pages
+                .iter_mut()
+                .find(|p| p.class == class && !p.free.is_empty())
+            {
+                Some(p) => p,
+                None => {
+                    let base = self.next_page;
+                    self.next_page += PAGE_SIZE;
+                    mem.map_range(base, PAGE_SIZE);
+                    let count = (PAGE_SIZE / class) as u32;
+                    self.pages.push(SlabPage {
+                        base,
+                        class,
+                        free: (0..count).rev().collect(),
+                    });
+                    self.pages.last_mut().unwrap()
+                }
+            };
+            let idx = page.free.pop().unwrap();
+            out.push(page.base + u64::from(idx) * class);
+        }
+        out[start..].sort_unstable();
+    }
+
+    /// Registers a magazine-held slot as a live allocation of `size`
+    /// bytes (its reservation came from [`Slab::reserve_batch`]). This is
+    /// the handing-out half of a magazine hit: the live set stays
+    /// authoritative for teardown scans, leak gauges, and double-free
+    /// detection no matter which CPU's magazine served the object.
+    pub fn adopt(&mut self, addr: Word, size: u64, class: u64) {
+        debug_assert!(Self::class_for(size) == Some(class));
+        let prev = self.live.insert(addr, (size, class));
+        debug_assert!(prev.is_none(), "adopting an already-live object");
+        self.allocated += size;
     }
 
     /// Frees an object. Returns its `(requested size, class size)` or
@@ -99,8 +150,7 @@ impl Slab {
     /// path drops the slab lock across that work). A racing double free
     /// sees `None` here, exactly like `kfree`.
     pub fn begin_free(&mut self, addr: Word) -> Option<(u64, u64)> {
-        let i = self.live.iter().position(|&(a, _, _)| a == addr)?;
-        let (_, size, class) = self.live.swap_remove(i);
+        let (size, class) = self.live.remove(&addr)?;
         self.allocated -= size;
         Some((size, class))
     }
@@ -118,10 +168,7 @@ impl Slab {
 
     /// The requested size of a live allocation.
     pub fn size_of(&self, addr: Word) -> Option<u64> {
-        self.live
-            .iter()
-            .find(|&&(a, _, _)| a == addr)
-            .map(|&(_, s, _)| s)
+        self.live.get(&addr).map(|&(s, _)| s)
     }
 
     /// Number of live allocations.
@@ -133,7 +180,7 @@ impl Slab {
     /// class)` — module teardown scans it for objects only the dead
     /// module's principals could still free.
     pub fn live_objects(&self) -> Vec<(Word, u64, u64)> {
-        self.live.clone()
+        self.live.iter().map(|(&a, &(s, c))| (a, s, c)).collect()
     }
 }
 

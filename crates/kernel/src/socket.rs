@@ -116,8 +116,7 @@ impl KernelCpu {
     /// directly before this object).
     pub fn sys_shmget(&mut self, segsz: u64) -> Result<u64, Trap> {
         let shp = self
-            .slab()
-            .kmalloc(&self.mem, shmid_kernel::SIZE)
+            .kmalloc_cpu(shmid_kernel::SIZE)
             .ok_or_else(|| Trap::BadRef("shm alloc".into()))?;
         self.mem.zero_range(shp, shmid_kernel::SIZE)?;
         self.rt.note_zeroed(shp, shmid_kernel::SIZE);

@@ -293,7 +293,7 @@ fn run_workload(concurrent: bool) -> (Vec<u64>, Vec<Vec<lxfi_core::PrincipalId>>
     // temporary lives to the end of its whole statement).
     let (live, allocated) = {
         let slab = k.slab();
-        (slab.live_count() as u64, slab.allocated)
+        (slab.live_count() as u64, slab.allocated())
     };
     let pids = k.procs().visible_pids().len() as u64;
     let scalars = vec![
@@ -537,7 +537,7 @@ fn run_crash_workload(concurrent: bool) -> (Vec<u64>, Vec<Vec<lxfi_core::Princip
     let (principals_live, principals_retired) = core.principal_gauges();
     let (live, allocated) = {
         let slab = k.slab();
-        (slab.live_count() as u64, slab.allocated)
+        (slab.live_count() as u64, slab.allocated())
     };
     let scalars = vec![
         live,

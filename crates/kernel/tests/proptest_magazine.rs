@@ -1,0 +1,139 @@
+//! Differential property test: magazine-backed allocation against the
+//! direct sharded slab.
+//!
+//! Two worlds are driven through identical random sequences of
+//! allocations, frees (including cross-CPU frees: allocated on one
+//! CPU's magazine, freed into another's), and magazine drains:
+//!
+//! - world M: a [`ShardedSlab`] fronted by one [`Magazines`] per CPU
+//!   (the data-plane configuration);
+//! - world D: the same [`ShardedSlab`] called directly (the oracle).
+//!
+//! Addresses may differ between the worlds — the magazine changes *where*
+//! an object lands, never *what* the allocator state means — so the
+//! oracle compares semantic state after every op: live count, the
+//! `allocated` byte gauge, and the multiset of live `(size, class)`
+//! pairs, plus per-object `size_of` agreement and double-free rejection
+//! in both worlds.
+
+use proptest::prelude::*;
+
+use lxfi_kernel::magazine::{Magazines, ShardedSlab};
+use lxfi_machine::AddressSpace;
+
+const NCPU: usize = 2;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes on a CPU (0-indexed into the handle list).
+    Alloc(usize, u64),
+    /// Free the `i % live`-th handle through a CPU's free path.
+    Free(usize, usize),
+    /// Drain a CPU's magazines back to the shards (world D: no-op).
+    Drain(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let cpu = 0usize..NCPU;
+    // Mostly valid sizes; a few invalid (0 / oversized) that must fail
+    // identically in both worlds.
+    let size = prop_oneof![
+        1u64..4097,
+        1u64..4097,
+        1u64..4097,
+        Just(0u64),
+        4097u64..10_000,
+    ];
+    prop_oneof![
+        (cpu.clone(), size.clone()).prop_map(|(c, s)| Op::Alloc(c, s)),
+        (cpu.clone(), size).prop_map(|(c, s)| Op::Alloc(c, s)),
+        (cpu.clone(), any::<usize>()).prop_map(|(c, i)| Op::Free(c, i)),
+        (cpu.clone(), any::<usize>()).prop_map(|(c, i)| Op::Free(c, i)),
+        cpu.prop_map(Op::Drain),
+    ]
+}
+
+/// Sorted multiset of live `(size, class)` pairs.
+fn shape(slab: &ShardedSlab) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = slab
+        .live_objects()
+        .into_iter()
+        .map(|(_, s, c)| (s, c))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn magazines_preserve_allocator_semantics(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mem = AddressSpace::new();
+        let slab_m = ShardedSlab::new();
+        let mut mags: Vec<Magazines> = (0..NCPU).map(Magazines::new).collect();
+        let slab_d = ShardedSlab::new();
+        // Parallel handle lists: index i in both worlds is the same
+        // logical object (same requested size, same op history).
+        let mut live_m: Vec<u64> = Vec::new();
+        let mut live_d: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(cpu, size) => {
+                    let am = mags[cpu].kmalloc(&slab_m, &mem, size);
+                    let ad = slab_d.kmalloc_on(cpu, &mem, size);
+                    prop_assert_eq!(am.is_some(), ad.is_some(),
+                        "alloc viability diverged for size {}", size);
+                    if let (Some(am), Some(ad)) = (am, ad) {
+                        prop_assert_eq!(slab_m.size_of(am), Some(size));
+                        prop_assert_eq!(slab_d.size_of(ad), Some(size));
+                        live_m.push(am);
+                        live_d.push(ad);
+                    }
+                }
+                Op::Free(cpu, i) => {
+                    if live_m.is_empty() {
+                        continue;
+                    }
+                    let i = i % live_m.len();
+                    let am = live_m.swap_remove(i);
+                    let ad = live_d.swap_remove(i);
+                    // World M: two-phase free into the CPU's magazine —
+                    // possibly a different CPU than allocated on.
+                    let (sm, cm) = slab_m.begin_free(am).expect("live handle");
+                    mags[cpu].release(&slab_m, am, cm);
+                    // World D: direct free to the owning shard.
+                    let (sd, cd) = slab_d.kfree(ad).expect("live handle");
+                    prop_assert_eq!((sm, cm), (sd, cd), "size/class diverged");
+                    // Double frees rejected identically in both worlds.
+                    prop_assert!(slab_m.begin_free(am).is_none());
+                    prop_assert!(slab_d.kfree(ad).is_none());
+                }
+                Op::Drain(cpu) => {
+                    mags[cpu].drain(&slab_m);
+                }
+            }
+            prop_assert_eq!(slab_m.live_count(), slab_d.live_count());
+            prop_assert_eq!(slab_m.allocated(), slab_d.allocated());
+            prop_assert_eq!(shape(&slab_m), shape(&slab_d), "live shape diverged");
+        }
+
+        // Quiesce: drain every magazine; the worlds must still agree,
+        // and world M's live objects must never overlap (magazine slots
+        // were never double-handed-out).
+        for m in &mut mags {
+            m.drain(&slab_m);
+        }
+        prop_assert_eq!(slab_m.allocated(), slab_d.allocated());
+        let mut objs = slab_m.live_objects();
+        objs.sort_unstable();
+        for w in objs.windows(2) {
+            let (a, _, ca) = w[0];
+            let (b, _, _) = w[1];
+            prop_assert!(a + ca <= b, "live objects overlap: {a:#x}+{ca} vs {b:#x}");
+        }
+    }
+}
