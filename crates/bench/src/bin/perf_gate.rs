@@ -46,7 +46,14 @@
 //!   verifier proves every shipped module plus the kernel thunks
 //!   (rejects = 0), catches every canary mutant, and the
 //!   verifier-gated loop-guard hoisting pass hoists ≥1 static site and
-//!   strictly lowers dynamic mem-write guards per TX packet.
+//!   strictly lowers dynamic mem-write guards per TX packet. The
+//!   request-server rows hold the async I/O plane's tail (cycle-derived,
+//!   exact): p99 ≤ 4x p50, zero RX ring drops, one TX reply per
+//!   request, and ≥1 dispatch through the deferred-call mux. The
+//!   rx-chaos rows gate the RX plane's recovery story: faults seeded
+//!   inside the poll/deferred path must yield ≥10 supervised
+//!   recoveries with traffic resuming after each re-probe, all
+//!   resource gauges flat, and zero kernel panics.
 //!
 //! Exit status: 0 = pass, 1 = regression, 2 = bad input.
 
@@ -75,7 +82,7 @@ const MT_CONTENTION_SLACK_NS: f64 = 5.0;
 const KMT_CONTENTION_SLACK_NS: f64 = 2_000.0;
 
 /// `(label, optimized key, reference key)` — the ratio-gated structures.
-const GATED: [(&str, &str, &str); 17] = [
+const GATED: [(&str, &str, &str); 20] = [
     ("write-table hit", "interval_hit_ns", "linear_hit_ns"),
     ("write-table miss", "interval_miss_ns", "linear_miss_ns"),
     (
@@ -138,6 +145,12 @@ const GATED: [(&str, &str, &str); 17] = [
         "dm_lxfi_round_cycles",
         "dm_stock_round_cycles",
     ),
+    (
+        // Capture period: the deferred-dispatch receive path.
+        "sound capture lxfi/stock cycles",
+        "sound_capture_lxfi_cycles",
+        "sound_capture_stock_cycles",
+    ),
     // Execution-backend rows: the compiled backend's wall-clock
     // advantage over the interpreter on the same workload. Ratios, so
     // host speed cancels; a regression means block compilation stopped
@@ -156,6 +169,19 @@ const GATED: [(&str, &str, &str); 17] = [
         "kernel 1cpu compiled/interp pkt ns",
         "kmt_pkt_1t_compiled_ns",
         "kmt_pkt_1t_ns",
+    ),
+    // Request-server latencies are cycle-derived (deterministic on
+    // every host): a ratio drift is a real change on the RX/deferred/
+    // reply path, not noise.
+    (
+        "server p50 lxfi/stock ns",
+        "server_p50_ns",
+        "server_stock_p50_ns",
+    ),
+    (
+        "server p99 lxfi/stock ns",
+        "server_p99_ns",
+        "server_stock_p99_ns",
     ),
 ];
 
@@ -518,6 +544,70 @@ fn run(baseline_path: &str, current_path: &str) -> Result<bool, String> {
     }
     let panics = get(&current, "chaos_panics", current_path)?;
     floor("floor: chaos kernel panics = 0".into(), panics, 0.0);
+
+    // Request-server rows (async I/O plane; cycle-derived, so exact):
+    // the tail stays bounded (p99 ≤ 4x p50 — head-of-line queueing
+    // across mixed bursts, not collapse), no RX frame is ever dropped
+    // to ring overrun, every request gets its TX reply, and the NAPI
+    // polls really went through the deferred-call mux.
+    let srv_tail = ratio(&current, "server_p99_ns", "server_p50_ns", current_path)?;
+    floor("floor: server p99 ≤ 4x p50".into(), srv_tail, 4.0);
+    let srv_drop = get(&current, "server_dropped", current_path)?;
+    floor("floor: server dropped packets = 0".into(), srv_drop, 0.0);
+    let srv_rx = get(&current, "server_rx_pkts", current_path)?;
+    let srv_tx = get(&current, "server_tx_replies", current_path)?;
+    floor(
+        "floor: server replies = requests".into(),
+        (srv_rx - srv_tx).abs(),
+        0.0,
+    );
+    let srv_disp = get(&current, "deferred_dispatched", current_path)?;
+    floor(
+        "floor: deferred dispatches ≥1 (neg ≤ -1)".into(),
+        -srv_disp,
+        -1.0,
+    );
+
+    // RX-plane chaos rows (deterministic: seeded faults fired inside the
+    // NAPI poll / deferred-dispatch path). The supervised driver must
+    // keep recovering, traffic must resume after every re-probe
+    // (delivered ≥ recoveries: at least one post-recovery burst lands
+    // per cycle), every resource gauge must return to steady state —
+    // including the alloc_etherdev grant, which teardown alone cannot
+    // see — and the kernel must never panic.
+    let rx_recov = get(&current, "rx_chaos_recoveries", current_path)?;
+    floor(
+        "floor: rx chaos recoveries ≥10 (neg ≤ -10)".into(),
+        -rx_recov,
+        -10.0,
+    );
+    let rx_delivered = get(&current, "rx_chaos_delivered", current_path)?;
+    floor(
+        "floor: rx chaos delivered ≥ recoveries".into(),
+        rx_recov - rx_delivered,
+        0.0,
+    );
+    let rx_injected = get(&current, "rx_chaos_injected", current_path)?;
+    floor(
+        "floor: rx chaos delivered ≤ injected".into(),
+        rx_delivered - rx_injected,
+        0.0,
+    );
+    for key in [
+        "rx_chaos_leak_principals",
+        "rx_chaos_leak_slab",
+        "rx_chaos_leak_writer_sets",
+        "rx_chaos_leak_intervals",
+    ] {
+        let leak = get(&current, key, current_path)?;
+        floor(
+            format!("floor: {} = 0", key.replace('_', " ")),
+            leak.abs(),
+            0.0,
+        );
+    }
+    let rx_panics = get(&current, "rx_chaos_panics", current_path)?;
+    floor("floor: rx chaos kernel panics = 0".into(), rx_panics, 0.0);
 
     // Report: one row per check, no first-failure bailout.
     println!(

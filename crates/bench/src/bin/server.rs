@@ -1,0 +1,79 @@
+//! The end-to-end request server: drives request frames from the
+//! simulated wire through the e1000 RX ring, the NAPI poll (dispatched
+//! via the deferred-call mux at quiescent points), `netif_rx`, the echo
+//! protocol module's `recvmsg` handler, and a TX reply per request —
+//! then prints the per-request latency distribution.
+//!
+//! `--backend {interp,compiled}` selects the execution backend (CI
+//! smokes both; the cycle-derived latencies are backend-invariant by
+//! design, so the histograms must match). `--requests N` sets the
+//! request budget (default 512).
+
+use lxfi_bench::render_table;
+use lxfi_bench::server::{run_server, ServerMeasurement};
+use lxfi_kernel::{Backend, IsolationMode};
+
+fn row(name: &str, m: &ServerMeasurement) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{:.0}", m.p50_ns),
+        format!("{:.0}", m.p99_ns),
+        format!("{:.2}", m.p99_ns / m.p50_ns),
+        format!("{}", m.rx_pkts),
+        format!("{}", m.tx_replies),
+        format!("{}", m.dropped),
+        format!("{}", m.deferred_dispatched),
+    ]
+}
+
+fn sparkline(m: &ServerMeasurement) -> String {
+    let max = m.hist.counts.iter().copied().max().unwrap_or(1).max(1);
+    let glyphs = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let last = m.hist.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    m.hist.counts[..=last]
+        .iter()
+        .map(|&c| glyphs[(c as usize * (glyphs.len() - 1)).div_ceil(max as usize)])
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<Backend>().expect("--backend {interp,compiled}"))
+        .unwrap_or_default();
+    let requests = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<u64>().expect("--requests N"))
+        .unwrap_or(512);
+
+    println!("request server: wire → e1000 RX ring → NAPI poll → socket → reply");
+    println!("backend: {backend}, requests: {requests}\n");
+
+    let lxfi = run_server(IsolationMode::Lxfi, backend, requests);
+    let stock = run_server(IsolationMode::Stock, backend, requests);
+    let table = vec![row("lxfi", &lxfi), row("stock", &stock)];
+    println!(
+        "{}",
+        render_table(
+            &["Mode", "p50 ns", "p99 ns", "p99/p50", "RX pkts", "Replies", "Dropped", "Deferred"],
+            &table
+        )
+    );
+    println!(
+        "\nlatency histogram ({} ns buckets, lxfi):\n{}",
+        lxfi.hist.bucket_ns,
+        sparkline(&lxfi)
+    );
+    println!(
+        "\nLatency is the simulated-cycle delta from a burst's wire\n\
+         injection to each request's TX reply, at the testbed clock;\n\
+         mixed burst sizes (1/2/4/8) make head-of-line queueing visible\n\
+         as the p50→p99 spread. The perf gate holds p99 ≤ 4x p50, zero\n\
+         ring drops, and the LXFI/stock ratio to baseline."
+    );
+}

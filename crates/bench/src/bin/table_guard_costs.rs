@@ -15,8 +15,8 @@
 //! tables are suppressed in that mode.
 
 use lxfi_bench::{
-    chaos, dm, guards, kernel_mt, netperf, netperf_mt, render_table, sound, soundness_audit,
-    writer_index,
+    chaos, dm, guards, kernel_mt, netperf, netperf_mt, render_table, server, sound,
+    soundness_audit, writer_index,
 };
 use lxfi_kernel::{Backend, IsolationMode};
 
@@ -123,10 +123,33 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
     let pb = sound::playback_comparison(200);
     out.push(("sound_stock_period_cycles".into(), pb.stock));
     out.push(("sound_lxfi_period_cycles".into(), pb.lxfi));
+    // Sound *capture* period: the receive-side path through the
+    // deferred-call mux (same machinery as NAPI polls); deterministic
+    // cycles like playback.
+    let cp = sound::capture_comparison(200);
+    out.push(("sound_capture_stock_cycles".into(), cp.stock));
+    out.push(("sound_capture_lxfi_cycles".into(), cp.lxfi));
     // Device-mapper request round: also deterministic simulated cycles.
     let dmr = dm::dm_comparison(100);
     out.push(("dm_stock_round_cycles".into(), dmr.stock));
     out.push(("dm_lxfi_round_cycles".into(), dmr.lxfi));
+    // End-to-end request server (async I/O plane): wire → RX ring →
+    // NAPI poll via the deferred-call mux → socket recvmsg → TX reply.
+    // Latencies are cycle-derived (deterministic on every host), so
+    // the gate holds both the LXFI/stock ratio and the tail bound.
+    let srv = server::run_server(IsolationMode::Lxfi, Backend::Interp, 256);
+    let srv_stock = server::run_server(IsolationMode::Stock, Backend::Interp, 256);
+    out.push(("server_p50_ns".into(), srv.p50_ns));
+    out.push(("server_p99_ns".into(), srv.p99_ns));
+    out.push(("server_stock_p50_ns".into(), srv_stock.p50_ns));
+    out.push(("server_stock_p99_ns".into(), srv_stock.p99_ns));
+    out.push(("server_rx_pkts".into(), srv.rx_pkts as f64));
+    out.push(("server_tx_replies".into(), srv.tx_replies as f64));
+    out.push((
+        "server_dropped".into(),
+        (srv.dropped + srv_stock.dropped) as f64,
+    ));
+    out.push(("deferred_dispatched".into(), srv.deferred_dispatched as f64));
     // Execution-backend comparison: wall-clock time per operation under
     // the interpreter vs the compiled backend on the same workloads
     // (simulated cycles are backend-invariant by design — host time is
@@ -217,6 +240,19 @@ fn measurements(iters: u64) -> Vec<(String, f64)> {
     out.push(("chaos_leak_writer_sets".into(), ch.leak_writer_sets as f64));
     out.push(("chaos_leak_intervals".into(), ch.leak_intervals as f64));
     out.push(("chaos_panics".into(), ch.panics as f64));
+    let rx = chaos::run_rx_chaos(10);
+    out.push(("rx_chaos_recoveries".into(), rx.recoveries as f64));
+    out.push(("rx_chaos_faults".into(), rx.faults as f64));
+    out.push(("rx_chaos_injected".into(), rx.injected as f64));
+    out.push(("rx_chaos_delivered".into(), rx.delivered as f64));
+    out.push(("rx_chaos_leak_principals".into(), rx.leak_principals as f64));
+    out.push(("rx_chaos_leak_slab".into(), rx.leak_slab as f64));
+    out.push((
+        "rx_chaos_leak_writer_sets".into(),
+        rx.leak_writer_sets as f64,
+    ));
+    out.push(("rx_chaos_leak_intervals".into(), rx.leak_intervals as f64));
+    out.push(("rx_chaos_panics".into(), rx.panics as f64));
     out
 }
 
@@ -437,6 +473,23 @@ fn main() {
         dmr.lxfi,
         dmr.overhead,
         dm::DM_REQ_BYTES
+    );
+
+    let srv = server::run_server(IsolationMode::Lxfi, Backend::Interp, 256);
+    let srv_stock = server::run_server(IsolationMode::Stock, Backend::Interp, 256);
+    println!(
+        "\nRequest server (async I/O plane, cycle-derived ns): LXFI p50\n\
+         {:.0} / p99 {:.0}, stock p50 {:.0} / p99 {:.0}; {} requests\n\
+         received, {} replies, {} dropped, {} deferred dispatches.\n\
+         (`cargo run -p lxfi-bench --bin server` for the histogram.)",
+        srv.p50_ns,
+        srv.p99_ns,
+        srv_stock.p50_ns,
+        srv_stock.p99_ns,
+        srv.rx_pkts,
+        srv.tx_replies,
+        srv.dropped + srv_stock.dropped,
+        srv.deferred_dispatched
     );
 
     println!("\nExecution backends (LXFI mode, wall-clock per operation):\n");

@@ -19,6 +19,15 @@
 //! xorshift64* streams, time is supervisor ticks, and the
 //! isolation-overhead probe is simulated guard cycles — no wall clock
 //! anywhere, so the CI gate holds these rows exactly.
+//!
+//! [`run_rx_chaos`] is the receive-plane variant: the supervised module
+//! is the e1000 driver itself, and the injected faults fire *inside its
+//! NAPI bottom halves* ([`FaultSite::PollGuard`] mid-`netif_rx`,
+//! [`FaultSite::DeferredFuel`] mid-poll) — quarantine lands at the
+//! deferred-dispatch quiescent point with frames still on the RX ring.
+//! The harness then plays operator: it tears out the stale device
+//! plumbing the dead instance registered and re-probes the bus so the
+//! restarted driver binds a fresh ring.
 
 use std::sync::Arc;
 
@@ -313,6 +322,196 @@ pub fn run_chaos(target_recoveries: u64) -> ChaosMeasurement {
     }
 }
 
+/// Wire frames injected per RX-chaos iteration (under the NAPI budget,
+/// so a healthy iteration delivers the whole burst in one poll).
+const RX_BURST: u64 = 4;
+
+/// Everything one RX-chaos run measures (all deterministic).
+#[derive(Debug, Clone)]
+pub struct RxChaosMeasurement {
+    /// Crash → quarantine → re-probe cycles the driver completed.
+    pub recoveries: u64,
+    /// Fault records the kernel logged (all attributed to e1000).
+    pub faults: u64,
+    /// Frames the wire pushed at the device, total.
+    pub injected: u64,
+    /// Frames that made it through `netif_rx` to the RX queue. The
+    /// shortfall is driver downtime: frames parked on a ring whose
+    /// driver died are torn down with it at re-probe.
+    pub delivered: u64,
+    /// Live-principal gauge drift across phase-equivalent snapshots
+    /// (driver freshly re-probed; must be 0).
+    pub leak_principals: i64,
+    /// Live slab-object drift (must be 0).
+    pub leak_slab: i64,
+    /// Interned-writer-set drift (must be 0).
+    pub leak_writer_sets: i64,
+    /// Writer-index interval drift (must be 0).
+    pub leak_intervals: i64,
+    /// Whether the kernel-wide panic flag was ever set (must be 0).
+    pub panics: u64,
+}
+
+/// Drains the RX queue, freeing every delivered frame; loops because
+/// the frees' own enter-epilogues can dispatch a re-armed poll that
+/// delivers more.
+fn drain_rx(k: &mut Kernel) -> u64 {
+    let mut n = 0;
+    loop {
+        let skbs = std::mem::take(&mut k.net().rx_queue);
+        if skbs.is_empty() {
+            return n;
+        }
+        n += skbs.len() as u64;
+        for skb in skbs {
+            k.enter(|k| lxfi_kernel::net::free_skb_raw(k, skb).map(|()| 0u64))
+                .unwrap();
+        }
+    }
+}
+
+/// Runs wire traffic at a supervised e1000 while RX-path faults crash
+/// it, until it has recovered `target_recoveries` times. Each recovery
+/// is a full operator cycle: quarantine mid-poll → supervisor restart →
+/// stale device plumbing torn out → bus re-probe → fresh RX ring.
+pub fn run_rx_chaos(target_recoveries: u64) -> RxChaosMeasurement {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    let pcidev = k.pci_add_device(0x8086, 0x100e, 11);
+    let mut sup = Supervisor::new(RestartPolicy {
+        max_consecutive_failures: 5,
+        base_backoff: 1,
+        max_backoff: 4,
+        probation: 1,
+    });
+    sup.supervise(
+        &mut k,
+        "e1000",
+        IsolationMode::Lxfi,
+        Box::new(mods::e1000::spec),
+    )
+    .unwrap();
+    k.enter(|k| k.pci_probe_all()).unwrap();
+    let mut dev = *k.net().devices.last().unwrap();
+
+    // Warm the receive plane fault-free.
+    for _ in 0..4 {
+        k.enter(|k| k.net_rx_wire(dev, RX_BURST)).unwrap();
+        drain_rx(&mut k);
+    }
+
+    k.set_fault_plan(Arc::new(FaultPlan {
+        seed: 0x00D0_0DAD_0BAD_F00D,
+        rules: vec![
+            FaultRule {
+                module: "e1000".into(),
+                site: FaultSite::PollGuard,
+                one_in: 9,
+            },
+            FaultRule {
+                module: "e1000".into(),
+                site: FaultSite::DeferredFuel,
+                one_in: 4001,
+            },
+        ],
+    }));
+
+    let mut recoveries = 0u64;
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    let mut panics = 0u64;
+    let mut quiet = 0u64;
+    let mut first_snap: Option<(u64, u64, u64, u64)> = None;
+    let mut last_snap: Option<(u64, u64, u64, u64)> = None;
+
+    let mut iter = 0u64;
+    while recoveries < target_recoveries {
+        iter += 1;
+        assert!(iter <= MAX_ITERS, "rx chaos failed to converge");
+        assert!(
+            sup.state("e1000") != Some(SupervisedState::Dead),
+            "the driver must keep recovering, not crash-loop to death"
+        );
+
+        if quiet > 0 {
+            // A fault-free tick right after restart: probation clears
+            // the failure streak, so the supervisor restarts the driver
+            // indefinitely instead of declaring a crash loop.
+            quiet -= 1;
+        } else {
+            injected += RX_BURST;
+            // A fault in the poll is contained at the deferred-dispatch
+            // quiescent point — the wire entry itself still succeeds.
+            // While the driver is quarantined the interrupt's dispatch
+            // finds a dangling poll pointer and is swallowed; the
+            // frames sit on the doomed ring.
+            k.enter(|k| k.net_rx_wire(dev, RX_BURST)).unwrap();
+            delivered += drain_rx(&mut k);
+        }
+
+        for ev in sup.tick(&mut k) {
+            match ev {
+                SupervisorEvent::Faulted { module, .. } => assert_eq!(module, "e1000"),
+                SupervisorEvent::Restarted { module, .. } => {
+                    assert_eq!(module, "e1000");
+                    recoveries += 1;
+                    // The kernel tore the module down, but the device
+                    // plumbing its dead instance registered survives —
+                    // a bound pci_dev, a driver slot whose probe
+                    // pointer dangles, a net device with a dead NAPI
+                    // ring. The operator (us) removes it and re-probes
+                    // so the restarted driver's registration binds a
+                    // fresh ring.
+                    let old = dev;
+                    {
+                        let mut pci = k.pci();
+                        pci.bound.retain(|&(d, _)| d != pcidev);
+                        let fresh = pci.driver_slots.pop();
+                        pci.driver_slots.clear();
+                        pci.driver_slots.extend(fresh);
+                    }
+                    k.net_remove_dead_device(old);
+                    k.enter(|k| k.pci_probe_all()).unwrap();
+                    dev = *k.net().devices.last().unwrap();
+                    quiet = 1;
+                    // Leak gauges at phase-equivalent points: driver
+                    // freshly re-probed, RX queue empty. Skip early
+                    // cycles so interned writer sets reach their
+                    // steady alphabet.
+                    if recoveries >= 4 {
+                        let s = snapshot(&k);
+                        first_snap.get_or_insert(s);
+                        last_snap = Some(s);
+                    }
+                }
+                SupervisorEvent::CrashLooping { module } => {
+                    panic!("{module} must not crash-loop to death");
+                }
+                SupervisorEvent::RestartFailed { module, why } => {
+                    panic!("restart of {module} failed: {why}");
+                }
+            }
+        }
+
+        if k.panic_reason().is_some() {
+            panics += 1;
+        }
+    }
+
+    let first = first_snap.expect("reached steady-state snapshots");
+    let last = last_snap.unwrap();
+    RxChaosMeasurement {
+        recoveries,
+        faults: k.fault_count() as u64,
+        injected,
+        delivered,
+        leak_principals: last.0 as i64 - first.0 as i64,
+        leak_slab: last.1 as i64 - first.1 as i64,
+        leak_writer_sets: last.2 as i64 - first.2 as i64,
+        leak_intervals: last.3 as i64 - first.3 as i64,
+        panics,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +534,29 @@ mod tests {
             "healthy throughput under chaos must stay >= 0.7x baseline (ratio {})",
             m.overhead_ratio()
         );
+    }
+
+    #[test]
+    fn rx_chaos_recovers_the_receive_plane() {
+        let m = run_rx_chaos(10);
+        assert!(m.recoveries >= 10);
+        assert!(m.faults >= m.recoveries, "{m:?}");
+        assert!(m.delivered > 0, "the plane must move frames: {m:?}");
+        assert!(m.delivered <= m.injected, "{m:?}");
+        assert_eq!(m.panics, 0, "RX chaos must never panic the kernel");
+        assert_eq!(m.leak_principals, 0, "{m:?}");
+        assert_eq!(m.leak_slab, 0, "{m:?}");
+        assert_eq!(m.leak_writer_sets, 0, "{m:?}");
+        assert_eq!(m.leak_intervals, 0, "{m:?}");
+    }
+
+    #[test]
+    fn rx_chaos_is_deterministic() {
+        let a = run_rx_chaos(6);
+        let b = run_rx_chaos(6);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.delivered, b.delivered);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod kernel_mt;
 pub mod loc;
 pub mod netperf;
 pub mod netperf_mt;
+pub mod server;
 pub mod sfi;
 pub mod sound;
 pub mod soundness_audit;

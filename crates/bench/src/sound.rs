@@ -87,6 +87,27 @@ pub fn measure_playback_costs(mode: IsolationMode, n: u64) -> PlaybackCosts {
     }
 }
 
+/// Measures per-capture-period cycles over `n` periods. Each period is
+/// the receive-side analogue of playback: the "hardware" asserts a
+/// capture interrupt, which routes the module's `pcm_capture` bottom
+/// half through the same deferred-call mux NAPI polls use, filling 32
+/// bytes of the DMA ring at the hardware pointer (guarded stores) and
+/// advancing it.
+pub fn measure_capture_costs(mode: IsolationMode, n: u64) -> PlaybackCosts {
+    let (mut k, pcm) = boot_sound(mode);
+    for _ in 0..4 {
+        let got = k.enter(|k| k.snd_capture_period(pcm)).unwrap();
+        assert_eq!(got, 32, "capture period delivers its bytes");
+    }
+    let start = k.total_cycles();
+    for _ in 0..n {
+        k.enter(|k| k.snd_capture_period(pcm)).unwrap();
+    }
+    PlaybackCosts {
+        period: (k.total_cycles() - start) as f64 / n as f64,
+    }
+}
+
 /// One stock-vs-LXFI playback comparison row.
 #[derive(Debug, Clone, Copy)]
 pub struct PlaybackRow {
@@ -102,6 +123,17 @@ pub struct PlaybackRow {
 pub fn playback_comparison(n: u64) -> PlaybackRow {
     let stock = measure_playback_costs(IsolationMode::Stock, n).period;
     let lxfi = measure_playback_costs(IsolationMode::Lxfi, n).period;
+    PlaybackRow {
+        stock,
+        lxfi,
+        overhead: lxfi / stock,
+    }
+}
+
+/// Stock-vs-LXFI capture-period comparison (deferred-dispatch path).
+pub fn capture_comparison(n: u64) -> PlaybackRow {
+    let stock = measure_capture_costs(IsolationMode::Stock, n).period;
+    let lxfi = measure_capture_costs(IsolationMode::Lxfi, n).period;
     PlaybackRow {
         stock,
         lxfi,
@@ -125,6 +157,35 @@ mod tests {
             row.overhead < 25.0,
             "playback overhead out of expected band: {row:?}"
         );
+    }
+
+    #[test]
+    fn capture_runs_through_the_deferred_mux() {
+        let (mut k, pcm) = boot_sound(IsolationMode::Lxfi);
+        let (d0, _, _) = k.deferred_stats();
+        for _ in 0..5 {
+            let got = k.enter(|k| k.snd_capture_period(pcm)).unwrap();
+            assert_eq!(got, 32);
+        }
+        let (d1, dropped, pending) = k.deferred_stats();
+        assert_eq!(d1 - d0, 5, "one dispatch per period");
+        assert_eq!(dropped, 0);
+        assert_eq!(pending, 0, "periods never pile up");
+        // The hardware pointer advanced 5 periods of 32 bytes.
+        let hw = k
+            .mem
+            .read_word((pcm as i64 + lxfi_kernel::types::snd_pcm::HW_PTR) as u64)
+            .unwrap();
+        assert_eq!(hw, 5 * 32, "five periods of 32 bytes");
+    }
+
+    #[test]
+    fn capture_costs_are_deterministic_and_bounded() {
+        let a = capture_comparison(50);
+        let b = capture_comparison(50);
+        assert_eq!(a.lxfi, b.lxfi, "cycle-deterministic");
+        assert!(a.lxfi > a.stock, "guards cost something: {a:?}");
+        assert!(a.overhead < 25.0, "bounded like playback: {a:?}");
     }
 
     #[test]

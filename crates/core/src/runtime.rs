@@ -1414,6 +1414,23 @@ impl RuntimeCore {
             .sum()
     }
 
+    /// Snapshot of every live interval as `(start, end, writers)` in
+    /// address order (diagnostics; pairs with
+    /// [`index_interval_count`](Self::index_interval_count) when a leak
+    /// gauge drifts and the offending range needs naming).
+    pub fn index_intervals_snapshot(&self) -> Vec<(Word, Word, Vec<PrincipalId>)> {
+        let sharding = self.sharding.read().expect("sharding lock");
+        let interner = sharding.interner.lock().expect("interner lock");
+        let mut out = Vec::new();
+        for s in &sharding.shards {
+            let s = s.lock().expect("shard lock");
+            for (a, b, w) in s.intervals(&interner) {
+                out.push((a, b, w.to_vec()));
+            }
+        }
+        out
+    }
+
     /// Live interned writer sets, including the pinned empty set.
     pub fn index_set_count(&self) -> usize {
         let sharding = self.sharding.read().expect("sharding lock");

@@ -1,0 +1,228 @@
+//! Deferred-call dispatch — the kernel's bottom-half layer.
+//!
+//! Interrupt assertion must do almost nothing: the wire (or a sound
+//! card's period timer) marks work *pending* and returns; the work
+//! itself — dispatching the device's NAPI poll or capture callback into
+//! guarded module code — runs later, at a quiescent point. This module
+//! is the table that carries that pending work between the two halves.
+//!
+//! The design is the single-owner deferred-call mux (as in Tock's
+//! `deferred_call` layer): every client that can have deferred work —
+//! one per `(owner object, kind)` pair, e.g. one per NAPI device —
+//! registers exactly **once** and owns its slot for the kernel's
+//! lifetime. Scheduling a call after registration allocates nothing:
+//! each slot carries a fixed-capacity ring of pending call arguments,
+//! so the interrupt path is a bump of a head/len pair under the
+//! subsystem mutex, never a heap allocation. A full ring drops the call
+//! and counts the drop (like a NIC dropping frames on an overrun) —
+//! pending work is otherwise never lost and never duplicated, and one
+//! owner's calls dispatch in exactly the order they were scheduled.
+//!
+//! **CPU affinity / determinism.** A slot binds to the CPU that
+//! scheduled its first pending call (re-armed when the ring drains
+//! empty) and the ambient quiescent-point drain on each CPU only
+//! dispatches its own slots. That keeps interrupt delivery
+//! batch-reproducible under `kernel_mt`: the CPU that observed the wire
+//! event runs the bottom half, so per-CPU cycle counts never depend on
+//! which CPU happened to reach a quiescent point first (the contract is
+//! documented with netsim's cycle model in [`crate::netsim`]). An
+//! *explicit* flush of one slot (e.g. `net_deliver_rx` draining the
+//! device it just injected frames for) ignores affinity — the caller is
+//! the observing CPU by construction.
+//!
+//! The state itself is dispatch-free: the [`crate::KernelCpu`] methods
+//! (`deferred_dispatch_one`, `deferred_drain`) pop from here and run
+//! the actual `interrupt(...) → indirect_call(...)` sequence, with the
+//! kernel's `in_deferred` flag set so the chaos harness can inject
+//! fuel exhaustion specifically inside bottom halves.
+
+use lxfi_machine::Word;
+
+/// Fixed pending-call capacity per slot. Beyond this the schedule is
+/// dropped and counted — bounded memory is the point of the design.
+pub const RING_CAP: usize = 64;
+
+/// What a slot's pending calls dispatch into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeferredKind {
+    /// NAPI bottom half: `napi_poll(owner /*dev*/, arg /*budget*/)`
+    /// through the device's kernel-held poll slot.
+    NapiPoll,
+    /// Sound capture period: `pcm_capture(owner /*pcm*/, arg /*bytes*/)`
+    /// through the stream's ops table.
+    SndCapture,
+}
+
+/// Index of a registered deferred-call slot (stable for the kernel's
+/// lifetime; slots are never unregistered, mirroring static ownership
+/// in the mux pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeferredId(pub usize);
+
+/// One single-owner slot: the owning object, the dispatch kind, and the
+/// FIFO ring of pending call arguments.
+#[derive(Debug)]
+struct DeferredSlot {
+    owner: Word,
+    kind: DeferredKind,
+    ring: [Word; RING_CAP],
+    head: usize,
+    len: usize,
+    /// CPU (thread id) whose quiescent points drain this slot; bound at
+    /// the empty→pending transition.
+    affine: u32,
+}
+
+/// The kernel-wide deferred-call table (one, behind the core's
+/// `deferred` mutex; the hot "anything pending?" probe is the lock-free
+/// atomic counter the kernel keeps beside it).
+#[derive(Debug, Default)]
+pub struct DeferredState {
+    slots: Vec<DeferredSlot>,
+    /// Calls dispatched since boot (bumped by the kernel dispatch path).
+    pub dispatched: u64,
+    /// Calls dropped because an owner's ring was full.
+    pub dropped: u64,
+}
+
+impl DeferredState {
+    /// Registers the single slot for `(owner, kind)`. Idempotent: a
+    /// re-registration (e.g. a driver restarted after quarantine on the
+    /// same object) returns the existing slot — there is never more
+    /// than one owner per slot or one slot per owner.
+    pub fn register(&mut self, owner: Word, kind: DeferredKind) -> DeferredId {
+        if let Some(id) = self.lookup(owner, kind) {
+            return id;
+        }
+        self.slots.push(DeferredSlot {
+            owner,
+            kind,
+            ring: [0; RING_CAP],
+            head: 0,
+            len: 0,
+            affine: 0,
+        });
+        DeferredId(self.slots.len() - 1)
+    }
+
+    /// The slot registered for `(owner, kind)`, if any.
+    pub fn lookup(&self, owner: Word, kind: DeferredKind) -> Option<DeferredId> {
+        self.slots
+            .iter()
+            .position(|s| s.owner == owner && s.kind == kind)
+            .map(DeferredId)
+    }
+
+    /// Appends a pending call to a slot's ring from CPU `cpu`. Returns
+    /// `false` (and counts the drop) when the ring is full. The first
+    /// call into an empty ring binds the slot's CPU affinity.
+    pub fn schedule(&mut self, id: DeferredId, arg: Word, cpu: u32) -> bool {
+        let s = &mut self.slots[id.0];
+        if s.len == RING_CAP {
+            self.dropped += 1;
+            return false;
+        }
+        if s.len == 0 {
+            s.affine = cpu;
+        }
+        s.ring[(s.head + s.len) % RING_CAP] = arg;
+        s.len += 1;
+        true
+    }
+
+    /// Pops the oldest pending call from a slot.
+    pub fn pop(&mut self, id: DeferredId) -> Option<(Word, DeferredKind, Word)> {
+        let s = &mut self.slots[id.0];
+        if s.len == 0 {
+            return None;
+        }
+        let arg = s.ring[s.head];
+        s.head = (s.head + 1) % RING_CAP;
+        s.len -= 1;
+        Some((s.owner, s.kind, arg))
+    }
+
+    /// The lowest-index slot with pending work affine to `cpu` (the
+    /// ambient quiescent-point drain's work source).
+    pub fn next_for(&self, cpu: u32) -> Option<DeferredId> {
+        self.slots
+            .iter()
+            .position(|s| s.len > 0 && s.affine == cpu)
+            .map(DeferredId)
+    }
+
+    /// Pending calls queued on one slot.
+    pub fn pending(&self, id: DeferredId) -> usize {
+        self.slots[id.0].len
+    }
+
+    /// Pending calls queued across all slots.
+    pub fn pending_total(&self) -> usize {
+        self.slots.iter().map(|s| s.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_single_owner_and_idempotent() {
+        let mut d = DeferredState::default();
+        let a = d.register(0x1000, DeferredKind::NapiPoll);
+        let b = d.register(0x2000, DeferredKind::NapiPoll);
+        assert_ne!(a, b);
+        // Same owner, same kind: the same slot comes back.
+        assert_eq!(d.register(0x1000, DeferredKind::NapiPoll), a);
+        // Same owner, different kind: a distinct client.
+        let c = d.register(0x1000, DeferredKind::SndCapture);
+        assert_ne!(c, a);
+        assert_eq!(d.lookup(0x2000, DeferredKind::NapiPoll), Some(b));
+        assert_eq!(d.lookup(0x3000, DeferredKind::NapiPoll), None);
+    }
+
+    #[test]
+    fn rings_are_fifo_and_bounded() {
+        let mut d = DeferredState::default();
+        let id = d.register(0xd0, DeferredKind::NapiPoll);
+        for i in 0..RING_CAP as u64 {
+            assert!(d.schedule(id, i, 0));
+        }
+        // Full: the overflow is dropped and counted, nothing is lost.
+        assert!(!d.schedule(id, 999, 0));
+        assert_eq!(d.dropped, 1);
+        for i in 0..RING_CAP as u64 {
+            assert_eq!(d.pop(id), Some((0xd0, DeferredKind::NapiPoll, i)));
+        }
+        assert_eq!(d.pop(id), None);
+        // Wrap-around keeps FIFO order.
+        for round in 0..3u64 {
+            for i in 0..10 {
+                assert!(d.schedule(id, round * 100 + i, 0));
+            }
+            for i in 0..10 {
+                assert_eq!(d.pop(id).unwrap().2, round * 100 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_binds_on_first_pending_and_rearms_when_drained() {
+        let mut d = DeferredState::default();
+        let a = d.register(0xa0, DeferredKind::NapiPoll);
+        let b = d.register(0xb0, DeferredKind::SndCapture);
+        d.schedule(a, 1, 3);
+        d.schedule(a, 2, 7); // non-empty: affinity stays with CPU 3
+        d.schedule(b, 9, 7);
+        assert_eq!(d.next_for(3), Some(a));
+        assert_eq!(d.next_for(7), Some(b));
+        assert_eq!(d.next_for(0), None);
+        d.pop(a);
+        d.pop(a);
+        assert_eq!(d.next_for(3), None);
+        // Empty ring re-arms: the next scheduler owns the slot.
+        d.schedule(a, 5, 7);
+        assert_eq!(d.next_for(7), Some(a));
+        assert_eq!(d.pending_total(), 2);
+    }
+}

@@ -26,6 +26,15 @@ pub enum FaultSite {
     /// `kmalloc`/`kzalloc` return NULL (allocation failure — exercises
     /// the module's error paths, which may themselves then trap).
     Alloc,
+    /// `netif_rx` reports a synthetic policy violation against the skb
+    /// the poll loop is delivering — a guard failure *inside* a NAPI
+    /// bottom half, so quarantine fires mid-poll with frames still on
+    /// the RX ring.
+    PollGuard,
+    /// The fuel meter reports exhaustion, but only while the CPU is
+    /// dispatching a deferred call (`in_deferred`) — a runaway bottom
+    /// half, distinct from [`FaultSite::Fuel`] which can fire anywhere.
+    DeferredFuel,
 }
 
 /// One injection rule: while `module` executes, fire at `site` once

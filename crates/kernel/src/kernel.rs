@@ -65,7 +65,7 @@
 //! either way).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use lxfi_annotations::parse_fn_annotations;
@@ -349,6 +349,13 @@ pub struct KernelCore {
     sock: Mutex<crate::socket::SocketState>,
     snd: Mutex<crate::snd::SndState>,
     dm: Mutex<crate::dm::DmState>,
+
+    /// The deferred-call table (bottom halves; see [`crate::deferred`]).
+    deferred: Mutex<crate::deferred::DeferredState>,
+    /// Kernel-wide count of pending deferred calls — the lock-free probe
+    /// every `enter` epilogue takes before deciding whether to drain, so
+    /// entries with no bottom-half work never touch the deferred mutex.
+    deferred_pending: AtomicUsize,
 }
 
 impl KernelCore {
@@ -396,6 +403,11 @@ impl KernelCore {
     /// Locks the device-mapper state.
     pub fn dm(&self) -> MutexGuard<'_, crate::dm::DmState> {
         self.dm.lock().expect("dm lock")
+    }
+
+    /// Locks the deferred-call table.
+    pub fn deferred(&self) -> MutexGuard<'_, crate::deferred::DeferredState> {
+        self.deferred.lock().expect("deferred lock")
     }
 
     /// Aggregated compiled-backend statistics across every loaded
@@ -529,6 +541,9 @@ pub struct KernelCpu {
     /// Deterministic seeded fault injection (`None` = off; see
     /// [`crate::fault_inject`]).
     fault_inject: Option<crate::fault_inject::FaultInjector>,
+    /// True while this CPU dispatches a deferred call (a bottom half) —
+    /// the context gate for [`crate::fault_inject::FaultSite::DeferredFuel`].
+    in_deferred: bool,
 
     fuel: u64,
     /// Cycles consumed by interpreted instructions (monotonic).
@@ -636,6 +651,8 @@ impl Kernel {
             sock: Mutex::new(Default::default()),
             snd: Mutex::new(Default::default()),
             dm: Mutex::new(Default::default()),
+            deferred: Mutex::new(Default::default()),
+            deferred_pending: AtomicUsize::new(0),
         });
 
         let cpu = KernelCpu::new(Arc::clone(&core));
@@ -681,6 +698,7 @@ impl KernelCpu {
             exec_stack: Vec::new(),
             pending_fault: None,
             fault_inject: None,
+            in_deferred: false,
             fuel: u64::MAX,
             cycles: 0,
             core,
@@ -794,6 +812,11 @@ impl KernelCpu {
     /// Locks the device-mapper state.
     pub fn dm(&self) -> MutexGuard<'_, crate::dm::DmState> {
         self.core.dm()
+    }
+
+    /// Locks the deferred-call table (see [`crate::deferred`]).
+    pub fn deferred(&self) -> MutexGuard<'_, crate::deferred::DeferredState> {
+        self.core.deferred()
     }
 
     // ----------------------------------------------------------- exports
@@ -1090,6 +1113,16 @@ impl KernelCpu {
                 // A trap may have been raised and swallowed mid-entry;
                 // stale attribution must not outlive the entry.
                 self.pending_fault = None;
+                // Quiescent point on the way out: dispatch bottom halves
+                // bound to this CPU (the softirq-on-syscall-exit
+                // analogue). A bottom-half fault is contained inside the
+                // drain — it never turns this entry's success into an
+                // error, exactly as a real softirq crash does not fail
+                // the syscall it interrupted. The lock-free pending probe
+                // keeps bottom-half-free entries at one atomic load.
+                if self.core.deferred_pending.load(Ordering::Acquire) != 0 {
+                    self.deferred_drain();
+                }
                 Ok(r)
             }
             Err(trap) => {
@@ -1342,6 +1375,145 @@ impl KernelCpu {
             .interrupt_exit(tok)
             .expect("interrupt tokens are runtime-managed");
         r
+    }
+
+    // ------------------------------------------------- deferred dispatch
+
+    /// Registers the single deferred-call slot for `(owner, kind)`
+    /// (idempotent; see [`crate::deferred::DeferredState::register`]).
+    pub fn deferred_register(
+        &mut self,
+        owner: Word,
+        kind: crate::deferred::DeferredKind,
+    ) -> crate::deferred::DeferredId {
+        self.core.deferred().register(owner, kind)
+    }
+
+    /// Schedules a deferred call (top-half side: e.g. the interrupt
+    /// assertion in `net_rx_wire`). Returns `false` if the owner's ring
+    /// was full and the call was dropped. Binds the slot to this CPU
+    /// when its ring was empty — the determinism contract's anchor.
+    pub fn deferred_schedule(&mut self, id: crate::deferred::DeferredId, arg: Word) -> bool {
+        let ok = self.core.deferred().schedule(id, arg, self.thread.0);
+        if ok {
+            self.core.deferred_pending.fetch_add(1, Ordering::AcqRel);
+        }
+        ok
+    }
+
+    /// Dispatches one pending deferred call from `id`'s ring: pops it,
+    /// runs the target callback as a simulated interrupt (saving and
+    /// restoring the interrupted principal context, §3.1) with
+    /// `in_deferred` set so [`crate::fault_inject::FaultSite::DeferredFuel`]
+    /// can fire, and applies NAPI's softirq re-arm rule — a poll that
+    /// consumed its whole budget is re-scheduled, one that returned
+    /// early is expected to have called `napi_complete`.
+    ///
+    /// Returns `Ok(None)` when the ring was already empty, `Ok(Some(ret))`
+    /// with the callback's return value otherwise. A trap propagates to
+    /// the caller for ordinary classification — the popped call is
+    /// consumed (its frames stay on the device ring for a post-recovery
+    /// poll to replay; `docs/io-plane.md`).
+    pub fn deferred_dispatch_one(
+        &mut self,
+        id: crate::deferred::DeferredId,
+    ) -> Result<Option<Word>, Trap> {
+        use crate::deferred::DeferredKind;
+        let Some((owner, kind, arg)) = self.core.deferred().pop(id) else {
+            return Ok(None);
+        };
+        self.core.deferred_pending.fetch_sub(1, Ordering::AcqRel);
+        let ret = match kind {
+            DeferredKind::NapiPoll => {
+                // The device's registered poll slot; gone means the
+                // owning module was unloaded between assert and dispatch
+                // — the call evaporates (its frames stay on the ring).
+                let slot = self.net().poll_slot(owner);
+                let Some(slot) = slot else {
+                    self.core.deferred().dispatched += 1;
+                    return Ok(Some(0));
+                };
+                self.in_deferred = true;
+                let r = self.interrupt(|k| k.indirect_call(slot, "napi_poll", &[owner, arg]));
+                self.in_deferred = false;
+                let polled = match r {
+                    Ok(p) => p,
+                    // The owning module was unloaded between the slot
+                    // read and the dispatch (no attributed fault, just
+                    // a dangling published pointer): the device
+                    // vanished. Swallow the call — its frames stay on
+                    // the ring for a post-recovery poll to replay.
+                    Err(Trap::BadRef(_)) if self.pending_fault.is_none() => {
+                        self.core.deferred().dispatched += 1;
+                        return Ok(Some(0));
+                    }
+                    Err(t) => return Err(t),
+                };
+                if arg > 0 && polled >= arg {
+                    // Budget exhausted: more frames may remain; re-arm
+                    // (the interrupt stays masked until `napi_complete`).
+                    self.deferred_schedule(id, arg);
+                }
+                polled
+            }
+            DeferredKind::SndCapture => {
+                let ops = self.snd().ops_of(owner);
+                let Some(ops) = ops else {
+                    self.core.deferred().dispatched += 1;
+                    return Ok(Some(0));
+                };
+                self.in_deferred = true;
+                let r = self.interrupt(|k| {
+                    k.indirect_call(
+                        ops + crate::types::snd_pcm_ops::CAPTURE as u64,
+                        "pcm_capture",
+                        &[owner, arg],
+                    )
+                });
+                self.in_deferred = false;
+                r?
+            }
+        };
+        self.core.deferred().dispatched += 1;
+        Ok(Some(ret))
+    }
+
+    /// Drains this CPU's pending deferred calls — the quiescent point.
+    /// Runs the zero-note flush first (the same family of deferred work
+    /// this layer extends), then dispatches every pending call whose
+    /// slot is bound to this CPU. A faulting bottom half is classified
+    /// and contained right here ([`KernelCpu::contain_trap`]) and the
+    /// drain continues with the next call; only a kernel panic stops it.
+    /// Returns the number of calls dispatched.
+    pub fn deferred_drain(&mut self) -> usize {
+        self.rt.flush_zero_notes();
+        let mut n = 0usize;
+        // Hard bound: a misbehaving poll callback that re-arms forever
+        // must not livelock the quiescent point; leftover work stays
+        // pending for the next one.
+        while n < 1024 {
+            let next = self.core.deferred().next_for(self.thread.0);
+            let Some(id) = next else { break };
+            match self.deferred_dispatch_one(id) {
+                Ok(Some(_)) => n += 1,
+                Ok(None) => continue, // raced empty; re-probe
+                Err(trap) => {
+                    n += 1;
+                    let executing = self.pending_fault.take();
+                    if let KernelError::Panic(_) = self.contain_trap(trap, executing) {
+                        break;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Deferred-dispatch counters `(dispatched, dropped, pending)` —
+    /// the bench/table surface.
+    pub fn deferred_stats(&self) -> (u64, u64, usize) {
+        let d = self.core.deferred();
+        (d.dispatched, d.dropped, d.pending_total())
     }
 
     // ------------------------------------------------------ module loading
@@ -2111,6 +2283,29 @@ impl KernelCpu {
         inj.fires(&m.name, site)
     }
 
+    /// RX-path injection for [`crate::fault_inject::FaultSite::PollGuard`]:
+    /// a synthetic policy violation against the skb the poll loop is
+    /// handing to `netif_rx`. The native runs in kernel wrapper context,
+    /// so the culprit is named explicitly: the innermost executing
+    /// isolated module's shared principal — which is exactly who a real
+    /// guard failure on the poll path would blame.
+    pub(crate) fn inject_poll_guard(&mut self, skb: Word) -> Result<(), Trap> {
+        if !self.fault_fires(crate::fault_inject::FaultSite::PollGuard) {
+            return Ok(());
+        }
+        let m = self
+            .exec_stack
+            .last()
+            .expect("fault_fires implies executing");
+        let mid = m.mid.expect("fault_fires implies isolated");
+        let p = self.rt.shared_principal(mid);
+        Err(Trap::from(Violation::MissingWrite {
+            principal: p,
+            addr: skb,
+            len: 1,
+        }))
+    }
+
     // -------------------------------------------------------------- fuel
 
     /// Caps interpreted-instruction budget (tests against runaway loops).
@@ -2134,8 +2329,17 @@ impl Env for KernelCpu {
     }
 
     fn consume(&mut self, cycles: u64) -> Result<(), Trap> {
-        if self.fault_inject.is_some() && self.fault_fires(crate::fault_inject::FaultSite::Fuel) {
-            return Err(Trap::OutOfFuel);
+        if self.fault_inject.is_some() {
+            use crate::fault_inject::FaultSite;
+            if self.fault_fires(FaultSite::Fuel) {
+                return Err(Trap::OutOfFuel);
+            }
+            // A runaway *bottom half*: fires only while this CPU is
+            // dispatching a deferred call, so the chaos harness can
+            // exhaust a poll loop specifically.
+            if self.in_deferred && self.fault_fires(FaultSite::DeferredFuel) {
+                return Err(Trap::OutOfFuel);
+            }
         }
         if self.fuel < cycles {
             return Err(Trap::OutOfFuel);

@@ -24,9 +24,12 @@
 //!   ([`fault_inject`]);
 //! - subsystems: PCI ([`pci`]), networking ([`net`]), sockets
 //!   ([`socket`]), sound ([`snd`]), device mapper ([`dm`]);
+//! - the deferred-call dispatch layer for bottom halves (NAPI polls,
+//!   capture periods) drained at quiescent points ([`deferred`]);
 //! - the netperf-style cost model used to regenerate Figure 12
 //!   ([`netsim`]).
 
+pub mod deferred;
 pub mod dm;
 pub mod exports;
 pub mod exports_base;

@@ -22,8 +22,9 @@ use lxfi_core::runtime::EmittedCap;
 use lxfi_machine::builder::regs::*;
 use lxfi_machine::{Program, ProgramBuilder, Trap, Word};
 
+use crate::deferred::{DeferredId, DeferredKind};
 use crate::kernel::KernelCpu;
-use crate::types::{net_device, qdisc, sk_buff, sock};
+use crate::types::{net_device, pci_dev, qdisc, sk_buff, sock};
 
 /// `NETDEV_BUSY` — drivers return `-NETDEV_BUSY` to push back.
 pub const NETDEV_BUSY: i64 = 16;
@@ -47,6 +48,58 @@ pub const NDO_START_XMIT_ANN: &str = "principal(dev) \
 /// Annotation for the NAPI poll callback.
 pub const NAPI_POLL_ANN: &str = "principal(dev)";
 
+// --------------------------------------------------- RX MMIO contract
+//
+// The receive half of the simulated e1000's 4 KiB MMIO window (the TX
+// half — descriptor ring at 256, FIFO at 1280 — is laid out by the
+// driver; see `modules/src/e1000.rs`). The RX descriptor ring is a
+// hardware-owned producer/consumer queue: the wire (`net_rx_wire`)
+// writes frames at `head` and advances the head register; the driver's
+// poll loop consumes at `tail` and stores the tail register back — a
+// guarded MMIO store, which is what makes the RX hot loop an LXFI
+// measurement and not just a simulation detail.
+
+/// MMIO offset of the RX head register (hardware-written).
+pub const RX_HEAD_REG: u64 = 32;
+/// MMIO offset of the RX tail register (driver-written, guarded).
+pub const RX_TAIL_REG: u64 = 40;
+/// MMIO offset of the RX descriptor ring.
+pub const RX_RING_OFFSET: u64 = 2048;
+/// RX descriptor slots (ring occupies `2048..4096` of the window).
+pub const RX_RING_SLOTS: u64 = 16;
+/// Bytes per RX descriptor slot: 8-byte frame length, then frame data.
+pub const RX_SLOT_SIZE: u64 = 128;
+/// Per-dispatch NAPI poll budget (frames per bottom-half invocation).
+pub const NAPI_BUDGET: u64 = 16;
+/// Wire frame size (minimum Ethernet frame, as the TX side uses).
+pub const RX_FRAME_BYTES: u64 = 60;
+/// Copybreak: the driver copies this many bytes of each frame into the
+/// freshly allocated skb instead of remapping the ring buffer.
+pub const RX_COPYBREAK: u64 = 32;
+
+/// One bound RX ring: the per-device state the kernel (as "hardware")
+/// keeps about a device's receive path. Established at PCI probe time
+/// by [`KernelCpu::net_rx_bind`].
+#[derive(Debug)]
+pub struct RxRing {
+    /// The net device.
+    pub dev: Word,
+    /// The device's MMIO window base.
+    pub mmio: Word,
+    /// The device's NAPI deferred-call slot.
+    pub deferred: DeferredId,
+    /// Interrupt mask: set when the RX interrupt asserts, cleared by
+    /// `napi_complete`. While masked, new frames land on the ring but
+    /// assert no further interrupt (NAPI's point).
+    pub masked: bool,
+    /// Producer mirror of the head register.
+    pub head: u64,
+    /// Next wire sequence number (stamped into each injected frame).
+    pub wire_seq: u64,
+    /// Frames dropped because the ring was full (overrun).
+    pub dropped: u64,
+}
+
 /// Networking state.
 #[derive(Debug, Default)]
 pub struct NetState {
@@ -58,6 +111,29 @@ pub struct NetState {
     pub napi: Vec<(Word, Word)>,
     /// Count of packets handed to `netif_rx` since boot.
     pub rx_total: u64,
+    /// Bound RX rings, one per probed NAPI device.
+    pub rx: Vec<RxRing>,
+    /// `alloc_etherdev` allocations: (device, total bytes including the
+    /// appended priv area). Consulted by
+    /// [`KernelCpu::net_remove_dead_device`] to scrub the exact range.
+    pub netdev_allocs: Vec<(Word, u64)>,
+}
+
+impl NetState {
+    /// The kernel slot holding a device's checked NAPI poll pointer.
+    pub fn poll_slot(&self, dev: Word) -> Option<Word> {
+        self.napi.iter().find(|&&(d, _)| d == dev).map(|&(_, s)| s)
+    }
+
+    /// The bound RX ring for a device.
+    pub fn rx_ring(&self, dev: Word) -> Option<&RxRing> {
+        self.rx.iter().find(|r| r.dev == dev)
+    }
+
+    /// Total frames dropped to ring overruns, across devices.
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx.iter().map(|r| r.dropped).sum()
+    }
 }
 
 /// Registers network exports, sigs, constants, and the skb iterator.
@@ -125,6 +201,9 @@ pub fn register(k: &mut KernelCpu) {
                     dev + net_device::SIZE,
                 )?;
             }
+            k.net()
+                .netdev_allocs
+                .push((dev, net_device::SIZE + priv_size));
             Ok(dev)
         }),
     );
@@ -185,6 +264,15 @@ pub fn register(k: &mut KernelCpu) {
         Some("pre(transfer(skb_caps(skb)))"),
         Arc::new(|k, args| {
             use lxfi_machine::Env;
+            // FaultSite::PollGuard: a synthetic guard failure against
+            // the skb mid-poll. The pre-transfer already ran, so the
+            // kernel owns the packet — free it on the error path like
+            // the protocol layer dropping a malformed frame, keeping
+            // the slab leak-balanced under chaos.
+            if let Err(v) = k.inject_poll_guard(args[0]) {
+                free_skb_raw(k, args[0])?;
+                return Err(v);
+            }
             k.consume(NET_RX_BASE_COST)?;
             let mut net = k.net();
             net.rx_queue.push(args[0]);
@@ -197,7 +285,15 @@ pub fn register(k: &mut KernelCpu) {
         "napi_complete",
         vec![Param::ptr("dev", "net_device")],
         Some(""),
-        Arc::new(|_k, _args| Ok(0)),
+        Arc::new(|k, args| {
+            // Poll done with budget to spare: unmask the device's RX
+            // interrupt so the next wire frame asserts again.
+            let mut net = k.net();
+            if let Some(r) = net.rx.iter_mut().find(|r| r.dev == args[0]) {
+                r.masked = false;
+            }
+            Ok(0)
+        }),
     );
 }
 
@@ -329,19 +425,171 @@ impl KernelCpu {
         self.run_kernel_thunk("dev_queue_xmit", &[skb, dev])
     }
 
-    /// Simulates `count` received frames: raises an interrupt and invokes
-    /// the device's NAPI poll callback, which pulls frames from the
-    /// device and feeds them to `netif_rx`. Returns packets delivered —
-    /// the poll callback's own return value, not a shared-counter delta,
-    /// so concurrent RX on other CPUs is never misattributed to this
-    /// call.
+    /// Binds a probed NAPI device's RX ring: records the MMIO window
+    /// the driver and the "hardware" share and registers the device's
+    /// deferred-call slot. Called by `pci_probe_all` for each net
+    /// device a successful probe registered; returns `false` (and binds
+    /// nothing) for devices without a NAPI registration or MMIO window.
+    pub fn net_rx_bind(&mut self, dev: Word, pcidev: Word) -> bool {
+        if self.net().poll_slot(dev).is_none() {
+            return false;
+        }
+        let mmio = self
+            .mem
+            .read_word((pcidev as i64 + pci_dev::MMIO_BASE) as u64)
+            .unwrap_or(0);
+        if mmio == 0 {
+            return false;
+        }
+        if self.net().rx.iter().any(|r| r.dev == dev) {
+            return true; // re-probe of a bound device
+        }
+        // Device reset, as a real probe would: zero the RX cursor
+        // registers so a ring inherited from a previous binding of this
+        // pci_dev (a crashed driver's instance) does not read as full.
+        if self.mem.write_word(mmio + RX_HEAD_REG, 0).is_err()
+            || self.mem.write_word(mmio + RX_TAIL_REG, 0).is_err()
+        {
+            return false;
+        }
+        let id = self.deferred_register(dev, DeferredKind::NapiPoll);
+        let mut net = self.net();
+        net.rx.push(RxRing {
+            dev,
+            mmio,
+            deferred: id,
+            masked: false,
+            head: 0,
+            wire_seq: 0,
+            dropped: 0,
+        });
+        true
+    }
+
+    /// Operator-side teardown of a dead driver's published device (the
+    /// inverse of probe-time registration): unpublishes the net_device
+    /// from the device list, its NAPI registration, and its RX ring,
+    /// then scrubs residual WRITE coverage over the device allocation —
+    /// the dead tenant's `alloc_etherdev` grant, parked on the
+    /// tombstone since quarantine. Tombstone poison lifts at legitimate
+    /// reuse, and "the operator unplugs the device" is exactly that
+    /// point. Returns whether the device was known.
+    pub fn net_remove_dead_device(&mut self, dev: Word) -> bool {
+        let (found, size) = {
+            let mut net = self.net();
+            let found = net.devices.contains(&dev);
+            net.devices.retain(|&d| d != dev);
+            net.napi.retain(|&(d, _)| d != dev);
+            net.rx.retain(|r| r.dev != dev);
+            let size = net
+                .netdev_allocs
+                .iter()
+                .find(|&&(d, _)| d == dev)
+                .map(|&(_, s)| s)
+                .unwrap_or(net_device::SIZE);
+            net.netdev_allocs.retain(|&(d, _)| d != dev);
+            (found, size)
+        };
+        self.rt.revoke_write_overlapping_everywhere(dev, size);
+        found
+    }
+
+    /// The simulated wire: DMAs up to `count` frames onto a device's RX
+    /// ring and asserts the RX interrupt (top half) — which only marks
+    /// the device's NAPI poll *pending* on this CPU's deferred-call
+    /// slot; the poll itself runs at the next quiescent point (or an
+    /// explicit [`KernelCpu::net_rx_flush`]). Frames that do not fit
+    /// (head would lap the driver's tail) are dropped and counted, as
+    /// real hardware drops on overrun. Returns frames accepted.
+    ///
+    /// One wire per device: concurrent producers on one ring are not
+    /// modeled (matches how the workloads drive per-CPU devices).
+    pub fn net_rx_wire(&mut self, dev: Word, count: u64) -> Result<u64, Trap> {
+        let (mmio, mut head, mut seq) = {
+            let net = self.net();
+            let r = net
+                .rx_ring(dev)
+                .ok_or_else(|| Trap::BadRef("no RX ring bound".into()))?;
+            (r.mmio, r.head, r.wire_seq)
+        };
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for _ in 0..count {
+            // The driver's consumer cursor, read fresh per frame — a
+            // concurrently running poll frees slots as it advances.
+            let tail = self.mem.read_word(mmio + RX_TAIL_REG)?;
+            if head.wrapping_sub(tail) >= RX_RING_SLOTS {
+                dropped += 1;
+                continue;
+            }
+            let slot = mmio + RX_RING_OFFSET + (head % RX_RING_SLOTS) * RX_SLOT_SIZE;
+            // Descriptor: length, then frame data. Word 0 of the frame
+            // is the broadcast dst the driver overwrites with its eth
+            // header; word 1 carries the wire sequence number the
+            // replay oracles (and the echo server) track end-to-end.
+            self.mem.write_word(slot, RX_FRAME_BYTES)?;
+            self.mem.write_word(slot + 8, 0x00ff_ffff)?;
+            self.mem.write_word(slot + 16, seq)?;
+            seq += 1;
+            head += 1;
+            self.mem.write_word(mmio + RX_HEAD_REG, head)?;
+            accepted += 1;
+        }
+        let assert_irq = {
+            let mut net = self.net();
+            let Some(r) = net.rx.iter_mut().find(|r| r.dev == dev) else {
+                return Err(Trap::BadRef("RX ring unbound mid-wire".into()));
+            };
+            r.head = head;
+            r.wire_seq = seq;
+            r.dropped += dropped;
+            if accepted > 0 && !r.masked {
+                // Interrupt assertion: mask until napi_complete.
+                r.masked = true;
+                true
+            } else {
+                false
+            }
+        };
+        if assert_irq {
+            let id = self.net().rx_ring(dev).expect("bound above").deferred;
+            self.deferred_schedule(id, NAPI_BUDGET);
+        }
+        Ok(accepted)
+    }
+
+    /// Explicitly dispatches a device's pending NAPI polls to
+    /// completion (caller-driven flush; the ambient alternative is the
+    /// quiescent-point drain in `enter`). Returns frames delivered —
+    /// the sum of the poll callbacks' own return values, not a
+    /// shared-counter delta, so concurrent RX on other CPUs is never
+    /// misattributed to this call.
+    pub fn net_rx_flush(&mut self, dev: Word) -> Result<u64, Trap> {
+        let id = self.net().rx_ring(dev).map(|r| r.deferred);
+        let Some(id) = id else { return Ok(0) };
+        let mut delivered = 0;
+        while let Some(polled) = self.deferred_dispatch_one(id)? {
+            delivered += polled;
+        }
+        Ok(delivered)
+    }
+
+    /// Simulates `count` received frames end-to-end: wires them onto
+    /// the device's RX ring (asserting the interrupt) and immediately
+    /// flushes the resulting polls — the synchronous convenience the
+    /// TX-style workloads use. Returns packets delivered.
+    ///
+    /// Devices without a bound RX ring (NAPI registered outside the PCI
+    /// probe path) fall back to one direct poll dispatch with `count`
+    /// as the budget, preserving the legacy caller-driven contract.
     pub fn net_deliver_rx(&mut self, dev: Word, count: u64) -> Result<u64, Trap> {
+        if self.net().rx_ring(dev).is_some() {
+            self.net_rx_wire(dev, count)?;
+            return self.net_rx_flush(dev);
+        }
         let slot = self
             .net()
-            .napi
-            .iter()
-            .find(|&&(d, _)| d == dev)
-            .map(|&(_, s)| s)
+            .poll_slot(dev)
             .ok_or_else(|| Trap::BadRef("no NAPI registration".into()))?;
         self.interrupt(|k| k.indirect_call(slot, "napi_poll", &[dev, count]))
     }

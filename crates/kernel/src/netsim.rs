@@ -25,6 +25,21 @@
 //!
 //! CPU% is utilization of the whole dual-core machine, as `top` would
 //! report it.
+//!
+//! **Deterministic interrupt delivery.** Every latency and cycle count
+//! this model converts to wall-clock units is a *simulated*-cycle
+//! total, and those totals must not depend on host scheduling. The RX
+//! side earns that via the deferred-call mux's affinity rule
+//! ([`crate::deferred`]): a device's bottom half runs on the CPU that
+//! observed its wire event — the one whose schedule call found the
+//! slot's ring empty — and ambient quiescent-point drains never steal
+//! another CPU's slots. So a per-CPU benchmark batch accrues exactly
+//! the poll cycles for the frames that CPU injected, every run; the
+//! request server's p50/p99 and the multi-CPU `kmt_*` rows are exact
+//! (gate-able without noise slack) because of it. The only
+//! affinity-ignoring path is an *explicit* flush of one device's slot
+//! (`net_rx_flush`), where the caller is the observing CPU by
+//! construction.
 
 /// Testbed parameters (§8.3's hardware).
 #[derive(Debug, Clone, Copy)]

@@ -133,10 +133,39 @@ impl KernelCpu {
             if self.pci().bound.iter().any(|&(d, _)| d == dev) {
                 continue;
             }
+            // Reset the device before offering it to a driver: residual
+            // WRITE coverage over its BAR or config struct — a crashed
+            // previous tenant's grants, parked on the tombstone since
+            // its teardown — is scrubbed now that the hardware is being
+            // reused, mirroring `scrub_window`'s rule that tombstone
+            // poison lifts exactly at legitimate reuse. A no-op on
+            // first probe (nothing granted yet).
+            let mmio = self
+                .mem
+                .read_word((dev as i64 + pci_dev::MMIO_BASE) as u64)
+                .unwrap_or(0);
+            let mmio_len = self
+                .mem
+                .read_word((dev as i64 + pci_dev::MMIO_LEN) as u64)
+                .unwrap_or(0);
+            if mmio != 0 && mmio_len != 0 {
+                self.rt.revoke_write_overlapping_everywhere(mmio, mmio_len);
+            }
+            self.rt
+                .revoke_write_overlapping_everywhere(dev, pci_dev::SIZE);
             for slot in &slots {
+                // Snapshot so the net devices this probe registers are
+                // identifiable afterwards for RX binding.
+                let ndevs_before = self.net().devices.len();
                 let ret = self.indirect_call(*slot, "pci_probe", &[dev])?;
                 if (ret as i64) >= 0 {
                     self.pci().bound.push((dev, *slot));
+                    // Bind the RX ring of every NAPI net device the
+                    // probe registered (no-op for non-NAPI drivers).
+                    let new_ndevs: Vec<Word> = self.net().devices[ndevs_before..].to_vec();
+                    for ndev in new_ndevs {
+                        self.net_rx_bind(ndev, dev);
+                    }
                     ok += 1;
                     break;
                 }

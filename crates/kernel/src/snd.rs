@@ -9,8 +9,9 @@ use std::sync::Arc;
 use lxfi_core::iface::Param;
 use lxfi_machine::{Trap, Word};
 
+use crate::deferred::DeferredKind;
 use crate::kernel::KernelCpu;
-use crate::types::snd_pcm;
+use crate::types::{snd_pcm, snd_pcm_ops};
 
 /// Annotation for the PCM trigger/pointer callbacks: per-stream principal.
 pub const PCM_OP_ANN: &str = "principal(pcm) pre(copy(write, pcm, 64))";
@@ -24,6 +25,13 @@ pub struct SndState {
     pub pcms: Vec<(Word, Word)>,
 }
 
+impl SndState {
+    /// The ops table registered for a stream, if any.
+    pub fn ops_of(&self, pcm: Word) -> Option<Word> {
+        self.pcms.iter().find(|&&(p, _)| p == pcm).map(|&(_, o)| o)
+    }
+}
+
 /// Registers sound exports and interface annotations.
 pub fn register(k: &mut KernelCpu) {
     k.define_sig(
@@ -34,6 +42,11 @@ pub fn register(k: &mut KernelCpu) {
     k.define_sig(
         "pcm_pointer",
         vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("unused")],
+        PCM_OP_ANN,
+    );
+    k.define_sig(
+        "pcm_capture",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("bytes")],
         PCM_OP_ANN,
     );
 
@@ -89,25 +102,41 @@ pub fn register(k: &mut KernelCpu) {
 
 impl KernelCpu {
     /// Dispatches a PCM trigger through the stream's ops table (module
-    /// memory, offset 0 = trigger).
+    /// memory).
     pub fn snd_trigger(&mut self, pcm: Word, cmd: u64) -> Result<Word, Trap> {
-        let (_, ops) = *self
+        let ops = self
             .snd()
-            .pcms
-            .iter()
-            .find(|&&(p, _)| p == pcm)
+            .ops_of(pcm)
             .ok_or_else(|| Trap::BadRef("unknown pcm".into()))?;
-        self.indirect_call(ops, "pcm_trigger", &[pcm, cmd])
+        self.indirect_call(
+            ops + snd_pcm_ops::TRIGGER as u64,
+            "pcm_trigger",
+            &[pcm, cmd],
+        )
     }
 
-    /// Dispatches a PCM pointer query (ops table offset 8).
+    /// Dispatches a PCM pointer query.
     pub fn snd_pointer(&mut self, pcm: Word) -> Result<Word, Trap> {
-        let (_, ops) = *self
+        let ops = self
             .snd()
-            .pcms
-            .iter()
-            .find(|&&(p, _)| p == pcm)
+            .ops_of(pcm)
             .ok_or_else(|| Trap::BadRef("unknown pcm".into()))?;
-        self.indirect_call(ops + 8, "pcm_pointer", &[pcm, 0])
+        self.indirect_call(ops + snd_pcm_ops::POINTER as u64, "pcm_pointer", &[pcm, 0])
+    }
+
+    /// Asserts a capture-period interrupt for a stream: the period's
+    /// `pcm_capture` bottom half goes through the same deferred-call mux
+    /// as NAPI polls, then is dispatched immediately (top half + softirq
+    /// in one step). Returns the bytes the module captured, or 0 if the
+    /// period was dropped (deferred ring overrun).
+    pub fn snd_capture_period(&mut self, pcm: Word) -> Result<Word, Trap> {
+        if self.snd().ops_of(pcm).is_none() {
+            return Err(Trap::BadRef("unknown pcm".into()));
+        }
+        let id = self.deferred_register(pcm, DeferredKind::SndCapture);
+        if !self.deferred_schedule(id, 32) {
+            return Ok(0);
+        }
+        Ok(self.deferred_dispatch_one(id)?.unwrap_or(0))
     }
 }

@@ -144,6 +144,18 @@ pub mod snd_pcm {
     pub const SIZE: u64 = 64;
 }
 
+/// `struct snd_pcm_ops` — PCM stream callbacks.
+pub mod snd_pcm_ops {
+    /// `pcm_trigger(pcm, cmd)`.
+    pub const TRIGGER: i64 = 0;
+    /// `pcm_pointer(pcm, _)`.
+    pub const POINTER: i64 = 8;
+    /// `pcm_capture(pcm, bytes)` — the capture-period bottom half.
+    pub const CAPTURE: i64 = 16;
+    /// Total size.
+    pub const SIZE: u64 = 64;
+}
+
 /// `struct dm_target` — a device-mapper target instance.
 pub mod dm_target {
     /// Pointer to the target-type ops.
@@ -197,6 +209,7 @@ pub fn register_layouts(l: &mut TypeLayouts) {
     l.define("struct Qdisc", qdisc::SIZE);
     l.define("snd_pcm", snd_pcm::SIZE);
     l.define("struct snd_pcm", snd_pcm::SIZE);
+    l.define("snd_pcm_ops", snd_pcm_ops::SIZE);
     l.define("dm_target", dm_target::SIZE);
     l.define("struct dm_target", dm_target::SIZE);
     l.define("bio", bio::SIZE);

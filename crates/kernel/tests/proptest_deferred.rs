@@ -1,0 +1,169 @@
+//! Differential property test: the deferred-call mux against a
+//! queue-per-slot model.
+//!
+//! Random sequences of registrations, schedules (from random CPUs),
+//! single pops, and per-CPU drains are driven through both worlds:
+//!
+//! - world D: the real [`DeferredState`] (fixed-capacity rings, CPU
+//!   affinity bound at the empty→pending transition);
+//! - world M: one `VecDeque` per slot with the same capacity rule (the
+//!   oracle — a queue is FIFO, lossless below capacity, and duplicates
+//!   nothing by construction).
+//!
+//! Agreement at every step proves the mux's contract: per-owner FIFO
+//! order, no call lost below `RING_CAP`, no call duplicated, overflow
+//! dropped and counted exactly, registration single-owner/idempotent,
+//! and the ambient drain (`next_for`) seeing exactly the slots whose
+//! first pending call came from that CPU.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use lxfi_kernel::deferred::{DeferredKind, DeferredState, RING_CAP};
+
+const NCPU: u32 = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register owner `0x1000 * (i+1)` with one of the two kinds.
+    Register(u64, bool),
+    /// Schedule `arg` on the `i % slots`-th registered slot from a CPU.
+    Schedule(usize, u64, u32),
+    /// Pop one call from the `i % slots`-th registered slot.
+    Pop(usize),
+    /// Ambient quiescent-point drain: pop everything `next_for(cpu)`
+    /// yields, in order.
+    DrainFor(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..4, any::<bool>()).prop_map(|(o, k)| Op::Register(o, k)),
+        // Schedule-heavy mix so rings actually fill and overflow.
+        (any::<usize>(), any::<u64>(), 0..NCPU).prop_map(|(i, a, c)| Op::Schedule(i, a, c)),
+        (any::<usize>(), any::<u64>(), 0..NCPU).prop_map(|(i, a, c)| Op::Schedule(i, a, c)),
+        (any::<usize>(), any::<u64>(), 0..NCPU).prop_map(|(i, a, c)| Op::Schedule(i, a, c)),
+        any::<usize>().prop_map(Op::Pop),
+        (0..NCPU).prop_map(Op::DrainFor),
+    ]
+}
+
+/// World M: one slot of the model.
+struct ModelSlot {
+    owner: u64,
+    kind: DeferredKind,
+    q: VecDeque<u64>,
+    affine: u32,
+}
+
+/// Model-side `next_for`: lowest-index non-empty slot bound to `cpu`.
+fn model_next_for(slots: &[ModelSlot], cpu: u32) -> Option<usize> {
+    slots
+        .iter()
+        .position(|s| !s.q.is_empty() && s.affine == cpu)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mux_agrees_with_queue_model(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let mut d = DeferredState::default();
+        let mut model: Vec<ModelSlot> = Vec::new();
+        let mut model_dropped = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Register(o, snd) => {
+                    let owner = 0x1000 * (o + 1);
+                    let kind = if snd {
+                        DeferredKind::SndCapture
+                    } else {
+                        DeferredKind::NapiPoll
+                    };
+                    let id = d.register(owner, kind);
+                    let midx = model
+                        .iter()
+                        .position(|s| s.owner == owner && s.kind == kind)
+                        .unwrap_or_else(|| {
+                            model.push(ModelSlot { owner, kind, q: VecDeque::new(), affine: 0 });
+                            model.len() - 1
+                        });
+                    // Slot ids are stable indices; re-registration must
+                    // return the original (single-owner, idempotent).
+                    prop_assert_eq!(id.0, midx, "slot identity diverged");
+                    prop_assert_eq!(d.lookup(owner, kind), Some(id));
+                }
+                Op::Schedule(i, arg, cpu) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let i = i % model.len();
+                    let (owner, kind) = (model[i].owner, model[i].kind);
+                    let id = d.lookup(owner, kind).expect("registered");
+                    let ok = d.schedule(id, arg, cpu);
+                    let s = &mut model[i];
+                    let mok = if s.q.len() == RING_CAP {
+                        model_dropped += 1;
+                        false
+                    } else {
+                        if s.q.is_empty() {
+                            s.affine = cpu;
+                        }
+                        s.q.push_back(arg);
+                        true
+                    };
+                    prop_assert_eq!(ok, mok, "accept/drop diverged");
+                }
+                Op::Pop(i) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let i = i % model.len();
+                    let id = d.lookup(model[i].owner, model[i].kind).expect("registered");
+                    let got = d.pop(id);
+                    let want = model[i]
+                        .q
+                        .pop_front()
+                        .map(|a| (model[i].owner, model[i].kind, a));
+                    prop_assert_eq!(got, want, "pop diverged (FIFO / dup / loss)");
+                }
+                Op::DrainFor(cpu) => {
+                    // The two worlds must walk the same slots in the
+                    // same order and surface the same calls.
+                    loop {
+                        let did = d.next_for(cpu);
+                        let midx = model_next_for(&model, cpu);
+                        prop_assert_eq!(did.map(|x| x.0), midx, "drain source diverged");
+                        let Some(idx) = midx else { break };
+                        let got = d.pop(did.unwrap());
+                        let want = model[idx]
+                            .q
+                            .pop_front()
+                            .map(|a| (model[idx].owner, model[idx].kind, a));
+                        prop_assert_eq!(got, want, "drained call diverged");
+                    }
+                }
+            }
+            // Gauges agree after every op.
+            let mpending: usize = model.iter().map(|s| s.q.len()).sum();
+            prop_assert_eq!(d.pending_total(), mpending);
+            prop_assert_eq!(d.dropped, model_dropped, "drop accounting diverged");
+        }
+
+        // Quiesce: drain every slot; both worlds end empty with every
+        // remaining call surfacing exactly once, in FIFO order.
+        for (i, s) in model.iter_mut().enumerate() {
+            let id = d.lookup(s.owner, s.kind).expect("registered");
+            prop_assert_eq!(d.pending(id), s.q.len(), "slot {} gauge", i);
+            while let Some(want) = s.q.pop_front() {
+                prop_assert_eq!(d.pop(id), Some((s.owner, s.kind, want)));
+            }
+            prop_assert_eq!(d.pop(id), None);
+        }
+        prop_assert_eq!(d.pending_total(), 0);
+    }
+}

@@ -16,12 +16,21 @@
 //!    capabilities (transferred by the `ndo_start_xmit` annotation),
 //!    copies the payload into the adapter's TX FIFO, writes a TX
 //!    descriptor into the MMIO ring, and frees the skb.
-//! 4. `e1000_poll(dev, budget)` allocates skbs, fills them with received
-//!    bytes, and hands each to `netif_rx`, which transfers the
-//!    capabilities away again.
+//! 4. `e1000_poll(dev, budget)` is the NAPI bottom half: it walks the
+//!    RX descriptor ring the "wire" produces into (`net_rx_wire`),
+//!    copybreaks each frame into a fresh skb, hands it to `netif_rx`
+//!    (which transfers the capabilities away again), and publishes its
+//!    consumer cursor back to the tail register — a guarded MMIO store
+//!    whose base is loop-invariant, so it hoists like the TX doorbell.
+//!    The tail is published *after* `netif_rx`, so a mid-poll crash
+//!    leaves the in-flight frame on the ring: delivery is at-least-once
+//!    across quarantine/recovery (`docs/io-plane.md`).
 
 use lxfi_core::iface::Param;
-use lxfi_kernel::net::{NAPI_POLL_ANN, NDO_START_XMIT_ANN};
+use lxfi_kernel::net::{
+    NAPI_POLL_ANN, NDO_START_XMIT_ANN, RX_COPYBREAK, RX_FRAME_BYTES, RX_HEAD_REG, RX_RING_OFFSET,
+    RX_RING_SLOTS, RX_SLOT_SIZE, RX_TAIL_REG,
+};
 use lxfi_kernel::pci::PCI_PROBE_ANN;
 use lxfi_kernel::types::{net_device, net_device_ops, sk_buff};
 use lxfi_kernel::ModuleSpec;
@@ -167,7 +176,8 @@ pub fn spec() -> ModuleSpec {
         f.ret(0i64); // NETDEV_TX_OK
     });
 
-    // int e1000_poll(struct net_device *dev, int budget).
+    // int e1000_poll(struct net_device *dev, int budget) — the NAPI
+    // bottom half, consuming the RX descriptor ring at MMIO+2048.
     pb.define("e1000_poll", 2, 0, |f| {
         let top = f.label();
         let done = f.label();
@@ -175,34 +185,59 @@ pub fn spec() -> ModuleSpec {
         f.mov(R10, R1); // budget
         f.mov(R11, 0i64); // delivered
         f.mov(R12, R0); // dev
-                        // mmio = dev->priv[PRIV_MMIO], for the RX copybreak below.
+                        // mmio = dev->priv[PRIV_MMIO].
         f.load8(R14, R0, net_device::PRIV);
         f.load8(R14, R14, PRIV_MMIO);
+        // Consumer cursor: loaded once, kept in a register across the
+        // loop, published back through the tail register per frame.
+        f.load8(R13, R14, RX_TAIL_REG as i64);
         f.bind(top);
-        f.br(Cond::Ule, R10, R11, done);
-        f.call_extern(alloc_skb, &[60i64.into()], Some(R2));
+        // Budget exhausted: stop WITHOUT napi_complete — the kernel
+        // re-arms the poll (softirq re-run) while the IRQ stays masked.
+        f.br(Cond::Ule, R10, R11, out);
+        // Producer cursor, re-read per frame: the wire may append while
+        // the poll runs. tail == head means the ring is drained.
+        f.load8(R9, R14, RX_HEAD_REG as i64);
+        f.br(Cond::Eq, R13, R9, done);
+        // slot = mmio + RX_RING_OFFSET + (tail % RX_RING_SLOTS) * SLOT.
+        f.bin(lxfi_machine::BinOp::Rem, R7, R13, RX_RING_SLOTS as i64);
+        f.bin(lxfi_machine::BinOp::Mul, R7, R7, RX_SLOT_SIZE as i64);
+        f.add(R7, R7, RX_RING_OFFSET as i64);
+        f.add(R7, R7, R14);
+        f.call_extern(alloc_skb, &[(RX_FRAME_BYTES as i64).into()], Some(R2));
         f.br(Cond::Eq, R2, 0i64, done);
         f.load8(R3, R2, sk_buff::DATA);
-        // RX copybreak: pull the frame body out of the adapter FIFO into
-        // the skb payload we now own, 8 bytes at a time.
+        // Copybreak: frame data starts at slot+8; copy RX_COPYBREAK
+        // bytes into the skb payload we now own, 8 at a time.
         let rx_top = f.label();
         f.mov(R5, 0i64);
         f.bind(rx_top);
-        f.bin(lxfi_machine::BinOp::Add, R6, R14, R5);
-        f.load8(R7, R6, FIFO_OFFSET);
-        f.bin(lxfi_machine::BinOp::Add, R8, R3, R5);
-        f.store8(R7, R8, 0);
+        f.bin(lxfi_machine::BinOp::Add, R6, R7, R5);
+        f.load8(R8, R6, 8);
+        f.bin(lxfi_machine::BinOp::Add, R6, R3, R5);
+        f.store8(R8, R6, 0);
         f.add(R5, R5, 8i64);
-        f.br(Cond::Lt, R5, 32i64, rx_top);
-        // Overwrite the front with a minimal Ethernet header.
+        f.br(Cond::Lt, R5, RX_COPYBREAK as i64, rx_top);
+        // Overwrite the front with a minimal Ethernet header (the wire
+        // sequence word at data+8 survives from the copy).
         f.store8(0x00ff_ffffi64, R3, 0);
-        f.store8(R11, R3, 8); // sequence number
         f.store(0x0800i64, R2, sk_buff::PROTOCOL, Width::B8);
         // Hand the frame to the stack; its capabilities transfer away.
         f.call_extern(netif_rx, &[R2.into()], None);
+        // Only now is the slot consumed: publish tail (guarded MMIO
+        // store, loop-invariant base — hoists like the TX doorbell). A
+        // crash inside netif_rx leaves the frame on the ring for a
+        // post-recovery poll: at-least-once delivery.
+        f.add(R13, R13, 1i64);
+        f.store8(R13, R14, RX_TAIL_REG as i64);
+        // dev->rx_packets += 1.
+        f.load8(R4, R12, net_device::RX_PACKETS);
+        f.add(R4, R4, 1i64);
+        f.store8(R4, R12, net_device::RX_PACKETS);
         f.add(R11, R11, 1i64);
         f.jmp(top);
         f.bind(done);
+        // Ring drained with budget to spare: unmask the interrupt.
         f.call_extern(napi_complete, &[R12.into()], None);
         f.jmp(out);
         f.bind(out);

@@ -7,7 +7,7 @@
 
 use lxfi_core::iface::Param;
 use lxfi_kernel::snd::PCM_OP_ANN;
-use lxfi_kernel::types::snd_pcm;
+use lxfi_kernel::types::{snd_pcm, snd_pcm_ops};
 use lxfi_kernel::ModuleSpec;
 use lxfi_machine::builder::regs::*;
 use lxfi_machine::{Cond, ProgramBuilder};
@@ -28,9 +28,11 @@ pub fn spec() -> ModuleSpec {
 
     let trigger = pb.declare("ens1370_trigger", 2);
     let pointer = pb.declare("ens1370_pointer", 2);
+    let capture = pb.declare("ens1370_capture", 2);
 
-    pb.fn_reloc(ops, 0, trigger);
-    pb.fn_reloc(ops, 8, pointer);
+    pb.fn_reloc(ops, snd_pcm_ops::TRIGGER as u64, trigger);
+    pb.fn_reloc(ops, snd_pcm_ops::POINTER as u64, pointer);
+    pb.fn_reloc(ops, snd_pcm_ops::CAPTURE as u64, capture);
 
     pb.define("ens1370_init", 0, 0, |f| {
         let fail = f.label();
@@ -83,6 +85,35 @@ pub fn spec() -> ModuleSpec {
         f.ret(R2);
     });
 
+    // ens1370_capture(pcm, bytes): the capture-period bottom half,
+    // dispatched through the deferred-call mux (same machinery as NAPI
+    // polls). Writes one period of samples into the DMA ring at the
+    // hardware pointer and advances it, mod the 2048-byte buffer.
+    pb.define("ens1370_capture", 2, 0, |f| {
+        let top = f.label();
+        let done = f.label();
+        f.mov(R10, R1); // bytes this period
+        f.load8(R2, R0, snd_pcm::DMA_AREA);
+        f.load8(R11, R0, snd_pcm::HW_PTR);
+        f.global_addr(R5, rate);
+        f.load8(R6, R5, 0);
+        f.mov(R3, 0i64);
+        f.bind(top);
+        f.br(Cond::Ule, R10, R3, done);
+        // dst = dma + (hw_ptr + i) % 2048
+        f.add(R4, R11, R3);
+        f.bin(lxfi_machine::BinOp::Rem, R4, R4, 2048i64);
+        f.add(R4, R2, R4);
+        f.store8(R6, R4, 0);
+        f.add(R3, R3, 8i64);
+        f.jmp(top);
+        f.bind(done);
+        f.add(R11, R11, R10);
+        f.bin(lxfi_machine::BinOp::Rem, R11, R11, 2048i64);
+        f.store8(R11, R0, snd_pcm::HW_PTR);
+        f.ret(R10);
+    });
+
     // ens1370_reset(pcm): clears stream state — reached from the trigger
     // path on error in the real driver.
     pb.define("ens1370_reset", 1, 0, |f| {
@@ -93,8 +124,10 @@ pub fn spec() -> ModuleSpec {
 
     let sig_trigger = pb.sig("pcm_trigger", 2);
     let sig_pointer = pb.sig("pcm_pointer", 2);
+    let sig_capture = pb.sig("pcm_capture", 2);
     pb.assign_sig(trigger, sig_trigger);
     pb.assign_sig(pointer, sig_pointer);
+    pb.assign_sig(capture, sig_capture);
 
     let mut iface = InterfaceSpec::new();
     iface.declare_sig(crate::decl(
@@ -105,6 +138,11 @@ pub fn spec() -> ModuleSpec {
     iface.declare_sig(crate::decl(
         "pcm_pointer",
         vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("unused")],
+        PCM_OP_ANN,
+    ));
+    iface.declare_sig(crate::decl(
+        "pcm_capture",
+        vec![Param::ptr("pcm", "snd_pcm"), Param::scalar("bytes")],
         PCM_OP_ANN,
     ));
     iface.declare_fn(crate::decl(

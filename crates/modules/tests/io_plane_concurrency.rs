@@ -1,0 +1,166 @@
+//! Races of the async I/O plane: one CPU drives wire RX traffic through
+//! the real e1000 driver's NAPI poll loop while another CPU unloads the
+//! module mid-stream.
+//!
+//! The exactness oracle is frame accounting by wire sequence number.
+//! `net_rx_wire` stamps every accepted frame with a monotonically
+//! increasing seq (word 1 of the frame payload, which the driver's
+//! copybreak preserves into the delivered skb), so after quiescence
+//! every accepted frame must be **exactly once** either
+//!
+//! - delivered: sitting in the protocol layer's `rx_queue`, or
+//! - parked: still on the device ring between the driver's published
+//!   tail and the hardware head (the driver died before consuming it).
+//!
+//! A frame in both places means a poll was killed between `netif_rx`
+//! and its tail publication (the unload grace period failed to wait out
+//! an in-flight bottom half); a frame in neither means the mux dropped
+//! scheduled work. Both are isolation bugs, not flake.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use lxfi_kernel::net::{RX_RING_OFFSET, RX_RING_SLOTS, RX_SLOT_SIZE, RX_TAIL_REG};
+use lxfi_kernel::types::sk_buff;
+use lxfi_kernel::{IsolationMode, Kernel};
+use lxfi_modules as mods;
+
+/// Frames wired per racer burst (under the ring's 16 slots, so bursts
+/// only drop once the dead driver stops consuming).
+const BURST: u64 = 4;
+/// Racer bursts after the barrier; bounded so the racer terminates even
+/// when the unload wins instantly and every poll evaporates.
+const RACER_ROUNDS: u64 = 64;
+/// Warmup bursts before the race (guarantees a non-empty delivered set).
+const WARMUP: u64 = 2;
+
+fn boot_e1000() -> (Kernel, u64) {
+    let mut k = Kernel::boot(IsolationMode::Lxfi);
+    k.pci_add_device(0x8086, 0x100e, 11);
+    k.load_module(mods::e1000::spec()).unwrap();
+    let n = k.enter(|k| k.pci_probe_all()).unwrap();
+    assert_eq!(n, 1, "e1000 bound to the NIC");
+    let dev = *k.net().devices.last().unwrap();
+    (k, dev)
+}
+
+/// Barrier-phased race: the racer CPU loops wire→flush bursts while the
+/// main CPU unloads the driver. Every burst must complete cleanly —
+/// after the unload lands, wires still hit the (kernel-owned) ring and
+/// the scheduled polls evaporate at dispatch, never trap. Repeats so
+/// the unload lands at different points of the poll loop.
+#[test]
+fn rx_poll_races_unload_with_exact_frame_accounting() {
+    for round in 0..8 {
+        let (mut k, dev) = boot_e1000();
+        let id = k.module_id("e1000").unwrap();
+        for _ in 0..WARMUP {
+            k.enter(|k| k.net_deliver_rx(dev, BURST)).unwrap();
+        }
+
+        let mut cpu = k.new_cpu();
+        let barrier = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let racer = thread::spawn(move || {
+            b2.wait();
+            for _ in 0..RACER_ROUNDS {
+                cpu.enter(|k| k.net_deliver_rx(dev, BURST))
+                    .unwrap_or_else(|e| panic!("RX burst killed by the unload: {e}"));
+            }
+        });
+        barrier.wait();
+        k.unload_module(id).unwrap();
+        racer.join().expect("racer must not panic");
+
+        assert!(k.panic_reason().is_none(), "{:?}", k.panic_reason());
+        assert_eq!(k.fault_count(), 0, "a clean unload attributes no fault");
+
+        // Delivered seqs, in protocol-queue order (copybreak preserves
+        // the wire seq at data word 1).
+        let skbs = k.net().rx_queue.clone();
+        let mut delivered = Vec::with_capacity(skbs.len());
+        for skb in skbs {
+            let data = k.mem.read_word(skb + sk_buff::DATA as u64).unwrap();
+            delivered.push(k.mem.read_word(data + 8).unwrap());
+        }
+        assert!(
+            delivered.len() as u64 >= WARMUP * BURST,
+            "warmup bursts were delivered pre-race"
+        );
+        assert!(
+            delivered.windows(2).all(|w| w[0] < w[1]),
+            "polls deliver in wire order, round {round}: {delivered:?}"
+        );
+
+        // Ring residue: frames accepted but unconsumed when the driver
+        // died — the ring (kernel state) outlives its driver.
+        let (mmio, head, wire_seq) = {
+            let net = k.net();
+            let r = net.rx_ring(dev).expect("ring survives the driver");
+            (r.mmio, r.head, r.wire_seq)
+        };
+        let tail = k.mem.read_word(mmio + RX_TAIL_REG).unwrap();
+        let mut on_ring = Vec::new();
+        for i in tail..head {
+            let slot = mmio + RX_RING_OFFSET + (i % RX_RING_SLOTS) * RX_SLOT_SIZE;
+            on_ring.push(k.mem.read_word(slot + 16).unwrap());
+        }
+
+        // The accounting oracle: delivered ⊎ on-ring = accepted, as a
+        // multiset — which also proves no duplicate delivery and no
+        // frame both delivered and left on the ring.
+        let mut seen = delivered.clone();
+        seen.extend(&on_ring);
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..wire_seq).collect();
+        assert_eq!(
+            seen, expect,
+            "delivered ∪ on-ring must equal the accepted frames, round {round}"
+        );
+
+        // Overrun accounting closes the books: every wired frame was
+        // accepted or counted as dropped (the dead driver stops
+        // consuming, so late bursts overrun the 16-slot ring).
+        let attempted = (WARMUP + RACER_ROUNDS) * BURST;
+        assert_eq!(
+            wire_seq + k.net().rx_dropped(),
+            attempted,
+            "accepted + dropped = wired, round {round}"
+        );
+
+        // Draining the survivors leaves no slab residue: the dead
+        // driver's own objects were swept at unload, and every
+        // delivered skb is accounted for above.
+        k.enter(|k| k.net_drain_rx()).unwrap();
+        assert_eq!(k.slab().live_count(), 0, "no leaked skbs, round {round}");
+        k.rt.check_index_invariants();
+    }
+}
+
+/// The evaporation contract in isolation (single-threaded, exact): work
+/// scheduled before an unload but dispatched after it returns cleanly,
+/// and the frames it would have consumed stay parked on the ring.
+#[test]
+fn polls_scheduled_before_unload_evaporate_after_it() {
+    let (mut k, dev) = boot_e1000();
+    let id = k.module_id("e1000").unwrap();
+    // Wire without flushing: the interrupt asserts and the poll goes
+    // pending on the deferred mux.
+    k.net_rx_wire(dev, 3).unwrap();
+    let ring = k.net().rx_ring(dev).map(|r| (r.head, r.wire_seq)).unwrap();
+    assert_eq!(ring, (3, 3));
+    k.unload_module(id).unwrap();
+    // The pending poll dispatches against a dead module: it evaporates
+    // (Ok, zero frames) rather than trapping, and the frames survive.
+    let delivered = k.net_rx_flush(dev).unwrap();
+    assert_eq!(delivered, 0, "a dead driver's poll delivers nothing");
+    assert!(k.panic_reason().is_none());
+    assert_eq!(k.fault_count(), 0);
+    let r_head = k.net().rx_ring(dev).map(|r| r.head).unwrap();
+    let tail = {
+        let mmio = k.net().rx_ring(dev).map(|r| r.mmio).unwrap();
+        k.mem.read_word(mmio + RX_TAIL_REG).unwrap()
+    };
+    assert_eq!(r_head - tail, 3, "all three frames still parked");
+    assert!(k.net().rx_queue.is_empty());
+}

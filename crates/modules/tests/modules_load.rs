@@ -61,6 +61,48 @@ fn e1000_tx_rx_cycle_both_modes() {
     }
 }
 
+/// The NAPI mechanics, observed directly: interrupt assertion masks
+/// further assertion, frames that would lap the tail drop and count, a
+/// budget-exhausting poll re-arms (the second dispatch finds the ring
+/// empty and `napi_complete` unmasks), and an early-returning poll
+/// completes in one dispatch.
+#[test]
+fn napi_masking_budget_rearm_and_overrun() {
+    use lxfi_kernel::net::{NAPI_BUDGET, RX_RING_SLOTS};
+    let mut k = boot_with_all(IsolationMode::Lxfi);
+    let dev = e1000_up(&mut k);
+
+    // Fill the ring without flushing: the first frame asserts (and
+    // masks) the RX interrupt, the rest land silently.
+    assert_eq!(k.net_rx_wire(dev, RX_RING_SLOTS).unwrap(), RX_RING_SLOTS);
+    assert!(k.net().rx_ring(dev).unwrap().masked, "assertion masks");
+    assert_eq!(k.deferred_stats().2, 1, "one pending poll, not sixteen");
+    // A full ring overruns: drops are counted, nothing is scheduled.
+    assert_eq!(k.net_rx_wire(dev, 4).unwrap(), 0);
+    assert_eq!(k.net().rx_dropped(), 4);
+    assert_eq!(k.deferred_stats().2, 1, "masked: no further assertion");
+
+    // Flush: poll #1 consumes exactly its budget and re-arms; poll #2
+    // finds the ring empty, returns early, and napi_complete unmasks.
+    let before = k.deferred_stats().0;
+    assert_eq!(k.net_rx_flush(dev).unwrap(), NAPI_BUDGET);
+    assert_eq!(k.deferred_stats().0 - before, 2, "budget poll + re-arm");
+    assert!(!k.net().rx_ring(dev).unwrap().masked, "complete unmasks");
+
+    // Below budget: one assertion, one dispatch, done.
+    let before = k.deferred_stats().0;
+    assert_eq!(k.net_deliver_rx(dev, 2).unwrap(), 2);
+    assert_eq!(k.deferred_stats().0 - before, 1, "no spurious re-arm");
+    assert!(!k.net().rx_ring(dev).unwrap().masked);
+
+    assert_eq!(
+        k.enter(|k| k.net_drain_rx()).unwrap(),
+        RX_RING_SLOTS + 2,
+        "every accepted frame was delivered exactly once"
+    );
+    assert!(k.panic_reason().is_none());
+}
+
 #[test]
 fn e1000_guard_traffic_only_under_lxfi() {
     use lxfi_core::GuardKind;
